@@ -1,0 +1,37 @@
+//! Criterion: graph-generator throughput at the scales the experiment
+//! binaries use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sodiff_graph::generators;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    group.bench_function("torus2d_100x100", |b| {
+        b.iter(|| generators::torus2d(100, 100))
+    });
+    group.bench_function("hypercube_14", |b| b.iter(|| generators::hypercube(14)));
+    group.bench_function("random_regular_10k_d13", |b| {
+        b.iter(|| generators::random_regular(10_000, 13, 1).unwrap())
+    });
+    group.bench_function("rgg_2000_paper_radius", |b| {
+        b.iter(|| generators::rgg_paper(2_000, 1))
+    });
+    group.bench_function("erdos_renyi_5000_p001", |b| {
+        b.iter(|| generators::erdos_renyi(5_000, 0.01, 1))
+    });
+
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_generators
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: per-round cost of the rounding schemes (measured through
+//! full discrete SOS steps on a fixed torus, so the differences between
+//! bars isolate the rounding pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sodiff_core::prelude::*;
+use sodiff_graph::{generators, Speeds};
+use sodiff_linalg::spectral;
+
+fn bench_rounding(c: &mut Criterion) {
+    let graph = generators::torus2d(64, 64);
+    let n = graph.node_count();
+    let beta = spectral::analyze(&graph, &Speeds::uniform(n)).beta_opt();
+    let mut group = c.benchmark_group("rounding_step");
+    for (name, rounding) in [
+        ("randomized_framework", Rounding::randomized(1)),
+        ("round_down", Rounding::round_down()),
+        ("nearest", Rounding::nearest()),
+        ("unbiased_edge", Rounding::unbiased_edge(1)),
+    ] {
+        let config = SimulationConfig::discrete(Scheme::sos(beta), rounding);
+        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        sim.step();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| sim.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_rounding
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion: cost of one simulation round for each scheme × mode × graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sodiff_core::prelude::*;
+use sodiff_graph::{generators, Graph, Speeds};
+use sodiff_linalg::spectral;
+
+fn graph_cases() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("torus64", generators::torus2d(64, 64)),
+        ("hypercube12", generators::hypercube(12)),
+        ("cm4096", generators::random_graph_cm(4096, 1).unwrap()),
+    ]
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round");
+    for (gname, graph) in graph_cases() {
+        let n = graph.node_count();
+        let beta = spectral::analyze(&graph, &Speeds::uniform(n)).beta_opt();
+        let cases: [(&str, SimulationConfig); 4] = [
+            (
+                "fos_discrete",
+                SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(1)),
+            ),
+            (
+                "sos_discrete",
+                SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(1)),
+            ),
+            ("fos_continuous", SimulationConfig::continuous(Scheme::fos())),
+            (
+                "sos_continuous",
+                SimulationConfig::continuous(Scheme::sos(beta)),
+            ),
+        ];
+        for (cname, config) in cases {
+            let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+            // Warm the flow memory so SOS benches its steady-state path.
+            sim.step();
+            group.bench_function(BenchmarkId::new(cname, gname), |b| {
+                b.iter(|| sim.step());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_step
+}
+criterion_main!(benches);

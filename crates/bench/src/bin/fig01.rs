@@ -1,0 +1,34 @@
+//! Figure 1: SOS on a 2D torus — max−avg (blue), max local difference
+//! (red), potential φ_t/n (yellow) — with FOS max−avg (green) as the
+//! comparison. Paper: 1000×1000 torus, 5000 rounds; default here:
+//! 256×256, rounds scaled proportionally.
+
+use sodiff_bench::{save_recorder, stride_for, ExpOpts};
+use sodiff_core::prelude::*;
+use sodiff_graph::generators;
+use sodiff_linalg::spectral;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let side: usize = opts.scale(256, 1000);
+    let rounds = 5 * side as u64;
+    let graph = generators::torus2d(side, side);
+    let n = graph.node_count();
+    let beta = spectral::analyze(&graph, &Speeds::uniform(n)).beta_opt();
+    println!("Figure 1: torus {side}x{side}, beta = {beta:.8}, {rounds} rounds");
+
+    let stride = stride_for(rounds, 1000);
+    for (name, scheme) in [("fig01_sos", Scheme::sos(beta)), ("fig01_fos", Scheme::fos())] {
+        let config = SimulationConfig::discrete(scheme, Rounding::randomized(opts.seed));
+        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let mut rec = Recorder::every(stride);
+        sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
+        save_recorder(&opts, name, &rec);
+    }
+
+    println!();
+    println!("expected shape (paper): SOS potential decays exponentially and");
+    println!("plateaus; max-avg shows discontinuities when the wavefronts");
+    println!("collapse at the torus center (~every 1200-1300 steps at side");
+    println!("1000, scaling with the side); FOS max-avg decays much slower.");
+}

@@ -1,0 +1,35 @@
+//! Figure 2: impact of the initial load volume. SOS on a 2D torus with
+//! average loads 10, 100, and 1000 per node (all placed on node 0);
+//! the paper's finding is that the trajectory shape barely depends on the
+//! amount of initial load, especially after convergence.
+
+use sodiff_bench::{save_recorder, stride_for, ExpOpts};
+use sodiff_core::prelude::*;
+use sodiff_graph::generators;
+use sodiff_linalg::spectral;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let side: usize = opts.scale(256, 1000);
+    let rounds = 5 * side as u64;
+    let graph = generators::torus2d(side, side);
+    let n = graph.node_count();
+    let beta = spectral::analyze(&graph, &Speeds::uniform(n)).beta_opt();
+    println!("Figure 2: torus {side}x{side}, average loads 10/100/1000");
+
+    let stride = stride_for(rounds, 1000);
+    for avg in [10i64, 100, 1000] {
+        let init = InitialLoad::point(0, avg * n as i64);
+        let config =
+            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
+        let mut sim = Simulator::new(&graph, config, init);
+        let mut rec = Recorder::every(stride);
+        sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
+        save_recorder(&opts, &format!("fig02_avg{avg}"), &rec);
+    }
+
+    println!();
+    println!("expected shape (paper): the three curves differ by a constant");
+    println!("vertical offset during decay and coincide after convergence —");
+    println!("the remaining imbalance does not depend on the load volume.");
+}

@@ -1,0 +1,59 @@
+//! Figure 6: idealized SOS (IEEE-754 doubles) vs randomized-rounding SOS.
+//! Left plot: max−avg of both; right plot: the absolute error of the
+//! idealized simulation's total load (float drift), which the paper shows
+//! is negligible (~1e-8..1e-4 tokens).
+
+use std::io::Write;
+
+use sodiff_bench::{save_recorder, stride_for, ExpOpts};
+use sodiff_core::prelude::*;
+use sodiff_graph::generators;
+use sodiff_linalg::spectral;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let side: usize = opts.scale(256, 1000);
+    let rounds = 5 * side as u64;
+    let graph = generators::torus2d(side, side);
+    let n = graph.node_count();
+    let beta = spectral::analyze(&graph, &Speeds::uniform(n)).beta_opt();
+    println!("Figure 6: torus {side}x{side}, idealized vs discrete SOS");
+
+    let stride = stride_for(rounds, 1000);
+    // Discrete randomized SOS.
+    {
+        let config =
+            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
+        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let mut rec = Recorder::every(stride);
+        sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
+        save_recorder(&opts, "fig06_discrete", &rec);
+    }
+    // Idealized SOS with explicit float-drift column.
+    {
+        let config = SimulationConfig::continuous(Scheme::sos(beta));
+        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let mut rec = Recorder::every(stride);
+        sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
+        save_recorder(&opts, "fig06_ideal", &rec);
+
+        let path = opts.path("fig06_float_error");
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
+        writeln!(w, "round,abs_total_load_error").expect("header");
+        let initial = sim.initial_total();
+        for row in rec.rows() {
+            writeln!(w, "{},{:e}", row.round, (row.total_load - initial).abs())
+                .expect("row");
+        }
+        println!(
+            "float drift after {rounds} rounds: {:e} tokens -> {}",
+            (sim.total_load() - initial).abs(),
+            path.display()
+        );
+    }
+
+    println!();
+    println!("expected shape (paper): both max-avg curves coincide until the");
+    println!("discrete one plateaus; the idealized total-load error stays in");
+    println!("the 1e-8..1e-4 range — quantification noise only.");
+}

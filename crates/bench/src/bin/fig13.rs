@@ -1,0 +1,47 @@
+//! Figure 13: hypercube (paper: n = 2²⁰; default here 2¹⁶). SOS, FOS, and
+//! the switch to FOS at round 50; 200 rounds. The paper observes only a
+//! slight advantage for SOS and a remaining imbalance within one token of
+//! FOS's.
+
+use sodiff_bench::{save_recorder, ExpOpts};
+use sodiff_core::prelude::*;
+use sodiff_graph::generators;
+use sodiff_linalg::spectral;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let dim: u32 = opts.scale(16, 20);
+    let rounds = 200u64;
+    let graph = generators::hypercube(dim);
+    let n = graph.node_count();
+    let spec = spectral::analyze(&graph, &Speeds::uniform(n));
+    let beta = spec.beta_opt();
+    println!(
+        "Figure 13: hypercube 2^{dim} (n = {n}), lambda = {:.6}, beta = {:.6}",
+        spec.lambda, beta
+    );
+
+    for (name, scheme, switch) in [
+        ("fig13_sos", Scheme::sos(beta), None),
+        ("fig13_fos", Scheme::fos(), None),
+        ("fig13_fos_at50", Scheme::sos(beta), Some(50u64)),
+    ] {
+        let config = SimulationConfig::discrete(scheme, Rounding::randomized(opts.seed));
+        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let mut rec = Recorder::new();
+        match switch {
+            Some(at) => {
+                run_hybrid(&mut sim, SwitchPolicy::AtRound(at), rounds, &mut rec);
+            }
+            None => {
+                sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
+            }
+        }
+        save_recorder(&opts, name, &rec);
+    }
+
+    println!();
+    println!("expected shape (paper): FOS needs only slightly more rounds");
+    println!("than SOS; the FOS remaining imbalance is about one token");
+    println!("better than the SOS one.");
+}

@@ -1,0 +1,67 @@
+//! Figure 15: the 100×100 torus with everything overlaid — the standard
+//! metric series of an SOS run with a switch to FOS at round 500, plus the
+//! eigen-coefficient impact columns (max |aᵢ|, leading rank) per round.
+
+use std::io::Write;
+
+use sodiff_bench::ExpOpts;
+use sodiff_core::prelude::*;
+use sodiff_graph::generators;
+use sodiff_linalg::fourier::TorusModes;
+use sodiff_linalg::spectral;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let side: usize = 100; // paper scale
+    let rounds = 1000u64;
+    let switch = 500u64;
+    let graph = generators::torus2d(side, side);
+    let n = graph.node_count();
+    let beta = spectral::analyze(&graph, &Speeds::uniform(n)).beta_opt();
+    println!(
+        "Figure 15: torus {side}x{side}, SOS with FOS from round {switch}, coefficients overlay"
+    );
+
+    let modes = TorusModes::new(side, side);
+    let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
+    let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+
+    let path = opts.path("fig15_overlay");
+    let mut w = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
+    writeln!(
+        w,
+        "round,max_minus_avg,max_local_diff,potential_over_n,max_amplitude,leading_rank"
+    )
+    .expect("header");
+
+    let mut loads = vec![0.0f64; n];
+    for round in 1..=rounds {
+        if round == switch + 1 {
+            sim.switch_scheme(Scheme::fos());
+        }
+        sim.step();
+        for (i, l) in loads.iter_mut().enumerate() {
+            *l = sim.load_of(i);
+        }
+        let coeffs = modes.coefficients(&loads);
+        let leading = TorusModes::leading(&coeffs);
+        let m = sim.metrics();
+        writeln!(
+            w,
+            "{round},{},{},{},{},{}",
+            m.max_minus_avg,
+            m.max_local_diff,
+            m.potential_over_n,
+            leading.map(|l| l.amplitude).unwrap_or(0.0),
+            leading.map(|l| l.rank).unwrap_or(0),
+        )
+        .expect("row");
+    }
+    drop(w);
+    println!("wrote {}", opts.path("fig15_overlay").display());
+    println!();
+    println!("expected shape (paper): the leading coefficient is the second");
+    println!("eigenvalue group (the paper's -a4) from ~round 100 to ~700;");
+    println!("after ~700 rounds no eigenvector dominates, and the switch at");
+    println!("500 pulls the metrics below the pure-SOS plateau.");
+}

@@ -1,0 +1,196 @@
+//! Shared harness for the per-figure experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper. Each accepts:
+//!
+//! * `--full` — run the paper-scale configuration (10⁶-node graphs, 5000
+//!   rounds); the default is a scaled-down configuration with the same
+//!   qualitative behavior that finishes in seconds to a few minutes,
+//! * `--out <dir>` — where to write CSV series (default
+//!   `target/experiments`),
+//! * `--seed <n>` — RNG seed (default 42).
+//!
+//! Series are CSV files with one row per recorded round; the columns are
+//! the paper's metrics (`max − avg`, max local difference, potential/n,
+//! minimum load, minimum transient load, total load).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use sodiff_core::{MetricsRow, Recorder};
+
+/// Common command-line options of the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpOpts {
+    /// Run the paper-scale configuration.
+    pub full: bool,
+    /// Output directory for CSV series.
+    pub out_dir: PathBuf,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExpOpts {
+    /// Parses `--full`, `--out <dir>`, and `--seed <n>` from `std::env`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on unknown arguments.
+    pub fn from_args() -> Self {
+        let mut opts = Self {
+            full: false,
+            out_dir: PathBuf::from("target/experiments"),
+            seed: 42,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--out" => {
+                    opts.out_dir = PathBuf::from(
+                        args.next().expect("--out requires a directory argument"),
+                    );
+                }
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .expect("--seed requires a value")
+                        .parse()
+                        .expect("--seed value must be an integer");
+                }
+                other => panic!(
+                    "unknown argument {other}; supported: --full, --out <dir>, --seed <n>"
+                ),
+            }
+        }
+        fs::create_dir_all(&opts.out_dir).expect("create output directory");
+        opts
+    }
+
+    /// Picks the scaled or full value.
+    pub fn scale<T>(&self, scaled: T, full: T) -> T {
+        if self.full {
+            full
+        } else {
+            scaled
+        }
+    }
+
+    /// Path of a series file in the output directory.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(format!("{name}.csv"))
+    }
+}
+
+/// Writes a recorded metric series as CSV.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries treat those as fatal).
+pub fn write_series(path: &Path, rows: &[MetricsRow]) {
+    let mut w = BufWriter::new(File::create(path).expect("create series file"));
+    writeln!(
+        w,
+        "round,max_minus_avg,max_local_diff,potential_over_n,min_load,min_transient,total_load"
+    )
+    .expect("write header");
+    for r in rows {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{}",
+            r.round,
+            r.metrics.max_minus_avg,
+            r.metrics.max_local_diff,
+            r.metrics.potential_over_n,
+            r.metrics.min_load,
+            r.min_transient,
+            r.total_load
+        )
+        .expect("write row");
+    }
+}
+
+/// Writes a recorder's rows and prints a one-line summary.
+pub fn save_recorder(opts: &ExpOpts, name: &str, rec: &Recorder) {
+    let path = opts.path(name);
+    write_series(&path, rec.rows());
+    if let Some(last) = rec.last() {
+        println!(
+            "{name}: {} rows -> {} (final max-avg {:.2}, local diff {:.2})",
+            rec.rows().len(),
+            path.display(),
+            last.metrics.max_minus_avg,
+            last.metrics.max_local_diff
+        );
+    } else {
+        println!("{name}: 0 rows -> {}", path.display());
+    }
+}
+
+/// Writes a generic CSV table (for non-series experiments like Table I).
+///
+/// # Panics
+///
+/// Panics on I/O errors.
+pub fn write_table(path: &Path, header: &str, rows: &[String]) {
+    let mut w = BufWriter::new(File::create(path).expect("create table file"));
+    writeln!(w, "{header}").expect("write header");
+    for row in rows {
+        writeln!(w, "{row}").expect("write row");
+    }
+}
+
+/// A stride that yields roughly `target_points` recorded rows over
+/// `rounds` rounds (at least 1).
+pub fn stride_for(rounds: u64, target_points: u64) -> u64 {
+    (rounds / target_points.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_math() {
+        assert_eq!(stride_for(1000, 100), 10);
+        assert_eq!(stride_for(50, 100), 1);
+        assert_eq!(stride_for(0, 0), 1);
+    }
+
+    #[test]
+    fn scale_picks_by_flag() {
+        let mut o = ExpOpts {
+            full: false,
+            out_dir: PathBuf::from("/tmp"),
+            seed: 1,
+        };
+        assert_eq!(o.scale(10, 1000), 10);
+        o.full = true;
+        assert_eq!(o.scale(10, 1000), 1000);
+    }
+
+    #[test]
+    fn series_roundtrip() {
+        use sodiff_core::prelude::*;
+        let dir = std::env::temp_dir().join("sodiff_bench_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.csv");
+        let g = sodiff_graph::generators::cycle(8);
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(1)),
+            InitialLoad::point(0, 80),
+        );
+        let mut rec = Recorder::new();
+        sim.run_until_with(StopCondition::MaxRounds(5), &mut rec);
+        write_series(&path, rec.rows());
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("round,max_minus_avg"));
+        assert_eq!(text.lines().count(), 6);
+        fs::remove_file(path).ok();
+    }
+}

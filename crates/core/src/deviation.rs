@@ -1,0 +1,138 @@
+//! Coupled discrete/continuous runs measuring the deviation
+//! `max_k |x_k^D(t) − x_k^C(t)|` that the paper's Theorems 3, 8, and 9
+//! bound.
+
+use sodiff_graph::Graph;
+
+use crate::engine::{Mode, SimulationConfig, Simulator};
+use crate::init::InitialLoad;
+
+/// Per-round deviation series between a discrete process and its
+/// continuous twin, started from the same initial load.
+#[derive(Debug, Clone)]
+pub struct DeviationSeries {
+    /// `deviation[t]` = `max_k |x_k^D(t+1) − x_k^C(t+1)|` after round `t+1`.
+    pub per_round: Vec<f64>,
+}
+
+impl DeviationSeries {
+    /// The largest deviation over the whole run.
+    pub fn max(&self) -> f64 {
+        self.per_round.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The deviation at the final recorded round.
+    pub fn last(&self) -> f64 {
+        self.per_round.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Runs the discrete configuration and its continuous counterpart in
+/// lockstep for `rounds` rounds and records the per-round deviation.
+///
+/// # Panics
+///
+/// Panics if `config.mode` is not discrete.
+pub fn coupled_run(
+    graph: &Graph,
+    config: SimulationConfig,
+    init: InitialLoad,
+    rounds: usize,
+) -> DeviationSeries {
+    assert!(
+        matches!(config.mode, Mode::Discrete(_)),
+        "coupled_run expects a discrete configuration"
+    );
+    let continuous_config = SimulationConfig {
+        scheme: config.scheme,
+        mode: Mode::Continuous,
+        speeds: config.speeds.clone(),
+        flow_memory: config.flow_memory,
+        threads: config.threads,
+    };
+    let mut discrete = Simulator::new(graph, config, init.clone());
+    let mut continuous = Simulator::new(graph, continuous_config, init);
+    let mut per_round = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        discrete.step();
+        continuous.step();
+        per_round.push(discrete.deviation_from(&continuous));
+    }
+    DeviationSeries { per_round }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rounding::Rounding;
+    use crate::scheme::Scheme;
+    use sodiff_graph::{generators, Speeds};
+    use sodiff_linalg::spectral;
+
+    #[test]
+    fn deviation_starts_small_and_stays_bounded() {
+        let g = generators::torus2d(8, 8);
+        let series = coupled_run(
+            &g,
+            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(3)),
+            InitialLoad::paper_default(64),
+            300,
+        );
+        assert_eq!(series.per_round.len(), 300);
+        // Round 1 rounds at most d tokens per node off.
+        assert!(series.per_round[0] <= 5.0);
+        // Theorem 4 shape: stays O(d √(log n / (1−λ))) — small here.
+        assert!(series.max() < 40.0, "max deviation {}", series.max());
+    }
+
+    #[test]
+    fn randomized_beats_round_down_deviation() {
+        // Deterministic round-down creates a systematic bias that the
+        // randomized framework avoids; after convergence the randomized
+        // deviation should be clearly smaller.
+        let g = generators::torus2d(10, 10);
+        let spec = spectral::analyze(&g, &Speeds::uniform(100));
+        let beta = spec.beta_opt();
+        let rounds = 1500;
+        let randomized = coupled_run(
+            &g,
+            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(5)),
+            InitialLoad::paper_default(100),
+            rounds,
+        );
+        let down = coupled_run(
+            &g,
+            SimulationConfig::discrete(Scheme::sos(beta), Rounding::round_down()),
+            InitialLoad::paper_default(100),
+            rounds,
+        );
+        assert!(
+            randomized.last() <= down.last() + 1.0,
+            "randomized {} vs round-down {}",
+            randomized.last(),
+            down.last()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_coupled_run_works() {
+        let g = generators::torus2d(5, 5);
+        let speeds = Speeds::linear_ramp(25, 4.0);
+        let config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(7))
+            .with_speeds(speeds);
+        let series = coupled_run(&g, config, InitialLoad::point(0, 12_500), 200);
+        assert!(series.max() < 60.0, "max deviation {}", series.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "discrete configuration")]
+    fn rejects_continuous_config() {
+        let g = generators::cycle(4);
+        coupled_run(
+            &g,
+            SimulationConfig::continuous(Scheme::fos()),
+            InitialLoad::point(0, 4),
+            1,
+        );
+    }
+}

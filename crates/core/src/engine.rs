@@ -1,0 +1,1206 @@
+//! The round-based diffusion simulator.
+//!
+//! One [`Simulator`] runs either the *continuous* (idealized, `f64` loads)
+//! or the *discrete* (integer tokens, rounded flows) version of FOS/SOS on
+//! a fixed network, in synchronous rounds. The engine also tracks the
+//! *transient* load `x̆_i(t) = x_i(t) − Σ_j max(y_{i,j}(t), 0)` — the load
+//! of a node after all outgoing flow has left but before incoming flow
+//! arrives — which is the quantity the paper's negative-load results
+//! (Section V) bound.
+//!
+//! # Parallel execution
+//!
+//! The paper's C++ simulator uses OpenMP; here
+//! [`SimulationConfig::with_threads`] enables a scoped-thread executor.
+//! Every phase of a round is decomposed into pure per-edge or per-node
+//! passes (node-centric application, per-(node, round)-keyed RNG streams),
+//! so the parallel path is **bit-identical** to the sequential one — for
+//! integer and floating-point loads alike — and results never depend on
+//! the thread count.
+
+use sodiff_graph::{Graph, Speeds};
+
+use crate::init::InitialLoad;
+use crate::metrics::{snapshot_with, MetricsSnapshot, RemainingImbalance};
+use crate::observer::Observer;
+use crate::rounding::Rounding;
+use crate::scheme::Scheme;
+
+/// Continuous vs discrete execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Idealized scheme: loads are `f64`, flows are not rounded.
+    Continuous,
+    /// Discrete scheme: integer tokens, scheduled flows rounded per round.
+    Discrete(Rounding),
+}
+
+/// Which previous-flow value the SOS memory term uses in the discrete
+/// process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowMemory {
+    /// The integral flow actually sent in the previous round — the
+    /// *stateless* process the paper analyzes ("the amount that was sent
+    /// in step t−1").
+    #[default]
+    Rounded,
+    /// The unrounded scheduled flow of the previous round (an ablation:
+    /// slightly less noise accumulation, but requires remembering a real
+    /// number per edge).
+    Scheduled,
+}
+
+/// Full configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// FOS or SOS.
+    pub scheme: Scheme,
+    /// Continuous or discrete execution.
+    pub mode: Mode,
+    /// Node speeds; `None` means the homogeneous model.
+    pub speeds: Option<Speeds>,
+    /// SOS memory source in discrete mode (ignored otherwise).
+    pub flow_memory: FlowMemory,
+    /// Worker threads for the round executor (1 = sequential).
+    pub threads: usize,
+}
+
+impl SimulationConfig {
+    /// Discrete execution with the given scheme and rounding.
+    pub fn discrete(scheme: Scheme, rounding: Rounding) -> Self {
+        Self {
+            scheme,
+            mode: Mode::Discrete(rounding),
+            speeds: None,
+            flow_memory: FlowMemory::Rounded,
+            threads: 1,
+        }
+    }
+
+    /// Continuous (idealized) execution.
+    pub fn continuous(scheme: Scheme) -> Self {
+        Self {
+            scheme,
+            mode: Mode::Continuous,
+            speeds: None,
+            flow_memory: FlowMemory::Rounded,
+            threads: 1,
+        }
+    }
+
+    /// Sets heterogeneous node speeds.
+    pub fn with_speeds(mut self, speeds: Speeds) -> Self {
+        self.speeds = Some(speeds);
+        self
+    }
+
+    /// Sets the SOS flow-memory source.
+    pub fn with_flow_memory(mut self, memory: FlowMemory) -> Self {
+        self.flow_memory = memory;
+        self
+    }
+
+    /// Runs rounds on `threads` scoped worker threads. Results are
+    /// bit-identical to the sequential executor.
+    ///
+    /// Diffusion rounds are memory-bandwidth-bound; threads pay off on
+    /// paper-scale graphs (≥10⁶ nodes, ~1.6× at 8 threads on a 1000×1000
+    /// torus) but the per-round thread-spawn overhead makes them *slower*
+    /// below roughly 10⁵ edges — keep the default of 1 for small graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+}
+
+/// When to stop a [`Simulator::run_until`] loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// Run exactly this many further rounds.
+    MaxRounds(usize),
+    /// Stop as soon as `max − avg` drops to `threshold` (or after
+    /// `max_rounds`, whichever comes first).
+    BalancedWithin {
+        /// Target `max − avg` in tokens.
+        threshold: f64,
+        /// Hard round cap.
+        max_rounds: usize,
+    },
+    /// Stop when the remaining imbalance stops improving (plateau
+    /// detection over `window` rounds), or after `max_rounds`.
+    Plateau {
+        /// Plateau detection window in rounds.
+        window: usize,
+        /// Hard round cap.
+        max_rounds: usize,
+    },
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The round cap was reached.
+    MaxRounds,
+    /// The balance threshold was met.
+    Threshold,
+    /// The imbalance plateaued.
+    Plateau,
+}
+
+/// Summary of a finished run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Rounds executed by this call.
+    pub rounds: u64,
+    /// Metrics at the final round.
+    pub final_metrics: MetricsSnapshot,
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Remaining imbalance if a plateau was detected.
+    pub remaining_imbalance: Option<f64>,
+}
+
+enum State {
+    Discrete {
+        loads: Vec<i64>,
+        rounding: Rounding,
+        int_flows: Vec<i64>,
+    },
+    Continuous {
+        loads: Vec<f64>,
+    },
+}
+
+/// A synchronous-round diffusion load-balancing simulation.
+///
+/// # Example
+///
+/// ```
+/// use sodiff_core::prelude::*;
+/// use sodiff_graph::generators;
+///
+/// let g = generators::torus2d(8, 8);
+/// let config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(7));
+/// let mut sim = Simulator::new(&g, config, InitialLoad::point(0, 6400));
+/// let report = sim.run_until(StopCondition::MaxRounds(500));
+/// assert_eq!(report.rounds, 500);
+/// assert!(report.final_metrics.max_minus_avg < 10.0);
+/// assert_eq!(sim.total_load(), 6400.0); // tokens are conserved
+/// ```
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    speeds: Speeds,
+    edge_alpha: Vec<f64>,
+    scheme: Scheme,
+    flow_memory: FlowMemory,
+    threads: usize,
+    state: State,
+    /// Previous-round flow memory for SOS (always stored as `f64`).
+    prev_flow: Vec<f64>,
+    /// Scratch: scheduled continuous flows of the current round.
+    scheduled: Vec<f64>,
+    /// Scratch for the parallel randomized-framework pass: per-arc
+    /// outgoing token counts (aligned with the graph's adjacency array).
+    arc_out: Vec<i64>,
+    /// Per-edge arc positions `(tail side, head side)` into `arc_out`.
+    edge_arc_pos: Vec<(u32, u32)>,
+    round: u64,
+    rounds_in_scheme: u64,
+    min_transient: f64,
+    initial_total: f64,
+}
+
+/// Balanced chunk boundaries: `parts + 1` cut points over `len` items.
+fn chunk_bounds(len: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    (0..=parts).map(|t| t * len / parts).collect()
+}
+
+/// Scheduled flows for the edge range `e0..e0+out.len()`:
+/// `Ŷ_e = mem·y_prev + gain·α_e·(x_u/s_u − x_v/s_v)`.
+#[allow(clippy::too_many_arguments)] // a flat hot-path kernel; grouping into a struct would obscure it
+fn scheduled_chunk(
+    graph: &Graph,
+    speeds: &Speeds,
+    alpha: &[f64],
+    prev: &[f64],
+    mem: f64,
+    gain: f64,
+    load_of: &(impl Fn(usize) -> f64 + Sync),
+    e0: usize,
+    out: &mut [f64],
+) {
+    let edges = &graph.edges()[e0..e0 + out.len()];
+    for (k, (s, &(u, v))) in out.iter_mut().zip(edges).enumerate() {
+        let e = e0 + k;
+        let (u, v) = (u as usize, v as usize);
+        let base = alpha[e] * (load_of(u) / speeds.get(u) - load_of(v) / speeds.get(v));
+        *s = mem * prev[e] + gain * base;
+    }
+}
+
+/// Node-centric application of integer flows to the node range starting at
+/// `n0` (whose loads are `loads_chunk`); returns the chunk's minimum
+/// transient load.
+fn apply_discrete_chunk(graph: &Graph, flows: &[i64], n0: usize, loads_chunk: &mut [i64]) -> f64 {
+    let mut min_transient = f64::INFINITY;
+    for (k, load) in loads_chunk.iter_mut().enumerate() {
+        let i = (n0 + k) as u32;
+        let mut outgoing: i64 = 0;
+        let mut net: i64 = 0;
+        for &(j, e) in graph.neighbors(i) {
+            // Canonical edges are (min, max): i is the tail iff i < j.
+            let y = if i < j {
+                flows[e as usize]
+            } else {
+                -flows[e as usize]
+            };
+            if y > 0 {
+                outgoing += y;
+            }
+            net += y;
+        }
+        let transient = (*load - outgoing) as f64;
+        if transient < min_transient {
+            min_transient = transient;
+        }
+        *load -= net;
+    }
+    min_transient
+}
+
+/// Continuous analog of [`apply_discrete_chunk`].
+fn apply_continuous_chunk(
+    graph: &Graph,
+    flows: &[f64],
+    n0: usize,
+    loads_chunk: &mut [f64],
+) -> f64 {
+    let mut min_transient = f64::INFINITY;
+    for (k, load) in loads_chunk.iter_mut().enumerate() {
+        let i = (n0 + k) as u32;
+        let mut outgoing = 0.0;
+        let mut net = 0.0;
+        for &(j, e) in graph.neighbors(i) {
+            let y = if i < j {
+                flows[e as usize]
+            } else {
+                -flows[e as usize]
+            };
+            if y > 0.0 {
+                outgoing += y;
+            }
+            net += y;
+        }
+        let transient = *load - outgoing;
+        if transient < min_transient {
+            min_transient = transient;
+        }
+        *load -= net;
+    }
+    min_transient
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator on `graph` with the given configuration and
+    /// initial token placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speeds length mismatches the graph or the initial
+    /// load references nodes outside the graph.
+    pub fn new(graph: &'g Graph, config: SimulationConfig, init: InitialLoad) -> Self {
+        let n = graph.node_count();
+        let speeds = config.speeds.unwrap_or_else(|| Speeds::uniform(n));
+        assert_eq!(speeds.len(), n, "speeds length must match node count");
+        assert!(config.threads > 0, "thread count must be positive");
+        let loads = init.materialize(n);
+        let initial_total = loads.iter().map(|&x| x as f64).sum();
+        let m = graph.edge_count();
+        let edge_alpha = graph
+            .edges()
+            .iter()
+            .map(|&(u, v)| graph.alpha(u, v))
+            .collect();
+        let state = match config.mode {
+            Mode::Discrete(rounding) => State::Discrete {
+                loads,
+                rounding,
+                int_flows: vec![0; m],
+            },
+            Mode::Continuous => State::Continuous {
+                loads: loads.iter().map(|&x| x as f64).collect(),
+            },
+        };
+        let min_transient = match &state {
+            State::Discrete { loads, .. } => {
+                loads.iter().copied().min().unwrap_or(0) as f64
+            }
+            State::Continuous { loads } => loads.iter().copied().fold(f64::INFINITY, f64::min),
+        };
+        // The arc plan is only needed by the parallel randomized-framework
+        // pass; build it eagerly when it will be used.
+        let needs_arcs = config.threads > 1
+            && matches!(
+                config.mode,
+                Mode::Discrete(Rounding::RandomizedFramework { .. })
+            );
+        let (arc_out, edge_arc_pos) = if needs_arcs {
+            let mut pos = vec![(0u32, 0u32); m];
+            for v in graph.nodes() {
+                let start = graph.arc_range(v).start;
+                for (idx, &(j, e)) in graph.neighbors(v).iter().enumerate() {
+                    let p = (start + idx) as u32;
+                    if v < j {
+                        pos[e as usize].0 = p;
+                    } else {
+                        pos[e as usize].1 = p;
+                    }
+                }
+            }
+            (vec![0i64; graph.arc_count()], pos)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Self {
+            graph,
+            speeds,
+            edge_alpha,
+            scheme: config.scheme,
+            flow_memory: config.flow_memory,
+            threads: config.threads,
+            state,
+            prev_flow: vec![0.0; m],
+            scheduled: vec![0.0; m],
+            arc_out,
+            edge_arc_pos,
+            round: 0,
+            rounds_in_scheme: 0,
+            min_transient,
+            initial_total,
+        }
+    }
+
+    /// The network this simulation runs on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The node speeds.
+    pub fn speeds(&self) -> &Speeds {
+        &self.speeds
+    }
+
+    /// The active scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Rounds executed since construction.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Worker threads used by the executor.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Returns `true` in discrete mode.
+    pub fn is_discrete(&self) -> bool {
+        matches!(self.state, State::Discrete { .. })
+    }
+
+    /// Integer loads (discrete mode only).
+    pub fn loads_i64(&self) -> Option<&[i64]> {
+        match &self.state {
+            State::Discrete { loads, .. } => Some(loads),
+            State::Continuous { .. } => None,
+        }
+    }
+
+    /// Continuous loads (continuous mode only).
+    pub fn loads_f64(&self) -> Option<&[f64]> {
+        match &self.state {
+            State::Continuous { loads } => Some(loads),
+            State::Discrete { .. } => None,
+        }
+    }
+
+    /// Load of node `i` as `f64`, regardless of mode.
+    #[inline]
+    pub fn load_of(&self, i: usize) -> f64 {
+        match &self.state {
+            State::Discrete { loads, .. } => loads[i] as f64,
+            State::Continuous { loads } => loads[i],
+        }
+    }
+
+    /// Copies the loads into a fresh `f64` vector.
+    pub fn loads_to_f64(&self) -> Vec<f64> {
+        (0..self.graph.node_count())
+            .map(|i| self.load_of(i))
+            .collect()
+    }
+
+    /// Current total load (must equal the initial total in discrete mode;
+    /// floats may drift by rounding error in continuous mode).
+    pub fn total_load(&self) -> f64 {
+        match &self.state {
+            State::Discrete { loads, .. } => loads.iter().map(|&x| x as f64).sum(),
+            State::Continuous { loads } => loads.iter().sum(),
+        }
+    }
+
+    /// The total load at round 0.
+    pub fn initial_total(&self) -> f64 {
+        self.initial_total
+    }
+
+    /// Minimum transient load `min_{i,t} x̆_i(t)` observed so far
+    /// (Section V). Negative values mean a node was overdrawn.
+    pub fn min_transient_load(&self) -> f64 {
+        self.min_transient
+    }
+
+    /// Flow sent in the previous round, per canonical edge (the SOS memory).
+    pub fn previous_flows(&self) -> &[f64] {
+        &self.prev_flow
+    }
+
+    /// Current quality metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        snapshot_with(self.graph, &self.speeds, |i| self.load_of(i))
+    }
+
+    /// Switches the active scheme (the SOS→FOS hybrid of Section VI).
+    ///
+    /// Loads are kept; the scheme restarts its round counter, so a switch
+    /// *to* SOS begins with an FOS round, as the paper prescribes.
+    pub fn switch_scheme(&mut self, scheme: Scheme) {
+        self.scheme = scheme;
+        self.rounds_in_scheme = 0;
+    }
+
+    /// Executes one synchronous round.
+    pub fn step(&mut self) {
+        let (mem, gain) = self.scheme.coefficients(self.rounds_in_scheme);
+        if self.threads > 1 {
+            self.step_threaded(mem, gain);
+        } else {
+            self.step_sequential(mem, gain);
+        }
+        self.round += 1;
+        self.rounds_in_scheme += 1;
+    }
+
+    fn step_sequential(&mut self, mem: f64, gain: f64) {
+        let graph = self.graph;
+        let n = graph.node_count();
+        match &mut self.state {
+            State::Discrete {
+                loads,
+                rounding,
+                int_flows,
+            } => {
+                {
+                    let loads_ref: &[i64] = loads;
+                    scheduled_chunk(
+                        graph,
+                        &self.speeds,
+                        &self.edge_alpha,
+                        &self.prev_flow,
+                        mem,
+                        gain,
+                        &|i| loads_ref[i] as f64,
+                        0,
+                        &mut self.scheduled,
+                    );
+                }
+                rounding.round_flows(graph, &self.scheduled, self.round, int_flows);
+                let mt = apply_discrete_chunk(graph, int_flows, 0, loads);
+                if mt < self.min_transient {
+                    self.min_transient = mt;
+                }
+                match self.flow_memory {
+                    FlowMemory::Rounded => {
+                        for (p, &y) in self.prev_flow.iter_mut().zip(int_flows.iter()) {
+                            *p = y as f64;
+                        }
+                    }
+                    FlowMemory::Scheduled => {
+                        self.prev_flow.copy_from_slice(&self.scheduled);
+                    }
+                }
+                let _ = n;
+            }
+            State::Continuous { loads } => {
+                {
+                    let loads_ref: &[f64] = loads;
+                    scheduled_chunk(
+                        graph,
+                        &self.speeds,
+                        &self.edge_alpha,
+                        &self.prev_flow,
+                        mem,
+                        gain,
+                        &|i| loads_ref[i],
+                        0,
+                        &mut self.scheduled,
+                    );
+                }
+                let mt = apply_continuous_chunk(graph, &self.scheduled, 0, loads);
+                if mt < self.min_transient {
+                    self.min_transient = mt;
+                }
+                self.prev_flow.copy_from_slice(&self.scheduled);
+            }
+        }
+    }
+
+    fn step_threaded(&mut self, mem: f64, gain: f64) {
+        let graph = self.graph;
+        let speeds = &self.speeds;
+        let alpha = &self.edge_alpha;
+        let prev = &self.prev_flow;
+        let n = graph.node_count();
+        let m = graph.edge_count();
+        let threads = self.threads;
+        let edge_bounds = chunk_bounds(m, threads);
+        let node_bounds = chunk_bounds(n, threads);
+        match &mut self.state {
+            State::Discrete {
+                loads,
+                rounding,
+                int_flows,
+            } => {
+                // Phase 1: scheduled flows, chunked by edges.
+                {
+                    let loads_ref: &[i64] = loads;
+                    let load_of = |i: usize| loads_ref[i] as f64;
+                    std::thread::scope(|s| {
+                        let mut rest: &mut [f64] = &mut self.scheduled;
+                        for t in 0..threads {
+                            let len = edge_bounds[t + 1] - edge_bounds[t];
+                            let (chunk, r) = rest.split_at_mut(len);
+                            rest = r;
+                            let e0 = edge_bounds[t];
+                            let load_of = &load_of;
+                            s.spawn(move || {
+                                scheduled_chunk(
+                                    graph, speeds, alpha, prev, mem, gain, load_of, e0, chunk,
+                                );
+                            });
+                        }
+                    });
+                }
+                // Phase 2: rounding.
+                let scheduled: &[f64] = &self.scheduled;
+                let round = self.round;
+                if matches!(rounding, Rounding::RandomizedFramework { .. }) {
+                    // Node pass over per-arc outgoing counts, then an edge
+                    // pass combining the two sides.
+                    let rounding: Rounding = *rounding;
+                    std::thread::scope(|s| {
+                        let mut rest: &mut [i64] = &mut self.arc_out;
+                        for t in 0..threads {
+                            let arc_lo = graph.arc_range(node_bounds[t] as u32).start;
+                            let arc_hi = if node_bounds[t + 1] == n {
+                                graph.arc_count()
+                            } else {
+                                graph.arc_range(node_bounds[t + 1] as u32).start
+                            };
+                            let (chunk, r) = rest.split_at_mut(arc_hi - arc_lo);
+                            rest = r;
+                            let nodes = node_bounds[t] as u32..node_bounds[t + 1] as u32;
+                            s.spawn(move || {
+                                rounding.round_flows_arc_chunk(
+                                    graph, scheduled, round, nodes, arc_lo, chunk,
+                                );
+                            });
+                        }
+                    });
+                    let arc_out: &[i64] = &self.arc_out;
+                    let pos: &[(u32, u32)] = &self.edge_arc_pos;
+                    std::thread::scope(|s| {
+                        let mut rest: &mut [i64] = int_flows;
+                        for t in 0..threads {
+                            let len = edge_bounds[t + 1] - edge_bounds[t];
+                            let (chunk, r) = rest.split_at_mut(len);
+                            rest = r;
+                            let e0 = edge_bounds[t];
+                            s.spawn(move || {
+                                for (k, f) in chunk.iter_mut().enumerate() {
+                                    let (pu, pv) = pos[e0 + k];
+                                    *f = arc_out[pu as usize] - arc_out[pv as usize];
+                                }
+                            });
+                        }
+                    });
+                } else {
+                    let rounding: Rounding = *rounding;
+                    std::thread::scope(|s| {
+                        let mut rest: &mut [i64] = int_flows;
+                        for t in 0..threads {
+                            let len = edge_bounds[t + 1] - edge_bounds[t];
+                            let (chunk, r) = rest.split_at_mut(len);
+                            rest = r;
+                            let e0 = edge_bounds[t];
+                            s.spawn(move || {
+                                rounding.round_flows_edge_chunk(
+                                    &scheduled[e0..e0 + chunk.len()],
+                                    e0,
+                                    round,
+                                    chunk,
+                                );
+                            });
+                        }
+                    });
+                }
+                // Phase 3: node-centric application + transient tracking.
+                let flows: &[i64] = int_flows;
+                let mut mins = vec![f64::INFINITY; threads];
+                std::thread::scope(|s| {
+                    let mut rest: &mut [i64] = loads;
+                    let mut min_rest: &mut [f64] = &mut mins;
+                    for t in 0..threads {
+                        let len = node_bounds[t + 1] - node_bounds[t];
+                        let (chunk, r) = rest.split_at_mut(len);
+                        rest = r;
+                        let (slot, mr) = min_rest.split_at_mut(1);
+                        min_rest = mr;
+                        let n0 = node_bounds[t];
+                        s.spawn(move || {
+                            slot[0] = apply_discrete_chunk(graph, flows, n0, chunk);
+                        });
+                    }
+                });
+                let mt = mins.into_iter().fold(f64::INFINITY, f64::min);
+                if mt < self.min_transient {
+                    self.min_transient = mt;
+                }
+                match self.flow_memory {
+                    FlowMemory::Rounded => {
+                        for (p, &y) in self.prev_flow.iter_mut().zip(int_flows.iter()) {
+                            *p = y as f64;
+                        }
+                    }
+                    FlowMemory::Scheduled => {
+                        self.prev_flow.copy_from_slice(&self.scheduled);
+                    }
+                }
+            }
+            State::Continuous { loads } => {
+                {
+                    let loads_ref: &[f64] = loads;
+                    let load_of = |i: usize| loads_ref[i];
+                    std::thread::scope(|s| {
+                        let mut rest: &mut [f64] = &mut self.scheduled;
+                        for t in 0..threads {
+                            let len = edge_bounds[t + 1] - edge_bounds[t];
+                            let (chunk, r) = rest.split_at_mut(len);
+                            rest = r;
+                            let e0 = edge_bounds[t];
+                            let load_of = &load_of;
+                            s.spawn(move || {
+                                scheduled_chunk(
+                                    graph, speeds, alpha, prev, mem, gain, load_of, e0, chunk,
+                                );
+                            });
+                        }
+                    });
+                }
+                let flows: &[f64] = &self.scheduled;
+                let mut mins = vec![f64::INFINITY; threads];
+                std::thread::scope(|s| {
+                    let mut rest: &mut [f64] = loads;
+                    let mut min_rest: &mut [f64] = &mut mins;
+                    for t in 0..threads {
+                        let len = node_bounds[t + 1] - node_bounds[t];
+                        let (chunk, r) = rest.split_at_mut(len);
+                        rest = r;
+                        let (slot, mr) = min_rest.split_at_mut(1);
+                        min_rest = mr;
+                        let n0 = node_bounds[t];
+                        s.spawn(move || {
+                            slot[0] = apply_continuous_chunk(graph, flows, n0, chunk);
+                        });
+                    }
+                });
+                let mt = mins.into_iter().fold(f64::INFINITY, f64::min);
+                if mt < self.min_transient {
+                    self.min_transient = mt;
+                }
+                self.prev_flow.copy_from_slice(&self.scheduled);
+            }
+        }
+    }
+
+    /// Runs until the stop condition fires; returns a report.
+    pub fn run_until(&mut self, condition: StopCondition) -> RunReport {
+        struct Null;
+        impl Observer for Null {
+            fn on_round(&mut self, _sim: &Simulator<'_>) {}
+        }
+        self.run_until_with(condition, &mut Null)
+    }
+
+    /// Runs until the stop condition fires, invoking the observer after
+    /// every round.
+    pub fn run_until_with(
+        &mut self,
+        condition: StopCondition,
+        observer: &mut dyn Observer,
+    ) -> RunReport {
+        let start_round = self.round;
+        let (cap, threshold, window) = match condition {
+            StopCondition::MaxRounds(r) => (r, None, None),
+            StopCondition::BalancedWithin {
+                threshold,
+                max_rounds,
+            } => (max_rounds, Some(threshold), None),
+            StopCondition::Plateau { window, max_rounds } => (max_rounds, None, Some(window)),
+        };
+        let mut tracker = window.map(RemainingImbalance::new);
+        let mut reason = StopReason::MaxRounds;
+        let mut remaining = None;
+        for _ in 0..cap {
+            self.step();
+            observer.on_round(self);
+            let need_metrics = threshold.is_some() || tracker.is_some();
+            if need_metrics {
+                let m = self.metrics();
+                if let Some(t) = threshold {
+                    if m.max_minus_avg <= t {
+                        reason = StopReason::Threshold;
+                        break;
+                    }
+                }
+                if let Some(tr) = tracker.as_mut() {
+                    tr.push(m.max_minus_avg);
+                    if tr.converged() {
+                        reason = StopReason::Plateau;
+                        remaining = tr.value();
+                        break;
+                    }
+                }
+            }
+        }
+        RunReport {
+            rounds: self.round - start_round,
+            final_metrics: self.metrics(),
+            reason,
+            remaining_imbalance: remaining,
+        }
+    }
+
+    /// Maximum absolute per-node load difference to another simulation on
+    /// the same graph (the paper's deviation `max_k |x_k^A − x_k^B|`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn deviation_from(&self, other: &Simulator<'_>) -> f64 {
+        let n = self.graph.node_count();
+        assert_eq!(n, other.graph.node_count(), "graphs differ in size");
+        (0..n)
+            .map(|i| (self.load_of(i) - other.load_of(i)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sodiff_graph::generators;
+
+    fn small_config(rounding: Rounding) -> SimulationConfig {
+        SimulationConfig::discrete(Scheme::fos(), rounding)
+    }
+
+    #[test]
+    fn fos_balances_cycle() {
+        let g = generators::cycle(8);
+        let mut sim = Simulator::new(
+            &g,
+            small_config(Rounding::randomized(1)),
+            InitialLoad::point(0, 800),
+        );
+        let report = sim.run_until(StopCondition::MaxRounds(800));
+        assert!(report.final_metrics.max_minus_avg <= 3.0);
+        assert_eq!(sim.total_load(), 800.0);
+    }
+
+    #[test]
+    fn conservation_all_roundings() {
+        let g = generators::torus2d(4, 4);
+        for rounding in [
+            Rounding::randomized(3),
+            Rounding::round_down(),
+            Rounding::nearest(),
+            Rounding::unbiased_edge(3),
+        ] {
+            let mut sim = Simulator::new(
+                &g,
+                small_config(rounding),
+                InitialLoad::point(5, 4321),
+            );
+            sim.run_until(StopCondition::MaxRounds(100));
+            assert_eq!(sim.total_load(), 4321.0, "{rounding:?}");
+        }
+    }
+
+    #[test]
+    fn continuous_fos_matches_matrix_power() {
+        use sodiff_linalg::diffusion::DiffusionOperator;
+        let g = generators::torus2d(3, 3);
+        let s = Speeds::uniform(9);
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::continuous(Scheme::fos()),
+            InitialLoad::point(4, 900),
+        );
+        let op = DiffusionOperator::new(&g, &s);
+        let mut x = vec![0.0; 9];
+        x[4] = 900.0;
+        let mut y = vec![0.0; 9];
+        for _ in 0..20 {
+            sim.step();
+            op.apply(&x, &mut y);
+            std::mem::swap(&mut x, &mut y);
+        }
+        let sim_loads = sim.loads_f64().unwrap();
+        for (a, b) in sim_loads.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn continuous_sos_matches_recurrence() {
+        // x(t+1) = β·M·x(t) + (1−β)·x(t−1), first round FOS.
+        use sodiff_linalg::diffusion::DiffusionOperator;
+        let g = generators::cycle(6);
+        let s = Speeds::uniform(6);
+        let beta = 1.6;
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::continuous(Scheme::sos(beta)),
+            InitialLoad::point(2, 600),
+        );
+        let op = DiffusionOperator::new(&g, &s);
+        let mut x_prev = vec![0.0; 6];
+        x_prev[2] = 600.0;
+        // First round: FOS.
+        let mut x = vec![0.0; 6];
+        op.apply(&x_prev, &mut x);
+        sim.step();
+        for t in 1..15 {
+            let mut mx = vec![0.0; 6];
+            op.apply(&x, &mut mx);
+            let x_next: Vec<f64> = (0..6)
+                .map(|i| beta * mx[i] + (1.0 - beta) * x_prev[i])
+                .collect();
+            x_prev = std::mem::replace(&mut x, x_next);
+            sim.step();
+            let sim_loads = sim.loads_f64().unwrap();
+            for (i, (a, b)) in sim_loads.iter().zip(&x).enumerate() {
+                assert!((a - b).abs() < 1e-8, "round {t} node {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sos_beats_fos_on_torus() {
+        let g = generators::torus2d(16, 16);
+        let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(256));
+        let beta = spec.beta_opt();
+        let run = |scheme| {
+            let mut sim = Simulator::new(
+                &g,
+                SimulationConfig::continuous(scheme),
+                InitialLoad::point(0, 256_000),
+            );
+            sim.run_until(StopCondition::BalancedWithin {
+                threshold: 1.0,
+                max_rounds: 20_000,
+            })
+            .rounds
+        };
+        let fos_rounds = run(Scheme::fos());
+        let sos_rounds = run(Scheme::sos(beta));
+        assert!(
+            sos_rounds * 2 < fos_rounds,
+            "SOS ({sos_rounds}) should be much faster than FOS ({fos_rounds})"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_balances_proportionally() {
+        let g = generators::torus2d(4, 4);
+        let speeds = Speeds::two_class(16, 4, 4.0);
+        let config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(5))
+            .with_speeds(speeds.clone());
+        let mut sim = Simulator::new(&g, config, InitialLoad::point(0, 2800));
+        sim.run_until(StopCondition::MaxRounds(2000));
+        // Ideal: fast nodes 4/28·2800 = 400, slow nodes 100.
+        let loads = sim.loads_i64().unwrap();
+        for (i, &x) in loads.iter().enumerate() {
+            let ideal = if i < 4 { 400.0 } else { 100.0 };
+            assert!(
+                (x as f64 - ideal).abs() <= 25.0,
+                "node {i}: {x} far from ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn switch_scheme_resets_sos_warmup() {
+        let g = generators::cycle(5);
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::continuous(Scheme::fos()),
+            InitialLoad::point(0, 500),
+        );
+        sim.step();
+        sim.switch_scheme(Scheme::sos(1.5));
+        // The first SOS round after the switch must not use flow memory:
+        // coefficients(0) == (0, 1) — verified via scheme directly here,
+        // and end-to-end by the hybrid tests.
+        assert_eq!(sim.scheme(), Scheme::sos(1.5));
+    }
+
+    #[test]
+    fn negative_load_occurs_with_sos_point_load() {
+        // A huge point load with aggressive β overdraws neighbors in the
+        // early waves; min_transient_load must capture that.
+        let g = generators::torus2d(10, 10);
+        let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(100));
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(2)),
+            InitialLoad::point(0, 100_000),
+        );
+        sim.run_until(StopCondition::MaxRounds(300));
+        assert!(
+            sim.min_transient_load() < 0.0,
+            "expected negative transient load, got {}",
+            sim.min_transient_load()
+        );
+    }
+
+    #[test]
+    fn plateau_stop_reports_remaining_imbalance() {
+        let g = generators::torus2d(8, 8);
+        let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(64));
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(4)),
+            InitialLoad::paper_default(64),
+        );
+        let report = sim.run_until(StopCondition::Plateau {
+            window: 50,
+            max_rounds: 5000,
+        });
+        assert_eq!(report.reason, StopReason::Plateau);
+        let remaining = report.remaining_imbalance.unwrap();
+        assert!((0.0..30.0).contains(&remaining), "remaining {remaining}");
+    }
+
+    #[test]
+    fn deviation_between_discrete_and_continuous_is_small() {
+        let g = generators::torus2d(8, 8);
+        let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(64));
+        let beta = spec.beta_opt();
+        let mut d = Simulator::new(
+            &g,
+            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(11)),
+            InitialLoad::paper_default(64),
+        );
+        let mut c = Simulator::new(
+            &g,
+            SimulationConfig::continuous(Scheme::sos(beta)),
+            InitialLoad::paper_default(64),
+        );
+        let mut worst = 0.0f64;
+        for _ in 0..400 {
+            d.step();
+            c.step();
+            worst = worst.max(d.deviation_from(&c));
+        }
+        // Theorem 9 shape: deviation stays polylogarithmic (tiny here).
+        assert!(worst < 60.0, "deviation {worst} too large");
+        assert!(worst > 0.0, "discrete run should differ from continuous");
+    }
+
+    #[test]
+    fn flow_memory_modes_differ_but_both_conserve() {
+        let g = generators::torus2d(6, 6);
+        let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(36));
+        let beta = spec.beta_opt();
+        let mut runs = Vec::new();
+        for memory in [FlowMemory::Rounded, FlowMemory::Scheduled] {
+            let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(9))
+                .with_flow_memory(memory);
+            let mut sim = Simulator::new(&g, config, InitialLoad::paper_default(36));
+            sim.run_until(StopCondition::MaxRounds(200));
+            assert_eq!(sim.total_load(), 36_000.0);
+            runs.push(sim.loads_i64().unwrap().to_vec());
+        }
+        assert_ne!(runs[0], runs[1], "memory modes should diverge");
+    }
+
+    #[test]
+    fn balanced_threshold_stops_early() {
+        let g = generators::complete(16);
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::continuous(Scheme::fos()),
+            InitialLoad::point(0, 1600),
+        );
+        let report = sim.run_until(StopCondition::BalancedWithin {
+            threshold: 0.5,
+            max_rounds: 100,
+        });
+        assert_eq!(report.reason, StopReason::Threshold);
+        assert!(report.rounds <= 2, "complete graph balances in one step");
+    }
+
+    /// The parallel executor is bit-identical to the sequential one, for
+    /// every rounding scheme and both modes.
+    #[test]
+    fn parallel_matches_sequential_discrete() {
+        let g = generators::torus2d(9, 7); // odd sizes exercise chunking
+        let n = g.node_count();
+        let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(n));
+        let beta = spec.beta_opt();
+        for rounding in [
+            Rounding::randomized(13),
+            Rounding::round_down(),
+            Rounding::nearest(),
+            Rounding::unbiased_edge(13),
+        ] {
+            let run = |threads: usize| {
+                let config =
+                    SimulationConfig::discrete(Scheme::sos(beta), rounding).with_threads(threads);
+                let mut sim = Simulator::new(&g, config, InitialLoad::paper_default(n));
+                sim.run_until(StopCondition::MaxRounds(120));
+                (
+                    sim.loads_i64().unwrap().to_vec(),
+                    sim.min_transient_load(),
+                    sim.previous_flows().to_vec(),
+                )
+            };
+            let seq = run(1);
+            for threads in [2, 3, 5] {
+                let par = run(threads);
+                assert_eq!(seq.0, par.0, "{rounding:?} loads, {threads} threads");
+                assert_eq!(seq.1, par.1, "{rounding:?} transient, {threads} threads");
+                assert_eq!(seq.2, par.2, "{rounding:?} flows, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_continuous() {
+        let g = generators::torus2d(8, 8);
+        let n = g.node_count();
+        let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(n));
+        let run = |threads: usize| {
+            let config =
+                SimulationConfig::continuous(Scheme::sos(spec.beta_opt())).with_threads(threads);
+            let mut sim = Simulator::new(&g, config, InitialLoad::paper_default(n));
+            sim.run_until(StopCondition::MaxRounds(200));
+            (sim.loads_f64().unwrap().to_vec(), sim.min_transient_load())
+        };
+        let seq = run(1);
+        let par = run(4);
+        // Bit-identical: same summation order within every node.
+        assert_eq!(seq.0, par.0);
+        assert_eq!(seq.1, par.1);
+    }
+
+    #[test]
+    fn parallel_heterogeneous_matches() {
+        let g = generators::random_regular(60, 4, 2).unwrap();
+        let speeds = Speeds::linear_ramp(60, 5.0);
+        let run = |threads: usize| {
+            let config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(3))
+                .with_speeds(speeds.clone())
+                .with_threads(threads);
+            let mut sim = Simulator::new(&g, config, InitialLoad::point(0, 60_000));
+            sim.run_until(StopCondition::MaxRounds(100));
+            sim.loads_i64().unwrap().to_vec()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_rejected() {
+        SimulationConfig::continuous(Scheme::fos()).with_threads(0);
+    }
+
+    #[test]
+    fn accessors_reflect_configuration() {
+        let g = generators::cycle(6);
+        let speeds = Speeds::linear_ramp(6, 3.0);
+        let config = SimulationConfig::discrete(Scheme::fos(), Rounding::nearest())
+            .with_speeds(speeds.clone())
+            .with_threads(2);
+        let sim = Simulator::new(&g, config, InitialLoad::EqualPerNode(10));
+        assert!(sim.is_discrete());
+        assert_eq!(sim.threads(), 2);
+        assert_eq!(sim.round(), 0);
+        assert_eq!(sim.graph().node_count(), 6);
+        assert_eq!(sim.speeds(), &speeds);
+        assert_eq!(sim.initial_total(), 60.0);
+        assert!(sim.loads_f64().is_none(), "discrete mode has no f64 loads");
+        assert_eq!(sim.loads_i64().unwrap(), &[10; 6]);
+        assert_eq!(sim.loads_to_f64(), vec![10.0; 6]);
+        assert_eq!(sim.load_of(3), 10.0);
+        // Pre-round transient equals the initial minimum load.
+        assert_eq!(sim.min_transient_load(), 10.0);
+    }
+
+    #[test]
+    fn continuous_mode_accessors() {
+        let g = generators::cycle(4);
+        let sim = Simulator::new(
+            &g,
+            SimulationConfig::continuous(Scheme::fos()),
+            InitialLoad::point(1, 40),
+        );
+        assert!(!sim.is_discrete());
+        assert!(sim.loads_i64().is_none());
+        assert_eq!(sim.loads_f64().unwrap(), &[0.0, 40.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn previous_flows_start_zero_and_update() {
+        let g = generators::path(3);
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::discrete(Scheme::fos(), Rounding::round_down()),
+            InitialLoad::point(0, 90),
+        );
+        assert!(sim.previous_flows().iter().all(|&f| f == 0.0));
+        sim.step();
+        // Node 0 (deg 1, neighbor deg 2): alpha = 1/3, flow = 30 exactly.
+        assert_eq!(sim.previous_flows()[0], 30.0);
+    }
+
+    #[test]
+    fn chunk_bounds_partition() {
+        for (len, parts) in [(10usize, 3usize), (7, 7), (5, 8), (0, 4), (100, 1)] {
+            let b = chunk_bounds(len, parts);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), len);
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

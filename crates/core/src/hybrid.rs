@@ -1,0 +1,256 @@
+//! The SOS→FOS hybrid strategy (paper Section VI).
+//!
+//! The paper's central empirical observation: SOS converges fast but its
+//! residual imbalance plateaus above what FOS can reach; switching every
+//! node to FOS once the system is "almost" balanced removes most of the
+//! remaining imbalance. The switch trigger can be a fixed round (the
+//! paper's 2500/3000-step experiments, Figures 4–5) or a *local* criterion
+//! such as the maximum local load difference — which, as the paper notes,
+//! is available in a distributed system, unlike eigenvector information.
+
+use crate::engine::{RunReport, Simulator, StopCondition};
+use crate::observer::Observer;
+use crate::scheme::Scheme;
+
+/// When the hybrid controller flips from SOS to FOS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwitchPolicy {
+    /// Switch at a fixed round (counted from the start of the hybrid run).
+    AtRound(u64),
+    /// Switch once the maximum local load difference drops to the given
+    /// number of tokens (the distributed-friendly trigger the paper
+    /// recommends).
+    MaxLocalDiffBelow(f64),
+    /// Switch once `max − avg` drops to the given number of tokens.
+    MaxMinusAvgBelow(f64),
+    /// Never switch (pure-SOS baseline, for comparisons).
+    Never,
+}
+
+/// Outcome of a hybrid run.
+#[derive(Debug, Clone)]
+pub struct HybridReport {
+    /// The round at which the switch happened, if it did.
+    pub switch_round: Option<u64>,
+    /// The report of the underlying run.
+    pub run: RunReport,
+}
+
+/// Runs `total_rounds` rounds, switching the simulator to `fos` when the
+/// policy fires (at most once), and invoking `observer` every round.
+///
+/// The simulator keeps its loads across the switch; only the scheme
+/// changes, exactly as in the paper's experiments where "every node
+/// synchronously switches to first order scheme".
+pub fn run_hybrid(
+    sim: &mut Simulator<'_>,
+    policy: SwitchPolicy,
+    total_rounds: u64,
+    observer: &mut dyn Observer,
+) -> HybridReport {
+    let start = sim.round();
+    let mut switch_round = None;
+    for _ in 0..total_rounds {
+        if switch_round.is_none() {
+            let fire = match policy {
+                SwitchPolicy::AtRound(r) => sim.round() - start >= r,
+                SwitchPolicy::MaxLocalDiffBelow(t) => sim.metrics().max_local_diff <= t,
+                SwitchPolicy::MaxMinusAvgBelow(t) => sim.metrics().max_minus_avg <= t,
+                SwitchPolicy::Never => false,
+            };
+            if fire {
+                sim.switch_scheme(Scheme::fos());
+                switch_round = Some(sim.round());
+            }
+        }
+        sim.step();
+        observer.on_round(sim);
+    }
+    HybridReport {
+        switch_round,
+        run: RunReport {
+            rounds: sim.round() - start,
+            final_metrics: sim.metrics(),
+            reason: crate::engine::StopReason::MaxRounds,
+            remaining_imbalance: None,
+        },
+    }
+}
+
+/// Like [`run_hybrid`], but with an arbitrary switch trigger evaluated
+/// before every round. This enables strategies beyond [`SwitchPolicy`],
+/// e.g. the eigenvector-coefficient trigger the paper discusses (switch
+/// once the leading coefficient's impact drops below a threshold — a
+/// global-knowledge strategy useful for offline studies):
+///
+/// ```
+/// use sodiff_core::prelude::*;
+/// use sodiff_core::hybrid::run_hybrid_when;
+/// use sodiff_graph::generators;
+///
+/// let g = generators::torus2d(8, 8);
+/// let mut sim = Simulator::new(
+///     &g,
+///     SimulationConfig::discrete(Scheme::sos(1.7), Rounding::randomized(1)),
+///     InitialLoad::paper_default(64),
+/// );
+/// struct Null;
+/// impl Observer for Null { fn on_round(&mut self, _: &Simulator<'_>) {} }
+/// let report = run_hybrid_when(
+///     &mut sim,
+///     |sim| sim.metrics().potential_over_n < 1000.0,
+///     300,
+///     &mut Null,
+/// );
+/// assert!(report.switch_round.is_some());
+/// ```
+pub fn run_hybrid_when(
+    sim: &mut Simulator<'_>,
+    mut trigger: impl FnMut(&Simulator<'_>) -> bool,
+    total_rounds: u64,
+    observer: &mut dyn Observer,
+) -> HybridReport {
+    let start = sim.round();
+    let mut switch_round = None;
+    for _ in 0..total_rounds {
+        if switch_round.is_none() && trigger(sim) {
+            sim.switch_scheme(Scheme::fos());
+            switch_round = Some(sim.round());
+        }
+        sim.step();
+        observer.on_round(sim);
+    }
+    HybridReport {
+        switch_round,
+        run: RunReport {
+            rounds: sim.round() - start,
+            final_metrics: sim.metrics(),
+            reason: crate::engine::StopReason::MaxRounds,
+            remaining_imbalance: None,
+        },
+    }
+}
+
+/// Convenience: run SOS until the policy fires, then FOS until
+/// `total_rounds` is exhausted, without an observer.
+pub fn run_hybrid_quiet(
+    sim: &mut Simulator<'_>,
+    policy: SwitchPolicy,
+    total_rounds: u64,
+) -> HybridReport {
+    struct Null;
+    impl Observer for Null {
+        fn on_round(&mut self, _sim: &Simulator<'_>) {}
+    }
+    run_hybrid(sim, policy, total_rounds, &mut Null)
+}
+
+/// Runs the pure-SOS baseline and the hybrid side by side on identical
+/// copies of a simulation and returns `(sos_final, hybrid_final)` maximum
+/// loads above average — the comparison in the paper's Figure 5.
+pub fn compare_sos_vs_hybrid<'g>(
+    mut sos: Simulator<'g>,
+    mut hybrid: Simulator<'g>,
+    policy: SwitchPolicy,
+    total_rounds: u64,
+) -> (f64, f64) {
+    sos.run_until(StopCondition::MaxRounds(total_rounds as usize));
+    run_hybrid_quiet(&mut hybrid, policy, total_rounds);
+    (
+        sos.metrics().max_minus_avg,
+        hybrid.metrics().max_minus_avg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimulationConfig;
+    use crate::init::InitialLoad;
+    use crate::rounding::Rounding;
+    use sodiff_graph::{generators, Speeds};
+    use sodiff_linalg::spectral;
+
+    fn sos_sim(g: &sodiff_graph::Graph, seed: u64) -> Simulator<'_> {
+        let spec = spectral::analyze(g, &Speeds::uniform(g.node_count()));
+        Simulator::new(
+            g,
+            SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(seed)),
+            InitialLoad::paper_default(g.node_count()),
+        )
+    }
+
+    #[test]
+    fn fixed_round_switch_fires_exactly_once() {
+        let g = generators::torus2d(8, 8);
+        let mut sim = sos_sim(&g, 1);
+        let report = run_hybrid_quiet(&mut sim, SwitchPolicy::AtRound(50), 200);
+        assert_eq!(report.switch_round, Some(50));
+        assert_eq!(sim.scheme(), Scheme::fos());
+        assert_eq!(report.run.rounds, 200);
+    }
+
+    #[test]
+    fn never_policy_keeps_sos() {
+        let g = generators::torus2d(6, 6);
+        let mut sim = sos_sim(&g, 2);
+        let report = run_hybrid_quiet(&mut sim, SwitchPolicy::Never, 100);
+        assert_eq!(report.switch_round, None);
+        assert!(sim.scheme().is_sos());
+    }
+
+    #[test]
+    fn local_diff_trigger_fires_after_convergence() {
+        let g = generators::torus2d(10, 10);
+        let mut sim = sos_sim(&g, 3);
+        let report = run_hybrid_quiet(&mut sim, SwitchPolicy::MaxLocalDiffBelow(10.0), 3000);
+        let switch = report
+            .switch_round
+            .expect("local-diff trigger should fire on a 10x10 torus within 3000 rounds");
+        assert!(switch > 0);
+        assert_eq!(sim.scheme(), Scheme::fos());
+    }
+
+    #[test]
+    fn custom_trigger_switches_once() {
+        let g = generators::torus2d(8, 8);
+        let mut sim = sos_sim(&g, 5);
+        struct Null;
+        impl crate::observer::Observer for Null {
+            fn on_round(&mut self, _: &Simulator<'_>) {}
+        }
+        let mut calls = 0u32;
+        let report = run_hybrid_when(
+            &mut sim,
+            |s| {
+                calls += 1;
+                s.round() >= 30
+            },
+            100,
+            &mut Null,
+        );
+        assert_eq!(report.switch_round, Some(30));
+        // Trigger stops being evaluated after it fires.
+        assert_eq!(calls, 31);
+        assert_eq!(sim.scheme(), Scheme::fos());
+    }
+
+    /// The paper's headline hybrid result: switching to FOS drops the
+    /// remaining imbalance below what pure SOS reaches.
+    #[test]
+    fn hybrid_improves_remaining_imbalance() {
+        let g = generators::torus2d(16, 16);
+        let sos = sos_sim(&g, 7);
+        let hybrid = sos_sim(&g, 7);
+        let (sos_final, hybrid_final) =
+            compare_sos_vs_hybrid(sos, hybrid, SwitchPolicy::AtRound(400), 800);
+        assert!(
+            hybrid_final <= sos_final,
+            "hybrid ({hybrid_final}) should not be worse than SOS ({sos_final})"
+        );
+        assert!(
+            hybrid_final <= 8.0,
+            "paper: post-switch max-avg drops to ~7 tokens, got {hybrid_final}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! # sodiff-core — discrete diffusion load balancing
+//!
+//! A from-scratch implementation of the algorithms and analyses in
+//! *Akbari, Berenbrink, Elsässer, Kaaser: "Discrete Load Balancing in
+//! Heterogeneous Networks with a Focus on Second-Order Diffusion"*
+//! (ICDCS 2015):
+//!
+//! * first-order (FOS) and second-order (SOS) diffusion schemes, both
+//!   continuous (idealized) and discrete (integral tokens), in the
+//!   homogeneous and heterogeneous (speed-proportional) models —
+//!   [`Scheme`], [`Simulator`];
+//! * the paper's randomized rounding framework plus deterministic and
+//!   per-edge baselines — [`Rounding`];
+//! * the SOS→FOS hybrid switch that removes the residual imbalance SOS
+//!   leaves behind — [`hybrid`];
+//! * coupled discrete/continuous deviation measurements — [`deviation`];
+//! * the error-propagation matrices `M^t`/`Q(t)`, edge contributions, and
+//!   the refined local divergence `Υ^C(G)` — [`divergence`];
+//! * negative-load (transient) tracking in the engine and the paper's
+//!   minimum-initial-load bounds — [`theory`];
+//! * the evaluation metrics (max−avg, max local difference, 2-norm
+//!   potential, remaining imbalance) — [`metrics`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sodiff_core::prelude::*;
+//! use sodiff_graph::{generators, Speeds};
+//! use sodiff_linalg::spectral;
+//!
+//! let graph = generators::torus2d(16, 16);
+//! let spectrum = spectral::analyze(&graph, &Speeds::uniform(graph.node_count()));
+//! let config = SimulationConfig::discrete(
+//!     Scheme::sos(spectrum.beta_opt()),
+//!     Rounding::randomized(42),
+//! );
+//! let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(256));
+//! let report = sim.run_until(StopCondition::MaxRounds(400));
+//! assert!(report.final_metrics.max_minus_avg < 20.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deviation;
+pub mod divergence;
+mod engine;
+pub mod hybrid;
+mod init;
+pub mod metrics;
+mod observer;
+pub mod rng;
+mod rounding;
+mod scheme;
+pub mod theory;
+
+pub use engine::{
+    FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition, StopReason,
+};
+pub use init::InitialLoad;
+pub use metrics::MetricsSnapshot;
+pub use observer::{MetricsRow, MultiObserver, Observer, Recorder};
+pub use rounding::Rounding;
+pub use scheme::Scheme;
+
+/// Convenient glob import: `use sodiff_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::engine::{
+        FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition, StopReason,
+    };
+    pub use crate::hybrid::{run_hybrid, run_hybrid_quiet, run_hybrid_when, HybridReport, SwitchPolicy};
+    pub use crate::init::InitialLoad;
+    pub use crate::metrics::MetricsSnapshot;
+    pub use crate::observer::{MetricsRow, MultiObserver, Observer, Recorder};
+    pub use crate::rounding::Rounding;
+    pub use crate::scheme::Scheme;
+    pub use sodiff_graph::Speeds;
+    pub use sodiff_linalg::spectral::beta_opt;
+}

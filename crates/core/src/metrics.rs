@@ -1,0 +1,229 @@
+//! Quality metrics for load distributions (paper Section VI).
+
+use sodiff_graph::{Graph, Speeds};
+
+/// Snapshot of the load-distribution quality metrics the paper tracks.
+///
+/// All values are in token units. In the heterogeneous model, "average"
+/// means the speed-proportional balanced load `x̄_i = m·s_i/s`, and the
+/// local difference is measured on the speed-normalized loads `x_i/s_i`
+/// (which coincide with the raw definitions when `s ≡ 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `φ_global = max_v (x_v − x̄_v)` — maximum load above the balanced
+    /// load (the paper's "maximum load minus average load").
+    pub max_minus_avg: f64,
+    /// `min_v (x_v − x̄_v)` — most underloaded node (negative when below
+    /// the balanced load; detects negative load when `< −x̄`).
+    pub min_minus_avg: f64,
+    /// `φ_local = max_{(u,v)∈E} |x_u/s_u − x_v/s_v|` — maximum local load
+    /// difference over edges.
+    pub max_local_diff: f64,
+    /// `φ_t/n = Σ_v (x_v − x̄_v)²/n` — the 2-norm potential of
+    /// Muthukrishnan et al., divided by `n` as in the paper's plots.
+    pub potential_over_n: f64,
+    /// Minimum raw load (goes negative when SOS overdraws a node).
+    pub min_load: f64,
+}
+
+/// Computes all metrics, reading loads through a closure (allocation-free;
+/// used by the simulator every round).
+///
+/// # Panics
+///
+/// Panics if `speeds.len()` does not match the graph.
+pub fn snapshot_with(
+    graph: &Graph,
+    speeds: &Speeds,
+    load_of: impl Fn(usize) -> f64,
+) -> MetricsSnapshot {
+    let n = graph.node_count();
+    assert_eq!(speeds.len(), n, "speeds length mismatch");
+    let total: f64 = (0..n).map(&load_of).sum();
+    let mut max_dev = f64::NEG_INFINITY;
+    let mut min_dev = f64::INFINITY;
+    let mut potential = 0.0;
+    let mut min_load = f64::INFINITY;
+    for i in 0..n {
+        let x = load_of(i);
+        let ideal = total * speeds.get(i) / speeds.total();
+        let dev = x - ideal;
+        max_dev = max_dev.max(dev);
+        min_dev = min_dev.min(dev);
+        potential += dev * dev;
+        min_load = min_load.min(x);
+    }
+    let mut max_local = 0.0f64;
+    for &(u, v) in graph.edges() {
+        let (u, v) = (u as usize, v as usize);
+        let diff = (load_of(u) / speeds.get(u) - load_of(v) / speeds.get(v)).abs();
+        max_local = max_local.max(diff);
+    }
+    MetricsSnapshot {
+        max_minus_avg: max_dev,
+        min_minus_avg: min_dev,
+        max_local_diff: max_local,
+        potential_over_n: potential / n as f64,
+        min_load,
+    }
+}
+
+/// Computes all metrics for a load vector.
+///
+/// # Panics
+///
+/// Panics if `loads.len()` does not match the graph/speeds.
+pub fn snapshot(graph: &Graph, speeds: &Speeds, loads: &[f64]) -> MetricsSnapshot {
+    assert_eq!(loads.len(), graph.node_count(), "load vector length mismatch");
+    snapshot_with(graph, speeds, |i| loads[i])
+}
+
+/// Convenience wrapper for integer load vectors.
+pub fn snapshot_i64(graph: &Graph, speeds: &Speeds, loads: &[i64]) -> MetricsSnapshot {
+    assert_eq!(loads.len(), graph.node_count(), "load vector length mismatch");
+    snapshot_with(graph, speeds, |i| loads[i] as f64)
+}
+
+/// Detects the *remaining imbalance* of a converged discrete system
+/// (paper metric 5): the value around which `max − avg` fluctuates once it
+/// stops improving.
+///
+/// Feed one `max_minus_avg` value per round; [`RemainingImbalance::value`]
+/// reports the minimum over the trailing window once the improvement over
+/// a full window is below one token.
+#[derive(Debug, Clone)]
+pub struct RemainingImbalance {
+    window: usize,
+    history: Vec<f64>,
+}
+
+impl RemainingImbalance {
+    /// Tracker with the given detection window (in rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            history: Vec::new(),
+        }
+    }
+
+    /// Records the `max − avg` value of one round.
+    pub fn push(&mut self, max_minus_avg: f64) {
+        self.history.push(max_minus_avg);
+    }
+
+    /// Returns `true` once the metric has stopped improving: the best
+    /// value in the latest window is no more than one token better than
+    /// the best value in the window before it.
+    pub fn converged(&self) -> bool {
+        if self.history.len() < 2 * self.window {
+            return false;
+        }
+        let latest = &self.history[self.history.len() - self.window..];
+        let before = &self.history
+            [self.history.len() - 2 * self.window..self.history.len() - self.window];
+        let min_latest = latest.iter().copied().fold(f64::INFINITY, f64::min);
+        let min_before = before.iter().copied().fold(f64::INFINITY, f64::min);
+        min_latest > min_before - 1.0
+    }
+
+    /// The remaining imbalance: minimum `max − avg` over the latest
+    /// window; `None` until [`Self::converged`].
+    pub fn value(&self) -> Option<f64> {
+        if !self.converged() {
+            return None;
+        }
+        let latest = &self.history[self.history.len() - self.window..];
+        Some(latest.iter().copied().fold(f64::INFINITY, f64::min))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sodiff_graph::generators;
+
+    #[test]
+    fn balanced_vector_has_zero_metrics() {
+        let g = generators::torus2d(3, 3);
+        let s = Speeds::uniform(9);
+        let m = snapshot(&g, &s, &[7.0; 9]);
+        assert_eq!(m.max_minus_avg, 0.0);
+        assert_eq!(m.min_minus_avg, 0.0);
+        assert_eq!(m.max_local_diff, 0.0);
+        assert_eq!(m.potential_over_n, 0.0);
+        assert_eq!(m.min_load, 7.0);
+    }
+
+    #[test]
+    fn point_load_metrics() {
+        let g = generators::cycle(4);
+        let s = Speeds::uniform(4);
+        let m = snapshot(&g, &s, &[8.0, 0.0, 0.0, 0.0]);
+        assert_eq!(m.max_minus_avg, 6.0); // 8 - avg(2)
+        assert_eq!(m.min_minus_avg, -2.0);
+        assert_eq!(m.max_local_diff, 8.0);
+        // potential = (36 + 4 + 4 + 4)/4 = 12
+        assert_eq!(m.potential_over_n, 12.0);
+        assert_eq!(m.min_load, 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_ideal_is_speed_proportional() {
+        let g = generators::cycle(3);
+        let s = Speeds::new(vec![1.0, 2.0, 3.0]);
+        // Perfectly balanced for these speeds: 10, 20, 30.
+        let m = snapshot(&g, &s, &[10.0, 20.0, 30.0]);
+        assert!(m.max_minus_avg.abs() < 1e-12);
+        assert!(m.max_local_diff.abs() < 1e-12);
+        // Homogeneous-looking vector is *not* balanced here.
+        let m = snapshot(&g, &s, &[20.0, 20.0, 20.0]);
+        assert!(m.max_minus_avg > 0.0);
+    }
+
+    #[test]
+    fn negative_load_shows_in_min_load() {
+        let g = generators::path(2);
+        let s = Speeds::uniform(2);
+        let m = snapshot(&g, &s, &[-3.0, 7.0]);
+        assert_eq!(m.min_load, -3.0);
+    }
+
+    #[test]
+    fn snapshot_i64_matches_f64() {
+        let g = generators::torus2d(3, 3);
+        let s = Speeds::uniform(9);
+        let ints: Vec<i64> = (0..9).map(|i| i * i).collect();
+        let floats: Vec<f64> = ints.iter().map(|&x| x as f64).collect();
+        assert_eq!(snapshot_i64(&g, &s, &ints), snapshot(&g, &s, &floats));
+    }
+
+    #[test]
+    fn remaining_imbalance_detects_plateau() {
+        let mut tracker = RemainingImbalance::new(5);
+        // Decaying phase.
+        for v in [100.0, 60.0, 40.0, 25.0, 15.0] {
+            tracker.push(v);
+        }
+        assert!(!tracker.converged());
+        // Plateau around 7.
+        for _ in 0..10 {
+            tracker.push(7.0);
+        }
+        assert!(tracker.converged());
+        assert_eq!(tracker.value(), Some(7.0));
+    }
+
+    #[test]
+    fn remaining_imbalance_not_fooled_by_decay() {
+        let mut tracker = RemainingImbalance::new(3);
+        for v in [100.0, 80.0, 60.0, 40.0, 20.0, 10.0] {
+            tracker.push(v);
+        }
+        assert!(!tracker.converged(), "still improving by > 1 per window");
+    }
+}

@@ -1,0 +1,180 @@
+//! Observation hooks and the per-round metrics recorder.
+
+use crate::engine::Simulator;
+use crate::metrics::MetricsSnapshot;
+
+/// Callback invoked after every simulated round.
+pub trait Observer {
+    /// Called once per round, after loads have been updated.
+    fn on_round(&mut self, sim: &Simulator<'_>);
+}
+
+/// One recorded row of the per-round metric series.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsRow {
+    /// Round number (1-based: recorded after the round executed).
+    pub round: u64,
+    /// Quality metrics at the end of the round.
+    pub metrics: MetricsSnapshot,
+    /// Minimum transient load observed so far.
+    pub min_transient: f64,
+    /// Total load (conservation check / float-error tracking, Figure 6).
+    pub total_load: f64,
+}
+
+/// An [`Observer`] that records the metric series of a run, optionally
+/// subsampled.
+///
+/// # Example
+///
+/// ```
+/// use sodiff_core::prelude::*;
+/// use sodiff_graph::generators;
+///
+/// let g = generators::cycle(8);
+/// let mut sim = Simulator::new(
+///     &g,
+///     SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(1)),
+///     InitialLoad::point(0, 80),
+/// );
+/// let mut rec = Recorder::every(2);
+/// sim.run_until_with(StopCondition::MaxRounds(10), &mut rec);
+/// assert_eq!(rec.rows().len(), 5);
+/// assert_eq!(rec.rows()[0].round, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    every: u64,
+    rows: Vec<MetricsRow>,
+}
+
+impl Recorder {
+    /// Records every round.
+    pub fn new() -> Self {
+        Self::every(1)
+    }
+
+    /// Records every `stride`-th round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn every(stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            every: stride,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The recorded rows.
+    pub fn rows(&self) -> &[MetricsRow] {
+        &self.rows
+    }
+
+    /// Consumes the recorder, returning the rows.
+    pub fn into_rows(self) -> Vec<MetricsRow> {
+        self.rows
+    }
+
+    /// The last recorded row.
+    pub fn last(&self) -> Option<&MetricsRow> {
+        self.rows.last()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Observer for Recorder {
+    fn on_round(&mut self, sim: &Simulator<'_>) {
+        if !sim.round().is_multiple_of(self.every) {
+            return;
+        }
+        self.rows.push(MetricsRow {
+            round: sim.round(),
+            metrics: sim.metrics(),
+            min_transient: sim.min_transient_load(),
+            total_load: sim.total_load(),
+        });
+    }
+}
+
+/// An observer that fans out to several observers in order.
+pub struct MultiObserver<'a> {
+    observers: Vec<&'a mut dyn Observer>,
+}
+
+impl<'a> MultiObserver<'a> {
+    /// Wraps a list of observers.
+    pub fn new(observers: Vec<&'a mut dyn Observer>) -> Self {
+        Self { observers }
+    }
+}
+
+impl Observer for MultiObserver<'_> {
+    fn on_round(&mut self, sim: &Simulator<'_>) {
+        for obs in &mut self.observers {
+            obs.on_round(sim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimulationConfig, StopCondition};
+    use crate::init::InitialLoad;
+    use crate::rounding::Rounding;
+    use crate::scheme::Scheme;
+    use sodiff_graph::generators;
+
+    #[test]
+    fn recorder_records_every_round() {
+        let g = generators::cycle(6);
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(1)),
+            InitialLoad::point(0, 60),
+        );
+        let mut rec = Recorder::new();
+        sim.run_until_with(StopCondition::MaxRounds(7), &mut rec);
+        assert_eq!(rec.rows().len(), 7);
+        assert_eq!(rec.rows()[6].round, 7);
+        assert!(rec.last().unwrap().metrics.max_minus_avg >= 0.0);
+    }
+
+    #[test]
+    fn recorder_conservation_column() {
+        let g = generators::torus2d(3, 3);
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::discrete(Scheme::fos(), Rounding::nearest()),
+            InitialLoad::point(0, 900),
+        );
+        let mut rec = Recorder::new();
+        sim.run_until_with(StopCondition::MaxRounds(20), &mut rec);
+        assert!(rec.rows().iter().all(|r| r.total_load == 900.0));
+    }
+
+    #[test]
+    fn multi_observer_fans_out() {
+        let g = generators::cycle(5);
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::continuous(Scheme::fos()),
+            InitialLoad::point(0, 50),
+        );
+        let mut a = Recorder::new();
+        let mut b = Recorder::every(2);
+        {
+            let mut multi = MultiObserver::new(vec![&mut a, &mut b]);
+            sim.run_until_with(StopCondition::MaxRounds(4), &mut multi);
+        }
+        assert_eq!(a.rows().len(), 4);
+        assert_eq!(b.rows().len(), 2);
+    }
+}

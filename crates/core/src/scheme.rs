@@ -1,0 +1,115 @@
+//! The diffusion schemes: first order (FOS) and second order (SOS).
+
+use std::fmt;
+
+/// Which diffusion scheme drives the flow computation (paper Section II).
+///
+/// * **FOS**: `y_{i,j}(t) = α_{i,j}·(x_i(t)/s_i − x_j(t)/s_j)`.
+/// * **SOS**: the first round after (re)activation is an FOS round;
+///   afterwards
+///   `y_{i,j}(t) = (β−1)·y_{i,j}(t−1) + β·α_{i,j}·(x_i(t)/s_i − x_j(t)/s_j)`
+///   with `β ∈ (0, 2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// First order scheme.
+    Fos,
+    /// Second order scheme with over-relaxation parameter `β`.
+    Sos {
+        /// The relaxation parameter `β ∈ (0, 2)`; `β_opt = 2/(1+√(1−λ²))`.
+        beta: f64,
+    },
+}
+
+impl Scheme {
+    /// First order scheme.
+    pub fn fos() -> Self {
+        Scheme::Fos
+    }
+
+    /// Second order scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < beta < 2` (the convergence range; Section II).
+    pub fn sos(beta: f64) -> Self {
+        assert!(
+            beta > 0.0 && beta < 2.0,
+            "SOS requires beta in (0, 2), got {beta}"
+        );
+        Scheme::Sos { beta }
+    }
+
+    /// Returns `true` for the second order scheme.
+    pub fn is_sos(&self) -> bool {
+        matches!(self, Scheme::Sos { .. })
+    }
+
+    /// The effective `(β − 1)` memory coefficient and `β` gain for a round.
+    ///
+    /// `rounds_in_scheme` counts rounds since this scheme was (re)activated:
+    /// SOS behaves like FOS in its first round (paper equation (4)).
+    pub(crate) fn coefficients(&self, rounds_in_scheme: u64) -> (f64, f64) {
+        match *self {
+            Scheme::Fos => (0.0, 1.0),
+            Scheme::Sos { beta } => {
+                if rounds_in_scheme == 0 {
+                    (0.0, 1.0)
+                } else {
+                    (beta - 1.0, beta)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::Fos => write!(f, "FOS"),
+            Scheme::Sos { beta } => write!(f, "SOS(beta={beta})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sos_validates_beta() {
+        assert!(Scheme::sos(1.5).is_sos());
+        assert!(!Scheme::fos().is_sos());
+    }
+
+    #[test]
+    #[should_panic(expected = "beta in (0, 2)")]
+    fn sos_rejects_beta_two() {
+        Scheme::sos(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta in (0, 2)")]
+    fn sos_rejects_zero() {
+        Scheme::sos(0.0);
+    }
+
+    #[test]
+    fn first_sos_round_is_fos() {
+        let s = Scheme::sos(1.8);
+        assert_eq!(s.coefficients(0), (0.0, 1.0));
+        let (mem, gain) = s.coefficients(1);
+        assert!((mem - 0.8).abs() < 1e-15);
+        assert!((gain - 1.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fos_never_uses_memory() {
+        assert_eq!(Scheme::fos().coefficients(5), (0.0, 1.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Scheme::fos().to_string(), "FOS");
+        assert!(Scheme::sos(1.9).to_string().contains("1.9"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Closed-form theory bounds from the paper, as calculators.
+//!
+//! All bounds are asymptotic (`O(·)`); the functions below evaluate the
+//! bound *shapes* with unit constants, which is what the integration tests
+//! and the EXPERIMENTS harness compare simulated quantities against. Every
+//! function documents the theorem it implements.
+
+/// Convergence time of continuous FOS:
+/// `O(log(K·n·s_max)/(1−λ))` rounds (Section II; Elsässer–Monien–Preis for
+/// the heterogeneous form). `k` is the initial max-min load difference.
+pub fn fos_convergence_rounds(k: f64, n: usize, s_max: f64, gap: f64) -> f64 {
+    assert!(gap > 0.0, "eigenvalue gap must be positive");
+    ((k.max(1.0) * n as f64 * s_max.max(1.0)).ln()).max(1.0) / gap
+}
+
+/// Convergence time of continuous SOS with optimal `β`:
+/// `O(log(K·n·s_max)/√(1−λ))` rounds (Section II).
+pub fn sos_convergence_rounds(k: f64, n: usize, s_max: f64, gap: f64) -> f64 {
+    assert!(gap > 0.0, "eigenvalue gap must be positive");
+    ((k.max(1.0) * n as f64 * s_max.max(1.0)).ln()).max(1.0) / gap.sqrt()
+}
+
+/// Deviation bound for randomized FOS (Theorem 4(2)):
+/// `O(d·√(log n · log s_max/(1−λ)))`.
+///
+/// `log s_max` is clamped below at 1 so the homogeneous case (`s_max = 1`)
+/// keeps the `O(d·√(log n/(1−λ)))` form the paper states for it.
+pub fn fos_deviation_bound(d: usize, n: usize, s_max: f64, gap: f64) -> f64 {
+    assert!(gap > 0.0, "eigenvalue gap must be positive");
+    let log_s = s_max.ln().max(1.0);
+    d as f64 * ((n as f64).ln().max(1.0) * log_s / gap).sqrt()
+}
+
+/// Deviation bound for randomized SOS (Theorem 9(2)):
+/// `O(d·log s_max·√(log n)/(1−λ)^{3/4})`.
+pub fn sos_deviation_bound(d: usize, n: usize, s_max: f64, gap: f64) -> f64 {
+    assert!(gap > 0.0, "eigenvalue gap must be positive");
+    let log_s = s_max.ln().max(1.0);
+    d as f64 * log_s * (n as f64).ln().max(1.0).sqrt() / gap.powf(0.75)
+}
+
+/// Deviation bound for arbitrarily-rounded (floor/ceiling) discrete SOS
+/// (Theorem 8): `O(d·√(n·s_max)/(1−λ))`.
+pub fn sos_arbitrary_rounding_deviation_bound(d: usize, n: usize, s_max: f64, gap: f64) -> f64 {
+    assert!(gap > 0.0, "eigenvalue gap must be positive");
+    d as f64 * (n as f64 * s_max).sqrt() / gap
+}
+
+/// Minimum initial load per node sufficient to avoid negative load in
+/// *continuous* SOS with optimal `β` (Theorem 10):
+/// `O(√n·Δ(0)/√(1−λ))`, where `Δ(0)` is the initial max-load-above-average.
+pub fn min_initial_load_continuous_sos(n: usize, delta0: f64, gap: f64) -> f64 {
+    assert!(gap > 0.0, "eigenvalue gap must be positive");
+    (n as f64).sqrt() * delta0 / gap.sqrt()
+}
+
+/// Minimum initial load per node sufficient to avoid negative load in
+/// *discrete* SOS (Theorem 11): `O((√n·Δ(0) + d²)/√(1−λ))`.
+pub fn min_initial_load_discrete_sos(n: usize, delta0: f64, d: usize, gap: f64) -> f64 {
+    assert!(gap > 0.0, "eigenvalue gap must be positive");
+    ((n as f64).sqrt() * delta0 + (d * d) as f64) / gap.sqrt()
+}
+
+/// Upper bound on the refined local divergence of FOS (Theorem 4(1)):
+/// `O(√(d·log s_max/(1−λ)))`.
+pub fn fos_divergence_bound(d: usize, s_max: f64, gap: f64) -> f64 {
+    assert!(gap > 0.0, "eigenvalue gap must be positive");
+    (d as f64 * s_max.ln().max(1.0) / gap).sqrt()
+}
+
+/// Upper bound on the refined local divergence of SOS (Theorem 9(1)):
+/// `O(√d·log s_max/(1−λ)^{3/4})`.
+pub fn sos_divergence_bound(d: usize, s_max: f64, gap: f64) -> f64 {
+    assert!(gap > 0.0, "eigenvalue gap must be positive");
+    (d as f64).sqrt() * s_max.ln().max(1.0) / gap.powf(0.75)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sos_is_faster_than_fos_for_small_gap() {
+        let (k, n, s) = (1000.0, 10_000, 1.0);
+        let gap = 1e-4;
+        assert!(sos_convergence_rounds(k, n, s, gap) < fos_convergence_rounds(k, n, s, gap));
+        // Quadratic speedup: ratio ≈ √gap.
+        let ratio = sos_convergence_rounds(k, n, s, gap) / fos_convergence_rounds(k, n, s, gap);
+        assert!((ratio - gap.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_bounds_order() {
+        // For small gaps: FOS randomized < SOS randomized < SOS arbitrary.
+        let (d, n, s) = (4, 1_000_000, 1.0);
+        let gap = 1e-5;
+        let fos = fos_deviation_bound(d, n, s, gap);
+        let sos = sos_deviation_bound(d, n, s, gap);
+        let arb = sos_arbitrary_rounding_deviation_bound(d, n, s, gap);
+        assert!(fos < sos, "{fos} < {sos}");
+        assert!(sos < arb, "{sos} < {arb}");
+    }
+
+    #[test]
+    fn min_load_bounds_scale_with_delta() {
+        let a = min_initial_load_continuous_sos(100, 10.0, 0.01);
+        let b = min_initial_load_continuous_sos(100, 20.0, 0.01);
+        assert!((b - 2.0 * a).abs() < 1e-9);
+        // Discrete adds the d² term.
+        let c = min_initial_load_discrete_sos(100, 10.0, 4, 0.01);
+        assert!(c > a);
+    }
+
+    #[test]
+    fn homogeneous_log_smax_clamps_to_one() {
+        // s_max = 1 must not zero the bounds.
+        assert!(fos_deviation_bound(4, 100, 1.0, 0.1) > 0.0);
+        assert!(sos_deviation_bound(4, 100, 1.0, 0.1) > 0.0);
+        assert!(fos_divergence_bound(4, 1.0, 0.1) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap must be positive")]
+    fn rejects_zero_gap() {
+        fos_convergence_rounds(1.0, 10, 1.0, 0.0);
+    }
+
+    #[test]
+    fn divergence_bounds_shrink_with_gap() {
+        let tight = fos_divergence_bound(4, 1.0, 0.5);
+        let loose = fos_divergence_bound(4, 1.0, 0.001);
+        assert!(loose > tight);
+        let tight = sos_divergence_bound(4, 1.0, 0.5);
+        let loose = sos_divergence_bound(4, 1.0, 0.001);
+        assert!(loose > tight);
+    }
+}

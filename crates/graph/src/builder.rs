@@ -1,0 +1,209 @@
+//! Mutable builder that assembles a CSR [`Graph`].
+
+use std::collections::HashSet;
+
+use crate::csr::{EdgeId, Graph, GraphKind, NodeId};
+use crate::error::GraphError;
+
+/// Incremental builder for an undirected [`Graph`].
+///
+/// Edges may be added in any order and with either endpoint order; they are
+/// canonicalized to `u < v`. Self-loops and duplicates are rejected.
+///
+/// # Example
+///
+/// ```
+/// use sodiff_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(3, 1).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.edge(1), (1, 3)); // canonicalized
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    seen: HashSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `node_count` nodes (ids `0..n`).
+    pub fn new(node_count: usize) -> Self {
+        Self {
+            node_count,
+            edges: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Creates a builder with preallocated capacity for `edges` edges.
+    pub fn with_edge_capacity(node_count: usize, edges: usize) -> Self {
+        Self {
+            node_count,
+            edges: Vec::with_capacity(edges),
+            seen: HashSet::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes this builder was created with.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the undirected edge `{u, v}` is already present.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.seen.contains(&key)
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`], [`GraphError::SelfLoop`], or
+    /// [`GraphError::DuplicateEdge`] when the edge is invalid.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        for node in [u, v] {
+            if node as usize >= self.node_count {
+                return Err(GraphError::NodeOutOfRange {
+                    node,
+                    node_count: self.node_count,
+                });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !self.seen.insert(key) {
+            return Err(GraphError::DuplicateEdge(key.0, key.1));
+        }
+        self.edges.push(key);
+        Ok(())
+    }
+
+    /// Adds `{u, v}` if it is not a self-loop or duplicate; returns whether
+    /// the edge was inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id is out of range (that is a programming error in
+    /// generator code, not a data condition).
+    pub fn add_edge_dedup(&mut self, u: NodeId, v: NodeId) -> bool {
+        match self.add_edge(u, v) {
+            Ok(()) => true,
+            Err(GraphError::SelfLoop(_)) | Err(GraphError::DuplicateEdge(..)) => false,
+            Err(e) => panic!("add_edge_dedup: {e}"),
+        }
+    }
+
+    /// Finalizes the builder into an immutable CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        self.build_with_kind(GraphKind::Generic)
+    }
+
+    pub(crate) fn build_with_kind(mut self, kind: GraphKind) -> Graph {
+        // Canonical edge ids are assigned in sorted order so that rebuilding
+        // the same edge set always yields the same graph regardless of
+        // insertion order.
+        self.edges.sort_unstable();
+        let n = self.node_count;
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![(0 as NodeId, 0 as EdgeId); acc];
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            let e = e as EdgeId;
+            adj[cursor[u as usize]] = (v, e);
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = (u, e);
+            cursor[v as usize] += 1;
+        }
+        Graph::from_parts(offsets, adj, self.edges, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn rejects_duplicate_in_both_orders() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2).unwrap();
+        assert_eq!(b.add_edge(2, 0), Err(GraphError::DuplicateEdge(0, 2)));
+        assert_eq!(b.add_edge(0, 2), Err(GraphError::DuplicateEdge(0, 2)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn dedup_insert_reports_insertion() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge_dedup(0, 1));
+        assert!(!b.add_edge_dedup(1, 0));
+        assert!(!b.add_edge_dedup(2, 2));
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn build_is_insertion_order_independent() {
+        let mut b1 = GraphBuilder::new(4);
+        b1.add_edge(0, 1).unwrap();
+        b1.add_edge(2, 3).unwrap();
+        b1.add_edge(1, 2).unwrap();
+        let mut b2 = GraphBuilder::new(4);
+        b2.add_edge(2, 1).unwrap();
+        b2.add_edge(3, 2).unwrap();
+        b2.add_edge(1, 0).unwrap();
+        assert_eq!(b1.build(), b2.build());
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_degree_zero() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.degree(4), 0);
+        assert!(g.neighbors(4).is_empty());
+    }
+}

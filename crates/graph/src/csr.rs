@@ -1,0 +1,287 @@
+//! Immutable CSR graph representation.
+
+use std::fmt;
+
+/// Dense node identifier in `0..n`.
+pub type NodeId = u32;
+
+/// Stable identifier of a canonical undirected edge (`0..m`).
+pub type EdgeId = u32;
+
+/// Provenance tag attached by the generators.
+///
+/// The spectral code in `sodiff-linalg` uses this to dispatch to analytic
+/// eigenvalue formulas when they exist; everything else falls back to
+/// numerical solvers. A graph assembled by hand through
+/// [`crate::GraphBuilder`] is always [`GraphKind::Generic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphKind {
+    /// No structural information.
+    Generic,
+    /// A k-dimensional torus with the given side lengths (row-major layout).
+    Torus(Vec<u32>),
+    /// A hypercube of the given dimension (`n = 2^dim`).
+    Hypercube(u32),
+    /// A cycle on `n` nodes.
+    Cycle,
+    /// A path on `n` nodes.
+    Path,
+    /// The complete graph on `n` nodes.
+    Complete,
+    /// A star: node 0 is the hub.
+    Star,
+}
+
+/// An immutable undirected graph in compressed-sparse-row form.
+///
+/// Every undirected edge `{u, v}` is stored exactly once in the canonical
+/// edge list with `u < v`, and appears in the adjacency of both endpoints
+/// together with its [`EdgeId`]. Self-loops and parallel edges are rejected
+/// at construction time.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Flat adjacency: `(neighbor, edge id)` pairs.
+    adj: Vec<(NodeId, EdgeId)>,
+    /// Canonical edge list, `edges[e] = (u, v)` with `u < v`.
+    edges: Vec<(NodeId, NodeId)>,
+    kind: GraphKind,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        offsets: Vec<usize>,
+        adj: Vec<(NodeId, EdgeId)>,
+        edges: Vec<(NodeId, NodeId)>,
+        kind: GraphKind,
+    ) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap(), adj.len());
+        debug_assert_eq!(adj.len(), 2 * edges.len());
+        Self {
+            offsets,
+            adj,
+            edges,
+            kind,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.node_count() as NodeId)
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count() as NodeId
+    }
+
+    /// The neighbors of `v` with the id of the connecting edge.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        let v = v as usize;
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Number of directed arcs (`2·m`); arcs are the entries of the flat
+    /// adjacency array, so arc `p` in [`Self::arc_range`]`(v)` is the
+    /// directed half-edge leaving `v` towards `self.neighbors(v)[p − start]`.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The arc-index range owned by node `v` (positions into the flat
+    /// adjacency array). Used by the parallel executor to give every node
+    /// an exclusive, contiguous slice of per-arc state.
+    #[inline]
+    pub fn arc_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let v = v as usize;
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// The canonical endpoints `(u, v)` with `u < v` of edge `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e as usize]
+    }
+
+    /// All canonical edges in id order.
+    #[inline]
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Sign convention for flows: `+1` if `v` is the canonical tail
+    /// (`v == min(u, w)`) of edge `e`, `-1` otherwise.
+    ///
+    /// Flow values in `sodiff-core` are stored per canonical edge; a
+    /// positive value means load moving from the smaller to the larger
+    /// endpoint.
+    #[inline]
+    pub fn orientation(&self, v: NodeId, e: EdgeId) -> f64 {
+        if self.edges[e as usize].0 == v {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Returns `true` if `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).iter().any(|&(w, _)| w == b)
+    }
+
+    /// Structural provenance set by the generator that produced this graph.
+    #[inline]
+    pub fn kind(&self) -> &GraphKind {
+        &self.kind
+    }
+
+    pub(crate) fn set_kind(&mut self, kind: GraphKind) {
+        self.kind = kind;
+    }
+
+    /// The diffusion weight `α_{u,v} = 1 / (max(deg u, deg v) + 1)` used by
+    /// the paper for both FOS and SOS (Section II).
+    #[inline]
+    pub fn alpha(&self, u: NodeId, v: NodeId) -> f64 {
+        1.0 / (self.degree(u).max(self.degree(v)) as f64 + 1.0)
+    }
+
+    /// Returns `true` if the graph has a single connected component.
+    ///
+    /// The empty graph and the single-node graph count as connected.
+    pub fn is_connected(&self) -> bool {
+        crate::traversal::connected_components(self) <= 1
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn triangle_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+    }
+
+    #[test]
+    fn canonical_edges_are_ordered() {
+        let g = triangle();
+        for &(u, v) in g.edges() {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn orientation_signs() {
+        let g = triangle();
+        for e in 0..g.edge_count() as EdgeId {
+            let (u, v) = g.edge(e);
+            assert_eq!(g.orientation(u, e), 1.0);
+            assert_eq!(g.orientation(v, e), -1.0);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = triangle();
+        for u in g.nodes() {
+            for &(v, e) in g.neighbors(u) {
+                assert!(g.neighbors(v).iter().any(|&(w, e2)| w == u && e2 == e));
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge_matches_adjacency() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let g = b.build();
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn alpha_uses_max_degree_plus_one() {
+        let mut b = GraphBuilder::new(4);
+        // Star centered at 0 with 3 leaves: deg(0)=3, deg(leaf)=1.
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.add_edge(0, 3).unwrap();
+        let g = b.build();
+        assert_eq!(g.alpha(0, 1), 0.25);
+        assert_eq!(g.alpha(1, 0), 0.25);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let g = triangle();
+        let s = format!("{g:?}");
+        assert!(s.contains("nodes"));
+        assert!(s.contains('3'));
+    }
+}

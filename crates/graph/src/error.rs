@@ -1,0 +1,67 @@
+//! Error type for graph construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced while building a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id was `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the builder.
+        node_count: usize,
+    },
+    /// An edge `{v, v}` was inserted.
+    SelfLoop(NodeId),
+    /// The same undirected edge was inserted twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// A generator was asked for an impossible configuration
+    /// (e.g. a `d`-regular graph with `n * d` odd, or `d >= n`).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GraphError::SelfLoop(3).to_string(),
+            "self-loop at node 3"
+        );
+        assert_eq!(
+            GraphError::DuplicateEdge(1, 2).to_string(),
+            "duplicate edge {1, 2}"
+        );
+        assert!(GraphError::NodeOutOfRange {
+            node: 9,
+            node_count: 4
+        }
+        .to_string()
+        .contains("out of range"));
+        assert!(GraphError::InvalidParameter("nd odd".into())
+            .to_string()
+            .contains("nd odd"));
+    }
+}

@@ -1,0 +1,526 @@
+//! Network generators for the graph classes in the paper's evaluation
+//! (Table I) plus classic topologies used in tests.
+//!
+//! All randomized generators take an explicit seed and are fully
+//! deterministic for a fixed seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, GraphKind, NodeId};
+use crate::error::GraphError;
+use crate::traversal::component_labels;
+
+/// Two-dimensional torus with side lengths `rows × cols`, nodes in
+/// row-major order; each node is connected to its 4-neighborhood with
+/// periodic (wrap-around) boundaries.
+///
+/// For side length 1 or 2 the wrap-around edge coincides with the direct
+/// edge and is inserted once (no parallel edges), so e.g. `torus2d(2, 2)`
+/// is the 4-cycle.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn torus2d(rows: usize, cols: usize) -> Graph {
+    torus(&[rows, cols])
+}
+
+/// k-dimensional torus with the given side lengths (row-major layout).
+///
+/// # Panics
+///
+/// Panics if `dims` is empty or any side is 0.
+pub fn torus(dims: &[usize]) -> Graph {
+    assert!(!dims.is_empty(), "torus needs at least one dimension");
+    assert!(dims.iter().all(|&d| d > 0), "torus sides must be positive");
+    let n: usize = dims.iter().product();
+    let mut b = GraphBuilder::with_edge_capacity(n, n * dims.len());
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    for v in 0..n {
+        for (axis, &len) in dims.iter().enumerate() {
+            if len == 1 {
+                continue;
+            }
+            let coord = (v / strides[axis]) % len;
+            let next = (coord + 1) % len;
+            // Replace `coord` with `next` along `axis`.
+            let u = v - coord * strides[axis] + next * strides[axis];
+            b.add_edge_dedup(v as NodeId, u as NodeId);
+        }
+    }
+    let mut g = b.build();
+    g.set_kind(GraphKind::Torus(dims.iter().map(|&d| d as u32).collect()));
+    g
+}
+
+/// Hypercube of dimension `dim` on `2^dim` nodes; nodes are adjacent iff
+/// their indices differ in exactly one bit.
+///
+/// # Panics
+///
+/// Panics if `dim >= 32`.
+pub fn hypercube(dim: u32) -> Graph {
+    assert!(dim < 32, "hypercube dimension must be < 32");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::with_edge_capacity(n, n * dim as usize / 2);
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1usize << bit);
+            if u > v {
+                b.add_edge(v as NodeId, u as NodeId).expect("hypercube edge");
+            }
+        }
+    }
+    let mut g = b.build();
+    g.set_kind(GraphKind::Hypercube(dim));
+    g
+}
+
+/// Cycle on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::with_edge_capacity(n, n);
+    for v in 0..n {
+        b.add_edge(v as NodeId, ((v + 1) % n) as NodeId).expect("cycle edge");
+    }
+    let mut g = b.build();
+    g.set_kind(GraphKind::Cycle);
+    g
+}
+
+/// Path on `n ≥ 1` nodes.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge((v - 1) as NodeId, v as NodeId).expect("path edge");
+    }
+    let mut g = b.build();
+    g.set_kind(GraphKind::Path);
+    g
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as NodeId, v as NodeId).expect("complete edge");
+        }
+    }
+    let mut g = b.build();
+    g.set_kind(GraphKind::Complete);
+    g
+}
+
+/// Star with hub 0 and `n - 1` leaves.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge(0, v as NodeId).expect("star edge");
+    }
+    let mut g = b.build();
+    g.set_kind(GraphKind::Star);
+    g
+}
+
+/// Open (non-periodic) 2D grid `rows × cols` in row-major order.
+pub fn grid2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_edge_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as NodeId;
+            if c + 1 < cols {
+                b.add_edge(v, v + 1).expect("grid edge");
+            }
+            if r + 1 < rows {
+                b.add_edge(v, v + cols as NodeId).expect("grid edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` graph.
+///
+/// Uses the geometric skipping method, so the cost is proportional to the
+/// number of generated edges rather than `n²`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    if p >= 1.0 {
+        return complete(n);
+    }
+    // Iterate over the strictly-upper-triangular pairs in lexicographic
+    // order, skipping ahead by geometrically distributed gaps.
+    let log1p = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    loop {
+        let r: f64 = rng.random_range(0.0..1.0f64);
+        let skip = ((1.0 - r).ln() / log1p).floor() as i64;
+        w += 1 + skip;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v >= n {
+            break;
+        }
+        b.add_edge(v as NodeId, w as NodeId).expect("gnp edge");
+    }
+    b.build()
+}
+
+/// Random `d`-regular multigraph candidate via the configuration model
+/// ([Wormald 1999], the construction cited by the paper), with self-loops
+/// and parallel edges dropped.
+///
+/// The result is a simple graph whose degrees are *at most* `d`; for
+/// `d = O(log n)` the expected number of dropped edges is `O(d²)`, which is
+/// exactly the regime of the paper's "Random Graph (CM)" with
+/// `d = ⌊log₂ n⌋`. Retries `attempts` times and keeps the candidate with
+/// the fewest dropped edges.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n * d` is odd or `d >= n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
+    if !(n * d).is_multiple_of(2) {
+        return Err(GraphError::InvalidParameter(format!(
+            "configuration model needs n*d even (n={n}, d={d})"
+        )));
+    }
+    if d >= n {
+        return Err(GraphError::InvalidParameter(format!(
+            "degree d={d} must be smaller than n={n}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attempts = 4;
+    let mut best: Option<Graph> = None;
+    for _ in 0..attempts {
+        // Stubs: node v owns stubs v*d .. (v+1)*d. A uniform perfect
+        // matching on stubs is a random pairing of a shuffled list.
+        let mut stubs: Vec<NodeId> = (0..n as NodeId)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
+        stubs.shuffle(&mut rng);
+        let mut b = GraphBuilder::with_edge_capacity(n, n * d / 2);
+        for pair in stubs.chunks_exact(2) {
+            b.add_edge_dedup(pair[0], pair[1]);
+        }
+        let g = b.build();
+        let better = match &best {
+            None => true,
+            Some(prev) => g.edge_count() > prev.edge_count(),
+        };
+        if better {
+            let perfect = g.edge_count() == n * d / 2;
+            best = Some(g);
+            if perfect {
+                break;
+            }
+        }
+    }
+    Ok(best.expect("at least one attempt"))
+}
+
+/// Random geometric graph: `n` points uniform in `[0, √n]²`, nodes joined
+/// when their Euclidean distance is at most `radius`; stray components are
+/// then connected to the giant component by their closest node pair, as in
+/// the paper's construction.
+///
+/// The paper uses `radius = 4·(log n)^(1/4) = 4·√(√(log n))` for
+/// `n = 10⁴` (stated as `4·⁴√(log n)` in Table I); pass whatever radius the
+/// experiment calls for.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (n as f64).sqrt();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random_range(0.0..side), rng.random_range(0.0..side)))
+        .collect();
+    let mut b = GraphBuilder::new(n);
+    if n == 0 {
+        return b.build();
+    }
+    // Uniform cell grid of cell size `radius`: only neighboring cells can
+    // contain points within range.
+    // Cell size of `radius` makes neighbor search exact over the 3x3 cell
+    // block; cap the grid at ~n cells so a tiny radius cannot blow up memory.
+    let min_cell = side / (n as f64).sqrt().ceil().max(1.0);
+    let cell_size = radius.max(min_cell).max(1e-9);
+    let cells_per_side = ((side / cell_size).ceil() as usize).max(1);
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let cx = ((p.0 / cell_size) as usize).min(cells_per_side - 1);
+        let cy = ((p.1 / cell_size) as usize).min(cells_per_side - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<NodeId>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        grid[cy * cells_per_side + cx].push(i as NodeId);
+    }
+    let r2 = radius * radius;
+    for (i, &p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64
+                {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cells_per_side + nx as usize] {
+                    if (j as usize) <= i {
+                        continue;
+                    }
+                    let q = points[j as usize];
+                    let (ddx, ddy) = (p.0 - q.0, p.1 - q.1);
+                    if ddx * ddx + ddy * ddy <= r2 {
+                        b.add_edge(i as NodeId, j).expect("rgg edge");
+                    }
+                }
+            }
+        }
+    }
+    let mut g = b.build();
+    // Patch disconnected components: repeatedly connect every non-giant
+    // component to its closest node in the giant component.
+    let labels = component_labels(&g);
+    let num_components = labels.iter().max().map(|&m| m as usize + 1).unwrap_or(0);
+    if num_components > 1 {
+        let mut sizes = vec![0usize; num_components];
+        for &l in &labels {
+            sizes[l as usize] += 1;
+        }
+        let giant = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+            .map(|(i, _)| i as u32)
+            .expect("non-empty");
+        let giant_nodes: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| labels[v as usize] == giant)
+            .collect();
+        let mut extra: Vec<(NodeId, NodeId)> = Vec::new();
+        for comp in 0..num_components as u32 {
+            if comp == giant {
+                continue;
+            }
+            let mut best: Option<(f64, NodeId, NodeId)> = None;
+            for v in (0..n as NodeId).filter(|&v| labels[v as usize] == comp) {
+                let p = points[v as usize];
+                for &u in &giant_nodes {
+                    let q = points[u as usize];
+                    let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);
+                    if best.map(|(bd, _, _)| d2 < bd).unwrap_or(true) {
+                        best = Some((d2, v, u));
+                    }
+                }
+            }
+            let (_, v, u) = best.expect("components are non-empty");
+            extra.push((v, u));
+        }
+        let mut b = GraphBuilder::with_edge_capacity(n, g.edge_count() + extra.len());
+        for &(u, v) in g.edges() {
+            b.add_edge(u, v).expect("existing edge");
+        }
+        for (u, v) in extra {
+            b.add_edge_dedup(u, v);
+        }
+        g = b.build();
+    }
+    g
+}
+
+/// The paper's "Random Graph (CM)": configuration model with
+/// `d = ⌊log₂ n⌋` (Table I).
+pub fn random_graph_cm(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    let mut d = (n as f64).log2().floor() as usize;
+    if n * d % 2 == 1 {
+        d -= 1; // keep n*d even, degree stays Θ(log n)
+    }
+    random_regular(n, d, seed)
+}
+
+/// The paper's random geometric graph configuration:
+/// `n` points, `radius = 4·(log n)^(1/4)` (Table I).
+pub fn rgg_paper(n: usize, seed: u64) -> Graph {
+    let radius = 4.0 * (n as f64).ln().powf(0.25);
+    random_geometric(n, radius, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+
+    #[test]
+    fn torus2d_structure() {
+        let g = torus2d(5, 7);
+        assert_eq!(g.node_count(), 35);
+        assert_eq!(g.edge_count(), 2 * 35);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(g.is_connected());
+        assert_eq!(*g.kind(), GraphKind::Torus(vec![5, 7]));
+    }
+
+    #[test]
+    fn torus2d_wraps_around() {
+        let g = torus2d(4, 4);
+        // Node 0 = (0,0) must be adjacent to (0,3)=3 and (3,0)=12.
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(0, 12));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn degenerate_small_torus() {
+        let g = torus2d(2, 2); // == 4-cycle
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        let g = torus2d(1, 5); // == 5-cycle
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn torus_3d() {
+        let g = torus(&[3, 3, 3]);
+        assert_eq!(g.node_count(), 27);
+        assert!(g.nodes().all(|v| g.degree(v) == 6));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(6);
+        assert_eq!(g.node_count(), 64);
+        assert_eq!(g.edge_count(), 64 * 6 / 2);
+        assert!(g.nodes().all(|v| g.degree(v) == 6));
+        assert!(g.is_connected());
+        assert_eq!(*g.kind(), GraphKind::Hypercube(6));
+        // Adjacency iff Hamming distance 1.
+        for u in g.nodes() {
+            for &(v, _) in g.neighbors(u) {
+                assert_eq!((u ^ v).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn classic_topologies() {
+        assert_eq!(cycle(6).edge_count(), 6);
+        assert_eq!(path(6).edge_count(), 5);
+        assert_eq!(complete(6).edge_count(), 15);
+        assert_eq!(star(6).edge_count(), 5);
+        assert_eq!(star(6).degree(0), 5);
+        let g = grid2d(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        assert_eq!(erdos_renyi(50, 0.0, 1).edge_count(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).edge_count(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_density_is_plausible() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 42);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "edges {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_per_seed() {
+        let a = erdos_renyi(100, 0.1, 7);
+        let b = erdos_renyi(100, 0.1, 7);
+        assert_eq!(a, b);
+        let c = erdos_renyi(100, 0.1, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_regular_rejects_bad_params() {
+        assert!(random_regular(5, 3, 1).is_err()); // nd odd
+        assert!(random_regular(4, 4, 1).is_err()); // d >= n
+    }
+
+    #[test]
+    fn random_regular_degrees_close_to_d() {
+        let n = 500;
+        let d = 8;
+        let g = random_regular(n, d, 3).unwrap();
+        assert!(g.max_degree() <= d);
+        // The configuration model drops O(d^2) edges in expectation.
+        assert!(g.edge_count() >= n * d / 2 - 5 * d * d);
+        assert!(g.is_connected(), "random regular graph should be connected");
+    }
+
+    #[test]
+    fn random_graph_cm_paper_settings_scaled() {
+        let g = random_graph_cm(4096, 11).unwrap();
+        assert_eq!(g.node_count(), 4096);
+        assert!(g.max_degree() <= 12); // log2(4096) = 12
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn rgg_is_connected_after_patching() {
+        let g = random_geometric(300, 1.2, 5);
+        assert_eq!(g.node_count(), 300);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn rgg_paper_radius_is_dense_enough() {
+        let g = rgg_paper(500, 9);
+        assert!(g.is_connected());
+        // With r = 4 (ln n)^{1/4} ≈ 6.3 at n=500 on a ~22x22 square the
+        // graph is quite dense; just sanity-check the scale.
+        assert!(g.min_degree() >= 1);
+        assert!(g.max_degree() < 500);
+    }
+
+    #[test]
+    fn rgg_zero_radius_still_connects() {
+        // Degenerate: no geometric edges at all; the patching step must
+        // still produce one component (a tree of closest pairs).
+        let g = random_geometric(20, 0.0, 2);
+        assert_eq!(connected_components(&g), 1);
+        assert_eq!(g.edge_count(), 19);
+    }
+
+    #[test]
+    fn rgg_deterministic_per_seed() {
+        assert_eq!(random_geometric(200, 1.5, 4), random_geometric(200, 1.5, 4));
+    }
+}

@@ -1,0 +1,48 @@
+//! Graph substrate for the `sodiff` workspace.
+//!
+//! This crate provides everything the diffusion load-balancing simulator
+//! needs from a graph library, implemented from scratch:
+//!
+//! * a compact immutable [`Graph`] in compressed-sparse-row (CSR) form with
+//!   a canonical undirected edge list (every edge `{u, v}` is stored once
+//!   with `u < v` and has a stable [`EdgeId`]),
+//! * a mutable [`GraphBuilder`] for assembling graphs edge by edge,
+//! * the network generators used in the paper's evaluation
+//!   ([`generators::torus2d`], [`generators::hypercube`],
+//!   [`generators::random_regular`] via the configuration model,
+//!   [`generators::random_geometric`]) plus classic topologies
+//!   (cycle, path, grid, complete, star, Erdős–Rényi),
+//! * traversal utilities: BFS, connected components, diameter, and a
+//!   union-find used to patch random geometric graphs into one component.
+//!
+//! Node identifiers are dense `u32` indices (`0..n`), which keeps the
+//! million-node paper-scale graphs comfortably in memory.
+//!
+//! # Example
+//!
+//! ```
+//! use sodiff_graph::generators;
+//!
+//! let g = generators::torus2d(16, 16);
+//! assert_eq!(g.node_count(), 256);
+//! assert_eq!(g.edge_count(), 2 * 256); // each node has degree 4
+//! assert!(g.is_connected());
+//! assert_eq!(g.max_degree(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod csr;
+mod error;
+pub mod generators;
+mod speeds;
+pub mod traversal;
+mod unionfind;
+
+pub use builder::GraphBuilder;
+pub use csr::{EdgeId, Graph, GraphKind, NodeId};
+pub use error::GraphError;
+pub use speeds::Speeds;
+pub use unionfind::UnionFind;

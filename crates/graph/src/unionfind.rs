@@ -1,0 +1,95 @@
+//! Disjoint-set forest with union by rank and path halving.
+
+/// A union-find (disjoint-set) structure over `0..n`.
+///
+/// Used by the random-geometric-graph generator to connect stray components
+/// to the giant component, mirroring the paper's construction
+/// ("remaining small isolated components were connected to the closest
+/// neighbor in the largest component").
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Representative of the set containing `x`, with path halving.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.component_count(), 3);
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.component_count(), 2);
+    }
+
+    #[test]
+    fn transitive_connectivity_chain() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(0, 99));
+    }
+}

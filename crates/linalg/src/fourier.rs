@@ -1,0 +1,284 @@
+//! Analytic Fourier eigenbasis of 2D tori.
+//!
+//! The diffusion matrix of a `rows × cols` torus (homogeneous model,
+//! `α = 1/5`) is diagonalized by the 2D discrete Fourier basis: mode
+//! `(p, q)` has eigenvalue
+//! `μ(p,q) = 1 − (1/5)·(4 − 2cos(2πp/rows) − 2cos(2πq/cols))`.
+//!
+//! The paper (Figures 7 and 15) tracks the per-eigenvector load
+//! coefficients `a` from `V·a = x(t)` with LAPACK. Here the same
+//! information comes from a 2D DFT in `O(n·(rows+cols))` per round: the
+//! magnitude of the projection of the load vector onto the (real,
+//! orthonormal) eigenspace of a conjugate mode pair `{(p,q), (−p,−q)}` is
+//! `√2·|X(p,q)|/√n` (or `|X(p,q)|/√n` for self-conjugate modes), where `X`
+//! is the unitary-free DFT of the load grid.
+
+use std::f64::consts::PI;
+
+/// Coefficient of one canonical Fourier mode of the torus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeCoefficient {
+    /// Row frequency in `0..rows`.
+    pub p: usize,
+    /// Column frequency in `0..cols`.
+    pub q: usize,
+    /// Diffusion-matrix eigenvalue `μ(p, q)` of this mode.
+    pub eigenvalue: f64,
+    /// Magnitude of the load projection onto the mode's real eigenspace.
+    pub amplitude: f64,
+    /// 1-based rank of the eigenvalue in descending order over canonical
+    /// modes (rank 1 is the constant mode with `μ = 1`).
+    pub rank: usize,
+}
+
+/// Precomputed DFT tables and eigen-rank order for a `rows × cols` torus.
+pub struct TorusModes {
+    rows: usize,
+    cols: usize,
+    /// cos/sin tables: `col_cos[q * cols + c] = cos(2π·q·c/cols)` etc.
+    col_cos: Vec<f64>,
+    col_sin: Vec<f64>,
+    row_cos: Vec<f64>,
+    row_sin: Vec<f64>,
+    /// Canonical modes `(p, q, eigenvalue, rank, self_conjugate)`.
+    canonical: Vec<(usize, usize, f64, usize, bool)>,
+}
+
+impl TorusModes {
+    /// Builds the mode tables for a torus with both sides ≥ 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a side is < 3 (the `α = 1/5` eigenvalue formula assumes
+    /// degree-4 tori).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 3 && cols >= 3, "torus sides must be >= 3");
+        let mut col_cos = vec![0.0; cols * cols];
+        let mut col_sin = vec![0.0; cols * cols];
+        for q in 0..cols {
+            for c in 0..cols {
+                let ang = 2.0 * PI * (q * c % cols) as f64 / cols as f64;
+                col_cos[q * cols + c] = ang.cos();
+                col_sin[q * cols + c] = ang.sin();
+            }
+        }
+        let mut row_cos = vec![0.0; rows * rows];
+        let mut row_sin = vec![0.0; rows * rows];
+        for p in 0..rows {
+            for r in 0..rows {
+                let ang = 2.0 * PI * (p * r % rows) as f64 / rows as f64;
+                row_cos[p * rows + r] = ang.cos();
+                row_sin[p * rows + r] = ang.sin();
+            }
+        }
+        // Canonical representatives of conjugate pairs, ranked by
+        // eigenvalue (descending).
+        let mut canonical: Vec<(usize, usize, f64, usize, bool)> = Vec::new();
+        for p in 0..rows {
+            for q in 0..cols {
+                let (cp, cq) = ((rows - p) % rows, (cols - q) % cols);
+                if (p, q) > (cp, cq) {
+                    continue; // conjugate partner is canonical
+                }
+                let self_conj = (p, q) == (cp, cq);
+                canonical.push((p, q, eigenvalue(rows, cols, p, q), 0, self_conj));
+            }
+        }
+        canonical.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite").then_with(|| {
+            (a.0, a.1).cmp(&(b.0, b.1))
+        }));
+        for (rank, m) in canonical.iter_mut().enumerate() {
+            m.3 = rank + 1;
+        }
+        Self {
+            rows,
+            cols,
+            col_cos,
+            col_sin,
+            row_cos,
+            row_sin,
+            canonical,
+        }
+    }
+
+    /// Number of canonical modes (conjugate pairs counted once).
+    pub fn mode_count(&self) -> usize {
+        self.canonical.len()
+    }
+
+    /// Eigenvalue of mode `(p, q)`.
+    pub fn eigenvalue(&self, p: usize, q: usize) -> f64 {
+        eigenvalue(self.rows, self.cols, p, q)
+    }
+
+    /// Projects the row-major load grid onto every canonical mode.
+    ///
+    /// Returns coefficients ordered by eigenvalue rank (rank 1 = constant
+    /// mode first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads.len() != rows·cols`.
+    pub fn coefficients(&self, loads: &[f64]) -> Vec<ModeCoefficient> {
+        let (rows, cols) = (self.rows, self.cols);
+        assert_eq!(loads.len(), rows * cols, "load grid shape mismatch");
+        let n = (rows * cols) as f64;
+        // Pass 1: DFT along columns of each row -> F[r][q] (complex).
+        let mut fre = vec![0.0; rows * cols];
+        let mut fim = vec![0.0; rows * cols];
+        for r in 0..rows {
+            let row = &loads[r * cols..(r + 1) * cols];
+            for q in 0..cols {
+                let (mut re, mut im) = (0.0, 0.0);
+                let ct = &self.col_cos[q * cols..(q + 1) * cols];
+                let st = &self.col_sin[q * cols..(q + 1) * cols];
+                for c in 0..cols {
+                    re += row[c] * ct[c];
+                    im -= row[c] * st[c];
+                }
+                fre[r * cols + q] = re;
+                fim[r * cols + q] = im;
+            }
+        }
+        // Pass 2: DFT along rows for each canonical (p, q).
+        let mut out = Vec::with_capacity(self.canonical.len());
+        for &(p, q, eigenvalue, rank, self_conj) in &self.canonical {
+            let ct = &self.row_cos[p * rows..(p + 1) * rows];
+            let st = &self.row_sin[p * rows..(p + 1) * rows];
+            let (mut re, mut im) = (0.0, 0.0);
+            for r in 0..rows {
+                let (fr, fi) = (fre[r * cols + q], fim[r * cols + q]);
+                // (fr + i·fi) · (cos − i·sin)
+                re += fr * ct[r] + fi * st[r];
+                im += fi * ct[r] - fr * st[r];
+            }
+            let mag = (re * re + im * im).sqrt();
+            let amplitude = if self_conj {
+                mag / n.sqrt()
+            } else {
+                std::f64::consts::SQRT_2 * mag / n.sqrt()
+            };
+            out.push(ModeCoefficient {
+                p,
+                q,
+                eigenvalue,
+                amplitude,
+                rank,
+            });
+        }
+        out.sort_by_key(|m| m.rank);
+        out
+    }
+
+    /// The non-constant mode with the largest amplitude ("leading
+    /// eigenvector" in the paper's Figure 7), or `None` if all amplitudes
+    /// vanish.
+    pub fn leading(coeffs: &[ModeCoefficient]) -> Option<&ModeCoefficient> {
+        coeffs
+            .iter()
+            .filter(|m| m.rank > 1)
+            .filter(|m| m.amplitude > 0.0)
+            .max_by(|a, b| a.amplitude.partial_cmp(&b.amplitude).expect("finite"))
+    }
+}
+
+/// Eigenvalue `μ(p, q) = 1 − (1/5)(4 − 2cos(2πp/rows) − 2cos(2πq/cols))`.
+fn eigenvalue(rows: usize, cols: usize, p: usize, q: usize) -> f64 {
+    1.0 - (4.0
+        - 2.0 * (2.0 * PI * p as f64 / rows as f64).cos()
+        - 2.0 * (2.0 * PI * q as f64 / cols as f64).cos())
+        / 5.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::norm2;
+
+    #[test]
+    fn constant_mode_has_eigenvalue_one_and_full_mass() {
+        let tm = TorusModes::new(4, 4);
+        let coeffs = tm.coefficients(&[2.5; 16]);
+        let c0 = &coeffs[0];
+        assert_eq!((c0.p, c0.q), (0, 0));
+        assert_eq!(c0.rank, 1);
+        assert!((c0.eigenvalue - 1.0).abs() < 1e-12);
+        // Projection of a constant grid onto 1/√n ⋅ 1 is 2.5·√n = 10.
+        assert!((c0.amplitude - 10.0).abs() < 1e-9);
+        for c in &coeffs[1..] {
+            assert!(c.amplitude < 1e-9, "non-constant amplitude {c:?}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        // Σ amplitude² == ‖x‖² because the real eigenbasis is orthonormal.
+        let tm = TorusModes::new(5, 6);
+        let loads: Vec<f64> = (0..30).map(|i| ((i * 37) % 11) as f64 - 3.0).collect();
+        let coeffs = tm.coefficients(&loads);
+        let energy: f64 = coeffs.iter().map(|c| c.amplitude * c.amplitude).sum();
+        let direct = norm2(&loads).powi(2);
+        assert!(
+            (energy - direct).abs() < 1e-8 * direct.max(1.0),
+            "parseval violated: {energy} vs {direct}"
+        );
+    }
+
+    #[test]
+    fn pure_mode_isolates() {
+        let (rows, cols) = (6, 8);
+        let tm = TorusModes::new(rows, cols);
+        // x[r][c] = cos(2π(2r/rows + 3c/cols)) is a pure (2,3) mode.
+        let mut loads = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                loads[r * cols + c] = (2.0 * PI * (2.0 * r as f64 / rows as f64
+                    + 3.0 * c as f64 / cols as f64))
+                    .cos();
+            }
+        }
+        let coeffs = tm.coefficients(&loads);
+        let leading = TorusModes::leading(&coeffs).unwrap();
+        let conj = ((rows - 2) % rows, (cols - 3) % cols);
+        assert!(
+            (leading.p, leading.q) == (2, 3) || (leading.p, leading.q) == conj,
+            "leading mode {:?}",
+            (leading.p, leading.q)
+        );
+        // All other modes are (numerically) silent.
+        for c in coeffs.iter().filter(|c| {
+            (c.p, c.q) != (leading.p, leading.q)
+        }) {
+            assert!(c.amplitude < 1e-9, "spurious mode {c:?}");
+        }
+    }
+
+    #[test]
+    fn eigenvalue_formula_extremes() {
+        let tm = TorusModes::new(10, 10);
+        assert!((tm.eigenvalue(0, 0) - 1.0).abs() < 1e-12);
+        // Mode (5,5) on even sides: 1 - 8/5 = -0.6.
+        assert!((tm.eigenvalue(5, 5) + 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_are_descending_in_eigenvalue() {
+        let tm = TorusModes::new(7, 5);
+        let coeffs = tm.coefficients(&vec![0.0; 35]);
+        for w in coeffs.windows(2) {
+            assert!(w[0].eigenvalue >= w[1].eigenvalue - 1e-12);
+            assert_eq!(w[0].rank + 1, w[1].rank);
+        }
+    }
+
+    #[test]
+    fn mode_count_accounts_for_conjugate_pairs() {
+        // rows*cols total complex modes collapse into canonical pairs:
+        // self-conjugate count for 4x4 is 4 -> (16-4)/2 + 4 = 10.
+        let tm = TorusModes::new(4, 4);
+        assert_eq!(tm.mode_count(), 10);
+        // Odd sides: only (0,0) is self-conjugate -> (15-1)/2+1 = 8.
+        let tm = TorusModes::new(3, 5);
+        assert_eq!(tm.mode_count(), 8);
+    }
+}

@@ -1,0 +1,208 @@
+//! Cyclic Jacobi eigensolver for real symmetric matrices.
+//!
+//! Replaces the paper's LAPACK dependency for full eigendecompositions.
+//! Jacobi rotation is slower than Householder tridiagonalization but is
+//! simple, numerically robust, and produces orthogonal eigenvectors —
+//! plenty for the `n ≲ 3000` instances used in coefficient tracking.
+
+use crate::dense::DenseMatrix;
+
+/// Result of a symmetric eigendecomposition `A = V·diag(λ)·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues sorted in descending order.
+    pub values: Vec<f64>,
+    /// Matrix whose *column* `k` is the (unit) eigenvector of `values[k]`.
+    pub vectors: DenseMatrix,
+}
+
+impl EigenDecomposition {
+    /// The eigenvector for `values[k]` as an owned vector.
+    pub fn vector(&self, k: usize) -> Vec<f64> {
+        self.vectors.column(k)
+    }
+}
+
+/// Computes the full eigendecomposition of the symmetric matrix `a`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or is materially asymmetric
+/// (`asymmetry > 1e-9 · max|A|`).
+pub fn eigen_symmetric(a: &DenseMatrix) -> EigenDecomposition {
+    assert_eq!(a.rows(), a.cols(), "eigen_symmetric: matrix must be square");
+    let scale = a.max_abs().max(1.0);
+    assert!(
+        a.asymmetry() <= 1e-9 * scale,
+        "eigen_symmetric: matrix is not symmetric"
+    );
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+
+    let off = |m: &DenseMatrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += m[(i, j)] * m[(i, j)];
+            }
+        }
+        s
+    };
+
+    let tol = 1e-24 * scale * scale * (n as f64).max(1.0);
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        if off(&m) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Standard stable rotation computation (Golub & Van Loan).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // A ← JᵀAJ applied to rows/columns p and q.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = c * apk - s * aqk;
+                    m[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate V ← V·J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+
+    let values = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = DenseMatrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{dot, norm2};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_symmetric(n: usize, seed: u64) -> DenseMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let x = rng.random_range(-1.0..1.0);
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let mut a = DenseMatrix::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = -1.0;
+        a[(2, 2)] = 2.0;
+        let e = eigen_symmetric(&a);
+        assert_eq!(e.values, vec![3.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = eigen_symmetric(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector of 3 is (1,1)/√2 up to sign.
+        let v = e.vector(0);
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((v[0] - v[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstructs_random_matrices() {
+        for seed in 0..3 {
+            let n = 12;
+            let a = random_symmetric(n, seed);
+            let e = eigen_symmetric(&a);
+            // Check A·v_k = λ_k·v_k for all k.
+            for k in 0..n {
+                let v = e.vector(k);
+                let mut av = vec![0.0; n];
+                a.matvec(&v, &mut av);
+                for i in 0..n {
+                    assert!(
+                        (av[i] - e.values[k] * v[i]).abs() < 1e-9,
+                        "residual too large (seed {seed}, k {k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_symmetric(10, 99);
+        let e = eigen_symmetric(&a);
+        for i in 0..10 {
+            let vi = e.vector(i);
+            assert!((norm2(&vi) - 1.0).abs() < 1e-10);
+            for j in (i + 1)..10 {
+                let vj = e.vector(j);
+                assert!(dot(&vi, &vj).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = random_symmetric(15, 5);
+        let trace: f64 = (0..15).map(|i| a[(i, i)]).sum();
+        let e = eigen_symmetric(&a);
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn rejects_asymmetric_input() {
+        let a = DenseMatrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, 0.0]);
+        eigen_symmetric(&a);
+    }
+}

@@ -1,0 +1,132 @@
+//! 8-bit grayscale raster with a binary-PGM (P5) encoder.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// An 8-bit grayscale image (row-major, origin at the top-left).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// All-black image of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Self {
+            width,
+            height,
+            pixels: vec![0; width * height],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x] = value;
+    }
+
+    /// Raw pixel buffer (row-major).
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Encodes the image as a binary PGM (P5) byte stream.
+    pub fn encode_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Writes the image as a binary PGM file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file creation and writing.
+    pub fn save_pgm<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&self.encode_pgm())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = GrayImage::new(3, 2);
+        img.set(2, 1, 200);
+        assert_eq!(img.get(2, 1), 200);
+        assert_eq!(img.get(0, 0), 0);
+    }
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let mut img = GrayImage::new(2, 2);
+        img.set(0, 0, 1);
+        img.set(1, 1, 255);
+        let bytes = img.encode_pgm();
+        let header = b"P5\n2 2\n255\n";
+        assert!(bytes.starts_with(header));
+        assert_eq!(&bytes[header.len()..], &[1, 0, 0, 255]);
+    }
+
+    #[test]
+    fn save_pgm_writes_file() {
+        let dir = std::env::temp_dir().join("sodiff_viz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        GrayImage::new(4, 4).save_pgm(&path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(b"P5\n4 4\n255\n"));
+        assert_eq!(data.len(), b"P5\n4 4\n255\n".len() + 16);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        GrayImage::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_size_rejected() {
+        GrayImage::new(0, 3);
+    }
+}

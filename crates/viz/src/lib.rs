@@ -1,0 +1,24 @@
+//! Visualization of diffusion load-balancing runs.
+//!
+//! The paper renders the 2D-torus load as grayscale rasters (Figures 9–11
+//! and the companion video): each pixel is one node, shaded by how far its
+//! load is from the balanced average. This crate reimplements that
+//! pipeline with a dependency-free binary-PGM writer:
+//!
+//! * [`GrayImage`] — an 8-bit grayscale raster with a P5 (binary PGM)
+//!   encoder,
+//! * [`Shading`] — the paper's two shadings: *adaptive* (light = close to
+//!   the average, darkest = the current extreme deviation; Figures 9–10)
+//!   and *absolute* (black = deviation at or beyond a fixed token
+//!   threshold; Figure 11),
+//! * [`render_torus`] — maps a row-major torus load vector to an image,
+//! * [`ascii_sparkline`] — a terminal-friendly miniature for examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod image;
+mod render;
+
+pub use image::GrayImage;
+pub use render::{ascii_sparkline, render_torus, Shading};

@@ -1,0 +1,133 @@
+//! Load-vector renderers.
+
+use crate::image::GrayImage;
+
+/// Pixel shading mode, mirroring the paper's two visualizations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shading {
+    /// Figures 9–10: shading is normalized per frame — a white pixel is a
+    /// node at the average load, the darkest pixel is the node furthest
+    /// from it (in either direction).
+    Adaptive,
+    /// Figure 11: white = at the average; black = deviation at or beyond
+    /// `threshold` tokens (the paper uses 10).
+    Absolute {
+        /// Deviation (in tokens) mapped to full black.
+        threshold: f64,
+    },
+}
+
+/// Renders a row-major torus load vector into a grayscale image
+/// (one pixel per node, `rows × cols`).
+///
+/// # Panics
+///
+/// Panics if `loads.len() != rows * cols` or the dimensions are zero.
+pub fn render_torus(rows: usize, cols: usize, loads: &[f64], shading: Shading) -> GrayImage {
+    assert_eq!(loads.len(), rows * cols, "load grid shape mismatch");
+    let n = loads.len() as f64;
+    let avg = loads.iter().sum::<f64>() / n;
+    let mut img = GrayImage::new(cols, rows);
+    let scale = match shading {
+        Shading::Adaptive => loads
+            .iter()
+            .map(|&x| (x - avg).abs())
+            .fold(0.0f64, f64::max),
+        Shading::Absolute { threshold } => {
+            assert!(threshold > 0.0, "threshold must be positive");
+            threshold
+        }
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            let dev = (loads[r * cols + c] - avg).abs();
+            let frac = if scale > 0.0 {
+                (dev / scale).min(1.0)
+            } else {
+                0.0
+            };
+            img.set(c, r, (255.0 * (1.0 - frac)).round() as u8);
+        }
+    }
+    img
+}
+
+const SPARK_LEVELS: [char; 8] = [' ', '.', ':', '-', '=', '+', '*', '#'];
+
+/// Renders a load vector as a one-line ASCII sparkline (for example
+/// binaries): denser glyphs mean larger deviation from the average.
+pub fn ascii_sparkline(loads: &[f64], width: usize) -> String {
+    if loads.is_empty() || width == 0 {
+        return String::new();
+    }
+    let avg = loads.iter().sum::<f64>() / loads.len() as f64;
+    let chunk = loads.len().div_ceil(width);
+    let mut out = String::with_capacity(width);
+    let max_dev = loads
+        .iter()
+        .map(|&x| (x - avg).abs())
+        .fold(0.0f64, f64::max);
+    for block in loads.chunks(chunk) {
+        let dev = block.iter().map(|&x| (x - avg).abs()).fold(0.0, f64::max);
+        let idx = if max_dev > 0.0 {
+            ((dev / max_dev) * (SPARK_LEVELS.len() - 1) as f64).round() as usize
+        } else {
+            0
+        };
+        out.push(SPARK_LEVELS[idx]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_grid_renders_white() {
+        let img = render_torus(2, 3, &[5.0; 6], Shading::Adaptive);
+        assert!(img.pixels().iter().all(|&p| p == 255));
+        let img = render_torus(2, 3, &[5.0; 6], Shading::Absolute { threshold: 10.0 });
+        assert!(img.pixels().iter().all(|&p| p == 255));
+    }
+
+    #[test]
+    fn adaptive_darkest_at_extreme() {
+        let loads = [0.0, 0.0, 0.0, 12.0];
+        let img = render_torus(2, 2, &loads, Shading::Adaptive);
+        // Node 3 deviates most -> black; others deviate 3 from avg(3) -> 0.
+        assert_eq!(img.get(1, 1), 0);
+        assert!(img.get(0, 0) > 150);
+    }
+
+    #[test]
+    fn absolute_clamps_at_threshold() {
+        let loads = [0.0, 0.0, 0.0, 100.0];
+        let img = render_torus(2, 2, &loads, Shading::Absolute { threshold: 10.0 });
+        assert_eq!(img.get(1, 1), 0, "deviation 75 >> 10 is clamped black");
+    }
+
+    #[test]
+    fn image_orientation_is_row_major() {
+        // Node (row 1, col 0) maps to pixel (x=0, y=1).
+        let loads = [0.0, 0.0, 9.0, 0.0];
+        let img = render_torus(2, 2, &loads, Shading::Adaptive);
+        assert_eq!(img.get(0, 1), 0);
+    }
+
+    #[test]
+    fn sparkline_marks_hotspot() {
+        let mut loads = vec![1.0; 64];
+        loads[32] = 100.0;
+        let line = ascii_sparkline(&loads, 16);
+        assert_eq!(line.len(), 16);
+        assert!(line.contains('#'));
+    }
+
+    #[test]
+    fn sparkline_handles_empty_and_flat() {
+        assert_eq!(ascii_sparkline(&[], 10), "");
+        let flat = ascii_sparkline(&[2.0; 10], 5);
+        assert!(flat.chars().all(|c| c == ' '));
+    }
+}

@@ -1,0 +1,88 @@
+//! Heterogeneous cluster: balance proportionally to processor speeds.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_cluster
+//! ```
+//!
+//! Models a 256-node cluster (random regular topology) in which one rack
+//! of 32 machines is 8× faster than the rest. Heterogeneous diffusion
+//! (`M = I − L·S⁻¹`) drives every node to a load proportional to its
+//! speed; we verify the two speed classes end up near their ideals and
+//! report the negative-load safety margin from the paper's Theorem 11.
+
+use sodiff::core::prelude::*;
+use sodiff::core::theory;
+use sodiff::graph::generators;
+use sodiff::linalg::spectral;
+
+fn main() {
+    let n = 256;
+    let fast = 32;
+    let fast_speed = 8.0;
+    let graph = generators::random_regular(n, 8, 2024).expect("valid degree");
+    let speeds = Speeds::two_class(n, fast, fast_speed);
+
+    let spectrum = spectral::analyze(&graph, &speeds);
+    let beta = spectrum.beta_opt();
+    println!(
+        "random 8-regular graph, n = {n}; {fast} fast nodes at speed {fast_speed}"
+    );
+    println!(
+        "lambda = {:.6}, beta_opt = {:.6}, s_max = {}",
+        spectrum.lambda,
+        beta,
+        speeds.max()
+    );
+
+    let total: i64 = 100 * (speeds.total() as i64); // average 100 per unit speed
+    let init = InitialLoad::point(200, total); // dumped on one slow node
+    let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(7))
+        .with_speeds(speeds.clone());
+    let mut sim = Simulator::new(&graph, config, init);
+    let report = sim.run_until(StopCondition::Plateau {
+        window: 40,
+        max_rounds: 5_000,
+    });
+    println!(
+        "stopped after {} rounds ({:?}), max - ideal = {:.1}",
+        sim.round(),
+        report.reason,
+        report.final_metrics.max_minus_avg
+    );
+
+    // Per-class averages vs the speed-proportional ideals.
+    let loads = sim.loads_i64().expect("discrete run");
+    let (mut fast_sum, mut slow_sum) = (0i64, 0i64);
+    for (i, &x) in loads.iter().enumerate() {
+        if i < fast {
+            fast_sum += x;
+        } else {
+            slow_sum += x;
+        }
+    }
+    let ideal_fast = total as f64 * fast_speed / speeds.total();
+    let ideal_slow = total as f64 / speeds.total();
+    println!(
+        "fast nodes: mean load {:.1} (ideal {:.1})",
+        fast_sum as f64 / fast as f64,
+        ideal_fast
+    );
+    println!(
+        "slow nodes: mean load {:.1} (ideal {:.1})",
+        slow_sum as f64 / (n - fast) as f64,
+        ideal_slow
+    );
+
+    // Negative-load check against Theorem 11's shape.
+    let delta0 = total as f64 - total as f64 / speeds.total();
+    let bound = theory::min_initial_load_discrete_sos(n, delta0, 8, spectrum.gap());
+    println!(
+        "min transient load observed: {:.1} (Theorem 11 scale: {:.0})",
+        sim.min_transient_load(),
+        bound
+    );
+    assert!(
+        (fast_sum as f64 / fast as f64 - ideal_fast).abs() < 0.1 * ideal_fast,
+        "fast class should balance near its ideal"
+    );
+}

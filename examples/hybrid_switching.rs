@@ -1,0 +1,76 @@
+//! The SOS→FOS hybrid strategy (paper Figures 4, 5, 8).
+//!
+//! ```text
+//! cargo run --release --example hybrid_switching
+//! ```
+//!
+//! On a 100×100 torus, runs (a) pure SOS, (b) pure FOS, (c) hybrids that
+//! switch to FOS at several fixed rounds, and (d) a hybrid driven by the
+//! distributed-friendly local trigger (max local load difference ≤ 10).
+//! Prints the final imbalance of each strategy, reproducing the paper's
+//! observation that the switch removes the residual imbalance SOS leaves.
+
+use sodiff::core::prelude::*;
+use sodiff::graph::generators;
+use sodiff::linalg::spectral;
+
+fn run(
+    graph: &sodiff::graph::Graph,
+    scheme: Scheme,
+    policy: SwitchPolicy,
+    rounds: u64,
+) -> (f64, f64, Option<u64>) {
+    let n = graph.node_count();
+    let config = SimulationConfig::discrete(scheme, Rounding::randomized(99));
+    let mut sim = Simulator::new(graph, config, InitialLoad::paper_default(n));
+    let report = run_hybrid_quiet(&mut sim, policy, rounds);
+    let m = sim.metrics();
+    (m.max_minus_avg, m.max_local_diff, report.switch_round)
+}
+
+fn main() {
+    let side = 100;
+    let graph = generators::torus2d(side, side);
+    let n = graph.node_count();
+    let spectrum = spectral::analyze(&graph, &Speeds::uniform(n));
+    let beta = spectrum.beta_opt();
+    let total_rounds = 1000u64;
+    println!(
+        "torus {side}x{side}, beta_opt = {beta:.6}, horizon = {total_rounds} rounds"
+    );
+    println!(
+        "{:<28} {:>12} {:>16} {:>14}",
+        "strategy", "max - avg", "max local diff", "switch round"
+    );
+
+    let report = |name: &str, scheme: Scheme, policy: SwitchPolicy| {
+        let (max_avg, local, switch) = run(&graph, scheme, policy, total_rounds);
+        println!(
+            "{:<28} {:>12.1} {:>16.1} {:>14}",
+            name,
+            max_avg,
+            local,
+            switch.map(|r| r.to_string()).unwrap_or_else(|| "-".into())
+        );
+    };
+
+    report("pure FOS", Scheme::fos(), SwitchPolicy::Never);
+    report("pure SOS", Scheme::sos(beta), SwitchPolicy::Never);
+    for at in [300u64, 500, 700, 900] {
+        report(
+            &format!("SOS -> FOS at round {at}"),
+            Scheme::sos(beta),
+            SwitchPolicy::AtRound(at),
+        );
+    }
+    report(
+        "SOS -> FOS local diff <= 20",
+        Scheme::sos(beta),
+        SwitchPolicy::MaxLocalDiffBelow(20.0),
+    );
+
+    println!();
+    println!("Paper Section VI: pure SOS plateaus around 10 tokens above");
+    println!("average; every hybrid drops to ~4-7 tokens, and the local");
+    println!("trigger needs no global knowledge.");
+}

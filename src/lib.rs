@@ -1,0 +1,37 @@
+//! # sodiff — discrete diffusion load balancing
+//!
+//! Umbrella crate for the `sodiff` workspace, a from-scratch Rust
+//! reproduction of *Akbari, Berenbrink, Elsässer, Kaaser: "Discrete Load
+//! Balancing in Heterogeneous Networks with a Focus on Second-Order
+//! Diffusion"* (ICDCS 2015).
+//!
+//! It re-exports the three library layers:
+//!
+//! * [`graph`] — CSR graphs and the paper's network generators,
+//! * [`linalg`] — eigensolvers and spectral analysis of diffusion matrices,
+//! * [`core`] — the diffusion schemes (FOS/SOS, continuous and discrete),
+//!   the randomized rounding framework, hybrid switching, metrics, and the
+//!   theory-bound calculators,
+//! * [`viz`] — PGM/PPM rendering of torus load wavefronts.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sodiff::core::prelude::*;
+//! use sodiff::graph::generators;
+//!
+//! // A 16x16 torus with all load initially on node 0.
+//! let graph = generators::torus2d(16, 16);
+//! let spectrum = sodiff::linalg::spectral::analyze(&graph, &Speeds::uniform(graph.node_count()));
+//! let beta = beta_opt(spectrum.lambda);
+//!
+//! let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(42));
+//! let mut sim = Simulator::new(&graph, config, InitialLoad::point(0, 1000 * 256));
+//! let report = sim.run_until(StopCondition::MaxRounds(400));
+//! assert!(report.final_metrics.max_minus_avg < 20.0);
+//! ```
+
+pub use sodiff_core as core;
+pub use sodiff_graph as graph;
+pub use sodiff_linalg as linalg;
+pub use sodiff_viz as viz;

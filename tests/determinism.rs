@@ -1,0 +1,86 @@
+//! Reproducibility: fixed seeds give identical trajectories; distinct
+//! seeds and schemes diverge.
+
+use sodiff::core::prelude::*;
+use sodiff::graph::generators;
+use sodiff::linalg::spectral;
+
+fn run_loads(seed: u64, rounds: usize) -> Vec<i64> {
+    let g = generators::torus2d(12, 12);
+    let n = g.node_count();
+    let beta = spectral::analyze(&g, &Speeds::uniform(n)).beta_opt();
+    let mut sim = Simulator::new(
+        &g,
+        SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(seed)),
+        InitialLoad::paper_default(n),
+    );
+    sim.run_until(StopCondition::MaxRounds(rounds));
+    sim.loads_i64().unwrap().to_vec()
+}
+
+#[test]
+fn same_seed_same_trajectory() {
+    assert_eq!(run_loads(7, 300), run_loads(7, 300));
+}
+
+#[test]
+fn different_seed_different_trajectory() {
+    assert_ne!(run_loads(7, 300), run_loads(8, 300));
+}
+
+#[test]
+fn stepwise_equals_batch() {
+    let g = generators::cycle(30);
+    let make = || {
+        Simulator::new(
+            &g,
+            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(5)),
+            InitialLoad::point(0, 3000),
+        )
+    };
+    let mut batch = make();
+    batch.run_until(StopCondition::MaxRounds(100));
+    let mut stepwise = make();
+    for _ in 0..100 {
+        stepwise.step();
+    }
+    assert_eq!(batch.loads_i64().unwrap(), stepwise.loads_i64().unwrap());
+}
+
+#[test]
+fn deterministic_roundings_are_seed_independent() {
+    let g = generators::torus2d(8, 8);
+    let n = g.node_count();
+    let run = |rounding: Rounding| {
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::discrete(Scheme::fos(), rounding),
+            InitialLoad::paper_default(n),
+        );
+        sim.run_until(StopCondition::MaxRounds(200));
+        sim.loads_i64().unwrap().to_vec()
+    };
+    assert_eq!(run(Rounding::round_down()), run(Rounding::round_down()));
+    assert_eq!(run(Rounding::nearest()), run(Rounding::nearest()));
+    assert_ne!(run(Rounding::round_down()), run(Rounding::nearest()));
+}
+
+#[test]
+fn observer_does_not_perturb_run() {
+    let g = generators::torus2d(8, 8);
+    let n = g.node_count();
+    let make = || {
+        Simulator::new(
+            &g,
+            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(9)),
+            InitialLoad::paper_default(n),
+        )
+    };
+    let mut plain = make();
+    plain.run_until(StopCondition::MaxRounds(50));
+    let mut observed = make();
+    let mut rec = Recorder::new();
+    observed.run_until_with(StopCondition::MaxRounds(50), &mut rec);
+    assert_eq!(plain.loads_i64().unwrap(), observed.loads_i64().unwrap());
+    assert_eq!(rec.rows().len(), 50);
+}

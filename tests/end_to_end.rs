@@ -1,0 +1,172 @@
+//! End-to-end balancing runs across every graph class in the paper's
+//! Table I (scaled down), for both schemes and all rounding modes.
+
+use sodiff::core::prelude::*;
+use sodiff::graph::{generators, Graph};
+use sodiff::linalg::spectral;
+
+fn balance(graph: &Graph, scheme: Scheme, rounding: Rounding, rounds: usize) -> (f64, f64) {
+    let n = graph.node_count();
+    let config = SimulationConfig::discrete(scheme, rounding);
+    let mut sim = Simulator::new(graph, config, InitialLoad::paper_default(n));
+    sim.run_until(StopCondition::MaxRounds(rounds));
+    assert_eq!(
+        sim.total_load(),
+        (1000 * n) as f64,
+        "token conservation violated"
+    );
+    let m = sim.metrics();
+    (m.max_minus_avg, m.max_local_diff)
+}
+
+fn beta_for(graph: &Graph) -> f64 {
+    spectral::analyze(graph, &Speeds::uniform(graph.node_count())).beta_opt()
+}
+
+#[test]
+fn torus_sos_balances() {
+    let g = generators::torus2d(32, 32);
+    let beta = beta_for(&g);
+    let (max_avg, local) = balance(&g, Scheme::sos(beta), Rounding::randomized(1), 2000);
+    assert!(max_avg < 15.0, "max-avg {max_avg}");
+    assert!(local < 20.0, "local {local}");
+}
+
+#[test]
+fn torus_fos_balances_eventually() {
+    let g = generators::torus2d(16, 16);
+    let (max_avg, _) = balance(&g, Scheme::fos(), Rounding::randomized(2), 8000);
+    assert!(max_avg < 6.0, "max-avg {max_avg}");
+}
+
+#[test]
+fn hypercube_both_schemes() {
+    let g = generators::hypercube(10);
+    let beta = beta_for(&g);
+    let (sos, _) = balance(&g, Scheme::sos(beta), Rounding::randomized(3), 300);
+    let (fos, _) = balance(&g, Scheme::fos(), Rounding::randomized(3), 300);
+    // Paper Figure 13: on hypercubes FOS and SOS end up very close.
+    assert!(sos < 12.0, "sos {sos}");
+    assert!(fos < 12.0, "fos {fos}");
+}
+
+#[test]
+fn random_regular_graph_balances_fast() {
+    let g = generators::random_graph_cm(2048, 7).unwrap();
+    let beta = beta_for(&g);
+    let (sos, _) = balance(&g, Scheme::sos(beta), Rounding::randomized(4), 200);
+    assert!(sos < 12.0, "sos {sos}");
+}
+
+#[test]
+fn random_geometric_graph_balances() {
+    let g = generators::rgg_paper(1000, 5);
+    let beta = beta_for(&g);
+    let (sos, _) = balance(&g, Scheme::sos(beta), Rounding::randomized(5), 2000);
+    assert!(sos < 25.0, "sos {sos}");
+}
+
+#[test]
+fn cycle_balances_with_all_roundings() {
+    let g = generators::cycle(64);
+    let beta = beta_for(&g);
+    for rounding in [
+        Rounding::randomized(6),
+        Rounding::round_down(),
+        Rounding::nearest(),
+        Rounding::unbiased_edge(6),
+    ] {
+        let (max_avg, _) = balance(&g, Scheme::sos(beta), rounding, 4000);
+        assert!(max_avg < 40.0, "{rounding:?}: max-avg {max_avg}");
+    }
+}
+
+#[test]
+fn complete_graph_balances_immediately() {
+    let g = generators::complete(50);
+    let (max_avg, _) = balance(&g, Scheme::fos(), Rounding::randomized(8), 20);
+    assert!(max_avg <= 3.0, "max-avg {max_avg}");
+}
+
+#[test]
+fn sos_much_faster_than_fos_on_torus() {
+    // The central Table-I-graph claim: on tori (small spectral gap) SOS
+    // reaches a near-balanced state long before FOS.
+    let g = generators::torus2d(24, 24);
+    let beta = beta_for(&g);
+    let rounds_to = |scheme: Scheme| -> u64 {
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::discrete(scheme, Rounding::randomized(11)),
+            InitialLoad::paper_default(576),
+        );
+        sim.run_until(StopCondition::BalancedWithin {
+            threshold: 30.0,
+            max_rounds: 50_000,
+        })
+        .rounds
+    };
+    let sos = rounds_to(Scheme::sos(beta));
+    let fos = rounds_to(Scheme::fos());
+    assert!(
+        3 * sos < fos,
+        "SOS took {sos} rounds, FOS {fos}; expected ≥3x speedup"
+    );
+}
+
+#[test]
+fn idealized_and_discrete_agree_on_shape() {
+    // Figure 6: the idealized scheme tracks the discrete one closely at
+    // the macro level.
+    let g = generators::torus2d(20, 20);
+    let beta = beta_for(&g);
+    let n = g.node_count();
+    let mut disc = Simulator::new(
+        &g,
+        SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(12)),
+        InitialLoad::paper_default(n),
+    );
+    let mut cont = Simulator::new(
+        &g,
+        SimulationConfig::continuous(Scheme::sos(beta)),
+        InitialLoad::paper_default(n),
+    );
+    // During the decay phase the two trajectories agree to within a few
+    // percent; after convergence the discrete run keeps a small constant
+    // residual (the paper's "remaining imbalance") while the idealized one
+    // goes to ~0.
+    for _ in 0..40 {
+        disc.step();
+        cont.step();
+    }
+    let (d, c) = (disc.metrics(), cont.metrics());
+    let rel = (d.max_minus_avg - c.max_minus_avg).abs() / c.max_minus_avg.max(1.0);
+    assert!(rel < 0.3, "discrete {} vs continuous {}", d.max_minus_avg, c.max_minus_avg);
+    for _ in 0..400 {
+        disc.step();
+        cont.step();
+    }
+    let (d, c) = (disc.metrics(), cont.metrics());
+    assert!(c.max_minus_avg < 1.0, "idealized converges to ~0");
+    assert!(
+        d.max_minus_avg < 15.0,
+        "discrete residual stays constant-sized, got {}",
+        d.max_minus_avg
+    );
+}
+
+#[test]
+fn continuous_total_load_error_is_tiny() {
+    // Figure 6 (right): float drift of the idealized scheme is negligible.
+    let g = generators::torus2d(20, 20);
+    let beta = beta_for(&g);
+    let n = g.node_count();
+    let mut sim = Simulator::new(
+        &g,
+        SimulationConfig::continuous(Scheme::sos(beta)),
+        InitialLoad::paper_default(n),
+    );
+    sim.run_until(StopCondition::MaxRounds(2000));
+    let drift = (sim.total_load() - sim.initial_total()).abs();
+    assert!(drift < 1e-4, "float drift {drift}");
+}

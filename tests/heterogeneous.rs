@@ -1,0 +1,115 @@
+//! Heterogeneous-model integration tests: load balances proportionally to
+//! speed across profiles, schemes, and graphs.
+
+use sodiff::core::prelude::*;
+use sodiff::graph::{generators, Graph};
+use sodiff::linalg::spectral;
+
+fn proportional_error(graph: &Graph, speeds: &Speeds, scheme_beta: Option<f64>) -> f64 {
+    let _n = graph.node_count();
+    let scheme = match scheme_beta {
+        Some(beta) => Scheme::sos(beta),
+        None => Scheme::fos(),
+    };
+    let total = 200 * speeds.total() as i64;
+    let config =
+        SimulationConfig::discrete(scheme, Rounding::randomized(17)).with_speeds(speeds.clone());
+    let mut sim = Simulator::new(graph, config, InitialLoad::point(0, total));
+    sim.run_until(StopCondition::Plateau {
+        window: 60,
+        max_rounds: 20_000,
+    });
+    assert_eq!(sim.total_load(), total as f64, "conservation");
+    // Max relative error of per-node load vs speed-proportional ideal.
+    let loads = sim.loads_i64().unwrap();
+    loads
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let ideal = total as f64 * speeds.get(i) / speeds.total();
+            (x as f64 - ideal).abs() / ideal
+        })
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn two_class_speeds_on_torus() {
+    let g = generators::torus2d(12, 12);
+    let speeds = Speeds::two_class(144, 36, 4.0);
+    let beta = spectral::analyze(&g, &speeds).beta_opt();
+    let err = proportional_error(&g, &speeds, Some(beta));
+    assert!(err < 0.15, "relative error {err}");
+}
+
+#[test]
+fn linear_ramp_speeds_on_hypercube() {
+    let g = generators::hypercube(7);
+    let speeds = Speeds::linear_ramp(128, 6.0);
+    let beta = spectral::analyze(&g, &speeds).beta_opt();
+    let err = proportional_error(&g, &speeds, Some(beta));
+    assert!(err < 0.15, "relative error {err}");
+}
+
+#[test]
+fn random_skewed_speeds_with_fos() {
+    let g = generators::random_regular(200, 6, 3).unwrap();
+    let speeds = Speeds::random_skewed(200, 8.0, 1.5, 42);
+    let err = proportional_error(&g, &speeds, None);
+    assert!(err < 0.2, "relative error {err}");
+}
+
+#[test]
+fn heterogeneous_sos_faster_than_fos() {
+    let g = generators::torus2d(16, 16);
+    let speeds = Speeds::two_class(256, 64, 4.0);
+    let spec = spectral::analyze(&g, &speeds);
+    let rounds = |scheme: Scheme| -> u64 {
+        let config = SimulationConfig::continuous(scheme).with_speeds(speeds.clone());
+        let mut sim = Simulator::new(&g, config, InitialLoad::point(0, 256_000));
+        sim.run_until(StopCondition::BalancedWithin {
+            threshold: 1.0,
+            max_rounds: 200_000,
+        })
+        .rounds
+    };
+    let sos = rounds(Scheme::sos(spec.beta_opt()));
+    let fos = rounds(Scheme::fos());
+    assert!(2 * sos < fos, "sos {sos}, fos {fos}");
+}
+
+#[test]
+fn unit_speeds_match_homogeneous_metrics() {
+    // Config with explicit unit speeds must behave identically to the
+    // default homogeneous run (same seed).
+    let g = generators::torus2d(8, 8);
+    let n = g.node_count();
+    let run = |speeds: Option<Speeds>| {
+        let mut config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(3));
+        if let Some(s) = speeds {
+            config = config.with_speeds(s);
+        }
+        let mut sim = Simulator::new(&g, config, InitialLoad::paper_default(n));
+        sim.run_until(StopCondition::MaxRounds(150));
+        sim.loads_i64().unwrap().to_vec()
+    };
+    assert_eq!(run(None), run(Some(Speeds::uniform(n))));
+}
+
+#[test]
+fn hybrid_switch_works_heterogeneously() {
+    let g = generators::torus2d(12, 12);
+    let speeds = Speeds::two_class(144, 16, 3.0);
+    let spec = spectral::analyze(&g, &speeds);
+    let config = SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(5))
+        .with_speeds(speeds.clone());
+    let total = 144_000;
+    let mut sim = Simulator::new(&g, config, InitialLoad::point(0, total));
+    let report = run_hybrid_quiet(&mut sim, SwitchPolicy::AtRound(400), 1200);
+    assert!(report.switch_round.is_some());
+    let m = sim.metrics();
+    assert!(
+        m.max_minus_avg < 12.0,
+        "post-switch imbalance {}",
+        m.max_minus_avg
+    );
+}

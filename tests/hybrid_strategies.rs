@@ -1,0 +1,114 @@
+//! Cross-crate integration: hybrid switch triggers, including the
+//! eigenvector-coefficient trigger the paper discusses (Section VI), and
+//! the parallel executor running a full experiment.
+
+use sodiff::core::hybrid::run_hybrid_when;
+use sodiff::core::prelude::*;
+use sodiff::graph::generators;
+use sodiff::linalg::fourier::TorusModes;
+use sodiff::linalg::spectral;
+
+struct Null;
+impl Observer for Null {
+    fn on_round(&mut self, _: &Simulator<'_>) {}
+}
+
+/// The paper: "It seems reasonable to switch from SOS to FOS once the
+/// impact of the leading eigenvector drops below some threshold" (a
+/// global-knowledge strategy). Implemented via the Fourier eigenbasis.
+#[test]
+fn eigenvector_coefficient_trigger() {
+    let side = 20;
+    let g = generators::torus2d(side, side);
+    let n = g.node_count();
+    let beta = spectral::analyze(&g, &Speeds::uniform(n)).beta_opt();
+    let modes = TorusModes::new(side, side);
+    let mut sim = Simulator::new(
+        &g,
+        SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(3)),
+        InitialLoad::paper_default(n),
+    );
+    let mut loads = vec![0.0; n];
+    let report = run_hybrid_when(
+        &mut sim,
+        |sim| {
+            for (i, l) in loads.iter_mut().enumerate() {
+                *l = sim.load_of(i);
+            }
+            let coeffs = modes.coefficients(&loads);
+            TorusModes::leading(&coeffs)
+                .map(|lead| lead.amplitude < 50.0)
+                .unwrap_or(true)
+        },
+        600,
+        &mut Null,
+    );
+    let switch = report.switch_round.expect("trigger should fire");
+    assert!(switch > 5, "needs some SOS rounds first, switched at {switch}");
+    let final_imbalance = sim.metrics().max_minus_avg;
+    assert!(
+        final_imbalance <= 6.0,
+        "eigen-triggered hybrid should balance well, got {final_imbalance}"
+    );
+}
+
+/// The local-difference trigger (distributed-friendly) ends at the same
+/// quality as the fixed-round switch on the same instance.
+#[test]
+fn local_trigger_matches_fixed_switch_quality() {
+    let g = generators::torus2d(16, 16);
+    let n = g.node_count();
+    let beta = spectral::analyze(&g, &Speeds::uniform(n)).beta_opt();
+    let make = || {
+        Simulator::new(
+            &g,
+            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(9)),
+            InitialLoad::paper_default(n),
+        )
+    };
+    let mut fixed = make();
+    run_hybrid_quiet(&mut fixed, SwitchPolicy::AtRound(200), 500);
+    let mut local = make();
+    let report = run_hybrid_quiet(&mut local, SwitchPolicy::MaxLocalDiffBelow(20.0), 500);
+    assert!(report.switch_round.is_some());
+    let (f, l) = (fixed.metrics().max_minus_avg, local.metrics().max_minus_avg);
+    assert!(
+        (f - l).abs() <= 3.0,
+        "fixed-switch {f} vs local-trigger {l} should end comparably"
+    );
+}
+
+/// A full hybrid experiment on the parallel executor matches the
+/// sequential one exactly, including the switch round.
+#[test]
+fn parallel_hybrid_is_identical() {
+    let g = generators::torus2d(12, 12);
+    let n = g.node_count();
+    let beta = spectral::analyze(&g, &Speeds::uniform(n)).beta_opt();
+    let run = |threads: usize| {
+        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(4))
+            .with_threads(threads);
+        let mut sim = Simulator::new(&g, config, InitialLoad::paper_default(n));
+        let report = run_hybrid_quiet(&mut sim, SwitchPolicy::MaxLocalDiffBelow(25.0), 400);
+        (report.switch_round, sim.loads_i64().unwrap().to_vec())
+    };
+    let (seq_switch, seq_loads) = run(1);
+    let (par_switch, par_loads) = run(3);
+    assert_eq!(seq_switch, par_switch);
+    assert_eq!(seq_loads, par_loads);
+}
+
+/// Deviation measurement through the umbrella crate: coupled runs on a
+/// heterogeneous hypercube with threads enabled.
+#[test]
+fn parallel_coupled_deviation() {
+    use sodiff::core::deviation::coupled_run;
+    let g = generators::hypercube(8);
+    let speeds = Speeds::two_class(256, 32, 4.0);
+    let config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(6))
+        .with_speeds(speeds)
+        .with_threads(2);
+    let series = coupled_run(&g, config, InitialLoad::point(0, 256_000), 150);
+    assert_eq!(series.per_round.len(), 150);
+    assert!(series.max() < 100.0, "deviation {}", series.max());
+}

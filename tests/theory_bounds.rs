@@ -1,0 +1,186 @@
+//! Simulated quantities stay within the shapes of the paper's theorems.
+
+use sodiff::core::deviation::coupled_run;
+use sodiff::core::divergence::{refined_local_divergence_at, DivergenceOptions};
+use sodiff::core::prelude::*;
+use sodiff::core::theory;
+use sodiff::graph::generators;
+use sodiff::linalg::spectral;
+
+/// Theorem 4(2): randomized FOS deviation is O(d√(log n/(1−λ))) — check
+/// the measured deviation sits below a generous constant times the bound.
+#[test]
+fn fos_deviation_within_theorem4_envelope() {
+    for side in [8usize, 16] {
+        let g = generators::torus2d(side, side);
+        let n = g.node_count();
+        let spec = spectral::analyze(&g, &Speeds::uniform(n));
+        let series = coupled_run(
+            &g,
+            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(21)),
+            InitialLoad::paper_default(n),
+            2000,
+        );
+        let bound = theory::fos_deviation_bound(4, n, 1.0, spec.gap());
+        assert!(
+            series.max() < 3.0 * bound,
+            "side {side}: deviation {} vs bound {bound}",
+            series.max()
+        );
+    }
+}
+
+/// Theorem 9(2): randomized SOS deviation is O(d·√(log n)/(1−λ)^{3/4}).
+#[test]
+fn sos_deviation_within_theorem9_envelope() {
+    for side in [8usize, 16] {
+        let g = generators::torus2d(side, side);
+        let n = g.node_count();
+        let spec = spectral::analyze(&g, &Speeds::uniform(n));
+        let series = coupled_run(
+            &g,
+            SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(22)),
+            InitialLoad::paper_default(n),
+            2000,
+        );
+        let bound = theory::sos_deviation_bound(4, n, 1.0, spec.gap());
+        assert!(
+            series.max() < 3.0 * bound,
+            "side {side}: deviation {} vs bound {bound}",
+            series.max()
+        );
+    }
+}
+
+/// Theorem 8: even deterministic floor/ceiling rounding stays within the
+/// (much looser) O(d√(n s_max)/(1−λ)) envelope.
+#[test]
+fn arbitrary_rounding_within_theorem8_envelope() {
+    let g = generators::torus2d(12, 12);
+    let n = g.node_count();
+    let spec = spectral::analyze(&g, &Speeds::uniform(n));
+    let series = coupled_run(
+        &g,
+        SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::round_down()),
+        InitialLoad::paper_default(n),
+        3000,
+    );
+    let bound = theory::sos_arbitrary_rounding_deviation_bound(4, n, 1.0, spec.gap());
+    assert!(
+        series.max() < bound,
+        "deviation {} vs bound {bound}",
+        series.max()
+    );
+}
+
+/// Theorems 4(1)/9(1): numerically computed refined local divergences obey
+/// the bound shapes and their relative order.
+#[test]
+fn divergence_obeys_theorem_shapes() {
+    let g = generators::torus2d(12, 12);
+    let n = g.node_count();
+    let sp = Speeds::uniform(n);
+    let spec = spectral::analyze(&g, &sp);
+    let fos = refined_local_divergence_at(&g, &sp, Scheme::fos(), 0, DivergenceOptions::default());
+    let sos = refined_local_divergence_at(
+        &g,
+        &sp,
+        Scheme::sos(spec.beta_opt()),
+        0,
+        DivergenceOptions::default(),
+    );
+    let fos_bound = theory::fos_divergence_bound(4, 1.0, spec.gap());
+    let sos_bound = theory::sos_divergence_bound(4, 1.0, spec.gap());
+    assert!(fos < 5.0 * fos_bound, "fos {fos} vs bound {fos_bound}");
+    assert!(sos < 5.0 * sos_bound, "sos {sos} vs bound {sos_bound}");
+    assert!(fos < sos, "FOS divergence should be smaller");
+}
+
+/// Theorem 10: with the bound's worth of initial minimum load, continuous
+/// SOS never drives any node negative.
+#[test]
+fn continuous_sos_min_load_bound_prevents_negative() {
+    let g = generators::torus2d(16, 16);
+    let n = g.node_count();
+    let spec = spectral::analyze(&g, &Speeds::uniform(n));
+    let spike = 5_000i64;
+    let delta0 = spike as f64;
+    let bound = theory::min_initial_load_continuous_sos(n, delta0, spec.gap());
+    let mut loads = vec![bound.ceil() as i64; n];
+    loads[0] += spike;
+    let mut sim = Simulator::new(
+        &g,
+        SimulationConfig::continuous(Scheme::sos(spec.beta_opt())),
+        InitialLoad::Custom(loads),
+    );
+    sim.run_until(StopCondition::MaxRounds(3000));
+    assert!(
+        sim.min_transient_load() >= 0.0,
+        "transient went negative: {}",
+        sim.min_transient_load()
+    );
+}
+
+/// Theorem 11: same for the discrete randomized process.
+#[test]
+fn discrete_sos_min_load_bound_prevents_negative() {
+    let g = generators::torus2d(16, 16);
+    let n = g.node_count();
+    let spec = spectral::analyze(&g, &Speeds::uniform(n));
+    let spike = 5_000i64;
+    let bound = theory::min_initial_load_discrete_sos(n, spike as f64, 4, spec.gap());
+    let mut loads = vec![bound.ceil() as i64; n];
+    loads[0] += spike;
+    let mut sim = Simulator::new(
+        &g,
+        SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(31)),
+        InitialLoad::Custom(loads),
+    );
+    sim.run_until(StopCondition::MaxRounds(3000));
+    assert!(
+        sim.min_transient_load() >= 0.0,
+        "transient went negative: {}",
+        sim.min_transient_load()
+    );
+}
+
+/// Convergence-time shapes (Section II): measured round counts scale like
+/// log(Kn)/(1−λ) for FOS and log(Kn)/√(1−λ) for SOS as the torus grows.
+#[test]
+fn convergence_times_scale_with_gap() {
+    let measure = |side: usize, scheme_of: fn(f64) -> Scheme| -> (u64, f64) {
+        let g = generators::torus2d(side, side);
+        let n = g.node_count();
+        let spec = spectral::analyze(&g, &Speeds::uniform(n));
+        let mut sim = Simulator::new(
+            &g,
+            SimulationConfig::continuous(scheme_of(spec.beta_opt())),
+            InitialLoad::paper_default(n),
+        );
+        let r = sim
+            .run_until(StopCondition::BalancedWithin {
+                threshold: 1.0,
+                max_rounds: 2_000_000,
+            })
+            .rounds;
+        (r, spec.gap())
+    };
+    // FOS: rounds ratio between sides ~ gap ratio (log factor ~constant).
+    let (fos_small, gap_small) = measure(8, |_| Scheme::fos());
+    let (fos_large, gap_large) = measure(16, |_| Scheme::fos());
+    let measured_ratio = fos_large as f64 / fos_small as f64;
+    let gap_ratio = gap_small / gap_large;
+    assert!(
+        measured_ratio > 0.4 * gap_ratio && measured_ratio < 2.5 * gap_ratio,
+        "FOS scaling: measured {measured_ratio} vs gap ratio {gap_ratio}"
+    );
+    // SOS: ratio ~ sqrt(gap ratio).
+    let (sos_small, _) = measure(8, Scheme::sos);
+    let (sos_large, _) = measure(16, Scheme::sos);
+    let sos_ratio = sos_large as f64 / sos_small as f64;
+    let expected = gap_ratio.sqrt();
+    assert!(
+        sos_ratio > 0.4 * expected && sos_ratio < 2.5 * expected,
+        "SOS scaling: measured {sos_ratio} vs sqrt gap ratio {expected}"
+    );
+}
