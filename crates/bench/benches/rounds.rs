@@ -28,7 +28,10 @@ fn bench_step(c: &mut Criterion) {
                 "sos_discrete",
                 SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(1)),
             ),
-            ("fos_continuous", SimulationConfig::continuous(Scheme::fos())),
+            (
+                "fos_continuous",
+                SimulationConfig::continuous(Scheme::fos()),
+            ),
             (
                 "sos_continuous",
                 SimulationConfig::continuous(Scheme::sos(beta)),
@@ -46,12 +49,50 @@ fn bench_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+/// Sequential vs pooled executor cost on the same graph cases: the
+/// `threads` dimension tracks what the persistent worker pool costs or
+/// saves per round (bit-identical results by construction).
+fn bench_step_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_threads");
+    for (gname, graph) in graph_cases() {
+        let n = graph.node_count();
+        let beta = spectral::analyze(&graph, &Speeds::uniform(n)).beta_opt();
+        for threads in [1usize, 2, 4] {
+            let cases: [(&str, SimulationConfig); 2] = [
+                (
+                    "sos_discrete_nearest",
+                    SimulationConfig::discrete(Scheme::sos(beta), Rounding::nearest()),
+                ),
+                (
+                    "sos_discrete_randomized",
+                    SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(1)),
+                ),
+            ];
+            for (cname, config) in cases {
+                let mut sim = Simulator::new(
+                    &graph,
+                    config.with_threads(threads),
+                    InitialLoad::paper_default(n),
+                );
+                sim.step();
+                group.bench_function(
+                    BenchmarkId::new(format!("{cname}_t{threads}"), gname),
+                    |b| {
+                        b.iter(|| sim.step());
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_step
+    targets = bench_step, bench_step_threads
 }
 criterion_main!(benches);

@@ -22,14 +22,7 @@ fn main() {
     println!("Theory validation: refined local divergence and deviation on tori");
     println!(
         "{:>6} {:>10} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>14}",
-        "side",
-        "gap",
-        "ups_fos",
-        "bound_fos",
-        "ups_sos",
-        "bound_sos",
-        "dev_sos",
-        "thm3_envelope"
+        "side", "gap", "ups_fos", "bound_fos", "ups_sos", "bound_sos", "dev_sos", "thm3_envelope"
     );
 
     let mut rows = Vec::new();

@@ -29,7 +29,12 @@ fn main() {
     ] {
         let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed))
             .with_flow_memory(memory);
-        let series = coupled_run(&graph, config.clone(), InitialLoad::paper_default(n), rounds);
+        let series = coupled_run(
+            &graph,
+            config.clone(),
+            InitialLoad::paper_default(n),
+            rounds,
+        );
         let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         sim.run_until(StopCondition::MaxRounds(rounds));
         let m = sim.metrics();

@@ -57,7 +57,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut empirical_threshold: Option<i64> = None;
     for exp in 0..9 {
-        let base = if exp == 0 { 0 } else { 10i64.pow(exp + 1) / 10 * 5 }; // 0,5,50,...
+        let base = if exp == 0 {
+            0
+        } else {
+            10i64.pow(exp + 1) / 10 * 5
+        }; // 0,5,50,...
         let cont = min_transient(&graph, base, spike, beta, false, opts.seed, rounds);
         let disc = min_transient(&graph, base, spike, beta, true, opts.seed, rounds);
         println!("{base:>12} {cont:>20.1} {disc:>20.1}");

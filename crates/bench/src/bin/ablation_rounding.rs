@@ -30,7 +30,12 @@ fn main() {
         ("unbiased per edge", Rounding::unbiased_edge(opts.seed)),
     ] {
         let config = SimulationConfig::discrete(Scheme::sos(beta), rounding);
-        let series = coupled_run(&graph, config.clone(), InitialLoad::paper_default(n), rounds);
+        let series = coupled_run(
+            &graph,
+            config.clone(),
+            InitialLoad::paper_default(n),
+            rounds,
+        );
         let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         sim.run_until(StopCondition::MaxRounds(rounds));
         let m = sim.metrics();

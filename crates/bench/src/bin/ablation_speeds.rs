@@ -25,7 +25,10 @@ fn main() {
         ("two-class 4x/25%", Speeds::two_class(n, n / 4, 4.0)),
         ("two-class 16x/5%", Speeds::two_class(n, n / 20, 16.0)),
         ("linear ramp to 8", Speeds::linear_ramp(n, 8.0)),
-        ("skewed max 8", Speeds::random_skewed(n, 8.0, 2.0, opts.seed)),
+        (
+            "skewed max 8",
+            Speeds::random_skewed(n, 8.0, 2.0, opts.seed),
+        ),
     ];
 
     let mut rows = Vec::new();

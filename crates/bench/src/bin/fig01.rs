@@ -18,7 +18,10 @@ fn main() {
     println!("Figure 1: torus {side}x{side}, beta = {beta:.8}, {rounds} rounds");
 
     let stride = stride_for(rounds, 1000);
-    for (name, scheme) in [("fig01_sos", Scheme::sos(beta)), ("fig01_fos", Scheme::fos())] {
+    for (name, scheme) in [
+        ("fig01_sos", Scheme::sos(beta)),
+        ("fig01_fos", Scheme::fos()),
+    ] {
         let config = SimulationConfig::discrete(scheme, Rounding::randomized(opts.seed));
         let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         let mut rec = Recorder::every(stride);

@@ -24,8 +24,7 @@ fn main() {
     let stride = stride_for(horizon, 1400);
     // Pure SOS baseline.
     {
-        let config =
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
+        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
         let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         let mut rec = Recorder::every(stride);
         sim.run_until_with(StopCondition::MaxRounds(horizon as usize), &mut rec);
@@ -33,16 +32,10 @@ fn main() {
     }
     // Hybrids.
     for switch in switches {
-        let config =
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
+        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
         let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         let mut rec = Recorder::every(stride);
-        let report = run_hybrid(
-            &mut sim,
-            SwitchPolicy::AtRound(switch),
-            horizon,
-            &mut rec,
-        );
+        let report = run_hybrid(&mut sim, SwitchPolicy::AtRound(switch), horizon, &mut rec);
         save_recorder(&opts, &format!("fig04_switch{switch}"), &rec);
         println!(
             "  switch at {switch}: fired at {:?}, final max-avg {:.1}, local diff {:.1}",

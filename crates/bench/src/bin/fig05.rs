@@ -19,9 +19,7 @@ fn main() {
     let switch_a = (2500.0 * scale) as u64;
     let switch_b = (3000.0 * scale) as u64;
     let horizon = (3500.0 * scale) as u64;
-    println!(
-        "Figure 5: torus {side}x{side}, SOS vs switches at {switch_a} and {switch_b}"
-    );
+    println!("Figure 5: torus {side}x{side}, SOS vs switches at {switch_a} and {switch_b}");
 
     let make = || {
         Simulator::new(
@@ -36,8 +34,11 @@ fn main() {
 
     let path = opts.path("fig05_comparison");
     let mut w = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
-    writeln!(w, "round,sos_max_avg,switch{switch_a}_max_avg,switch{switch_b}_max_avg")
-        .expect("header");
+    writeln!(
+        w,
+        "round,sos_max_avg,switch{switch_a}_max_avg,switch{switch_b}_max_avg"
+    )
+    .expect("header");
     for round in 1..=horizon {
         if round == switch_a + 1 {
             hybrid_a.switch_scheme(Scheme::fos());

@@ -22,8 +22,7 @@ fn main() {
     let stride = stride_for(rounds, 1000);
     // Discrete randomized SOS.
     {
-        let config =
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
+        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
         let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         let mut rec = Recorder::every(stride);
         sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
@@ -42,8 +41,7 @@ fn main() {
         writeln!(w, "round,abs_total_load_error").expect("header");
         let initial = sim.initial_total();
         for row in rec.rows() {
-            writeln!(w, "{},{:e}", row.round, (row.total_load - initial).abs())
-                .expect("row");
+            writeln!(w, "{},{:e}", row.round, (row.total_load - initial).abs()).expect("row");
         }
         println!(
             "float drift after {rounds} rounds: {:e} tokens -> {}",

@@ -18,16 +18,14 @@ fn main() {
 
     // Pure SOS.
     {
-        let config =
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
+        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
         let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         let mut rec = Recorder::new();
         sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
         save_recorder(&opts, "fig08_sos", &rec);
     }
     for switch in [300u64, 500, 700, 900] {
-        let config =
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
+        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
         let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         let mut rec = Recorder::new();
         run_hybrid(&mut sim, SwitchPolicy::AtRound(switch), rounds, &mut rec);

@@ -19,9 +19,7 @@ fn main() {
     let sos_steps = (3000.0 * scale) as u64;
     let fos_a = (100.0 * scale).max(10.0) as u64;
     let fos_b = (1000.0 * scale) as u64;
-    println!(
-        "Figure 11: torus {side}x{side}; {sos_steps} SOS steps, then +{fos_a}/+{fos_b} FOS"
-    );
+    println!("Figure 11: torus {side}x{side}; {sos_steps} SOS steps, then +{fos_a}/+{fos_b} FOS");
 
     let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
     let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));

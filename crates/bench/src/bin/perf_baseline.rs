@@ -1,0 +1,242 @@
+//! Round-executor performance baseline: times the simulation hot loop and
+//! emits `BENCH_rounds.json` so the repo's perf trajectory has a measured
+//! data point per PR.
+//!
+//! Cases cover the acceptance grid of the executor work: single-threaded
+//! discrete rounds on a 512×512 torus (kernel cost) and sequential vs
+//! pooled execution on a 256×256 torus (executor cost), for both the
+//! deterministic and the randomized-framework rounding paths plus the
+//! continuous scheme.
+//!
+//! Usage: `perf_baseline [--out <path>] [--secs <s>] [--quick]`
+//!
+//! * `--out <path>` — where to write the JSON (default `BENCH_rounds.json`),
+//! * `--secs <s>` — measurement budget per case (default 1.0),
+//! * `--quick` — CI smoke mode: tiny graphs, short budget.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sodiff_core::prelude::*;
+use sodiff_graph::{generators, Graph};
+use sodiff_linalg::spectral;
+
+struct Case {
+    graph_name: &'static str,
+    config_name: &'static str,
+    threads: usize,
+    make: Box<dyn Fn() -> SimulationConfig>,
+}
+
+struct Measurement {
+    graph_name: String,
+    config_name: String,
+    threads: usize,
+    nodes: usize,
+    edges: usize,
+    rounds: u64,
+    total_secs: f64,
+    ns_per_round: f64,
+    ns_per_edge: f64,
+    edge_updates_per_sec: f64,
+    tokens_per_sec: f64,
+}
+
+fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let config = (case.make)().with_threads(case.threads);
+    let mut sim = Simulator::new(graph, config, InitialLoad::paper_default(n));
+    // Warm up: flow memory, pool threads, caches.
+    for _ in 0..3 {
+        sim.step();
+    }
+    // Tokens moved per round, sampled outside the timed region.
+    let mut tokens_per_round = 0.0;
+    for _ in 0..3 {
+        sim.step();
+        tokens_per_round += sim.previous_flows().iter().map(|f| f.abs()).sum::<f64>() / 3.0;
+    }
+    let start = Instant::now();
+    let mut rounds = 0u64;
+    while start.elapsed().as_secs_f64() < budget_secs {
+        for _ in 0..8 {
+            sim.step();
+        }
+        rounds += 8;
+    }
+    let total_secs = start.elapsed().as_secs_f64();
+    let ns_per_round = total_secs * 1e9 / rounds as f64;
+    let ns_per_edge = ns_per_round / m as f64;
+    Measurement {
+        graph_name: case.graph_name.to_string(),
+        config_name: case.config_name.to_string(),
+        threads: case.threads,
+        nodes: n,
+        edges: m,
+        rounds,
+        total_secs,
+        ns_per_round,
+        ns_per_edge,
+        edge_updates_per_sec: 1e9 / ns_per_edge,
+        tokens_per_sec: tokens_per_round / (ns_per_round / 1e9),
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_rounds.json");
+    let mut budget_secs = 1.0f64;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            "--secs" => {
+                budget_secs = args
+                    .next()
+                    .expect("--secs requires a value")
+                    .parse()
+                    .expect("--secs must be a number")
+            }
+            "--quick" => quick = true,
+            other => {
+                panic!("unknown argument {other}; supported: --out <path>, --secs <s>, --quick")
+            }
+        }
+    }
+    if quick {
+        budget_secs = budget_secs.min(0.2);
+    }
+
+    let (big_side, mid_side) = if quick { (64, 48) } else { (512, 256) };
+    let big_name: &'static str = if quick { "torus64x64" } else { "torus512x512" };
+    let mid_name: &'static str = if quick { "torus48x48" } else { "torus256x256" };
+    let big = generators::torus2d(big_side, big_side);
+    let mid = generators::torus2d(mid_side, mid_side);
+    let beta_mid = spectral::analyze(&mid, &Speeds::uniform(mid.node_count())).beta_opt();
+
+    let cases: Vec<(&Graph, Case)> = vec![
+        (
+            &big,
+            Case {
+                graph_name: big_name,
+                config_name: "fos_discrete_nearest",
+                threads: 1,
+                make: Box::new(|| SimulationConfig::discrete(Scheme::fos(), Rounding::nearest())),
+            },
+        ),
+        (
+            &big,
+            Case {
+                graph_name: big_name,
+                config_name: "fos_discrete_randomized",
+                threads: 1,
+                make: Box::new(|| {
+                    SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(42))
+                }),
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_discrete_nearest",
+                threads: 1,
+                make: Box::new(move || {
+                    SimulationConfig::discrete(Scheme::sos(beta_mid), Rounding::nearest())
+                }),
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_discrete_nearest",
+                threads: 4,
+                make: Box::new(move || {
+                    SimulationConfig::discrete(Scheme::sos(beta_mid), Rounding::nearest())
+                }),
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_discrete_randomized",
+                threads: 1,
+                make: Box::new(move || {
+                    SimulationConfig::discrete(Scheme::sos(beta_mid), Rounding::randomized(42))
+                }),
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_discrete_randomized",
+                threads: 4,
+                make: Box::new(move || {
+                    SimulationConfig::discrete(Scheme::sos(beta_mid), Rounding::randomized(42))
+                }),
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_continuous",
+                threads: 1,
+                make: Box::new(move || SimulationConfig::continuous(Scheme::sos(beta_mid))),
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_continuous",
+                threads: 4,
+                make: Box::new(move || SimulationConfig::continuous(Scheme::sos(beta_mid))),
+            },
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (graph, case) in &cases {
+        let r = measure(graph, case, budget_secs);
+        println!(
+            "{}/{} threads={}: {:.1} ns/round ({:.2} ns/edge, {:.2e} edge-updates/s, {:.2e} tokens/s)",
+            r.graph_name,
+            r.config_name,
+            r.threads,
+            r.ns_per_round,
+            r.ns_per_edge,
+            r.edge_updates_per_sec,
+            r.tokens_per_sec
+        );
+        results.push(r);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"rounds\",\n  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"graph\": \"{}\", \"config\": \"{}\", \"threads\": {}, \"nodes\": {}, \"edges\": {}, \"rounds\": {}, \"total_secs\": {:.4}, \"ns_per_round\": {:.1}, \"ns_per_edge\": {:.3}, \"edge_updates_per_sec\": {:.4e}, \"tokens_per_sec\": {:.4e}}}{comma}",
+            r.graph_name,
+            r.config_name,
+            r.threads,
+            r.nodes,
+            r.edges,
+            r.rounds,
+            r.total_secs,
+            r.ns_per_round,
+            r.ns_per_edge,
+            r.edge_updates_per_sec,
+            r.tokens_per_sec
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_rounds.json");
+    println!("wrote {out_path}");
+}

@@ -19,21 +19,44 @@ fn main() {
     );
 
     let mut emit = |name: &str, n: usize, lambda: f64, beta: f64, paper: Option<f64>| {
-        let paper_str = paper.map(|p| format!("{p:.10}")).unwrap_or_else(|| "-".into());
+        let paper_str = paper
+            .map(|p| format!("{p:.10}"))
+            .unwrap_or_else(|| "-".into());
         println!(
             "{:<28} {:>10} {:>14.10} {:>14.10} {:>14}",
             name, n, lambda, beta, paper_str
         );
-        rows.push(format!("{name},{n},{lambda},{beta},{}", paper.unwrap_or(f64::NAN)));
+        rows.push(format!(
+            "{name},{n},{lambda},{beta},{}",
+            paper.unwrap_or(f64::NAN)
+        ));
     };
 
     // Tori and hypercube: closed forms at paper scale.
     let s = spectral::torus_spectrum(&[1000, 1000]);
-    emit("torus 1000x1000", 1_000_000, s.lambda, s.beta_opt(), Some(1.9920836447));
+    emit(
+        "torus 1000x1000",
+        1_000_000,
+        s.lambda,
+        s.beta_opt(),
+        Some(1.9920836447),
+    );
     let s = spectral::torus_spectrum(&[100, 100]);
-    emit("torus 100x100", 10_000, s.lambda, s.beta_opt(), Some(1.9235874877));
+    emit(
+        "torus 100x100",
+        10_000,
+        s.lambda,
+        s.beta_opt(),
+        Some(1.9235874877),
+    );
     let s = spectral::hypercube_spectrum(20);
-    emit("hypercube 2^20", 1 << 20, s.lambda, s.beta_opt(), Some(1.4026054847));
+    emit(
+        "hypercube 2^20",
+        1 << 20,
+        s.lambda,
+        s.beta_opt(),
+        Some(1.4026054847),
+    );
 
     // Random graph (CM), d = floor(log2 n): power iteration.
     let n_cm = opts.scale(16_384, 1_000_000);
@@ -69,7 +92,13 @@ fn main() {
         },
     );
     let paper = if opts.full { Some(1.9554636334) } else { None };
-    emit("random geometric graph", n_rgg, s.lambda, s.beta_opt(), paper);
+    emit(
+        "random geometric graph",
+        n_rgg,
+        s.lambda,
+        s.beta_opt(),
+        paper,
+    );
 
     write_table(
         &opts.path("table1"),

@@ -51,9 +51,8 @@ impl ExpOpts {
             match arg.as_str() {
                 "--full" => opts.full = true,
                 "--out" => {
-                    opts.out_dir = PathBuf::from(
-                        args.next().expect("--out requires a directory argument"),
-                    );
+                    opts.out_dir =
+                        PathBuf::from(args.next().expect("--out requires a directory argument"));
                 }
                 "--seed" => {
                     opts.seed = args
@@ -62,9 +61,9 @@ impl ExpOpts {
                         .parse()
                         .expect("--seed value must be an integer");
                 }
-                other => panic!(
-                    "unknown argument {other}; supported: --full, --out <dir>, --seed <n>"
-                ),
+                other => {
+                    panic!("unknown argument {other}; supported: --full, --out <dir>, --seed <n>")
+                }
             }
         }
         fs::create_dir_all(&opts.out_dir).expect("create output directory");

@@ -118,8 +118,8 @@ mod tests {
     fn heterogeneous_coupled_run_works() {
         let g = generators::torus2d(5, 5);
         let speeds = Speeds::linear_ramp(25, 4.0);
-        let config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(7))
-            .with_speeds(speeds);
+        let config =
+            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(7)).with_speeds(speeds);
         let series = coupled_run(&g, config, InitialLoad::point(0, 12_500), 200);
         assert!(series.max() < 60.0, "max deviation {}", series.max());
     }

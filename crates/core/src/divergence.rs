@@ -164,7 +164,7 @@ pub fn refined_local_divergence_at(
         for i in graph.nodes() {
             let ri = row[i as usize];
             let mut worst = 0.0f64;
-            for &(j, _) in graph.neighbors(i) {
+            for &j in graph.neighbor_nodes(i) {
                 let d = ri - row[j as usize];
                 worst = worst.max(d * d);
             }
@@ -321,10 +321,7 @@ mod tests {
         for t in 0..5 {
             let p = dense_power(&m, t);
             for i in 0..5 {
-                assert!(
-                    (rows.row()[i] - p[(1, i)]).abs() < 1e-12,
-                    "t={t} i={i}"
-                );
+                assert!((rows.row()[i] - p[(1, i)]).abs() < 1e-12, "t={t} i={i}");
             }
             rows.advance();
         }
@@ -370,10 +367,7 @@ mod tests {
             refined_local_divergence_at(&g, &sp, Scheme::fos(), 0, DivergenceOptions::default())
         };
         assert!(s8 > 0.5, "divergence should be non-trivial, got {s8}");
-        assert!(
-            s16 > s8,
-            "divergence grows with the torus: {s8} vs {s16}"
-        );
+        assert!(s16 > s8, "divergence grows with the torus: {s8} vs {s16}");
         // And stays within the theorem's envelope (constant-free check:
         // compare against c·√(d/(1−λ)) with a generous c).
         let g = generators::torus2d(16, 16);
@@ -388,7 +382,8 @@ mod tests {
         let sp = Speeds::uniform(100);
         let spec = spectral::analyze(&g, &sp);
         let beta = spec.beta_opt();
-        let fos = refined_local_divergence_at(&g, &sp, Scheme::fos(), 0, DivergenceOptions::default());
+        let fos =
+            refined_local_divergence_at(&g, &sp, Scheme::fos(), 0, DivergenceOptions::default());
         let sos = refined_local_divergence_at(
             &g,
             &sp,

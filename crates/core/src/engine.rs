@@ -11,18 +11,26 @@
 //! # Parallel execution
 //!
 //! The paper's C++ simulator uses OpenMP; here
-//! [`SimulationConfig::with_threads`] enables a scoped-thread executor.
+//! [`SimulationConfig::with_threads`] enables a **persistent worker pool**
+//! (see [`crate::pool`]): threads are spawned once at construction and
+//! park on a barrier between rounds, so the per-round executor overhead is
+//! a handful of barrier waits instead of `threads × phases` thread spawns.
 //! Every phase of a round is decomposed into pure per-edge or per-node
-//! passes (node-centric application, per-(node, round)-keyed RNG streams),
-//! so the parallel path is **bit-identical** to the sequential one — for
-//! integer and floating-point loads alike — and results never depend on
-//! the thread count.
+//! passes (node-centric application, per-(node, round)-keyed RNG streams)
+//! that run through the same division-free kernels ([`crate::kernel`]) as
+//! the sequential executor, so the parallel path is **bit-identical** to
+//! the sequential one — for integer and floating-point loads alike — and
+//! results never depend on the thread count.
+
+use std::sync::Arc;
 
 use sodiff_graph::{Graph, Speeds};
 
 use crate::init::InitialLoad;
+use crate::kernel::{self, KernelTables};
 use crate::metrics::{snapshot_with, MetricsSnapshot, RemainingImbalance};
 use crate::observer::Observer;
+use crate::pool::{PoolMode, WorkerPool};
 use crate::rounding::Rounding;
 use crate::scheme::Scheme;
 
@@ -100,13 +108,17 @@ impl SimulationConfig {
         self
     }
 
-    /// Runs rounds on `threads` scoped worker threads. Results are
-    /// bit-identical to the sequential executor.
+    /// Runs rounds on a persistent pool of `threads` workers (spawned once
+    /// in [`Simulator::new`], parked on a barrier between rounds). Results
+    /// are bit-identical to the sequential executor.
     ///
-    /// Diffusion rounds are memory-bandwidth-bound; threads pay off on
-    /// paper-scale graphs (≥10⁶ nodes, ~1.6× at 8 threads on a 1000×1000
-    /// torus) but the per-round thread-spawn overhead makes them *slower*
-    /// below roughly 10⁵ edges — keep the default of 1 for small graphs.
+    /// Diffusion rounds are memory-bandwidth-bound. With the persistent
+    /// pool the per-round executor overhead is a few barrier waits
+    /// (micro­seconds), so threads start paying off around ~10⁴ edges on
+    /// multi-core hosts — roughly where one round's work outweighs the
+    /// rendezvous cost — instead of the ~10⁵-edge break-even the old
+    /// per-round `thread::scope` executor had. Keep the default of 1 for
+    /// small graphs or single-core machines.
     ///
     /// # Panics
     ///
@@ -195,115 +207,27 @@ enum State {
 pub struct Simulator<'g> {
     graph: &'g Graph,
     speeds: Speeds,
-    edge_alpha: Vec<f64>,
+    /// Division-free coefficient tables and SoA adjacency, shared with the
+    /// worker pool.
+    tables: Arc<KernelTables>,
     scheme: Scheme,
     flow_memory: FlowMemory,
     threads: usize,
     state: State,
     /// Previous-round flow memory for SOS (always stored as `f64`).
     prev_flow: Vec<f64>,
-    /// Scratch: scheduled continuous flows of the current round.
+    /// Scratch: scheduled flows (sequential randomized-framework path).
     scheduled: Vec<f64>,
-    /// Scratch for the parallel randomized-framework pass: per-arc
-    /// outgoing token counts (aligned with the graph's adjacency array).
+    /// Scratch: per-arc outgoing token counts (sequential framework path).
     arc_out: Vec<i64>,
-    /// Per-edge arc positions `(tail side, head side)` into `arc_out`.
-    edge_arc_pos: Vec<(u32, u32)>,
+    /// Scratch: one node's excess-token list (framework rounding).
+    excess: Vec<(usize, f64)>,
+    /// Persistent worker pool (`threads > 1` only).
+    pool: Option<WorkerPool>,
     round: u64,
     rounds_in_scheme: u64,
     min_transient: f64,
     initial_total: f64,
-}
-
-/// Balanced chunk boundaries: `parts + 1` cut points over `len` items.
-fn chunk_bounds(len: usize, parts: usize) -> Vec<usize> {
-    let parts = parts.max(1);
-    (0..=parts).map(|t| t * len / parts).collect()
-}
-
-/// Scheduled flows for the edge range `e0..e0+out.len()`:
-/// `Ŷ_e = mem·y_prev + gain·α_e·(x_u/s_u − x_v/s_v)`.
-#[allow(clippy::too_many_arguments)] // a flat hot-path kernel; grouping into a struct would obscure it
-fn scheduled_chunk(
-    graph: &Graph,
-    speeds: &Speeds,
-    alpha: &[f64],
-    prev: &[f64],
-    mem: f64,
-    gain: f64,
-    load_of: &(impl Fn(usize) -> f64 + Sync),
-    e0: usize,
-    out: &mut [f64],
-) {
-    let edges = &graph.edges()[e0..e0 + out.len()];
-    for (k, (s, &(u, v))) in out.iter_mut().zip(edges).enumerate() {
-        let e = e0 + k;
-        let (u, v) = (u as usize, v as usize);
-        let base = alpha[e] * (load_of(u) / speeds.get(u) - load_of(v) / speeds.get(v));
-        *s = mem * prev[e] + gain * base;
-    }
-}
-
-/// Node-centric application of integer flows to the node range starting at
-/// `n0` (whose loads are `loads_chunk`); returns the chunk's minimum
-/// transient load.
-fn apply_discrete_chunk(graph: &Graph, flows: &[i64], n0: usize, loads_chunk: &mut [i64]) -> f64 {
-    let mut min_transient = f64::INFINITY;
-    for (k, load) in loads_chunk.iter_mut().enumerate() {
-        let i = (n0 + k) as u32;
-        let mut outgoing: i64 = 0;
-        let mut net: i64 = 0;
-        for &(j, e) in graph.neighbors(i) {
-            // Canonical edges are (min, max): i is the tail iff i < j.
-            let y = if i < j {
-                flows[e as usize]
-            } else {
-                -flows[e as usize]
-            };
-            if y > 0 {
-                outgoing += y;
-            }
-            net += y;
-        }
-        let transient = (*load - outgoing) as f64;
-        if transient < min_transient {
-            min_transient = transient;
-        }
-        *load -= net;
-    }
-    min_transient
-}
-
-/// Continuous analog of [`apply_discrete_chunk`].
-fn apply_continuous_chunk(
-    graph: &Graph,
-    flows: &[f64],
-    n0: usize,
-    loads_chunk: &mut [f64],
-) -> f64 {
-    let mut min_transient = f64::INFINITY;
-    for (k, load) in loads_chunk.iter_mut().enumerate() {
-        let i = (n0 + k) as u32;
-        let mut outgoing = 0.0;
-        let mut net = 0.0;
-        for &(j, e) in graph.neighbors(i) {
-            let y = if i < j {
-                flows[e as usize]
-            } else {
-                -flows[e as usize]
-            };
-            if y > 0.0 {
-                outgoing += y;
-            }
-            net += y;
-        }
-        let transient = *load - outgoing;
-        if transient < min_transient {
-            min_transient = transient;
-        }
-        *load -= net;
-    }
-    min_transient
 }
 
 impl<'g> Simulator<'g> {
@@ -322,11 +246,11 @@ impl<'g> Simulator<'g> {
         let loads = init.materialize(n);
         let initial_total = loads.iter().map(|&x| x as f64).sum();
         let m = graph.edge_count();
-        let edge_alpha = graph
-            .edges()
-            .iter()
-            .map(|&(u, v)| graph.alpha(u, v))
-            .collect();
+        let framework = matches!(
+            config.mode,
+            Mode::Discrete(Rounding::RandomizedFramework { .. })
+        );
+        let tables = Arc::new(KernelTables::new(graph, &speeds, framework));
         let state = match config.mode {
             Mode::Discrete(rounding) => State::Discrete {
                 loads,
@@ -338,47 +262,52 @@ impl<'g> Simulator<'g> {
             },
         };
         let min_transient = match &state {
-            State::Discrete { loads, .. } => {
-                loads.iter().copied().min().unwrap_or(0) as f64
-            }
+            State::Discrete { loads, .. } => loads.iter().copied().min().unwrap_or(0) as f64,
             State::Continuous { loads } => loads.iter().copied().fold(f64::INFINITY, f64::min),
         };
-        // The arc plan is only needed by the parallel randomized-framework
-        // pass; build it eagerly when it will be used.
-        let needs_arcs = config.threads > 1
-            && matches!(
-                config.mode,
-                Mode::Discrete(Rounding::RandomizedFramework { .. })
-            );
-        let (arc_out, edge_arc_pos) = if needs_arcs {
-            let mut pos = vec![(0u32, 0u32); m];
-            for v in graph.nodes() {
-                let start = graph.arc_range(v).start;
-                for (idx, &(j, e)) in graph.neighbors(v).iter().enumerate() {
-                    let p = (start + idx) as u32;
-                    if v < j {
-                        pos[e as usize].0 = p;
-                    } else {
-                        pos[e as usize].1 = p;
-                    }
+        let pool = if config.threads > 1 {
+            let mode = match config.mode {
+                Mode::Discrete(Rounding::RandomizedFramework { seed }) => {
+                    PoolMode::DiscreteFramework { seed }
                 }
-            }
-            (vec![0i64; graph.arc_count()], pos)
+                Mode::Discrete(rounding) => PoolMode::DiscreteEdgeLocal(rounding),
+                Mode::Continuous => PoolMode::Continuous,
+            };
+            let (loads_i, loads_f): (&[i64], &[f64]) = match &state {
+                State::Discrete { loads, .. } => (loads, &[]),
+                State::Continuous { loads } => (&[], loads),
+            };
+            Some(WorkerPool::new(
+                config.threads,
+                Arc::clone(&tables),
+                mode,
+                config.flow_memory,
+                loads_i,
+                loads_f,
+            ))
+        } else {
+            None
+        };
+        // The sequential framework path needs the scheduled-flow and
+        // per-arc scratch; the fused edge-local path and the pool do not.
+        let (scheduled, arc_out) = if framework && pool.is_none() {
+            (vec![0.0; m], vec![0i64; graph.arc_count()])
         } else {
             (Vec::new(), Vec::new())
         };
         Self {
             graph,
             speeds,
-            edge_alpha,
+            tables,
             scheme: config.scheme,
             flow_memory: config.flow_memory,
             threads: config.threads,
             state,
             prev_flow: vec![0.0; m],
-            scheduled: vec![0.0; m],
+            scheduled,
             arc_out,
-            edge_arc_pos,
+            excess: Vec::new(),
+            pool,
             round: 0,
             rounds_in_scheme: 0,
             min_transient,
@@ -490,8 +419,8 @@ impl<'g> Simulator<'g> {
     /// Executes one synchronous round.
     pub fn step(&mut self) {
         let (mem, gain) = self.scheme.coefficients(self.rounds_in_scheme);
-        if self.threads > 1 {
-            self.step_threaded(mem, gain);
+        if self.pool.is_some() {
+            self.step_pooled(mem, gain);
         } else {
             self.step_sequential(mem, gain);
         }
@@ -500,245 +429,117 @@ impl<'g> Simulator<'g> {
     }
 
     fn step_sequential(&mut self, mem: f64, gain: f64) {
-        let graph = self.graph;
-        let n = graph.node_count();
-        match &mut self.state {
+        let Self {
+            tables,
+            state,
+            prev_flow,
+            scheduled,
+            arc_out,
+            excess,
+            flow_memory,
+            round,
+            min_transient,
+            ..
+        } = self;
+        let t = &**tables;
+        let (n, m) = (t.n, t.m);
+        match state {
             State::Discrete {
                 loads,
                 rounding,
                 int_flows,
             } => {
-                {
-                    let loads_ref: &[i64] = loads;
-                    scheduled_chunk(
-                        graph,
-                        &self.speeds,
-                        &self.edge_alpha,
-                        &self.prev_flow,
+                match *rounding {
+                    Rounding::RandomizedFramework { seed } => {
+                        kernel::edge_pass_scheduled(
+                            t,
+                            0..m,
+                            mem,
+                            gain,
+                            |i| loads[i] as f64,
+                            |e| prev_flow[e],
+                            &kernel::cells_f64(scheduled),
+                        );
+                        kernel::arc_round(
+                            t,
+                            0..n,
+                            seed,
+                            *round,
+                            |e| scheduled[e],
+                            &kernel::cells_i64(arc_out),
+                            excess,
+                        );
+                        kernel::edge_combine(
+                            t,
+                            0..m,
+                            *flow_memory,
+                            |p| arc_out[p],
+                            |e| scheduled[e],
+                            &kernel::cells_i64(int_flows),
+                            &kernel::cells_f64(prev_flow),
+                        );
+                    }
+                    rounding => kernel::edge_pass_fused(
+                        t,
+                        0..m,
                         mem,
                         gain,
-                        &|i| loads_ref[i] as f64,
-                        0,
-                        &mut self.scheduled,
-                    );
+                        *round,
+                        rounding,
+                        *flow_memory,
+                        |i| loads[i] as f64,
+                        &kernel::cells_f64(prev_flow),
+                        &kernel::cells_i64(int_flows),
+                    ),
                 }
-                rounding.round_flows(graph, &self.scheduled, self.round, int_flows);
-                let mt = apply_discrete_chunk(graph, int_flows, 0, loads);
-                if mt < self.min_transient {
-                    self.min_transient = mt;
+                let mt =
+                    kernel::apply_discrete(t, 0..n, |e| int_flows[e], &kernel::cells_i64(loads));
+                if mt < *min_transient {
+                    *min_transient = mt;
                 }
-                match self.flow_memory {
-                    FlowMemory::Rounded => {
-                        for (p, &y) in self.prev_flow.iter_mut().zip(int_flows.iter()) {
-                            *p = y as f64;
-                        }
-                    }
-                    FlowMemory::Scheduled => {
-                        self.prev_flow.copy_from_slice(&self.scheduled);
-                    }
-                }
-                let _ = n;
             }
             State::Continuous { loads } => {
-                {
-                    let loads_ref: &[f64] = loads;
-                    scheduled_chunk(
-                        graph,
-                        &self.speeds,
-                        &self.edge_alpha,
-                        &self.prev_flow,
-                        mem,
-                        gain,
-                        &|i| loads_ref[i],
-                        0,
-                        &mut self.scheduled,
-                    );
+                kernel::edge_pass_continuous(
+                    t,
+                    0..m,
+                    mem,
+                    gain,
+                    |i| loads[i],
+                    &kernel::cells_f64(prev_flow),
+                );
+                let mt =
+                    kernel::apply_continuous(t, 0..n, |e| prev_flow[e], &kernel::cells_f64(loads));
+                if mt < *min_transient {
+                    *min_transient = mt;
                 }
-                let mt = apply_continuous_chunk(graph, &self.scheduled, 0, loads);
-                if mt < self.min_transient {
-                    self.min_transient = mt;
-                }
-                self.prev_flow.copy_from_slice(&self.scheduled);
             }
         }
     }
 
-    fn step_threaded(&mut self, mem: f64, gain: f64) {
-        let graph = self.graph;
-        let speeds = &self.speeds;
-        let alpha = &self.edge_alpha;
-        let prev = &self.prev_flow;
-        let n = graph.node_count();
-        let m = graph.edge_count();
-        let threads = self.threads;
-        let edge_bounds = chunk_bounds(m, threads);
-        let node_bounds = chunk_bounds(n, threads);
-        match &mut self.state {
-            State::Discrete {
-                loads,
-                rounding,
-                int_flows,
-            } => {
-                // Phase 1: scheduled flows, chunked by edges.
-                {
-                    let loads_ref: &[i64] = loads;
-                    let load_of = |i: usize| loads_ref[i] as f64;
-                    std::thread::scope(|s| {
-                        let mut rest: &mut [f64] = &mut self.scheduled;
-                        for t in 0..threads {
-                            let len = edge_bounds[t + 1] - edge_bounds[t];
-                            let (chunk, r) = rest.split_at_mut(len);
-                            rest = r;
-                            let e0 = edge_bounds[t];
-                            let load_of = &load_of;
-                            s.spawn(move || {
-                                scheduled_chunk(
-                                    graph, speeds, alpha, prev, mem, gain, load_of, e0, chunk,
-                                );
-                            });
-                        }
-                    });
-                }
-                // Phase 2: rounding.
-                let scheduled: &[f64] = &self.scheduled;
-                let round = self.round;
-                if matches!(rounding, Rounding::RandomizedFramework { .. }) {
-                    // Node pass over per-arc outgoing counts, then an edge
-                    // pass combining the two sides.
-                    let rounding: Rounding = *rounding;
-                    std::thread::scope(|s| {
-                        let mut rest: &mut [i64] = &mut self.arc_out;
-                        for t in 0..threads {
-                            let arc_lo = graph.arc_range(node_bounds[t] as u32).start;
-                            let arc_hi = if node_bounds[t + 1] == n {
-                                graph.arc_count()
-                            } else {
-                                graph.arc_range(node_bounds[t + 1] as u32).start
-                            };
-                            let (chunk, r) = rest.split_at_mut(arc_hi - arc_lo);
-                            rest = r;
-                            let nodes = node_bounds[t] as u32..node_bounds[t + 1] as u32;
-                            s.spawn(move || {
-                                rounding.round_flows_arc_chunk(
-                                    graph, scheduled, round, nodes, arc_lo, chunk,
-                                );
-                            });
-                        }
-                    });
-                    let arc_out: &[i64] = &self.arc_out;
-                    let pos: &[(u32, u32)] = &self.edge_arc_pos;
-                    std::thread::scope(|s| {
-                        let mut rest: &mut [i64] = int_flows;
-                        for t in 0..threads {
-                            let len = edge_bounds[t + 1] - edge_bounds[t];
-                            let (chunk, r) = rest.split_at_mut(len);
-                            rest = r;
-                            let e0 = edge_bounds[t];
-                            s.spawn(move || {
-                                for (k, f) in chunk.iter_mut().enumerate() {
-                                    let (pu, pv) = pos[e0 + k];
-                                    *f = arc_out[pu as usize] - arc_out[pv as usize];
-                                }
-                            });
-                        }
-                    });
-                } else {
-                    let rounding: Rounding = *rounding;
-                    std::thread::scope(|s| {
-                        let mut rest: &mut [i64] = int_flows;
-                        for t in 0..threads {
-                            let len = edge_bounds[t + 1] - edge_bounds[t];
-                            let (chunk, r) = rest.split_at_mut(len);
-                            rest = r;
-                            let e0 = edge_bounds[t];
-                            s.spawn(move || {
-                                rounding.round_flows_edge_chunk(
-                                    &scheduled[e0..e0 + chunk.len()],
-                                    e0,
-                                    round,
-                                    chunk,
-                                );
-                            });
-                        }
-                    });
-                }
-                // Phase 3: node-centric application + transient tracking.
-                let flows: &[i64] = int_flows;
-                let mut mins = vec![f64::INFINITY; threads];
-                std::thread::scope(|s| {
-                    let mut rest: &mut [i64] = loads;
-                    let mut min_rest: &mut [f64] = &mut mins;
-                    for t in 0..threads {
-                        let len = node_bounds[t + 1] - node_bounds[t];
-                        let (chunk, r) = rest.split_at_mut(len);
-                        rest = r;
-                        let (slot, mr) = min_rest.split_at_mut(1);
-                        min_rest = mr;
-                        let n0 = node_bounds[t];
-                        s.spawn(move || {
-                            slot[0] = apply_discrete_chunk(graph, flows, n0, chunk);
-                        });
-                    }
-                });
-                let mt = mins.into_iter().fold(f64::INFINITY, f64::min);
-                if mt < self.min_transient {
-                    self.min_transient = mt;
-                }
-                match self.flow_memory {
-                    FlowMemory::Rounded => {
-                        for (p, &y) in self.prev_flow.iter_mut().zip(int_flows.iter()) {
-                            *p = y as f64;
-                        }
-                    }
-                    FlowMemory::Scheduled => {
-                        self.prev_flow.copy_from_slice(&self.scheduled);
-                    }
-                }
-            }
-            State::Continuous { loads } => {
-                {
-                    let loads_ref: &[f64] = loads;
-                    let load_of = |i: usize| loads_ref[i];
-                    std::thread::scope(|s| {
-                        let mut rest: &mut [f64] = &mut self.scheduled;
-                        for t in 0..threads {
-                            let len = edge_bounds[t + 1] - edge_bounds[t];
-                            let (chunk, r) = rest.split_at_mut(len);
-                            rest = r;
-                            let e0 = edge_bounds[t];
-                            let load_of = &load_of;
-                            s.spawn(move || {
-                                scheduled_chunk(
-                                    graph, speeds, alpha, prev, mem, gain, load_of, e0, chunk,
-                                );
-                            });
-                        }
-                    });
-                }
-                let flows: &[f64] = &self.scheduled;
-                let mut mins = vec![f64::INFINITY; threads];
-                std::thread::scope(|s| {
-                    let mut rest: &mut [f64] = loads;
-                    let mut min_rest: &mut [f64] = &mut mins;
-                    for t in 0..threads {
-                        let len = node_bounds[t + 1] - node_bounds[t];
-                        let (chunk, r) = rest.split_at_mut(len);
-                        rest = r;
-                        let (slot, mr) = min_rest.split_at_mut(1);
-                        min_rest = mr;
-                        let n0 = node_bounds[t];
-                        s.spawn(move || {
-                            slot[0] = apply_continuous_chunk(graph, flows, n0, chunk);
-                        });
-                    }
-                });
-                let mt = mins.into_iter().fold(f64::INFINITY, f64::min);
-                if mt < self.min_transient {
-                    self.min_transient = mt;
-                }
-                self.prev_flow.copy_from_slice(&self.scheduled);
-            }
+    fn step_pooled(&mut self, mem: f64, gain: f64) {
+        let Self {
+            pool,
+            state,
+            prev_flow,
+            round,
+            min_transient,
+            ..
+        } = self;
+        let pool = pool.as_mut().expect("step_pooled requires a pool");
+        let mt = pool.run_round(mem, gain, *round);
+        if mt < *min_transient {
+            *min_transient = mt;
         }
+        // Mirror the pool's canonical state back into the accessor-visible
+        // vectors (bit-exact copies). This eager O(n + m) sync keeps every
+        // `&self` accessor valid between rounds; threshold/plateau stop
+        // conditions and observers read loads each round anyway, so a lazy
+        // dirty-flag scheme would mostly shift the cost, not remove it.
+        match state {
+            State::Discrete { loads, .. } => pool.read_loads_i(loads),
+            State::Continuous { loads } => pool.read_loads_f(loads),
+        }
+        pool.read_prev(prev_flow);
     }
 
     /// Runs until the stop condition fires; returns a report.
@@ -845,11 +646,7 @@ mod tests {
             Rounding::nearest(),
             Rounding::unbiased_edge(3),
         ] {
-            let mut sim = Simulator::new(
-                &g,
-                small_config(rounding),
-                InitialLoad::point(5, 4321),
-            );
+            let mut sim = Simulator::new(&g, small_config(rounding), InitialLoad::point(5, 4321));
             sim.run_until(StopCondition::MaxRounds(100));
             assert_eq!(sim.total_load(), 4321.0, "{rounding:?}");
         }
@@ -1192,15 +989,5 @@ mod tests {
         sim.step();
         // Node 0 (deg 1, neighbor deg 2): alpha = 1/3, flow = 30 exactly.
         assert_eq!(sim.previous_flows()[0], 30.0);
-    }
-
-    #[test]
-    fn chunk_bounds_partition() {
-        for (len, parts) in [(10usize, 3usize), (7, 7), (5, 8), (0, 4), (100, 1)] {
-            let b = chunk_bounds(len, parts);
-            assert_eq!(b[0], 0);
-            assert_eq!(*b.last().unwrap(), len);
-            assert!(b.windows(2).all(|w| w[0] <= w[1]));
-        }
     }
 }

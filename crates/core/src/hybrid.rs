@@ -156,10 +156,7 @@ pub fn compare_sos_vs_hybrid<'g>(
 ) -> (f64, f64) {
     sos.run_until(StopCondition::MaxRounds(total_rounds as usize));
     run_hybrid_quiet(&mut hybrid, policy, total_rounds);
-    (
-        sos.metrics().max_minus_avg,
-        hybrid.metrics().max_minus_avg,
-    )
+    (sos.metrics().max_minus_avg, hybrid.metrics().max_minus_avg)
 }
 
 #[cfg(test)]

@@ -103,9 +103,7 @@ impl InitialLoad {
             InitialLoad::Point { total, .. } => *total,
             InitialLoad::EqualPerNode(per) => per * n as i64,
             InitialLoad::UniformRandom { total, .. } => *total,
-            InitialLoad::Ramp { .. } | InitialLoad::Custom(_) => {
-                self.materialize(n).iter().sum()
-            }
+            InitialLoad::Ramp { .. } | InitialLoad::Custom(_) => self.materialize(n).iter().sum(),
         }
     }
 }

@@ -1,0 +1,749 @@
+//! Division-free fused round kernels over flat structure-of-arrays state.
+//!
+//! Every phase of a simulation round is expressed here as a pure pass over
+//! an index range, parameterized over *how* state is read and written:
+//!
+//! * the sequential executor instantiates the passes with [`CellsF64`] /
+//!   [`CellsI64`] wrappers over plain slices (zero-cost shared-writable
+//!   views via [`std::cell::Cell`]),
+//! * the persistent worker pool instantiates the *same* passes with
+//!   [`AtomicsF64`] / [`AtomicsI64`] wrappers over relaxed atomics.
+//!
+//! Because both executors run byte-for-byte the same arithmetic in the
+//! same per-element order, parallel results are bit-identical to
+//! sequential ones by construction — the property `tests/determinism.rs`
+//! checks exhaustively.
+//!
+//! The per-edge work is division-free: [`KernelTables`] precomputes the
+//! coefficient tables `coef_tail[e] = α_e/s_u` and `coef_head[e] = α_e/s_v`
+//! at simulator construction, so the scheduled-flow pass is a fused
+//! multiply–add over five flat arrays
+//! (`Ŷ_e = mem·prev_e + gain·(coef_tail[e]·x_u − coef_head[e]·x_v)`)
+//! instead of the two `f64` divisions per edge the naive form
+//! `α_e·(x_u/s_u − x_v/s_v)` costs. For the edge-local rounding schemes
+//! the rounding is fused into the same pass, saving a full sweep over the
+//! edge arrays per round.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+
+use sodiff_graph::{Graph, Speeds};
+
+use crate::engine::FlowMemory;
+use crate::rng::SplitMix64;
+use crate::rounding::Rounding;
+
+/// Immutable per-simulation tables shared by the sequential executor and
+/// the worker pool (via `Arc`): division-free edge coefficients plus a
+/// structure-of-arrays copy of the CSR adjacency.
+pub(crate) struct KernelTables {
+    /// Node count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Canonical tail (`u` of `(u, v)`, `u < v`) per edge.
+    pub tail: Vec<u32>,
+    /// Canonical head per edge.
+    pub head: Vec<u32>,
+    /// `α_e / s_tail` per edge.
+    pub coef_tail: Vec<f64>,
+    /// `α_e / s_head` per edge.
+    pub coef_head: Vec<f64>,
+    /// CSR arc offsets, length `n + 1`.
+    pub offsets: Vec<usize>,
+    /// Arc-indexed edge ids.
+    pub arc_edges: Vec<u32>,
+    /// Arc-indexed orientation signs (`+1` = owner is the tail).
+    pub arc_signs: Vec<i8>,
+    /// Per-edge arc positions `(tail side, head side)`; built only when the
+    /// randomized rounding framework needs the arc decomposition.
+    pub edge_arc_pos: Vec<(u32, u32)>,
+}
+
+impl KernelTables {
+    /// Builds the tables for `graph` with the given speeds.
+    pub fn new(graph: &Graph, speeds: &Speeds, needs_arc_plan: bool) -> Self {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+        let mut tail = Vec::with_capacity(m);
+        let mut head = Vec::with_capacity(m);
+        let mut coef_tail = Vec::with_capacity(m);
+        let mut coef_head = Vec::with_capacity(m);
+        for &(u, v) in graph.edges() {
+            let alpha = graph.alpha(u, v);
+            tail.push(u);
+            head.push(v);
+            coef_tail.push(alpha / speeds.get(u as usize));
+            coef_head.push(alpha / speeds.get(v as usize));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        for v in 0..=n {
+            offsets.push(if v == n {
+                graph.arc_count()
+            } else {
+                graph.arc_range(v as u32).start
+            });
+        }
+        let edge_arc_pos = if needs_arc_plan {
+            let mut pos = vec![(0u32, 0u32); m];
+            for v in graph.nodes() {
+                let start = graph.arc_range(v).start;
+                for (idx, &e) in graph.neighbor_edges(v).iter().enumerate() {
+                    let p = (start + idx) as u32;
+                    if graph.neighbor_signs(v)[idx] > 0 {
+                        pos[e as usize].0 = p;
+                    } else {
+                        pos[e as usize].1 = p;
+                    }
+                }
+            }
+            pos
+        } else {
+            Vec::new()
+        };
+        Self {
+            n,
+            m,
+            tail,
+            head,
+            coef_tail,
+            coef_head,
+            offsets,
+            arc_edges: graph.arc_edge_ids().to_vec(),
+            arc_signs: graph.arc_orientations().to_vec(),
+            edge_arc_pos,
+        }
+    }
+}
+
+/// Shared-writable `f64` storage: a plain slice (sequential executor) or
+/// relaxed atomics (worker pool) behind one interface.
+///
+/// The element slice is exposed so hot loops can zip a sub-range and let
+/// the compiler elide per-element bounds checks; `get`/`set` cover random
+/// access.
+pub(crate) trait BufF64 {
+    /// Storage element (`Cell<f64>` or `AtomicU64`).
+    type Elem;
+    /// The backing elements.
+    fn elems(&self) -> &[Self::Elem];
+    /// Reads one element.
+    fn read(e: &Self::Elem) -> f64;
+    /// Writes one element.
+    fn write(e: &Self::Elem, v: f64);
+    /// Reads element `i`.
+    #[inline(always)]
+    fn get(&self, i: usize) -> f64 {
+        Self::read(&self.elems()[i])
+    }
+    /// Writes element `i`.
+    #[inline(always)]
+    fn set(&self, i: usize, v: f64) {
+        Self::write(&self.elems()[i], v);
+    }
+}
+
+/// Shared-writable `i64` storage (see [`BufF64`]).
+pub(crate) trait BufI64 {
+    /// Storage element (`Cell<i64>` or `AtomicI64`).
+    type Elem;
+    /// The backing elements.
+    fn elems(&self) -> &[Self::Elem];
+    /// Reads one element.
+    fn read(e: &Self::Elem) -> i64;
+    /// Writes one element.
+    fn write(e: &Self::Elem, v: i64);
+    /// Reads element `i`.
+    #[inline(always)]
+    fn get(&self, i: usize) -> i64 {
+        Self::read(&self.elems()[i])
+    }
+    /// Writes element `i`.
+    #[inline(always)]
+    fn set(&self, i: usize, v: i64) {
+        Self::write(&self.elems()[i], v);
+    }
+}
+
+/// [`BufF64`] over a plain slice via `Cell` (single-threaded).
+pub(crate) struct CellsF64<'a>(pub &'a [Cell<f64>]);
+
+/// [`BufI64`] over a plain slice via `Cell` (single-threaded).
+pub(crate) struct CellsI64<'a>(pub &'a [Cell<i64>]);
+
+/// [`BufF64`] over relaxed atomics storing `f64` bits (worker pool).
+pub(crate) struct AtomicsF64<'a>(pub &'a [AtomicU64]);
+
+/// [`BufI64`] over relaxed atomics (worker pool).
+pub(crate) struct AtomicsI64<'a>(pub &'a [AtomicI64]);
+
+/// Shared-writable view of a mutable `f64` slice.
+pub(crate) fn cells_f64(s: &mut [f64]) -> CellsF64<'_> {
+    CellsF64(Cell::from_mut(s).as_slice_of_cells())
+}
+
+/// Shared-writable view of a mutable `i64` slice.
+pub(crate) fn cells_i64(s: &mut [i64]) -> CellsI64<'_> {
+    CellsI64(Cell::from_mut(s).as_slice_of_cells())
+}
+
+impl BufF64 for CellsF64<'_> {
+    type Elem = Cell<f64>;
+    #[inline(always)]
+    fn elems(&self) -> &[Cell<f64>] {
+        self.0
+    }
+    #[inline(always)]
+    fn read(e: &Cell<f64>) -> f64 {
+        e.get()
+    }
+    #[inline(always)]
+    fn write(e: &Cell<f64>, v: f64) {
+        e.set(v);
+    }
+}
+
+impl BufI64 for CellsI64<'_> {
+    type Elem = Cell<i64>;
+    #[inline(always)]
+    fn elems(&self) -> &[Cell<i64>] {
+        self.0
+    }
+    #[inline(always)]
+    fn read(e: &Cell<i64>) -> i64 {
+        e.get()
+    }
+    #[inline(always)]
+    fn write(e: &Cell<i64>, v: i64) {
+        e.set(v);
+    }
+}
+
+impl BufF64 for AtomicsF64<'_> {
+    type Elem = AtomicU64;
+    #[inline(always)]
+    fn elems(&self) -> &[AtomicU64] {
+        self.0
+    }
+    #[inline(always)]
+    fn read(e: &AtomicU64) -> f64 {
+        f64::from_bits(e.load(Relaxed))
+    }
+    #[inline(always)]
+    fn write(e: &AtomicU64, v: f64) {
+        e.store(v.to_bits(), Relaxed);
+    }
+}
+
+impl BufI64 for AtomicsI64<'_> {
+    type Elem = AtomicI64;
+    #[inline(always)]
+    fn elems(&self) -> &[AtomicI64] {
+        self.0
+    }
+    #[inline(always)]
+    fn read(e: &AtomicI64) -> i64 {
+        e.load(Relaxed)
+    }
+    #[inline(always)]
+    fn write(e: &AtomicI64, v: i64) {
+        e.store(v, Relaxed);
+    }
+}
+
+/// `s.trunc() as i64` without the libm call: the `f64 → i64` cast *is*
+/// truncation toward zero (`cvttsd2si`), with the same saturating
+/// overflow/NaN behavior as trunc-then-cast.
+#[inline(always)]
+fn trunc_i64(s: f64) -> i64 {
+    s as i64
+}
+
+/// `s.round() as i64` (half away from zero) without the libm call.
+///
+/// Exact: `s − trunc(s)` is computed without rounding error (Sterbenz for
+/// `|s| ≥ 1`, trivially for `|s| < 1`), so the half-comparison sees the
+/// true fractional part — including boundary cases like
+/// `0.49999999999999994` that the naive `(s + 0.5).trunc()` gets wrong.
+/// The adjustment saturates so `|s| ≥ 2⁶³` keeps the cast's saturating
+/// behavior instead of wrapping.
+#[inline(always)]
+fn round_i64(s: f64) -> i64 {
+    let t = s as i64;
+    let frac = s - t as f64;
+    t.saturating_add(i64::from(frac >= 0.5))
+        .saturating_sub(i64::from(frac <= -0.5))
+}
+
+/// `s.floor()` and the exact fractional part `s − ⌊s⌋`, without libm
+/// (saturating at the `i64` range like the cast itself).
+#[inline(always)]
+fn floor_frac(s: f64) -> (i64, f64) {
+    let t = s as i64;
+    let f = t.saturating_sub(i64::from((t as f64) > s));
+    (f, s - f as f64)
+}
+
+/// `r.ceil() as i64` for `r ≥ 0`, without libm (saturating).
+#[inline(always)]
+fn ceil_i64(r: f64) -> i64 {
+    let t = r as i64;
+    t.saturating_add(i64::from((t as f64) < r))
+}
+
+/// Fused edge pass for the **edge-local** rounding schemes in discrete
+/// mode: computes the scheduled flow
+/// `Ŷ_e = mem·prev_e + gain·(coef_tail·x_tail − coef_head·x_head)`,
+/// rounds it, and updates the SOS flow memory, all in one zipped sweep
+/// over `edges` (bounds checks hoisted by slicing the range up front).
+///
+/// # Panics
+///
+/// Panics for [`Rounding::RandomizedFramework`], which is node-centric and
+/// runs through [`edge_pass_scheduled`] → [`arc_round`] → [`edge_combine`].
+#[allow(clippy::too_many_arguments)] // a flat hot-path kernel; a params struct would obscure it
+pub(crate) fn edge_pass_fused<P: BufF64, F: BufI64>(
+    t: &KernelTables,
+    edges: Range<usize>,
+    mem: f64,
+    gain: f64,
+    round: u64,
+    rounding: Rounding,
+    flow_memory: FlowMemory,
+    x: impl Fn(usize) -> f64,
+    prev: &P,
+    flows: &F,
+) {
+    let e0 = edges.start;
+    let tails = &t.tail[edges.clone()];
+    let heads = &t.head[edges.clone()];
+    let coefs = t.coef_tail[edges.clone()]
+        .iter()
+        .zip(&t.coef_head[edges.clone()]);
+    let prevs = &prev.elems()[edges.clone()];
+    let flow_elems = &flows.elems()[edges];
+    let arrays = tails
+        .iter()
+        .zip(heads)
+        .zip(coefs)
+        .zip(prevs)
+        .zip(flow_elems);
+    macro_rules! fused_loop {
+        (|$k:ident, $s:ident| $round_expr:expr) => {
+            for ($k, ((((&u, &v), (&ct, &ch)), pe), fe)) in arrays.enumerate() {
+                let $s = mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize));
+                let y: i64 = $round_expr;
+                F::write(fe, y);
+                P::write(
+                    pe,
+                    match flow_memory {
+                        FlowMemory::Rounded => y as f64,
+                        FlowMemory::Scheduled => $s,
+                    },
+                );
+            }
+        };
+    }
+    match rounding {
+        Rounding::RoundDown => fused_loop!(|_k, s| trunc_i64(s)),
+        Rounding::Nearest => fused_loop!(|_k, s| round_i64(s)),
+        Rounding::UnbiasedEdge { seed } => fused_loop!(|k, s| {
+            let mut rng = SplitMix64::for_node_round(seed, (e0 + k) as u32, round);
+            let (floor, frac) = floor_frac(s);
+            floor + i64::from(rng.next_f64() < frac)
+        }),
+        Rounding::RandomizedFramework { .. } => {
+            panic!("the randomized framework is node-centric; use the arc passes")
+        }
+    }
+}
+
+/// Scheduled-flow-only edge pass (phase 1 of the randomized framework).
+pub(crate) fn edge_pass_scheduled<S: BufF64>(
+    t: &KernelTables,
+    edges: Range<usize>,
+    mem: f64,
+    gain: f64,
+    x: impl Fn(usize) -> f64,
+    prev: impl Fn(usize) -> f64,
+    sched: &S,
+) {
+    let e0 = edges.start;
+    let tails = &t.tail[edges.clone()];
+    let heads = &t.head[edges.clone()];
+    let coefs = t.coef_tail[edges.clone()]
+        .iter()
+        .zip(&t.coef_head[edges.clone()]);
+    let scheds = &sched.elems()[edges];
+    for (k, (((&u, &v), (&ct, &ch)), se)) in
+        tails.iter().zip(heads).zip(coefs).zip(scheds).enumerate()
+    {
+        let s = mem * prev(e0 + k) + gain * (ct * x(u as usize) - ch * x(v as usize));
+        S::write(se, s);
+    }
+}
+
+/// Fused edge pass for continuous mode: the scheduled flow *is* the flow,
+/// so it is written straight into the flow memory (which the apply pass
+/// then reads as this round's flows).
+pub(crate) fn edge_pass_continuous<P: BufF64>(
+    t: &KernelTables,
+    edges: Range<usize>,
+    mem: f64,
+    gain: f64,
+    x: impl Fn(usize) -> f64,
+    prev: &P,
+) {
+    let tails = &t.tail[edges.clone()];
+    let heads = &t.head[edges.clone()];
+    let coefs = t.coef_tail[edges.clone()]
+        .iter()
+        .zip(&t.coef_head[edges.clone()]);
+    let prevs = &prev.elems()[edges];
+    for (((&u, &v), (&ct, &ch)), pe) in tails.iter().zip(heads).zip(coefs).zip(prevs) {
+        let s = mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize));
+        P::write(pe, s);
+    }
+}
+
+/// Node-centric randomized-framework pass over `nodes` (paper
+/// Section III-B): floors every positive outgoing flow into its arc slot,
+/// then distributes the `⌈r⌉` excess tokens randomly, keyed by
+/// `(seed, node, round)` so the result is independent of chunking.
+pub(crate) fn arc_round(
+    t: &KernelTables,
+    nodes: Range<usize>,
+    seed: u64,
+    round: u64,
+    sched: impl Fn(usize) -> f64,
+    arc_out: &impl BufI64,
+    excess: &mut Vec<(usize, f64)>,
+) {
+    for p in t.offsets[nodes.start]..t.offsets[nodes.end] {
+        arc_out.set(p, 0);
+    }
+    for v in nodes {
+        excess.clear();
+        let mut r = 0.0f64;
+        for p in t.offsets[v]..t.offsets[v + 1] {
+            let outflow = sched(t.arc_edges[p] as usize) * t.arc_signs[p] as f64;
+            if outflow > 0.0 {
+                let (base, frac) = floor_frac(outflow);
+                arc_out.set(p, base);
+                if frac > 0.0 {
+                    excess.push((p, frac));
+                    r += frac;
+                }
+            }
+        }
+        if excess.is_empty() {
+            continue;
+        }
+        let tokens = ceil_i64(r);
+        if tokens == 0 {
+            continue;
+        }
+        let mut rng = SplitMix64::for_node_round(seed, v as u32, round);
+        let denom = tokens as f64;
+        for _ in 0..tokens {
+            // P(edge k) = frac_k / ⌈r⌉; P(stay) = 1 − r/⌈r⌉.
+            let u = rng.next_f64() * denom;
+            let mut cum = 0.0;
+            for &(p, frac) in &*excess {
+                cum += frac;
+                if u < cum {
+                    arc_out.set(p, arc_out.get(p) + 1);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Combines the two arc sides of every edge into a signed edge flow
+/// (phase 3 of the randomized framework) and updates the SOS flow memory.
+pub(crate) fn edge_combine<F: BufI64, P: BufF64>(
+    t: &KernelTables,
+    edges: Range<usize>,
+    flow_memory: FlowMemory,
+    arc_out: impl Fn(usize) -> i64,
+    sched: impl Fn(usize) -> f64,
+    flows: &F,
+    prev: &P,
+) {
+    let e0 = edges.start;
+    let positions = &t.edge_arc_pos[edges.clone()];
+    let flow_elems = &flows.elems()[edges.clone()];
+    let prevs = &prev.elems()[edges];
+    for (k, ((&(pt, ph), fe), pe)) in positions.iter().zip(flow_elems).zip(prevs).enumerate() {
+        let y = arc_out(pt as usize) - arc_out(ph as usize);
+        F::write(fe, y);
+        P::write(
+            pe,
+            match flow_memory {
+                FlowMemory::Rounded => y as f64,
+                FlowMemory::Scheduled => sched(e0 + k),
+            },
+        );
+    }
+}
+
+/// Node-centric application of integer flows to `nodes`; returns the
+/// range's minimum transient load `min_i (x_i − Σ outgoing)`.
+pub(crate) fn apply_discrete(
+    t: &KernelTables,
+    nodes: Range<usize>,
+    flows: impl Fn(usize) -> i64,
+    loads: &impl BufI64,
+) -> f64 {
+    let mut min_transient = f64::INFINITY;
+    for i in nodes {
+        let mut outgoing: i64 = 0;
+        let mut net: i64 = 0;
+        let arcs = t.offsets[i]..t.offsets[i + 1];
+        for (&e, &sg) in t.arc_edges[arcs.clone()].iter().zip(&t.arc_signs[arcs]) {
+            let y = flows(e as usize) * sg as i64;
+            if y > 0 {
+                outgoing += y;
+            }
+            net += y;
+        }
+        let x = loads.get(i);
+        let transient = (x - outgoing) as f64;
+        if transient < min_transient {
+            min_transient = transient;
+        }
+        loads.set(i, x - net);
+    }
+    min_transient
+}
+
+/// Continuous analog of [`apply_discrete`].
+pub(crate) fn apply_continuous(
+    t: &KernelTables,
+    nodes: Range<usize>,
+    flows: impl Fn(usize) -> f64,
+    loads: &impl BufF64,
+) -> f64 {
+    let mut min_transient = f64::INFINITY;
+    for i in nodes {
+        let mut outgoing = 0.0;
+        let mut net = 0.0;
+        let arcs = t.offsets[i]..t.offsets[i + 1];
+        for (&e, &sg) in t.arc_edges[arcs.clone()].iter().zip(&t.arc_signs[arcs]) {
+            let y = flows(e as usize) * sg as f64;
+            if y > 0.0 {
+                outgoing += y;
+            }
+            net += y;
+        }
+        let x = loads.get(i);
+        let transient = x - outgoing;
+        if transient < min_transient {
+            min_transient = transient;
+        }
+        loads.set(i, x - net);
+    }
+    min_transient
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sodiff_graph::generators;
+
+    #[test]
+    fn tables_match_graph_structure() {
+        let g = generators::torus2d(4, 5);
+        let s = Speeds::linear_ramp(20, 3.0);
+        let t = KernelTables::new(&g, &s, true);
+        assert_eq!(t.n, 20);
+        assert_eq!(t.m, g.edge_count());
+        for e in 0..t.m {
+            let (u, v) = g.edge(e as u32);
+            assert_eq!((t.tail[e], t.head[e]), (u, v));
+            let alpha = g.alpha(u, v);
+            assert_eq!(t.coef_tail[e], alpha / s.get(u as usize));
+            assert_eq!(t.coef_head[e], alpha / s.get(v as usize));
+            let (pt, ph) = t.edge_arc_pos[e];
+            assert_eq!(t.arc_edges[pt as usize], e as u32);
+            assert_eq!(t.arc_edges[ph as usize], e as u32);
+            assert_eq!(t.arc_signs[pt as usize], 1);
+            assert_eq!(t.arc_signs[ph as usize], -1);
+        }
+        assert_eq!(t.offsets.len(), 21);
+        assert_eq!(*t.offsets.last().unwrap(), g.arc_count());
+    }
+
+    #[test]
+    fn integer_rounding_matches_libm_and_saturates() {
+        for s in [
+            0.0,
+            0.4999,
+            0.5,
+            0.49999999999999994,
+            1.5,
+            2.5,
+            -0.5,
+            -1.5,
+            -2.49,
+            7.99,
+            -7.99,
+            1234567.5,
+        ] {
+            assert_eq!(trunc_i64(s), s.trunc() as i64, "trunc {s}");
+            assert_eq!(round_i64(s), s.round() as i64, "round {s}");
+            let (f, frac) = floor_frac(s);
+            assert_eq!(f, s.floor() as i64, "floor {s}");
+            assert_eq!(frac, s - s.floor(), "frac {s}");
+        }
+        for r in [0.0, 0.1, 1.0, 4.5, 1e9] {
+            assert_eq!(ceil_i64(r), r.ceil() as i64, "ceil {r}");
+        }
+        // Saturation instead of wrap/panic at the i64 boundary.
+        assert_eq!(round_i64(1e300), i64::MAX);
+        assert_eq!(round_i64(-1e300), i64::MIN);
+        assert_eq!(floor_frac(-1e300).0, i64::MIN);
+        assert_eq!(ceil_i64(1e300), i64::MAX);
+        assert_eq!(round_i64(f64::NAN), 0);
+    }
+
+    #[test]
+    fn cell_and_atomic_buffers_agree() {
+        let mut plain = vec![0.0f64; 8];
+        let atomics: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        {
+            let cells = cells_f64(&mut plain);
+            for i in 0..8 {
+                cells.set(i, i as f64 * 1.5 - 2.0);
+                AtomicsF64(&atomics).set(i, i as f64 * 1.5 - 2.0);
+            }
+            for i in 0..8 {
+                assert_eq!(cells.get(i), AtomicsF64(&atomics).get(i));
+            }
+        }
+        assert_eq!(plain[4], 4.0);
+    }
+
+    #[test]
+    fn fused_pass_matches_two_phase_for_edge_local_schemes() {
+        // One fused sweep must equal "scheduled pass then rounding pass".
+        let g = generators::torus2d(5, 5);
+        let s = Speeds::uniform(25);
+        let t = KernelTables::new(&g, &s, false);
+        let m = t.m;
+        let loads: Vec<f64> = (0..25).map(|i| ((i * 13) % 17) as f64).collect();
+        let prev_init: Vec<f64> = (0..m).map(|e| (e as f64) * 0.21 - 1.5).collect();
+        for rounding in [
+            Rounding::round_down(),
+            Rounding::nearest(),
+            Rounding::unbiased_edge(7),
+        ] {
+            let mut fused_prev = prev_init.clone();
+            let mut fused_flows = vec![0i64; m];
+            edge_pass_fused(
+                &t,
+                0..m,
+                0.4,
+                1.6,
+                9,
+                rounding,
+                FlowMemory::Scheduled,
+                |i| loads[i],
+                &cells_f64(&mut fused_prev),
+                &cells_i64(&mut fused_flows),
+            );
+            let mut sched = vec![0.0f64; m];
+            edge_pass_scheduled(
+                &t,
+                0..m,
+                0.4,
+                1.6,
+                |i| loads[i],
+                |e| prev_init[e],
+                &cells_f64(&mut sched),
+            );
+            assert_eq!(fused_prev, sched, "{rounding:?} flow memory");
+            for e in 0..m {
+                let expected = match rounding {
+                    Rounding::RoundDown => sched[e].trunc() as i64,
+                    Rounding::Nearest => sched[e].round() as i64,
+                    Rounding::UnbiasedEdge { seed } => {
+                        let mut rng = SplitMix64::for_node_round(seed, e as u32, 9);
+                        let floor = sched[e].floor();
+                        floor as i64 + i64::from(rng.next_f64() < sched[e] - floor)
+                    }
+                    Rounding::RandomizedFramework { .. } => unreachable!(),
+                };
+                assert_eq!(fused_flows[e], expected, "{rounding:?} edge {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn arc_round_plus_combine_matches_round_flows() {
+        // The chunked arc decomposition must reproduce the direct
+        // node-centric rounding exactly, for any chunk split.
+        let g = generators::torus2d(4, 4);
+        let s = Speeds::uniform(16);
+        let t = KernelTables::new(&g, &s, true);
+        let m = t.m;
+        let sched: Vec<f64> = (0..m)
+            .map(|e| ((e * 31 % 17) as f64 - 8.0) * 0.37)
+            .collect();
+        let rounding = Rounding::randomized(11);
+        let mut direct = vec![0i64; m];
+        rounding.round_flows(&g, &sched, 5, &mut direct);
+        for split in [1usize, 3, 16] {
+            let mut arc_out = vec![0i64; g.arc_count()];
+            let mut excess = Vec::new();
+            let mut lo = 0;
+            while lo < 16 {
+                let hi = (lo + split).min(16);
+                arc_round(
+                    &t,
+                    lo..hi,
+                    11,
+                    5,
+                    |e| sched[e],
+                    &cells_i64(&mut arc_out),
+                    &mut excess,
+                );
+                lo = hi;
+            }
+            let mut flows = vec![0i64; m];
+            let mut prev = vec![0.0f64; m];
+            edge_combine(
+                &t,
+                0..m,
+                FlowMemory::Rounded,
+                |p| arc_out[p],
+                |e| sched[e],
+                &cells_i64(&mut flows),
+                &cells_f64(&mut prev),
+            );
+            assert_eq!(flows, direct, "split {split}");
+            let as_f64: Vec<f64> = direct.iter().map(|&y| y as f64).collect();
+            assert_eq!(prev, as_f64, "split {split} flow memory");
+        }
+    }
+
+    #[test]
+    fn apply_passes_conserve_and_track_transient() {
+        let g = generators::star(5);
+        let s = Speeds::uniform(5);
+        let t = KernelTables::new(&g, &s, false);
+        // Hub (node 0) sends 3 tokens along each of 4 edges.
+        let flows = [3i64; 4];
+        let mut loads = vec![10i64, 0, 0, 0, 0];
+        let mt = apply_discrete(&t, 0..5, |e| flows[e], &cells_i64(&mut loads));
+        assert_eq!(loads, vec![-2, 3, 3, 3, 3]);
+        assert_eq!(mt, -2.0); // hub transient: 10 − 12
+        let flows_f = [2.5f64; 4];
+        let mut loads_f = vec![10.0f64, 0.0, 0.0, 0.0, 0.0];
+        let mt = apply_continuous(&t, 0..5, |e| flows_f[e], &cells_f64(&mut loads_f));
+        assert_eq!(loads_f, vec![0.0, 2.5, 2.5, 2.5, 2.5]);
+        assert_eq!(mt, 0.0);
+    }
+}

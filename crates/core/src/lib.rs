@@ -38,6 +38,56 @@
 //! let report = sim.run_until(StopCondition::MaxRounds(400));
 //! assert!(report.final_metrics.max_minus_avg < 20.0);
 //! ```
+//!
+//! # Performance
+//!
+//! The round loop is the measured fast path of this workspace (see
+//! `crates/bench/src/bin/perf_baseline.rs`, which emits
+//! `BENCH_rounds.json` at the repo root). Its design, in three layers:
+//!
+//! **Division-free fused edge kernels** (`kernel` module, crate-private).
+//! At construction the simulator precomputes per-edge coefficient tables
+//! `coef_tail[e] = α_e/s_u` and `coef_head[e] = α_e/s_v` plus flat
+//! structure-of-arrays copies of the CSR adjacency (edge ids, orientation
+//! signs), so the scheduled-flow pass is a pure multiply–add sweep
+//! `Ŷ_e = mem·prev_e + gain·(coef_tail[e]·x_u − coef_head[e]·x_v)` with no
+//! `f64` division, no `Speeds::get` indirection, and no tuple-of-pairs
+//! adjacency loads. For the edge-local rounding schemes (round-down,
+//! nearest, per-edge unbiased) the rounding and the SOS flow-memory update
+//! are fused into the same sweep, and rounding itself avoids libm
+//! (`trunc`/`round`/`floor` become exact integer-cast sequences — on
+//! baseline x86-64 the libm calls dominated the old kernel). Hot loops zip
+//! pre-sliced ranges so bounds checks vanish without any `unsafe`.
+//!
+//! **Persistent worker pool** (`pool` module, crate-private). With
+//! [`SimulationConfig::with_threads`]`(t > 1)`, `t − 1` workers are
+//! spawned once in [`Simulator::new`] and park on a barrier between
+//! rounds; each round costs a handful of barrier waits instead of the
+//! `threads × phases` thread spawns of the previous scoped-thread
+//! executor. Phases run the *same* kernel functions as the sequential
+//! path over relaxed-atomic views of the state, in the same per-element
+//! order, so pooled results are **bit-identical** to sequential ones
+//! (enforced by `tests/determinism.rs` across every scheme × rounding ×
+//! mode × thread-count combination).
+//!
+//! **Measured baseline** (single-core CI container, 2026-07; sequential
+//! unless noted; ns per edge per round):
+//!
+//! | case | before | after | speedup |
+//! |------|-------:|------:|--------:|
+//! | 512×512 torus, FOS discrete nearest | 9.50 | 5.89 | 1.61× |
+//! | 256×256 torus, SOS discrete nearest | 9.91 | 6.21 | 1.60× |
+//! | 256×256 torus, SOS continuous | 6.01 | 4.43 | 1.36× |
+//! | 256×256 torus, SOS continuous, 4 threads | 12.99 | 5.69 | 2.28× |
+//! | 256×256 torus, SOS discrete nearest, 4 threads | 11.43 | 8.89 | 1.29× |
+//!
+//! The 4-thread rows compare the old scoped-spawn executor against the
+//! pool at the same thread count — on the single-core benchmark host a
+//! wall-clock parallel speedup is impossible, so the pooled rows measure
+//! pure executor overhead (now close to the sequential cost, where the old
+//! executor doubled it). On multi-core hosts the same overhead reduction
+//! is what moves the multi-threading break-even from ~10⁵ down to ~10⁴
+//! edges.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,8 +97,10 @@ pub mod divergence;
 mod engine;
 pub mod hybrid;
 mod init;
+mod kernel;
 pub mod metrics;
 mod observer;
+mod pool;
 pub mod rng;
 mod rounding;
 mod scheme;
@@ -68,7 +120,9 @@ pub mod prelude {
     pub use crate::engine::{
         FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition, StopReason,
     };
-    pub use crate::hybrid::{run_hybrid, run_hybrid_quiet, run_hybrid_when, HybridReport, SwitchPolicy};
+    pub use crate::hybrid::{
+        run_hybrid, run_hybrid_quiet, run_hybrid_when, HybridReport, SwitchPolicy,
+    };
     pub use crate::init::InitialLoad;
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::observer::{MetricsRow, MultiObserver, Observer, Recorder};

@@ -74,13 +74,21 @@ pub fn snapshot_with(
 ///
 /// Panics if `loads.len()` does not match the graph/speeds.
 pub fn snapshot(graph: &Graph, speeds: &Speeds, loads: &[f64]) -> MetricsSnapshot {
-    assert_eq!(loads.len(), graph.node_count(), "load vector length mismatch");
+    assert_eq!(
+        loads.len(),
+        graph.node_count(),
+        "load vector length mismatch"
+    );
     snapshot_with(graph, speeds, |i| loads[i])
 }
 
 /// Convenience wrapper for integer load vectors.
 pub fn snapshot_i64(graph: &Graph, speeds: &Speeds, loads: &[i64]) -> MetricsSnapshot {
-    assert_eq!(loads.len(), graph.node_count(), "load vector length mismatch");
+    assert_eq!(
+        loads.len(),
+        graph.node_count(),
+        "load vector length mismatch"
+    );
     snapshot_with(graph, speeds, |i| loads[i] as f64)
 }
 
@@ -124,8 +132,8 @@ impl RemainingImbalance {
             return false;
         }
         let latest = &self.history[self.history.len() - self.window..];
-        let before = &self.history
-            [self.history.len() - 2 * self.window..self.history.len() - self.window];
+        let before =
+            &self.history[self.history.len() - 2 * self.window..self.history.len() - self.window];
         let min_latest = latest.iter().copied().fold(f64::INFINITY, f64::min);
         let min_before = before.iter().copied().fold(f64::INFINITY, f64::min);
         min_latest > min_before - 1.0

@@ -1,0 +1,335 @@
+//! Persistent worker pool for the round executor.
+//!
+//! Threads are spawned **once** in `Simulator::new` and park on a shared
+//! [`Barrier`] between rounds; each round the main thread publishes the
+//! round parameters, releases the start barrier, works its own chunk as
+//! participant 0, and meets the workers again at the end barrier. Compared
+//! to the previous per-round `thread::scope` executor this removes
+//! `threads × phases` thread spawns/joins per round, which is what made
+//! multi-threading a net loss below ~10⁵ edges.
+//!
+//! Shared round state (loads, flow memory, scheduled flows, arc counters)
+//! lives in relaxed atomics inside an `Arc`; phases are separated by the
+//! barrier, which provides the necessary happens-before edges, so the pool
+//! needs no `unsafe` and stays within the crate's `#![forbid(unsafe_code)]`.
+//! All arithmetic runs through the same kernels as the sequential
+//! executor ([`crate::kernel`]), in the same per-element order, so pooled
+//! results are **bit-identical** to sequential ones for every scheme ×
+//! rounding × mode combination regardless of thread count.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+
+use crate::engine::FlowMemory;
+use crate::kernel::{self, AtomicsF64, AtomicsI64, KernelTables};
+use crate::rounding::Rounding;
+
+/// Which phase sequence a round runs; fixed at construction.
+#[derive(Clone, Copy)]
+pub(crate) enum PoolMode {
+    /// Discrete mode with an edge-local rounding scheme: one fused edge
+    /// phase, one apply phase.
+    DiscreteEdgeLocal(Rounding),
+    /// Discrete mode with the node-centric randomized framework: scheduled
+    /// phase, arc-rounding phase, combine phase, apply phase.
+    DiscreteFramework {
+        /// RNG seed of the framework.
+        seed: u64,
+    },
+    /// Continuous mode: one fused edge phase, one apply phase.
+    Continuous,
+}
+
+/// State shared between the simulator thread and the workers.
+struct Shared {
+    tables: Arc<KernelTables>,
+    mode: PoolMode,
+    flow_memory: FlowMemory,
+    /// Chunk boundaries over edges / nodes, one chunk per participant.
+    edge_bounds: Vec<usize>,
+    node_bounds: Vec<usize>,
+    /// Round rendezvous; participants = worker count + 1 (the simulator).
+    barrier: Barrier,
+    stop: AtomicBool,
+    /// Per-round parameters, published before the start barrier.
+    mem_bits: AtomicU64,
+    gain_bits: AtomicU64,
+    round: AtomicU64,
+    /// Canonical state while the pool is active (bit-exact mirrors are
+    /// copied back into the simulator's vectors after each round).
+    loads_i: Vec<AtomicI64>,
+    loads_f: Vec<AtomicU64>,
+    prev: Vec<AtomicU64>,
+    sched: Vec<AtomicU64>,
+    flows: Vec<AtomicI64>,
+    arc_out: Vec<AtomicI64>,
+    /// Per-participant minimum transient load of the last round (bits).
+    mins: Vec<AtomicU64>,
+}
+
+/// Runs participant `t`'s share of one round. Called by workers and — for
+/// participant 0 — by the simulator thread itself.
+fn round_chunk(sh: &Shared, t: usize, excess: &mut Vec<(usize, f64)>) {
+    let tables = &*sh.tables;
+    let mem = f64::from_bits(sh.mem_bits.load(Ordering::Relaxed));
+    let gain = f64::from_bits(sh.gain_bits.load(Ordering::Relaxed));
+    let round = sh.round.load(Ordering::Relaxed);
+    let edges = sh.edge_bounds[t]..sh.edge_bounds[t + 1];
+    let nodes = sh.node_bounds[t]..sh.node_bounds[t + 1];
+    let prev = AtomicsF64(&sh.prev);
+    let flows = AtomicsI64(&sh.flows);
+    match sh.mode {
+        PoolMode::DiscreteEdgeLocal(rounding) => {
+            kernel::edge_pass_fused(
+                tables,
+                edges,
+                mem,
+                gain,
+                round,
+                rounding,
+                sh.flow_memory,
+                |i| sh.loads_i[i].load(Ordering::Relaxed) as f64,
+                &prev,
+                &flows,
+            );
+            sh.barrier.wait();
+            let mt = kernel::apply_discrete(
+                tables,
+                nodes,
+                |e| sh.flows[e].load(Ordering::Relaxed),
+                &AtomicsI64(&sh.loads_i),
+            );
+            sh.mins[t].store(mt.to_bits(), Ordering::Relaxed);
+        }
+        PoolMode::DiscreteFramework { seed } => {
+            kernel::edge_pass_scheduled(
+                tables,
+                edges.clone(),
+                mem,
+                gain,
+                |i| sh.loads_i[i].load(Ordering::Relaxed) as f64,
+                |e| f64::from_bits(sh.prev[e].load(Ordering::Relaxed)),
+                &AtomicsF64(&sh.sched),
+            );
+            sh.barrier.wait();
+            kernel::arc_round(
+                tables,
+                nodes.clone(),
+                seed,
+                round,
+                |e| f64::from_bits(sh.sched[e].load(Ordering::Relaxed)),
+                &AtomicsI64(&sh.arc_out),
+                excess,
+            );
+            sh.barrier.wait();
+            kernel::edge_combine(
+                tables,
+                edges,
+                sh.flow_memory,
+                |p| sh.arc_out[p].load(Ordering::Relaxed),
+                |e| f64::from_bits(sh.sched[e].load(Ordering::Relaxed)),
+                &flows,
+                &prev,
+            );
+            sh.barrier.wait();
+            let mt = kernel::apply_discrete(
+                tables,
+                nodes,
+                |e| sh.flows[e].load(Ordering::Relaxed),
+                &AtomicsI64(&sh.loads_i),
+            );
+            sh.mins[t].store(mt.to_bits(), Ordering::Relaxed);
+        }
+        PoolMode::Continuous => {
+            kernel::edge_pass_continuous(
+                tables,
+                edges,
+                mem,
+                gain,
+                |i| f64::from_bits(sh.loads_f[i].load(Ordering::Relaxed)),
+                &prev,
+            );
+            sh.barrier.wait();
+            let mt = kernel::apply_continuous(
+                tables,
+                nodes,
+                |e| f64::from_bits(sh.prev[e].load(Ordering::Relaxed)),
+                &AtomicsF64(&sh.loads_f),
+            );
+            sh.mins[t].store(mt.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// A persistent pool of `threads − 1` workers plus the simulator thread.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Participant-0 scratch for the framework's excess-token pass.
+    excess: Vec<(usize, f64)>,
+}
+
+impl WorkerPool {
+    /// Spawns the workers. Exactly one of `loads_i` / `loads_f` matches the
+    /// mode and seeds the pool's canonical state.
+    pub fn new(
+        threads: usize,
+        tables: Arc<KernelTables>,
+        mode: PoolMode,
+        flow_memory: FlowMemory,
+        loads_i: &[i64],
+        loads_f: &[f64],
+    ) -> Self {
+        assert!(threads > 1, "a pool needs at least two participants");
+        let n = tables.n;
+        let m = tables.m;
+        let arcs = tables.arc_edges.len();
+        let framework = matches!(mode, PoolMode::DiscreteFramework { .. });
+        let shared = Arc::new(Shared {
+            tables,
+            mode,
+            flow_memory,
+            edge_bounds: chunk_bounds(m, threads),
+            node_bounds: chunk_bounds(n, threads),
+            barrier: Barrier::new(threads),
+            stop: AtomicBool::new(false),
+            mem_bits: AtomicU64::new(0),
+            gain_bits: AtomicU64::new(0),
+            round: AtomicU64::new(0),
+            loads_i: loads_i.iter().map(|&x| AtomicI64::new(x)).collect(),
+            loads_f: loads_f
+                .iter()
+                .map(|&x| AtomicU64::new(x.to_bits()))
+                .collect(),
+            prev: (0..m).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
+            sched: (0..if framework { m } else { 0 })
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            flows: (0..if loads_i.is_empty() { 0 } else { m })
+                .map(|_| AtomicI64::new(0))
+                .collect(),
+            arc_out: (0..if framework { arcs } else { 0 })
+                .map(|_| AtomicI64::new(0))
+                .collect(),
+            mins: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (1..threads)
+            .map(|t| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sodiff-worker-{t}"))
+                    .spawn(move || {
+                        let mut excess = Vec::new();
+                        loop {
+                            sh.barrier.wait();
+                            if sh.stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            round_chunk(&sh, t, &mut excess);
+                            sh.barrier.wait();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            excess: Vec::new(),
+        }
+    }
+
+    /// Executes one full round on the pool and returns the round's minimum
+    /// transient load.
+    pub fn run_round(&mut self, mem: f64, gain: f64, round: u64) -> f64 {
+        let sh = &*self.shared;
+        sh.mem_bits.store(mem.to_bits(), Ordering::Relaxed);
+        sh.gain_bits.store(gain.to_bits(), Ordering::Relaxed);
+        sh.round.store(round, Ordering::Relaxed);
+        sh.barrier.wait();
+        round_chunk(sh, 0, &mut self.excess);
+        sh.barrier.wait();
+        sh.mins
+            .iter()
+            .map(|b| f64::from_bits(b.load(Ordering::Relaxed)))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Copies the pool's integer loads back into `out`.
+    pub fn read_loads_i(&self, out: &mut [i64]) {
+        for (o, a) in out.iter_mut().zip(&self.shared.loads_i) {
+            *o = a.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the pool's continuous loads back into `out`.
+    pub fn read_loads_f(&self, out: &mut [f64]) {
+        for (o, a) in out.iter_mut().zip(&self.shared.loads_f) {
+            *o = f64::from_bits(a.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Copies the pool's flow memory back into `out`.
+    pub fn read_prev(&self, out: &mut [f64]) {
+        for (o, a) in out.iter_mut().zip(&self.shared.prev) {
+            *o = f64::from_bits(a.load(Ordering::Relaxed));
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Workers are parked on the start barrier; release them into the
+        // stop check.
+        self.shared.barrier.wait();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Balanced chunk boundaries: `parts + 1` cut points over `len` items.
+pub(crate) fn chunk_bounds(len: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    (0..=parts).map(|t| t * len / parts).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bounds_partition() {
+        for (len, parts) in [(10usize, 3usize), (7, 7), (5, 8), (0, 4), (100, 1)] {
+            let b = chunk_bounds(len, parts);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), len);
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn pool_starts_and_shuts_down_cleanly() {
+        use sodiff_graph::{generators, Speeds};
+        let g = generators::torus2d(4, 4);
+        let tables = Arc::new(KernelTables::new(&g, &Speeds::uniform(16), false));
+        let loads = vec![10i64; 16];
+        let mut pool = WorkerPool::new(
+            3,
+            tables,
+            PoolMode::DiscreteEdgeLocal(Rounding::nearest()),
+            FlowMemory::Rounded,
+            &loads,
+            &[],
+        );
+        // Balanced start: every scheduled flow is 0, loads stay put.
+        let mt = pool.run_round(0.0, 1.0, 0);
+        assert_eq!(mt, 10.0);
+        let mut out = vec![0i64; 16];
+        pool.read_loads_i(&mut out);
+        assert_eq!(out, loads);
+        drop(pool); // must not hang
+    }
+}

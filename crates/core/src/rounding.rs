@@ -9,8 +9,6 @@
 //! paper's randomized framework) round all outgoing flows of one node
 //! together.
 
-use std::ops::Range;
-
 use sodiff_graph::Graph;
 
 use crate::rng::SplitMix64;
@@ -69,15 +67,17 @@ impl Rounding {
     /// `round` is the current round number, used to key the random streams
     /// so that every round draws fresh randomness while remaining
     /// reproducible and iteration-order independent.
-    pub(crate) fn round_flows(
-        &self,
-        graph: &Graph,
-        scheduled: &[f64],
-        round: u64,
-        out: &mut [i64],
-    ) {
-        debug_assert_eq!(scheduled.len(), graph.edge_count());
-        debug_assert_eq!(out.len(), graph.edge_count());
+    ///
+    /// This is the reference (unchunked) implementation; the simulator's
+    /// hot path runs the equivalent fused kernels in `crate::kernel`,
+    /// which are tested against this form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths mismatch the graph.
+    pub fn round_flows(&self, graph: &Graph, scheduled: &[f64], round: u64, out: &mut [i64]) {
+        assert_eq!(scheduled.len(), graph.edge_count());
+        assert_eq!(out.len(), graph.edge_count());
         match *self {
             Rounding::RoundDown => {
                 for (o, &s) in out.iter_mut().zip(scheduled) {
@@ -104,8 +104,8 @@ impl Rounding {
                 for v in graph.nodes() {
                     excess.clear();
                     let mut r = 0.0f64;
-                    for &(_, e) in graph.neighbors(v) {
-                        let sign = graph.orientation(v, e);
+                    for (&e, &s) in graph.neighbor_edges(v).iter().zip(graph.neighbor_signs(v)) {
+                        let sign = s as f64;
                         let outflow = scheduled[e as usize] * sign;
                         if outflow > 0.0 {
                             let base = outflow.floor();
@@ -137,115 +137,6 @@ impl Rounding {
                                 break;
                             }
                         }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Per-edge rounding of `scheduled[e0..]` into `out` — the chunked
-    /// form used by the parallel executor for the edge-local schemes.
-    ///
-    /// # Panics
-    ///
-    /// Panics for [`Rounding::RandomizedFramework`], which is node-centric
-    /// and must go through [`Self::round_flows_arc_chunk`].
-    pub(crate) fn round_flows_edge_chunk(
-        &self,
-        scheduled: &[f64],
-        e0: usize,
-        round: u64,
-        out: &mut [i64],
-    ) {
-        debug_assert_eq!(scheduled.len(), out.len());
-        match *self {
-            Rounding::RoundDown => {
-                for (o, &s) in out.iter_mut().zip(scheduled) {
-                    *o = s.trunc() as i64;
-                }
-            }
-            Rounding::Nearest => {
-                for (o, &s) in out.iter_mut().zip(scheduled) {
-                    *o = s.round() as i64;
-                }
-            }
-            Rounding::UnbiasedEdge { seed } => {
-                for (k, (o, &s)) in out.iter_mut().zip(scheduled).enumerate() {
-                    let mut rng = SplitMix64::for_node_round(seed, (e0 + k) as u32, round);
-                    let floor = s.floor();
-                    let frac = s - floor;
-                    *o = floor as i64 + i64::from(rng.next_f64() < frac);
-                }
-            }
-            Rounding::RandomizedFramework { .. } => {
-                panic!("the randomized framework is node-centric; use round_flows_arc_chunk")
-            }
-        }
-    }
-
-    /// Node-centric randomized-framework pass over a contiguous node range,
-    /// writing per-arc *outgoing token counts* into `arc_out` (which is the
-    /// slice of the global arc array starting at `arc_base`, covering
-    /// exactly the arcs of `nodes`).
-    ///
-    /// The caller combines the two sides of every edge afterwards:
-    /// `flow_e = arc_out[tail arc] − arc_out[head arc]`. The random
-    /// decisions are keyed by `(seed, node, round)`, so this produces
-    /// exactly the flows of [`Self::round_flows`] regardless of chunking.
-    ///
-    /// # Panics
-    ///
-    /// Panics for any scheme other than [`Rounding::RandomizedFramework`].
-    pub(crate) fn round_flows_arc_chunk(
-        &self,
-        graph: &Graph,
-        scheduled: &[f64],
-        round: u64,
-        nodes: Range<u32>,
-        arc_base: usize,
-        arc_out: &mut [i64],
-    ) {
-        let Rounding::RandomizedFramework { seed } = *self else {
-            panic!("round_flows_arc_chunk is only defined for the randomized framework")
-        };
-        arc_out.fill(0);
-        // Reusable buffer: (arc position within the chunk, fractional part).
-        let mut excess: Vec<(usize, f64)> = Vec::new();
-        for v in nodes {
-            excess.clear();
-            let mut r = 0.0f64;
-            let start = graph.arc_range(v).start;
-            for (idx, &(j, e)) in graph.neighbors(v).iter().enumerate() {
-                let sign = if v < j { 1.0 } else { -1.0 };
-                let outflow = scheduled[e as usize] * sign;
-                if outflow > 0.0 {
-                    let base = outflow.floor();
-                    let frac = outflow - base;
-                    let p = start + idx - arc_base;
-                    arc_out[p] = base as i64;
-                    if frac > 0.0 {
-                        excess.push((p, frac));
-                        r += frac;
-                    }
-                }
-            }
-            if excess.is_empty() {
-                continue;
-            }
-            let tokens = r.ceil() as i64;
-            if tokens == 0 {
-                continue;
-            }
-            let mut rng = SplitMix64::for_node_round(seed, v, round);
-            let denom = tokens as f64;
-            for _ in 0..tokens {
-                let u = rng.next_f64() * denom;
-                let mut cum = 0.0;
-                for &(p, frac) in &excess {
-                    cum += frac;
-                    if u < cum {
-                        arc_out[p] += 1;
-                        break;
                     }
                 }
             }
@@ -323,7 +214,7 @@ mod tests {
         for v in g.nodes() {
             let mut scheduled_out = 0.0;
             let mut rounded_out = 0i64;
-            for &(_, e) in g.neighbors(v) {
+            for (_, e) in g.neighbors(v) {
                 let sign = g.orientation(v, e);
                 let s = sched[e as usize] * sign;
                 if s > 0.0 {

@@ -129,15 +129,18 @@ impl GraphBuilder {
             offsets.push(acc);
         }
         let mut cursor = offsets.clone();
-        let mut adj = vec![(0 as NodeId, 0 as EdgeId); acc];
+        let mut adj_nodes = vec![0 as NodeId; acc];
+        let mut adj_edges = vec![0 as EdgeId; acc];
         for (e, &(u, v)) in self.edges.iter().enumerate() {
             let e = e as EdgeId;
-            adj[cursor[u as usize]] = (v, e);
+            adj_nodes[cursor[u as usize]] = v;
+            adj_edges[cursor[u as usize]] = e;
             cursor[u as usize] += 1;
-            adj[cursor[v as usize]] = (u, e);
+            adj_nodes[cursor[v as usize]] = u;
+            adj_edges[cursor[v as usize]] = e;
             cursor[v as usize] += 1;
         }
-        Graph::from_parts(offsets, adj, self.edges, kind)
+        Graph::from_parts(offsets, adj_nodes, adj_edges, self.edges, kind)
     }
 }
 
@@ -204,6 +207,6 @@ mod tests {
         b.add_edge(0, 1).unwrap();
         let g = b.build();
         assert_eq!(g.degree(4), 0);
-        assert!(g.neighbors(4).is_empty());
+        assert!(g.neighbor_nodes(4).is_empty());
     }
 }

@@ -39,12 +39,24 @@ pub enum GraphKind {
 /// edge list with `u < v`, and appears in the adjacency of both endpoints
 /// together with its [`EdgeId`]. Self-loops and parallel edges are rejected
 /// at construction time.
+///
+/// The adjacency is stored as a structure-of-arrays: per directed arc the
+/// neighbor id, the edge id, and the orientation sign live in three flat
+/// parallel arrays ([`Self::arc_targets`], [`Self::arc_edge_ids`],
+/// [`Self::arc_orientations`]), so kernel code that only needs one of the
+/// three streams (the simulator's apply pass, BFS, the rounding framework)
+/// touches a third of the memory an array-of-pairs layout would.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     /// CSR offsets, length `n + 1`.
     offsets: Vec<usize>,
-    /// Flat adjacency: `(neighbor, edge id)` pairs.
-    adj: Vec<(NodeId, EdgeId)>,
+    /// Arc-indexed neighbor ids.
+    adj_nodes: Vec<NodeId>,
+    /// Arc-indexed edge ids.
+    adj_edges: Vec<EdgeId>,
+    /// Arc-indexed orientation signs: `+1` when the owning node is the
+    /// canonical tail of the arc's edge, `-1` otherwise.
+    adj_signs: Vec<i8>,
     /// Canonical edge list, `edges[e] = (u, v)` with `u < v`.
     edges: Vec<(NodeId, NodeId)>,
     kind: GraphKind,
@@ -53,15 +65,25 @@ pub struct Graph {
 impl Graph {
     pub(crate) fn from_parts(
         offsets: Vec<usize>,
-        adj: Vec<(NodeId, EdgeId)>,
+        adj_nodes: Vec<NodeId>,
+        adj_edges: Vec<EdgeId>,
         edges: Vec<(NodeId, NodeId)>,
         kind: GraphKind,
     ) -> Self {
-        debug_assert_eq!(*offsets.last().unwrap(), adj.len());
-        debug_assert_eq!(adj.len(), 2 * edges.len());
+        debug_assert_eq!(*offsets.last().unwrap(), adj_nodes.len());
+        debug_assert_eq!(adj_nodes.len(), adj_edges.len());
+        debug_assert_eq!(adj_nodes.len(), 2 * edges.len());
+        let mut adj_signs = vec![0i8; adj_nodes.len()];
+        for v in 0..offsets.len() - 1 {
+            for p in offsets[v]..offsets[v + 1] {
+                adj_signs[p] = if (v as NodeId) < adj_nodes[p] { 1 } else { -1 };
+            }
+        }
         Self {
             offsets,
-            adj,
+            adj_nodes,
+            adj_edges,
+            adj_signs,
             edges,
             kind,
         }
@@ -109,17 +131,58 @@ impl Graph {
 
     /// The neighbors of `v` with the id of the connecting edge.
     #[inline]
-    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        let v = v as usize;
-        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let r = self.arc_range(v);
+        self.adj_nodes[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.adj_edges[r].iter().copied())
+    }
+
+    /// The neighbor ids of `v` (arc order).
+    #[inline]
+    pub fn neighbor_nodes(&self, v: NodeId) -> &[NodeId] {
+        &self.adj_nodes[self.arc_range(v)]
+    }
+
+    /// The incident edge ids of `v` (arc order).
+    #[inline]
+    pub fn neighbor_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.adj_edges[self.arc_range(v)]
+    }
+
+    /// Orientation signs of `v`'s incident edges (arc order): `+1` when
+    /// `v` is the canonical tail, `-1` otherwise.
+    #[inline]
+    pub fn neighbor_signs(&self, v: NodeId) -> &[i8] {
+        &self.adj_signs[self.arc_range(v)]
     }
 
     /// Number of directed arcs (`2·m`); arcs are the entries of the flat
-    /// adjacency array, so arc `p` in [`Self::arc_range`]`(v)` is the
-    /// directed half-edge leaving `v` towards `self.neighbors(v)[p − start]`.
+    /// adjacency arrays, so arc `p` in [`Self::arc_range`]`(v)` is the
+    /// directed half-edge leaving `v` towards `self.arc_targets()[p]`.
     #[inline]
     pub fn arc_count(&self) -> usize {
-        self.adj.len()
+        self.adj_nodes.len()
+    }
+
+    /// The full arc-indexed neighbor array (see [`Self::arc_range`]).
+    #[inline]
+    pub fn arc_targets(&self) -> &[NodeId] {
+        &self.adj_nodes
+    }
+
+    /// The full arc-indexed edge-id array.
+    #[inline]
+    pub fn arc_edge_ids(&self) -> &[EdgeId] {
+        &self.adj_edges
+    }
+
+    /// The full arc-indexed orientation-sign array (`+1` = arc leaves the
+    /// canonical tail of its edge).
+    #[inline]
+    pub fn arc_orientations(&self) -> &[i8] {
+        &self.adj_signs
     }
 
     /// The arc-index range owned by node `v` (positions into the flat
@@ -165,7 +228,7 @@ impl Graph {
         } else {
             (v, u)
         };
-        self.neighbors(a).iter().any(|&(w, _)| w == b)
+        self.neighbor_nodes(a).contains(&b)
     }
 
     /// Structural provenance set by the generator that produced this graph.
@@ -247,9 +310,40 @@ mod tests {
     fn neighbors_are_symmetric() {
         let g = triangle();
         for u in g.nodes() {
-            for &(v, e) in g.neighbors(u) {
-                assert!(g.neighbors(v).iter().any(|&(w, e2)| w == u && e2 == e));
+            for (v, e) in g.neighbors(u) {
+                assert!(g.neighbors(v).any(|(w, e2)| w == u && e2 == e));
             }
+        }
+    }
+
+    #[test]
+    fn soa_views_agree_with_neighbors() {
+        let g = triangle();
+        for u in g.nodes() {
+            let pairs: Vec<_> = g.neighbors(u).collect();
+            let nodes = g.neighbor_nodes(u);
+            let edges = g.neighbor_edges(u);
+            let signs = g.neighbor_signs(u);
+            assert_eq!(pairs.len(), nodes.len());
+            assert_eq!(pairs.len(), edges.len());
+            assert_eq!(pairs.len(), signs.len());
+            for (k, &(v, e)) in pairs.iter().enumerate() {
+                assert_eq!(nodes[k], v);
+                assert_eq!(edges[k], e);
+                let expected = if u < v { 1 } else { -1 };
+                assert_eq!(signs[k], expected);
+                assert_eq!(signs[k] as f64, g.orientation(u, e));
+            }
+        }
+        // The flat arrays are the concatenation of the per-node views.
+        assert_eq!(g.arc_targets().len(), g.arc_count());
+        assert_eq!(g.arc_edge_ids().len(), g.arc_count());
+        assert_eq!(g.arc_orientations().len(), g.arc_count());
+        for u in g.nodes() {
+            let r = g.arc_range(u);
+            assert_eq!(&g.arc_targets()[r.clone()], g.neighbor_nodes(u));
+            assert_eq!(&g.arc_edge_ids()[r.clone()], g.neighbor_edges(u));
+            assert_eq!(&g.arc_orientations()[r], g.neighbor_signs(u));
         }
     }
 

@@ -46,10 +46,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(
-            GraphError::SelfLoop(3).to_string(),
-            "self-loop at node 3"
-        );
+        assert_eq!(GraphError::SelfLoop(3).to_string(), "self-loop at node 3");
         assert_eq!(
             GraphError::DuplicateEdge(1, 2).to_string(),
             "duplicate edge {1, 2}"

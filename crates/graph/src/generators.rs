@@ -73,7 +73,8 @@ pub fn hypercube(dim: u32) -> Graph {
         for bit in 0..dim {
             let u = v ^ (1usize << bit);
             if u > v {
-                b.add_edge(v as NodeId, u as NodeId).expect("hypercube edge");
+                b.add_edge(v as NodeId, u as NodeId)
+                    .expect("hypercube edge");
             }
         }
     }
@@ -91,7 +92,8 @@ pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs at least 3 nodes");
     let mut b = GraphBuilder::with_edge_capacity(n, n);
     for v in 0..n {
-        b.add_edge(v as NodeId, ((v + 1) % n) as NodeId).expect("cycle edge");
+        b.add_edge(v as NodeId, ((v + 1) % n) as NodeId)
+            .expect("cycle edge");
     }
     let mut g = b.build();
     g.set_kind(GraphKind::Cycle);
@@ -102,7 +104,8 @@ pub fn cycle(n: usize) -> Graph {
 pub fn path(n: usize) -> Graph {
     let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
     for v in 1..n {
-        b.add_edge((v - 1) as NodeId, v as NodeId).expect("path edge");
+        b.add_edge((v - 1) as NodeId, v as NodeId)
+            .expect("path edge");
     }
     let mut g = b.build();
     g.set_kind(GraphKind::Path);
@@ -284,8 +287,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
             for dx in -1i64..=1 {
                 let nx = cx as i64 + dx;
                 let ny = cy as i64 + dy;
-                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64
-                {
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64 {
                     continue;
                 }
                 for &j in &grid[ny as usize * cells_per_side + nx as usize] {
@@ -421,7 +423,7 @@ mod tests {
         assert_eq!(*g.kind(), GraphKind::Hypercube(6));
         // Adjacency iff Hamming distance 1.
         for u in g.nodes() {
-            for &(v, _) in g.neighbors(u) {
+            for &v in g.neighbor_nodes(u) {
                 assert_eq!((u ^ v).count_ones(), 1);
             }
         }

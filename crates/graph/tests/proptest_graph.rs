@@ -37,8 +37,8 @@ proptest! {
             let range = g.arc_range(u);
             prop_assert_eq!(range.len(), g.degree(u));
             total_arcs += range.len();
-            for &(v, e) in g.neighbors(u) {
-                prop_assert!(g.neighbors(v).iter().any(|&(w, f)| w == u && f == e));
+            for (v, e) in g.neighbors(u) {
+                prop_assert!(g.neighbors(v).any(|(w, f)| w == u && f == e));
                 let (a, b2) = g.edge(e);
                 prop_assert_eq!((a.min(b2), a.max(b2)), (u.min(v), u.max(v)));
             }

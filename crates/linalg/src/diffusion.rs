@@ -107,8 +107,7 @@ impl<'a> DiffusionOperator<'a> {
         assert_eq!(flows.len(), self.graph.edge_count());
         for (e, &(u, v)) in self.graph.edges().iter().enumerate() {
             let (u, v) = (u as usize, v as usize);
-            flows[e] =
-                self.edge_alpha[e] * (x[u] / self.speeds.get(u) - x[v] / self.speeds.get(v));
+            flows[e] = self.edge_alpha[e] * (x[u] / self.speeds.get(u) - x[v] / self.speeds.get(v));
         }
     }
 
@@ -163,8 +162,7 @@ impl<'a> DiffusionOperator<'a> {
         let mut b = self.to_dense();
         for i in 0..n {
             for j in 0..n {
-                b[(i, j)] *=
-                    (self.speeds.get(j) / self.speeds.get(i)).sqrt();
+                b[(i, j)] *= (self.speeds.get(j) / self.speeds.get(i)).sqrt();
             }
         }
         b

@@ -84,9 +84,11 @@ impl TorusModes {
                 canonical.push((p, q, eigenvalue(rows, cols, p, q), 0, self_conj));
             }
         }
-        canonical.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite").then_with(|| {
-            (a.0, a.1).cmp(&(b.0, b.1))
-        }));
+        canonical.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .expect("finite")
+                .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+        });
         for (rank, m) in canonical.iter_mut().enumerate() {
             m.3 = rank + 1;
         }
@@ -232,9 +234,9 @@ mod tests {
         let mut loads = vec![0.0; rows * cols];
         for r in 0..rows {
             for c in 0..cols {
-                loads[r * cols + c] = (2.0 * PI * (2.0 * r as f64 / rows as f64
-                    + 3.0 * c as f64 / cols as f64))
-                    .cos();
+                loads[r * cols + c] =
+                    (2.0 * PI * (2.0 * r as f64 / rows as f64 + 3.0 * c as f64 / cols as f64))
+                        .cos();
             }
         }
         let coeffs = tm.coefficients(&loads);
@@ -246,9 +248,10 @@ mod tests {
             (leading.p, leading.q)
         );
         // All other modes are (numerically) silent.
-        for c in coeffs.iter().filter(|c| {
-            (c.p, c.q) != (leading.p, leading.q)
-        }) {
+        for c in coeffs
+            .iter()
+            .filter(|c| (c.p, c.q) != (leading.p, leading.q))
+        {
             assert!(c.amplitude < 1e-9, "spurious mode {c:?}");
         }
     }

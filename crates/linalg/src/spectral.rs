@@ -289,10 +289,7 @@ mod tests {
     fn beta_opt_bounds() {
         assert_eq!(beta_opt(0.0), 1.0);
         assert!(beta_opt(0.999999) < 2.0);
-        let betas: Vec<f64> = [0.1, 0.5, 0.9, 0.99]
-            .iter()
-            .map(|&l| beta_opt(l))
-            .collect();
+        let betas: Vec<f64> = [0.1, 0.5, 0.9, 0.99].iter().map(|&l| beta_opt(l)).collect();
         assert!(betas.windows(2).all(|w| w[0] < w[1]), "beta_opt increases");
     }
 

@@ -12,9 +12,7 @@
 //! actually measured in coupled runs.
 
 use sodiff::core::deviation::coupled_run;
-use sodiff::core::divergence::{
-    contribution, refined_local_divergence_at, DivergenceOptions,
-};
+use sodiff::core::divergence::{contribution, refined_local_divergence_at, DivergenceOptions};
 use sodiff::core::prelude::*;
 use sodiff::graph::generators;
 use sodiff::linalg::spectral;
@@ -63,8 +61,14 @@ fn main() {
         rounds,
     );
     println!("measured max deviation over {rounds} rounds:");
-    println!("  FOS: {:.2}  (Theorem 3 envelope {envelope_fos:.2})", dev_fos.max());
-    println!("  SOS: {:.2}  (Theorem 3 envelope {envelope_sos:.2})", dev_sos.max());
+    println!(
+        "  FOS: {:.2}  (Theorem 3 envelope {envelope_fos:.2})",
+        dev_fos.max()
+    );
+    println!(
+        "  SOS: {:.2}  (Theorem 3 envelope {envelope_sos:.2})",
+        dev_sos.max()
+    );
     assert!(dev_fos.max() <= envelope_fos);
     assert!(dev_sos.max() <= envelope_sos);
     println!("\nboth deviations sit inside the theorem's envelope, with SOS");

@@ -24,9 +24,7 @@ fn main() {
 
     let spectrum = spectral::analyze(&graph, &speeds);
     let beta = spectrum.beta_opt();
-    println!(
-        "random 8-regular graph, n = {n}; {fast} fast nodes at speed {fast_speed}"
-    );
+    println!("random 8-regular graph, n = {n}; {fast} fast nodes at speed {fast_speed}");
     println!(
         "lambda = {:.6}, beta_opt = {:.6}, s_max = {}",
         spectrum.lambda,

@@ -35,9 +35,7 @@ fn main() {
     let spectrum = spectral::analyze(&graph, &Speeds::uniform(n));
     let beta = spectrum.beta_opt();
     let total_rounds = 1000u64;
-    println!(
-        "torus {side}x{side}, beta_opt = {beta:.6}, horizon = {total_rounds} rounds"
-    );
+    println!("torus {side}x{side}, beta_opt = {beta:.6}, horizon = {total_rounds} rounds");
     println!(
         "{:<28} {:>12} {:>16} {:>14}",
         "strategy", "max - avg", "max local diff", "switch round"

@@ -24,7 +24,10 @@ fn main() {
     let spike = 10_000i64; // extra tokens dumped on node 0
     let delta0 = spike as f64 * (1.0 - 1.0 / n as f64);
 
-    println!("torus {side}x{side}: beta_opt = {beta:.6}, gap = {:.3e}", spectrum.gap());
+    println!(
+        "torus {side}x{side}: beta_opt = {beta:.6}, gap = {:.3e}",
+        spectrum.gap()
+    );
     println!(
         "Theorem 10 (continuous) min-load scale: {:.0} tokens",
         theory::min_initial_load_continuous_sos(n, delta0, spectrum.gap())

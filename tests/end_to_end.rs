@@ -141,7 +141,12 @@ fn idealized_and_discrete_agree_on_shape() {
     }
     let (d, c) = (disc.metrics(), cont.metrics());
     let rel = (d.max_minus_avg - c.max_minus_avg).abs() / c.max_minus_avg.max(1.0);
-    assert!(rel < 0.3, "discrete {} vs continuous {}", d.max_minus_avg, c.max_minus_avg);
+    assert!(
+        rel < 0.3,
+        "discrete {} vs continuous {}",
+        d.max_minus_avg,
+        c.max_minus_avg
+    );
     for _ in 0..400 {
         disc.step();
         cont.step();

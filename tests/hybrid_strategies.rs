@@ -44,7 +44,10 @@ fn eigenvector_coefficient_trigger() {
         &mut Null,
     );
     let switch = report.switch_round.expect("trigger should fire");
-    assert!(switch > 5, "needs some SOS rounds first, switched at {switch}");
+    assert!(
+        switch > 5,
+        "needs some SOS rounds first, switched at {switch}"
+    );
     let final_imbalance = sim.metrics().max_minus_avg;
     assert!(
         final_imbalance <= 6.0,

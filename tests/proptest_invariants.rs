@@ -44,10 +44,7 @@ fn any_rounding() -> impl Strategy<Value = Rounding> {
 }
 
 fn any_scheme() -> impl Strategy<Value = Scheme> {
-    prop_oneof![
-        Just(Scheme::fos()),
-        (0.05f64..1.95).prop_map(Scheme::sos),
-    ]
+    prop_oneof![Just(Scheme::fos()), (0.05f64..1.95).prop_map(Scheme::sos),]
 }
 
 proptest! {

@@ -52,25 +52,27 @@ impl From<String> for BenchmarkId {
 }
 
 /// Timing loop handle passed to benchmark closures.
-pub struct Bencher<'a> {
-    config: &'a Criterion,
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
     /// Mean and minimum nanoseconds per iteration, filled by [`Self::iter`].
     result: Option<(f64, f64, usize)>,
 }
 
-impl Bencher<'_> {
+impl Bencher {
     /// Measures `routine`: warms up, then runs timed samples.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: also estimates the per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
-        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
             black_box(routine());
             warm_iters += 1;
         }
         let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        let samples = self.config.sample_size.max(2);
-        let budget = self.config.measurement_time.as_secs_f64();
+        let samples = self.sample_size.max(2);
+        let budget = self.measurement_time.as_secs_f64();
         let iters_per_sample = ((budget / samples as f64 / est.max(1e-9)) as u64).max(1);
         let mut mean_sum = 0.0;
         let mut min_ns = f64::INFINITY;
@@ -89,22 +91,45 @@ impl Bencher<'_> {
     }
 }
 
-/// A named group of related benchmarks.
-pub struct BenchmarkGroup<'a> {
-    criterion: &'a Criterion,
+/// A named group of related benchmarks; the group can override the
+/// driver's sample count and timing budgets.
+pub struct BenchmarkGroup {
     name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
 }
 
-impl BenchmarkGroup<'_> {
+impl BenchmarkGroup {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Overrides the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
     /// Runs one benchmark and prints its timing line.
-    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
         id: impl Into<BenchmarkId>,
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
         let mut b = Bencher {
-            config: self.criterion,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
             result: None,
         };
         f(&mut b);
@@ -161,25 +186,24 @@ impl Criterion {
     }
 
     /// Opens a named benchmark group.
-    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         BenchmarkGroup {
-            criterion: self,
             name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
         }
     }
 
     /// Runs a single ungrouped benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
         id: impl Into<BenchmarkId>,
         f: F,
     ) -> &mut Self {
         let name = id.into().id;
-        let mut g = BenchmarkGroup {
-            criterion: self,
-            name,
-        };
-        g.bench_function(BenchmarkId::from_parameter(""), f);
+        self.benchmark_group(name)
+            .bench_function(BenchmarkId::from_parameter(""), f);
         self
     }
 }
@@ -241,7 +265,9 @@ mod tests {
     fn bencher_measures_something() {
         let c = quick();
         let mut b = Bencher {
-            config: &c,
+            sample_size: c.sample_size,
+            warm_up_time: c.warm_up_time,
+            measurement_time: c.measurement_time,
             result: None,
         };
         b.iter(|| black_box(3u64).wrapping_mul(7));
@@ -269,7 +295,8 @@ mod tests {
     }
 
     fn target_a(c: &mut Criterion) {
-        c.benchmark_group("t").bench_function("a", |b| b.iter(|| ()));
+        c.benchmark_group("t")
+            .bench_function("a", |b| b.iter(|| ()));
     }
 
     #[test]

@@ -434,8 +434,8 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
-    use super::prelude::*;
     use super::collection::vec;
+    use super::prelude::*;
 
     #[test]
     fn ranges_stay_in_bounds() {
