@@ -19,8 +19,13 @@ fn bench_rounding(c: &mut Criterion) {
         ("nearest", Rounding::nearest()),
         ("unbiased_edge", Rounding::unbiased_edge(1)),
     ] {
-        let config = SimulationConfig::discrete(Scheme::sos(beta), rounding);
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let mut sim = Experiment::on(&graph)
+            .discrete(rounding)
+            .sos(beta)
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .expect("valid experiment")
+            .simulator();
         sim.step();
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| sim.step());

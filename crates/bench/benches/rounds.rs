@@ -19,26 +19,25 @@ fn bench_step(c: &mut Criterion) {
     for (gname, graph) in graph_cases() {
         let n = graph.node_count();
         let beta = spectral::analyze(&graph, &Speeds::uniform(n)).beta_opt();
-        let cases: [(&str, SimulationConfig); 4] = [
-            (
-                "fos_discrete",
-                SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(1)),
-            ),
-            (
-                "sos_discrete",
-                SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(1)),
-            ),
-            (
-                "fos_continuous",
-                SimulationConfig::continuous(Scheme::fos()),
-            ),
-            (
-                "sos_continuous",
-                SimulationConfig::continuous(Scheme::sos(beta)),
-            ),
+        let cases: [(&str, Scheme, bool); 4] = [
+            ("fos_discrete", Scheme::fos(), true),
+            ("sos_discrete", Scheme::sos(beta), true),
+            ("fos_continuous", Scheme::fos(), false),
+            ("sos_continuous", Scheme::sos(beta), false),
         ];
-        for (cname, config) in cases {
-            let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        for (cname, scheme, discrete) in cases {
+            let builder = Experiment::on(&graph);
+            let builder = if discrete {
+                builder.discrete(Rounding::randomized(1))
+            } else {
+                builder.continuous()
+            };
+            let mut sim = builder
+                .scheme(scheme)
+                .init(InitialLoad::paper_default(n))
+                .build()
+                .expect("valid experiment")
+                .simulator();
             // Warm the flow memory so SOS benches its steady-state path.
             sim.step();
             group.bench_function(BenchmarkId::new(cname, gname), |b| {
@@ -58,22 +57,19 @@ fn bench_step_threads(c: &mut Criterion) {
         let n = graph.node_count();
         let beta = spectral::analyze(&graph, &Speeds::uniform(n)).beta_opt();
         for threads in [1usize, 2, 4] {
-            let cases: [(&str, SimulationConfig); 2] = [
-                (
-                    "sos_discrete_nearest",
-                    SimulationConfig::discrete(Scheme::sos(beta), Rounding::nearest()),
-                ),
-                (
-                    "sos_discrete_randomized",
-                    SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(1)),
-                ),
+            let cases: [(&str, Rounding); 2] = [
+                ("sos_discrete_nearest", Rounding::nearest()),
+                ("sos_discrete_randomized", Rounding::randomized(1)),
             ];
-            for (cname, config) in cases {
-                let mut sim = Simulator::new(
-                    &graph,
-                    config.with_threads(threads),
-                    InitialLoad::paper_default(n),
-                );
+            for (cname, rounding) in cases {
+                let mut sim = Experiment::on(&graph)
+                    .discrete(rounding)
+                    .sos(beta)
+                    .threads(threads)
+                    .init(InitialLoad::paper_default(n))
+                    .build()
+                    .expect("valid experiment")
+                    .simulator();
                 sim.step();
                 group.bench_function(
                     BenchmarkId::new(format!("{cname}_t{threads}"), gname),

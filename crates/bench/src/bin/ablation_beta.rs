@@ -26,15 +26,17 @@ fn main() {
         ("1.999", 1.999),
     ];
     for (label, beta) in candidates {
-        let config = SimulationConfig::discrete(
-            Scheme::sos(beta.min(1.999)),
-            Rounding::randomized(opts.seed),
-        );
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
-        let report = sim.run_until(StopCondition::BalancedWithin {
-            threshold: 20.0,
-            max_rounds: 100 * side,
-        });
+        let report = Experiment::on(&graph)
+            .discrete(Rounding::randomized(opts.seed))
+            .sos(beta.min(1.999))
+            .init(InitialLoad::paper_default(n))
+            .stop(StopCondition::BalancedWithin {
+                threshold: 20.0,
+                max_rounds: 100 * side,
+            })
+            .build()
+            .expect("valid experiment")
+            .run();
         let rounds_str = if report.reason == StopReason::Threshold {
             report.rounds.to_string()
         } else {

@@ -5,7 +5,6 @@
 //! discrete/continuous runs against Theorem 3's Υ·√(d·log n) form.
 
 use sodiff_bench::ExpOpts;
-use sodiff_core::deviation::coupled_run;
 use sodiff_core::divergence::{refined_local_divergence_at, DivergenceOptions};
 use sodiff_core::prelude::*;
 use sodiff_core::theory;
@@ -39,12 +38,14 @@ fn main() {
         let bound_sos = theory::sos_divergence_bound(4, 1.0, spec.gap());
         // Measured deviation of a coupled SOS run vs Theorem 3's
         // Υ·√(d log n) envelope using the *numerically computed* Υ.
-        let series = coupled_run(
-            &g,
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed)),
-            InitialLoad::paper_default(n),
-            40 * side,
-        );
+        let series = Experiment::on(&g)
+            .discrete(Rounding::randomized(opts.seed))
+            .sos(beta)
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .expect("valid experiment")
+            .coupled_deviation(40 * side)
+            .expect("discrete experiment");
         let envelope = ups_sos * (4.0 * (n as f64).ln()).sqrt();
         println!(
             "{side:>6} {:>10.2e} | {ups_fos:>12.3} {bound_fos:>12.3} | {ups_sos:>12.3} {bound_sos:>12.3} | {:>12.2} {envelope:>14.2}",

@@ -4,7 +4,6 @@
 //! This compares their remaining imbalance and deviation.
 
 use sodiff_bench::ExpOpts;
-use sodiff_core::deviation::coupled_run;
 use sodiff_core::prelude::*;
 use sodiff_graph::generators;
 use sodiff_linalg::spectral;
@@ -27,15 +26,15 @@ fn main() {
         ("rounded", FlowMemory::Rounded),
         ("scheduled", FlowMemory::Scheduled),
     ] {
-        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed))
-            .with_flow_memory(memory);
-        let series = coupled_run(
-            &graph,
-            config.clone(),
-            InitialLoad::paper_default(n),
-            rounds,
-        );
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let exp = Experiment::on(&graph)
+            .discrete(Rounding::randomized(opts.seed))
+            .sos(beta)
+            .flow_memory(memory)
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .expect("valid experiment");
+        let series = exp.coupled_deviation(rounds).expect("discrete experiment");
+        let mut sim = exp.simulator();
         sim.run_until(StopCondition::MaxRounds(rounds));
         let m = sim.metrics();
         println!(

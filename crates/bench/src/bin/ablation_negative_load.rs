@@ -22,12 +22,18 @@ fn min_transient(
     let n = graph.node_count();
     let mut loads = vec![base; n];
     loads[0] += spike;
-    let config = if discrete {
-        SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(seed))
+    let builder = Experiment::on(graph);
+    let builder = if discrete {
+        builder.discrete(Rounding::randomized(seed))
     } else {
-        SimulationConfig::continuous(Scheme::sos(beta))
+        builder.continuous()
     };
-    let mut sim = Simulator::new(graph, config, InitialLoad::Custom(loads));
+    let mut sim = builder
+        .sos(beta)
+        .init(InitialLoad::Custom(loads))
+        .build()
+        .expect("valid experiment")
+        .simulator();
     sim.run_until(StopCondition::MaxRounds(rounds));
     sim.min_transient_load()
 }

@@ -4,7 +4,6 @@
 //! twin, and minimum transient load.
 
 use sodiff_bench::ExpOpts;
-use sodiff_core::deviation::coupled_run;
 use sodiff_core::prelude::*;
 use sodiff_graph::generators;
 use sodiff_linalg::spectral;
@@ -29,14 +28,14 @@ fn main() {
         ("nearest", Rounding::nearest()),
         ("unbiased per edge", Rounding::unbiased_edge(opts.seed)),
     ] {
-        let config = SimulationConfig::discrete(Scheme::sos(beta), rounding);
-        let series = coupled_run(
-            &graph,
-            config.clone(),
-            InitialLoad::paper_default(n),
-            rounds,
-        );
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let exp = Experiment::on(&graph)
+            .discrete(rounding)
+            .sos(beta)
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .expect("valid experiment");
+        let series = exp.coupled_deviation(rounds).expect("discrete experiment");
+        let mut sim = exp.simulator();
         sim.run_until(StopCondition::MaxRounds(rounds));
         let m = sim.metrics();
         println!(

@@ -44,9 +44,14 @@ fn main() {
         );
         let beta = spec.beta_opt();
         let total = 500 * speeds.total() as i64;
-        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed))
-            .with_speeds(speeds.clone());
-        let mut sim = Simulator::new(&graph, config, InitialLoad::point(0, total));
+        let mut sim = Experiment::on(&graph)
+            .discrete(Rounding::randomized(opts.seed))
+            .sos(beta)
+            .speeds(speeds.clone())
+            .init(InitialLoad::point(0, total))
+            .build()
+            .expect("valid experiment")
+            .simulator();
         let report = sim.run_until(StopCondition::Plateau {
             window: 50,
             max_rounds: 200 * side,

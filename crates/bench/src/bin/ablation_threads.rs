@@ -36,9 +36,14 @@ fn main() {
         if threads > 2 * cores {
             break;
         }
-        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed))
-            .with_threads(threads);
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let mut sim = Experiment::on(&graph)
+            .discrete(Rounding::randomized(opts.seed))
+            .sos(beta)
+            .threads(threads)
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .expect("valid experiment")
+            .simulator();
         let start = Instant::now();
         sim.run_until(StopCondition::MaxRounds(rounds));
         let secs = start.elapsed().as_secs_f64();

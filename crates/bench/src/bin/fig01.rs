@@ -22,10 +22,15 @@ fn main() {
         ("fig01_sos", Scheme::sos(beta)),
         ("fig01_fos", Scheme::fos()),
     ] {
-        let config = SimulationConfig::discrete(scheme, Rounding::randomized(opts.seed));
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let exp = Experiment::on(&graph)
+            .discrete(Rounding::randomized(opts.seed))
+            .scheme(scheme)
+            .init(InitialLoad::paper_default(n))
+            .stop(StopCondition::MaxRounds(rounds as usize))
+            .build()
+            .expect("valid experiment");
         let mut rec = Recorder::every(stride);
-        sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
+        exp.run_with(&mut rec);
         save_recorder(&opts, name, &rec);
     }
 

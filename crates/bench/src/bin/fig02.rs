@@ -19,11 +19,15 @@ fn main() {
 
     let stride = stride_for(rounds, 1000);
     for avg in [10i64, 100, 1000] {
-        let init = InitialLoad::point(0, avg * n as i64);
-        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
-        let mut sim = Simulator::new(&graph, config, init);
+        let exp = Experiment::on(&graph)
+            .discrete(Rounding::randomized(opts.seed))
+            .sos(beta)
+            .init(InitialLoad::point(0, avg * n as i64))
+            .stop(StopCondition::MaxRounds(rounds as usize))
+            .build()
+            .expect("valid experiment");
         let mut rec = Recorder::every(stride);
-        sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
+        exp.run_with(&mut rec);
         save_recorder(&opts, &format!("fig02_avg{avg}"), &rec);
     }
 

@@ -24,14 +24,20 @@ fn main() {
         ("fig03_ideal_fos", Scheme::fos(), false),
     ];
     for (name, scheme, discrete) in cases {
-        let config = if discrete {
-            SimulationConfig::discrete(scheme, Rounding::randomized(opts.seed))
+        let builder = Experiment::on(&graph);
+        let builder = if discrete {
+            builder.discrete(Rounding::randomized(opts.seed))
         } else {
-            SimulationConfig::continuous(scheme)
+            builder.continuous()
         };
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let exp = builder
+            .scheme(scheme)
+            .init(InitialLoad::paper_default(n))
+            .stop(StopCondition::MaxRounds(rounds as usize))
+            .build()
+            .expect("valid experiment");
         let mut rec = Recorder::every(stride);
-        sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
+        exp.run_with(&mut rec);
         save_recorder(&opts, name, &rec);
     }
 

@@ -22,26 +22,33 @@ fn main() {
     );
 
     let stride = stride_for(horizon, 1400);
+    let experiment = |policy: Option<SwitchPolicy>| {
+        let mut builder = Experiment::on(&graph)
+            .discrete(Rounding::randomized(opts.seed))
+            .sos(beta)
+            .init(InitialLoad::paper_default(n))
+            .stop(StopCondition::MaxRounds(horizon as usize));
+        if let Some(policy) = policy {
+            builder = builder.hybrid(policy);
+        }
+        builder.build().expect("valid experiment")
+    };
     // Pure SOS baseline.
     {
-        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         let mut rec = Recorder::every(stride);
-        sim.run_until_with(StopCondition::MaxRounds(horizon as usize), &mut rec);
+        experiment(None).run_with(&mut rec);
         save_recorder(&opts, "fig04_sos_only", &rec);
     }
     // Hybrids.
     for switch in switches {
-        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         let mut rec = Recorder::every(stride);
-        let report = run_hybrid(&mut sim, SwitchPolicy::AtRound(switch), horizon, &mut rec);
+        let report = experiment(Some(SwitchPolicy::AtRound(switch))).run_with(&mut rec);
         save_recorder(&opts, &format!("fig04_switch{switch}"), &rec);
         println!(
             "  switch at {switch}: fired at {:?}, final max-avg {:.1}, local diff {:.1}",
             report.switch_round,
-            sim.metrics().max_minus_avg,
-            sim.metrics().max_local_diff
+            report.final_metrics.max_minus_avg,
+            report.final_metrics.max_local_diff
         );
     }
 

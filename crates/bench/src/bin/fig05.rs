@@ -21,13 +21,13 @@ fn main() {
     let horizon = (3500.0 * scale) as u64;
     println!("Figure 5: torus {side}x{side}, SOS vs switches at {switch_a} and {switch_b}");
 
-    let make = || {
-        Simulator::new(
-            &graph,
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed)),
-            InitialLoad::paper_default(n),
-        )
-    };
+    let exp = Experiment::on(&graph)
+        .discrete(Rounding::randomized(opts.seed))
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .expect("valid experiment");
+    let make = || exp.simulator();
     let mut sos = make();
     let mut hybrid_a = make();
     let mut hybrid_b = make();

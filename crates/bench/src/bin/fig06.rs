@@ -22,16 +22,26 @@ fn main() {
     let stride = stride_for(rounds, 1000);
     // Discrete randomized SOS.
     {
-        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let mut sim = Experiment::on(&graph)
+            .discrete(Rounding::randomized(opts.seed))
+            .sos(beta)
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .expect("valid experiment")
+            .simulator();
         let mut rec = Recorder::every(stride);
         sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
         save_recorder(&opts, "fig06_discrete", &rec);
     }
     // Idealized SOS with explicit float-drift column.
     {
-        let config = SimulationConfig::continuous(Scheme::sos(beta));
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+        let mut sim = Experiment::on(&graph)
+            .continuous()
+            .sos(beta)
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .expect("valid experiment")
+            .simulator();
         let mut rec = Recorder::every(stride);
         sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
         save_recorder(&opts, "fig06_ideal", &rec);

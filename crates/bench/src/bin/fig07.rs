@@ -26,8 +26,13 @@ fn main() {
     println!("Figure 7: torus {side}x{side}, eigen-coefficient tracking, {rounds} rounds");
 
     let modes = TorusModes::new(side, side);
-    let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
-    let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+    let mut sim = Experiment::on(&graph)
+        .discrete(Rounding::randomized(opts.seed))
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .expect("valid experiment")
+        .simulator();
 
     let path = opts.path("fig07_coefficients");
     let mut w = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));

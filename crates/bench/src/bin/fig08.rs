@@ -16,19 +16,26 @@ fn main() {
     let beta = spectral::analyze(&graph, &Speeds::uniform(n)).beta_opt();
     println!("Figure 8: torus {side}x{side}, switch-round sweep, horizon {rounds}");
 
+    let experiment = |policy: Option<SwitchPolicy>| {
+        let mut builder = Experiment::on(&graph)
+            .discrete(Rounding::randomized(opts.seed))
+            .sos(beta)
+            .init(InitialLoad::paper_default(n))
+            .stop(StopCondition::MaxRounds(rounds as usize));
+        if let Some(policy) = policy {
+            builder = builder.hybrid(policy);
+        }
+        builder.build().expect("valid experiment")
+    };
     // Pure SOS.
     {
-        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         let mut rec = Recorder::new();
-        sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
+        experiment(None).run_with(&mut rec);
         save_recorder(&opts, "fig08_sos", &rec);
     }
     for switch in [300u64, 500, 700, 900] {
-        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
         let mut rec = Recorder::new();
-        run_hybrid(&mut sim, SwitchPolicy::AtRound(switch), rounds, &mut rec);
+        experiment(Some(SwitchPolicy::AtRound(switch))).run_with(&mut rec);
         save_recorder(&opts, &format!("fig08_fos{switch}"), &rec);
     }
 

@@ -18,8 +18,13 @@ fn main() {
     let beta = spectral::analyze(&graph, &Speeds::uniform(n)).beta_opt();
     println!("Figures 9/10: torus {side}x{side} wavefront renders");
 
-    let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
-    let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+    let mut sim = Experiment::on(&graph)
+        .discrete(Rounding::randomized(opts.seed))
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .expect("valid experiment")
+        .simulator();
 
     let scale = side as f64 / 1000.0;
     let mut checkpoints: Vec<u64> = [500.0f64, 1000.0, 1100.0, 1200.0, 1400.0]

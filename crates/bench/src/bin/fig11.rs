@@ -21,8 +21,13 @@ fn main() {
     let fos_b = (1000.0 * scale) as u64;
     println!("Figure 11: torus {side}x{side}; {sos_steps} SOS steps, then +{fos_a}/+{fos_b} FOS");
 
-    let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
-    let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+    let mut sim = Experiment::on(&graph)
+        .discrete(Rounding::randomized(opts.seed))
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .expect("valid experiment")
+        .simulator();
 
     let shading = Shading::Absolute { threshold: 10.0 };
     let mut loads = vec![0.0f64; n];

@@ -36,17 +36,19 @@ fn main() {
         ("fig14_fos", Scheme::fos(), None),
         ("fig14_fos_at500", Scheme::sos(beta), Some(500u64)),
     ] {
-        let config = SimulationConfig::discrete(scheme, Rounding::randomized(opts.seed));
-        let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
-        let mut rec = Recorder::new();
-        match switch {
-            Some(at) => {
-                run_hybrid(&mut sim, SwitchPolicy::AtRound(at), rounds, &mut rec);
-            }
-            None => {
-                sim.run_until_with(StopCondition::MaxRounds(rounds as usize), &mut rec);
-            }
+        let mut builder = Experiment::on(&graph)
+            .discrete(Rounding::randomized(opts.seed))
+            .scheme(scheme)
+            .init(InitialLoad::paper_default(n))
+            .stop(StopCondition::MaxRounds(rounds as usize));
+        if let Some(at) = switch {
+            builder = builder.hybrid(SwitchPolicy::AtRound(at));
         }
+        let mut rec = Recorder::new();
+        builder
+            .build()
+            .expect("valid experiment")
+            .run_with(&mut rec);
         save_recorder(&opts, name, &rec);
     }
 

@@ -23,8 +23,13 @@ fn main() {
     );
 
     let modes = TorusModes::new(side, side);
-    let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(opts.seed));
-    let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+    let mut sim = Experiment::on(&graph)
+        .discrete(Rounding::randomized(opts.seed))
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .expect("valid experiment")
+        .simulator();
 
     let path = opts.path("fig15_overlay");
     let mut w = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));

@@ -6,13 +6,17 @@
 //! discrete rounds on a 512×512 torus (kernel cost) and sequential vs
 //! pooled execution on a 256×256 torus (executor cost), for both the
 //! deterministic and the randomized-framework rounding paths plus the
-//! continuous scheme.
+//! continuous scheme. A `driver_batch` entry additionally times a batch of
+//! scenarios through one pooled `Driver` (threads spawned once) against
+//! the same scenarios as separate `Simulator`s (one pool spawn each).
 //!
-//! Usage: `perf_baseline [--out <path>] [--secs <s>] [--quick]`
+//! Usage: `perf_baseline [--out <path>] [--secs <s>] [--quick] [--scenarios <file>]`
 //!
 //! * `--out <path>` — where to write the JSON (default `BENCH_rounds.json`),
 //! * `--secs <s>` — measurement budget per case (default 1.0),
-//! * `--quick` — CI smoke mode: tiny graphs, short budget.
+//! * `--quick` — CI smoke mode: tiny graphs, short budget,
+//! * `--scenarios <file>` — use this scenario file for the `driver_batch`
+//!   entry instead of the built-in synthetic batch.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,7 +29,9 @@ struct Case {
     graph_name: &'static str,
     config_name: &'static str,
     threads: usize,
-    make: Box<dyn Fn() -> SimulationConfig>,
+    scheme: Scheme,
+    /// `None` = continuous mode.
+    rounding: Option<Rounding>,
 }
 
 struct Measurement {
@@ -45,8 +51,18 @@ struct Measurement {
 fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
     let n = graph.node_count();
     let m = graph.edge_count();
-    let config = (case.make)().with_threads(case.threads);
-    let mut sim = Simulator::new(graph, config, InitialLoad::paper_default(n));
+    let builder = Experiment::on(graph);
+    let builder = match case.rounding {
+        Some(rounding) => builder.discrete(rounding),
+        None => builder.continuous(),
+    };
+    let mut sim = builder
+        .scheme(case.scheme)
+        .threads(case.threads)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .expect("valid benchmark experiment")
+        .simulator();
     // Warm up: flow memory, pool threads, caches.
     for _ in 0..3 {
         sim.step();
@@ -83,10 +99,82 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
     }
 }
 
+struct DriverBatchMeasurement {
+    source: String,
+    scenarios: usize,
+    threads: usize,
+    total_rounds: u64,
+    driver_secs: f64,
+    separate_secs: f64,
+}
+
+/// Times `specs` through one pooled [`Driver`] against the same specs as
+/// separate simulators that each spawn (and join) their own pool.
+fn measure_driver_batch(
+    specs: &[ScenarioSpec],
+    threads: usize,
+    source: String,
+) -> DriverBatchMeasurement {
+    // Warm both paths once (graph generation dominates cold runs).
+    let driver = Driver::with_threads(threads).expect("positive thread count");
+    driver.run_batch(specs).expect("valid scenario batch");
+
+    let start = Instant::now();
+    let batch = driver.run_batch(specs).expect("valid scenario batch");
+    let driver_secs = start.elapsed().as_secs_f64();
+
+    let mut separate = specs.to_vec();
+    for spec in &mut separate {
+        spec.threads = threads;
+    }
+    let start = Instant::now();
+    let mut separate_rounds = 0u64;
+    for spec in &separate {
+        // One standalone simulator per scenario: pool spawned and joined
+        // inside this call.
+        separate_rounds += spec.run().expect("valid scenario").rounds;
+    }
+    let separate_secs = start.elapsed().as_secs_f64();
+    assert_eq!(batch.total_rounds, separate_rounds, "paths must agree");
+
+    DriverBatchMeasurement {
+        source,
+        scenarios: specs.len(),
+        threads,
+        total_rounds: batch.total_rounds,
+        driver_secs,
+        separate_secs,
+    }
+}
+
+/// Minimal JSON string escaping for the hand-rolled output (the scenario
+/// file path is the only user-controlled string).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The built-in `driver_batch` workload: many small simulations — the
+/// serving-style shape where per-`Simulator` pool spawn/join cycles are a
+/// visible fraction of the work the driver amortizes away.
+fn synthetic_batch(quick: bool) -> Vec<ScenarioSpec> {
+    let (side, rounds, count) = if quick { (12, 10, 10) } else { (16, 12, 48) };
+    let mut text = String::new();
+    for i in 0..count {
+        writeln!(
+            text,
+            "name=batch{i} topology=torus2d:{side}:{side} scheme=sos:1.9 mode=discrete \
+             rounding=nearest init=paper stop=rounds:{rounds}"
+        )
+        .unwrap();
+    }
+    ScenarioSpec::parse_many(&text).expect("synthetic batch parses")
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_rounds.json");
     let mut budget_secs = 1.0f64;
     let mut quick = false;
+    let mut scenario_file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -99,8 +187,14 @@ fn main() {
                     .expect("--secs must be a number")
             }
             "--quick" => quick = true,
+            "--scenarios" => {
+                scenario_file = Some(args.next().expect("--scenarios requires a path"))
+            }
             other => {
-                panic!("unknown argument {other}; supported: --out <path>, --secs <s>, --quick")
+                panic!(
+                    "unknown argument {other}; supported: --out <path>, --secs <s>, --quick, \
+                     --scenarios <file>"
+                )
             }
         }
     }
@@ -122,7 +216,8 @@ fn main() {
                 graph_name: big_name,
                 config_name: "fos_discrete_nearest",
                 threads: 1,
-                make: Box::new(|| SimulationConfig::discrete(Scheme::fos(), Rounding::nearest())),
+                scheme: Scheme::fos(),
+                rounding: Some(Rounding::nearest()),
             },
         ),
         (
@@ -131,9 +226,8 @@ fn main() {
                 graph_name: big_name,
                 config_name: "fos_discrete_randomized",
                 threads: 1,
-                make: Box::new(|| {
-                    SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(42))
-                }),
+                scheme: Scheme::fos(),
+                rounding: Some(Rounding::randomized(42)),
             },
         ),
         (
@@ -142,9 +236,8 @@ fn main() {
                 graph_name: mid_name,
                 config_name: "sos_discrete_nearest",
                 threads: 1,
-                make: Box::new(move || {
-                    SimulationConfig::discrete(Scheme::sos(beta_mid), Rounding::nearest())
-                }),
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
             },
         ),
         (
@@ -153,9 +246,8 @@ fn main() {
                 graph_name: mid_name,
                 config_name: "sos_discrete_nearest",
                 threads: 4,
-                make: Box::new(move || {
-                    SimulationConfig::discrete(Scheme::sos(beta_mid), Rounding::nearest())
-                }),
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
             },
         ),
         (
@@ -164,9 +256,8 @@ fn main() {
                 graph_name: mid_name,
                 config_name: "sos_discrete_randomized",
                 threads: 1,
-                make: Box::new(move || {
-                    SimulationConfig::discrete(Scheme::sos(beta_mid), Rounding::randomized(42))
-                }),
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::randomized(42)),
             },
         ),
         (
@@ -175,9 +266,8 @@ fn main() {
                 graph_name: mid_name,
                 config_name: "sos_discrete_randomized",
                 threads: 4,
-                make: Box::new(move || {
-                    SimulationConfig::discrete(Scheme::sos(beta_mid), Rounding::randomized(42))
-                }),
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::randomized(42)),
             },
         ),
         (
@@ -186,7 +276,8 @@ fn main() {
                 graph_name: mid_name,
                 config_name: "sos_continuous",
                 threads: 1,
-                make: Box::new(move || SimulationConfig::continuous(Scheme::sos(beta_mid))),
+                scheme: Scheme::sos(beta_mid),
+                rounding: None,
             },
         ),
         (
@@ -195,7 +286,8 @@ fn main() {
                 graph_name: mid_name,
                 config_name: "sos_continuous",
                 threads: 4,
-                make: Box::new(move || SimulationConfig::continuous(Scheme::sos(beta_mid))),
+                scheme: Scheme::sos(beta_mid),
+                rounding: None,
             },
         ),
     ];
@@ -215,6 +307,28 @@ fn main() {
         );
         results.push(r);
     }
+
+    let (specs, source) = match &scenario_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read scenario file {path}: {e}"));
+            (
+                ScenarioSpec::parse_many(&text).unwrap_or_else(|e| panic!("{e}")),
+                path.clone(),
+            )
+        }
+        None => (synthetic_batch(quick), "synthetic".to_string()),
+    };
+    let db = measure_driver_batch(&specs, 4, source);
+    println!(
+        "driver_batch ({} scenarios, {} threads): pooled driver {:.3}s vs separate \
+         simulators {:.3}s ({:.2}x)",
+        db.scenarios,
+        db.threads,
+        db.driver_secs,
+        db.separate_secs,
+        db.separate_secs / db.driver_secs
+    );
 
     let mut json = String::from("{\n  \"bench\": \"rounds\",\n  \"cases\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -236,7 +350,20 @@ fn main() {
         )
         .unwrap();
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    writeln!(
+        json,
+        "  \"driver_batch\": {{\"source\": \"{}\", \"scenarios\": {}, \"threads\": {}, \"total_rounds\": {}, \"driver_secs\": {:.4}, \"separate_secs\": {:.4}, \"speedup\": {:.3}}}",
+        json_escape(&db.source),
+        db.scenarios,
+        db.threads,
+        db.total_rounds,
+        db.driver_secs,
+        db.separate_secs,
+        db.separate_secs / db.driver_secs
+    )
+    .unwrap();
+    json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_rounds.json");
     println!("wrote {out_path}");
 }

@@ -179,11 +179,12 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("s.csv");
         let g = sodiff_graph::generators::cycle(8);
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(1)),
-            InitialLoad::point(0, 80),
-        );
+        let mut sim = Experiment::on(&g)
+            .discrete(Rounding::randomized(1))
+            .init(InitialLoad::point(0, 80))
+            .build()
+            .unwrap()
+            .simulator();
         let mut rec = Recorder::new();
         sim.run_until_with(StopCondition::MaxRounds(5), &mut rec);
         write_series(&path, rec.rows());

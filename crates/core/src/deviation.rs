@@ -32,7 +32,25 @@ impl DeviationSeries {
 ///
 /// # Panics
 ///
-/// Panics if `config.mode` is not discrete.
+/// Panics if `config.mode` is not discrete or the configuration is
+/// otherwise invalid.
+///
+/// # Replacement
+///
+/// ```
+/// use sodiff_core::prelude::*;
+/// use sodiff_graph::generators;
+///
+/// let g = generators::torus2d(8, 8);
+/// let series = Experiment::on(&g)
+///     .discrete(Rounding::randomized(3))
+///     .build()
+///     .unwrap()
+///     .coupled_deviation(100)
+///     .unwrap();
+/// assert_eq!(series.per_round.len(), 100);
+/// ```
+#[deprecated(since = "0.1.0", note = "use Experiment::coupled_deviation")]
 pub fn coupled_run(
     graph: &Graph,
     config: SimulationConfig,
@@ -50,8 +68,10 @@ pub fn coupled_run(
         flow_memory: config.flow_memory,
         threads: config.threads,
     };
-    let mut discrete = Simulator::new(graph, config, init.clone());
-    let mut continuous = Simulator::new(graph, continuous_config, init);
+    let mut discrete =
+        Simulator::build(graph, config, init.clone(), None).unwrap_or_else(|e| panic!("{e}"));
+    let mut continuous =
+        Simulator::build(graph, continuous_config, init, None).unwrap_or_else(|e| panic!("{e}"));
     let mut per_round = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         discrete.step();
@@ -64,20 +84,20 @@ pub fn coupled_run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::Experiment;
     use crate::rounding::Rounding;
-    use crate::scheme::Scheme;
     use sodiff_graph::{generators, Speeds};
     use sodiff_linalg::spectral;
 
     #[test]
     fn deviation_starts_small_and_stays_bounded() {
         let g = generators::torus2d(8, 8);
-        let series = coupled_run(
-            &g,
-            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(3)),
-            InitialLoad::paper_default(64),
-            300,
-        );
+        let series = Experiment::on(&g)
+            .discrete(Rounding::randomized(3))
+            .build()
+            .unwrap()
+            .coupled_deviation(300)
+            .unwrap();
         assert_eq!(series.per_round.len(), 300);
         // Round 1 rounds at most d tokens per node off.
         assert!(series.per_round[0] <= 5.0);
@@ -94,18 +114,17 @@ mod tests {
         let spec = spectral::analyze(&g, &Speeds::uniform(100));
         let beta = spec.beta_opt();
         let rounds = 1500;
-        let randomized = coupled_run(
-            &g,
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(5)),
-            InitialLoad::paper_default(100),
-            rounds,
-        );
-        let down = coupled_run(
-            &g,
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::round_down()),
-            InitialLoad::paper_default(100),
-            rounds,
-        );
+        let run = |rounding: Rounding| {
+            Experiment::on(&g)
+                .discrete(rounding)
+                .sos(beta)
+                .build()
+                .unwrap()
+                .coupled_deviation(rounds)
+                .unwrap()
+        };
+        let randomized = run(Rounding::randomized(5));
+        let down = run(Rounding::round_down());
         assert!(
             randomized.last() <= down.last() + 1.0,
             "randomized {} vs round-down {}",
@@ -118,21 +137,24 @@ mod tests {
     fn heterogeneous_coupled_run_works() {
         let g = generators::torus2d(5, 5);
         let speeds = Speeds::linear_ramp(25, 4.0);
-        let config =
-            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(7)).with_speeds(speeds);
-        let series = coupled_run(&g, config, InitialLoad::point(0, 12_500), 200);
+        let series = Experiment::on(&g)
+            .discrete(Rounding::randomized(7))
+            .speeds(speeds)
+            .init(InitialLoad::point(0, 12_500))
+            .build()
+            .unwrap()
+            .coupled_deviation(200)
+            .unwrap();
         assert!(series.max() < 60.0, "max deviation {}", series.max());
     }
 
     #[test]
     #[should_panic(expected = "discrete configuration")]
-    fn rejects_continuous_config() {
+    fn deprecated_coupled_run_rejects_continuous_config() {
         let g = generators::cycle(4);
-        coupled_run(
-            &g,
-            SimulationConfig::continuous(Scheme::fos()),
-            InitialLoad::point(0, 4),
-            1,
-        );
+        #[allow(deprecated)]
+        let config = SimulationConfig::continuous(crate::scheme::Scheme::fos());
+        #[allow(deprecated)]
+        coupled_run(&g, config, InitialLoad::point(0, 4), 1);
     }
 }

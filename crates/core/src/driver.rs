@@ -1,0 +1,285 @@
+//! Batch execution of scenario files over one persistent worker pool.
+//!
+//! A [`Driver`] takes a slice of [`ScenarioSpec`]s and runs them back to
+//! back. With [`Driver::with_threads`]`(t > 1)` it spawns the `t − 1`
+//! pool workers **once** and re-attaches them to every simulation in the
+//! batch (see [`crate::pool`]), instead of paying a spawn/join cycle per
+//! `Simulator` — that is the difference measured by the `driver_batch`
+//! entry of `BENCH_rounds.json`. Because the pooled executor is
+//! bit-identical to the sequential one, a batch report never depends on
+//! the driver's thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use sodiff_core::{Driver, ScenarioSpec};
+//!
+//! let specs = ScenarioSpec::parse_many(
+//!     "name=small topology=torus2d:8:8 scheme=sos:1.9 seed=1 stop=rounds:50\n\
+//!      name=ring  topology=cycle:32 seed=2 stop=rounds:100\n",
+//! )
+//! .unwrap();
+//! let batch = Driver::new().run_batch(&specs).unwrap();
+//! assert_eq!(batch.scenarios.len(), 2);
+//! assert_eq!(batch.total_rounds, 150);
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::engine::RunReport;
+use crate::error::BuildError;
+use crate::pool::WorkerPool;
+use crate::scenario::ScenarioSpec;
+
+/// One scenario's outcome inside a [`BatchReport`].
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario's `name=`.
+    pub name: String,
+    /// Canonical spec text (round-trips through `ScenarioSpec::from_str`).
+    pub spec: String,
+    /// Nodes of the built graph.
+    pub nodes: usize,
+    /// Edges of the built graph.
+    pub edges: usize,
+    /// The run's report (bit-identical to running the scenario through a
+    /// hand-built `Simulator`).
+    pub report: RunReport,
+    /// Wall-clock time of this scenario (graph build + rounds).
+    pub wall: Duration,
+}
+
+/// Outcome of a whole batch, with aggregate metrics across scenarios.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-scenario reports, in input order.
+    pub scenarios: Vec<ScenarioReport>,
+    /// Total rounds executed across the batch.
+    pub total_rounds: u64,
+    /// Total wall-clock time of the batch.
+    pub total_wall: Duration,
+    /// Worst final `max − avg` across scenarios.
+    pub worst_max_minus_avg: f64,
+    /// Mean final `max − avg` across scenarios.
+    pub mean_max_minus_avg: f64,
+}
+
+impl BatchReport {
+    fn from_scenarios(scenarios: Vec<ScenarioReport>, total_wall: Duration) -> Self {
+        let total_rounds = scenarios.iter().map(|s| s.report.rounds).sum();
+        let finals: Vec<f64> = scenarios
+            .iter()
+            .map(|s| s.report.final_metrics.max_minus_avg)
+            .collect();
+        let worst = finals.iter().copied().fold(0.0f64, f64::max);
+        let mean = if finals.is_empty() {
+            0.0
+        } else {
+            finals.iter().sum::<f64>() / finals.len() as f64
+        };
+        Self {
+            scenarios,
+            total_rounds,
+            total_wall,
+            worst_max_minus_avg: worst,
+            mean_max_minus_avg: mean,
+        }
+    }
+}
+
+/// Executes batches of [`ScenarioSpec`]s, reusing one persistent worker
+/// pool across all simulations; see the module docs above.
+pub struct Driver {
+    threads: usize,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl Driver {
+    /// A sequential driver: every scenario runs on the calling thread,
+    /// regardless of its `threads=` key (no pools are spawned).
+    pub fn new() -> Self {
+        Self {
+            threads: 1,
+            pool: None,
+        }
+    }
+
+    /// A driver whose simulations all run on one persistent pool of
+    /// `threads` participants (spawned here, reused for every scenario).
+    /// The pool size overrides each scenario's `threads=` key; reports
+    /// are unaffected because pooled execution is bit-identical to
+    /// sequential.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::ZeroThreads`] if `threads == 0`.
+    pub fn with_threads(threads: usize) -> Result<Self, BuildError> {
+        if threads == 0 {
+            return Err(BuildError::ZeroThreads);
+        }
+        Ok(Self {
+            threads,
+            pool: (threads > 1).then(|| Arc::new(WorkerPool::new(threads))),
+        })
+    }
+
+    /// Worker threads per simulation (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one scenario on this driver's pool.
+    ///
+    /// # Errors
+    ///
+    /// Build failures are wrapped as [`BuildError::Scenario`] carrying the
+    /// scenario's name.
+    pub fn run_spec(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, BuildError> {
+        let wrap = |source: BuildError| BuildError::Scenario {
+            name: spec.name.clone(),
+            source: Box::new(source),
+        };
+        let start = Instant::now();
+        let graph = spec.build_graph().map_err(wrap)?;
+        // The driver owns execution: its thread count (and pool) replaces
+        // the scenario's `threads=` key, so a sequential driver never
+        // spawns per-scenario pools. Results are unaffected — pooled
+        // execution is bit-identical to sequential.
+        let mut spec = spec.clone();
+        spec.threads = self.threads;
+        let experiment = spec.experiment_on(&graph).map_err(wrap)?;
+        let report = match &self.pool {
+            Some(pool) => {
+                let mut sim = experiment.simulator_on(Arc::clone(pool));
+                experiment.run_on(&mut sim, &mut crate::observer::NullObserver)
+            }
+            None => {
+                let mut sim = experiment.simulator();
+                experiment.run_on(&mut sim, &mut crate::observer::NullObserver)
+            }
+        };
+        Ok(ScenarioReport {
+            name: spec.name.clone(),
+            spec: spec.to_string(),
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            report,
+            wall: start.elapsed(),
+        })
+    }
+
+    /// Runs every scenario in order and aggregates the results.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first scenario that fails to build, wrapping the error
+    /// with that scenario's name.
+    pub fn run_batch(&self, specs: &[ScenarioSpec]) -> Result<BatchReport, BuildError> {
+        let start = Instant::now();
+        let mut scenarios = Vec::with_capacity(specs.len());
+        for spec in specs {
+            scenarios.push(self.run_spec(spec)?);
+        }
+        Ok(BatchReport::from_scenarios(scenarios, start.elapsed()))
+    }
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_specs() -> Vec<ScenarioSpec> {
+        ScenarioSpec::parse_many(
+            "name=torus topology=torus2d:6:6 scheme=sos:1.8 seed=4 stop=rounds:80\n\
+             name=cube topology=hypercube:5 seed=5 stop=rounds:40\n\
+             name=ideal topology=cycle:12 mode=continuous scheme=sos:1.5 stop=rounds:60\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_aggregates_rounds() {
+        let batch = Driver::new().run_batch(&sample_specs()).unwrap();
+        assert_eq!(batch.scenarios.len(), 3);
+        assert_eq!(batch.total_rounds, 80 + 40 + 60);
+        assert!(batch.worst_max_minus_avg >= batch.mean_max_minus_avg);
+        assert_eq!(batch.scenarios[0].nodes, 36);
+        assert_eq!(batch.scenarios[1].edges, 80);
+    }
+
+    #[test]
+    fn pooled_batch_is_bit_identical_to_sequential() {
+        let specs = sample_specs();
+        let seq = Driver::new().run_batch(&specs).unwrap();
+        let pooled = Driver::with_threads(3).unwrap().run_batch(&specs).unwrap();
+        for (a, b) in seq.scenarios.iter().zip(&pooled.scenarios) {
+            assert_eq!(a.report, b.report, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn concurrent_specs_on_one_pool_stay_correct() {
+        // Two threads pushing different scenarios through the same pooled
+        // driver must serialize on the pool's round lock and still produce
+        // the sequential results — the barrier protocol admits one
+        // external participant at a time.
+        let specs = sample_specs();
+        let sequential = Driver::new().run_batch(&specs).unwrap();
+        let driver = Driver::with_threads(3).unwrap();
+        let reports: Vec<ScenarioReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| scope.spawn(|| driver.run_spec(spec).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (a, b) in sequential.scenarios.iter().zip(&reports) {
+            assert_eq!(a.report, b.report, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn sequential_driver_ignores_scenario_threads() {
+        // `threads=8` in the spec must not make Driver::new spawn pools;
+        // the run still succeeds and matches the sequential result.
+        let specs = ScenarioSpec::parse_many(
+            "name=threaded topology=torus2d:5:5 seed=2 threads=8 stop=rounds:40",
+        )
+        .unwrap();
+        let driven = Driver::new().run_batch(&specs).unwrap();
+        let standalone = specs[0].run().unwrap();
+        assert_eq!(driven.scenarios[0].report, standalone);
+    }
+
+    #[test]
+    fn failing_scenario_is_named() {
+        let specs = ScenarioSpec::parse_many(
+            "name=ok topology=cycle:8 seed=1 stop=rounds:5\n\
+             name=broken topology=cycle:8 scheme=sos:3.0 seed=1\n",
+        )
+        .unwrap();
+        let err = Driver::new().run_batch(&specs).unwrap_err();
+        match err {
+            BuildError::Scenario { name, source } => {
+                assert_eq!(name, "broken");
+                assert_eq!(*source, BuildError::InvalidBeta(3.0));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_thread_driver_rejected() {
+        assert!(matches!(
+            Driver::with_threads(0),
+            Err(BuildError::ZeroThreads)
+        ));
+    }
+}

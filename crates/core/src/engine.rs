@@ -8,29 +8,37 @@
 //! arrives — which is the quantity the paper's negative-load results
 //! (Section V) bound.
 //!
+//! Simulators are built through the [`crate::ExperimentBuilder`], which
+//! validates every input and returns a typed [`BuildError`] instead of
+//! panicking. The legacy [`SimulationConfig`] constructors and
+//! [`Simulator::new`] remain as deprecated shims for one release.
+//!
 //! # Parallel execution
 //!
-//! The paper's C++ simulator uses OpenMP; here
-//! [`SimulationConfig::with_threads`] enables a **persistent worker pool**
-//! (see [`crate::pool`]): threads are spawned once at construction and
-//! park on a barrier between rounds, so the per-round executor overhead is
-//! a handful of barrier waits instead of `threads × phases` thread spawns.
-//! Every phase of a round is decomposed into pure per-edge or per-node
-//! passes (node-centric application, per-(node, round)-keyed RNG streams)
-//! that run through the same division-free kernels ([`crate::kernel`]) as
-//! the sequential executor, so the parallel path is **bit-identical** to
-//! the sequential one — for integer and floating-point loads alike — and
+//! The paper's C++ simulator uses OpenMP; here a thread count above 1
+//! attaches the simulation to a **persistent worker pool** (see
+//! [`crate::pool`]): threads are spawned once and park on a barrier
+//! between rounds, so the per-round executor overhead is a handful of
+//! barrier waits instead of `threads × phases` thread spawns. The batch
+//! [`crate::Driver`] shares one pool across a whole scenario file. Every
+//! phase of a round is decomposed into pure per-edge or per-node passes
+//! (node-centric application, per-(node, round)-keyed RNG streams) that
+//! run through the same division-free kernels ([`crate::kernel`]) as the
+//! sequential executor, so the parallel path is **bit-identical** to the
+//! sequential one — for integer and floating-point loads alike — and
 //! results never depend on the thread count.
 
 use std::sync::Arc;
 
 use sodiff_graph::{Graph, Speeds};
 
+use crate::error::BuildError;
+use crate::hybrid::SwitchPolicy;
 use crate::init::InitialLoad;
 use crate::kernel::{self, KernelTables};
 use crate::metrics::{snapshot_with, MetricsSnapshot, RemainingImbalance};
 use crate::observer::Observer;
-use crate::pool::{PoolMode, WorkerPool};
+use crate::pool::{PoolMode, RoundJob, WorkerPool};
 use crate::rounding::Rounding;
 use crate::scheme::Scheme;
 
@@ -59,6 +67,10 @@ pub enum FlowMemory {
 }
 
 /// Full configuration of a simulation run.
+///
+/// Prefer building simulations through [`crate::Experiment::on`]; this
+/// struct remains the validated internal form and the deprecated
+/// compatibility surface.
 #[derive(Debug, Clone)]
 pub struct SimulationConfig {
     /// FOS or SOS.
@@ -75,6 +87,26 @@ pub struct SimulationConfig {
 
 impl SimulationConfig {
     /// Discrete execution with the given scheme and rounding.
+    ///
+    /// # Replacement
+    ///
+    /// ```
+    /// use sodiff_core::prelude::*;
+    /// use sodiff_graph::generators;
+    ///
+    /// let g = generators::cycle(8);
+    /// let sim = Experiment::on(&g)
+    ///     .discrete(Rounding::randomized(42))
+    ///     .scheme(Scheme::fos())
+    ///     .build()
+    ///     .unwrap()
+    ///     .simulator();
+    /// assert!(sim.is_discrete());
+    /// ```
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ExperimentBuilder: Experiment::on(&graph).discrete(rounding)"
+    )]
     pub fn discrete(scheme: Scheme, rounding: Rounding) -> Self {
         Self {
             scheme,
@@ -86,6 +118,26 @@ impl SimulationConfig {
     }
 
     /// Continuous (idealized) execution.
+    ///
+    /// # Replacement
+    ///
+    /// ```
+    /// use sodiff_core::prelude::*;
+    /// use sodiff_graph::generators;
+    ///
+    /// let g = generators::cycle(8);
+    /// let sim = Experiment::on(&g)
+    ///     .continuous()
+    ///     .sos(1.5)
+    ///     .build()
+    ///     .unwrap()
+    ///     .simulator();
+    /// assert!(!sim.is_discrete());
+    /// ```
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ExperimentBuilder: Experiment::on(&graph).continuous()"
+    )]
     pub fn continuous(scheme: Scheme) -> Self {
         Self {
             scheme,
@@ -109,8 +161,8 @@ impl SimulationConfig {
     }
 
     /// Runs rounds on a persistent pool of `threads` workers (spawned once
-    /// in [`Simulator::new`], parked on a barrier between rounds). Results
-    /// are bit-identical to the sequential executor.
+    /// at simulator construction, parked on a barrier between rounds).
+    /// Results are bit-identical to the sequential executor.
     ///
     /// Diffusion rounds are memory-bandwidth-bound. With the persistent
     /// pool the per-round executor overhead is a few barrier waits
@@ -122,7 +174,9 @@ impl SimulationConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0`.
+    /// Panics if `threads == 0`. (The builder's
+    /// [`crate::ExperimentBuilder::threads`] reports this as
+    /// [`BuildError::ZeroThreads`] instead.)
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "thread count must be positive");
         self.threads = threads;
@@ -153,6 +207,33 @@ pub enum StopCondition {
     },
 }
 
+impl StopCondition {
+    /// Validates the condition's parameters.
+    pub(crate) fn check(&self) -> Result<(), BuildError> {
+        match *self {
+            StopCondition::MaxRounds(_) => Ok(()),
+            StopCondition::BalancedWithin { threshold, .. } => {
+                if threshold.is_nan() {
+                    Err(BuildError::InvalidStopCondition(
+                        "balance threshold must not be NaN".into(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            StopCondition::Plateau { window, .. } => {
+                if window == 0 {
+                    Err(BuildError::InvalidStopCondition(
+                        "plateau window must be positive".into(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -165,7 +246,7 @@ pub enum StopReason {
 }
 
 /// Summary of a finished run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Rounds executed by this call.
     pub rounds: u64,
@@ -175,6 +256,9 @@ pub struct RunReport {
     pub reason: StopReason,
     /// Remaining imbalance if a plateau was detected.
     pub remaining_imbalance: Option<f64>,
+    /// The round at which a hybrid switch to FOS fired, if a
+    /// [`SwitchPolicy`] was active and fired.
+    pub switch_round: Option<u64>,
 }
 
 enum State {
@@ -188,6 +272,23 @@ enum State {
     },
 }
 
+/// The simulation's attachment to a worker pool: the pool itself (owned
+/// here or shared with a [`crate::Driver`]) plus this simulation's job.
+struct PoolAttachment {
+    pool: Arc<WorkerPool>,
+    job: Arc<RoundJob>,
+}
+
+/// SOS→FOS switch-trigger variants for the unified run loop.
+enum Trigger<'a> {
+    /// No hybrid behavior.
+    None,
+    /// A declarative [`SwitchPolicy`].
+    Policy(SwitchPolicy),
+    /// An arbitrary predicate over the simulator state.
+    Custom(&'a mut dyn FnMut(&Simulator<'_>) -> bool),
+}
+
 /// A synchronous-round diffusion load-balancing simulation.
 ///
 /// # Example
@@ -197,8 +298,12 @@ enum State {
 /// use sodiff_graph::generators;
 ///
 /// let g = generators::torus2d(8, 8);
-/// let config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(7));
-/// let mut sim = Simulator::new(&g, config, InitialLoad::point(0, 6400));
+/// let mut sim = Experiment::on(&g)
+///     .discrete(Rounding::randomized(7))
+///     .init(InitialLoad::point(0, 6400))
+///     .build()
+///     .unwrap()
+///     .simulator();
 /// let report = sim.run_until(StopCondition::MaxRounds(500));
 /// assert_eq!(report.rounds, 500);
 /// assert!(report.final_metrics.max_minus_avg < 10.0);
@@ -220,10 +325,11 @@ pub struct Simulator<'g> {
     scheduled: Vec<f64>,
     /// Scratch: per-arc outgoing token counts (sequential framework path).
     arc_out: Vec<i64>,
-    /// Scratch: one node's excess-token list (framework rounding).
+    /// Scratch: one node's excess-token list (framework rounding; also
+    /// participant-0 scratch on the pool).
     excess: Vec<(usize, f64)>,
-    /// Persistent worker pool (`threads > 1` only).
-    pool: Option<WorkerPool>,
+    /// Worker pool attachment (`threads > 1` only).
+    pool: Option<PoolAttachment>,
     round: u64,
     rounds_in_scheme: u64,
     min_transient: f64,
@@ -236,13 +342,66 @@ impl<'g> Simulator<'g> {
     ///
     /// # Panics
     ///
-    /// Panics if the speeds length mismatches the graph or the initial
-    /// load references nodes outside the graph.
+    /// Panics if the speeds length mismatches the graph, the thread count
+    /// is zero, or the initial load references nodes outside the graph.
+    ///
+    /// # Replacement
+    ///
+    /// The builder reports the same problems as a typed [`BuildError`]:
+    ///
+    /// ```
+    /// use sodiff_core::prelude::*;
+    /// use sodiff_graph::generators;
+    ///
+    /// let g = generators::torus2d(4, 4);
+    /// let mut sim = Experiment::on(&g)
+    ///     .discrete(Rounding::nearest())
+    ///     .sos(1.5)
+    ///     .init(InitialLoad::point(0, 1600))
+    ///     .build()
+    ///     .unwrap()
+    ///     .simulator();
+    /// sim.step();
+    /// assert_eq!(sim.round(), 1);
+    /// ```
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ExperimentBuilder: Experiment::on(&graph)…build()?.simulator()"
+    )]
     pub fn new(graph: &'g Graph, config: SimulationConfig, init: InitialLoad) -> Self {
+        Self::build(graph, config, init, None).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor behind the builder and the batch driver.
+    /// `shared_pool` overrides `config.threads` with an externally owned
+    /// pool (the driver's), avoiding a per-simulation thread spawn.
+    pub(crate) fn build(
+        graph: &'g Graph,
+        config: SimulationConfig,
+        init: InitialLoad,
+        shared_pool: Option<Arc<WorkerPool>>,
+    ) -> Result<Self, BuildError> {
         let n = graph.node_count();
-        let speeds = config.speeds.unwrap_or_else(|| Speeds::uniform(n));
-        assert_eq!(speeds.len(), n, "speeds length must match node count");
-        assert!(config.threads > 0, "thread count must be positive");
+        let speeds = match config.speeds {
+            Some(speeds) => {
+                if speeds.len() != n {
+                    return Err(BuildError::SpeedsLengthMismatch {
+                        expected: n,
+                        got: speeds.len(),
+                    });
+                }
+                speeds
+            }
+            None => Speeds::uniform(n),
+        };
+        let threads = match &shared_pool {
+            Some(pool) => pool.threads(),
+            None => config.threads,
+        };
+        if threads == 0 {
+            return Err(BuildError::ZeroThreads);
+        }
+        init.check(n).map_err(BuildError::InvalidInitialLoad)?;
         let loads = init.materialize(n);
         let initial_total = loads.iter().map(|&x| x as f64).sum();
         let m = graph.edge_count();
@@ -265,7 +424,7 @@ impl<'g> Simulator<'g> {
             State::Discrete { loads, .. } => loads.iter().copied().min().unwrap_or(0) as f64,
             State::Continuous { loads } => loads.iter().copied().fold(f64::INFINITY, f64::min),
         };
-        let pool = if config.threads > 1 {
+        let pool = if threads > 1 {
             let mode = match config.mode {
                 Mode::Discrete(Rounding::RandomizedFramework { seed }) => {
                     PoolMode::DiscreteFramework { seed }
@@ -277,14 +436,16 @@ impl<'g> Simulator<'g> {
                 State::Discrete { loads, .. } => (loads, &[]),
                 State::Continuous { loads } => (&[], loads),
             };
-            Some(WorkerPool::new(
-                config.threads,
+            let pool = shared_pool.unwrap_or_else(|| Arc::new(WorkerPool::new(threads)));
+            let job = Arc::new(RoundJob::new(
+                pool.threads(),
                 Arc::clone(&tables),
                 mode,
                 config.flow_memory,
                 loads_i,
                 loads_f,
-            ))
+            ));
+            Some(PoolAttachment { pool, job })
         } else {
             None
         };
@@ -295,13 +456,13 @@ impl<'g> Simulator<'g> {
         } else {
             (Vec::new(), Vec::new())
         };
-        Self {
+        Ok(Self {
             graph,
             speeds,
             tables,
             scheme: config.scheme,
             flow_memory: config.flow_memory,
-            threads: config.threads,
+            threads,
             state,
             prev_flow: vec![0.0; m],
             scheduled,
@@ -312,7 +473,7 @@ impl<'g> Simulator<'g> {
             rounds_in_scheme: 0,
             min_transient,
             initial_total,
-        }
+        })
     }
 
     /// The network this simulation runs on.
@@ -521,40 +682,89 @@ impl<'g> Simulator<'g> {
             pool,
             state,
             prev_flow,
+            excess,
             round,
             min_transient,
             ..
         } = self;
-        let pool = pool.as_mut().expect("step_pooled requires a pool");
-        let mt = pool.run_round(mem, gain, *round);
+        let attachment = pool.as_ref().expect("step_pooled requires a pool");
+        let mt = attachment
+            .pool
+            .run_round(&attachment.job, mem, gain, *round, excess);
         if mt < *min_transient {
             *min_transient = mt;
         }
-        // Mirror the pool's canonical state back into the accessor-visible
+        // Mirror the job's canonical state back into the accessor-visible
         // vectors (bit-exact copies). This eager O(n + m) sync keeps every
         // `&self` accessor valid between rounds; threshold/plateau stop
         // conditions and observers read loads each round anyway, so a lazy
         // dirty-flag scheme would mostly shift the cost, not remove it.
         match state {
-            State::Discrete { loads, .. } => pool.read_loads_i(loads),
-            State::Continuous { loads } => pool.read_loads_f(loads),
+            State::Discrete { loads, .. } => attachment.job.read_loads_i(loads),
+            State::Continuous { loads } => attachment.job.read_loads_f(loads),
         }
-        pool.read_prev(prev_flow);
+        attachment.job.read_prev(prev_flow);
     }
 
     /// Runs until the stop condition fires; returns a report.
     pub fn run_until(&mut self, condition: StopCondition) -> RunReport {
-        struct Null;
-        impl Observer for Null {
-            fn on_round(&mut self, _sim: &Simulator<'_>) {}
-        }
-        self.run_until_with(condition, &mut Null)
+        self.run_loop(Trigger::None, condition, &mut crate::observer::NullObserver)
     }
 
     /// Runs until the stop condition fires, invoking the observer after
     /// every round.
     pub fn run_until_with(
         &mut self,
+        condition: StopCondition,
+        observer: &mut dyn Observer,
+    ) -> RunReport {
+        self.run_loop(Trigger::None, condition, observer)
+    }
+
+    /// Runs with an active SOS→FOS [`SwitchPolicy`] until the stop
+    /// condition fires (Section VI). The policy is evaluated before every
+    /// round and fires at most once; `switch_round` in the report records
+    /// when.
+    pub fn run_hybrid(&mut self, policy: SwitchPolicy, condition: StopCondition) -> RunReport {
+        self.run_loop(
+            Trigger::Policy(policy),
+            condition,
+            &mut crate::observer::NullObserver,
+        )
+    }
+
+    /// Like [`Simulator::run_hybrid`], with an observer invoked after
+    /// every round.
+    pub fn run_hybrid_with(
+        &mut self,
+        policy: SwitchPolicy,
+        condition: StopCondition,
+        observer: &mut dyn Observer,
+    ) -> RunReport {
+        self.run_loop(Trigger::Policy(policy), condition, observer)
+    }
+
+    /// Runs with an arbitrary SOS→FOS switch trigger evaluated before
+    /// every round (fires at most once). This enables strategies beyond
+    /// [`SwitchPolicy`], e.g. the eigenvector-coefficient trigger the
+    /// paper discusses (switch once the leading coefficient's impact drops
+    /// below a threshold — a global-knowledge strategy for offline
+    /// studies).
+    pub fn run_when(
+        &mut self,
+        mut trigger: impl FnMut(&Simulator<'_>) -> bool,
+        condition: StopCondition,
+        observer: &mut dyn Observer,
+    ) -> RunReport {
+        self.run_loop(Trigger::Custom(&mut trigger), condition, observer)
+    }
+
+    /// The unified run loop behind `run_until*`, `run_hybrid*`,
+    /// `run_when`, and [`crate::Experiment::run`]: an optional switch
+    /// trigger evaluated before each round, the stop condition after it.
+    fn run_loop(
+        &mut self,
+        mut trigger: Trigger<'_>,
         condition: StopCondition,
         observer: &mut dyn Observer,
     ) -> RunReport {
@@ -570,12 +780,42 @@ impl<'g> Simulator<'g> {
         let mut tracker = window.map(RemainingImbalance::new);
         let mut reason = StopReason::MaxRounds;
         let mut remaining = None;
+        let mut switch_round = None;
+        // Snapshot of the *current* state, shared between the post-round
+        // stop checks and the next pre-round policy evaluation so
+        // metric-based policies don't pay a second O(n + m) sweep per
+        // round. Invalidated by `step()`.
+        let mut snapshot: Option<MetricsSnapshot> = None;
         for _ in 0..cap {
+            if switch_round.is_none() {
+                let fire = match &mut trigger {
+                    Trigger::None => false,
+                    Trigger::Policy(policy) => match *policy {
+                        SwitchPolicy::AtRound(r) => self.round - start_round >= r,
+                        SwitchPolicy::MaxLocalDiffBelow(t) => {
+                            snapshot
+                                .get_or_insert_with(|| self.metrics())
+                                .max_local_diff
+                                <= t
+                        }
+                        SwitchPolicy::MaxMinusAvgBelow(t) => {
+                            snapshot.get_or_insert_with(|| self.metrics()).max_minus_avg <= t
+                        }
+                        SwitchPolicy::Never => false,
+                    },
+                    Trigger::Custom(f) => f(self),
+                };
+                if fire {
+                    self.switch_scheme(Scheme::fos());
+                    switch_round = Some(self.round);
+                }
+            }
             self.step();
+            snapshot = None;
             observer.on_round(self);
             let need_metrics = threshold.is_some() || tracker.is_some();
             if need_metrics {
-                let m = self.metrics();
+                let m = *snapshot.insert(self.metrics());
                 if let Some(t) = threshold {
                     if m.max_minus_avg <= t {
                         reason = StopReason::Threshold;
@@ -594,9 +834,10 @@ impl<'g> Simulator<'g> {
         }
         RunReport {
             rounds: self.round - start_round,
-            final_metrics: self.metrics(),
+            final_metrics: snapshot.unwrap_or_else(|| self.metrics()),
             reason,
             remaining_imbalance: remaining,
+            switch_round,
         }
     }
 
@@ -618,20 +859,23 @@ impl<'g> Simulator<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::Experiment;
     use sodiff_graph::generators;
 
-    fn small_config(rounding: Rounding) -> SimulationConfig {
-        SimulationConfig::discrete(Scheme::fos(), rounding)
+    /// Shorthand: a discrete FOS simulator through the builder.
+    fn fos_sim<'g>(g: &'g Graph, rounding: Rounding, init: InitialLoad) -> Simulator<'g> {
+        Experiment::on(g)
+            .discrete(rounding)
+            .init(init)
+            .build()
+            .expect("valid experiment")
+            .simulator()
     }
 
     #[test]
     fn fos_balances_cycle() {
         let g = generators::cycle(8);
-        let mut sim = Simulator::new(
-            &g,
-            small_config(Rounding::randomized(1)),
-            InitialLoad::point(0, 800),
-        );
+        let mut sim = fos_sim(&g, Rounding::randomized(1), InitialLoad::point(0, 800));
         let report = sim.run_until(StopCondition::MaxRounds(800));
         assert!(report.final_metrics.max_minus_avg <= 3.0);
         assert_eq!(sim.total_load(), 800.0);
@@ -646,7 +890,7 @@ mod tests {
             Rounding::nearest(),
             Rounding::unbiased_edge(3),
         ] {
-            let mut sim = Simulator::new(&g, small_config(rounding), InitialLoad::point(5, 4321));
+            let mut sim = fos_sim(&g, rounding, InitialLoad::point(5, 4321));
             sim.run_until(StopCondition::MaxRounds(100));
             assert_eq!(sim.total_load(), 4321.0, "{rounding:?}");
         }
@@ -657,11 +901,12 @@ mod tests {
         use sodiff_linalg::diffusion::DiffusionOperator;
         let g = generators::torus2d(3, 3);
         let s = Speeds::uniform(9);
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::continuous(Scheme::fos()),
-            InitialLoad::point(4, 900),
-        );
+        let mut sim = Experiment::on(&g)
+            .continuous()
+            .init(InitialLoad::point(4, 900))
+            .build()
+            .unwrap()
+            .simulator();
         let op = DiffusionOperator::new(&g, &s);
         let mut x = vec![0.0; 9];
         x[4] = 900.0;
@@ -684,11 +929,13 @@ mod tests {
         let g = generators::cycle(6);
         let s = Speeds::uniform(6);
         let beta = 1.6;
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::continuous(Scheme::sos(beta)),
-            InitialLoad::point(2, 600),
-        );
+        let mut sim = Experiment::on(&g)
+            .continuous()
+            .sos(beta)
+            .init(InitialLoad::point(2, 600))
+            .build()
+            .unwrap()
+            .simulator();
         let op = DiffusionOperator::new(&g, &s);
         let mut x_prev = vec![0.0; 6];
         x_prev[2] = 600.0;
@@ -717,11 +964,13 @@ mod tests {
         let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(256));
         let beta = spec.beta_opt();
         let run = |scheme| {
-            let mut sim = Simulator::new(
-                &g,
-                SimulationConfig::continuous(scheme),
-                InitialLoad::point(0, 256_000),
-            );
+            let mut sim = Experiment::on(&g)
+                .continuous()
+                .scheme(scheme)
+                .init(InitialLoad::point(0, 256_000))
+                .build()
+                .unwrap()
+                .simulator();
             sim.run_until(StopCondition::BalancedWithin {
                 threshold: 1.0,
                 max_rounds: 20_000,
@@ -740,9 +989,13 @@ mod tests {
     fn heterogeneous_balances_proportionally() {
         let g = generators::torus2d(4, 4);
         let speeds = Speeds::two_class(16, 4, 4.0);
-        let config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(5))
-            .with_speeds(speeds.clone());
-        let mut sim = Simulator::new(&g, config, InitialLoad::point(0, 2800));
+        let mut sim = Experiment::on(&g)
+            .discrete(Rounding::randomized(5))
+            .speeds(speeds)
+            .init(InitialLoad::point(0, 2800))
+            .build()
+            .unwrap()
+            .simulator();
         sim.run_until(StopCondition::MaxRounds(2000));
         // Ideal: fast nodes 4/28·2800 = 400, slow nodes 100.
         let loads = sim.loads_i64().unwrap();
@@ -758,11 +1011,12 @@ mod tests {
     #[test]
     fn switch_scheme_resets_sos_warmup() {
         let g = generators::cycle(5);
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::continuous(Scheme::fos()),
-            InitialLoad::point(0, 500),
-        );
+        let mut sim = Experiment::on(&g)
+            .continuous()
+            .init(InitialLoad::point(0, 500))
+            .build()
+            .unwrap()
+            .simulator();
         sim.step();
         sim.switch_scheme(Scheme::sos(1.5));
         // The first SOS round after the switch must not use flow memory:
@@ -777,11 +1031,13 @@ mod tests {
         // early waves; min_transient_load must capture that.
         let g = generators::torus2d(10, 10);
         let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(100));
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(2)),
-            InitialLoad::point(0, 100_000),
-        );
+        let mut sim = Experiment::on(&g)
+            .discrete(Rounding::randomized(2))
+            .sos(spec.beta_opt())
+            .init(InitialLoad::point(0, 100_000))
+            .build()
+            .unwrap()
+            .simulator();
         sim.run_until(StopCondition::MaxRounds(300));
         assert!(
             sim.min_transient_load() < 0.0,
@@ -794,11 +1050,12 @@ mod tests {
     fn plateau_stop_reports_remaining_imbalance() {
         let g = generators::torus2d(8, 8);
         let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(64));
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(4)),
-            InitialLoad::paper_default(64),
-        );
+        let mut sim = Experiment::on(&g)
+            .discrete(Rounding::randomized(4))
+            .sos(spec.beta_opt())
+            .build()
+            .unwrap()
+            .simulator();
         let report = sim.run_until(StopCondition::Plateau {
             window: 50,
             max_rounds: 5000,
@@ -813,16 +1070,18 @@ mod tests {
         let g = generators::torus2d(8, 8);
         let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(64));
         let beta = spec.beta_opt();
-        let mut d = Simulator::new(
-            &g,
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(11)),
-            InitialLoad::paper_default(64),
-        );
-        let mut c = Simulator::new(
-            &g,
-            SimulationConfig::continuous(Scheme::sos(beta)),
-            InitialLoad::paper_default(64),
-        );
+        let mut d = Experiment::on(&g)
+            .discrete(Rounding::randomized(11))
+            .sos(beta)
+            .build()
+            .unwrap()
+            .simulator();
+        let mut c = Experiment::on(&g)
+            .continuous()
+            .sos(beta)
+            .build()
+            .unwrap()
+            .simulator();
         let mut worst = 0.0f64;
         for _ in 0..400 {
             d.step();
@@ -841,9 +1100,13 @@ mod tests {
         let beta = spec.beta_opt();
         let mut runs = Vec::new();
         for memory in [FlowMemory::Rounded, FlowMemory::Scheduled] {
-            let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(9))
-                .with_flow_memory(memory);
-            let mut sim = Simulator::new(&g, config, InitialLoad::paper_default(36));
+            let mut sim = Experiment::on(&g)
+                .discrete(Rounding::randomized(9))
+                .sos(beta)
+                .flow_memory(memory)
+                .build()
+                .unwrap()
+                .simulator();
             sim.run_until(StopCondition::MaxRounds(200));
             assert_eq!(sim.total_load(), 36_000.0);
             runs.push(sim.loads_i64().unwrap().to_vec());
@@ -854,11 +1117,12 @@ mod tests {
     #[test]
     fn balanced_threshold_stops_early() {
         let g = generators::complete(16);
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::continuous(Scheme::fos()),
-            InitialLoad::point(0, 1600),
-        );
+        let mut sim = Experiment::on(&g)
+            .continuous()
+            .init(InitialLoad::point(0, 1600))
+            .build()
+            .unwrap()
+            .simulator();
         let report = sim.run_until(StopCondition::BalancedWithin {
             threshold: 0.5,
             max_rounds: 100,
@@ -882,9 +1146,13 @@ mod tests {
             Rounding::unbiased_edge(13),
         ] {
             let run = |threads: usize| {
-                let config =
-                    SimulationConfig::discrete(Scheme::sos(beta), rounding).with_threads(threads);
-                let mut sim = Simulator::new(&g, config, InitialLoad::paper_default(n));
+                let mut sim = Experiment::on(&g)
+                    .discrete(rounding)
+                    .sos(beta)
+                    .threads(threads)
+                    .build()
+                    .unwrap()
+                    .simulator();
                 sim.run_until(StopCondition::MaxRounds(120));
                 (
                     sim.loads_i64().unwrap().to_vec(),
@@ -908,9 +1176,13 @@ mod tests {
         let n = g.node_count();
         let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(n));
         let run = |threads: usize| {
-            let config =
-                SimulationConfig::continuous(Scheme::sos(spec.beta_opt())).with_threads(threads);
-            let mut sim = Simulator::new(&g, config, InitialLoad::paper_default(n));
+            let mut sim = Experiment::on(&g)
+                .continuous()
+                .sos(spec.beta_opt())
+                .threads(threads)
+                .build()
+                .unwrap()
+                .simulator();
             sim.run_until(StopCondition::MaxRounds(200));
             (sim.loads_f64().unwrap().to_vec(), sim.min_transient_load())
         };
@@ -926,10 +1198,14 @@ mod tests {
         let g = generators::random_regular(60, 4, 2).unwrap();
         let speeds = Speeds::linear_ramp(60, 5.0);
         let run = |threads: usize| {
-            let config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(3))
-                .with_speeds(speeds.clone())
-                .with_threads(threads);
-            let mut sim = Simulator::new(&g, config, InitialLoad::point(0, 60_000));
+            let mut sim = Experiment::on(&g)
+                .discrete(Rounding::randomized(3))
+                .speeds(speeds.clone())
+                .threads(threads)
+                .init(InitialLoad::point(0, 60_000))
+                .build()
+                .unwrap()
+                .simulator();
             sim.run_until(StopCondition::MaxRounds(100));
             sim.loads_i64().unwrap().to_vec()
         };
@@ -939,17 +1215,46 @@ mod tests {
     #[test]
     #[should_panic(expected = "thread count must be positive")]
     fn zero_threads_rejected() {
+        #[allow(deprecated)]
         SimulationConfig::continuous(Scheme::fos()).with_threads(0);
+    }
+
+    #[test]
+    fn deprecated_constructors_still_work() {
+        // The shims delegate to the validated path and keep panicking
+        // semantics for valid input.
+        #[allow(deprecated)]
+        let config = SimulationConfig::discrete(Scheme::fos(), Rounding::nearest());
+        let g = generators::cycle(6);
+        #[allow(deprecated)]
+        let mut sim = Simulator::new(&g, config, InitialLoad::EqualPerNode(10));
+        sim.step();
+        assert_eq!(sim.total_load(), 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speeds length must match node count")]
+    fn deprecated_constructor_panics_on_bad_speeds() {
+        let g = generators::cycle(6);
+        #[allow(deprecated)]
+        let config = SimulationConfig::discrete(Scheme::fos(), Rounding::nearest())
+            .with_speeds(Speeds::uniform(5));
+        #[allow(deprecated)]
+        let _sim = Simulator::new(&g, config, InitialLoad::EqualPerNode(1));
     }
 
     #[test]
     fn accessors_reflect_configuration() {
         let g = generators::cycle(6);
         let speeds = Speeds::linear_ramp(6, 3.0);
-        let config = SimulationConfig::discrete(Scheme::fos(), Rounding::nearest())
-            .with_speeds(speeds.clone())
-            .with_threads(2);
-        let sim = Simulator::new(&g, config, InitialLoad::EqualPerNode(10));
+        let sim = Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .speeds(speeds.clone())
+            .threads(2)
+            .init(InitialLoad::EqualPerNode(10))
+            .build()
+            .unwrap()
+            .simulator();
         assert!(sim.is_discrete());
         assert_eq!(sim.threads(), 2);
         assert_eq!(sim.round(), 0);
@@ -967,11 +1272,12 @@ mod tests {
     #[test]
     fn continuous_mode_accessors() {
         let g = generators::cycle(4);
-        let sim = Simulator::new(
-            &g,
-            SimulationConfig::continuous(Scheme::fos()),
-            InitialLoad::point(1, 40),
-        );
+        let sim = Experiment::on(&g)
+            .continuous()
+            .init(InitialLoad::point(1, 40))
+            .build()
+            .unwrap()
+            .simulator();
         assert!(!sim.is_discrete());
         assert!(sim.loads_i64().is_none());
         assert_eq!(sim.loads_f64().unwrap(), &[0.0, 40.0, 0.0, 0.0]);
@@ -980,11 +1286,7 @@ mod tests {
     #[test]
     fn previous_flows_start_zero_and_update() {
         let g = generators::path(3);
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::discrete(Scheme::fos(), Rounding::round_down()),
-            InitialLoad::point(0, 90),
-        );
+        let mut sim = fos_sim(&g, Rounding::round_down(), InitialLoad::point(0, 90));
         assert!(sim.previous_flows().iter().all(|&f| f == 0.0));
         sim.step();
         // Node 0 (deg 1, neighbor deg 2): alpha = 1/3, flow = 30 exactly.

@@ -1,0 +1,186 @@
+//! Typed errors for the experiment API.
+//!
+//! Every invalid configuration that used to panic in the old
+//! `SimulationConfig` + `Simulator::new` surface is reported as a
+//! [`BuildError`] by the [`crate::ExperimentBuilder`] and the scenario
+//! [`crate::Driver`]; text-format problems in scenario files surface as
+//! [`ParseError`].
+
+use std::error::Error;
+use std::fmt;
+
+use sodiff_graph::GraphError;
+
+/// A scenario text could not be parsed.
+///
+/// Produced by `ScenarioSpec::from_str` and [`crate::ScenarioSpec::parse_many`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the parsed text (1 for single-line
+    /// parses).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error for line 1.
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            line: 1,
+            message: message.into(),
+        }
+    }
+
+    /// Returns the error re-anchored at `line`.
+    pub(crate) fn at_line(mut self, line: usize) -> Self {
+        self.line = line;
+        self
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// An experiment configuration was invalid.
+///
+/// This is the workspace-wide typed error of the experiment API: every
+/// path that used to panic (bad `β`, mismatched speeds length, zero-node
+/// graphs, randomized rounding without a seed, out-of-range initial loads,
+/// zero worker threads) returns one of these variants instead.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// The SOS relaxation parameter is outside the convergence range
+    /// `(0, 2)`.
+    InvalidBeta(f64),
+    /// The speeds vector length does not match the graph's node count.
+    SpeedsLengthMismatch {
+        /// Node count of the graph.
+        expected: usize,
+        /// Length of the provided speeds vector.
+        got: usize,
+    },
+    /// A speeds specification carried invalid values (speeds below 1,
+    /// non-finite values, or a fast-node count exceeding `n`).
+    InvalidSpeeds(String),
+    /// A randomized rounding scheme was selected without an RNG seed.
+    MissingSeed(&'static str),
+    /// The executor was configured with zero worker threads.
+    ZeroThreads,
+    /// The initial load references nodes outside the graph, carries a
+    /// negative total, or has the wrong length.
+    InvalidInitialLoad(String),
+    /// The stop condition is degenerate (zero plateau window or a
+    /// non-finite threshold).
+    InvalidStopCondition(String),
+    /// The operation needs a discrete-mode experiment.
+    RequiresDiscrete(&'static str),
+    /// Building the topology failed.
+    Graph(GraphError),
+    /// Parsing a scenario failed.
+    Parse(ParseError),
+    /// An error in one scenario of a batch, tagged with its name.
+    Scenario {
+        /// `name=` of the failing scenario.
+        name: String,
+        /// The underlying error.
+        source: Box<BuildError>,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::EmptyGraph => write!(f, "graph has no nodes"),
+            BuildError::InvalidBeta(beta) => {
+                write!(f, "SOS requires beta in (0, 2), got {beta}")
+            }
+            BuildError::SpeedsLengthMismatch { expected, got } => write!(
+                f,
+                "speeds length must match node count: graph has {expected} nodes, \
+                 speeds has {got}"
+            ),
+            BuildError::InvalidSpeeds(msg) => write!(f, "invalid speeds: {msg}"),
+            BuildError::MissingSeed(what) => write!(
+                f,
+                "{what} rounding needs an RNG seed (set one with .seed(..) or seed=)"
+            ),
+            BuildError::ZeroThreads => write!(f, "thread count must be positive"),
+            BuildError::InvalidInitialLoad(msg) => write!(f, "invalid initial load: {msg}"),
+            BuildError::InvalidStopCondition(msg) => write!(f, "invalid stop condition: {msg}"),
+            BuildError::RequiresDiscrete(what) => {
+                write!(f, "{what} requires a discrete-mode experiment")
+            }
+            BuildError::Graph(e) => write!(f, "{e}"),
+            BuildError::Parse(e) => write!(f, "{e}"),
+            BuildError::Scenario { name, source } => {
+                write!(f, "scenario '{name}': {source}")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Graph(e) => Some(e),
+            BuildError::Parse(e) => Some(e),
+            BuildError::Scenario { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for BuildError {
+    fn from(e: GraphError) -> Self {
+        BuildError::Graph(e)
+    }
+}
+
+impl From<ParseError> for BuildError {
+    fn from(e: ParseError) -> Self {
+        BuildError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(BuildError::InvalidBeta(2.5).to_string().contains("(0, 2)"));
+        assert!(BuildError::SpeedsLengthMismatch {
+            expected: 8,
+            got: 5
+        }
+        .to_string()
+        .contains("speeds length must match node count"));
+        assert_eq!(
+            BuildError::ZeroThreads.to_string(),
+            "thread count must be positive"
+        );
+        let nested = BuildError::Scenario {
+            name: "fig1".into(),
+            source: Box::new(BuildError::EmptyGraph),
+        };
+        assert!(nested.to_string().contains("fig1"));
+        assert!(nested.to_string().contains("no nodes"));
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let g: BuildError = GraphError::SelfLoop(3).into();
+        assert!(matches!(g, BuildError::Graph(_)));
+        let p: BuildError = ParseError::new("bad key").into();
+        assert!(p.to_string().contains("line 1"));
+    }
+}

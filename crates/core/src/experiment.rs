@@ -1,0 +1,598 @@
+//! The unified experiment API: a typestate builder over graph, scheme,
+//! mode, speeds, initial load, hybrid policy, and stop condition.
+//!
+//! [`Experiment::on`] starts an [`ExperimentBuilder`] in the
+//! [`NeedsMode`] state; choosing continuous or discrete execution moves it
+//! to [`Ready`], where [`ExperimentBuilder::build`] validates every input
+//! and returns a typed [`BuildError`] instead of panicking. The resulting
+//! [`Experiment`] is a validated, reusable description: it can mint fresh
+//! [`Simulator`]s, run itself to completion (including the paper's SOS→FOS
+//! hybrid switch via [`ExperimentBuilder::hybrid`]), or measure the
+//! discrete/continuous deviation of its configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use sodiff_core::prelude::*;
+//! use sodiff_graph::generators;
+//!
+//! let graph = generators::torus2d(16, 16);
+//! let report = Experiment::on(&graph)
+//!     .discrete(Rounding::randomized(42))
+//!     .sos(1.9)
+//!     .stop(StopCondition::MaxRounds(400))
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//! assert!(report.final_metrics.max_minus_avg < 20.0);
+//! ```
+
+use std::marker::PhantomData;
+
+use sodiff_graph::{Graph, Speeds};
+
+use crate::deviation::DeviationSeries;
+use crate::engine::{FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition};
+use crate::error::BuildError;
+use crate::hybrid::SwitchPolicy;
+use crate::init::InitialLoad;
+use crate::observer::Observer;
+use crate::rounding::{Rounding, RoundingSpec};
+use crate::scheme::Scheme;
+
+/// Typestate: the builder still needs an execution mode
+/// ([`ExperimentBuilder::continuous`] or [`ExperimentBuilder::discrete`]).
+#[derive(Debug)]
+pub struct NeedsMode(());
+
+/// Typestate: the builder has a mode and can [`ExperimentBuilder::build`].
+#[derive(Debug)]
+pub struct Ready(());
+
+/// Scheme selection deferred to `build` so invalid `β` values surface as
+/// [`BuildError::InvalidBeta`] rather than a panic.
+#[derive(Debug, Clone, Copy)]
+enum SchemeChoice {
+    Fos,
+    SosBeta(f64),
+    Given(Scheme),
+}
+
+/// Mode selection, with or without a pre-seeded rounding.
+#[derive(Debug, Clone, Copy)]
+enum ModeChoice {
+    Continuous,
+    Seeded(Rounding),
+    Spec(RoundingSpec),
+}
+
+/// Accumulated builder state (shared by both typestates).
+#[derive(Debug, Clone)]
+struct Parts<'g> {
+    graph: &'g Graph,
+    scheme: SchemeChoice,
+    mode: Option<ModeChoice>,
+    seed: Option<u64>,
+    speeds: Option<Speeds>,
+    flow_memory: FlowMemory,
+    threads: usize,
+    init: Option<InitialLoad>,
+    hybrid: Option<SwitchPolicy>,
+    stop: StopCondition,
+}
+
+/// Typestate builder for [`Experiment`]s; see [`Experiment::on`].
+///
+/// The type parameter tracks whether an execution mode has been chosen:
+/// `build` only exists in the [`Ready`] state, so "forgot to pick
+/// continuous vs discrete" is a compile error, not a runtime panic.
+#[derive(Debug)]
+pub struct ExperimentBuilder<'g, S = NeedsMode> {
+    parts: Parts<'g>,
+    _state: PhantomData<S>,
+}
+
+impl<'g, S> ExperimentBuilder<'g, S> {
+    fn transition<T>(self) -> ExperimentBuilder<'g, T> {
+        ExperimentBuilder {
+            parts: self.parts,
+            _state: PhantomData,
+        }
+    }
+
+    /// Uses the first-order scheme (the default).
+    pub fn fos(mut self) -> Self {
+        self.parts.scheme = SchemeChoice::Fos;
+        self
+    }
+
+    /// Uses the second-order scheme with relaxation parameter `beta`.
+    /// The convergence range `β ∈ (0, 2)` is checked at
+    /// [`ExperimentBuilder::build`], which reports violations as
+    /// [`BuildError::InvalidBeta`].
+    pub fn sos(mut self, beta: f64) -> Self {
+        self.parts.scheme = SchemeChoice::SosBeta(beta);
+        self
+    }
+
+    /// Uses a pre-constructed [`Scheme`] (still re-validated at build).
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.parts.scheme = SchemeChoice::Given(scheme);
+        self
+    }
+
+    /// Sets heterogeneous node speeds. The length is checked against the
+    /// graph at build ([`BuildError::SpeedsLengthMismatch`]).
+    pub fn speeds(mut self, speeds: Speeds) -> Self {
+        self.parts.speeds = Some(speeds);
+        self
+    }
+
+    /// Sets the SOS flow-memory source (discrete mode; default
+    /// [`FlowMemory::Rounded`], the stateless process the paper analyzes).
+    pub fn flow_memory(mut self, memory: FlowMemory) -> Self {
+        self.parts.flow_memory = memory;
+        self
+    }
+
+    /// Runs rounds on a persistent pool of `threads` workers; results are
+    /// bit-identical to the sequential executor. `0` is reported as
+    /// [`BuildError::ZeroThreads`] at build.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.parts.threads = threads;
+        self
+    }
+
+    /// Sets the initial token placement (default:
+    /// [`InitialLoad::paper_default`], `1000·n` tokens on node 0).
+    /// Out-of-range nodes and negative totals are reported as
+    /// [`BuildError::InvalidInitialLoad`] at build.
+    pub fn init(mut self, init: InitialLoad) -> Self {
+        self.parts.init = Some(init);
+        self
+    }
+
+    /// Sets the RNG seed used to resolve seedless [`RoundingSpec`]s (see
+    /// [`ExperimentBuilder::discrete_spec`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.parts.seed = Some(seed);
+        self
+    }
+
+    /// Attaches the paper's SOS→FOS hybrid switch (Section VI): the
+    /// policy is evaluated before every round of [`Experiment::run`] and
+    /// flips the scheme to FOS at most once. This replaces the old
+    /// `run_hybrid*` free functions.
+    pub fn hybrid(mut self, policy: SwitchPolicy) -> Self {
+        self.parts.hybrid = Some(policy);
+        self
+    }
+
+    /// Sets the stop condition of [`Experiment::run`] (default:
+    /// `MaxRounds(1000)`).
+    pub fn stop(mut self, condition: StopCondition) -> Self {
+        self.parts.stop = condition;
+        self
+    }
+}
+
+impl<'g> ExperimentBuilder<'g, NeedsMode> {
+    /// Continuous (idealized) execution: loads are `f64`, flows are not
+    /// rounded.
+    pub fn continuous(mut self) -> ExperimentBuilder<'g, Ready> {
+        self.parts.mode = Some(ModeChoice::Continuous);
+        self.transition()
+    }
+
+    /// Discrete execution with a fully specified (seed included) rounding
+    /// scheme.
+    pub fn discrete(mut self, rounding: Rounding) -> ExperimentBuilder<'g, Ready> {
+        self.parts.mode = Some(ModeChoice::Seeded(rounding));
+        self.transition()
+    }
+
+    /// Discrete execution with a seedless rounding kind; randomized kinds
+    /// take their seed from [`ExperimentBuilder::seed`], and a missing
+    /// seed is reported as [`BuildError::MissingSeed`] at build.
+    pub fn discrete_spec(mut self, spec: RoundingSpec) -> ExperimentBuilder<'g, Ready> {
+        self.parts.mode = Some(ModeChoice::Spec(spec));
+        self.transition()
+    }
+}
+
+impl<'g> ExperimentBuilder<'g, Ready> {
+    /// Validates the accumulated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Every invalid input surfaces as the matching [`BuildError`]
+    /// variant: [`BuildError::EmptyGraph`], [`BuildError::InvalidBeta`],
+    /// [`BuildError::SpeedsLengthMismatch`], [`BuildError::MissingSeed`],
+    /// [`BuildError::ZeroThreads`], [`BuildError::InvalidInitialLoad`],
+    /// or [`BuildError::InvalidStopCondition`].
+    pub fn build(self) -> Result<Experiment<'g>, BuildError> {
+        let Parts {
+            graph,
+            scheme,
+            mode,
+            seed,
+            speeds,
+            flow_memory,
+            threads,
+            init,
+            hybrid,
+            stop,
+        } = self.parts;
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(BuildError::EmptyGraph);
+        }
+        let scheme = match scheme {
+            SchemeChoice::Fos => Scheme::Fos,
+            SchemeChoice::SosBeta(beta) | SchemeChoice::Given(Scheme::Sos { beta }) => {
+                if !(beta > 0.0 && beta < 2.0) {
+                    return Err(BuildError::InvalidBeta(beta));
+                }
+                Scheme::Sos { beta }
+            }
+            SchemeChoice::Given(Scheme::Fos) => Scheme::Fos,
+        };
+        let mode = match mode.expect("typestate guarantees a mode") {
+            ModeChoice::Continuous => Mode::Continuous,
+            ModeChoice::Seeded(rounding) => Mode::Discrete(rounding),
+            ModeChoice::Spec(spec) => Mode::Discrete(spec.seeded(seed)?),
+        };
+        if let Some(speeds) = &speeds {
+            if speeds.len() != n {
+                return Err(BuildError::SpeedsLengthMismatch {
+                    expected: n,
+                    got: speeds.len(),
+                });
+            }
+        }
+        if threads == 0 {
+            return Err(BuildError::ZeroThreads);
+        }
+        let init = init.unwrap_or_else(|| InitialLoad::paper_default(n));
+        init.check(n).map_err(BuildError::InvalidInitialLoad)?;
+        stop.check()?;
+        Ok(Experiment {
+            graph,
+            config: SimulationConfig {
+                scheme,
+                mode,
+                speeds,
+                flow_memory,
+                threads,
+            },
+            init,
+            hybrid,
+            stop,
+        })
+    }
+}
+
+/// A validated, reusable experiment description: graph, scheme, mode,
+/// speeds, initial load, optional hybrid switch policy, and stop
+/// condition.
+///
+/// Built by [`Experiment::on`]'s [`ExperimentBuilder`]; see the module
+/// docs above for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Experiment<'g> {
+    graph: &'g Graph,
+    config: SimulationConfig,
+    init: InitialLoad,
+    hybrid: Option<SwitchPolicy>,
+    stop: StopCondition,
+}
+
+impl<'g> Experiment<'g> {
+    /// Starts building an experiment on `graph`.
+    pub fn on(graph: &'g Graph) -> ExperimentBuilder<'g, NeedsMode> {
+        ExperimentBuilder {
+            parts: Parts {
+                graph,
+                scheme: SchemeChoice::Fos,
+                mode: None,
+                seed: None,
+                speeds: None,
+                flow_memory: FlowMemory::default(),
+                threads: 1,
+                init: None,
+                hybrid: None,
+                stop: StopCondition::MaxRounds(1000),
+            },
+            _state: PhantomData,
+        }
+    }
+
+    /// The network this experiment runs on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The diffusion scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.config.scheme
+    }
+
+    /// Continuous or discrete execution.
+    pub fn mode(&self) -> Mode {
+        self.config.mode
+    }
+
+    /// Worker threads of the executor.
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// The initial token placement.
+    pub fn initial_load(&self) -> &InitialLoad {
+        &self.init
+    }
+
+    /// The hybrid switch policy, if any.
+    pub fn hybrid_policy(&self) -> Option<SwitchPolicy> {
+        self.hybrid
+    }
+
+    /// The stop condition of [`Experiment::run`].
+    pub fn stop_condition(&self) -> StopCondition {
+        self.stop
+    }
+
+    /// Mints a fresh simulator at round 0. The experiment can create any
+    /// number of independent simulators (e.g. for lockstep comparisons).
+    pub fn simulator(&self) -> Simulator<'g> {
+        Simulator::build(self.graph, self.config.clone(), self.init.clone(), None)
+            .expect("experiment was validated at build")
+    }
+
+    /// Mints a simulator that executes rounds on an externally owned
+    /// worker pool (the batch [`crate::Driver`]'s), overriding the
+    /// configured thread count with the pool's.
+    pub(crate) fn simulator_on(
+        &self,
+        pool: std::sync::Arc<crate::pool::WorkerPool>,
+    ) -> Simulator<'g> {
+        Simulator::build(
+            self.graph,
+            self.config.clone(),
+            self.init.clone(),
+            Some(pool),
+        )
+        .expect("experiment was validated at build")
+    }
+
+    /// Runs a fresh simulator to the stop condition, applying the hybrid
+    /// policy if one is attached, and returns the report.
+    pub fn run(&self) -> RunReport {
+        self.run_with(&mut crate::observer::NullObserver)
+    }
+
+    /// Like [`Experiment::run`], invoking `observer` after every round.
+    pub fn run_with(&self, observer: &mut dyn Observer) -> RunReport {
+        let mut sim = self.simulator();
+        self.run_on(&mut sim, observer)
+    }
+
+    /// Runs an existing simulator (typically from
+    /// [`Experiment::simulator`]) to this experiment's stop condition
+    /// with its hybrid policy.
+    pub fn run_on(&self, sim: &mut Simulator<'g>, observer: &mut dyn Observer) -> RunReport {
+        match self.hybrid {
+            Some(policy) => sim.run_hybrid_with(policy, self.stop, observer),
+            None => sim.run_until_with(self.stop, observer),
+        }
+    }
+
+    /// Runs this experiment's discrete process in lockstep with its
+    /// continuous twin for `rounds` rounds, recording the per-round
+    /// deviation `max_k |x_k^D − x_k^C|` (paper Theorems 3, 8, 9).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::RequiresDiscrete`] for continuous-mode
+    /// experiments (they have no rounding to deviate from).
+    pub fn coupled_deviation(&self, rounds: usize) -> Result<DeviationSeries, BuildError> {
+        if !matches!(self.config.mode, Mode::Discrete(_)) {
+            return Err(BuildError::RequiresDiscrete("coupled_deviation"));
+        }
+        let mut discrete = self.simulator();
+        let continuous_config = SimulationConfig {
+            scheme: self.config.scheme,
+            mode: Mode::Continuous,
+            speeds: self.config.speeds.clone(),
+            flow_memory: self.config.flow_memory,
+            threads: self.config.threads,
+        };
+        let mut continuous =
+            Simulator::build(self.graph, continuous_config, self.init.clone(), None)
+                .expect("continuous twin of a validated experiment");
+        let mut per_round = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            discrete.step();
+            continuous.step();
+            per_round.push(discrete.deviation_from(&continuous));
+        }
+        Ok(DeviationSeries { per_round })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::BuildError;
+    use sodiff_graph::{generators, GraphBuilder};
+
+    #[test]
+    fn builder_minimal_discrete() {
+        let g = generators::torus2d(4, 4);
+        let exp = Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .build()
+            .unwrap();
+        assert_eq!(exp.scheme(), Scheme::fos());
+        assert_eq!(exp.threads(), 1);
+        let report = exp.run();
+        assert_eq!(report.rounds, 1000);
+        assert_eq!(report.switch_round, None);
+    }
+
+    #[test]
+    fn invalid_beta_is_reported() {
+        let g = generators::cycle(4);
+        for beta in [0.0, -1.0, 2.0, 3.5, f64::NAN] {
+            let err = Experiment::on(&g)
+                .continuous()
+                .sos(beta)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, BuildError::InvalidBeta(_)), "beta {beta}");
+        }
+        // Pre-built schemes with hand-rolled bad betas are re-validated.
+        let err = Experiment::on(&g)
+            .continuous()
+            .scheme(Scheme::Sos { beta: 7.0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::InvalidBeta(7.0));
+    }
+
+    #[test]
+    fn speeds_mismatch_is_reported() {
+        let g = generators::cycle(6);
+        let err = Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .speeds(Speeds::uniform(5))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::SpeedsLengthMismatch {
+                expected: 6,
+                got: 5
+            }
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_reported() {
+        let g = GraphBuilder::new(0).build();
+        let err = Experiment::on(&g).continuous().build().unwrap_err();
+        assert_eq!(err, BuildError::EmptyGraph);
+    }
+
+    #[test]
+    fn missing_seed_is_reported() {
+        let g = generators::cycle(4);
+        let err = Experiment::on(&g)
+            .discrete_spec(RoundingSpec::Randomized)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::MissingSeed("randomized")));
+        // With a seed the same spec builds.
+        let exp = Experiment::on(&g)
+            .discrete_spec(RoundingSpec::Randomized)
+            .seed(5)
+            .build()
+            .unwrap();
+        assert_eq!(exp.mode(), Mode::Discrete(Rounding::randomized(5)));
+        // Deterministic kinds never need one.
+        assert!(Experiment::on(&g)
+            .discrete_spec(RoundingSpec::Nearest)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_threads_is_reported() {
+        let g = generators::cycle(4);
+        let err = Experiment::on(&g)
+            .continuous()
+            .threads(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::ZeroThreads);
+    }
+
+    #[test]
+    fn bad_initial_load_is_reported() {
+        let g = generators::cycle(4);
+        let err = Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .init(InitialLoad::point(9, 10))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidInitialLoad(_)));
+        let err = Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .init(InitialLoad::Custom(vec![1, 2]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidInitialLoad(_)));
+    }
+
+    #[test]
+    fn bad_stop_condition_is_reported() {
+        let g = generators::cycle(4);
+        let err = Experiment::on(&g)
+            .continuous()
+            .stop(StopCondition::Plateau {
+                window: 0,
+                max_rounds: 10,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidStopCondition(_)));
+    }
+
+    #[test]
+    fn hybrid_run_reports_switch_round() {
+        let g = generators::torus2d(8, 8);
+        let spec = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(64));
+        let report = Experiment::on(&g)
+            .discrete(Rounding::randomized(3))
+            .sos(spec.beta_opt())
+            .hybrid(SwitchPolicy::AtRound(40))
+            .stop(StopCondition::MaxRounds(120))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(report.switch_round, Some(40));
+        assert_eq!(report.rounds, 120);
+    }
+
+    #[test]
+    fn experiment_run_matches_hand_built_simulator() {
+        let g = generators::torus2d(6, 6);
+        let exp = Experiment::on(&g)
+            .discrete(Rounding::randomized(11))
+            .sos(1.8)
+            .stop(StopCondition::MaxRounds(150))
+            .build()
+            .unwrap();
+        let report = exp.run();
+        let mut sim = exp.simulator();
+        let manual = sim.run_until(StopCondition::MaxRounds(150));
+        assert_eq!(report, manual, "Experiment::run must be bit-identical");
+    }
+
+    #[test]
+    fn coupled_deviation_requires_discrete() {
+        let g = generators::cycle(6);
+        let exp = Experiment::on(&g).continuous().build().unwrap();
+        assert!(matches!(
+            exp.coupled_deviation(5),
+            Err(BuildError::RequiresDiscrete(_))
+        ));
+        let exp = Experiment::on(&g)
+            .discrete(Rounding::randomized(1))
+            .init(InitialLoad::point(0, 600))
+            .build()
+            .unwrap();
+        let series = exp.coupled_deviation(20).unwrap();
+        assert_eq!(series.per_round.len(), 20);
+    }
+}

@@ -7,10 +7,20 @@
 //! paper's 2500/3000-step experiments, Figures 4–5) or a *local* criterion
 //! such as the maximum local load difference — which, as the paper notes,
 //! is available in a distributed system, unlike eigenvector information.
+//!
+//! Hybrid execution is part of the core run loop: attach a
+//! [`SwitchPolicy`] with [`crate::ExperimentBuilder::hybrid`], or call
+//! [`crate::Simulator::run_hybrid`] /
+//! [`crate::Simulator::run_hybrid_with`] / [`crate::Simulator::run_when`]
+//! on an existing simulator. The free `run_hybrid*` functions remain as
+//! deprecated shims for one release.
+
+use std::fmt;
+use std::str::FromStr;
 
 use crate::engine::{RunReport, Simulator, StopCondition};
+use crate::error::ParseError;
 use crate::observer::Observer;
-use crate::scheme::Scheme;
 
 /// When the hybrid controller flips from SOS to FOS.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +37,48 @@ pub enum SwitchPolicy {
     Never,
 }
 
+impl fmt::Display for SwitchPolicy {
+    /// Scenario-file form: `at:R`, `local_diff:T`, `max_minus_avg:T`, or
+    /// `never`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchPolicy::AtRound(r) => write!(f, "at:{r}"),
+            SwitchPolicy::MaxLocalDiffBelow(t) => write!(f, "local_diff:{t}"),
+            SwitchPolicy::MaxMinusAvgBelow(t) => write!(f, "max_minus_avg:{t}"),
+            SwitchPolicy::Never => f.write_str("never"),
+        }
+    }
+}
+
+impl FromStr for SwitchPolicy {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || {
+            ParseError::new(format!(
+                "unknown hybrid policy '{s}' (expected at:R, local_diff:T, \
+                 max_minus_avg:T, or never)"
+            ))
+        };
+        if s == "never" {
+            return Ok(SwitchPolicy::Never);
+        }
+        let (kind, value) = s.split_once(':').ok_or_else(bad)?;
+        match kind {
+            "at" => value.parse().map(SwitchPolicy::AtRound).map_err(|_| bad()),
+            "local_diff" => value
+                .parse()
+                .map(SwitchPolicy::MaxLocalDiffBelow)
+                .map_err(|_| bad()),
+            "max_minus_avg" => value
+                .parse()
+                .map(SwitchPolicy::MaxMinusAvgBelow)
+                .map_err(|_| bad()),
+            _ => Err(bad()),
+        }
+    }
+}
+
 /// Outcome of a hybrid run.
 #[derive(Debug, Clone)]
 pub struct HybridReport {
@@ -36,113 +88,121 @@ pub struct HybridReport {
     pub run: RunReport,
 }
 
+impl From<RunReport> for HybridReport {
+    fn from(run: RunReport) -> Self {
+        Self {
+            switch_round: run.switch_round,
+            run,
+        }
+    }
+}
+
 /// Runs `total_rounds` rounds, switching the simulator to `fos` when the
 /// policy fires (at most once), and invoking `observer` every round.
 ///
-/// The simulator keeps its loads across the switch; only the scheme
-/// changes, exactly as in the paper's experiments where "every node
-/// synchronously switches to first order scheme".
+/// # Replacement
+///
+/// ```
+/// use sodiff_core::prelude::*;
+/// use sodiff_graph::generators;
+///
+/// let g = generators::torus2d(8, 8);
+/// let report = Experiment::on(&g)
+///     .discrete(Rounding::randomized(1))
+///     .sos(1.9)
+///     .hybrid(SwitchPolicy::AtRound(50))
+///     .stop(StopCondition::MaxRounds(200))
+///     .build()
+///     .unwrap()
+///     .run();
+/// assert_eq!(report.switch_round, Some(50));
+/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use Experiment::on(..).hybrid(policy) or Simulator::run_hybrid_with"
+)]
 pub fn run_hybrid(
     sim: &mut Simulator<'_>,
     policy: SwitchPolicy,
     total_rounds: u64,
     observer: &mut dyn Observer,
 ) -> HybridReport {
-    let start = sim.round();
-    let mut switch_round = None;
-    for _ in 0..total_rounds {
-        if switch_round.is_none() {
-            let fire = match policy {
-                SwitchPolicy::AtRound(r) => sim.round() - start >= r,
-                SwitchPolicy::MaxLocalDiffBelow(t) => sim.metrics().max_local_diff <= t,
-                SwitchPolicy::MaxMinusAvgBelow(t) => sim.metrics().max_minus_avg <= t,
-                SwitchPolicy::Never => false,
-            };
-            if fire {
-                sim.switch_scheme(Scheme::fos());
-                switch_round = Some(sim.round());
-            }
-        }
-        sim.step();
-        observer.on_round(sim);
-    }
-    HybridReport {
-        switch_round,
-        run: RunReport {
-            rounds: sim.round() - start,
-            final_metrics: sim.metrics(),
-            reason: crate::engine::StopReason::MaxRounds,
-            remaining_imbalance: None,
-        },
-    }
+    sim.run_hybrid_with(
+        policy,
+        StopCondition::MaxRounds(total_rounds as usize),
+        observer,
+    )
+    .into()
 }
 
-/// Like [`run_hybrid`], but with an arbitrary switch trigger evaluated
-/// before every round. This enables strategies beyond [`SwitchPolicy`],
-/// e.g. the eigenvector-coefficient trigger the paper discusses (switch
-/// once the leading coefficient's impact drops below a threshold — a
-/// global-knowledge strategy useful for offline studies):
+/// Like the old `run_hybrid`, but with an arbitrary switch trigger
+/// evaluated before every round.
+///
+/// # Replacement
 ///
 /// ```
 /// use sodiff_core::prelude::*;
-/// use sodiff_core::hybrid::run_hybrid_when;
 /// use sodiff_graph::generators;
 ///
 /// let g = generators::torus2d(8, 8);
-/// let mut sim = Simulator::new(
-///     &g,
-///     SimulationConfig::discrete(Scheme::sos(1.7), Rounding::randomized(1)),
-///     InitialLoad::paper_default(64),
-/// );
-/// struct Null;
-/// impl Observer for Null { fn on_round(&mut self, _: &Simulator<'_>) {} }
-/// let report = run_hybrid_when(
-///     &mut sim,
+/// let mut sim = Experiment::on(&g)
+///     .discrete(Rounding::randomized(1))
+///     .sos(1.7)
+///     .build()
+///     .unwrap()
+///     .simulator();
+/// let report = sim.run_when(
 ///     |sim| sim.metrics().potential_over_n < 1000.0,
-///     300,
-///     &mut Null,
+///     StopCondition::MaxRounds(300),
+///     &mut NullObserver,
 /// );
 /// assert!(report.switch_round.is_some());
 /// ```
+#[deprecated(since = "0.1.0", note = "use Simulator::run_when")]
 pub fn run_hybrid_when(
     sim: &mut Simulator<'_>,
-    mut trigger: impl FnMut(&Simulator<'_>) -> bool,
+    trigger: impl FnMut(&Simulator<'_>) -> bool,
     total_rounds: u64,
     observer: &mut dyn Observer,
 ) -> HybridReport {
-    let start = sim.round();
-    let mut switch_round = None;
-    for _ in 0..total_rounds {
-        if switch_round.is_none() && trigger(sim) {
-            sim.switch_scheme(Scheme::fos());
-            switch_round = Some(sim.round());
-        }
-        sim.step();
-        observer.on_round(sim);
-    }
-    HybridReport {
-        switch_round,
-        run: RunReport {
-            rounds: sim.round() - start,
-            final_metrics: sim.metrics(),
-            reason: crate::engine::StopReason::MaxRounds,
-            remaining_imbalance: None,
-        },
-    }
+    sim.run_when(
+        trigger,
+        StopCondition::MaxRounds(total_rounds as usize),
+        observer,
+    )
+    .into()
 }
 
 /// Convenience: run SOS until the policy fires, then FOS until
 /// `total_rounds` is exhausted, without an observer.
+///
+/// # Replacement
+///
+/// ```
+/// use sodiff_core::prelude::*;
+/// use sodiff_graph::generators;
+///
+/// let g = generators::torus2d(8, 8);
+/// let mut sim = Experiment::on(&g)
+///     .discrete(Rounding::randomized(1))
+///     .sos(1.9)
+///     .build()
+///     .unwrap()
+///     .simulator();
+/// let report = sim.run_hybrid(
+///     SwitchPolicy::AtRound(50),
+///     StopCondition::MaxRounds(200),
+/// );
+/// assert_eq!(report.switch_round, Some(50));
+/// ```
+#[deprecated(since = "0.1.0", note = "use Simulator::run_hybrid")]
 pub fn run_hybrid_quiet(
     sim: &mut Simulator<'_>,
     policy: SwitchPolicy,
     total_rounds: u64,
 ) -> HybridReport {
-    struct Null;
-    impl Observer for Null {
-        fn on_round(&mut self, _sim: &Simulator<'_>) {}
-    }
-    run_hybrid(sim, policy, total_rounds, &mut Null)
+    sim.run_hybrid(policy, StopCondition::MaxRounds(total_rounds as usize))
+        .into()
 }
 
 /// Runs the pure-SOS baseline and the hybrid side by side on identical
@@ -154,44 +214,46 @@ pub fn compare_sos_vs_hybrid<'g>(
     policy: SwitchPolicy,
     total_rounds: u64,
 ) -> (f64, f64) {
-    sos.run_until(StopCondition::MaxRounds(total_rounds as usize));
-    run_hybrid_quiet(&mut hybrid, policy, total_rounds);
+    let condition = StopCondition::MaxRounds(total_rounds as usize);
+    sos.run_until(condition);
+    hybrid.run_hybrid(policy, condition);
     (sos.metrics().max_minus_avg, hybrid.metrics().max_minus_avg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::SimulationConfig;
-    use crate::init::InitialLoad;
+    use crate::experiment::Experiment;
     use crate::rounding::Rounding;
-    use sodiff_graph::{generators, Speeds};
+    use crate::scheme::Scheme;
+    use sodiff_graph::generators;
     use sodiff_linalg::spectral;
 
     fn sos_sim(g: &sodiff_graph::Graph, seed: u64) -> Simulator<'_> {
-        let spec = spectral::analyze(g, &Speeds::uniform(g.node_count()));
-        Simulator::new(
-            g,
-            SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(seed)),
-            InitialLoad::paper_default(g.node_count()),
-        )
+        let spec = spectral::analyze(g, &sodiff_graph::Speeds::uniform(g.node_count()));
+        Experiment::on(g)
+            .discrete(Rounding::randomized(seed))
+            .sos(spec.beta_opt())
+            .build()
+            .expect("valid experiment")
+            .simulator()
     }
 
     #[test]
     fn fixed_round_switch_fires_exactly_once() {
         let g = generators::torus2d(8, 8);
         let mut sim = sos_sim(&g, 1);
-        let report = run_hybrid_quiet(&mut sim, SwitchPolicy::AtRound(50), 200);
+        let report = sim.run_hybrid(SwitchPolicy::AtRound(50), StopCondition::MaxRounds(200));
         assert_eq!(report.switch_round, Some(50));
         assert_eq!(sim.scheme(), Scheme::fos());
-        assert_eq!(report.run.rounds, 200);
+        assert_eq!(report.rounds, 200);
     }
 
     #[test]
     fn never_policy_keeps_sos() {
         let g = generators::torus2d(6, 6);
         let mut sim = sos_sim(&g, 2);
-        let report = run_hybrid_quiet(&mut sim, SwitchPolicy::Never, 100);
+        let report = sim.run_hybrid(SwitchPolicy::Never, StopCondition::MaxRounds(100));
         assert_eq!(report.switch_round, None);
         assert!(sim.scheme().is_sos());
     }
@@ -200,7 +262,10 @@ mod tests {
     fn local_diff_trigger_fires_after_convergence() {
         let g = generators::torus2d(10, 10);
         let mut sim = sos_sim(&g, 3);
-        let report = run_hybrid_quiet(&mut sim, SwitchPolicy::MaxLocalDiffBelow(10.0), 3000);
+        let report = sim.run_hybrid(
+            SwitchPolicy::MaxLocalDiffBelow(10.0),
+            StopCondition::MaxRounds(3000),
+        );
         let switch = report
             .switch_round
             .expect("local-diff trigger should fire on a 10x10 torus within 3000 rounds");
@@ -212,24 +277,32 @@ mod tests {
     fn custom_trigger_switches_once() {
         let g = generators::torus2d(8, 8);
         let mut sim = sos_sim(&g, 5);
-        struct Null;
-        impl crate::observer::Observer for Null {
-            fn on_round(&mut self, _: &Simulator<'_>) {}
-        }
         let mut calls = 0u32;
-        let report = run_hybrid_when(
-            &mut sim,
+        let report = sim.run_when(
             |s| {
                 calls += 1;
                 s.round() >= 30
             },
-            100,
-            &mut Null,
+            StopCondition::MaxRounds(100),
+            &mut crate::observer::NullObserver,
         );
         assert_eq!(report.switch_round, Some(30));
         // Trigger stops being evaluated after it fires.
         assert_eq!(calls, 31);
         assert_eq!(sim.scheme(), Scheme::fos());
+    }
+
+    #[test]
+    fn deprecated_shims_match_methods() {
+        let g = generators::torus2d(6, 6);
+        let mut a = sos_sim(&g, 8);
+        let mut b = sos_sim(&g, 8);
+        #[allow(deprecated)]
+        let old = run_hybrid_quiet(&mut a, SwitchPolicy::AtRound(20), 60);
+        let new = b.run_hybrid(SwitchPolicy::AtRound(20), StopCondition::MaxRounds(60));
+        assert_eq!(old.switch_round, new.switch_round);
+        assert_eq!(old.run, new);
+        assert_eq!(a.loads_i64().unwrap(), b.loads_i64().unwrap());
     }
 
     /// The paper's headline hybrid result: switching to FOS drops the

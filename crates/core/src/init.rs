@@ -52,6 +52,48 @@ impl InitialLoad {
         }
     }
 
+    /// Validates the distribution against an `n`-node network, returning
+    /// the message the builder wraps into
+    /// [`crate::BuildError::InvalidInitialLoad`].
+    pub(crate) fn check(&self, n: usize) -> Result<(), String> {
+        match self {
+            InitialLoad::Point { node, total } => {
+                if *node as usize >= n {
+                    return Err(format!(
+                        "point load node {node} out of range (graph has {n} nodes)"
+                    ));
+                }
+                if *total < 0 {
+                    return Err(format!("negative total load {total}"));
+                }
+            }
+            InitialLoad::EqualPerNode(per) => {
+                if *per < 0 {
+                    return Err(format!("negative per-node load {per}"));
+                }
+            }
+            InitialLoad::UniformRandom { total, .. } => {
+                if *total < 0 {
+                    return Err(format!("negative total load {total}"));
+                }
+            }
+            InitialLoad::Ramp { max_per_node } => {
+                if *max_per_node < 0 {
+                    return Err(format!("negative ramp load {max_per_node}"));
+                }
+            }
+            InitialLoad::Custom(loads) => {
+                if loads.len() != n {
+                    return Err(format!(
+                        "custom load vector length mismatch: {} loads for {n} nodes",
+                        loads.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Materializes the distribution for an `n`-node network.
     ///
     /// # Panics

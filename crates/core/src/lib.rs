@@ -12,8 +12,9 @@
 //! * the paper's randomized rounding framework plus deterministic and
 //!   per-edge baselines — [`Rounding`];
 //! * the SOS→FOS hybrid switch that removes the residual imbalance SOS
-//!   leaves behind — [`hybrid`];
-//! * coupled discrete/continuous deviation measurements — [`deviation`];
+//!   leaves behind — [`SwitchPolicy`], [`ExperimentBuilder::hybrid`];
+//! * coupled discrete/continuous deviation measurements — [`deviation`],
+//!   [`Experiment::coupled_deviation`];
 //! * the error-propagation matrices `M^t`/`Q(t)`, edge contributions, and
 //!   the refined local divergence `Υ^C(G)` — [`divergence`];
 //! * negative-load (transient) tracking in the engine and the paper's
@@ -23,21 +24,55 @@
 //!
 //! # Quickstart
 //!
+//! The paper is an *experiment matrix* — every figure sweeps scheme ×
+//! rounding × mode × topology × speeds — and the public API mirrors that.
+//! One experiment is built with the typestate [`ExperimentBuilder`]: pick
+//! a graph, pick a mode (the compiler enforces this step), refine, then
+//! `build()` — every invalid input comes back as a typed [`BuildError`]
+//! instead of a panic:
+//!
 //! ```
 //! use sodiff_core::prelude::*;
-//! use sodiff_graph::{generators, Speeds};
+//! use sodiff_graph::generators;
 //! use sodiff_linalg::spectral;
 //!
 //! let graph = generators::torus2d(16, 16);
 //! let spectrum = spectral::analyze(&graph, &Speeds::uniform(graph.node_count()));
-//! let config = SimulationConfig::discrete(
-//!     Scheme::sos(spectrum.beta_opt()),
-//!     Rounding::randomized(42),
-//! );
-//! let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(256));
-//! let report = sim.run_until(StopCondition::MaxRounds(400));
+//! let report = Experiment::on(&graph)
+//!     .discrete(Rounding::randomized(42))
+//!     .sos(spectrum.beta_opt())
+//!     .init(InitialLoad::paper_default(graph.node_count()))
+//!     .stop(StopCondition::MaxRounds(400))
+//!     .build()
+//!     .expect("valid experiment")
+//!     .run();
 //! assert!(report.final_metrics.max_minus_avg < 20.0);
 //! ```
+//!
+//! Whole experiments can also be described *as text* and executed in
+//! batches: a [`ScenarioSpec`] round-trips through `Display`/`FromStr`
+//! (`topology=torus2d:16:16 scheme=sos_opt seed=42 …`), and the batch
+//! [`Driver`] runs a slice of them over **one** persistent worker pool:
+//!
+//! ```
+//! use sodiff_core::{Driver, ScenarioSpec};
+//!
+//! let specs = ScenarioSpec::parse_many(
+//!     "name=sos topology=torus2d:16:16 scheme=sos_opt seed=42 stop=rounds:120\n\
+//!      name=fos topology=torus2d:16:16 scheme=fos seed=42 stop=rounds:120\n",
+//! )
+//! .unwrap();
+//! let batch = Driver::new().run_batch(&specs).unwrap();
+//! assert_eq!(batch.scenarios.len(), 2);
+//! // At a short horizon SOS is far ahead of FOS (the paper's Figure 1).
+//! assert!(batch.scenarios[0].report.final_metrics.max_minus_avg
+//!     < batch.scenarios[1].report.final_metrics.max_minus_avg);
+//! ```
+//!
+//! The pre-0.2 surface (`SimulationConfig::{discrete,continuous}`,
+//! `Simulator::new`, the `run_hybrid*` free functions) remains available
+//! as `#[deprecated]` shims for one release; each shim's docs show the
+//! replacement call.
 //!
 //! # Performance
 //!
@@ -60,11 +95,13 @@
 //! pre-sliced ranges so bounds checks vanish without any `unsafe`.
 //!
 //! **Persistent worker pool** (`pool` module, crate-private). With
-//! [`SimulationConfig::with_threads`]`(t > 1)`, `t − 1` workers are
-//! spawned once in [`Simulator::new`] and park on a barrier between
-//! rounds; each round costs a handful of barrier waits instead of the
-//! `threads × phases` thread spawns of the previous scoped-thread
-//! executor. Phases run the *same* kernel functions as the sequential
+//! [`ExperimentBuilder::threads`]`(t > 1)`, `t − 1` workers are spawned
+//! once and park on a barrier between rounds; each round costs a handful
+//! of barrier waits instead of the `threads × phases` thread spawns of the
+//! previous scoped-thread executor. The pool is split from the
+//! per-simulation state, so the batch [`Driver`] re-targets one pool at
+//! every simulation of a scenario file instead of respawning per
+//! `Simulator`. Phases run the *same* kernel functions as the sequential
 //! path over relaxed-atomic views of the state, in the same per-element
 //! order, so pooled results are **bit-identical** to sequential ones
 //! (enforced by `tests/determinism.rs` across every scheme × rounding ×
@@ -94,7 +131,10 @@
 
 pub mod deviation;
 pub mod divergence;
+mod driver;
 mod engine;
+mod error;
+mod experiment;
 pub mod hybrid;
 mod init;
 mod kernel;
@@ -103,31 +143,42 @@ mod observer;
 mod pool;
 pub mod rng;
 mod rounding;
+mod scenario;
 mod scheme;
 pub mod theory;
 
+pub use driver::{BatchReport, Driver, ScenarioReport};
 pub use engine::{
     FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition, StopReason,
 };
+pub use error::{BuildError, ParseError};
+pub use experiment::{Experiment, ExperimentBuilder, NeedsMode, Ready};
+pub use hybrid::SwitchPolicy;
 pub use init::InitialLoad;
 pub use metrics::MetricsSnapshot;
-pub use observer::{MetricsRow, MultiObserver, Observer, Recorder};
-pub use rounding::Rounding;
+pub use observer::{MetricsRow, MultiObserver, NullObserver, Observer, Recorder};
+pub use rounding::{Rounding, RoundingSpec};
+pub use scenario::{InitSpec, ModeSpec, ScenarioSpec, SchemeSpec, SpeedsSpec, StopSpec};
 pub use scheme::Scheme;
 
 /// Convenient glob import: `use sodiff_core::prelude::*;`.
 pub mod prelude {
+    pub use crate::driver::{BatchReport, Driver, ScenarioReport};
     pub use crate::engine::{
         FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition, StopReason,
     };
+    pub use crate::error::{BuildError, ParseError};
+    pub use crate::experiment::{Experiment, ExperimentBuilder};
+    #[allow(deprecated)]
     pub use crate::hybrid::{
         run_hybrid, run_hybrid_quiet, run_hybrid_when, HybridReport, SwitchPolicy,
     };
     pub use crate::init::InitialLoad;
     pub use crate::metrics::MetricsSnapshot;
-    pub use crate::observer::{MetricsRow, MultiObserver, Observer, Recorder};
-    pub use crate::rounding::Rounding;
+    pub use crate::observer::{MetricsRow, MultiObserver, NullObserver, Observer, Recorder};
+    pub use crate::rounding::{Rounding, RoundingSpec};
+    pub use crate::scenario::ScenarioSpec;
     pub use crate::scheme::Scheme;
-    pub use sodiff_graph::Speeds;
+    pub use sodiff_graph::{Speeds, TopologySpec};
     pub use sodiff_linalg::spectral::beta_opt;
 }

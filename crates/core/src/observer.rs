@@ -9,6 +9,14 @@ pub trait Observer {
     fn on_round(&mut self, sim: &Simulator<'_>);
 }
 
+/// An [`Observer`] that ignores every round (the default for quiet runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_round(&mut self, _sim: &Simulator<'_>) {}
+}
+
 /// One recorded row of the per-round metric series.
 #[derive(Debug, Clone, Copy)]
 pub struct MetricsRow {
@@ -32,11 +40,12 @@ pub struct MetricsRow {
 /// use sodiff_graph::generators;
 ///
 /// let g = generators::cycle(8);
-/// let mut sim = Simulator::new(
-///     &g,
-///     SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(1)),
-///     InitialLoad::point(0, 80),
-/// );
+/// let mut sim = Experiment::on(&g)
+///     .discrete(Rounding::randomized(1))
+///     .init(InitialLoad::point(0, 80))
+///     .build()
+///     .unwrap()
+///     .simulator();
 /// let mut rec = Recorder::every(2);
 /// sim.run_until_with(StopCondition::MaxRounds(10), &mut rec);
 /// assert_eq!(rec.rows().len(), 5);
@@ -126,20 +135,21 @@ impl Observer for MultiObserver<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{SimulationConfig, StopCondition};
+    use crate::engine::StopCondition;
+    use crate::experiment::Experiment;
     use crate::init::InitialLoad;
     use crate::rounding::Rounding;
-    use crate::scheme::Scheme;
     use sodiff_graph::generators;
 
     #[test]
     fn recorder_records_every_round() {
         let g = generators::cycle(6);
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(1)),
-            InitialLoad::point(0, 60),
-        );
+        let mut sim = Experiment::on(&g)
+            .discrete(Rounding::randomized(1))
+            .init(InitialLoad::point(0, 60))
+            .build()
+            .unwrap()
+            .simulator();
         let mut rec = Recorder::new();
         sim.run_until_with(StopCondition::MaxRounds(7), &mut rec);
         assert_eq!(rec.rows().len(), 7);
@@ -150,11 +160,12 @@ mod tests {
     #[test]
     fn recorder_conservation_column() {
         let g = generators::torus2d(3, 3);
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::discrete(Scheme::fos(), Rounding::nearest()),
-            InitialLoad::point(0, 900),
-        );
+        let mut sim = Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .init(InitialLoad::point(0, 900))
+            .build()
+            .unwrap()
+            .simulator();
         let mut rec = Recorder::new();
         sim.run_until_with(StopCondition::MaxRounds(20), &mut rec);
         assert!(rec.rows().iter().all(|r| r.total_load == 900.0));
@@ -163,11 +174,12 @@ mod tests {
     #[test]
     fn multi_observer_fans_out() {
         let g = generators::cycle(5);
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::continuous(Scheme::fos()),
-            InitialLoad::point(0, 50),
-        );
+        let mut sim = Experiment::on(&g)
+            .continuous()
+            .init(InitialLoad::point(0, 50))
+            .build()
+            .unwrap()
+            .simulator();
         let mut a = Recorder::new();
         let mut b = Recorder::every(2);
         {

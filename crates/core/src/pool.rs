@@ -1,31 +1,36 @@
 //! Persistent worker pool for the round executor.
 //!
-//! Threads are spawned **once** in `Simulator::new` and park on a shared
-//! [`Barrier`] between rounds; each round the main thread publishes the
-//! round parameters, releases the start barrier, works its own chunk as
-//! participant 0, and meets the workers again at the end barrier. Compared
-//! to the previous per-round `thread::scope` executor this removes
-//! `threads × phases` thread spawns/joins per round, which is what made
-//! multi-threading a net loss below ~10⁵ edges.
+//! The pool is split in two layers so that one set of threads can serve
+//! many simulations (the batch [`crate::Driver`] runs a whole scenario
+//! file over a single pool):
 //!
-//! Shared round state (loads, flow memory, scheduled flows, arc counters)
-//! lives in relaxed atomics inside an `Arc`; phases are separated by the
-//! barrier, which provides the necessary happens-before edges, so the pool
-//! needs no `unsafe` and stays within the crate's `#![forbid(unsafe_code)]`.
-//! All arithmetic runs through the same kernels as the sequential
-//! executor ([`crate::kernel`]), in the same per-element order, so pooled
-//! results are **bit-identical** to sequential ones for every scheme ×
-//! rounding × mode combination regardless of thread count.
+//! * [`WorkerPool`] owns the threads, the round barrier, and a slot for
+//!   the currently attached job. Threads are spawned **once** and park on
+//!   the barrier between rounds; each round costs a handful of barrier
+//!   waits instead of the `threads × phases` thread spawns of the old
+//!   per-round `thread::scope` executor.
+//! * [`RoundJob`] owns one simulation's shared state (kernel tables,
+//!   chunk boundaries, loads, flow memory, scratch) in relaxed atomics.
+//!   Attaching a different job retargets the same threads at a different
+//!   simulation — no respawn, no rejoin.
+//!
+//! Phases are separated by the barrier, which provides the necessary
+//! happens-before edges, so the pool needs no `unsafe` and stays within
+//! the crate's `#![forbid(unsafe_code)]`. All arithmetic runs through the
+//! same kernels as the sequential executor ([`crate::kernel`]), in the
+//! same per-element order, so pooled results are **bit-identical** to
+//! sequential ones for every scheme × rounding × mode combination
+//! regardless of thread count.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::thread::JoinHandle;
 
 use crate::engine::FlowMemory;
 use crate::kernel::{self, AtomicsF64, AtomicsI64, KernelTables};
 use crate::rounding::Rounding;
 
-/// Which phase sequence a round runs; fixed at construction.
+/// Which phase sequence a round runs; fixed per job.
 #[derive(Clone, Copy)]
 pub(crate) enum PoolMode {
     /// Discrete mode with an edge-local rounding scheme: one fused edge
@@ -41,22 +46,20 @@ pub(crate) enum PoolMode {
     Continuous,
 }
 
-/// State shared between the simulator thread and the workers.
-struct Shared {
+/// One simulation's state as seen by the pool: everything a worker needs
+/// to run its share of a round.
+pub(crate) struct RoundJob {
     tables: Arc<KernelTables>,
     mode: PoolMode,
     flow_memory: FlowMemory,
     /// Chunk boundaries over edges / nodes, one chunk per participant.
     edge_bounds: Vec<usize>,
     node_bounds: Vec<usize>,
-    /// Round rendezvous; participants = worker count + 1 (the simulator).
-    barrier: Barrier,
-    stop: AtomicBool,
     /// Per-round parameters, published before the start barrier.
     mem_bits: AtomicU64,
     gain_bits: AtomicU64,
     round: AtomicU64,
-    /// Canonical state while the pool is active (bit-exact mirrors are
+    /// Canonical state while the job is attached (bit-exact mirrors are
     /// copied back into the simulator's vectors after each round).
     loads_i: Vec<AtomicI64>,
     loads_f: Vec<AtomicU64>,
@@ -68,111 +71,10 @@ struct Shared {
     mins: Vec<AtomicU64>,
 }
 
-/// Runs participant `t`'s share of one round. Called by workers and — for
-/// participant 0 — by the simulator thread itself.
-fn round_chunk(sh: &Shared, t: usize, excess: &mut Vec<(usize, f64)>) {
-    let tables = &*sh.tables;
-    let mem = f64::from_bits(sh.mem_bits.load(Ordering::Relaxed));
-    let gain = f64::from_bits(sh.gain_bits.load(Ordering::Relaxed));
-    let round = sh.round.load(Ordering::Relaxed);
-    let edges = sh.edge_bounds[t]..sh.edge_bounds[t + 1];
-    let nodes = sh.node_bounds[t]..sh.node_bounds[t + 1];
-    let prev = AtomicsF64(&sh.prev);
-    let flows = AtomicsI64(&sh.flows);
-    match sh.mode {
-        PoolMode::DiscreteEdgeLocal(rounding) => {
-            kernel::edge_pass_fused(
-                tables,
-                edges,
-                mem,
-                gain,
-                round,
-                rounding,
-                sh.flow_memory,
-                |i| sh.loads_i[i].load(Ordering::Relaxed) as f64,
-                &prev,
-                &flows,
-            );
-            sh.barrier.wait();
-            let mt = kernel::apply_discrete(
-                tables,
-                nodes,
-                |e| sh.flows[e].load(Ordering::Relaxed),
-                &AtomicsI64(&sh.loads_i),
-            );
-            sh.mins[t].store(mt.to_bits(), Ordering::Relaxed);
-        }
-        PoolMode::DiscreteFramework { seed } => {
-            kernel::edge_pass_scheduled(
-                tables,
-                edges.clone(),
-                mem,
-                gain,
-                |i| sh.loads_i[i].load(Ordering::Relaxed) as f64,
-                |e| f64::from_bits(sh.prev[e].load(Ordering::Relaxed)),
-                &AtomicsF64(&sh.sched),
-            );
-            sh.barrier.wait();
-            kernel::arc_round(
-                tables,
-                nodes.clone(),
-                seed,
-                round,
-                |e| f64::from_bits(sh.sched[e].load(Ordering::Relaxed)),
-                &AtomicsI64(&sh.arc_out),
-                excess,
-            );
-            sh.barrier.wait();
-            kernel::edge_combine(
-                tables,
-                edges,
-                sh.flow_memory,
-                |p| sh.arc_out[p].load(Ordering::Relaxed),
-                |e| f64::from_bits(sh.sched[e].load(Ordering::Relaxed)),
-                &flows,
-                &prev,
-            );
-            sh.barrier.wait();
-            let mt = kernel::apply_discrete(
-                tables,
-                nodes,
-                |e| sh.flows[e].load(Ordering::Relaxed),
-                &AtomicsI64(&sh.loads_i),
-            );
-            sh.mins[t].store(mt.to_bits(), Ordering::Relaxed);
-        }
-        PoolMode::Continuous => {
-            kernel::edge_pass_continuous(
-                tables,
-                edges,
-                mem,
-                gain,
-                |i| f64::from_bits(sh.loads_f[i].load(Ordering::Relaxed)),
-                &prev,
-            );
-            sh.barrier.wait();
-            let mt = kernel::apply_continuous(
-                tables,
-                nodes,
-                |e| f64::from_bits(sh.prev[e].load(Ordering::Relaxed)),
-                &AtomicsF64(&sh.loads_f),
-            );
-            sh.mins[t].store(mt.to_bits(), Ordering::Relaxed);
-        }
-    }
-}
-
-/// A persistent pool of `threads − 1` workers plus the simulator thread.
-pub(crate) struct WorkerPool {
-    shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
-    /// Participant-0 scratch for the framework's excess-token pass.
-    excess: Vec<(usize, f64)>,
-}
-
-impl WorkerPool {
-    /// Spawns the workers. Exactly one of `loads_i` / `loads_f` matches the
-    /// mode and seeds the pool's canonical state.
+impl RoundJob {
+    /// Captures one simulation's state for execution on a pool with
+    /// `threads` participants. Exactly one of `loads_i` / `loads_f`
+    /// matches the mode and seeds the job's canonical state.
     pub fn new(
         threads: usize,
         tables: Arc<KernelTables>,
@@ -181,19 +83,16 @@ impl WorkerPool {
         loads_i: &[i64],
         loads_f: &[f64],
     ) -> Self {
-        assert!(threads > 1, "a pool needs at least two participants");
         let n = tables.n;
         let m = tables.m;
         let arcs = tables.arc_edges.len();
         let framework = matches!(mode, PoolMode::DiscreteFramework { .. });
-        let shared = Arc::new(Shared {
+        Self {
             tables,
             mode,
             flow_memory,
             edge_bounds: chunk_bounds(m, threads),
             node_bounds: chunk_bounds(n, threads),
-            barrier: Barrier::new(threads),
-            stop: AtomicBool::new(false),
             mem_bits: AtomicU64::new(0),
             gain_bits: AtomicU64::new(0),
             round: AtomicU64::new(0),
@@ -213,10 +112,165 @@ impl WorkerPool {
                 .map(|_| AtomicI64::new(0))
                 .collect(),
             mins: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Runs participant `t`'s share of one round. Called by workers and —
+    /// for participant 0 — by the simulator thread itself. `barrier` is
+    /// the owning pool's phase barrier.
+    fn run_chunk(&self, barrier: &Barrier, t: usize, excess: &mut Vec<(usize, f64)>) {
+        let tables = &*self.tables;
+        let mem = f64::from_bits(self.mem_bits.load(Ordering::Relaxed));
+        let gain = f64::from_bits(self.gain_bits.load(Ordering::Relaxed));
+        let round = self.round.load(Ordering::Relaxed);
+        let edges = self.edge_bounds[t]..self.edge_bounds[t + 1];
+        let nodes = self.node_bounds[t]..self.node_bounds[t + 1];
+        let prev = AtomicsF64(&self.prev);
+        let flows = AtomicsI64(&self.flows);
+        match self.mode {
+            PoolMode::DiscreteEdgeLocal(rounding) => {
+                kernel::edge_pass_fused(
+                    tables,
+                    edges,
+                    mem,
+                    gain,
+                    round,
+                    rounding,
+                    self.flow_memory,
+                    |i| self.loads_i[i].load(Ordering::Relaxed) as f64,
+                    &prev,
+                    &flows,
+                );
+                barrier.wait();
+                let mt = kernel::apply_discrete(
+                    tables,
+                    nodes,
+                    |e| self.flows[e].load(Ordering::Relaxed),
+                    &AtomicsI64(&self.loads_i),
+                );
+                self.mins[t].store(mt.to_bits(), Ordering::Relaxed);
+            }
+            PoolMode::DiscreteFramework { seed } => {
+                kernel::edge_pass_scheduled(
+                    tables,
+                    edges.clone(),
+                    mem,
+                    gain,
+                    |i| self.loads_i[i].load(Ordering::Relaxed) as f64,
+                    |e| f64::from_bits(self.prev[e].load(Ordering::Relaxed)),
+                    &AtomicsF64(&self.sched),
+                );
+                barrier.wait();
+                kernel::arc_round(
+                    tables,
+                    nodes.clone(),
+                    seed,
+                    round,
+                    |e| f64::from_bits(self.sched[e].load(Ordering::Relaxed)),
+                    &AtomicsI64(&self.arc_out),
+                    excess,
+                );
+                barrier.wait();
+                kernel::edge_combine(
+                    tables,
+                    edges,
+                    self.flow_memory,
+                    |p| self.arc_out[p].load(Ordering::Relaxed),
+                    |e| f64::from_bits(self.sched[e].load(Ordering::Relaxed)),
+                    &flows,
+                    &prev,
+                );
+                barrier.wait();
+                let mt = kernel::apply_discrete(
+                    tables,
+                    nodes,
+                    |e| self.flows[e].load(Ordering::Relaxed),
+                    &AtomicsI64(&self.loads_i),
+                );
+                self.mins[t].store(mt.to_bits(), Ordering::Relaxed);
+            }
+            PoolMode::Continuous => {
+                kernel::edge_pass_continuous(
+                    tables,
+                    edges,
+                    mem,
+                    gain,
+                    |i| f64::from_bits(self.loads_f[i].load(Ordering::Relaxed)),
+                    &prev,
+                );
+                barrier.wait();
+                let mt = kernel::apply_continuous(
+                    tables,
+                    nodes,
+                    |e| f64::from_bits(self.prev[e].load(Ordering::Relaxed)),
+                    &AtomicsF64(&self.loads_f),
+                );
+                self.mins[t].store(mt.to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Copies the job's integer loads back into `out`.
+    pub fn read_loads_i(&self, out: &mut [i64]) {
+        for (o, a) in out.iter_mut().zip(&self.loads_i) {
+            *o = a.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the job's continuous loads back into `out`.
+    pub fn read_loads_f(&self, out: &mut [f64]) {
+        for (o, a) in out.iter_mut().zip(&self.loads_f) {
+            *o = f64::from_bits(a.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Copies the job's flow memory back into `out`.
+    pub fn read_prev(&self, out: &mut [f64]) {
+        for (o, a) in out.iter_mut().zip(&self.prev) {
+            *o = f64::from_bits(a.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// State shared between the pool's owner and the workers.
+struct PoolInner {
+    /// Round rendezvous; participants = worker count + 1 (the driver or
+    /// simulator thread).
+    barrier: Barrier,
+    stop: AtomicBool,
+    /// The currently attached job; swapped when a different simulation
+    /// takes over the pool.
+    job: Mutex<Option<Arc<RoundJob>>>,
+    /// Serializes whole rounds: the barrier protocol admits exactly one
+    /// external participant, and the pool is `Sync` behind an `Arc`, so
+    /// two simulators sharing a pool must take turns round by round.
+    round_lock: Mutex<()>,
+}
+
+/// A persistent pool of `threads − 1` workers plus the calling thread.
+///
+/// The pool itself is simulation-agnostic: per-simulation state lives in a
+/// [`RoundJob`] attached at `run_round` time, so a batch driver can push
+/// many simulations through one spawn/join lifecycle.
+pub(crate) struct WorkerPool {
+    inner: Arc<PoolInner>,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns the workers (parked until the first `run_round`).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 1, "a pool needs at least two participants");
+        let inner = Arc::new(PoolInner {
+            barrier: Barrier::new(threads),
+            stop: AtomicBool::new(false),
+            job: Mutex::new(None),
+            round_lock: Mutex::new(()),
         });
         let handles = (1..threads)
             .map(|t| {
-                let sh = Arc::clone(&shared);
+                let sh = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("sodiff-worker-{t}"))
                     .spawn(move || {
@@ -226,7 +280,13 @@ impl WorkerPool {
                             if sh.stop.load(Ordering::Acquire) {
                                 break;
                             }
-                            round_chunk(&sh, t, &mut excess);
+                            let job = sh
+                                .job
+                                .lock()
+                                .expect("pool job lock poisoned")
+                                .clone()
+                                .expect("round released without a job");
+                            job.run_chunk(&sh.barrier, t, &mut excess);
                             sh.barrier.wait();
                         }
                     })
@@ -234,56 +294,64 @@ impl WorkerPool {
             })
             .collect();
         Self {
-            shared,
+            inner,
+            threads,
             handles,
-            excess: Vec::new(),
         }
     }
 
-    /// Executes one full round on the pool and returns the round's minimum
-    /// transient load.
-    pub fn run_round(&mut self, mem: f64, gain: f64, round: u64) -> f64 {
-        let sh = &*self.shared;
-        sh.mem_bits.store(mem.to_bits(), Ordering::Relaxed);
-        sh.gain_bits.store(gain.to_bits(), Ordering::Relaxed);
-        sh.round.store(round, Ordering::Relaxed);
-        sh.barrier.wait();
-        round_chunk(sh, 0, &mut self.excess);
-        sh.barrier.wait();
-        sh.mins
+    /// Number of participants (workers + the calling thread). Jobs must be
+    /// created with this chunk count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes one full round of `job` on the pool and returns the
+    /// round's minimum transient load. The calling thread participates as
+    /// chunk 0; `excess` is its framework-rounding scratch.
+    ///
+    /// Concurrent callers (two simulations sharing one pool) are
+    /// serialized round by round: the barrier protocol admits exactly one
+    /// external participant at a time.
+    pub fn run_round(
+        &self,
+        job: &Arc<RoundJob>,
+        mem: f64,
+        gain: f64,
+        round: u64,
+        excess: &mut Vec<(usize, f64)>,
+    ) -> f64 {
+        let _round = self
+            .inner
+            .round_lock
+            .lock()
+            .expect("pool round lock poisoned");
+        job.mem_bits.store(mem.to_bits(), Ordering::Relaxed);
+        job.gain_bits.store(gain.to_bits(), Ordering::Relaxed);
+        job.round.store(round, Ordering::Relaxed);
+        {
+            let mut slot = self.inner.job.lock().expect("pool job lock poisoned");
+            let current = slot.as_ref().is_some_and(|j| Arc::ptr_eq(j, job));
+            if !current {
+                *slot = Some(Arc::clone(job));
+            }
+        }
+        self.inner.barrier.wait();
+        job.run_chunk(&self.inner.barrier, 0, excess);
+        self.inner.barrier.wait();
+        job.mins
             .iter()
             .map(|b| f64::from_bits(b.load(Ordering::Relaxed)))
             .fold(f64::INFINITY, f64::min)
-    }
-
-    /// Copies the pool's integer loads back into `out`.
-    pub fn read_loads_i(&self, out: &mut [i64]) {
-        for (o, a) in out.iter_mut().zip(&self.shared.loads_i) {
-            *o = a.load(Ordering::Relaxed);
-        }
-    }
-
-    /// Copies the pool's continuous loads back into `out`.
-    pub fn read_loads_f(&self, out: &mut [f64]) {
-        for (o, a) in out.iter_mut().zip(&self.shared.loads_f) {
-            *o = f64::from_bits(a.load(Ordering::Relaxed));
-        }
-    }
-
-    /// Copies the pool's flow memory back into `out`.
-    pub fn read_prev(&self, out: &mut [f64]) {
-        for (o, a) in out.iter_mut().zip(&self.shared.prev) {
-            *o = f64::from_bits(a.load(Ordering::Relaxed));
-        }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.stop.store(true, Ordering::Release);
+        self.inner.stop.store(true, Ordering::Release);
         // Workers are parked on the start barrier; release them into the
         // stop check.
-        self.shared.barrier.wait();
+        self.inner.barrier.wait();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -316,20 +384,57 @@ mod tests {
         let g = generators::torus2d(4, 4);
         let tables = Arc::new(KernelTables::new(&g, &Speeds::uniform(16), false));
         let loads = vec![10i64; 16];
-        let mut pool = WorkerPool::new(
-            3,
+        let pool = WorkerPool::new(3);
+        let job = Arc::new(RoundJob::new(
+            pool.threads(),
             tables,
             PoolMode::DiscreteEdgeLocal(Rounding::nearest()),
             FlowMemory::Rounded,
             &loads,
             &[],
-        );
+        ));
         // Balanced start: every scheduled flow is 0, loads stay put.
-        let mt = pool.run_round(0.0, 1.0, 0);
+        let mut excess = Vec::new();
+        let mt = pool.run_round(&job, 0.0, 1.0, 0, &mut excess);
         assert_eq!(mt, 10.0);
         let mut out = vec![0i64; 16];
-        pool.read_loads_i(&mut out);
+        job.read_loads_i(&mut out);
         assert_eq!(out, loads);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        use sodiff_graph::{generators, Speeds};
+        let pool = WorkerPool::new(4);
+        let mut excess = Vec::new();
+        // Two different graphs and modes, one pool, interleaved rounds.
+        let g1 = generators::torus2d(3, 5);
+        let t1 = Arc::new(KernelTables::new(&g1, &Speeds::uniform(15), false));
+        let job1 = Arc::new(RoundJob::new(
+            pool.threads(),
+            t1,
+            PoolMode::DiscreteEdgeLocal(Rounding::nearest()),
+            FlowMemory::Rounded,
+            &[7i64; 15],
+            &[],
+        ));
+        let g2 = generators::cycle(9);
+        let t2 = Arc::new(KernelTables::new(&g2, &Speeds::uniform(9), false));
+        let job2 = Arc::new(RoundJob::new(
+            pool.threads(),
+            t2,
+            PoolMode::Continuous,
+            FlowMemory::Rounded,
+            &[],
+            &[3.0f64; 9],
+        ));
+        for round in 0..4 {
+            assert_eq!(pool.run_round(&job1, 0.0, 1.0, round, &mut excess), 7.0);
+            assert_eq!(pool.run_round(&job2, 0.0, 1.0, round, &mut excess), 3.0);
+        }
+        let mut out = vec![0i64; 15];
+        job1.read_loads_i(&mut out);
+        assert_eq!(out, vec![7i64; 15]);
     }
 }

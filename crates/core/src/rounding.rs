@@ -9,9 +9,102 @@
 //! paper's randomized framework) round all outgoing flows of one node
 //! together.
 
+use std::fmt;
+use std::str::FromStr;
+
 use sodiff_graph::Graph;
 
+use crate::error::{BuildError, ParseError};
 use crate::rng::SplitMix64;
+
+/// A rounding scheme *kind*, without its RNG seed: the serializable form
+/// used by [`crate::ScenarioSpec`] and the builder's
+/// [`crate::ExperimentBuilder::discrete_spec`]. Seeds are supplied
+/// separately (`seed=` / `.seed(..)`), so the same spec text can be run
+/// under many seeds; [`RoundingSpec::seeded`] resolves the pair into a
+/// concrete [`Rounding`], reporting a missing seed as a
+/// [`BuildError::MissingSeed`] instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundingSpec {
+    /// The paper's randomized rounding framework (needs a seed).
+    #[default]
+    Randomized,
+    /// Deterministic truncation of flow magnitudes.
+    RoundDown,
+    /// Deterministic round-to-nearest.
+    Nearest,
+    /// Independent per-edge unbiased rounding (needs a seed).
+    UnbiasedEdge,
+}
+
+impl RoundingSpec {
+    /// Returns `true` if this kind draws random bits and therefore needs
+    /// a seed.
+    pub fn needs_seed(&self) -> bool {
+        matches!(self, RoundingSpec::Randomized | RoundingSpec::UnbiasedEdge)
+    }
+
+    /// Resolves the kind plus an optional seed into a concrete
+    /// [`Rounding`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::MissingSeed`] when the kind needs randomness
+    /// but no seed was provided.
+    pub fn seeded(self, seed: Option<u64>) -> Result<Rounding, BuildError> {
+        match self {
+            RoundingSpec::Randomized => seed
+                .map(Rounding::randomized)
+                .ok_or(BuildError::MissingSeed("randomized")),
+            RoundingSpec::RoundDown => Ok(Rounding::round_down()),
+            RoundingSpec::Nearest => Ok(Rounding::nearest()),
+            RoundingSpec::UnbiasedEdge => seed
+                .map(Rounding::unbiased_edge)
+                .ok_or(BuildError::MissingSeed("unbiased per-edge")),
+        }
+    }
+}
+
+impl From<Rounding> for RoundingSpec {
+    /// Forgets the seed, keeping the kind.
+    fn from(r: Rounding) -> Self {
+        match r {
+            Rounding::RandomizedFramework { .. } => RoundingSpec::Randomized,
+            Rounding::RoundDown => RoundingSpec::RoundDown,
+            Rounding::Nearest => RoundingSpec::Nearest,
+            Rounding::UnbiasedEdge { .. } => RoundingSpec::UnbiasedEdge,
+        }
+    }
+}
+
+impl fmt::Display for RoundingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RoundingSpec::Randomized => "randomized",
+            RoundingSpec::RoundDown => "round_down",
+            RoundingSpec::Nearest => "nearest",
+            RoundingSpec::UnbiasedEdge => "unbiased",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for RoundingSpec {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "randomized" => Ok(RoundingSpec::Randomized),
+            "round_down" => Ok(RoundingSpec::RoundDown),
+            "nearest" => Ok(RoundingSpec::Nearest),
+            "unbiased" => Ok(RoundingSpec::UnbiasedEdge),
+            other => Err(ParseError::new(format!(
+                "unknown rounding '{other}' (expected randomized, round_down, nearest, \
+                 or unbiased)"
+            ))),
+        }
+    }
+}
 
 /// The rounding scheme of a discrete diffusion process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +241,25 @@ impl Rounding {
 mod tests {
     use super::*;
     use sodiff_graph::generators;
+
+    #[test]
+    fn rounding_spec_roundtrip_and_seeding() {
+        for spec in [
+            RoundingSpec::Randomized,
+            RoundingSpec::RoundDown,
+            RoundingSpec::Nearest,
+            RoundingSpec::UnbiasedEdge,
+        ] {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<RoundingSpec>().unwrap(), spec);
+            if spec.needs_seed() {
+                assert!(matches!(spec.seeded(None), Err(BuildError::MissingSeed(_))));
+            }
+            let rounding = spec.seeded(Some(9)).unwrap();
+            assert_eq!(RoundingSpec::from(rounding), spec);
+        }
+        assert!("banker".parse::<RoundingSpec>().is_err());
+    }
 
     fn star_scheduled(graph: &Graph, outflows: &[f64]) -> Vec<f64> {
         // On a star, canonical edges are (0, leaf); positive = hub sends.

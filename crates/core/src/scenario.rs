@@ -1,0 +1,858 @@
+//! Declarative scenario specifications: whole experiments as text.
+//!
+//! A [`ScenarioSpec`] describes one experiment — topology, speeds, scheme,
+//! rounding, mode, initial load, stop condition, threads, and an optional
+//! hybrid switch — as a line of whitespace-separated `key=value` pairs:
+//!
+//! ```text
+//! name=fig1_sos topology=torus2d:256:256 scheme=sos_opt mode=discrete \
+//!     rounding=randomized seed=42 init=paper stop=rounds:1280 threads=1
+//! ```
+//!
+//! The format is hand-parsed (no serde; the build environment is offline)
+//! and round-trips exactly through `Display`/`FromStr`, so scenario files
+//! can be generated, diffed, and replayed byte-for-byte. Bench binaries
+//! and the `scenarios` example feed files of these lines to the batch
+//! [`crate::Driver`]; [`ScenarioSpec::parse_many`] handles `#` comments
+//! and blank lines.
+//!
+//! Keys and defaults:
+//!
+//! | key | values | default |
+//! |-----|--------|---------|
+//! | `name` | free token (no spaces) | `scenario` |
+//! | `topology` | see [`TopologySpec`] | *required* |
+//! | `speeds` | `uniform`, `two_class:FAST:SPEED`, `ramp:MAX`, `skewed:MAX:EXP:SEED` | `uniform` |
+//! | `scheme` | `fos`, `sos:BETA`, `sos_opt` | `fos` |
+//! | `mode` | `continuous`, `discrete` | `discrete` |
+//! | `rounding` | `randomized`, `round_down`, `nearest`, `unbiased` | `randomized` |
+//! | `seed` | integer | *unset* (randomized kinds then fail to build) |
+//! | `init` | `paper`, `point:NODE:TOTAL`, `equal:PER`, `ramp:MAX`, `random:TOTAL:SEED` | `paper` |
+//! | `stop` | `rounds:N`, `balanced:THRESHOLD:MAX`, `plateau:WINDOW:MAX` | `rounds:1000` |
+//! | `threads` | positive integer | `1` |
+//! | `flow_memory` | `rounded`, `scheduled` | `rounded` |
+//! | `hybrid` | `at:R`, `local_diff:T`, `max_minus_avg:T`, `never` | *unset* |
+
+use std::fmt;
+use std::str::FromStr;
+
+use sodiff_graph::{Graph, Speeds, TopologySpec};
+
+use crate::engine::{FlowMemory, RunReport, StopCondition};
+use crate::error::{BuildError, ParseError};
+use crate::experiment::Experiment;
+use crate::hybrid::SwitchPolicy;
+use crate::init::InitialLoad;
+use crate::rounding::RoundingSpec;
+use crate::scheme::Scheme;
+
+/// Node speeds as data (`speeds=` key).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SpeedsSpec {
+    /// The homogeneous model (`uniform`).
+    #[default]
+    Uniform,
+    /// The first `fast` nodes run at `speed`, the rest at 1
+    /// (`two_class:FAST:SPEED`).
+    TwoClass {
+        /// Number of fast nodes.
+        fast: usize,
+        /// Speed of the fast nodes.
+        speed: f64,
+    },
+    /// Linear ramp from 1 to `max` (`ramp:MAX`).
+    Ramp {
+        /// Speed of the last node.
+        max: f64,
+    },
+    /// Random skewed speeds `1 + (max−1)·U^exponent`
+    /// (`skewed:MAX:EXP:SEED`).
+    Skewed {
+        /// Maximum speed.
+        max: f64,
+        /// Skew exponent.
+        exponent: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl SpeedsSpec {
+    /// Materializes the speeds for an `n`-node graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidSpeeds`] for speeds below 1,
+    /// non-finite values, or a fast-node count above `n`.
+    pub fn build(&self, n: usize) -> Result<Speeds, BuildError> {
+        let invalid = |msg: String| Err(BuildError::InvalidSpeeds(msg));
+        match *self {
+            SpeedsSpec::Uniform => Ok(Speeds::uniform(n)),
+            SpeedsSpec::TwoClass { fast, speed } => {
+                if fast > n {
+                    return invalid(format!("{fast} fast nodes on a {n}-node graph"));
+                }
+                if !speed.is_finite() || speed < 1.0 {
+                    return invalid(format!("fast speed must be finite and >= 1, got {speed}"));
+                }
+                Ok(Speeds::two_class(n, fast, speed))
+            }
+            SpeedsSpec::Ramp { max } => {
+                if !max.is_finite() || max < 1.0 {
+                    return invalid(format!("ramp maximum must be finite and >= 1, got {max}"));
+                }
+                Ok(Speeds::linear_ramp(n, max))
+            }
+            SpeedsSpec::Skewed {
+                max,
+                exponent,
+                seed,
+            } => {
+                if !max.is_finite() || max < 1.0 {
+                    return invalid(format!("skewed maximum must be finite and >= 1, got {max}"));
+                }
+                if !exponent.is_finite() {
+                    return invalid(format!("skew exponent must be finite, got {exponent}"));
+                }
+                Ok(Speeds::random_skewed(n, max, exponent, seed))
+            }
+        }
+    }
+}
+
+impl fmt::Display for SpeedsSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpeedsSpec::Uniform => f.write_str("uniform"),
+            SpeedsSpec::TwoClass { fast, speed } => write!(f, "two_class:{fast}:{speed}"),
+            SpeedsSpec::Ramp { max } => write!(f, "ramp:{max}"),
+            SpeedsSpec::Skewed {
+                max,
+                exponent,
+                seed,
+            } => write!(f, "skewed:{max}:{exponent}:{seed}"),
+        }
+    }
+}
+
+impl FromStr for SpeedsSpec {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let bad = || {
+            ParseError::new(format!(
+                "invalid speeds '{s}' (expected uniform, two_class:FAST:SPEED, ramp:MAX, \
+                 or skewed:MAX:EXP:SEED)"
+            ))
+        };
+        match parts.as_slice() {
+            ["uniform"] => Ok(SpeedsSpec::Uniform),
+            ["two_class", fast, speed] => Ok(SpeedsSpec::TwoClass {
+                fast: fast.parse().map_err(|_| bad())?,
+                speed: speed.parse().map_err(|_| bad())?,
+            }),
+            ["ramp", max] => Ok(SpeedsSpec::Ramp {
+                max: max.parse().map_err(|_| bad())?,
+            }),
+            ["skewed", max, exponent, seed] => Ok(SpeedsSpec::Skewed {
+                max: max.parse().map_err(|_| bad())?,
+                exponent: exponent.parse().map_err(|_| bad())?,
+                seed: seed.parse().map_err(|_| bad())?,
+            }),
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// The diffusion scheme as data (`scheme=` key).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SchemeSpec {
+    /// First-order scheme (`fos`).
+    #[default]
+    Fos,
+    /// Second-order scheme with an explicit `β` (`sos:BETA`).
+    Sos {
+        /// Relaxation parameter.
+        beta: f64,
+    },
+    /// Second-order scheme with `β_opt` computed from the graph's
+    /// spectrum at build time (`sos_opt`).
+    SosOpt,
+}
+
+impl SchemeSpec {
+    /// Resolves the scheme against a concrete graph and speeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidBeta`] for explicit `β` outside
+    /// `(0, 2)` or when `sos_opt` is requested on a graph whose `λ` is
+    /// not in `[0, 1)` (disconnected or degenerate networks).
+    pub fn resolve(&self, graph: &Graph, speeds: &Speeds) -> Result<Scheme, BuildError> {
+        match *self {
+            SchemeSpec::Fos => Ok(Scheme::Fos),
+            SchemeSpec::Sos { beta } => {
+                if beta > 0.0 && beta < 2.0 {
+                    Ok(Scheme::Sos { beta })
+                } else {
+                    Err(BuildError::InvalidBeta(beta))
+                }
+            }
+            SchemeSpec::SosOpt => {
+                let lambda = sodiff_linalg::spectral::analyze(graph, speeds).lambda;
+                if !(0.0..1.0).contains(&lambda) {
+                    return Err(BuildError::InvalidBeta(lambda));
+                }
+                Ok(Scheme::Sos {
+                    beta: sodiff_linalg::spectral::beta_opt(lambda),
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeSpec::Fos => f.write_str("fos"),
+            SchemeSpec::Sos { beta } => write!(f, "sos:{beta}"),
+            SchemeSpec::SosOpt => f.write_str("sos_opt"),
+        }
+    }
+}
+
+impl FromStr for SchemeSpec {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fos" => Ok(SchemeSpec::Fos),
+            "sos_opt" => Ok(SchemeSpec::SosOpt),
+            _ => match s.split_once(':') {
+                Some(("sos", beta)) => beta
+                    .parse()
+                    .map(|beta| SchemeSpec::Sos { beta })
+                    .map_err(|_| ParseError::new(format!("invalid sos beta in '{s}'"))),
+                _ => Err(ParseError::new(format!(
+                    "unknown scheme '{s}' (expected fos, sos:BETA, or sos_opt)"
+                ))),
+            },
+        }
+    }
+}
+
+/// Continuous vs discrete execution as data (`mode=` key; the rounding
+/// kind rides in the separate `rounding=` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeSpec {
+    /// Idealized execution.
+    Continuous,
+    /// Discrete execution with the given rounding kind.
+    Discrete(RoundingSpec),
+}
+
+impl Default for ModeSpec {
+    fn default() -> Self {
+        ModeSpec::Discrete(RoundingSpec::default())
+    }
+}
+
+/// Initial token placement as data (`init=` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitSpec {
+    /// The paper's default: `1000·n` tokens on node 0 (`paper`).
+    #[default]
+    Paper,
+    /// All tokens on one node (`point:NODE:TOTAL`).
+    Point {
+        /// The loaded node.
+        node: u32,
+        /// Total tokens.
+        total: i64,
+    },
+    /// The same load on every node (`equal:PER`).
+    Equal {
+        /// Tokens per node.
+        per: i64,
+    },
+    /// Linear ramp from 0 to `max` (`ramp:MAX`).
+    Ramp {
+        /// Load of the last node.
+        max: i64,
+    },
+    /// Tokens dropped uniformly at random (`random:TOTAL:SEED`).
+    Random {
+        /// Total tokens.
+        total: i64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl InitSpec {
+    /// Resolves to a concrete [`InitialLoad`] for an `n`-node graph.
+    /// (Range validation happens when the experiment builds.)
+    pub fn resolve(&self, n: usize) -> InitialLoad {
+        match *self {
+            InitSpec::Paper => InitialLoad::paper_default(n),
+            InitSpec::Point { node, total } => InitialLoad::point(node, total),
+            InitSpec::Equal { per } => InitialLoad::EqualPerNode(per),
+            InitSpec::Ramp { max } => InitialLoad::Ramp { max_per_node: max },
+            InitSpec::Random { total, seed } => InitialLoad::UniformRandom { total, seed },
+        }
+    }
+}
+
+impl fmt::Display for InitSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InitSpec::Paper => f.write_str("paper"),
+            InitSpec::Point { node, total } => write!(f, "point:{node}:{total}"),
+            InitSpec::Equal { per } => write!(f, "equal:{per}"),
+            InitSpec::Ramp { max } => write!(f, "ramp:{max}"),
+            InitSpec::Random { total, seed } => write!(f, "random:{total}:{seed}"),
+        }
+    }
+}
+
+impl FromStr for InitSpec {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let bad = || {
+            ParseError::new(format!(
+                "invalid init '{s}' (expected paper, point:NODE:TOTAL, equal:PER, ramp:MAX, \
+                 or random:TOTAL:SEED)"
+            ))
+        };
+        match parts.as_slice() {
+            ["paper"] => Ok(InitSpec::Paper),
+            ["point", node, total] => Ok(InitSpec::Point {
+                node: node.parse().map_err(|_| bad())?,
+                total: total.parse().map_err(|_| bad())?,
+            }),
+            ["equal", per] => Ok(InitSpec::Equal {
+                per: per.parse().map_err(|_| bad())?,
+            }),
+            ["ramp", max] => Ok(InitSpec::Ramp {
+                max: max.parse().map_err(|_| bad())?,
+            }),
+            ["random", total, seed] => Ok(InitSpec::Random {
+                total: total.parse().map_err(|_| bad())?,
+                seed: seed.parse().map_err(|_| bad())?,
+            }),
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// Stop condition as data (`stop=` key).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopSpec {
+    /// Exactly `N` rounds (`rounds:N`).
+    Rounds(usize),
+    /// Until `max − avg ≤ threshold`, capped (`balanced:THRESHOLD:MAX`).
+    Balanced {
+        /// Target `max − avg` in tokens.
+        threshold: f64,
+        /// Hard round cap.
+        max_rounds: usize,
+    },
+    /// Until the imbalance plateaus, capped (`plateau:WINDOW:MAX`).
+    Plateau {
+        /// Plateau detection window.
+        window: usize,
+        /// Hard round cap.
+        max_rounds: usize,
+    },
+}
+
+impl Default for StopSpec {
+    fn default() -> Self {
+        StopSpec::Rounds(1000)
+    }
+}
+
+impl StopSpec {
+    /// Converts to the engine's [`StopCondition`].
+    pub fn to_condition(self) -> StopCondition {
+        match self {
+            StopSpec::Rounds(r) => StopCondition::MaxRounds(r),
+            StopSpec::Balanced {
+                threshold,
+                max_rounds,
+            } => StopCondition::BalancedWithin {
+                threshold,
+                max_rounds,
+            },
+            StopSpec::Plateau { window, max_rounds } => {
+                StopCondition::Plateau { window, max_rounds }
+            }
+        }
+    }
+}
+
+impl fmt::Display for StopSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopSpec::Rounds(r) => write!(f, "rounds:{r}"),
+            StopSpec::Balanced {
+                threshold,
+                max_rounds,
+            } => write!(f, "balanced:{threshold}:{max_rounds}"),
+            StopSpec::Plateau { window, max_rounds } => {
+                write!(f, "plateau:{window}:{max_rounds}")
+            }
+        }
+    }
+}
+
+impl FromStr for StopSpec {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let bad = || {
+            ParseError::new(format!(
+                "invalid stop condition '{s}' (expected rounds:N, balanced:THRESHOLD:MAX, \
+                 or plateau:WINDOW:MAX)"
+            ))
+        };
+        match parts.as_slice() {
+            ["rounds", r] => Ok(StopSpec::Rounds(r.parse().map_err(|_| bad())?)),
+            ["balanced", threshold, max] => Ok(StopSpec::Balanced {
+                threshold: threshold.parse().map_err(|_| bad())?,
+                max_rounds: max.parse().map_err(|_| bad())?,
+            }),
+            ["plateau", window, max] => Ok(StopSpec::Plateau {
+                window: window.parse().map_err(|_| bad())?,
+                max_rounds: max.parse().map_err(|_| bad())?,
+            }),
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// One experiment described entirely as data; see the module docs above
+/// for the text format.
+///
+/// # Example
+///
+/// ```
+/// use sodiff_core::ScenarioSpec;
+///
+/// let spec: ScenarioSpec =
+///     "topology=torus2d:8:8 scheme=sos:1.9 mode=discrete rounding=randomized \
+///      seed=7 stop=rounds:200"
+///         .parse()
+///         .unwrap();
+/// let report = spec.run().unwrap();
+/// assert_eq!(report.rounds, 200);
+/// // Display round-trips exactly:
+/// let again: ScenarioSpec = spec.to_string().parse().unwrap();
+/// assert_eq!(again, spec);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name used in reports. Serialized as one `key=value`
+    /// token: whitespace and `=` are replaced with `_` by `Display`, so
+    /// the printed form always re-parses.
+    pub name: String,
+    /// Network topology.
+    pub topology: TopologySpec,
+    /// Node speeds.
+    pub speeds: SpeedsSpec,
+    /// Diffusion scheme.
+    pub scheme: SchemeSpec,
+    /// Continuous or discrete execution (with rounding kind).
+    pub mode: ModeSpec,
+    /// RNG seed for randomized rounding kinds.
+    pub seed: Option<u64>,
+    /// Initial token placement.
+    pub init: InitSpec,
+    /// Stop condition.
+    pub stop: StopSpec,
+    /// Worker threads (a batch [`crate::Driver`] overrides this with its
+    /// own pool size; results are thread-count independent).
+    pub threads: usize,
+    /// SOS flow-memory source.
+    pub flow_memory: FlowMemory,
+    /// Optional SOS→FOS hybrid switch.
+    pub hybrid: Option<SwitchPolicy>,
+}
+
+impl ScenarioSpec {
+    /// A scenario on `topology` with every other key at its default.
+    pub fn new(topology: TopologySpec) -> Self {
+        Self {
+            name: "scenario".to_string(),
+            topology,
+            speeds: SpeedsSpec::default(),
+            scheme: SchemeSpec::default(),
+            mode: ModeSpec::default(),
+            seed: None,
+            init: InitSpec::default(),
+            stop: StopSpec::default(),
+            threads: 1,
+            flow_memory: FlowMemory::default(),
+            hybrid: None,
+        }
+    }
+
+    /// Builds the scenario's graph instance.
+    ///
+    /// # Errors
+    ///
+    /// Wraps generator failures as [`BuildError::Graph`].
+    pub fn build_graph(&self) -> Result<Graph, BuildError> {
+        Ok(self.topology.build()?)
+    }
+
+    /// Assembles the experiment on an already-built graph (so callers can
+    /// reuse one graph across many scenarios).
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`BuildError`] of the underlying
+    /// [`crate::ExperimentBuilder`], plus speed/scheme resolution errors.
+    pub fn experiment_on<'g>(&self, graph: &'g Graph) -> Result<Experiment<'g>, BuildError> {
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(BuildError::EmptyGraph);
+        }
+        let speeds = self.speeds.build(n)?;
+        let scheme = self.scheme.resolve(graph, &speeds)?;
+        let builder = Experiment::on(graph);
+        let mut builder = match self.mode {
+            ModeSpec::Continuous => builder.continuous(),
+            ModeSpec::Discrete(spec) => builder.discrete_spec(spec),
+        };
+        builder = builder
+            .scheme(scheme)
+            .flow_memory(self.flow_memory)
+            .threads(self.threads)
+            .init(self.init.resolve(n))
+            .stop(self.stop.to_condition());
+        if !matches!(self.speeds, SpeedsSpec::Uniform) {
+            builder = builder.speeds(speeds);
+        }
+        if let Some(seed) = self.seed {
+            builder = builder.seed(seed);
+        }
+        if let Some(policy) = self.hybrid {
+            builder = builder.hybrid(policy);
+        }
+        builder.build()
+    }
+
+    /// Builds the graph and runs the scenario to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and experiment build errors.
+    pub fn run(&self) -> Result<RunReport, BuildError> {
+        let graph = self.build_graph()?;
+        Ok(self.experiment_on(&graph)?.run())
+    }
+
+    /// Parses a scenario file: one spec per line, `#` comments and blank
+    /// lines ignored.
+    ///
+    /// # Errors
+    ///
+    /// The returned [`ParseError`] carries the 1-based line number of the
+    /// offending line.
+    pub fn parse_many(text: &str) -> Result<Vec<ScenarioSpec>, ParseError> {
+        let mut specs = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let spec: ScenarioSpec = line.parse().map_err(|e: ParseError| e.at_line(idx + 1))?;
+            specs.push(spec);
+        }
+        Ok(specs)
+    }
+}
+
+/// Keeps `name=` a single parseable token: whitespace and `=` would
+/// shear the `key=value` tokenization (or smuggle extra keys), so they
+/// are replaced with `_`.
+fn sanitize_name(name: &str) -> std::borrow::Cow<'_, str> {
+    let breaks_token = |c: char| c.is_whitespace() || c == '=';
+    if name.contains(breaks_token) {
+        std::borrow::Cow::Owned(name.replace(breaks_token, "_"))
+    } else {
+        std::borrow::Cow::Borrowed(name)
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "name={} topology={}",
+            sanitize_name(&self.name),
+            self.topology
+        )?;
+        write!(f, " speeds={} scheme={}", self.speeds, self.scheme)?;
+        match self.mode {
+            ModeSpec::Continuous => write!(f, " mode=continuous")?,
+            ModeSpec::Discrete(rounding) => write!(f, " mode=discrete rounding={rounding}")?,
+        }
+        if let Some(seed) = self.seed {
+            write!(f, " seed={seed}")?;
+        }
+        write!(f, " init={} stop={}", self.init, self.stop)?;
+        write!(f, " threads={}", self.threads)?;
+        let memory = match self.flow_memory {
+            FlowMemory::Rounded => "rounded",
+            FlowMemory::Scheduled => "scheduled",
+        };
+        write!(f, " flow_memory={memory}")?;
+        if let Some(policy) = self.hybrid {
+            write!(f, " hybrid={policy}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ScenarioSpec {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut name = None;
+        let mut topology = None;
+        let mut speeds = None;
+        let mut scheme = None;
+        let mut mode = None;
+        let mut rounding = None;
+        let mut seed = None;
+        let mut init = None;
+        let mut stop = None;
+        let mut threads = None;
+        let mut flow_memory = None;
+        let mut hybrid = None;
+        for token in s.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| ParseError::new(format!("expected key=value, got '{token}'")))?;
+            let duplicate = |set: bool| {
+                if set {
+                    Err(ParseError::new(format!("duplicate key '{key}'")))
+                } else {
+                    Ok(())
+                }
+            };
+            match key {
+                "name" => {
+                    duplicate(name.is_some())?;
+                    name = Some(value.to_string());
+                }
+                "topology" => {
+                    duplicate(topology.is_some())?;
+                    topology = Some(value.parse::<TopologySpec>().map_err(|e| {
+                        ParseError::new(format!("invalid topology '{value}': {e}"))
+                    })?);
+                }
+                "speeds" => {
+                    duplicate(speeds.is_some())?;
+                    speeds = Some(value.parse::<SpeedsSpec>()?);
+                }
+                "scheme" => {
+                    duplicate(scheme.is_some())?;
+                    scheme = Some(value.parse::<SchemeSpec>()?);
+                }
+                "mode" => {
+                    duplicate(mode.is_some())?;
+                    mode = Some(match value {
+                        "continuous" => false,
+                        "discrete" => true,
+                        other => {
+                            return Err(ParseError::new(format!(
+                                "unknown mode '{other}' (expected continuous or discrete)"
+                            )))
+                        }
+                    });
+                }
+                "rounding" => {
+                    duplicate(rounding.is_some())?;
+                    rounding = Some(value.parse::<RoundingSpec>()?);
+                }
+                "seed" => {
+                    duplicate(seed.is_some())?;
+                    seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| ParseError::new(format!("invalid seed '{value}'")))?,
+                    );
+                }
+                "init" => {
+                    duplicate(init.is_some())?;
+                    init = Some(value.parse::<InitSpec>()?);
+                }
+                "stop" => {
+                    duplicate(stop.is_some())?;
+                    stop = Some(value.parse::<StopSpec>()?);
+                }
+                "threads" => {
+                    duplicate(threads.is_some())?;
+                    threads =
+                        Some(value.parse::<usize>().map_err(|_| {
+                            ParseError::new(format!("invalid thread count '{value}'"))
+                        })?);
+                }
+                "flow_memory" => {
+                    duplicate(flow_memory.is_some())?;
+                    flow_memory = Some(match value {
+                        "rounded" => FlowMemory::Rounded,
+                        "scheduled" => FlowMemory::Scheduled,
+                        other => {
+                            return Err(ParseError::new(format!(
+                                "unknown flow memory '{other}' (expected rounded or scheduled)"
+                            )))
+                        }
+                    });
+                }
+                "hybrid" => {
+                    duplicate(hybrid.is_some())?;
+                    hybrid = Some(value.parse::<SwitchPolicy>()?);
+                }
+                other => {
+                    return Err(ParseError::new(format!("unknown key '{other}'")));
+                }
+            }
+        }
+        let topology =
+            topology.ok_or_else(|| ParseError::new("missing required key 'topology'"))?;
+        let mode = match (mode, rounding) {
+            (Some(false), None) => ModeSpec::Continuous,
+            (Some(false), Some(_)) => {
+                return Err(ParseError::new(
+                    "rounding= is only valid with mode=discrete",
+                ))
+            }
+            (Some(true) | None, rounding) => ModeSpec::Discrete(rounding.unwrap_or_default()),
+        };
+        Ok(ScenarioSpec {
+            name: name.unwrap_or_else(|| "scenario".to_string()),
+            topology,
+            speeds: speeds.unwrap_or_default(),
+            scheme: scheme.unwrap_or_default(),
+            mode,
+            seed,
+            init: init.unwrap_or_default(),
+            stop: stop.unwrap_or_default(),
+            threads: threads.unwrap_or(1),
+            flow_memory: flow_memory.unwrap_or_default(),
+            hybrid,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_with_defaults() {
+        let spec: ScenarioSpec = "topology=cycle:8".parse().unwrap();
+        assert_eq!(spec.name, "scenario");
+        assert_eq!(spec.topology, TopologySpec::Cycle { n: 8 });
+        assert_eq!(spec.mode, ModeSpec::Discrete(RoundingSpec::Randomized));
+        assert_eq!(spec.stop, StopSpec::Rounds(1000));
+        assert_eq!(spec.threads, 1);
+    }
+
+    #[test]
+    fn display_roundtrip_full() {
+        let spec: ScenarioSpec = "name=hetero topology=torus2d:6:6 speeds=two_class:9:4 \
+             scheme=sos:1.75 mode=discrete rounding=unbiased seed=3 init=point:0:36000 \
+             stop=plateau:40:5000 threads=2 flow_memory=scheduled hybrid=local_diff:12.5"
+            .parse()
+            .unwrap();
+        let text = spec.to_string();
+        let again: ScenarioSpec = text.parse().unwrap();
+        assert_eq!(again, spec);
+        assert_eq!(again.to_string(), text);
+    }
+
+    #[test]
+    fn parse_errors_carry_context() {
+        for (text, needle) in [
+            ("topology=cycle:8 bogus=1", "unknown key"),
+            ("topology=cycle:8 topology=cycle:9", "duplicate key"),
+            ("scheme=fos", "missing required key 'topology'"),
+            ("topology=wat:3", "invalid topology"),
+            (
+                "topology=cycle:8 mode=continuous rounding=nearest",
+                "only valid with mode=discrete",
+            ),
+            ("topology=cycle:8 stop=sometimes", "invalid stop condition"),
+            ("topology=cycle:8 hybrid=at", "unknown hybrid policy"),
+        ] {
+            let err = text.parse::<ScenarioSpec>().unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "'{text}' -> '{}' (wanted '{needle}')",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn parse_many_skips_comments_and_numbers_lines() {
+        let text = "# scenario file\n\nname=a topology=cycle:8\n   \nname=b topology=star:5\n";
+        let specs = ScenarioSpec::parse_many(text).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "a");
+        assert_eq!(specs[1].name, "b");
+        let err = ScenarioSpec::parse_many("topology=cycle:8\nnope\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn display_sanitizes_hostile_names() {
+        let mut spec = ScenarioSpec::new(TopologySpec::Cycle { n: 8 });
+        spec.name = "fig 1 topology=star:3".into();
+        let text = spec.to_string();
+        let reparsed: ScenarioSpec = text.parse().unwrap();
+        assert_eq!(reparsed.name, "fig_1_topology_star:3");
+        assert_eq!(reparsed.topology, TopologySpec::Cycle { n: 8 });
+    }
+
+    #[test]
+    fn missing_seed_surfaces_at_build_not_parse() {
+        let spec: ScenarioSpec = "topology=cycle:8 mode=discrete rounding=randomized"
+            .parse()
+            .unwrap();
+        let g = spec.build_graph().unwrap();
+        let err = spec.experiment_on(&g).unwrap_err();
+        assert!(matches!(err, BuildError::MissingSeed(_)));
+    }
+
+    #[test]
+    fn sos_opt_resolves_beta_from_spectrum() {
+        let spec: ScenarioSpec = "topology=torus2d:8:8 scheme=sos_opt mode=continuous"
+            .parse()
+            .unwrap();
+        let g = spec.build_graph().unwrap();
+        let exp = spec.experiment_on(&g).unwrap();
+        let expected = sodiff_linalg::spectral::analyze(&g, &Speeds::uniform(64)).beta_opt();
+        assert_eq!(exp.scheme(), Scheme::Sos { beta: expected });
+    }
+
+    #[test]
+    fn scenario_run_executes() {
+        let spec: ScenarioSpec =
+            "topology=complete:16 mode=discrete rounding=nearest init=point:0:1600 stop=rounds:20"
+                .parse()
+                .unwrap();
+        let report = spec.run().unwrap();
+        assert_eq!(report.rounds, 20);
+        assert!(report.final_metrics.max_minus_avg <= 2.0);
+    }
+}

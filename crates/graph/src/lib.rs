@@ -13,7 +13,10 @@
 //!   [`generators::random_geometric`]) plus classic topologies
 //!   (cycle, path, grid, complete, star, Erdős–Rényi),
 //! * traversal utilities: BFS, connected components, diameter, and a
-//!   union-find used to patch random geometric graphs into one component.
+//!   union-find used to patch random geometric graphs into one component,
+//! * a declarative, serializable [`TopologySpec`] (`"torus2d:16:16"` …)
+//!   that builds any of the generators fallibly — the topology half of the
+//!   workspace's scenario files.
 //!
 //! Node identifiers are dense `u32` indices (`0..n`), which keeps the
 //! million-node paper-scale graphs comfortably in memory.
@@ -38,6 +41,7 @@ mod csr;
 mod error;
 pub mod generators;
 mod speeds;
+mod topology;
 pub mod traversal;
 mod unionfind;
 
@@ -45,4 +49,5 @@ pub use builder::GraphBuilder;
 pub use csr::{EdgeId, Graph, GraphKind, NodeId};
 pub use error::GraphError;
 pub use speeds::Speeds;
+pub use topology::TopologySpec;
 pub use unionfind::UnionFind;

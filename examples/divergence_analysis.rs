@@ -11,7 +11,6 @@
 //! (SOS), and compares the resulting envelope against the deviation
 //! actually measured in coupled runs.
 
-use sodiff::core::deviation::coupled_run;
 use sodiff::core::divergence::{contribution, refined_local_divergence_at, DivergenceOptions};
 use sodiff::core::prelude::*;
 use sodiff::graph::generators;
@@ -48,18 +47,18 @@ fn main() {
     let envelope_fos = ups_fos * (4.0 * (n as f64).ln()).sqrt();
     let envelope_sos = ups_sos * (4.0 * (n as f64).ln()).sqrt();
     let rounds = 40 * side;
-    let dev_fos = coupled_run(
-        &g,
-        SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(7)),
-        InitialLoad::paper_default(n),
-        rounds,
-    );
-    let dev_sos = coupled_run(
-        &g,
-        SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(7)),
-        InitialLoad::paper_default(n),
-        rounds,
-    );
+    let deviation_of = |scheme: Scheme| {
+        Experiment::on(&g)
+            .discrete(Rounding::randomized(7))
+            .scheme(scheme)
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .expect("valid experiment")
+            .coupled_deviation(rounds)
+            .expect("discrete experiment")
+    };
+    let dev_fos = deviation_of(Scheme::fos());
+    let dev_sos = deviation_of(Scheme::sos(beta));
     println!("measured max deviation over {rounds} rounds:");
     println!(
         "  FOS: {:.2}  (Theorem 3 envelope {envelope_fos:.2})",

@@ -33,10 +33,14 @@ fn main() {
     );
 
     let total: i64 = 100 * (speeds.total() as i64); // average 100 per unit speed
-    let init = InitialLoad::point(200, total); // dumped on one slow node
-    let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(7))
-        .with_speeds(speeds.clone());
-    let mut sim = Simulator::new(&graph, config, init);
+    let mut sim = Experiment::on(&graph)
+        .discrete(Rounding::randomized(7))
+        .sos(beta)
+        .speeds(speeds.clone())
+        .init(InitialLoad::point(200, total)) // dumped on one slow node
+        .build()
+        .expect("valid experiment")
+        .simulator();
     let report = sim.run_until(StopCondition::Plateau {
         window: 40,
         max_rounds: 5_000,

@@ -20,11 +20,15 @@ fn run(
     policy: SwitchPolicy,
     rounds: u64,
 ) -> (f64, f64, Option<u64>) {
-    let n = graph.node_count();
-    let config = SimulationConfig::discrete(scheme, Rounding::randomized(99));
-    let mut sim = Simulator::new(graph, config, InitialLoad::paper_default(n));
-    let report = run_hybrid_quiet(&mut sim, policy, rounds);
-    let m = sim.metrics();
+    let report = Experiment::on(graph)
+        .discrete(Rounding::randomized(99))
+        .scheme(scheme)
+        .hybrid(policy)
+        .stop(StopCondition::MaxRounds(rounds as usize))
+        .build()
+        .expect("valid experiment")
+        .run();
+    let m = report.final_metrics;
     (m.max_minus_avg, m.max_local_diff, report.switch_round)
 }
 

@@ -47,18 +47,22 @@ fn main() {
         loads[0] += spike;
         let init = InitialLoad::Custom(loads);
 
-        let mut continuous = Simulator::new(
-            &graph,
-            SimulationConfig::continuous(Scheme::sos(beta)),
-            init.clone(),
-        );
+        let mut continuous = Experiment::on(&graph)
+            .continuous()
+            .sos(beta)
+            .init(init.clone())
+            .build()
+            .expect("valid experiment")
+            .simulator();
         continuous.run_until(StopCondition::MaxRounds(2_000));
 
-        let mut discrete = Simulator::new(
-            &graph,
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(3)),
-            init,
-        );
+        let mut discrete = Experiment::on(&graph)
+            .discrete(Rounding::randomized(3))
+            .sos(beta)
+            .init(init)
+            .build()
+            .expect("valid experiment")
+            .simulator();
         discrete.run_until(StopCondition::MaxRounds(2_000));
 
         println!(

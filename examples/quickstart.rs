@@ -38,8 +38,13 @@ fn main() {
         "scheme", "round", "max - avg", "max local diff", "potential/n"
     );
     for (name, scheme) in schemes {
-        let config = SimulationConfig::discrete(scheme, Rounding::randomized(42));
-        let mut sim = Simulator::new(&graph, config, init.clone());
+        let mut sim = Experiment::on(&graph)
+            .discrete(Rounding::randomized(42))
+            .scheme(scheme)
+            .init(init.clone())
+            .build()
+            .expect("valid experiment")
+            .simulator();
         for checkpoint in [50u64, 200, 500, 1000, 2000, 4000] {
             while sim.round() < checkpoint {
                 sim.step();

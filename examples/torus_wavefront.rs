@@ -35,8 +35,13 @@ fn main() {
     let beta = spectrum.beta_opt();
     println!("torus {side}x{side}, beta_opt = {beta:.6}");
 
-    let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(1));
-    let mut sim = Simulator::new(&graph, config, InitialLoad::paper_default(n));
+    let mut sim = Experiment::on(&graph)
+        .discrete(Rounding::randomized(1))
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .expect("valid experiment")
+        .simulator();
 
     // Paper checkpoints (Figure 10 uses 500/1000/1200/1400 on the
     // 1000-side torus); scale them with the torus side.
@@ -67,10 +72,9 @@ fn main() {
 
     // Figure 11 style: absolute shading with a 10-token threshold after
     // the hybrid switch.
-    run_hybrid_quiet(
-        &mut sim,
+    sim.run_hybrid(
         SwitchPolicy::MaxLocalDiffBelow(20.0),
-        (2 * side) as u64,
+        StopCondition::MaxRounds(2 * side),
     );
     let loads = loads_to_f64(&sim);
     let img = render_torus(side, side, &loads, Shading::Absolute { threshold: 10.0 });

@@ -12,11 +12,13 @@ fn run_loads(seed: u64, rounds: usize) -> Vec<i64> {
     let g = generators::torus2d(12, 12);
     let n = g.node_count();
     let beta = spectral::analyze(&g, &Speeds::uniform(n)).beta_opt();
-    let mut sim = Simulator::new(
-        &g,
-        SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(seed)),
-        InitialLoad::paper_default(n),
-    );
+    let mut sim = Experiment::on(&g)
+        .discrete(Rounding::randomized(seed))
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap()
+        .simulator();
     sim.run_until(StopCondition::MaxRounds(rounds));
     sim.loads_i64().unwrap().to_vec()
 }
@@ -34,13 +36,12 @@ fn different_seed_different_trajectory() {
 #[test]
 fn stepwise_equals_batch() {
     let g = generators::cycle(30);
-    let make = || {
-        Simulator::new(
-            &g,
-            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(5)),
-            InitialLoad::point(0, 3000),
-        )
-    };
+    let exp = Experiment::on(&g)
+        .discrete(Rounding::randomized(5))
+        .init(InitialLoad::point(0, 3000))
+        .build()
+        .unwrap();
+    let make = || exp.simulator();
     let mut batch = make();
     batch.run_until(StopCondition::MaxRounds(100));
     let mut stepwise = make();
@@ -55,11 +56,12 @@ fn deterministic_roundings_are_seed_independent() {
     let g = generators::torus2d(8, 8);
     let n = g.node_count();
     let run = |rounding: Rounding| {
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::discrete(Scheme::fos(), rounding),
-            InitialLoad::paper_default(n),
-        );
+        let mut sim = Experiment::on(&g)
+            .discrete(rounding)
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .unwrap()
+            .simulator();
         sim.run_until(StopCondition::MaxRounds(200));
         sim.loads_i64().unwrap().to_vec()
     };
@@ -78,14 +80,20 @@ fn run_fingerprint(
     threads: usize,
     rounds: usize,
 ) -> (Vec<i64>, Vec<u64>, u64, Vec<u64>) {
-    let config = if mode_discrete {
-        SimulationConfig::discrete(scheme, rounding)
-    } else {
-        SimulationConfig::continuous(scheme)
-    }
-    .with_threads(threads);
     let n = graph.node_count();
-    let mut sim = Simulator::new(graph, config, InitialLoad::paper_default(n));
+    let builder = Experiment::on(graph);
+    let builder = if mode_discrete {
+        builder.discrete(rounding)
+    } else {
+        builder.continuous()
+    };
+    let mut sim = builder
+        .scheme(scheme)
+        .threads(threads)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap()
+        .simulator();
     sim.run_until(StopCondition::MaxRounds(rounds));
     let loads_i = sim.loads_i64().map(<[i64]>::to_vec).unwrap_or_default();
     let loads_f = sim
@@ -173,13 +181,12 @@ proptest! {
 fn observer_does_not_perturb_run() {
     let g = generators::torus2d(8, 8);
     let n = g.node_count();
-    let make = || {
-        Simulator::new(
-            &g,
-            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(9)),
-            InitialLoad::paper_default(n),
-        )
-    };
+    let exp = Experiment::on(&g)
+        .discrete(Rounding::randomized(9))
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap();
+    let make = || exp.simulator();
     let mut plain = make();
     plain.run_until(StopCondition::MaxRounds(50));
     let mut observed = make();

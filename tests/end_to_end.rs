@@ -7,8 +7,13 @@ use sodiff::linalg::spectral;
 
 fn balance(graph: &Graph, scheme: Scheme, rounding: Rounding, rounds: usize) -> (f64, f64) {
     let n = graph.node_count();
-    let config = SimulationConfig::discrete(scheme, rounding);
-    let mut sim = Simulator::new(graph, config, InitialLoad::paper_default(n));
+    let mut sim = Experiment::on(graph)
+        .discrete(rounding)
+        .scheme(scheme)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap()
+        .simulator();
     sim.run_until(StopCondition::MaxRounds(rounds));
     assert_eq!(
         sim.total_load(),
@@ -95,16 +100,18 @@ fn sos_much_faster_than_fos_on_torus() {
     let g = generators::torus2d(24, 24);
     let beta = beta_for(&g);
     let rounds_to = |scheme: Scheme| -> u64 {
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::discrete(scheme, Rounding::randomized(11)),
-            InitialLoad::paper_default(576),
-        );
-        sim.run_until(StopCondition::BalancedWithin {
-            threshold: 30.0,
-            max_rounds: 50_000,
-        })
-        .rounds
+        Experiment::on(&g)
+            .discrete(Rounding::randomized(11))
+            .scheme(scheme)
+            .init(InitialLoad::paper_default(576))
+            .stop(StopCondition::BalancedWithin {
+                threshold: 30.0,
+                max_rounds: 50_000,
+            })
+            .build()
+            .unwrap()
+            .run()
+            .rounds
     };
     let sos = rounds_to(Scheme::sos(beta));
     let fos = rounds_to(Scheme::fos());
@@ -121,16 +128,20 @@ fn idealized_and_discrete_agree_on_shape() {
     let g = generators::torus2d(20, 20);
     let beta = beta_for(&g);
     let n = g.node_count();
-    let mut disc = Simulator::new(
-        &g,
-        SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(12)),
-        InitialLoad::paper_default(n),
-    );
-    let mut cont = Simulator::new(
-        &g,
-        SimulationConfig::continuous(Scheme::sos(beta)),
-        InitialLoad::paper_default(n),
-    );
+    let mut disc = Experiment::on(&g)
+        .discrete(Rounding::randomized(12))
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap()
+        .simulator();
+    let mut cont = Experiment::on(&g)
+        .continuous()
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap()
+        .simulator();
     // During the decay phase the two trajectories agree to within a few
     // percent; after convergence the discrete run keeps a small constant
     // residual (the paper's "remaining imbalance") while the idealized one
@@ -166,11 +177,13 @@ fn continuous_total_load_error_is_tiny() {
     let g = generators::torus2d(20, 20);
     let beta = beta_for(&g);
     let n = g.node_count();
-    let mut sim = Simulator::new(
-        &g,
-        SimulationConfig::continuous(Scheme::sos(beta)),
-        InitialLoad::paper_default(n),
-    );
+    let mut sim = Experiment::on(&g)
+        .continuous()
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap()
+        .simulator();
     sim.run_until(StopCondition::MaxRounds(2000));
     let drift = (sim.total_load() - sim.initial_total()).abs();
     assert!(drift < 1e-4, "float drift {drift}");

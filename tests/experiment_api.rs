@@ -1,0 +1,200 @@
+//! Workspace-level tests of the unified experiment API: every invalid
+//! configuration path returns the right `BuildError` variant instead of
+//! panicking, scenario files through the batch `Driver` are bit-identical
+//! to hand-built simulators, and the deprecated shims still behave.
+
+use sodiff::graph::{generators, GraphBuilder};
+use sodiff::linalg::spectral;
+use sodiff::prelude::*;
+use sodiff::{BuildError, Driver};
+
+#[test]
+fn invalid_beta_returns_build_error() {
+    let g = generators::torus2d(4, 4);
+    for beta in [-0.5, 0.0, 2.0, 2.5] {
+        let err = Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .sos(beta)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::InvalidBeta(beta));
+    }
+    // The boundary of the open interval (0, 2) is valid just inside.
+    assert!(Experiment::on(&g)
+        .discrete(Rounding::nearest())
+        .sos(1.999_999)
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn speeds_length_mismatch_returns_build_error() {
+    let g = generators::torus2d(4, 4);
+    let err = Experiment::on(&g)
+        .continuous()
+        .speeds(Speeds::uniform(15))
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        BuildError::SpeedsLengthMismatch {
+            expected: 16,
+            got: 15
+        }
+    );
+}
+
+#[test]
+fn empty_graph_returns_build_error() {
+    let g = GraphBuilder::new(0).build();
+    let err = Experiment::on(&g)
+        .discrete(Rounding::round_down())
+        .build()
+        .unwrap_err();
+    assert_eq!(err, BuildError::EmptyGraph);
+}
+
+#[test]
+fn randomized_rounding_without_seed_returns_build_error() {
+    let g = generators::cycle(8);
+    for spec in [RoundingSpec::Randomized, RoundingSpec::UnbiasedEdge] {
+        let err = Experiment::on(&g).discrete_spec(spec).build().unwrap_err();
+        assert!(
+            matches!(err, BuildError::MissingSeed(_)),
+            "{spec:?}: {err:?}"
+        );
+    }
+    // The error names the missing piece for the user.
+    let err = Experiment::on(&g)
+        .discrete_spec(RoundingSpec::Randomized)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("seed"), "{err}");
+}
+
+#[test]
+fn scenario_error_paths_return_build_errors() {
+    // Through the text surface too: a whole matrix of invalid scenarios,
+    // each mapping to its typed variant, none panicking.
+    type Check = fn(&BuildError) -> bool;
+    let cases: [(&str, Check); 4] = [
+        ("topology=cycle:8 scheme=sos:2.4 seed=1", |e| {
+            matches!(e, BuildError::InvalidBeta(_))
+        }),
+        ("topology=cycle:8 rounding=randomized", |e| {
+            matches!(e, BuildError::MissingSeed(_))
+        }),
+        ("topology=cycle:8 seed=1 threads=0", |e| {
+            matches!(e, BuildError::ZeroThreads)
+        }),
+        ("topology=cycle:8 seed=1 init=point:99:100", |e| {
+            matches!(e, BuildError::InvalidInitialLoad(_))
+        }),
+    ];
+    for (text, check) in cases {
+        let spec: ScenarioSpec = text.parse().unwrap();
+        let err = spec.run().unwrap_err();
+        assert!(check(&err), "'{text}' -> {err:?}");
+    }
+    // Bad topology parameters surface as wrapped graph errors.
+    let spec: ScenarioSpec = "topology=random_regular:5:3:1 seed=1".parse().unwrap();
+    assert!(matches!(spec.run().unwrap_err(), BuildError::Graph(_)));
+}
+
+/// Acceptance criterion: a scenario text file fed to the `Driver`
+/// reproduces the same `RunReport` (bit-identical metrics) as the
+/// equivalent hand-built `Simulator`.
+#[test]
+fn driver_reproduces_hand_built_simulator_bit_identically() {
+    let text = "name=matrix topology=torus2d:12:12 scheme=sos_opt mode=discrete \
+                rounding=randomized seed=77 init=paper stop=rounds:250 \
+                hybrid=local_diff:25";
+    let specs = ScenarioSpec::parse_many(text).unwrap();
+
+    // Hand-built equivalent of the scenario line above.
+    let g = generators::torus2d(12, 12);
+    let n = g.node_count();
+    let beta = spectral::analyze(&g, &Speeds::uniform(n)).beta_opt();
+    let mut sim = Experiment::on(&g)
+        .discrete(Rounding::randomized(77))
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap()
+        .simulator();
+    let hand_built = sim.run_hybrid(
+        SwitchPolicy::MaxLocalDiffBelow(25.0),
+        StopCondition::MaxRounds(250),
+    );
+
+    // Sequential driver and pooled driver must both reproduce it exactly.
+    for threads in [1usize, 3] {
+        let batch = Driver::with_threads(threads)
+            .unwrap()
+            .run_batch(&specs)
+            .unwrap();
+        assert_eq!(batch.scenarios.len(), 1);
+        let driven = &batch.scenarios[0].report;
+        assert_eq!(
+            driven, &hand_built,
+            "{threads}-thread driver diverged from the hand-built run"
+        );
+    }
+}
+
+/// The driver reuses one pool across a mixed batch; results still match
+/// independently built simulators, scenario by scenario.
+#[test]
+fn mixed_batch_over_one_pool_matches_standalone_runs() {
+    let text = "name=a topology=cycle:40 scheme=sos:1.5 seed=3 stop=rounds:120\n\
+                name=b topology=hypercube:6 scheme=fos rounding=unbiased seed=9 stop=rounds:60\n\
+                name=c topology=torus2d:7:9 mode=continuous scheme=sos:1.8 stop=rounds:90\n\
+                name=d topology=star:17 rounding=nearest init=point:0:1700 stop=rounds:30\n";
+    let specs = ScenarioSpec::parse_many(text).unwrap();
+    let pooled = Driver::with_threads(4).unwrap().run_batch(&specs).unwrap();
+    for (spec, scenario) in specs.iter().zip(&pooled.scenarios) {
+        let standalone = spec.run().unwrap();
+        assert_eq!(scenario.report, standalone, "{}", spec.name);
+    }
+    assert_eq!(pooled.total_rounds, 120 + 60 + 90 + 30);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_new_api() {
+    let g = generators::torus2d(8, 8);
+    let n = g.node_count();
+
+    // Old constructor pair vs builder: identical trajectories.
+    let config = SimulationConfig::discrete(Scheme::sos(1.9), Rounding::randomized(5));
+    let mut old_sim = Simulator::new(&g, config, InitialLoad::paper_default(n));
+    old_sim.run_until(StopCondition::MaxRounds(100));
+    let mut new_sim = Experiment::on(&g)
+        .discrete(Rounding::randomized(5))
+        .sos(1.9)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap()
+        .simulator();
+    new_sim.run_until(StopCondition::MaxRounds(100));
+    assert_eq!(old_sim.loads_i64().unwrap(), new_sim.loads_i64().unwrap());
+
+    // Old hybrid free functions vs the builder's hybrid policy.
+    let mut old_hybrid = Simulator::new(
+        &g,
+        SimulationConfig::discrete(Scheme::sos(1.9), Rounding::randomized(5)),
+        InitialLoad::paper_default(n),
+    );
+    let old_report = run_hybrid_quiet(&mut old_hybrid, SwitchPolicy::AtRound(30), 100);
+    let new_report = Experiment::on(&g)
+        .discrete(Rounding::randomized(5))
+        .sos(1.9)
+        .init(InitialLoad::paper_default(n))
+        .hybrid(SwitchPolicy::AtRound(30))
+        .stop(StopCondition::MaxRounds(100))
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(old_report.switch_round, new_report.switch_round);
+    assert_eq!(old_report.run, new_report);
+}

@@ -12,9 +12,14 @@ fn proportional_error(graph: &Graph, speeds: &Speeds, scheme_beta: Option<f64>) 
         None => Scheme::fos(),
     };
     let total = 200 * speeds.total() as i64;
-    let config =
-        SimulationConfig::discrete(scheme, Rounding::randomized(17)).with_speeds(speeds.clone());
-    let mut sim = Simulator::new(graph, config, InitialLoad::point(0, total));
+    let mut sim = Experiment::on(graph)
+        .discrete(Rounding::randomized(17))
+        .scheme(scheme)
+        .speeds(speeds.clone())
+        .init(InitialLoad::point(0, total))
+        .build()
+        .unwrap()
+        .simulator();
     sim.run_until(StopCondition::Plateau {
         window: 60,
         max_rounds: 20_000,
@@ -64,13 +69,19 @@ fn heterogeneous_sos_faster_than_fos() {
     let speeds = Speeds::two_class(256, 64, 4.0);
     let spec = spectral::analyze(&g, &speeds);
     let rounds = |scheme: Scheme| -> u64 {
-        let config = SimulationConfig::continuous(scheme).with_speeds(speeds.clone());
-        let mut sim = Simulator::new(&g, config, InitialLoad::point(0, 256_000));
-        sim.run_until(StopCondition::BalancedWithin {
-            threshold: 1.0,
-            max_rounds: 200_000,
-        })
-        .rounds
+        Experiment::on(&g)
+            .continuous()
+            .scheme(scheme)
+            .speeds(speeds.clone())
+            .init(InitialLoad::point(0, 256_000))
+            .stop(StopCondition::BalancedWithin {
+                threshold: 1.0,
+                max_rounds: 200_000,
+            })
+            .build()
+            .unwrap()
+            .run()
+            .rounds
     };
     let sos = rounds(Scheme::sos(spec.beta_opt()));
     let fos = rounds(Scheme::fos());
@@ -84,11 +95,13 @@ fn unit_speeds_match_homogeneous_metrics() {
     let g = generators::torus2d(8, 8);
     let n = g.node_count();
     let run = |speeds: Option<Speeds>| {
-        let mut config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(3));
+        let mut builder = Experiment::on(&g)
+            .discrete(Rounding::randomized(3))
+            .init(InitialLoad::paper_default(n));
         if let Some(s) = speeds {
-            config = config.with_speeds(s);
+            builder = builder.speeds(s);
         }
-        let mut sim = Simulator::new(&g, config, InitialLoad::paper_default(n));
+        let mut sim = builder.build().unwrap().simulator();
         sim.run_until(StopCondition::MaxRounds(150));
         sim.loads_i64().unwrap().to_vec()
     };
@@ -100,11 +113,16 @@ fn hybrid_switch_works_heterogeneously() {
     let g = generators::torus2d(12, 12);
     let speeds = Speeds::two_class(144, 16, 3.0);
     let spec = spectral::analyze(&g, &speeds);
-    let config = SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(5))
-        .with_speeds(speeds.clone());
     let total = 144_000;
-    let mut sim = Simulator::new(&g, config, InitialLoad::point(0, total));
-    let report = run_hybrid_quiet(&mut sim, SwitchPolicy::AtRound(400), 1200);
+    let mut sim = Experiment::on(&g)
+        .discrete(Rounding::randomized(5))
+        .sos(spec.beta_opt())
+        .speeds(speeds.clone())
+        .init(InitialLoad::point(0, total))
+        .build()
+        .unwrap()
+        .simulator();
+    let report = sim.run_hybrid(SwitchPolicy::AtRound(400), StopCondition::MaxRounds(1200));
     assert!(report.switch_round.is_some());
     let m = sim.metrics();
     assert!(

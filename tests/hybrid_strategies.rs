@@ -2,7 +2,6 @@
 //! eigenvector-coefficient trigger the paper discusses (Section VI), and
 //! the parallel executor running a full experiment.
 
-use sodiff::core::hybrid::run_hybrid_when;
 use sodiff::core::prelude::*;
 use sodiff::graph::generators;
 use sodiff::linalg::fourier::TorusModes;
@@ -23,14 +22,15 @@ fn eigenvector_coefficient_trigger() {
     let n = g.node_count();
     let beta = spectral::analyze(&g, &Speeds::uniform(n)).beta_opt();
     let modes = TorusModes::new(side, side);
-    let mut sim = Simulator::new(
-        &g,
-        SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(3)),
-        InitialLoad::paper_default(n),
-    );
+    let mut sim = Experiment::on(&g)
+        .discrete(Rounding::randomized(3))
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap()
+        .simulator();
     let mut loads = vec![0.0; n];
-    let report = run_hybrid_when(
-        &mut sim,
+    let report = sim.run_when(
         |sim| {
             for (i, l) in loads.iter_mut().enumerate() {
                 *l = sim.load_of(i);
@@ -40,7 +40,7 @@ fn eigenvector_coefficient_trigger() {
                 .map(|lead| lead.amplitude < 50.0)
                 .unwrap_or(true)
         },
-        600,
+        StopCondition::MaxRounds(600),
         &mut Null,
     );
     let switch = report.switch_round.expect("trigger should fire");
@@ -62,17 +62,19 @@ fn local_trigger_matches_fixed_switch_quality() {
     let g = generators::torus2d(16, 16);
     let n = g.node_count();
     let beta = spectral::analyze(&g, &Speeds::uniform(n)).beta_opt();
-    let make = || {
-        Simulator::new(
-            &g,
-            SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(9)),
-            InitialLoad::paper_default(n),
-        )
-    };
-    let mut fixed = make();
-    run_hybrid_quiet(&mut fixed, SwitchPolicy::AtRound(200), 500);
-    let mut local = make();
-    let report = run_hybrid_quiet(&mut local, SwitchPolicy::MaxLocalDiffBelow(20.0), 500);
+    let exp = Experiment::on(&g)
+        .discrete(Rounding::randomized(9))
+        .sos(beta)
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap();
+    let mut fixed = exp.simulator();
+    fixed.run_hybrid(SwitchPolicy::AtRound(200), StopCondition::MaxRounds(500));
+    let mut local = exp.simulator();
+    let report = local.run_hybrid(
+        SwitchPolicy::MaxLocalDiffBelow(20.0),
+        StopCondition::MaxRounds(500),
+    );
     assert!(report.switch_round.is_some());
     let (f, l) = (fixed.metrics().max_minus_avg, local.metrics().max_minus_avg);
     assert!(
@@ -89,10 +91,18 @@ fn parallel_hybrid_is_identical() {
     let n = g.node_count();
     let beta = spectral::analyze(&g, &Speeds::uniform(n)).beta_opt();
     let run = |threads: usize| {
-        let config = SimulationConfig::discrete(Scheme::sos(beta), Rounding::randomized(4))
-            .with_threads(threads);
-        let mut sim = Simulator::new(&g, config, InitialLoad::paper_default(n));
-        let report = run_hybrid_quiet(&mut sim, SwitchPolicy::MaxLocalDiffBelow(25.0), 400);
+        let mut sim = Experiment::on(&g)
+            .discrete(Rounding::randomized(4))
+            .sos(beta)
+            .threads(threads)
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .unwrap()
+            .simulator();
+        let report = sim.run_hybrid(
+            SwitchPolicy::MaxLocalDiffBelow(25.0),
+            StopCondition::MaxRounds(400),
+        );
         (report.switch_round, sim.loads_i64().unwrap().to_vec())
     };
     let (seq_switch, seq_loads) = run(1);
@@ -105,13 +115,17 @@ fn parallel_hybrid_is_identical() {
 /// heterogeneous hypercube with threads enabled.
 #[test]
 fn parallel_coupled_deviation() {
-    use sodiff::core::deviation::coupled_run;
     let g = generators::hypercube(8);
     let speeds = Speeds::two_class(256, 32, 4.0);
-    let config = SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(6))
-        .with_speeds(speeds)
-        .with_threads(2);
-    let series = coupled_run(&g, config, InitialLoad::point(0, 256_000), 150);
+    let series = Experiment::on(&g)
+        .discrete(Rounding::randomized(6))
+        .speeds(speeds)
+        .threads(2)
+        .init(InitialLoad::point(0, 256_000))
+        .build()
+        .unwrap()
+        .coupled_deviation(150)
+        .unwrap();
     assert_eq!(series.per_round.len(), 150);
     assert!(series.max() < 100.0, "deviation {}", series.max());
 }

@@ -1,0 +1,189 @@
+//! Property tests for the scenario text format: `Display` → `FromStr`
+//! round-trips exactly for arbitrary valid specs over the whole
+//! scheme × rounding × mode × topology × stop-condition space.
+
+use proptest::prelude::*;
+
+use sodiff::core::prelude::*;
+use sodiff::core::{InitSpec, ModeSpec, SchemeSpec, SpeedsSpec, StopSpec};
+
+fn any_topology() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        (1usize..40, 1usize..40).prop_map(|(rows, cols)| TopologySpec::Torus2d { rows, cols }),
+        proptest::collection::vec(1usize..8, 1..4).prop_map(|dims| TopologySpec::Torus { dims }),
+        (1u32..12).prop_map(|dim| TopologySpec::Hypercube { dim }),
+        (3usize..200).prop_map(|n| TopologySpec::Cycle { n }),
+        (1usize..200).prop_map(|n| TopologySpec::Path { n }),
+        (1usize..60).prop_map(|n| TopologySpec::Complete { n }),
+        (1usize..200).prop_map(|n| TopologySpec::Star { n }),
+        (1usize..20, 1usize..20).prop_map(|(rows, cols)| TopologySpec::Grid2d { rows, cols }),
+        (2usize..100, 1usize..6, any::<u64>())
+            .prop_map(|(n, d, seed)| TopologySpec::RandomRegular { n, d, seed }),
+        (2usize..200, any::<u64>()).prop_map(|(n, seed)| TopologySpec::RandomCm { n, seed }),
+        (1usize..100, 0.0f64..1.0, any::<u64>())
+            .prop_map(|(n, p, seed)| TopologySpec::ErdosRenyi { n, p, seed }),
+        (1usize..100, 0.0f64..5.0, any::<u64>())
+            .prop_map(|(n, radius, seed)| TopologySpec::Geometric { n, radius, seed }),
+        (2usize..200, any::<u64>()).prop_map(|(n, seed)| TopologySpec::RggPaper { n, seed }),
+    ]
+}
+
+fn any_speeds() -> impl Strategy<Value = SpeedsSpec> {
+    prop_oneof![
+        Just(SpeedsSpec::Uniform),
+        (0usize..64, 1.0f64..16.0).prop_map(|(fast, speed)| SpeedsSpec::TwoClass { fast, speed }),
+        (1.0f64..16.0).prop_map(|max| SpeedsSpec::Ramp { max }),
+        (1.0f64..16.0, 0.1f64..4.0, any::<u64>()).prop_map(|(max, exponent, seed)| {
+            SpeedsSpec::Skewed {
+                max,
+                exponent,
+                seed,
+            }
+        }),
+    ]
+}
+
+fn any_scheme() -> impl Strategy<Value = SchemeSpec> {
+    prop_oneof![
+        Just(SchemeSpec::Fos),
+        (0.01f64..1.99).prop_map(|beta| SchemeSpec::Sos { beta }),
+        Just(SchemeSpec::SosOpt),
+    ]
+}
+
+fn any_mode() -> impl Strategy<Value = ModeSpec> {
+    prop_oneof![
+        Just(ModeSpec::Continuous),
+        Just(ModeSpec::Discrete(RoundingSpec::Randomized)),
+        Just(ModeSpec::Discrete(RoundingSpec::RoundDown)),
+        Just(ModeSpec::Discrete(RoundingSpec::Nearest)),
+        Just(ModeSpec::Discrete(RoundingSpec::UnbiasedEdge)),
+    ]
+}
+
+fn any_init() -> impl Strategy<Value = InitSpec> {
+    prop_oneof![
+        Just(InitSpec::Paper),
+        (0u32..100, 0i64..1_000_000).prop_map(|(node, total)| InitSpec::Point { node, total }),
+        (0i64..10_000).prop_map(|per| InitSpec::Equal { per }),
+        (0i64..10_000).prop_map(|max| InitSpec::Ramp { max }),
+        (0i64..1_000_000, any::<u64>()).prop_map(|(total, seed)| InitSpec::Random { total, seed }),
+    ]
+}
+
+fn any_stop() -> impl Strategy<Value = StopSpec> {
+    prop_oneof![
+        (1usize..100_000).prop_map(StopSpec::Rounds),
+        (0.0f64..100.0, 1usize..100_000).prop_map(|(threshold, max_rounds)| {
+            StopSpec::Balanced {
+                threshold,
+                max_rounds,
+            }
+        }),
+        (1usize..500, 1usize..100_000)
+            .prop_map(|(window, max_rounds)| StopSpec::Plateau { window, max_rounds }),
+    ]
+}
+
+fn any_hybrid() -> impl Strategy<Value = Option<SwitchPolicy>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(SwitchPolicy::Never)),
+        (0u64..10_000).prop_map(|r| Some(SwitchPolicy::AtRound(r))),
+        (0.0f64..100.0).prop_map(|t| Some(SwitchPolicy::MaxLocalDiffBelow(t))),
+        (0.0f64..100.0).prop_map(|t| Some(SwitchPolicy::MaxMinusAvgBelow(t))),
+    ]
+}
+
+fn any_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (
+            any_topology(),
+            any_speeds(),
+            any_scheme(),
+            any_mode(),
+            any_init(),
+        ),
+        (
+            any_stop(),
+            any_hybrid(),
+            any::<bool>(),
+            0usize..5,
+            1usize..9,
+        ),
+    )
+        .prop_map(
+            |(
+                (topology, speeds, scheme, mode, init),
+                (stop, hybrid, seeded, name_pick, threads),
+            )| {
+                let mut spec = ScenarioSpec::new(topology);
+                spec.name = ["scenario", "fig_01", "a", "sweep-3", "x9"][name_pick].to_string();
+                spec.speeds = speeds;
+                spec.scheme = scheme;
+                spec.mode = mode;
+                spec.seed = seeded.then_some(12345);
+                spec.init = init;
+                spec.stop = stop;
+                spec.threads = threads;
+                spec.flow_memory = if seeded {
+                    FlowMemory::Scheduled
+                } else {
+                    FlowMemory::Rounded
+                };
+                spec.hybrid = hybrid;
+                spec
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline format property: printing and re-parsing an arbitrary
+    /// valid spec yields the identical spec, and printing is a fixpoint.
+    #[test]
+    fn display_from_str_roundtrip(spec in any_spec()) {
+        let text = spec.to_string();
+        let reparsed: ScenarioSpec = text.parse().unwrap_or_else(|e| {
+            panic!("'{text}' failed to re-parse: {e}")
+        });
+        prop_assert_eq!(&reparsed, &spec, "round-trip changed the spec: '{}'", text);
+        prop_assert_eq!(reparsed.to_string(), text, "display is not a fixpoint");
+    }
+
+    /// Scenario files built from arbitrary specs parse back line by line.
+    #[test]
+    fn parse_many_roundtrip(specs in proptest::collection::vec(any_spec(), 1..6)) {
+        let mut text = String::from("# generated batch\n\n");
+        for spec in &specs {
+            text.push_str(&spec.to_string());
+            text.push('\n');
+        }
+        let reparsed = ScenarioSpec::parse_many(&text).unwrap();
+        prop_assert_eq!(reparsed, specs);
+    }
+}
+
+#[test]
+fn topology_display_roundtrip_exhaustive_kinds() {
+    // One of each kind, exact text form.
+    for text in [
+        "torus2d:3:4",
+        "torus:2:2:2",
+        "hypercube:5",
+        "cycle:11",
+        "path:7",
+        "complete:13",
+        "star:9",
+        "grid2d:2:9",
+        "random_regular:20:3:99",
+        "random_cm:50:1",
+        "erdos_renyi:30:0.25:8",
+        "geometric:40:1.75:3",
+        "rgg:25:4",
+    ] {
+        let spec: TopologySpec = text.parse().unwrap();
+        assert_eq!(spec.to_string(), text);
+    }
+}

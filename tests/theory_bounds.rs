@@ -1,6 +1,5 @@
 //! Simulated quantities stay within the shapes of the paper's theorems.
 
-use sodiff::core::deviation::coupled_run;
 use sodiff::core::divergence::{refined_local_divergence_at, DivergenceOptions};
 use sodiff::core::prelude::*;
 use sodiff::core::theory;
@@ -15,12 +14,13 @@ fn fos_deviation_within_theorem4_envelope() {
         let g = generators::torus2d(side, side);
         let n = g.node_count();
         let spec = spectral::analyze(&g, &Speeds::uniform(n));
-        let series = coupled_run(
-            &g,
-            SimulationConfig::discrete(Scheme::fos(), Rounding::randomized(21)),
-            InitialLoad::paper_default(n),
-            2000,
-        );
+        let series = Experiment::on(&g)
+            .discrete(Rounding::randomized(21))
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .unwrap()
+            .coupled_deviation(2000)
+            .unwrap();
         let bound = theory::fos_deviation_bound(4, n, 1.0, spec.gap());
         assert!(
             series.max() < 3.0 * bound,
@@ -37,12 +37,14 @@ fn sos_deviation_within_theorem9_envelope() {
         let g = generators::torus2d(side, side);
         let n = g.node_count();
         let spec = spectral::analyze(&g, &Speeds::uniform(n));
-        let series = coupled_run(
-            &g,
-            SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(22)),
-            InitialLoad::paper_default(n),
-            2000,
-        );
+        let series = Experiment::on(&g)
+            .discrete(Rounding::randomized(22))
+            .sos(spec.beta_opt())
+            .init(InitialLoad::paper_default(n))
+            .build()
+            .unwrap()
+            .coupled_deviation(2000)
+            .unwrap();
         let bound = theory::sos_deviation_bound(4, n, 1.0, spec.gap());
         assert!(
             series.max() < 3.0 * bound,
@@ -59,12 +61,14 @@ fn arbitrary_rounding_within_theorem8_envelope() {
     let g = generators::torus2d(12, 12);
     let n = g.node_count();
     let spec = spectral::analyze(&g, &Speeds::uniform(n));
-    let series = coupled_run(
-        &g,
-        SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::round_down()),
-        InitialLoad::paper_default(n),
-        3000,
-    );
+    let series = Experiment::on(&g)
+        .discrete(Rounding::round_down())
+        .sos(spec.beta_opt())
+        .init(InitialLoad::paper_default(n))
+        .build()
+        .unwrap()
+        .coupled_deviation(3000)
+        .unwrap();
     let bound = theory::sos_arbitrary_rounding_deviation_bound(4, n, 1.0, spec.gap());
     assert!(
         series.max() < bound,
@@ -108,11 +112,13 @@ fn continuous_sos_min_load_bound_prevents_negative() {
     let bound = theory::min_initial_load_continuous_sos(n, delta0, spec.gap());
     let mut loads = vec![bound.ceil() as i64; n];
     loads[0] += spike;
-    let mut sim = Simulator::new(
-        &g,
-        SimulationConfig::continuous(Scheme::sos(spec.beta_opt())),
-        InitialLoad::Custom(loads),
-    );
+    let mut sim = Experiment::on(&g)
+        .continuous()
+        .sos(spec.beta_opt())
+        .init(InitialLoad::Custom(loads))
+        .build()
+        .unwrap()
+        .simulator();
     sim.run_until(StopCondition::MaxRounds(3000));
     assert!(
         sim.min_transient_load() >= 0.0,
@@ -131,11 +137,13 @@ fn discrete_sos_min_load_bound_prevents_negative() {
     let bound = theory::min_initial_load_discrete_sos(n, spike as f64, 4, spec.gap());
     let mut loads = vec![bound.ceil() as i64; n];
     loads[0] += spike;
-    let mut sim = Simulator::new(
-        &g,
-        SimulationConfig::discrete(Scheme::sos(spec.beta_opt()), Rounding::randomized(31)),
-        InitialLoad::Custom(loads),
-    );
+    let mut sim = Experiment::on(&g)
+        .discrete(Rounding::randomized(31))
+        .sos(spec.beta_opt())
+        .init(InitialLoad::Custom(loads))
+        .build()
+        .unwrap()
+        .simulator();
     sim.run_until(StopCondition::MaxRounds(3000));
     assert!(
         sim.min_transient_load() >= 0.0,
@@ -152,16 +160,17 @@ fn convergence_times_scale_with_gap() {
         let g = generators::torus2d(side, side);
         let n = g.node_count();
         let spec = spectral::analyze(&g, &Speeds::uniform(n));
-        let mut sim = Simulator::new(
-            &g,
-            SimulationConfig::continuous(scheme_of(spec.beta_opt())),
-            InitialLoad::paper_default(n),
-        );
-        let r = sim
-            .run_until(StopCondition::BalancedWithin {
+        let r = Experiment::on(&g)
+            .continuous()
+            .scheme(scheme_of(spec.beta_opt()))
+            .init(InitialLoad::paper_default(n))
+            .stop(StopCondition::BalancedWithin {
                 threshold: 1.0,
                 max_rounds: 2_000_000,
             })
+            .build()
+            .unwrap()
+            .run()
             .rounds;
         (r, spec.gap())
     };

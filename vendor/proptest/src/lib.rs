@@ -293,7 +293,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Number of elements a [`vec`] strategy generates.
+    /// Number of elements a [`vec()`] strategy generates.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -325,7 +325,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
