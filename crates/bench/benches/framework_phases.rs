@@ -1,0 +1,148 @@
+//! Criterion: the randomized framework's three pipeline phases in
+//! isolation (plus the bulk RNG sweep and the apply pass), so a perf
+//! regression is attributable to one phase instead of one lump number.
+//!
+//! Uses `sodiff_core::kernel`, the `#[doc(hidden)]` hot-path surface
+//! exported for exactly this purpose.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sodiff_core::kernel::{self, FwScratch, KernelTables};
+use sodiff_core::rng;
+use sodiff_graph::{generators, Speeds};
+
+const SIDE: usize = 256;
+const SEED: u64 = 42;
+
+struct Fixture {
+    tables: KernelTables,
+    loads: Vec<f64>,
+    arc_frac: Vec<f64>,
+    flows: Vec<i64>,
+    prev: Vec<f64>,
+}
+
+/// A 256×256 torus mid-simulation: loads and flow memory in a plausible
+/// post-warmup state so the rounding phase sees realistic fractional
+/// parts. One scatter pass is run here so `arc_frac` is populated up
+/// front — each benchmark below is self-contained and order-independent.
+fn fixture() -> Fixture {
+    let graph = generators::torus2d(SIDE, SIDE);
+    let n = graph.node_count();
+    let speeds = Speeds::uniform(n);
+    let tables = KernelTables::new(&graph, &speeds, true);
+    let m = tables.m;
+    let loads: Vec<f64> = (0..n).map(|i| 1000.0 + ((i * 37) % 101) as f64).collect();
+    let mut prev: Vec<f64> = (0..m)
+        .map(|e| ((e * 31 % 17) as f64 - 8.0) * 0.37)
+        .collect();
+    let mut arc_frac = vec![0.0; graph.arc_count()];
+    let mut flows = vec![0; m];
+    kernel::edge_pass_scatter(
+        &tables,
+        0..m,
+        0.4,
+        1.6,
+        sodiff_core::FlowMemory::Rounded,
+        |i| loads[i],
+        &kernel::cells_f64(&mut arc_frac),
+        &kernel::cells_i64(&mut flows),
+        &kernel::cells_f64(&mut prev),
+    );
+    Fixture {
+        tables,
+        loads,
+        arc_frac,
+        flows,
+        prev,
+    }
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("framework_phase");
+    let Fixture {
+        tables,
+        loads,
+        mut arc_frac,
+        mut flows,
+        mut prev,
+    } = fixture();
+    let (n, m) = (tables.n, tables.m);
+
+    group.bench_function(BenchmarkId::from_parameter("bulk_rng_sweep"), |b| {
+        let mut states = vec![0u64; n];
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            rng::fill_node_states(rng::round_key(SEED, round), 0, &mut states);
+            black_box(states.last().copied())
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("edge_pass_scatter"), |b| {
+        b.iter(|| {
+            kernel::edge_pass_scatter(
+                &tables,
+                0..m,
+                0.4,
+                1.6,
+                sodiff_core::FlowMemory::Rounded,
+                |i| loads[i],
+                &kernel::cells_f64(&mut arc_frac),
+                &kernel::cells_i64(&mut flows),
+                &kernel::cells_f64(&mut prev),
+            );
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("arc_round_streamed"), |b| {
+        let mut scratch = FwScratch::new();
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            kernel::arc_round_streamed(
+                &tables,
+                0..n,
+                SEED,
+                round,
+                &kernel::cells_f64(&mut arc_frac),
+                &kernel::cells_i64(&mut flows),
+                &mut scratch,
+            );
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("prev_from_flows"), |b| {
+        b.iter(|| {
+            kernel::prev_from_flows(
+                0..m,
+                &kernel::cells_i64(&mut flows),
+                &kernel::cells_f64(&mut prev),
+            );
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("apply_discrete"), |b| {
+        let mut int_loads: Vec<i64> = (0..n).map(|i| 1000 + ((i * 37) % 101) as i64).collect();
+        b.iter(|| {
+            black_box(kernel::apply_discrete(
+                &tables,
+                0..n,
+                |e| flows[e],
+                &kernel::cells_i64(&mut int_loads),
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_phases
+}
+criterion_main!(benches);

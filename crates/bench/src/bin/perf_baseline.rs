@@ -10,11 +10,15 @@
 //! scenarios through one pooled `Driver` (threads spawned once) against
 //! the same scenarios as separate `Simulator`s (one pool spawn each).
 //!
-//! Usage: `perf_baseline [--out <path>] [--secs <s>] [--quick] [--scenarios <file>]`
+//! Usage: `perf_baseline [--out <path>] [--secs <s>] [--quick] [--case <substr>]
+//! [--scenarios <file>]`
 //!
 //! * `--out <path>` — where to write the JSON (default `BENCH_rounds.json`),
 //! * `--secs <s>` — measurement budget per case (default 1.0),
 //! * `--quick` — CI smoke mode: tiny graphs, short budget,
+//! * `--case <substr>` — only run cases whose config name contains the
+//!   substring (the driver-batch entries are skipped too); used by the CI
+//!   perf-regression gate to time just the randomized framework,
 //! * `--scenarios <file>` — use this scenario file for the `driver_batch`
 //!   entry instead of the built-in synthetic batch.
 
@@ -147,6 +151,44 @@ fn measure_driver_batch(
     }
 }
 
+/// Times `specs` through a `Driver::concurrent(workers)` (K scenarios in
+/// flight, each on the sequential executor, pulled from a work-stealing
+/// queue) against a plain sequential `Driver::new()`. On a multi-core
+/// host the concurrent driver should approach `workers`× for batches of
+/// many similar scenarios; on a single-core container it measures pure
+/// scheduling overhead.
+fn measure_driver_batch_concurrent(
+    specs: &[ScenarioSpec],
+    workers: usize,
+    source: String,
+) -> DriverBatchMeasurement {
+    let concurrent = Driver::concurrent(workers).expect("positive worker count");
+    let sequential = Driver::new();
+    // Warm both paths once.
+    concurrent.run_batch(specs).expect("valid scenario batch");
+
+    let start = Instant::now();
+    let batch = concurrent.run_batch(specs).expect("valid scenario batch");
+    let concurrent_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let seq_batch = sequential.run_batch(specs).expect("valid scenario batch");
+    let sequential_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        batch.total_rounds, seq_batch.total_rounds,
+        "concurrent and sequential drivers must agree"
+    );
+
+    DriverBatchMeasurement {
+        source,
+        scenarios: specs.len(),
+        threads: workers,
+        total_rounds: batch.total_rounds,
+        driver_secs: concurrent_secs,
+        separate_secs: sequential_secs,
+    }
+}
+
 /// Minimal JSON string escaping for the hand-rolled output (the scenario
 /// file path is the only user-controlled string).
 fn json_escape(s: &str) -> String {
@@ -174,6 +216,7 @@ fn main() {
     let mut out_path = String::from("BENCH_rounds.json");
     let mut budget_secs = 1.0f64;
     let mut quick = false;
+    let mut case_filter: Option<String> = None;
     let mut scenario_file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -187,13 +230,14 @@ fn main() {
                     .expect("--secs must be a number")
             }
             "--quick" => quick = true,
+            "--case" => case_filter = Some(args.next().expect("--case requires a substring")),
             "--scenarios" => {
                 scenario_file = Some(args.next().expect("--scenarios requires a path"))
             }
             other => {
                 panic!(
                     "unknown argument {other}; supported: --out <path>, --secs <s>, --quick, \
-                     --scenarios <file>"
+                     --case <substr>, --scenarios <file>"
                 )
             }
         }
@@ -294,6 +338,11 @@ fn main() {
 
     let mut results = Vec::new();
     for (graph, case) in &cases {
+        if let Some(filter) = &case_filter {
+            if !case.config_name.contains(filter.as_str()) {
+                continue;
+            }
+        }
         let r = measure(graph, case, budget_secs);
         println!(
             "{}/{} threads={}: {:.1} ns/round ({:.2} ns/edge, {:.2e} edge-updates/s, {:.2e} tokens/s)",
@@ -308,27 +357,49 @@ fn main() {
         results.push(r);
     }
 
-    let (specs, source) = match &scenario_file {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("read scenario file {path}: {e}"));
-            (
-                ScenarioSpec::parse_many(&text).unwrap_or_else(|e| panic!("{e}")),
-                path.clone(),
-            )
-        }
-        None => (synthetic_batch(quick), "synthetic".to_string()),
+    // The driver-batch entries are skipped under `--case` (the filter is
+    // a per-case regression gate, not a batch benchmark).
+    let driver_entries = if case_filter.is_none() {
+        let (specs, source) = match &scenario_file {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("read scenario file {path}: {e}"));
+                (
+                    ScenarioSpec::parse_many(&text).unwrap_or_else(|e| panic!("{e}")),
+                    path.clone(),
+                )
+            }
+            None => (synthetic_batch(quick), "synthetic".to_string()),
+        };
+        let db = measure_driver_batch(&specs, 4, source.clone());
+        println!(
+            "driver_batch ({} scenarios, {} threads): pooled driver {:.3}s vs separate \
+             simulators {:.3}s ({:.2}x)",
+            db.scenarios,
+            db.threads,
+            db.driver_secs,
+            db.separate_secs,
+            db.separate_secs / db.driver_secs
+        );
+        let dbc = measure_driver_batch_concurrent(&specs, 4, source);
+        println!(
+            "driver_batch_concurrent ({} scenarios, {} workers): concurrent driver {:.3}s vs \
+             sequential driver {:.3}s ({:.2}x)",
+            dbc.scenarios,
+            dbc.threads,
+            dbc.driver_secs,
+            dbc.separate_secs,
+            dbc.separate_secs / dbc.driver_secs
+        );
+        println!(
+            "note: this container is single-core — concurrent-scenario and pooled speedups \
+             measure scheduling overhead here, not parallel wall-clock gains; re-measure on a \
+             multi-core host"
+        );
+        Some((db, dbc))
+    } else {
+        None
     };
-    let db = measure_driver_batch(&specs, 4, source);
-    println!(
-        "driver_batch ({} scenarios, {} threads): pooled driver {:.3}s vs separate \
-         simulators {:.3}s ({:.2}x)",
-        db.scenarios,
-        db.threads,
-        db.driver_secs,
-        db.separate_secs,
-        db.separate_secs / db.driver_secs
-    );
 
     let mut json = String::from("{\n  \"bench\": \"rounds\",\n  \"cases\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -350,19 +421,35 @@ fn main() {
         )
         .unwrap();
     }
-    json.push_str("  ],\n");
-    writeln!(
-        json,
-        "  \"driver_batch\": {{\"source\": \"{}\", \"scenarios\": {}, \"threads\": {}, \"total_rounds\": {}, \"driver_secs\": {:.4}, \"separate_secs\": {:.4}, \"speedup\": {:.3}}}",
-        json_escape(&db.source),
-        db.scenarios,
-        db.threads,
-        db.total_rounds,
-        db.driver_secs,
-        db.separate_secs,
-        db.separate_secs / db.driver_secs
-    )
-    .unwrap();
+    if let Some((db, dbc)) = &driver_entries {
+        json.push_str("  ],\n");
+        writeln!(
+            json,
+            "  \"driver_batch\": {{\"source\": \"{}\", \"scenarios\": {}, \"threads\": {}, \"total_rounds\": {}, \"driver_secs\": {:.4}, \"separate_secs\": {:.4}, \"speedup\": {:.3}}},",
+            json_escape(&db.source),
+            db.scenarios,
+            db.threads,
+            db.total_rounds,
+            db.driver_secs,
+            db.separate_secs,
+            db.separate_secs / db.driver_secs
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "  \"driver_batch_concurrent\": {{\"source\": \"{}\", \"scenarios\": {}, \"workers\": {}, \"total_rounds\": {}, \"concurrent_secs\": {:.4}, \"sequential_secs\": {:.4}, \"speedup\": {:.3}, \"note\": \"single-core container: speedup measures scheduling overhead, not parallel wall-clock\"}}",
+            json_escape(&dbc.source),
+            dbc.scenarios,
+            dbc.threads,
+            dbc.total_rounds,
+            dbc.driver_secs,
+            dbc.separate_secs,
+            dbc.separate_secs / dbc.driver_secs
+        )
+        .unwrap();
+    } else {
+        json.push_str("  ]\n");
+    }
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_rounds.json");
     println!("wrote {out_path}");

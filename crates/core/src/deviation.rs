@@ -2,11 +2,6 @@
 //! `max_k |x_k^D(t) − x_k^C(t)|` that the paper's Theorems 3, 8, and 9
 //! bound.
 
-use sodiff_graph::Graph;
-
-use crate::engine::{Mode, SimulationConfig, Simulator};
-use crate::init::InitialLoad;
-
 /// Per-round deviation series between a discrete process and its
 /// continuous twin, started from the same initial load.
 #[derive(Debug, Clone)]
@@ -27,64 +22,10 @@ impl DeviationSeries {
     }
 }
 
-/// Runs the discrete configuration and its continuous counterpart in
-/// lockstep for `rounds` rounds and records the per-round deviation.
-///
-/// # Panics
-///
-/// Panics if `config.mode` is not discrete or the configuration is
-/// otherwise invalid.
-///
-/// # Replacement
-///
-/// ```
-/// use sodiff_core::prelude::*;
-/// use sodiff_graph::generators;
-///
-/// let g = generators::torus2d(8, 8);
-/// let series = Experiment::on(&g)
-///     .discrete(Rounding::randomized(3))
-///     .build()
-///     .unwrap()
-///     .coupled_deviation(100)
-///     .unwrap();
-/// assert_eq!(series.per_round.len(), 100);
-/// ```
-#[deprecated(since = "0.1.0", note = "use Experiment::coupled_deviation")]
-pub fn coupled_run(
-    graph: &Graph,
-    config: SimulationConfig,
-    init: InitialLoad,
-    rounds: usize,
-) -> DeviationSeries {
-    assert!(
-        matches!(config.mode, Mode::Discrete(_)),
-        "coupled_run expects a discrete configuration"
-    );
-    let continuous_config = SimulationConfig {
-        scheme: config.scheme,
-        mode: Mode::Continuous,
-        speeds: config.speeds.clone(),
-        flow_memory: config.flow_memory,
-        threads: config.threads,
-    };
-    let mut discrete =
-        Simulator::build(graph, config, init.clone(), None).unwrap_or_else(|e| panic!("{e}"));
-    let mut continuous =
-        Simulator::build(graph, continuous_config, init, None).unwrap_or_else(|e| panic!("{e}"));
-    let mut per_round = Vec::with_capacity(rounds);
-    for _ in 0..rounds {
-        discrete.step();
-        continuous.step();
-        per_round.push(discrete.deviation_from(&continuous));
-    }
-    DeviationSeries { per_round }
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::experiment::Experiment;
+    use crate::init::InitialLoad;
     use crate::rounding::Rounding;
     use sodiff_graph::{generators, Speeds};
     use sodiff_linalg::spectral;
@@ -146,15 +87,5 @@ mod tests {
             .coupled_deviation(200)
             .unwrap();
         assert!(series.max() < 60.0, "max deviation {}", series.max());
-    }
-
-    #[test]
-    #[should_panic(expected = "discrete configuration")]
-    fn deprecated_coupled_run_rejects_continuous_config() {
-        let g = generators::cycle(4);
-        #[allow(deprecated)]
-        let config = SimulationConfig::continuous(crate::scheme::Scheme::fos());
-        #[allow(deprecated)]
-        coupled_run(&g, config, InitialLoad::point(0, 4), 1);
     }
 }

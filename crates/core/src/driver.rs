@@ -1,13 +1,28 @@
-//! Batch execution of scenario files over one persistent worker pool.
+//! Batch execution of scenario files over one persistent worker pool or
+//! across concurrently scheduled scenarios.
 //!
-//! A [`Driver`] takes a slice of [`ScenarioSpec`]s and runs them back to
-//! back. With [`Driver::with_threads`]`(t > 1)` it spawns the `t − 1`
-//! pool workers **once** and re-attaches them to every simulation in the
-//! batch (see [`crate::pool`]), instead of paying a spawn/join cycle per
-//! `Simulator` — that is the difference measured by the `driver_batch`
-//! entry of `BENCH_rounds.json`. Because the pooled executor is
-//! bit-identical to the sequential one, a batch report never depends on
-//! the driver's thread count.
+//! A [`Driver`] takes a slice of [`ScenarioSpec`]s and runs them either
+//! back to back or concurrently:
+//!
+//! * [`Driver::with_threads`]`(t > 1)` parallelizes **within** each
+//!   simulation: the `t − 1` pool workers are spawned **once** and
+//!   re-attached to every simulation in the batch (see [`crate::pool`]),
+//!   instead of paying a spawn/join cycle per `Simulator` — the
+//!   difference measured by the `driver_batch` entry of
+//!   `BENCH_rounds.json`. Best for batches of few large scenarios.
+//! * [`Driver::concurrent`]`(k)` parallelizes **across** the batch: `k`
+//!   workers pull scenarios from a shared work-stealing queue and run
+//!   each one on the sequential executor. Independent scenarios never
+//!   synchronize, so this scales with cores for the common serving shape
+//!   — many small-to-medium scenarios — where per-round barriers would
+//!   dominate. Measured by the `driver_batch_concurrent` entry.
+//!
+//! Both are bit-identical to [`Driver::new`]'s sequential execution: the
+//! pooled executor reproduces the sequential executor exactly, and
+//! concurrent scheduling only reorders *which* scenario runs when — each
+//! scenario's simulation is self-contained, and reports are returned in
+//! input order. A batch report therefore never depends on the driver's
+//! parallelism (proven by `tests/driver_concurrent.rs`).
 //!
 //! # Example
 //!
@@ -24,7 +39,8 @@
 //! assert_eq!(batch.total_rounds, 150);
 //! ```
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::engine::RunReport;
@@ -89,9 +105,11 @@ impl BatchReport {
 }
 
 /// Executes batches of [`ScenarioSpec`]s, reusing one persistent worker
-/// pool across all simulations; see the module docs above.
+/// pool across all simulations or scheduling independent scenarios
+/// concurrently; see the module docs above.
 pub struct Driver {
     threads: usize,
+    concurrency: usize,
     pool: Option<Arc<WorkerPool>>,
 }
 
@@ -101,6 +119,7 @@ impl Driver {
     pub fn new() -> Self {
         Self {
             threads: 1,
+            concurrency: 1,
             pool: None,
         }
     }
@@ -120,13 +139,46 @@ impl Driver {
         }
         Ok(Self {
             threads,
+            concurrency: 1,
             pool: (threads > 1).then(|| Arc::new(WorkerPool::new(threads))),
+        })
+    }
+
+    /// A driver that schedules up to `workers` **independent scenarios
+    /// concurrently**: [`Driver::run_batch`] spawns that many scoped
+    /// worker threads which pull the next unstarted scenario from a
+    /// shared work-stealing queue and run it on the sequential
+    /// (single-threaded) executor. Reports are returned in input order
+    /// and are bit-identical to [`Driver::new`]'s sequential runs — each
+    /// scenario's simulation is completely self-contained.
+    ///
+    /// This is the right shape when the batch has at least as many
+    /// scenarios as cores; use [`Driver::with_threads`] to instead
+    /// parallelize within few large scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::ZeroThreads`] if `workers == 0`.
+    pub fn concurrent(workers: usize) -> Result<Self, BuildError> {
+        if workers == 0 {
+            return Err(BuildError::ZeroThreads);
+        }
+        Ok(Self {
+            threads: 1,
+            concurrency: workers,
+            pool: None,
         })
     }
 
     /// Worker threads per simulation (1 = sequential).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Scenarios scheduled concurrently by [`Driver::run_batch`]
+    /// (1 = back-to-back).
+    pub fn concurrency(&self) -> usize {
+        self.concurrency
     }
 
     /// Runs one scenario on this driver's pool.
@@ -169,17 +221,49 @@ impl Driver {
         })
     }
 
-    /// Runs every scenario in order and aggregates the results.
+    /// Runs every scenario and aggregates the results (in input order).
+    /// With [`Driver::concurrent`], up to `concurrency` scenarios are in
+    /// flight at once; the per-scenario reports are identical to a
+    /// sequential driver's either way.
     ///
     /// # Errors
     ///
-    /// Stops at the first scenario that fails to build, wrapping the error
-    /// with that scenario's name.
+    /// Fails on the first scenario (by input order) that fails to build,
+    /// wrapping the error with that scenario's name. A sequential driver
+    /// stops at that scenario; a concurrent driver may have executed
+    /// later scenarios already, but the reported error is the same.
     pub fn run_batch(&self, specs: &[ScenarioSpec]) -> Result<BatchReport, BuildError> {
         let start = Instant::now();
+        if self.concurrency <= 1 || specs.len() <= 1 {
+            let mut scenarios = Vec::with_capacity(specs.len());
+            for spec in specs {
+                scenarios.push(self.run_spec(spec)?);
+            }
+            return Ok(BatchReport::from_scenarios(scenarios, start.elapsed()));
+        }
+        let slots: Vec<Mutex<Option<Result<ScenarioReport, BuildError>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        // Work-stealing queue over the batch: each worker claims the next
+        // unstarted scenario, so long and short scenarios balance
+        // themselves without any up-front partitioning.
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.concurrency.min(specs.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let result = self.run_spec(spec);
+                    *slots[i].lock().expect("driver slot lock poisoned") = Some(result);
+                });
+            }
+        });
         let mut scenarios = Vec::with_capacity(specs.len());
-        for spec in specs {
-            scenarios.push(self.run_spec(spec)?);
+        for slot in slots {
+            let result = slot
+                .into_inner()
+                .expect("driver slot lock poisoned")
+                .expect("every scenario slot is filled before the scope ends");
+            scenarios.push(result?);
         }
         Ok(BatchReport::from_scenarios(scenarios, start.elapsed()))
     }
@@ -281,5 +365,49 @@ mod tests {
             Driver::with_threads(0),
             Err(BuildError::ZeroThreads)
         ));
+        assert!(matches!(
+            Driver::concurrent(0),
+            Err(BuildError::ZeroThreads)
+        ));
+    }
+
+    #[test]
+    fn concurrent_batch_is_bit_identical_to_sequential() {
+        let specs = sample_specs();
+        let seq = Driver::new().run_batch(&specs).unwrap();
+        for workers in [2usize, 3, 8] {
+            let conc = Driver::concurrent(workers)
+                .unwrap()
+                .run_batch(&specs)
+                .unwrap();
+            assert_eq!(conc.scenarios.len(), seq.scenarios.len());
+            for (a, b) in seq.scenarios.iter().zip(&conc.scenarios) {
+                assert_eq!(a.name, b.name, "input order preserved");
+                assert_eq!(a.report, b.report, "{} ({workers} workers)", a.name);
+            }
+            assert_eq!(conc.total_rounds, seq.total_rounds);
+        }
+    }
+
+    #[test]
+    fn concurrent_batch_reports_first_failure_by_input_order() {
+        let specs = ScenarioSpec::parse_many(
+            "name=ok topology=cycle:8 seed=1 stop=rounds:5\n\
+             name=bad1 topology=cycle:8 scheme=sos:3.0 seed=1\n\
+             name=ok2 topology=cycle:8 seed=2 stop=rounds:5\n\
+             name=bad2 topology=cycle:8 scheme=sos:-1.0 seed=1\n",
+        )
+        .unwrap();
+        let err = Driver::concurrent(4)
+            .unwrap()
+            .run_batch(&specs)
+            .unwrap_err();
+        match err {
+            BuildError::Scenario { name, source } => {
+                assert_eq!(name, "bad1", "earliest failing scenario wins");
+                assert_eq!(*source, BuildError::InvalidBeta(3.0));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 }

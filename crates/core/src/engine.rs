@@ -10,8 +10,8 @@
 //!
 //! Simulators are built through the [`crate::ExperimentBuilder`], which
 //! validates every input and returns a typed [`BuildError`] instead of
-//! panicking. The legacy [`SimulationConfig`] constructors and
-//! [`Simulator::new`] remain as deprecated shims for one release.
+//! panicking. (The pre-0.2 `SimulationConfig` constructors and
+//! `Simulator::new` shims were removed after their deprecation release.)
 //!
 //! # Parallel execution
 //!
@@ -69,8 +69,7 @@ pub enum FlowMemory {
 /// Full configuration of a simulation run.
 ///
 /// Prefer building simulations through [`crate::Experiment::on`]; this
-/// struct remains the validated internal form and the deprecated
-/// compatibility surface.
+/// struct remains the validated internal form.
 #[derive(Debug, Clone)]
 pub struct SimulationConfig {
     /// FOS or SOS.
@@ -86,68 +85,6 @@ pub struct SimulationConfig {
 }
 
 impl SimulationConfig {
-    /// Discrete execution with the given scheme and rounding.
-    ///
-    /// # Replacement
-    ///
-    /// ```
-    /// use sodiff_core::prelude::*;
-    /// use sodiff_graph::generators;
-    ///
-    /// let g = generators::cycle(8);
-    /// let sim = Experiment::on(&g)
-    ///     .discrete(Rounding::randomized(42))
-    ///     .scheme(Scheme::fos())
-    ///     .build()
-    ///     .unwrap()
-    ///     .simulator();
-    /// assert!(sim.is_discrete());
-    /// ```
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ExperimentBuilder: Experiment::on(&graph).discrete(rounding)"
-    )]
-    pub fn discrete(scheme: Scheme, rounding: Rounding) -> Self {
-        Self {
-            scheme,
-            mode: Mode::Discrete(rounding),
-            speeds: None,
-            flow_memory: FlowMemory::Rounded,
-            threads: 1,
-        }
-    }
-
-    /// Continuous (idealized) execution.
-    ///
-    /// # Replacement
-    ///
-    /// ```
-    /// use sodiff_core::prelude::*;
-    /// use sodiff_graph::generators;
-    ///
-    /// let g = generators::cycle(8);
-    /// let sim = Experiment::on(&g)
-    ///     .continuous()
-    ///     .sos(1.5)
-    ///     .build()
-    ///     .unwrap()
-    ///     .simulator();
-    /// assert!(!sim.is_discrete());
-    /// ```
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ExperimentBuilder: Experiment::on(&graph).continuous()"
-    )]
-    pub fn continuous(scheme: Scheme) -> Self {
-        Self {
-            scheme,
-            mode: Mode::Continuous,
-            speeds: None,
-            flow_memory: FlowMemory::Rounded,
-            threads: 1,
-        }
-    }
-
     /// Sets heterogeneous node speeds.
     pub fn with_speeds(mut self, speeds: Speeds) -> Self {
         self.speeds = Some(speeds);
@@ -321,13 +258,12 @@ pub struct Simulator<'g> {
     state: State,
     /// Previous-round flow memory for SOS (always stored as `f64`).
     prev_flow: Vec<f64>,
-    /// Scratch: scheduled flows (sequential randomized-framework path).
-    scheduled: Vec<f64>,
-    /// Scratch: per-arc outgoing token counts (sequential framework path).
-    arc_out: Vec<i64>,
-    /// Scratch: one node's excess-token list (framework rounding; also
+    /// Scratch: arc-indexed signed scheduled flows (sequential
+    /// randomized-framework path).
+    arc_frac: Vec<f64>,
+    /// Scratch: framework rounding (bulk RNG states + excess list; also
     /// participant-0 scratch on the pool).
-    excess: Vec<(usize, f64)>,
+    fw_scratch: kernel::FwScratch,
     /// Worker pool attachment (`threads > 1` only).
     pool: Option<PoolAttachment>,
     round: u64,
@@ -337,41 +273,6 @@ pub struct Simulator<'g> {
 }
 
 impl<'g> Simulator<'g> {
-    /// Creates a simulator on `graph` with the given configuration and
-    /// initial token placement.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the speeds length mismatches the graph, the thread count
-    /// is zero, or the initial load references nodes outside the graph.
-    ///
-    /// # Replacement
-    ///
-    /// The builder reports the same problems as a typed [`BuildError`]:
-    ///
-    /// ```
-    /// use sodiff_core::prelude::*;
-    /// use sodiff_graph::generators;
-    ///
-    /// let g = generators::torus2d(4, 4);
-    /// let mut sim = Experiment::on(&g)
-    ///     .discrete(Rounding::nearest())
-    ///     .sos(1.5)
-    ///     .init(InitialLoad::point(0, 1600))
-    ///     .build()
-    ///     .unwrap()
-    ///     .simulator();
-    /// sim.step();
-    /// assert_eq!(sim.round(), 1);
-    /// ```
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ExperimentBuilder: Experiment::on(&graph)…build()?.simulator()"
-    )]
-    pub fn new(graph: &'g Graph, config: SimulationConfig, init: InitialLoad) -> Self {
-        Self::build(graph, config, init, None).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Fallible constructor behind the builder and the batch driver.
     /// `shared_pool` overrides `config.threads` with an externally owned
     /// pool (the driver's), avoiding a per-simulation thread spawn.
@@ -449,12 +350,12 @@ impl<'g> Simulator<'g> {
         } else {
             None
         };
-        // The sequential framework path needs the scheduled-flow and
-        // per-arc scratch; the fused edge-local path and the pool do not.
-        let (scheduled, arc_out) = if framework && pool.is_none() {
-            (vec![0.0; m], vec![0i64; graph.arc_count()])
+        // The sequential framework path needs the arc-indexed scheduled
+        // scratch; the fused edge-local path and the pool do not.
+        let arc_frac = if framework && pool.is_none() {
+            vec![0.0; graph.arc_count()]
         } else {
-            (Vec::new(), Vec::new())
+            Vec::new()
         };
         Ok(Self {
             graph,
@@ -465,9 +366,8 @@ impl<'g> Simulator<'g> {
             threads,
             state,
             prev_flow: vec![0.0; m],
-            scheduled,
-            arc_out,
-            excess: Vec::new(),
+            arc_frac,
+            fw_scratch: kernel::FwScratch::new(),
             pool,
             round: 0,
             rounds_in_scheme: 0,
@@ -594,9 +494,8 @@ impl<'g> Simulator<'g> {
             tables,
             state,
             prev_flow,
-            scheduled,
-            arc_out,
-            excess,
+            arc_frac,
+            fw_scratch,
             flow_memory,
             round,
             min_transient,
@@ -612,33 +511,33 @@ impl<'g> Simulator<'g> {
             } => {
                 match *rounding {
                     Rounding::RandomizedFramework { seed } => {
-                        kernel::edge_pass_scheduled(
+                        kernel::edge_pass_scatter(
                             t,
                             0..m,
                             mem,
                             gain,
+                            *flow_memory,
                             |i| loads[i] as f64,
-                            |e| prev_flow[e],
-                            &kernel::cells_f64(scheduled),
+                            &kernel::cells_f64(arc_frac),
+                            &kernel::cells_i64(int_flows),
+                            &kernel::cells_f64(prev_flow),
                         );
-                        kernel::arc_round(
+                        kernel::arc_round_streamed(
                             t,
                             0..n,
                             seed,
                             *round,
-                            |e| scheduled[e],
-                            &kernel::cells_i64(arc_out),
-                            excess,
-                        );
-                        kernel::edge_combine(
-                            t,
-                            0..m,
-                            *flow_memory,
-                            |p| arc_out[p],
-                            |e| scheduled[e],
+                            &kernel::cells_f64(arc_frac),
                             &kernel::cells_i64(int_flows),
-                            &kernel::cells_f64(prev_flow),
+                            fw_scratch,
                         );
+                        if matches!(flow_memory, FlowMemory::Rounded) {
+                            kernel::prev_from_flows(
+                                0..m,
+                                &kernel::cells_i64(int_flows),
+                                &kernel::cells_f64(prev_flow),
+                            );
+                        }
                     }
                     rounding => kernel::edge_pass_fused(
                         t,
@@ -682,7 +581,7 @@ impl<'g> Simulator<'g> {
             pool,
             state,
             prev_flow,
-            excess,
+            fw_scratch,
             round,
             min_transient,
             ..
@@ -690,7 +589,7 @@ impl<'g> Simulator<'g> {
         let attachment = pool.as_ref().expect("step_pooled requires a pool");
         let mt = attachment
             .pool
-            .run_round(&attachment.job, mem, gain, *round, excess);
+            .run_round(&attachment.job, mem, gain, *round, fw_scratch);
         if mt < *min_transient {
             *min_transient = mt;
         }
@@ -1215,32 +1114,29 @@ mod tests {
     #[test]
     #[should_panic(expected = "thread count must be positive")]
     fn zero_threads_rejected() {
-        #[allow(deprecated)]
-        SimulationConfig::continuous(Scheme::fos()).with_threads(0);
+        let config = SimulationConfig {
+            scheme: Scheme::fos(),
+            mode: Mode::Continuous,
+            speeds: None,
+            flow_memory: FlowMemory::Rounded,
+            threads: 1,
+        };
+        config.with_threads(0);
     }
 
     #[test]
-    fn deprecated_constructors_still_work() {
-        // The shims delegate to the validated path and keep panicking
-        // semantics for valid input.
-        #[allow(deprecated)]
-        let config = SimulationConfig::discrete(Scheme::fos(), Rounding::nearest());
+    fn hand_built_config_runs_through_fallible_constructor() {
         let g = generators::cycle(6);
-        #[allow(deprecated)]
-        let mut sim = Simulator::new(&g, config, InitialLoad::EqualPerNode(10));
+        let config = SimulationConfig {
+            scheme: Scheme::fos(),
+            mode: Mode::Discrete(Rounding::nearest()),
+            speeds: None,
+            flow_memory: FlowMemory::Rounded,
+            threads: 1,
+        };
+        let mut sim = Simulator::build(&g, config, InitialLoad::EqualPerNode(10), None).unwrap();
         sim.step();
         assert_eq!(sim.total_load(), 60.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "speeds length must match node count")]
-    fn deprecated_constructor_panics_on_bad_speeds() {
-        let g = generators::cycle(6);
-        #[allow(deprecated)]
-        let config = SimulationConfig::discrete(Scheme::fos(), Rounding::nearest())
-            .with_speeds(Speeds::uniform(5));
-        #[allow(deprecated)]
-        let _sim = Simulator::new(&g, config, InitialLoad::EqualPerNode(1));
     }
 
     #[test]

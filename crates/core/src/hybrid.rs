@@ -12,15 +12,17 @@
 //! [`SwitchPolicy`] with [`crate::ExperimentBuilder::hybrid`], or call
 //! [`crate::Simulator::run_hybrid`] /
 //! [`crate::Simulator::run_hybrid_with`] / [`crate::Simulator::run_when`]
-//! on an existing simulator. The free `run_hybrid*` functions remain as
-//! deprecated shims for one release.
+//! on an existing simulator. (The pre-0.2 free `run_hybrid*` functions
+//! and `HybridReport` were removed after their deprecation release; the
+//! switch round now lives in [`RunReport::switch_round`].)
+//!
+//! [`RunReport::switch_round`]: crate::RunReport
 
 use std::fmt;
 use std::str::FromStr;
 
-use crate::engine::{RunReport, Simulator, StopCondition};
+use crate::engine::{Simulator, StopCondition};
 use crate::error::ParseError;
-use crate::observer::Observer;
 
 /// When the hybrid controller flips from SOS to FOS.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,132 +79,6 @@ impl FromStr for SwitchPolicy {
             _ => Err(bad()),
         }
     }
-}
-
-/// Outcome of a hybrid run.
-#[derive(Debug, Clone)]
-pub struct HybridReport {
-    /// The round at which the switch happened, if it did.
-    pub switch_round: Option<u64>,
-    /// The report of the underlying run.
-    pub run: RunReport,
-}
-
-impl From<RunReport> for HybridReport {
-    fn from(run: RunReport) -> Self {
-        Self {
-            switch_round: run.switch_round,
-            run,
-        }
-    }
-}
-
-/// Runs `total_rounds` rounds, switching the simulator to `fos` when the
-/// policy fires (at most once), and invoking `observer` every round.
-///
-/// # Replacement
-///
-/// ```
-/// use sodiff_core::prelude::*;
-/// use sodiff_graph::generators;
-///
-/// let g = generators::torus2d(8, 8);
-/// let report = Experiment::on(&g)
-///     .discrete(Rounding::randomized(1))
-///     .sos(1.9)
-///     .hybrid(SwitchPolicy::AtRound(50))
-///     .stop(StopCondition::MaxRounds(200))
-///     .build()
-///     .unwrap()
-///     .run();
-/// assert_eq!(report.switch_round, Some(50));
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use Experiment::on(..).hybrid(policy) or Simulator::run_hybrid_with"
-)]
-pub fn run_hybrid(
-    sim: &mut Simulator<'_>,
-    policy: SwitchPolicy,
-    total_rounds: u64,
-    observer: &mut dyn Observer,
-) -> HybridReport {
-    sim.run_hybrid_with(
-        policy,
-        StopCondition::MaxRounds(total_rounds as usize),
-        observer,
-    )
-    .into()
-}
-
-/// Like the old `run_hybrid`, but with an arbitrary switch trigger
-/// evaluated before every round.
-///
-/// # Replacement
-///
-/// ```
-/// use sodiff_core::prelude::*;
-/// use sodiff_graph::generators;
-///
-/// let g = generators::torus2d(8, 8);
-/// let mut sim = Experiment::on(&g)
-///     .discrete(Rounding::randomized(1))
-///     .sos(1.7)
-///     .build()
-///     .unwrap()
-///     .simulator();
-/// let report = sim.run_when(
-///     |sim| sim.metrics().potential_over_n < 1000.0,
-///     StopCondition::MaxRounds(300),
-///     &mut NullObserver,
-/// );
-/// assert!(report.switch_round.is_some());
-/// ```
-#[deprecated(since = "0.1.0", note = "use Simulator::run_when")]
-pub fn run_hybrid_when(
-    sim: &mut Simulator<'_>,
-    trigger: impl FnMut(&Simulator<'_>) -> bool,
-    total_rounds: u64,
-    observer: &mut dyn Observer,
-) -> HybridReport {
-    sim.run_when(
-        trigger,
-        StopCondition::MaxRounds(total_rounds as usize),
-        observer,
-    )
-    .into()
-}
-
-/// Convenience: run SOS until the policy fires, then FOS until
-/// `total_rounds` is exhausted, without an observer.
-///
-/// # Replacement
-///
-/// ```
-/// use sodiff_core::prelude::*;
-/// use sodiff_graph::generators;
-///
-/// let g = generators::torus2d(8, 8);
-/// let mut sim = Experiment::on(&g)
-///     .discrete(Rounding::randomized(1))
-///     .sos(1.9)
-///     .build()
-///     .unwrap()
-///     .simulator();
-/// let report = sim.run_hybrid(
-///     SwitchPolicy::AtRound(50),
-///     StopCondition::MaxRounds(200),
-/// );
-/// assert_eq!(report.switch_round, Some(50));
-/// ```
-#[deprecated(since = "0.1.0", note = "use Simulator::run_hybrid")]
-pub fn run_hybrid_quiet(
-    sim: &mut Simulator<'_>,
-    policy: SwitchPolicy,
-    total_rounds: u64,
-) -> HybridReport {
-    sim.run_hybrid(policy, StopCondition::MaxRounds(total_rounds as usize))
-        .into()
 }
 
 /// Runs the pure-SOS baseline and the hybrid side by side on identical
@@ -290,19 +166,6 @@ mod tests {
         // Trigger stops being evaluated after it fires.
         assert_eq!(calls, 31);
         assert_eq!(sim.scheme(), Scheme::fos());
-    }
-
-    #[test]
-    fn deprecated_shims_match_methods() {
-        let g = generators::torus2d(6, 6);
-        let mut a = sos_sim(&g, 8);
-        let mut b = sos_sim(&g, 8);
-        #[allow(deprecated)]
-        let old = run_hybrid_quiet(&mut a, SwitchPolicy::AtRound(20), 60);
-        let new = b.run_hybrid(SwitchPolicy::AtRound(20), StopCondition::MaxRounds(60));
-        assert_eq!(old.switch_round, new.switch_round);
-        assert_eq!(old.run, new);
-        assert_eq!(a.loads_i64().unwrap(), b.loads_i64().unwrap());
     }
 
     /// The paper's headline hybrid result: switching to FOS drops the

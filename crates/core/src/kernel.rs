@@ -23,6 +23,50 @@
 //! `α_e·(x_u/s_u − x_v/s_v)` costs. For the edge-local rounding schemes
 //! the rounding is fused into the same pass, saving a full sweep over the
 //! edge arrays per round.
+//!
+//! # The streaming three-phase randomized pipeline
+//!
+//! The paper's randomized rounding framework is node-centric (each node
+//! rounds all its outgoing flows together), which used to cost four
+//! sweeps with two indirections each: a scheduled pass, an arc pass that
+//! *gathered* `sched[arc_edges[p]]`, a combine pass that gathered
+//! `arc_out[edge_arc_pos[e]]`, and the apply pass. It now runs as three
+//! streaming phases:
+//!
+//! 1. [`edge_pass_scatter`] — one sweep over edges computes the scheduled
+//!    flow `Ŷ_e`, floors the sending side's outflow `|Ŷ_e|` on the spot
+//!    (one floor per edge instead of one per positive arc), writes the
+//!    signed base straight into the edge's flow slot, and *scatters* the
+//!    fractional part into the sending arc's slot
+//!    (`arc_frac[pos_send] = {|Ŷ_e|}`, `arc_frac[pos_recv] = 0`), all
+//!    with branchless sign masks. For [`FlowMemory::Scheduled`] the SOS
+//!    memory is updated in the same pass.
+//! 2. [`arc_round_streamed`] — one sweep over nodes sums its arc range
+//!    of `arc_frac` **contiguously** (no edge-id chase; zero slots leave
+//!    the classic positive-outflow sum unchanged bit for bit), skips
+//!    nodes with `r = 0` — the common case away from the diffusion
+//!    wavefront — and distributes the `⌈r⌉` excess tokens using per-node
+//!    RNG streams whose warmed-up states a flat
+//!    [`crate::rng::fill_node_states`] sweep precomputed into a scratch
+//!    buffer (one `mix64` per node instead of key construction plus a
+//!    discarded warm-up draw); each token's draw comes straight off the
+//!    stream counter ([`crate::rng::nth_u64`]), so draws are independent
+//!    `mix64` chains with no serial dependency, and the target arc is
+//!    found by a branchless count of passed prefix sums.
+//! 3. [`prev_from_flows`] — for [`FlowMemory::Rounded`], a pure zipped
+//!    edge sweep copies the integral flows into the SOS memory. Under
+//!    the worker pool this phase shares a barrier interval with the
+//!    apply pass (both only read `flows`), so the framework now costs
+//!    two internal barriers per round instead of three.
+//!
+//! The pipeline is bit-identical to the original formulation (golden
+//! traces in `tests/golden_trace.rs`, reference-equivalence tests below):
+//! the arc slots hold exactly the outflow values `Ŷ_e·sign` the gather
+//! produced, and the per-node token draws consume the same
+//! `(seed, node, round)`-keyed streams.
+//!
+//! This module is exported `#[doc(hidden)]` so the workspace's criterion
+//! benches can time each phase in isolation; it is **not** a stable API.
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -31,13 +75,13 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
 use sodiff_graph::{Graph, Speeds};
 
 use crate::engine::FlowMemory;
-use crate::rng::SplitMix64;
+use crate::rng::{self, SplitMix64};
 use crate::rounding::Rounding;
 
 /// Immutable per-simulation tables shared by the sequential executor and
 /// the worker pool (via `Arc`): division-free edge coefficients plus a
 /// structure-of-arrays copy of the CSR adjacency.
-pub(crate) struct KernelTables {
+pub struct KernelTables {
     /// Node count.
     pub n: usize,
     /// Edge count.
@@ -123,7 +167,7 @@ impl KernelTables {
 /// The element slice is exposed so hot loops can zip a sub-range and let
 /// the compiler elide per-element bounds checks; `get`/`set` cover random
 /// access.
-pub(crate) trait BufF64 {
+pub trait BufF64 {
     /// Storage element (`Cell<f64>` or `AtomicU64`).
     type Elem;
     /// The backing elements.
@@ -145,7 +189,7 @@ pub(crate) trait BufF64 {
 }
 
 /// Shared-writable `i64` storage (see [`BufF64`]).
-pub(crate) trait BufI64 {
+pub trait BufI64 {
     /// Storage element (`Cell<i64>` or `AtomicI64`).
     type Elem;
     /// The backing elements.
@@ -167,24 +211,24 @@ pub(crate) trait BufI64 {
 }
 
 /// [`BufF64`] over a plain slice via `Cell` (single-threaded).
-pub(crate) struct CellsF64<'a>(pub &'a [Cell<f64>]);
+pub struct CellsF64<'a>(pub &'a [Cell<f64>]);
 
 /// [`BufI64`] over a plain slice via `Cell` (single-threaded).
-pub(crate) struct CellsI64<'a>(pub &'a [Cell<i64>]);
+pub struct CellsI64<'a>(pub &'a [Cell<i64>]);
 
 /// [`BufF64`] over relaxed atomics storing `f64` bits (worker pool).
-pub(crate) struct AtomicsF64<'a>(pub &'a [AtomicU64]);
+pub struct AtomicsF64<'a>(pub &'a [AtomicU64]);
 
 /// [`BufI64`] over relaxed atomics (worker pool).
-pub(crate) struct AtomicsI64<'a>(pub &'a [AtomicI64]);
+pub struct AtomicsI64<'a>(pub &'a [AtomicI64]);
 
 /// Shared-writable view of a mutable `f64` slice.
-pub(crate) fn cells_f64(s: &mut [f64]) -> CellsF64<'_> {
+pub fn cells_f64(s: &mut [f64]) -> CellsF64<'_> {
     CellsF64(Cell::from_mut(s).as_slice_of_cells())
 }
 
 /// Shared-writable view of a mutable `i64` slice.
-pub(crate) fn cells_i64(s: &mut [i64]) -> CellsI64<'_> {
+pub fn cells_i64(s: &mut [i64]) -> CellsI64<'_> {
     CellsI64(Cell::from_mut(s).as_slice_of_cells())
 }
 
@@ -301,9 +345,10 @@ fn ceil_i64(r: f64) -> i64 {
 /// # Panics
 ///
 /// Panics for [`Rounding::RandomizedFramework`], which is node-centric and
-/// runs through [`edge_pass_scheduled`] → [`arc_round`] → [`edge_combine`].
+/// runs through [`edge_pass_scatter`] → [`arc_round_streamed`] →
+/// [`prev_from_flows`].
 #[allow(clippy::too_many_arguments)] // a flat hot-path kernel; a params struct would obscure it
-pub(crate) fn edge_pass_fused<P: BufF64, F: BufI64>(
+pub fn edge_pass_fused<P: BufF64, F: BufI64>(
     t: &KernelTables,
     edges: Range<usize>,
     mem: f64,
@@ -359,35 +404,74 @@ pub(crate) fn edge_pass_fused<P: BufF64, F: BufI64>(
     }
 }
 
-/// Scheduled-flow-only edge pass (phase 1 of the randomized framework).
-pub(crate) fn edge_pass_scheduled<S: BufF64>(
+/// Phase 1 of the randomized framework: computes the scheduled flow
+/// `Ŷ_e`, **floors it right here** (the sending side's outflow is `|Ŷ_e|`
+/// and its floor is the edge's base flow, so the per-arc floor pass of the
+/// old formulation collapses into this per-edge one), writes the signed
+/// base into the edge's flow slot, and *scatters* the fractional part
+/// into the sending side's arc slot (`0.0` into the receiving side's).
+/// The node-centric rounding phase then only sums its contiguous frac
+/// slots and distributes excess tokens. For [`FlowMemory::Scheduled`]
+/// the SOS memory is updated in the same sweep.
+///
+/// The sending-side selection is computed with arithmetic masks rather
+/// than branches — the sign of `Ŷ_e` is data-dependent and essentially
+/// random mid-simulation, so a branch here would mispredict about half
+/// the time.
+#[allow(clippy::too_many_arguments)] // a flat hot-path kernel; a params struct would obscure it
+pub fn edge_pass_scatter<A: BufF64, F: BufI64, P: BufF64>(
     t: &KernelTables,
     edges: Range<usize>,
     mem: f64,
     gain: f64,
+    flow_memory: FlowMemory,
     x: impl Fn(usize) -> f64,
-    prev: impl Fn(usize) -> f64,
-    sched: &S,
+    arc_frac: &A,
+    flows: &F,
+    prev: &P,
 ) {
-    let e0 = edges.start;
     let tails = &t.tail[edges.clone()];
     let heads = &t.head[edges.clone()];
     let coefs = t.coef_tail[edges.clone()]
         .iter()
         .zip(&t.coef_head[edges.clone()]);
-    let scheds = &sched.elems()[edges];
-    for (k, (((&u, &v), (&ct, &ch)), se)) in
-        tails.iter().zip(heads).zip(coefs).zip(scheds).enumerate()
-    {
-        let s = mem * prev(e0 + k) + gain * (ct * x(u as usize) - ch * x(v as usize));
-        S::write(se, s);
+    let positions = &t.edge_arc_pos[edges.clone()];
+    let prevs = &prev.elems()[edges.clone()];
+    let flow_elems = &flows.elems()[edges];
+    let arrays = tails
+        .iter()
+        .zip(heads)
+        .zip(coefs)
+        .zip(positions)
+        .zip(prevs)
+        .zip(flow_elems);
+    for (((((&u, &v), (&ct, &ch)), &(pt, ph)), pe), fe) in arrays {
+        let s = mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize));
+        // `trunc(Ŷ) = sign·⌊|Ŷ|⌋` *is* the signed base flow, and
+        // `|Ŷ − trunc(Ŷ)|` is exactly the sending side's fractional part
+        // (the subtraction is exact by Sterbenz, and negation is exact),
+        // so one saturating cast replaces the abs/floor/sign-multiply
+        // chain.
+        let base = trunc_i64(s);
+        let frac = (s - base as f64).abs();
+        // Branchless sending-side masks: tail sends iff Ŷ_e > 0. The
+        // receiving slot gets `frac − frac_send`, which is exactly `+0.0`
+        // or `frac`.
+        let tail_sends = f64::from(u8::from(s > 0.0));
+        let frac_tail = frac * tail_sends;
+        arc_frac.set(pt as usize, frac_tail);
+        arc_frac.set(ph as usize, frac - frac_tail);
+        F::write(fe, base);
+        if matches!(flow_memory, FlowMemory::Scheduled) {
+            P::write(pe, s);
+        }
     }
 }
 
 /// Fused edge pass for continuous mode: the scheduled flow *is* the flow,
 /// so it is written straight into the flow memory (which the apply pass
 /// then reads as this round's flows).
-pub(crate) fn edge_pass_continuous<P: BufF64>(
+pub fn edge_pass_continuous<P: BufF64>(
     t: &KernelTables,
     edges: Range<usize>,
     mem: f64,
@@ -407,91 +491,133 @@ pub(crate) fn edge_pass_continuous<P: BufF64>(
     }
 }
 
-/// Node-centric randomized-framework pass over `nodes` (paper
-/// Section III-B): floors every positive outgoing flow into its arc slot,
-/// then distributes the `⌈r⌉` excess tokens randomly, keyed by
-/// `(seed, node, round)` so the result is independent of chunking.
-pub(crate) fn arc_round(
+/// Reusable per-participant scratch of the randomized framework's
+/// rounding phase: the bulk-swept RNG states of the participant's node
+/// chunk.
+#[derive(Default)]
+pub struct FwScratch {
+    /// Warmed-up SplitMix64 states, one per node of the current chunk
+    /// (filled by [`crate::rng::fill_node_states`]).
+    states: Vec<u64>,
+}
+
+impl FwScratch {
+    /// An empty scratch (buffers grow on first use and are then reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Phase 2 of the randomized framework: node-centric excess-token
+/// distribution over `nodes` (paper Section III-B). Phase 1 already wrote
+/// every edge's floored base flow and scattered the fractional parts into
+/// arc slots, so each node only sums its **contiguous** `arc_frac` range
+/// to get `r` (slots of arcs that don't send are exactly `0.0` and leave
+/// the sum unchanged, so this equals the classic sum over positive
+/// outflows), skips out when `r == 0` — the common case away from the
+/// diffusion wavefront — and otherwise sends `⌈r⌉` excess tokens: each
+/// token picks the first arc whose cumulative frac exceeds its draw, via
+/// a branchless count of passed prefix sums (zero-frac slots can never be
+/// selected), and increments that edge's flow. Exactly one endpoint of an
+/// edge owns positive fracs for it, so flow slots have one writer.
+///
+/// The per-node random streams are keyed by `(seed, node, round)` — so
+/// the result is independent of chunking — but their warmed-up states are
+/// precomputed by a flat [`crate::rng::fill_node_states`] sweep into
+/// `scratch.states` (one `mix64` per node instead of key construction
+/// plus a discarded draw), and the `k`-th token draw is computed directly
+/// from the stream counter ([`crate::rng::nth_u64`]), so successive draws
+/// have no serial RNG dependency. Draw-for-draw identical to
+/// [`SplitMix64::for_node_round`].
+pub fn arc_round_streamed<A: BufF64, F: BufI64>(
     t: &KernelTables,
     nodes: Range<usize>,
     seed: u64,
     round: u64,
-    sched: impl Fn(usize) -> f64,
-    arc_out: &impl BufI64,
-    excess: &mut Vec<(usize, f64)>,
+    arc_frac: &A,
+    flows: &F,
+    scratch: &mut FwScratch,
 ) {
-    for p in t.offsets[nodes.start]..t.offsets[nodes.end] {
-        arc_out.set(p, 0);
+    let states = &mut scratch.states;
+    if states.len() != nodes.len() {
+        states.resize(nodes.len(), 0);
     }
-    for v in nodes {
-        excess.clear();
+    rng::fill_node_states(rng::round_key(seed, round), nodes.start, states);
+    // Walk the chunk's arc ranges by splitting running slices instead of
+    // re-slicing from `offsets` per node — one length computation and
+    // three `split_at`s per node, no repeated global-range checks.
+    let chunk_arcs = t.offsets[nodes.start]..t.offsets[nodes.end];
+    let mut fracs_rest = &arc_frac.elems()[chunk_arcs.clone()];
+    let mut edges_rest = &t.arc_edges[chunk_arcs.clone()];
+    let mut signs_rest = &t.arc_signs[chunk_arcs];
+    let offsets = &t.offsets[nodes.start..=nodes.end];
+    for (deg, &state) in offsets.windows(2).map(|w| w[1] - w[0]).zip(states.iter()) {
+        let (fracs, rest) = fracs_rest.split_at(deg);
+        fracs_rest = rest;
+        let (edges, rest) = edges_rest.split_at(deg);
+        edges_rest = rest;
+        let (signs, rest) = signs_rest.split_at(deg);
+        signs_rest = rest;
         let mut r = 0.0f64;
-        for p in t.offsets[v]..t.offsets[v + 1] {
-            let outflow = sched(t.arc_edges[p] as usize) * t.arc_signs[p] as f64;
-            if outflow > 0.0 {
-                let (base, frac) = floor_frac(outflow);
-                arc_out.set(p, base);
-                if frac > 0.0 {
-                    excess.push((p, frac));
-                    r += frac;
-                }
-            }
+        // `first` ends up as the index of the node's first positive-frac
+        // arc: the number of leading arcs whose cumulative sum is still
+        // zero. It serves as the race-safe target of masked-out token
+        // stores below (this node sends on it, so no other participant
+        // ever writes that edge).
+        let mut first = 0usize;
+        for fe in fracs {
+            r += A::read(fe);
+            first += usize::from(r == 0.0);
         }
-        if excess.is_empty() {
+        if r == 0.0 {
             continue;
         }
         let tokens = ceil_i64(r);
-        if tokens == 0 {
+        if tokens <= 0 {
+            // `r` can only be NaN here if a scheduled flow was NaN; the
+            // old formulation sent no tokens for such nodes either.
             continue;
         }
-        let mut rng = SplitMix64::for_node_round(seed, v as u32, round);
         let denom = tokens as f64;
-        for _ in 0..tokens {
-            // P(edge k) = frac_k / ⌈r⌉; P(stay) = 1 − r/⌈r⌉.
-            let u = rng.next_f64() * denom;
+        for k in 0..tokens as u64 {
+            // P(arc j) = frac_j / ⌈r⌉; P(stay) = 1 − r/⌈r⌉. The draw is
+            // computed from the stream counter (`nth_u64`), so successive
+            // tokens have no serial RNG dependency; the target arc is the
+            // branchless count of passed prefix sums (a selected arc
+            // always has a positive frac, so this node owns its edge);
+            // and a "stay" token degenerates to adding `0` to the first
+            // sending arc's edge instead of a mispredict-prone skip.
+            let u = rng::unit_f64(rng::nth_u64(state, k)) * denom;
             let mut cum = 0.0;
-            for &(p, frac) in &*excess {
-                cum += frac;
-                if u < cum {
-                    arc_out.set(p, arc_out.get(p) + 1);
-                    break;
-                }
+            let mut sel = 0usize;
+            for fe in fracs {
+                cum += A::read(fe);
+                sel += usize::from(u >= cum);
             }
+            let sent = sel < fracs.len();
+            let j = if sent { sel } else { first };
+            let fe = &flows.elems()[edges[j] as usize];
+            F::write(fe, F::read(fe) + signs[j] as i64 * i64::from(sent));
         }
     }
 }
 
-/// Combines the two arc sides of every edge into a signed edge flow
-/// (phase 3 of the randomized framework) and updates the SOS flow memory.
-pub(crate) fn edge_combine<F: BufI64, P: BufF64>(
-    t: &KernelTables,
-    edges: Range<usize>,
-    flow_memory: FlowMemory,
-    arc_out: impl Fn(usize) -> i64,
-    sched: impl Fn(usize) -> f64,
-    flows: &F,
-    prev: &P,
-) {
-    let e0 = edges.start;
-    let positions = &t.edge_arc_pos[edges.clone()];
+/// Phase 3 of the randomized framework under [`FlowMemory::Rounded`]: a
+/// pure zipped streaming sweep copying the integral flows into the SOS
+/// memory. ([`FlowMemory::Scheduled`] already updated the memory in
+/// phase 1.) Under the worker pool this runs in the same barrier interval
+/// as the apply pass — both only read `flows`.
+pub fn prev_from_flows<F: BufI64, P: BufF64>(edges: Range<usize>, flows: &F, prev: &P) {
     let flow_elems = &flows.elems()[edges.clone()];
     let prevs = &prev.elems()[edges];
-    for (k, ((&(pt, ph), fe), pe)) in positions.iter().zip(flow_elems).zip(prevs).enumerate() {
-        let y = arc_out(pt as usize) - arc_out(ph as usize);
-        F::write(fe, y);
-        P::write(
-            pe,
-            match flow_memory {
-                FlowMemory::Rounded => y as f64,
-                FlowMemory::Scheduled => sched(e0 + k),
-            },
-        );
+    for (fe, pe) in flow_elems.iter().zip(prevs) {
+        P::write(pe, F::read(fe) as f64);
     }
 }
 
 /// Node-centric application of integer flows to `nodes`; returns the
 /// range's minimum transient load `min_i (x_i − Σ outgoing)`.
-pub(crate) fn apply_discrete(
+pub fn apply_discrete(
     t: &KernelTables,
     nodes: Range<usize>,
     flows: impl Fn(usize) -> i64,
@@ -520,7 +646,7 @@ pub(crate) fn apply_discrete(
 }
 
 /// Continuous analog of [`apply_discrete`].
-pub(crate) fn apply_continuous(
+pub fn apply_continuous(
     t: &KernelTables,
     nodes: Range<usize>,
     flows: impl Fn(usize) -> f64,
@@ -654,16 +780,14 @@ mod tests {
                 &cells_f64(&mut fused_prev),
                 &cells_i64(&mut fused_flows),
             );
-            let mut sched = vec![0.0f64; m];
-            edge_pass_scheduled(
-                &t,
-                0..m,
-                0.4,
-                1.6,
-                |i| loads[i],
-                |e| prev_init[e],
-                &cells_f64(&mut sched),
-            );
+            let sched: Vec<f64> = (0..m)
+                .map(|e| {
+                    0.4 * prev_init[e]
+                        + 1.6
+                            * (t.coef_tail[e] * loads[t.tail[e] as usize]
+                                - t.coef_head[e] * loads[t.head[e] as usize])
+                })
+                .collect();
             assert_eq!(fused_prev, sched, "{rounding:?} flow memory");
             for e in 0..m {
                 let expected = match rounding {
@@ -682,9 +806,9 @@ mod tests {
     }
 
     #[test]
-    fn arc_round_plus_combine_matches_round_flows() {
-        // The chunked arc decomposition must reproduce the direct
-        // node-centric rounding exactly, for any chunk split.
+    fn streamed_pipeline_matches_round_flows() {
+        // Scatter + streamed rounding must reproduce the reference
+        // node-centric rounding exactly, for any node-chunk split.
         let g = generators::torus2d(4, 4);
         let s = Speeds::uniform(16);
         let t = KernelTables::new(&g, &s, true);
@@ -696,36 +820,87 @@ mod tests {
         let mut direct = vec![0i64; m];
         rounding.round_flows(&g, &sched, 5, &mut direct);
         for split in [1usize, 3, 16] {
-            let mut arc_out = vec![0i64; g.arc_count()];
-            let mut excess = Vec::new();
+            // Phase 1's floor + frac scatter, by hand (the edge pass
+            // itself is covered by the scatter test below and the
+            // engine-level golden-trace tests).
+            let mut arc_frac = vec![0.0f64; g.arc_count()];
+            let mut flows = vec![0i64; m];
+            for (e, &(pt, ph)) in t.edge_arc_pos.iter().enumerate() {
+                let s = sched[e];
+                let base = s.abs().floor();
+                let frac = s.abs() - base;
+                flows[e] = if s > 0.0 { base as i64 } else { -(base as i64) };
+                arc_frac[pt as usize] = if s > 0.0 { frac } else { 0.0 };
+                arc_frac[ph as usize] = if s > 0.0 { 0.0 } else { frac };
+            }
+            let mut scratch = FwScratch::new();
             let mut lo = 0;
             while lo < 16 {
                 let hi = (lo + split).min(16);
-                arc_round(
+                arc_round_streamed(
                     &t,
                     lo..hi,
                     11,
                     5,
-                    |e| sched[e],
-                    &cells_i64(&mut arc_out),
-                    &mut excess,
+                    &cells_f64(&mut arc_frac),
+                    &cells_i64(&mut flows),
+                    &mut scratch,
                 );
                 lo = hi;
             }
-            let mut flows = vec![0i64; m];
-            let mut prev = vec![0.0f64; m];
-            edge_combine(
+            assert_eq!(flows, direct, "split {split}");
+            let mut prev = vec![0.5f64; m];
+            prev_from_flows(0..m, &cells_i64(&mut flows), &cells_f64(&mut prev));
+            let as_f64: Vec<f64> = direct.iter().map(|&y| y as f64).collect();
+            assert_eq!(prev, as_f64, "split {split} flow memory");
+        }
+    }
+
+    #[test]
+    fn edge_pass_scatter_floors_flows_and_scatters_fracs() {
+        let g = generators::torus2d(3, 4);
+        let s = Speeds::uniform(12);
+        let t = KernelTables::new(&g, &s, true);
+        let m = t.m;
+        let loads: Vec<f64> = (0..12).map(|i| ((i * 7) % 5) as f64).collect();
+        let prev_init: Vec<f64> = (0..m).map(|e| (e as f64) * 0.11 - 0.9).collect();
+        let expected: Vec<f64> = (0..m)
+            .map(|e| {
+                0.3 * prev_init[e]
+                    + 1.7
+                        * (t.coef_tail[e] * loads[t.tail[e] as usize]
+                            - t.coef_head[e] * loads[t.head[e] as usize])
+            })
+            .collect();
+        for memory in [FlowMemory::Rounded, FlowMemory::Scheduled] {
+            let mut arc_frac = vec![9.9f64; g.arc_count()];
+            let mut flows = vec![77i64; m];
+            let mut prev = prev_init.clone();
+            edge_pass_scatter(
                 &t,
                 0..m,
-                FlowMemory::Rounded,
-                |p| arc_out[p],
-                |e| sched[e],
+                0.3,
+                1.7,
+                memory,
+                |i| loads[i],
+                &cells_f64(&mut arc_frac),
                 &cells_i64(&mut flows),
                 &cells_f64(&mut prev),
             );
-            assert_eq!(flows, direct, "split {split}");
-            let as_f64: Vec<f64> = direct.iter().map(|&y| y as f64).collect();
-            assert_eq!(prev, as_f64, "split {split} flow memory");
+            for (e, &(pt, ph)) in t.edge_arc_pos.iter().enumerate() {
+                let s = expected[e];
+                let base = s.abs().floor();
+                let frac = s.abs() - base;
+                let signed_base = if s > 0.0 { base as i64 } else { -(base as i64) };
+                assert_eq!(flows[e], signed_base, "{memory:?} base flow {e}");
+                let (want_t, want_h) = if s > 0.0 { (frac, 0.0) } else { (0.0, frac) };
+                assert_eq!(arc_frac[pt as usize], want_t, "{memory:?} tail frac {e}");
+                assert_eq!(arc_frac[ph as usize], want_h, "{memory:?} head frac {e}");
+            }
+            match memory {
+                FlowMemory::Rounded => assert_eq!(prev, prev_init),
+                FlowMemory::Scheduled => assert_eq!(prev, expected),
+            }
         }
     }
 

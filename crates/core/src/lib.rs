@@ -70,9 +70,9 @@
 //! ```
 //!
 //! The pre-0.2 surface (`SimulationConfig::{discrete,continuous}`,
-//! `Simulator::new`, the `run_hybrid*` free functions) remains available
-//! as `#[deprecated]` shims for one release; each shim's docs show the
-//! replacement call.
+//! `Simulator::new`, the `run_hybrid*` free functions) has been removed
+//! after one deprecation release; the builder and the `Simulator` methods
+//! above are the only entry points.
 //!
 //! # Performance
 //!
@@ -94,37 +94,53 @@
 //! baseline x86-64 the libm calls dominated the old kernel). Hot loops zip
 //! pre-sliced ranges so bounds checks vanish without any `unsafe`.
 //!
-//! **Persistent worker pool** (`pool` module, crate-private). With
-//! [`ExperimentBuilder::threads`]`(t > 1)`, `t − 1` workers are spawned
-//! once and park on a barrier between rounds; each round costs a handful
-//! of barrier waits instead of the `threads × phases` thread spawns of the
-//! previous scoped-thread executor. The pool is split from the
-//! per-simulation state, so the batch [`Driver`] re-targets one pool at
-//! every simulation of a scenario file instead of respawning per
-//! `Simulator`. Phases run the *same* kernel functions as the sequential
-//! path over relaxed-atomic views of the state, in the same per-element
-//! order, so pooled results are **bit-identical** to sequential ones
-//! (enforced by `tests/determinism.rs` across every scheme × rounding ×
-//! mode × thread-count combination).
+//! **Streaming three-phase randomized pipeline** (`kernel` module). The
+//! paper's randomized rounding framework — long the slowest discrete
+//! configuration — runs as three streaming phases instead of four
+//! gather-heavy sweeps: the edge pass floors the scheduled flow on the
+//! spot (one truncating cast per edge) and scatters the fractional part
+//! into the sending side's arc slot; the node-centric rounding phase then
+//! reads its fracs **contiguously**, skips token-free nodes, and
+//! distributes excess tokens with per-node RNG streams whose warmed-up
+//! states come from a flat bulk sweep (`rng::fill_node_states`, the
+//! warm-up discard fused into the key mix) and whose draws come straight
+//! off the stream counter (`rng::nth_u64`) with a branchless
+//! prefix-count selection — no serial RNG dependency, no data-dependent
+//! branch per entry. All outputs are **bit-identical** to the original
+//! per-node `SplitMix64` formulation (`tests/golden_trace.rs`,
+//! `tests/golden_rng.rs`).
+//!
+//! **Persistent worker pool + concurrent scenario scheduling** (`pool` /
+//! `driver` modules). With [`ExperimentBuilder::threads`]`(t > 1)`,
+//! `t − 1` workers are spawned once and park on a barrier between rounds;
+//! the framework now needs two internal barriers per round (the
+//! flow-memory copy shares the apply pass's barrier interval). The batch
+//! [`Driver`] re-targets one pool at every simulation of a scenario file
+//! ([`Driver::with_threads`]) or — new — schedules **independent
+//! scenarios concurrently** ([`Driver::concurrent`]): K workers pull
+//! scenarios off a work-stealing queue and run each on the sequential
+//! executor, which scales with cores for many-small-scenario batches
+//! without any per-round synchronization. Pooled and concurrent results
+//! are **bit-identical** to sequential ones (`tests/determinism.rs`,
+//! `tests/driver_concurrent.rs`).
 //!
 //! **Measured baseline** (single-core CI container, 2026-07; sequential
-//! unless noted; ns per edge per round):
+//! unless noted; ns per edge per round; "before" = the PR-2 committed
+//! `BENCH_rounds.json`):
 //!
 //! | case | before | after | speedup |
 //! |------|-------:|------:|--------:|
-//! | 512×512 torus, FOS discrete nearest | 9.50 | 5.89 | 1.61× |
-//! | 256×256 torus, SOS discrete nearest | 9.91 | 6.21 | 1.60× |
-//! | 256×256 torus, SOS continuous | 6.01 | 4.43 | 1.36× |
-//! | 256×256 torus, SOS continuous, 4 threads | 12.99 | 5.69 | 2.28× |
-//! | 256×256 torus, SOS discrete nearest, 4 threads | 11.43 | 8.89 | 1.29× |
+//! | 256×256 torus, SOS discrete **randomized** | 25.43 | 16.31 | 1.56× |
+//! | 256×256 torus, SOS discrete randomized, 4 threads | 27.11 | 18.35 | 1.48× |
+//! | 256×256 torus, SOS discrete nearest | 7.13 | 7.56 | ~1× |
+//! | 256×256 torus, SOS continuous | 4.36 | 4.42 | ~1× |
+//! | 512×512 torus, FOS discrete nearest | 7.17 | 7.60 | ~1× |
 //!
-//! The 4-thread rows compare the old scoped-spawn executor against the
-//! pool at the same thread count — on the single-core benchmark host a
-//! wall-clock parallel speedup is impossible, so the pooled rows measure
-//! pure executor overhead (now close to the sequential cost, where the old
-//! executor doubled it). On multi-core hosts the same overhead reduction
-//! is what moves the multi-threading break-even from ~10⁵ down to ~10⁴
-//! edges.
+//! The randomized framework was the target of this round of work; the
+//! other configurations are unchanged within noise. On the single-core
+//! benchmark host a wall-clock parallel speedup is impossible, so the
+//! 4-thread and `driver_batch_concurrent` rows of `BENCH_rounds.json`
+//! measure pure scheduling overhead; re-measure on a multi-core host.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -137,7 +153,8 @@ mod error;
 mod experiment;
 pub mod hybrid;
 mod init;
-mod kernel;
+#[doc(hidden)]
+pub mod kernel;
 pub mod metrics;
 mod observer;
 mod pool;
@@ -169,10 +186,7 @@ pub mod prelude {
     };
     pub use crate::error::{BuildError, ParseError};
     pub use crate::experiment::{Experiment, ExperimentBuilder};
-    #[allow(deprecated)]
-    pub use crate::hybrid::{
-        run_hybrid, run_hybrid_quiet, run_hybrid_when, HybridReport, SwitchPolicy,
-    };
+    pub use crate::hybrid::SwitchPolicy;
     pub use crate::init::InitialLoad;
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::observer::{MetricsRow, MultiObserver, NullObserver, Observer, Recorder};

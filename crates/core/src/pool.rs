@@ -27,7 +27,7 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::thread::JoinHandle;
 
 use crate::engine::FlowMemory;
-use crate::kernel::{self, AtomicsF64, AtomicsI64, KernelTables};
+use crate::kernel::{self, AtomicsF64, AtomicsI64, FwScratch, KernelTables};
 use crate::rounding::Rounding;
 
 /// Which phase sequence a round runs; fixed per job.
@@ -36,8 +36,10 @@ pub(crate) enum PoolMode {
     /// Discrete mode with an edge-local rounding scheme: one fused edge
     /// phase, one apply phase.
     DiscreteEdgeLocal(Rounding),
-    /// Discrete mode with the node-centric randomized framework: scheduled
-    /// phase, arc-rounding phase, combine phase, apply phase.
+    /// Discrete mode with the node-centric randomized framework: the
+    /// streaming three-phase pipeline (scatter phase, arc-rounding phase,
+    /// then flow-memory copy fused into the apply phase's barrier
+    /// interval — both only read the flows).
     DiscreteFramework {
         /// RNG seed of the framework.
         seed: u64,
@@ -64,9 +66,9 @@ pub(crate) struct RoundJob {
     loads_i: Vec<AtomicI64>,
     loads_f: Vec<AtomicU64>,
     prev: Vec<AtomicU64>,
-    sched: Vec<AtomicU64>,
+    /// Arc-indexed signed scheduled flows (framework jobs only).
+    arc_frac: Vec<AtomicU64>,
     flows: Vec<AtomicI64>,
-    arc_out: Vec<AtomicI64>,
     /// Per-participant minimum transient load of the last round (bits).
     mins: Vec<AtomicU64>,
 }
@@ -102,13 +104,10 @@ impl RoundJob {
                 .map(|&x| AtomicU64::new(x.to_bits()))
                 .collect(),
             prev: (0..m).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
-            sched: (0..if framework { m } else { 0 })
+            arc_frac: (0..if framework { arcs } else { 0 })
                 .map(|_| AtomicU64::new(0))
                 .collect(),
             flows: (0..if loads_i.is_empty() { 0 } else { m })
-                .map(|_| AtomicI64::new(0))
-                .collect(),
-            arc_out: (0..if framework { arcs } else { 0 })
                 .map(|_| AtomicI64::new(0))
                 .collect(),
             mins: (0..threads).map(|_| AtomicU64::new(0)).collect(),
@@ -118,7 +117,7 @@ impl RoundJob {
     /// Runs participant `t`'s share of one round. Called by workers and —
     /// for participant 0 — by the simulator thread itself. `barrier` is
     /// the owning pool's phase barrier.
-    fn run_chunk(&self, barrier: &Barrier, t: usize, excess: &mut Vec<(usize, f64)>) {
+    fn run_chunk(&self, barrier: &Barrier, t: usize, scratch: &mut FwScratch) {
         let tables = &*self.tables;
         let mem = f64::from_bits(self.mem_bits.load(Ordering::Relaxed));
         let gain = f64::from_bits(self.gain_bits.load(Ordering::Relaxed));
@@ -151,36 +150,34 @@ impl RoundJob {
                 self.mins[t].store(mt.to_bits(), Ordering::Relaxed);
             }
             PoolMode::DiscreteFramework { seed } => {
-                kernel::edge_pass_scheduled(
+                kernel::edge_pass_scatter(
                     tables,
                     edges.clone(),
                     mem,
                     gain,
-                    |i| self.loads_i[i].load(Ordering::Relaxed) as f64,
-                    |e| f64::from_bits(self.prev[e].load(Ordering::Relaxed)),
-                    &AtomicsF64(&self.sched),
-                );
-                barrier.wait();
-                kernel::arc_round(
-                    tables,
-                    nodes.clone(),
-                    seed,
-                    round,
-                    |e| f64::from_bits(self.sched[e].load(Ordering::Relaxed)),
-                    &AtomicsI64(&self.arc_out),
-                    excess,
-                );
-                barrier.wait();
-                kernel::edge_combine(
-                    tables,
-                    edges,
                     self.flow_memory,
-                    |p| self.arc_out[p].load(Ordering::Relaxed),
-                    |e| f64::from_bits(self.sched[e].load(Ordering::Relaxed)),
+                    |i| self.loads_i[i].load(Ordering::Relaxed) as f64,
+                    &AtomicsF64(&self.arc_frac),
                     &flows,
                     &prev,
                 );
                 barrier.wait();
+                kernel::arc_round_streamed(
+                    tables,
+                    nodes.clone(),
+                    seed,
+                    round,
+                    &AtomicsF64(&self.arc_frac),
+                    &flows,
+                    scratch,
+                );
+                barrier.wait();
+                // Same barrier interval as the apply pass: both only read
+                // the flows (the copy writes `prev`, the apply writes
+                // `loads` — disjoint).
+                if matches!(self.flow_memory, FlowMemory::Rounded) {
+                    kernel::prev_from_flows(edges, &flows, &prev);
+                }
                 let mt = kernel::apply_discrete(
                     tables,
                     nodes,
@@ -274,7 +271,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("sodiff-worker-{t}"))
                     .spawn(move || {
-                        let mut excess = Vec::new();
+                        let mut scratch = FwScratch::new();
                         loop {
                             sh.barrier.wait();
                             if sh.stop.load(Ordering::Acquire) {
@@ -286,7 +283,7 @@ impl WorkerPool {
                                 .expect("pool job lock poisoned")
                                 .clone()
                                 .expect("round released without a job");
-                            job.run_chunk(&sh.barrier, t, &mut excess);
+                            job.run_chunk(&sh.barrier, t, &mut scratch);
                             sh.barrier.wait();
                         }
                     })
@@ -308,7 +305,7 @@ impl WorkerPool {
 
     /// Executes one full round of `job` on the pool and returns the
     /// round's minimum transient load. The calling thread participates as
-    /// chunk 0; `excess` is its framework-rounding scratch.
+    /// chunk 0; `scratch` is its framework-rounding scratch.
     ///
     /// Concurrent callers (two simulations sharing one pool) are
     /// serialized round by round: the barrier protocol admits exactly one
@@ -319,7 +316,7 @@ impl WorkerPool {
         mem: f64,
         gain: f64,
         round: u64,
-        excess: &mut Vec<(usize, f64)>,
+        scratch: &mut FwScratch,
     ) -> f64 {
         let _round = self
             .inner
@@ -337,7 +334,7 @@ impl WorkerPool {
             }
         }
         self.inner.barrier.wait();
-        job.run_chunk(&self.inner.barrier, 0, excess);
+        job.run_chunk(&self.inner.barrier, 0, scratch);
         self.inner.barrier.wait();
         job.mins
             .iter()
@@ -394,8 +391,8 @@ mod tests {
             &[],
         ));
         // Balanced start: every scheduled flow is 0, loads stay put.
-        let mut excess = Vec::new();
-        let mt = pool.run_round(&job, 0.0, 1.0, 0, &mut excess);
+        let mut scratch = FwScratch::new();
+        let mt = pool.run_round(&job, 0.0, 1.0, 0, &mut scratch);
         assert_eq!(mt, 10.0);
         let mut out = vec![0i64; 16];
         job.read_loads_i(&mut out);
@@ -407,7 +404,7 @@ mod tests {
     fn pool_is_reusable_across_jobs() {
         use sodiff_graph::{generators, Speeds};
         let pool = WorkerPool::new(4);
-        let mut excess = Vec::new();
+        let mut scratch = FwScratch::new();
         // Two different graphs and modes, one pool, interleaved rounds.
         let g1 = generators::torus2d(3, 5);
         let t1 = Arc::new(KernelTables::new(&g1, &Speeds::uniform(15), false));
@@ -430,8 +427,8 @@ mod tests {
             &[3.0f64; 9],
         ));
         for round in 0..4 {
-            assert_eq!(pool.run_round(&job1, 0.0, 1.0, round, &mut excess), 7.0);
-            assert_eq!(pool.run_round(&job2, 0.0, 1.0, round, &mut excess), 3.0);
+            assert_eq!(pool.run_round(&job1, 0.0, 1.0, round, &mut scratch), 7.0);
+            assert_eq!(pool.run_round(&job2, 0.0, 1.0, round, &mut scratch), 3.0);
         }
         let mut out = vec![0i64; 15];
         job1.read_loads_i(&mut out);

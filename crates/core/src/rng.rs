@@ -6,6 +6,19 @@
 //! solid 64-bit mixer — keyed by `(seed, node, round)`. This also makes
 //! results independent of iteration order: a parallel executor touching
 //! nodes in any order produces bit-identical flows.
+//!
+//! The hot path does not construct a [`SplitMix64`] per node: the
+//! per-round part of the key is hoisted by [`round_key`], and
+//! [`fill_node_states`] computes the warmed-up stream states for a whole
+//! node range in one flat, auto-vectorizable sweep (one `mix64` per node
+//! instead of the two finalizer rounds plus discarded warm-up draw the
+//! keyed constructor pays). The sweep is bit-identical to
+//! [`SplitMix64::for_node_round`]: resuming a state it produced with
+//! [`SplitMix64::new`] yields exactly the canonical `(seed, node, round)`
+//! stream, which `tests/golden_rng.rs` proves draw by draw.
+
+/// The SplitMix64 state increment (golden-ratio constant).
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// SplitMix64 stream generator.
 #[derive(Debug, Clone)]
@@ -23,10 +36,7 @@ impl SplitMix64 {
     pub fn for_node_round(seed: u64, node: u32, round: u64) -> Self {
         // Mix the coordinates through two rounds of the finalizer so that
         // neighboring (node, round) pairs decorrelate.
-        let mut s = Self::new(
-            seed ^ mix64((node as u64).wrapping_add(0x9e37_79b9_7f4a_7c15))
-                ^ mix64(round.wrapping_mul(0xbf58_476d_1ce4_e5b9)),
-        );
+        let mut s = Self::new(seed ^ mix64((node as u64).wrapping_add(GAMMA)) ^ round_salt(round));
         s.next_u64(); // discard the first output to scramble low entropy
         s
     }
@@ -34,15 +44,14 @@ impl SplitMix64 {
     /// Next 64 uniformly distributed bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        self.state = self.state.wrapping_add(GAMMA);
         mix64(self.state)
     }
 
     /// Uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn next_f64(&mut self) -> f64 {
-        // 53 random mantissa bits.
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        unit_f64(self.next_u64())
     }
 }
 
@@ -51,6 +60,54 @@ fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// The round-dependent key contribution of
+/// [`SplitMix64::for_node_round`], shared by every node of a round.
+#[inline]
+fn round_salt(round: u64) -> u64 {
+    mix64(round.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+}
+
+/// Hoists the per-round half of the `(seed, node, round)` key: the value
+/// every node of `round` XORs its own node mix into.
+#[inline]
+pub fn round_key(seed: u64, round: u64) -> u64 {
+    seed ^ round_salt(round)
+}
+
+/// The `k`-th (0-indexed) output of the SplitMix64 stream at `state`,
+/// computed directly from the counter: identical to calling
+/// [`SplitMix64::next_u64`] `k + 1` times, but with no serial dependency
+/// between draws — consecutive `k` are independent `mix64` chains the CPU
+/// can overlap.
+#[inline]
+pub fn nth_u64(state: u64, k: u64) -> u64 {
+    mix64(state.wrapping_add(GAMMA.wrapping_mul(k.wrapping_add(1))))
+}
+
+/// Maps a random word to a uniform `f64` in `[0, 1)`, exactly as
+/// [`SplitMix64::next_f64`] does (53 mantissa bits).
+#[inline]
+pub fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Bulk draw sweep: fills `out[i]` with the **warmed-up** SplitMix64 state
+/// of node `first_node + i` for the round baked into `round_key` (from
+/// [`round_key`]).
+///
+/// The warm-up discard of [`SplitMix64::for_node_round`] is fused into the
+/// key mix — advancing the initial state by one `GAMMA` *is* discarding
+/// the first output — so the per-node cost collapses to a single `mix64`
+/// in a flat pass over consecutive node ids that the compiler can
+/// vectorize. Resuming `out[i]` with [`SplitMix64::new`] produces exactly
+/// the stream `for_node_round(seed, first_node + i, round)` would.
+pub fn fill_node_states(round_key: u64, first_node: usize, out: &mut [u64]) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let node = (first_node + i) as u64;
+        *slot = (round_key ^ mix64(node.wrapping_add(GAMMA))).wrapping_add(GAMMA);
+    }
 }
 
 #[cfg(test)]
@@ -72,6 +129,31 @@ mod tests {
         assert_ne!(x, SplitMix64::for_node_round(1, 2, 4).next_u64());
         assert_ne!(x, SplitMix64::for_node_round(1, 3, 3).next_u64());
         assert_ne!(x, SplitMix64::for_node_round(2, 2, 3).next_u64());
+    }
+
+    #[test]
+    fn bulk_sweep_matches_keyed_constructor() {
+        // The flat sweep must reproduce the canonical per-node streams
+        // bit for bit, warm-up discard included.
+        for seed in [0u64, 1, 42, u64::MAX] {
+            for round in [0u64, 1, 77, 1 << 40] {
+                let rk = round_key(seed, round);
+                let mut states = vec![0u64; 33];
+                fill_node_states(rk, 5, &mut states);
+                for (i, &state) in states.iter().enumerate() {
+                    let mut bulk = SplitMix64::new(state);
+                    let mut keyed = SplitMix64::for_node_round(seed, (5 + i) as u32, round);
+                    for draw in 0..8 {
+                        assert_eq!(
+                            bulk.next_u64(),
+                            keyed.next_u64(),
+                            "seed {seed} round {round} node {} draw {draw}",
+                            5 + i
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Property test: a concurrent `Driver` (K scenarios in flight on a
+//! work-stealing queue) produces batch reports identical to
+//! `Driver::new()`'s sequential execution, for arbitrary small batches
+//! over topology × scheme × rounding × seed.
+
+use proptest::prelude::*;
+
+use sodiff::core::prelude::*;
+use sodiff::core::Driver;
+
+/// One random-but-valid scenario line (sans `name=`); small graphs and
+/// short runs keep the 32-case budget fast.
+fn any_scenario_line() -> impl Strategy<Value = String> {
+    let topology = prop_oneof![
+        (2usize..8, 2usize..8).prop_map(|(r, c)| format!("torus2d:{r}:{c}")),
+        (3usize..24).prop_map(|n| format!("cycle:{n}")),
+        (2u32..5).prop_map(|d| format!("hypercube:{d}")),
+        (2usize..16).prop_map(|n| format!("star:{n}")),
+    ];
+    let scheme = prop_oneof![
+        Just("fos".to_string()),
+        (0.5f64..1.9).prop_map(|b| format!("sos:{b:.3}")),
+    ];
+    let rounding = prop_oneof![
+        Just("randomized"),
+        Just("round_down"),
+        Just("nearest"),
+        Just("unbiased"),
+    ];
+    (topology, scheme, rounding, 0u64..1000, 5usize..40).prop_map(
+        |(topology, scheme, rounding, seed, rounds)| {
+            format!(
+                "topology={topology} scheme={scheme} mode=discrete \
+                 rounding={rounding} seed={seed} init=paper stop=rounds:{rounds}"
+            )
+        },
+    )
+}
+
+fn any_batch() -> impl Strategy<Value = Vec<ScenarioSpec>> {
+    proptest::collection::vec(any_scenario_line(), 2..6).prop_map(|lines| {
+        let text: Vec<String> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, line)| format!("name=s{i} {line}"))
+            .collect();
+        ScenarioSpec::parse_many(&text.join("\n")).expect("generated specs parse")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn concurrent_driver_batches_match_sequential(specs in any_batch(), workers in 2usize..6) {
+        let sequential = Driver::new().run_batch(&specs).expect("valid batch");
+        let concurrent = Driver::concurrent(workers)
+            .expect("positive workers")
+            .run_batch(&specs)
+            .expect("valid batch");
+        prop_assert_eq!(sequential.scenarios.len(), concurrent.scenarios.len());
+        for (a, b) in sequential.scenarios.iter().zip(&concurrent.scenarios) {
+            prop_assert_eq!(&a.name, &b.name, "input order preserved");
+            prop_assert_eq!(&a.report, &b.report, "{} diverged", &a.name);
+            prop_assert_eq!(a.nodes, b.nodes);
+            prop_assert_eq!(a.edges, b.edges);
+        }
+        prop_assert_eq!(sequential.total_rounds, concurrent.total_rounds);
+        prop_assert_eq!(sequential.worst_max_minus_avg, concurrent.worst_max_minus_avg);
+        prop_assert_eq!(sequential.mean_max_minus_avg, concurrent.mean_max_minus_avg);
+    }
+}

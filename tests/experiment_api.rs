@@ -1,7 +1,7 @@
 //! Workspace-level tests of the unified experiment API: every invalid
 //! configuration path returns the right `BuildError` variant instead of
-//! panicking, scenario files through the batch `Driver` are bit-identical
-//! to hand-built simulators, and the deprecated shims still behave.
+//! panicking, and scenario files through the batch `Driver` are
+//! bit-identical to hand-built simulators.
 
 use sodiff::graph::{generators, GraphBuilder};
 use sodiff::linalg::spectral;
@@ -160,41 +160,22 @@ fn mixed_batch_over_one_pool_matches_standalone_runs() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_new_api() {
+fn experiment_run_matches_manual_hybrid_loop() {
+    // The builder's hybrid policy must equal driving an identically
+    // configured simulator by hand.
     let g = generators::torus2d(8, 8);
     let n = g.node_count();
-
-    // Old constructor pair vs builder: identical trajectories.
-    let config = SimulationConfig::discrete(Scheme::sos(1.9), Rounding::randomized(5));
-    let mut old_sim = Simulator::new(&g, config, InitialLoad::paper_default(n));
-    old_sim.run_until(StopCondition::MaxRounds(100));
-    let mut new_sim = Experiment::on(&g)
-        .discrete(Rounding::randomized(5))
-        .sos(1.9)
-        .init(InitialLoad::paper_default(n))
-        .build()
-        .unwrap()
-        .simulator();
-    new_sim.run_until(StopCondition::MaxRounds(100));
-    assert_eq!(old_sim.loads_i64().unwrap(), new_sim.loads_i64().unwrap());
-
-    // Old hybrid free functions vs the builder's hybrid policy.
-    let mut old_hybrid = Simulator::new(
-        &g,
-        SimulationConfig::discrete(Scheme::sos(1.9), Rounding::randomized(5)),
-        InitialLoad::paper_default(n),
-    );
-    let old_report = run_hybrid_quiet(&mut old_hybrid, SwitchPolicy::AtRound(30), 100);
-    let new_report = Experiment::on(&g)
+    let exp = Experiment::on(&g)
         .discrete(Rounding::randomized(5))
         .sos(1.9)
         .init(InitialLoad::paper_default(n))
         .hybrid(SwitchPolicy::AtRound(30))
         .stop(StopCondition::MaxRounds(100))
         .build()
-        .unwrap()
-        .run();
-    assert_eq!(old_report.switch_round, new_report.switch_round);
-    assert_eq!(old_report.run, new_report);
+        .unwrap();
+    let report = exp.run();
+    let mut manual = exp.simulator();
+    let manual_report = manual.run_hybrid(SwitchPolicy::AtRound(30), StopCondition::MaxRounds(100));
+    assert_eq!(report, manual_report);
+    assert_eq!(report.switch_round, Some(30));
 }

@@ -1,0 +1,66 @@
+//! Golden-trace bit-identity of the bulk RNG draw sweep.
+//!
+//! The randomized framework's hot path no longer constructs a
+//! `SplitMix64` per node: `rng::fill_node_states` computes warmed-up
+//! stream states in a flat sweep (warm-up discard fused into the key
+//! mix), and `rng::nth_u64` produces the `k`-th draw straight from the
+//! stream counter. Both must reproduce the canonical per-node
+//! constructor's streams draw for draw, or parallel chunking and replays
+//! would silently change every randomized experiment.
+
+use sodiff::core::rng::{self, SplitMix64};
+
+#[test]
+fn bulk_sweep_reproduces_keyed_streams_draw_for_draw() {
+    for seed in [0u64, 7, 0xdead_beef, u64::MAX] {
+        for round in [0u64, 1, 512, u64::MAX / 3] {
+            let key = rng::round_key(seed, round);
+            let first_node = 123usize;
+            let mut states = vec![0u64; 257];
+            rng::fill_node_states(key, first_node, &mut states);
+            for (i, &state) in states.iter().enumerate() {
+                let node = (first_node + i) as u32;
+                let mut reference = SplitMix64::for_node_round(seed, node, round);
+                let mut resumed = SplitMix64::new(state);
+                for draw in 0..12u64 {
+                    let want = reference.next_u64();
+                    assert_eq!(
+                        resumed.next_u64(),
+                        want,
+                        "sequential resume: seed {seed} round {round} node {node} draw {draw}"
+                    );
+                    assert_eq!(
+                        rng::nth_u64(state, draw),
+                        want,
+                        "counter draw: seed {seed} round {round} node {node} draw {draw}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unit_f64_matches_next_f64() {
+    let mut stream = SplitMix64::new(99);
+    let mut probe = SplitMix64::new(99);
+    for _ in 0..1000 {
+        let word = stream.next_u64();
+        assert_eq!(rng::unit_f64(word), probe.next_f64());
+    }
+}
+
+#[test]
+fn sweep_chunking_is_immaterial() {
+    // Filling [0, 64) in one go equals filling [0, 17) + [17, 64):
+    // chunked parallel executors see the same states.
+    let key = rng::round_key(5, 40);
+    let mut whole = vec![0u64; 64];
+    rng::fill_node_states(key, 0, &mut whole);
+    let mut lo = vec![0u64; 17];
+    let mut hi = vec![0u64; 47];
+    rng::fill_node_states(key, 0, &mut lo);
+    rng::fill_node_states(key, 17, &mut hi);
+    assert_eq!(&whole[..17], &lo[..]);
+    assert_eq!(&whole[17..], &hi[..]);
+}

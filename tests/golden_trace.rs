@@ -1,0 +1,109 @@
+//! Golden-trace bit-identity of the randomized rounding framework.
+//!
+//! The checksums below were captured from the pre-pipeline implementation
+//! (per-node `SplitMix64::for_node_round` construction, gather-based arc
+//! pass, arc-out combine) before it was rebuilt as the streaming
+//! three-phase pipeline. Any deviation — loads, flow memory, or minimum
+//! transient load, after dozens of rounds across FOS/SOS, both flow-memory
+//! modes, and heterogeneous speeds — fails these tests, proving the
+//! rewrite is bit-identical to the original randomized framework.
+
+use sodiff::graph::generators;
+use sodiff::prelude::*;
+
+/// FNV-1a over the full simulation state: loads, previous flows (bits),
+/// and the minimum transient load (bits).
+fn state_checksum(sim: &Simulator<'_>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for &x in sim.loads_i64().expect("golden traces are discrete") {
+        eat(&x.to_le_bytes());
+    }
+    for &f in sim.previous_flows() {
+        eat(&f.to_bits().to_le_bytes());
+    }
+    eat(&sim.min_transient_load().to_bits().to_le_bytes());
+    h
+}
+
+fn run_and_check(name: &str, expected: u64, mut sim: Simulator<'_>, rounds: usize) {
+    for _ in 0..rounds {
+        sim.step();
+    }
+    assert_eq!(
+        state_checksum(&sim),
+        expected,
+        "{name}: randomized-framework trace diverged from the pre-pipeline implementation"
+    );
+}
+
+#[test]
+fn torus_fos_rounded_memory() {
+    let g = generators::torus2d(8, 8);
+    let sim = Experiment::on(&g)
+        .discrete(Rounding::randomized(42))
+        .init(InitialLoad::point(0, 6400))
+        .build()
+        .unwrap()
+        .simulator();
+    run_and_check("torus_fos_rounded", 0xc6a410e2f5b1eac5, sim, 60);
+}
+
+#[test]
+fn torus_sos_scheduled_memory() {
+    let g = generators::torus2d(8, 8);
+    let sim = Experiment::on(&g)
+        .discrete(Rounding::randomized(7))
+        .sos(1.8)
+        .flow_memory(FlowMemory::Scheduled)
+        .build()
+        .unwrap()
+        .simulator();
+    run_and_check("torus_sos_scheduled", 0xdef99d824410227d, sim, 60);
+}
+
+#[test]
+fn random_regular_sos_heterogeneous() {
+    let g = generators::random_regular(60, 4, 2).unwrap();
+    let sim = Experiment::on(&g)
+        .discrete(Rounding::randomized(13))
+        .sos(1.7)
+        .speeds(Speeds::linear_ramp(60, 5.0))
+        .init(InitialLoad::point(0, 60_000))
+        .build()
+        .unwrap()
+        .simulator();
+    run_and_check("regular_sos_het", 0xcda74ebcdaf7a3a9, sim, 80);
+}
+
+#[test]
+fn cycle_fos_odd_size() {
+    let g = generators::cycle(17);
+    let sim = Experiment::on(&g)
+        .discrete(Rounding::randomized(3))
+        .init(InitialLoad::point(0, 1700))
+        .build()
+        .unwrap()
+        .simulator();
+    run_and_check("cycle_fos", 0x7a6af77403c77095, sim, 45);
+}
+
+/// The pooled executor reproduces the same golden trace: the pipeline's
+/// bit-identity holds across chunking too.
+#[test]
+fn golden_trace_holds_on_the_pool() {
+    let g = generators::torus2d(8, 8);
+    let sim = Experiment::on(&g)
+        .discrete(Rounding::randomized(42))
+        .threads(3)
+        .init(InitialLoad::point(0, 6400))
+        .build()
+        .unwrap()
+        .simulator();
+    run_and_check("torus_fos_rounded (pooled)", 0xc6a410e2f5b1eac5, sim, 60);
+}
