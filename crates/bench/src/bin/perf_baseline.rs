@@ -17,8 +17,10 @@
 //! * `--secs <s>` — measurement budget per case (default 1.0),
 //! * `--quick` — CI smoke mode: tiny graphs, short budget,
 //! * `--case <substr>` — only run cases whose config name contains the
-//!   substring (the driver-batch entries are skipped too); used by the CI
-//!   perf-regression gate to time just the randomized framework,
+//!   substring; repeatable (a case runs if it matches *any* filter), and
+//!   the driver-batch entries are skipped when any filter is set. Used by
+//!   the CI perf-regression gate to time just the randomized framework
+//!   and the dimension-exchange kernel,
 //! * `--scenarios <file>` — use this scenario file for the `driver_batch`
 //!   entry instead of the built-in synthetic batch.
 
@@ -216,7 +218,7 @@ fn main() {
     let mut out_path = String::from("BENCH_rounds.json");
     let mut budget_secs = 1.0f64;
     let mut quick = false;
-    let mut case_filter: Option<String> = None;
+    let mut case_filters: Vec<String> = Vec::new();
     let mut scenario_file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -230,7 +232,7 @@ fn main() {
                     .expect("--secs must be a number")
             }
             "--quick" => quick = true,
-            "--case" => case_filter = Some(args.next().expect("--case requires a substring")),
+            "--case" => case_filters.push(args.next().expect("--case requires a substring")),
             "--scenarios" => {
                 scenario_file = Some(args.next().expect("--scenarios requires a path"))
             }
@@ -334,14 +336,50 @@ fn main() {
                 rounding: None,
             },
         ),
+        // Pairwise schemes (scheme-kernel layer): the masked edge pass
+        // over the torus's exact 4-coloring, the round-robin maximal
+        // matching sweep, and the random-matching plan whose per-round
+        // greedy matching generation is part of the measured cost.
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "de_discrete_nearest",
+                threads: 1,
+                scheme: Scheme::dimension_exchange(1.0),
+                rounding: Some(Rounding::nearest()),
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "matching_rr_discrete_nearest",
+                threads: 1,
+                scheme: Scheme::matching_round_robin(1.0),
+                rounding: Some(Rounding::nearest()),
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "matching_random_discrete_nearest",
+                threads: 1,
+                scheme: Scheme::matching_random(42, 1.0),
+                rounding: Some(Rounding::nearest()),
+            },
+        ),
     ];
 
     let mut results = Vec::new();
     for (graph, case) in &cases {
-        if let Some(filter) = &case_filter {
-            if !case.config_name.contains(filter.as_str()) {
-                continue;
-            }
+        if !case_filters.is_empty()
+            && !case_filters
+                .iter()
+                .any(|f| case.config_name.contains(f.as_str()))
+        {
+            continue;
         }
         let r = measure(graph, case, budget_secs);
         println!(
@@ -359,7 +397,7 @@ fn main() {
 
     // The driver-batch entries are skipped under `--case` (the filter is
     // a per-case regression gate, not a batch benchmark).
-    let driver_entries = if case_filter.is_none() {
+    let driver_entries = if case_filters.is_empty() {
         let (specs, source) = match &scenario_file {
             Some(path) => {
                 let text = std::fs::read_to_string(path)

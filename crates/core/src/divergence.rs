@@ -44,11 +44,20 @@ impl<'g> PropagationRows<'g> {
     ///
     /// # Panics
     ///
-    /// Panics if `k` is out of range or speeds mismatch the graph.
+    /// Panics if `k` is out of range, speeds mismatch the graph, or the
+    /// scheme is not a diffusion scheme — the propagation matrices
+    /// `M^t`/`Q(t)` are the FOS/SOS error-propagation theory of the
+    /// paper; dimension exchange and matching-based balancing have
+    /// round-dependent (matching-restricted) propagation operators this
+    /// module does not model.
     pub fn new(graph: &'g Graph, speeds: &'g Speeds, scheme: Scheme, k: u32) -> Self {
         let n = graph.node_count();
         assert!((k as usize) < n, "source node out of range");
         assert_eq!(speeds.len(), n, "speeds length mismatch");
+        assert!(
+            scheme.is_diffusion(),
+            "propagation rows are defined for the diffusion schemes (FOS/SOS), got {scheme}"
+        );
         let mut current = vec![0.0; n];
         current[k as usize] = 1.0;
         let edge_alpha = graph
@@ -118,6 +127,9 @@ impl<'g> PropagationRows<'g> {
                 self.previous.copy_from_slice(&self.current);
                 self.scratch = std::mem::replace(&mut self.current, next);
             }
+            Scheme::DimensionExchange { .. } | Scheme::Matching { .. } => {
+                unreachable!("constructor rejects non-diffusion schemes")
+            }
         }
         self.t += 1;
     }
@@ -148,6 +160,12 @@ impl Default for DivergenceOptions {
 /// the scheme's propagation matrix. The maximum over `k` is `Υ^C(G)`
 /// itself; for vertex-transitive graphs (tori, hypercubes) any single `k`
 /// suffices.
+///
+/// # Panics
+///
+/// Like [`PropagationRows::new`], panics for non-diffusion schemes (the
+/// divergence theory is defined over the FOS/SOS propagation matrices) —
+/// and so does [`refined_local_divergence`], which samples this function.
 pub fn refined_local_divergence_at(
     graph: &Graph,
     speeds: &Speeds,
@@ -210,6 +228,11 @@ pub fn refined_local_divergence(
 ///
 /// This is a convenience for tests and small studies; bulk computations
 /// should drive [`PropagationRows`] directly.
+///
+/// # Panics
+///
+/// Like [`PropagationRows::new`], panics for non-diffusion schemes: the
+/// contribution theory is defined over the FOS/SOS propagation matrices.
 pub fn contribution(
     graph: &Graph,
     speeds: &Speeds,
@@ -227,6 +250,9 @@ pub fn contribution(
             }
             t - 1
         }
+        Scheme::DimensionExchange { .. } | Scheme::Matching { .. } => panic!(
+            "edge contributions are defined for the diffusion schemes (FOS/SOS), got {scheme}"
+        ),
     };
     let mut rows = PropagationRows::new(graph, speeds, scheme, k);
     for _ in 0..steps {

@@ -344,16 +344,19 @@ mod tests {
 
     #[test]
     fn failing_scenario_is_named() {
+        // `broken` parses but cannot build: randomized rounding without a
+        // seed. (Out-of-range parameters like `sos:3.0` are rejected at
+        // parse time with a line number.)
         let specs = ScenarioSpec::parse_many(
             "name=ok topology=cycle:8 seed=1 stop=rounds:5\n\
-             name=broken topology=cycle:8 scheme=sos:3.0 seed=1\n",
+             name=broken topology=cycle:8 rounding=randomized\n",
         )
         .unwrap();
         let err = Driver::new().run_batch(&specs).unwrap_err();
         match err {
             BuildError::Scenario { name, source } => {
                 assert_eq!(name, "broken");
-                assert_eq!(*source, BuildError::InvalidBeta(3.0));
+                assert!(matches!(*source, BuildError::MissingSeed(_)));
             }
             other => panic!("unexpected error {other:?}"),
         }
@@ -393,9 +396,9 @@ mod tests {
     fn concurrent_batch_reports_first_failure_by_input_order() {
         let specs = ScenarioSpec::parse_many(
             "name=ok topology=cycle:8 seed=1 stop=rounds:5\n\
-             name=bad1 topology=cycle:8 scheme=sos:3.0 seed=1\n\
+             name=bad1 topology=cycle:8 rounding=randomized\n\
              name=ok2 topology=cycle:8 seed=2 stop=rounds:5\n\
-             name=bad2 topology=cycle:8 scheme=sos:-1.0 seed=1\n",
+             name=bad2 topology=cycle:8 seed=1 init=point:99:10\n",
         )
         .unwrap();
         let err = Driver::concurrent(4)
@@ -405,7 +408,7 @@ mod tests {
         match err {
             BuildError::Scenario { name, source } => {
                 assert_eq!(name, "bad1", "earliest failing scenario wins");
-                assert_eq!(*source, BuildError::InvalidBeta(3.0));
+                assert!(matches!(*source, BuildError::MissingSeed(_)));
             }
             other => panic!("unexpected error {other:?}"),
         }

@@ -1,8 +1,12 @@
-//! The round-based diffusion simulator.
+//! The round-based load-balancing simulator.
 //!
 //! One [`Simulator`] runs either the *continuous* (idealized, `f64` loads)
-//! or the *discrete* (integer tokens, rounded flows) version of FOS/SOS on
-//! a fixed network, in synchronous rounds. The engine also tracks the
+//! or the *discrete* (integer tokens, rounded flows) version of a
+//! balancing [`Scheme`] — FOS/SOS diffusion, dimension exchange, or
+//! matching-based balancing — on a fixed network, in synchronous rounds.
+//! The per-round flow computation itself lives in the scheme-kernel layer
+//! ([`crate::scheme_kernel`]); the engine owns state, stop conditions,
+//! hybrid switching, and reporting. It also tracks the
 //! *transient* load `x̆_i(t) = x_i(t) − Σ_j max(y_{i,j}(t), 0)` — the load
 //! of a node after all outgoing flow has left but before incoming flow
 //! arrives — which is the quantity the paper's negative-load results
@@ -35,12 +39,13 @@ use sodiff_graph::{Graph, Speeds};
 use crate::error::BuildError;
 use crate::hybrid::SwitchPolicy;
 use crate::init::InitialLoad;
-use crate::kernel::{self, KernelTables};
+use crate::kernel::KernelTables;
 use crate::metrics::{snapshot_with, MetricsSnapshot, RemainingImbalance};
 use crate::observer::Observer;
-use crate::pool::{PoolMode, RoundJob, WorkerPool};
+use crate::pool::{RoundJob, WorkerPool};
 use crate::rounding::Rounding;
 use crate::scheme::Scheme;
+use crate::scheme_kernel::{RoundScratch, SchemeKernel};
 
 /// Continuous vs discrete execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,7 +206,6 @@ pub struct RunReport {
 enum State {
     Discrete {
         loads: Vec<i64>,
-        rounding: Rounding,
         int_flows: Vec<i64>,
     },
     Continuous {
@@ -252,6 +256,10 @@ pub struct Simulator<'g> {
     /// Division-free coefficient tables and SoA adjacency, shared with the
     /// worker pool.
     tables: Arc<KernelTables>,
+    /// The scheme-kernel layer: per-round flow computation (edge pass,
+    /// rounding hook, apply pass, barrier plan) for the configured
+    /// scheme, shared with the worker pool.
+    scheme_kernel: Arc<SchemeKernel>,
     scheme: Scheme,
     flow_memory: FlowMemory,
     threads: usize,
@@ -261,9 +269,9 @@ pub struct Simulator<'g> {
     /// Scratch: arc-indexed signed scheduled flows (sequential
     /// randomized-framework path).
     arc_frac: Vec<f64>,
-    /// Scratch: framework rounding (bulk RNG states + excess list; also
-    /// participant-0 scratch on the pool).
-    fw_scratch: kernel::FwScratch,
+    /// Control-thread round scratch: framework rounding states plus
+    /// random-matching generation buffers.
+    scratch: RoundScratch,
     /// Worker pool attachment (`threads > 1` only).
     pool: Option<PoolAttachment>,
     round: u64,
@@ -306,15 +314,17 @@ impl<'g> Simulator<'g> {
         let loads = init.materialize(n);
         let initial_total = loads.iter().map(|&x| x as f64).sum();
         let m = graph.edge_count();
-        let framework = matches!(
+        let scheme_kernel = Arc::new(SchemeKernel::new(
+            config.scheme,
             config.mode,
-            Mode::Discrete(Rounding::RandomizedFramework { .. })
-        );
+            graph,
+            &speeds,
+        )?);
+        let framework = scheme_kernel.needs_arc_plan();
         let tables = Arc::new(KernelTables::new(graph, &speeds, framework));
         let state = match config.mode {
-            Mode::Discrete(rounding) => State::Discrete {
+            Mode::Discrete(_) => State::Discrete {
                 loads,
-                rounding,
                 int_flows: vec![0; m],
             },
             Mode::Continuous => State::Continuous {
@@ -326,13 +336,6 @@ impl<'g> Simulator<'g> {
             State::Continuous { loads } => loads.iter().copied().fold(f64::INFINITY, f64::min),
         };
         let pool = if threads > 1 {
-            let mode = match config.mode {
-                Mode::Discrete(Rounding::RandomizedFramework { seed }) => {
-                    PoolMode::DiscreteFramework { seed }
-                }
-                Mode::Discrete(rounding) => PoolMode::DiscreteEdgeLocal(rounding),
-                Mode::Continuous => PoolMode::Continuous,
-            };
             let (loads_i, loads_f): (&[i64], &[f64]) = match &state {
                 State::Discrete { loads, .. } => (loads, &[]),
                 State::Continuous { loads } => (&[], loads),
@@ -341,7 +344,7 @@ impl<'g> Simulator<'g> {
             let job = Arc::new(RoundJob::new(
                 pool.threads(),
                 Arc::clone(&tables),
-                mode,
+                Arc::clone(&scheme_kernel),
                 config.flow_memory,
                 loads_i,
                 loads_f,
@@ -361,13 +364,14 @@ impl<'g> Simulator<'g> {
             graph,
             speeds,
             tables,
+            scheme_kernel,
             scheme: config.scheme,
             flow_memory: config.flow_memory,
             threads,
             state,
             prev_flow: vec![0.0; m],
             arc_frac,
-            fw_scratch: kernel::FwScratch::new(),
+            scratch: RoundScratch::new(),
             pool,
             round: 0,
             rounds_in_scheme: 0,
@@ -472,7 +476,22 @@ impl<'g> Simulator<'g> {
     ///
     /// Loads are kept; the scheme restarts its round counter, so a switch
     /// *to* SOS begins with an FOS round, as the paper prescribes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both the current and the target scheme are diffusion
+    /// schemes (FOS/SOS): the pairwise schemes bake their coloring or
+    /// matching plan and λ-scaled coefficient tables into the simulator at
+    /// construction, so changing families mid-run requires building a new
+    /// experiment. (The [`crate::ExperimentBuilder`] reports a hybrid
+    /// policy on a pairwise scheme as
+    /// [`BuildError::HybridRequiresDiffusion`] instead of panicking.)
     pub fn switch_scheme(&mut self, scheme: Scheme) {
+        assert!(
+            self.scheme.is_diffusion() && scheme.is_diffusion(),
+            "switch_scheme supports the diffusion family (FOS/SOS) only; \
+             build a new experiment to change scheme families"
+        );
         self.scheme = scheme;
         self.rounds_in_scheme = 0;
     }
@@ -492,104 +511,70 @@ impl<'g> Simulator<'g> {
     fn step_sequential(&mut self, mem: f64, gain: f64) {
         let Self {
             tables,
+            scheme_kernel,
             state,
             prev_flow,
             arc_frac,
-            fw_scratch,
+            scratch,
             flow_memory,
             round,
             min_transient,
             ..
         } = self;
         let t = &**tables;
-        let (n, m) = (t.n, t.m);
-        match state {
-            State::Discrete {
+        let mt = match state {
+            State::Discrete { loads, int_flows } => scheme_kernel.run_discrete_seq(
+                t,
+                mem,
+                gain,
+                *round,
+                *flow_memory,
                 loads,
-                rounding,
+                prev_flow,
                 int_flows,
-            } => {
-                match *rounding {
-                    Rounding::RandomizedFramework { seed } => {
-                        kernel::edge_pass_scatter(
-                            t,
-                            0..m,
-                            mem,
-                            gain,
-                            *flow_memory,
-                            |i| loads[i] as f64,
-                            &kernel::cells_f64(arc_frac),
-                            &kernel::cells_i64(int_flows),
-                            &kernel::cells_f64(prev_flow),
-                        );
-                        kernel::arc_round_streamed(
-                            t,
-                            0..n,
-                            seed,
-                            *round,
-                            &kernel::cells_f64(arc_frac),
-                            &kernel::cells_i64(int_flows),
-                            fw_scratch,
-                        );
-                        if matches!(flow_memory, FlowMemory::Rounded) {
-                            kernel::prev_from_flows(
-                                0..m,
-                                &kernel::cells_i64(int_flows),
-                                &kernel::cells_f64(prev_flow),
-                            );
-                        }
-                    }
-                    rounding => kernel::edge_pass_fused(
-                        t,
-                        0..m,
-                        mem,
-                        gain,
-                        *round,
-                        rounding,
-                        *flow_memory,
-                        |i| loads[i] as f64,
-                        &kernel::cells_f64(prev_flow),
-                        &kernel::cells_i64(int_flows),
-                    ),
-                }
-                let mt =
-                    kernel::apply_discrete(t, 0..n, |e| int_flows[e], &kernel::cells_i64(loads));
-                if mt < *min_transient {
-                    *min_transient = mt;
-                }
-            }
-            State::Continuous { loads } => {
-                kernel::edge_pass_continuous(
-                    t,
-                    0..m,
-                    mem,
-                    gain,
-                    |i| loads[i],
-                    &kernel::cells_f64(prev_flow),
-                );
-                let mt =
-                    kernel::apply_continuous(t, 0..n, |e| prev_flow[e], &kernel::cells_f64(loads));
-                if mt < *min_transient {
-                    *min_transient = mt;
-                }
-            }
+                arc_frac,
+                scratch,
+            ),
+            State::Continuous { loads } => scheme_kernel.run_continuous_seq(
+                t,
+                mem,
+                gain,
+                *round,
+                loads,
+                prev_flow,
+                &mut scratch.matchgen,
+            ),
+        };
+        if mt < *min_transient {
+            *min_transient = mt;
         }
     }
 
     fn step_pooled(&mut self, mem: f64, gain: f64) {
         let Self {
             pool,
+            tables,
             state,
             prev_flow,
-            fw_scratch,
+            scratch,
             round,
             min_transient,
             ..
         } = self;
         let attachment = pool.as_ref().expect("step_pooled requires a pool");
+        // Per-round plan state (the random-matching mask) is produced
+        // here, on the control thread, and published into the job before
+        // the round's first barrier — results never depend on the
+        // executor.
+        attachment.job.kernel().prepare_pooled(
+            *round,
+            tables,
+            &mut scratch.matchgen,
+            attachment.job.mask_slots(),
+        );
         let mt = attachment
             .pool
-            .run_round(&attachment.job, mem, gain, *round, fw_scratch);
+            .run_round(&attachment.job, mem, gain, *round, &mut scratch.fw);
         if mt < *min_transient {
             *min_transient = mt;
         }

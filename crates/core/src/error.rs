@@ -61,6 +61,18 @@ pub enum BuildError {
     /// The SOS relaxation parameter is outside the convergence range
     /// `(0, 2)`.
     InvalidBeta(f64),
+    /// The pairwise exchange gain `λ` of a dimension-exchange or
+    /// matching-based scheme is outside `(0, 1]`.
+    InvalidLambda(f64),
+    /// Dimension exchange needs an edge coloring to sweep, but the graph
+    /// has none (no edges).
+    NoColoring(String),
+    /// Matching-based balancing needs at least one matching, but the
+    /// graph has none (no edges).
+    NoMatching(String),
+    /// The SOS→FOS hybrid switch only applies to diffusion schemes;
+    /// carries the offending scheme's display form.
+    HybridRequiresDiffusion(String),
     /// The speeds vector length does not match the graph's node count.
     SpeedsLengthMismatch {
         /// Node count of the graph.
@@ -103,6 +115,20 @@ impl fmt::Display for BuildError {
             BuildError::InvalidBeta(beta) => {
                 write!(f, "SOS requires beta in (0, 2), got {beta}")
             }
+            BuildError::InvalidLambda(lambda) => write!(
+                f,
+                "pairwise exchange requires lambda in (0, 1], got {lambda}"
+            ),
+            BuildError::NoColoring(msg) => {
+                write!(f, "dimension exchange needs an edge coloring: {msg}")
+            }
+            BuildError::NoMatching(msg) => {
+                write!(f, "matching-based balancing needs a matching: {msg}")
+            }
+            BuildError::HybridRequiresDiffusion(scheme) => write!(
+                f,
+                "the SOS→FOS hybrid switch requires a diffusion scheme (FOS/SOS), got {scheme}"
+            ),
             BuildError::SpeedsLengthMismatch { expected, got } => write!(
                 f,
                 "speeds length must match node count: graph has {expected} nodes, \

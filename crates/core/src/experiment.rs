@@ -115,7 +115,13 @@ impl<'g, S> ExperimentBuilder<'g, S> {
         self
     }
 
-    /// Uses a pre-constructed [`Scheme`] (still re-validated at build).
+    /// Uses a pre-constructed [`Scheme`] (still re-validated at build):
+    /// FOS/SOS diffusion, [`Scheme::dimension_exchange`], or one of the
+    /// [`Scheme::matching_round_robin`] / [`Scheme::matching_random`]
+    /// matching-based schemes. Pairwise schemes need a graph with at
+    /// least one edge ([`BuildError::NoColoring`] /
+    /// [`BuildError::NoMatching`]) and `λ ∈ (0, 1]`
+    /// ([`BuildError::InvalidLambda`]).
     pub fn scheme(mut self, scheme: Scheme) -> Self {
         self.parts.scheme = SchemeChoice::Given(scheme);
         self
@@ -162,7 +168,9 @@ impl<'g, S> ExperimentBuilder<'g, S> {
     /// Attaches the paper's SOS→FOS hybrid switch (Section VI): the
     /// policy is evaluated before every round of [`Experiment::run`] and
     /// flips the scheme to FOS at most once. This replaces the old
-    /// `run_hybrid*` free functions.
+    /// `run_hybrid*` free functions. Only the diffusion schemes support
+    /// it — with a pairwise scheme, `build` reports
+    /// [`BuildError::HybridRequiresDiffusion`].
     pub fn hybrid(mut self, policy: SwitchPolicy) -> Self {
         self.parts.hybrid = Some(policy);
         self
@@ -207,6 +215,9 @@ impl<'g> ExperimentBuilder<'g, Ready> {
     ///
     /// Every invalid input surfaces as the matching [`BuildError`]
     /// variant: [`BuildError::EmptyGraph`], [`BuildError::InvalidBeta`],
+    /// [`BuildError::InvalidLambda`], [`BuildError::NoColoring`],
+    /// [`BuildError::NoMatching`],
+    /// [`BuildError::HybridRequiresDiffusion`],
     /// [`BuildError::SpeedsLengthMismatch`], [`BuildError::MissingSeed`],
     /// [`BuildError::ZeroThreads`], [`BuildError::InvalidInitialLoad`],
     /// or [`BuildError::InvalidStopCondition`].
@@ -229,14 +240,17 @@ impl<'g> ExperimentBuilder<'g, Ready> {
         }
         let scheme = match scheme {
             SchemeChoice::Fos => Scheme::Fos,
-            SchemeChoice::SosBeta(beta) | SchemeChoice::Given(Scheme::Sos { beta }) => {
-                if !(beta > 0.0 && beta < 2.0) {
-                    return Err(BuildError::InvalidBeta(beta));
-                }
-                Scheme::Sos { beta }
-            }
-            SchemeChoice::Given(Scheme::Fos) => Scheme::Fos,
+            SchemeChoice::SosBeta(beta) => Scheme::try_sos(beta)?,
+            SchemeChoice::Given(scheme) => scheme,
         };
+        // Parameter ranges (β, λ) plus the pairwise schemes' structural
+        // needs (an edge coloring / a matching exists iff the graph has
+        // edges) — the same check the simulator's scheme kernel performs,
+        // pulled forward so `Experiment::simulator` cannot fail later.
+        crate::scheme_kernel::SchemeKernel::validate(scheme, graph)?;
+        if hybrid.is_some() && !scheme.is_diffusion() {
+            return Err(BuildError::HybridRequiresDiffusion(scheme.to_string()));
+        }
         let mode = match mode.expect("typestate guarantees a mode") {
             ModeChoice::Continuous => Mode::Continuous,
             ModeChoice::Seeded(rounding) => Mode::Discrete(rounding),

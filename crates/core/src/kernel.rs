@@ -404,6 +404,87 @@ pub fn edge_pass_fused<P: BufF64, F: BufI64>(
     }
 }
 
+/// Masked variant of [`edge_pass_fused`] for the pairwise schemes
+/// (dimension exchange, matching-based balancing): the scheduled flow of
+/// an edge outside the round's active matching is forced to zero by an
+/// arithmetic mask (one bit load per edge, no branch), so inactive edges
+/// round to a zero flow and leave their endpoints untouched. The
+/// coefficient tables are passed explicitly because the pairwise schemes
+/// use the λ-scaled harmonic-speed coefficients instead of the diffusion
+/// `α_e/s` tables baked into [`KernelTables`].
+///
+/// `mask` returns the `w`-th 64-bit word of the active-edge bitset
+/// (edge `e` is active iff bit `e % 64` of word `e / 64` is set). This is
+/// a separate function rather than a flag on [`edge_pass_fused`] so the
+/// diffusion hot path keeps its exact codegen.
+///
+/// # Panics
+///
+/// Panics for [`Rounding::RandomizedFramework`] (node-centric; use
+/// [`edge_pass_scatter_masked`]).
+#[allow(clippy::too_many_arguments)] // a flat hot-path kernel; a params struct would obscure it
+pub fn edge_pass_fused_masked<P: BufF64, F: BufI64>(
+    t: &KernelTables,
+    coef_tail: &[f64],
+    coef_head: &[f64],
+    edges: Range<usize>,
+    mask: impl Fn(usize) -> u64,
+    mem: f64,
+    gain: f64,
+    round: u64,
+    rounding: Rounding,
+    flow_memory: FlowMemory,
+    x: impl Fn(usize) -> f64,
+    prev: &P,
+    flows: &F,
+) {
+    let e0 = edges.start;
+    let tails = &t.tail[edges.clone()];
+    let heads = &t.head[edges.clone()];
+    let coefs = coef_tail[edges.clone()]
+        .iter()
+        .zip(&coef_head[edges.clone()]);
+    let prevs = &prev.elems()[edges.clone()];
+    let flow_elems = &flows.elems()[edges];
+    let arrays = tails
+        .iter()
+        .zip(heads)
+        .zip(coefs)
+        .zip(prevs)
+        .zip(flow_elems);
+    macro_rules! fused_loop {
+        (|$k:ident, $s:ident| $round_expr:expr) => {
+            for ($k, ((((&u, &v), (&ct, &ch)), pe), fe)) in arrays.enumerate() {
+                let e = e0 + $k;
+                let act = ((mask(e >> 6) >> (e & 63)) & 1) as f64;
+                let $s =
+                    act * (mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize)));
+                let y: i64 = $round_expr;
+                F::write(fe, y);
+                P::write(
+                    pe,
+                    match flow_memory {
+                        FlowMemory::Rounded => y as f64,
+                        FlowMemory::Scheduled => $s,
+                    },
+                );
+            }
+        };
+    }
+    match rounding {
+        Rounding::RoundDown => fused_loop!(|_k, s| trunc_i64(s)),
+        Rounding::Nearest => fused_loop!(|_k, s| round_i64(s)),
+        Rounding::UnbiasedEdge { seed } => fused_loop!(|k, s| {
+            let mut rng = SplitMix64::for_node_round(seed, (e0 + k) as u32, round);
+            let (floor, frac) = floor_frac(s);
+            floor + i64::from(rng.next_f64() < frac)
+        }),
+        Rounding::RandomizedFramework { .. } => {
+            panic!("the randomized framework is node-centric; use the arc passes")
+        }
+    }
+}
+
 /// Phase 1 of the randomized framework: computes the scheduled flow
 /// `Ŷ_e`, **floors it right here** (the sending side's outflow is `|Ŷ_e|`
 /// and its floor is the edge's base flow, so the per-arc floor pass of the
@@ -468,6 +549,61 @@ pub fn edge_pass_scatter<A: BufF64, F: BufI64, P: BufF64>(
     }
 }
 
+/// Masked variant of [`edge_pass_scatter`] for the pairwise schemes under
+/// the randomized rounding framework: inactive edges contribute a zero
+/// base flow and zero fractional parts, so the node-centric rounding
+/// phase ([`arc_round_streamed`]) runs unchanged — a node whose arcs are
+/// all inactive sums `r = 0` and skips out. See
+/// [`edge_pass_fused_masked`] for the mask convention and why this is a
+/// separate function.
+#[allow(clippy::too_many_arguments)] // a flat hot-path kernel; a params struct would obscure it
+pub fn edge_pass_scatter_masked<A: BufF64, F: BufI64, P: BufF64>(
+    t: &KernelTables,
+    coef_tail: &[f64],
+    coef_head: &[f64],
+    edges: Range<usize>,
+    mask: impl Fn(usize) -> u64,
+    mem: f64,
+    gain: f64,
+    flow_memory: FlowMemory,
+    x: impl Fn(usize) -> f64,
+    arc_frac: &A,
+    flows: &F,
+    prev: &P,
+) {
+    let e0 = edges.start;
+    let tails = &t.tail[edges.clone()];
+    let heads = &t.head[edges.clone()];
+    let coefs = coef_tail[edges.clone()]
+        .iter()
+        .zip(&coef_head[edges.clone()]);
+    let positions = &t.edge_arc_pos[edges.clone()];
+    let prevs = &prev.elems()[edges.clone()];
+    let flow_elems = &flows.elems()[edges];
+    let arrays = tails
+        .iter()
+        .zip(heads)
+        .zip(coefs)
+        .zip(positions)
+        .zip(prevs)
+        .zip(flow_elems);
+    for (k, (((((&u, &v), (&ct, &ch)), &(pt, ph)), pe), fe)) in arrays.enumerate() {
+        let e = e0 + k;
+        let act = ((mask(e >> 6) >> (e & 63)) & 1) as f64;
+        let s = act * (mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize)));
+        let base = trunc_i64(s);
+        let frac = (s - base as f64).abs();
+        let tail_sends = f64::from(u8::from(s > 0.0));
+        let frac_tail = frac * tail_sends;
+        arc_frac.set(pt as usize, frac_tail);
+        arc_frac.set(ph as usize, frac - frac_tail);
+        F::write(fe, base);
+        if matches!(flow_memory, FlowMemory::Scheduled) {
+            P::write(pe, s);
+        }
+    }
+}
+
 /// Fused edge pass for continuous mode: the scheduled flow *is* the flow,
 /// so it is written straight into the flow memory (which the apply pass
 /// then reads as this round's flows).
@@ -487,6 +623,38 @@ pub fn edge_pass_continuous<P: BufF64>(
     let prevs = &prev.elems()[edges];
     for (((&u, &v), (&ct, &ch)), pe) in tails.iter().zip(heads).zip(coefs).zip(prevs) {
         let s = mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize));
+        P::write(pe, s);
+    }
+}
+
+/// Masked variant of [`edge_pass_continuous`] for the pairwise schemes:
+/// inactive edges carry a zero flow this round. See
+/// [`edge_pass_fused_masked`] for the mask convention.
+#[allow(clippy::too_many_arguments)] // a flat hot-path kernel; a params struct would obscure it
+pub fn edge_pass_continuous_masked<P: BufF64>(
+    t: &KernelTables,
+    coef_tail: &[f64],
+    coef_head: &[f64],
+    edges: Range<usize>,
+    mask: impl Fn(usize) -> u64,
+    mem: f64,
+    gain: f64,
+    x: impl Fn(usize) -> f64,
+    prev: &P,
+) {
+    let e0 = edges.start;
+    let tails = &t.tail[edges.clone()];
+    let heads = &t.head[edges.clone()];
+    let coefs = coef_tail[edges.clone()]
+        .iter()
+        .zip(&coef_head[edges.clone()]);
+    let prevs = &prev.elems()[edges];
+    for (k, (((&u, &v), (&ct, &ch)), pe)) in
+        tails.iter().zip(heads).zip(coefs).zip(prevs).enumerate()
+    {
+        let e = e0 + k;
+        let act = ((mask(e >> 6) >> (e & 63)) & 1) as f64;
+        let s = act * (mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize)));
         P::write(pe, s);
     }
 }

@@ -9,6 +9,12 @@
 //!   continuous (idealized) and discrete (integral tokens), in the
 //!   homogeneous and heterogeneous (speed-proportional) models —
 //!   [`Scheme`], [`Simulator`];
+//! * the classic *pairwise* counterparts of diffusion: **dimension
+//!   exchange** (rounds sweep the color classes of an edge coloring, so
+//!   each node exchanges with one neighbor per round) and
+//!   **matching-based balancing** (one maximal matching per round,
+//!   round-robin or freshly randomized) — [`Scheme::dimension_exchange`],
+//!   [`Scheme::matching_round_robin`], [`Scheme::matching_random`];
 //! * the paper's randomized rounding framework plus deterministic and
 //!   per-edge baselines — [`Rounding`];
 //! * the SOS→FOS hybrid switch that removes the residual imbalance SOS
@@ -74,6 +80,47 @@
 //! after one deprecation release; the builder and the `Simulator` methods
 //! above are the only entry points.
 //!
+//! # The scheme-kernel layer, and adding a scheme
+//!
+//! Every scheme's per-round flow computation — edge pass, rounding hook,
+//! apply pass, and barrier plan — lives in one crate-internal layer, the
+//! `scheme_kernel` module. A scheme is the combination of two statically
+//! dispatched enums: a *flow pass* (continuous / fused edge-local
+//! discrete / the three-phase randomized-framework pipeline) and an
+//! *active plan* (all edges every round, a precomputed family of edge
+//! bitmasks swept round-robin, or a fresh random maximal matching per
+//! round). Both the sequential executor and the worker pool run the same
+//! kernel calls in the same per-element order, so pooled results are
+//! bit-identical to sequential ones for every scheme by construction.
+//!
+//! To add a new scheme end to end, touch exactly these points:
+//!
+//! 1. **`scheme.rs`** — add the [`Scheme`] variant, its constructor, its
+//!    parameter validation in `Scheme::check`, and its `(memory, gain)`
+//!    coefficients (return `(0.0, 1.0)` if the scheme has no flow
+//!    memory).
+//! 2. **`scheme_kernel.rs`** — map the variant to a flow pass × active
+//!    plan in `SchemeKernel::new`. If the scheme activates a subset of
+//!    edges, build its masks here (e.g. from
+//!    [`sodiff_graph::matching`]); if it needs new per-edge
+//!    coefficients, compute them here. Only a genuinely new *phase
+//!    structure* requires touching `kernel.rs` itself.
+//! 3. **`error.rs`** — add `BuildError` variants for configurations the
+//!    scheme cannot run on, and report them from
+//!    `SchemeKernel::validate` so both the builder and hand-built
+//!    `SimulationConfig`s reject them.
+//! 4. **`scenario.rs`** — add the [`SchemeSpec`] variant with its
+//!    `scheme=` text form (`Display`/`FromStr` must round-trip exactly;
+//!    extend the proptest strategies in `tests/scenario_spec.rs`).
+//! 5. **Tests** — pin a golden trace in `tests/golden_trace.rs`
+//!    (sequential and pooled against the same checksum) and add the
+//!    scheme to the determinism grid in `tests/determinism.rs`.
+//! 6. **Bench** — add a `perf_baseline` case so `BENCH_rounds.json`
+//!    tracks it (and extend the CI gate if it is a hot path).
+//!
+//! The engine, the pool, the builder plumbing, and the batch driver need
+//! **no** changes: they are scheme-agnostic.
+//!
 //! # Performance
 //!
 //! The round loop is the measured fast path of this workspace (see
@@ -110,6 +157,13 @@
 //! per-node `SplitMix64` formulation (`tests/golden_trace.rs`,
 //! `tests/golden_rng.rs`).
 //!
+//! **Scheme-kernel dispatch** (`scheme_kernel` module). The per-round
+//! phase sequence is selected once per simulation through plain enums
+//! (flow pass × active plan) and monomorphized per mask source, so the
+//! diffusion hot paths run the *original unmasked* kernels — the layer
+//! adds no per-round indirection to FOS/SOS — while the pairwise schemes
+//! get masked variants of the same passes.
+//!
 //! **Persistent worker pool + concurrent scenario scheduling** (`pool` /
 //! `driver` modules). With [`ExperimentBuilder::threads`]`(t > 1)`,
 //! `t − 1` workers are spawned once and park on a barrier between rounds;
@@ -125,22 +179,36 @@
 //! `tests/driver_concurrent.rs`).
 //!
 //! **Measured baseline** (single-core CI container, 2026-07; sequential
-//! unless noted; ns per edge per round; "before" = the PR-2 committed
-//! `BENCH_rounds.json`):
+//! unless noted; ns per edge per round). **Caveat for every row: the
+//! benchmark host is single-core**, so thread counts above 1 and the
+//! `driver_batch_concurrent` entry of `BENCH_rounds.json` measure pure
+//! scheduling overhead, never parallel wall-clock gains — re-measure on
+//! a multi-core host before drawing scaling conclusions.
 //!
-//! | case | before | after | speedup |
-//! |------|-------:|------:|--------:|
-//! | 256×256 torus, SOS discrete **randomized** | 25.43 | 16.31 | 1.56× |
-//! | 256×256 torus, SOS discrete randomized, 4 threads | 27.11 | 18.35 | 1.48× |
-//! | 256×256 torus, SOS discrete nearest | 7.13 | 7.56 | ~1× |
-//! | 256×256 torus, SOS continuous | 4.36 | 4.42 | ~1× |
-//! | 512×512 torus, FOS discrete nearest | 7.17 | 7.60 | ~1× |
+//! The headline of the streaming-pipeline rework (PR 3) was the
+//! randomized framework: **25.43 → 16.31 ns/edge (1.56×)** against the
+//! PR-2 baseline. Current numbers, after the scheme-kernel layer
+//! refactor (diffusion unchanged within noise — the golden traces pin it
+//! bit-for-bit):
 //!
-//! The randomized framework was the target of this round of work; the
-//! other configurations are unchanged within noise. On the single-core
-//! benchmark host a wall-clock parallel speedup is impossible, so the
-//! 4-thread and `driver_batch_concurrent` rows of `BENCH_rounds.json`
-//! measure pure scheduling overhead; re-measure on a multi-core host.
+//! | case | PR 3 | now |
+//! |------|-----:|----:|
+//! | 256×256 torus, SOS discrete **randomized** | 16.31 | 16.46 |
+//! | 256×256 torus, SOS discrete randomized, 4 threads | 18.35 | 18.00 |
+//! | 256×256 torus, SOS discrete nearest | 7.56 | 7.37 |
+//! | 256×256 torus, SOS continuous | 4.42 | 4.37 |
+//! | 512×512 torus, FOS discrete nearest | 7.60 | 7.58 |
+//! | 256×256 torus, dimension exchange, nearest | — | 16.08 |
+//! | 256×256 torus, matching (round-robin), nearest | — | 16.19 |
+//! | 256×256 torus, matching (random), nearest | — | 59.93 |
+//!
+//! The pairwise schemes sweep all `m` edges per round with a branchless
+//! activity mask (only the active matching carries flow), so their
+//! ns-per-edge cost is not comparable to diffusion's tokens-moved rate.
+//! The random-matching plan additionally pays an `O(m log m)`
+//! sort-by-cached-random-key greedy matching per round — the dominant
+//! cost of its row and the obvious first lever (e.g. a keyed
+//! permutation or radix pass) if that workload ever matters at scale.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -162,6 +230,7 @@ pub mod rng;
 mod rounding;
 mod scenario;
 mod scheme;
+mod scheme_kernel;
 pub mod theory;
 
 pub use driver::{BatchReport, Driver, ScenarioReport};
@@ -176,7 +245,7 @@ pub use metrics::MetricsSnapshot;
 pub use observer::{MetricsRow, MultiObserver, NullObserver, Observer, Recorder};
 pub use rounding::{Rounding, RoundingSpec};
 pub use scenario::{InitSpec, ModeSpec, ScenarioSpec, SchemeSpec, SpeedsSpec, StopSpec};
-pub use scheme::Scheme;
+pub use scheme::{MatchingStrategy, Scheme};
 
 /// Convenient glob import: `use sodiff_core::prelude::*;`.
 pub mod prelude {
@@ -192,7 +261,7 @@ pub mod prelude {
     pub use crate::observer::{MetricsRow, MultiObserver, NullObserver, Observer, Recorder};
     pub use crate::rounding::{Rounding, RoundingSpec};
     pub use crate::scenario::ScenarioSpec;
-    pub use crate::scheme::Scheme;
+    pub use crate::scheme::{MatchingStrategy, Scheme};
     pub use sodiff_graph::{Speeds, TopologySpec};
     pub use sodiff_linalg::spectral::beta_opt;
 }

@@ -12,7 +12,9 @@
 //! * [`RoundJob`] owns one simulation's shared state (kernel tables,
 //!   chunk boundaries, loads, flow memory, scratch) in relaxed atomics.
 //!   Attaching a different job retargets the same threads at a different
-//!   simulation — no respawn, no rejoin.
+//!   simulation — no respawn, no rejoin. The per-round phase sequence
+//!   itself lives in the job's [`crate::scheme_kernel::SchemeKernel`]:
+//!   the pool is scheme-agnostic.
 //!
 //! Phases are separated by the barrier, which provides the necessary
 //! happens-before edges, so the pool needs no `unsafe` and stays within
@@ -27,32 +29,16 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::thread::JoinHandle;
 
 use crate::engine::FlowMemory;
-use crate::kernel::{self, AtomicsF64, AtomicsI64, FwScratch, KernelTables};
-use crate::rounding::Rounding;
-
-/// Which phase sequence a round runs; fixed per job.
-#[derive(Clone, Copy)]
-pub(crate) enum PoolMode {
-    /// Discrete mode with an edge-local rounding scheme: one fused edge
-    /// phase, one apply phase.
-    DiscreteEdgeLocal(Rounding),
-    /// Discrete mode with the node-centric randomized framework: the
-    /// streaming three-phase pipeline (scatter phase, arc-rounding phase,
-    /// then flow-memory copy fused into the apply phase's barrier
-    /// interval — both only read the flows).
-    DiscreteFramework {
-        /// RNG seed of the framework.
-        seed: u64,
-    },
-    /// Continuous mode: one fused edge phase, one apply phase.
-    Continuous,
-}
+use crate::kernel::{FwScratch, KernelTables};
+use crate::scheme_kernel::{mask_words, ChunkBufs, SchemeKernel};
 
 /// One simulation's state as seen by the pool: everything a worker needs
-/// to run its share of a round.
+/// to run its share of a round. The phase sequence itself lives in the
+/// job's [`SchemeKernel`] — the pool only owns chunking, rendezvous, and
+/// the shared atomic buffers.
 pub(crate) struct RoundJob {
     tables: Arc<KernelTables>,
-    mode: PoolMode,
+    kernel: Arc<SchemeKernel>,
     flow_memory: FlowMemory,
     /// Chunk boundaries over edges / nodes, one chunk per participant.
     edge_bounds: Vec<usize>,
@@ -66,9 +52,12 @@ pub(crate) struct RoundJob {
     loads_i: Vec<AtomicI64>,
     loads_f: Vec<AtomicU64>,
     prev: Vec<AtomicU64>,
-    /// Arc-indexed signed scheduled flows (framework jobs only).
+    /// Arc-indexed fractional parts (framework jobs only).
     arc_frac: Vec<AtomicU64>,
     flows: Vec<AtomicI64>,
+    /// Active-edge bitmask words (random-matching jobs only), published
+    /// by the control thread before each round's first barrier.
+    mask: Vec<AtomicU64>,
     /// Per-participant minimum transient load of the last round (bits).
     mins: Vec<AtomicU64>,
 }
@@ -80,7 +69,7 @@ impl RoundJob {
     pub fn new(
         threads: usize,
         tables: Arc<KernelTables>,
-        mode: PoolMode,
+        kernel: Arc<SchemeKernel>,
         flow_memory: FlowMemory,
         loads_i: &[i64],
         loads_f: &[f64],
@@ -88,10 +77,11 @@ impl RoundJob {
         let n = tables.n;
         let m = tables.m;
         let arcs = tables.arc_edges.len();
-        let framework = matches!(mode, PoolMode::DiscreteFramework { .. });
+        let framework = kernel.needs_arc_plan();
+        let masked = kernel.needs_random_mask();
         Self {
             tables,
-            mode,
+            kernel,
             flow_memory,
             edge_bounds: chunk_bounds(m, threads),
             node_bounds: chunk_bounds(n, threads),
@@ -110,8 +100,23 @@ impl RoundJob {
             flows: (0..if loads_i.is_empty() { 0 } else { m })
                 .map(|_| AtomicI64::new(0))
                 .collect(),
+            mask: (0..if masked { mask_words(m) } else { 0 })
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             mins: (0..threads).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    /// This job's scheme kernel (the simulator drives round preparation
+    /// through it).
+    pub fn kernel(&self) -> &Arc<SchemeKernel> {
+        &self.kernel
+    }
+
+    /// The job's active-edge mask words (empty unless the kernel draws
+    /// random matchings).
+    pub fn mask_slots(&self) -> &[AtomicU64] {
+        &self.mask
     }
 
     /// Runs participant `t`'s share of one round. Called by workers and —
@@ -124,87 +129,27 @@ impl RoundJob {
         let round = self.round.load(Ordering::Relaxed);
         let edges = self.edge_bounds[t]..self.edge_bounds[t + 1];
         let nodes = self.node_bounds[t]..self.node_bounds[t + 1];
-        let prev = AtomicsF64(&self.prev);
-        let flows = AtomicsI64(&self.flows);
-        match self.mode {
-            PoolMode::DiscreteEdgeLocal(rounding) => {
-                kernel::edge_pass_fused(
-                    tables,
-                    edges,
-                    mem,
-                    gain,
-                    round,
-                    rounding,
-                    self.flow_memory,
-                    |i| self.loads_i[i].load(Ordering::Relaxed) as f64,
-                    &prev,
-                    &flows,
-                );
-                barrier.wait();
-                let mt = kernel::apply_discrete(
-                    tables,
-                    nodes,
-                    |e| self.flows[e].load(Ordering::Relaxed),
-                    &AtomicsI64(&self.loads_i),
-                );
-                self.mins[t].store(mt.to_bits(), Ordering::Relaxed);
-            }
-            PoolMode::DiscreteFramework { seed } => {
-                kernel::edge_pass_scatter(
-                    tables,
-                    edges.clone(),
-                    mem,
-                    gain,
-                    self.flow_memory,
-                    |i| self.loads_i[i].load(Ordering::Relaxed) as f64,
-                    &AtomicsF64(&self.arc_frac),
-                    &flows,
-                    &prev,
-                );
-                barrier.wait();
-                kernel::arc_round_streamed(
-                    tables,
-                    nodes.clone(),
-                    seed,
-                    round,
-                    &AtomicsF64(&self.arc_frac),
-                    &flows,
-                    scratch,
-                );
-                barrier.wait();
-                // Same barrier interval as the apply pass: both only read
-                // the flows (the copy writes `prev`, the apply writes
-                // `loads` — disjoint).
-                if matches!(self.flow_memory, FlowMemory::Rounded) {
-                    kernel::prev_from_flows(edges, &flows, &prev);
-                }
-                let mt = kernel::apply_discrete(
-                    tables,
-                    nodes,
-                    |e| self.flows[e].load(Ordering::Relaxed),
-                    &AtomicsI64(&self.loads_i),
-                );
-                self.mins[t].store(mt.to_bits(), Ordering::Relaxed);
-            }
-            PoolMode::Continuous => {
-                kernel::edge_pass_continuous(
-                    tables,
-                    edges,
-                    mem,
-                    gain,
-                    |i| f64::from_bits(self.loads_f[i].load(Ordering::Relaxed)),
-                    &prev,
-                );
-                barrier.wait();
-                let mt = kernel::apply_continuous(
-                    tables,
-                    nodes,
-                    |e| f64::from_bits(self.prev[e].load(Ordering::Relaxed)),
-                    &AtomicsF64(&self.loads_f),
-                );
-                self.mins[t].store(mt.to_bits(), Ordering::Relaxed);
-            }
-        }
+        let bufs = ChunkBufs {
+            loads_i: &self.loads_i,
+            loads_f: &self.loads_f,
+            prev: &self.prev,
+            arc_frac: &self.arc_frac,
+            flows: &self.flows,
+            mask: &self.mask,
+        };
+        let mt = self.kernel.run_chunk(
+            tables,
+            barrier,
+            edges,
+            nodes,
+            mem,
+            gain,
+            round,
+            self.flow_memory,
+            &bufs,
+            scratch,
+        );
+        self.mins[t].store(mt.to_bits(), Ordering::Relaxed);
     }
 
     /// Copies the job's integer loads back into `out`.
@@ -375,6 +320,16 @@ mod tests {
         }
     }
 
+    use crate::engine::Mode;
+    use crate::rounding::Rounding;
+    use crate::scheme::Scheme;
+
+    /// A kernel for the given mode on `graph` with uniform speeds.
+    fn fos_kernel(graph: &sodiff_graph::Graph, mode: Mode) -> Arc<SchemeKernel> {
+        let speeds = sodiff_graph::Speeds::uniform(graph.node_count());
+        Arc::new(SchemeKernel::new(Scheme::fos(), mode, graph, &speeds).unwrap())
+    }
+
     #[test]
     fn pool_starts_and_shuts_down_cleanly() {
         use sodiff_graph::{generators, Speeds};
@@ -385,7 +340,7 @@ mod tests {
         let job = Arc::new(RoundJob::new(
             pool.threads(),
             tables,
-            PoolMode::DiscreteEdgeLocal(Rounding::nearest()),
+            fos_kernel(&g, Mode::Discrete(Rounding::nearest())),
             FlowMemory::Rounded,
             &loads,
             &[],
@@ -411,7 +366,7 @@ mod tests {
         let job1 = Arc::new(RoundJob::new(
             pool.threads(),
             t1,
-            PoolMode::DiscreteEdgeLocal(Rounding::nearest()),
+            fos_kernel(&g1, Mode::Discrete(Rounding::nearest())),
             FlowMemory::Rounded,
             &[7i64; 15],
             &[],
@@ -421,7 +376,7 @@ mod tests {
         let job2 = Arc::new(RoundJob::new(
             pool.threads(),
             t2,
-            PoolMode::Continuous,
+            fos_kernel(&g2, Mode::Continuous),
             FlowMemory::Rounded,
             &[],
             &[3.0f64; 9],

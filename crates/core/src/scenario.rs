@@ -23,7 +23,7 @@
 //! | `name` | free token (no spaces) | `scenario` |
 //! | `topology` | see [`TopologySpec`] | *required* |
 //! | `speeds` | `uniform`, `two_class:FAST:SPEED`, `ramp:MAX`, `skewed:MAX:EXP:SEED` | `uniform` |
-//! | `scheme` | `fos`, `sos:BETA`, `sos_opt` | `fos` |
+//! | `scheme` | `fos`, `sos:BETA`, `sos_opt`, `de:LAMBDA`, `matching:rr:LAMBDA`, `matching:random:SEED:LAMBDA` | `fos` |
 //! | `mode` | `continuous`, `discrete` | `discrete` |
 //! | `rounding` | `randomized`, `round_down`, `nearest`, `unbiased` | `randomized` |
 //! | `seed` | integer | *unset* (randomized kinds then fail to build) |
@@ -165,7 +165,7 @@ impl FromStr for SpeedsSpec {
     }
 }
 
-/// The diffusion scheme as data (`scheme=` key).
+/// The balancing scheme as data (`scheme=` key).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SchemeSpec {
     /// First-order scheme (`fos`).
@@ -179,6 +179,28 @@ pub enum SchemeSpec {
     /// Second-order scheme with `β_opt` computed from the graph's
     /// spectrum at build time (`sos_opt`).
     SosOpt,
+    /// Dimension exchange over the graph's edge coloring
+    /// (`de:LAMBDA`; bare `de` means `λ = 1`).
+    De {
+        /// Pairwise exchange gain `λ ∈ (0, 1]`.
+        lambda: f64,
+    },
+    /// Matching-based balancing over a round-robin family of maximal
+    /// matchings (`matching:rr:LAMBDA`; bare `matching` / `matching:rr`
+    /// mean `λ = 1`).
+    MatchingRr {
+        /// Pairwise exchange gain `λ ∈ (0, 1]`.
+        lambda: f64,
+    },
+    /// Matching-based balancing drawing a fresh random maximal matching
+    /// per round (`matching:random:SEED:LAMBDA`;
+    /// `matching:random:SEED` means `λ = 1`).
+    MatchingRandom {
+        /// Seed of the per-round matching draws.
+        seed: u64,
+        /// Pairwise exchange gain `λ ∈ (0, 1]`.
+        lambda: f64,
+    },
 }
 
 impl SchemeSpec {
@@ -188,27 +210,28 @@ impl SchemeSpec {
     ///
     /// Returns [`BuildError::InvalidBeta`] for explicit `β` outside
     /// `(0, 2)` or when `sos_opt` is requested on a graph whose `λ` is
-    /// not in `[0, 1)` (disconnected or degenerate networks).
+    /// not in `[0, 1)` (disconnected or degenerate networks), and
+    /// [`BuildError::InvalidLambda`] for a pairwise exchange gain outside
+    /// `(0, 1]`.
     pub fn resolve(&self, graph: &Graph, speeds: &Speeds) -> Result<Scheme, BuildError> {
-        match *self {
-            SchemeSpec::Fos => Ok(Scheme::Fos),
-            SchemeSpec::Sos { beta } => {
-                if beta > 0.0 && beta < 2.0 {
-                    Ok(Scheme::Sos { beta })
-                } else {
-                    Err(BuildError::InvalidBeta(beta))
-                }
-            }
+        let scheme = match *self {
+            SchemeSpec::Fos => Scheme::Fos,
+            SchemeSpec::Sos { beta } => Scheme::try_sos(beta)?,
             SchemeSpec::SosOpt => {
                 let lambda = sodiff_linalg::spectral::analyze(graph, speeds).lambda;
                 if !(0.0..1.0).contains(&lambda) {
                     return Err(BuildError::InvalidBeta(lambda));
                 }
-                Ok(Scheme::Sos {
+                Scheme::Sos {
                     beta: sodiff_linalg::spectral::beta_opt(lambda),
-                })
+                }
             }
-        }
+            SchemeSpec::De { lambda } => Scheme::dimension_exchange(lambda),
+            SchemeSpec::MatchingRr { lambda } => Scheme::matching_round_robin(lambda),
+            SchemeSpec::MatchingRandom { seed, lambda } => Scheme::matching_random(seed, lambda),
+        };
+        scheme.check()?;
+        Ok(scheme)
     }
 }
 
@@ -218,6 +241,11 @@ impl fmt::Display for SchemeSpec {
             SchemeSpec::Fos => f.write_str("fos"),
             SchemeSpec::Sos { beta } => write!(f, "sos:{beta}"),
             SchemeSpec::SosOpt => f.write_str("sos_opt"),
+            SchemeSpec::De { lambda } => write!(f, "de:{lambda}"),
+            SchemeSpec::MatchingRr { lambda } => write!(f, "matching:rr:{lambda}"),
+            SchemeSpec::MatchingRandom { seed, lambda } => {
+                write!(f, "matching:random:{seed}:{lambda}")
+            }
         }
     }
 }
@@ -226,18 +254,52 @@ impl FromStr for SchemeSpec {
     type Err = ParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "fos" => Ok(SchemeSpec::Fos),
-            "sos_opt" => Ok(SchemeSpec::SosOpt),
-            _ => match s.split_once(':') {
-                Some(("sos", beta)) => beta
-                    .parse()
-                    .map(|beta| SchemeSpec::Sos { beta })
-                    .map_err(|_| ParseError::new(format!("invalid sos beta in '{s}'"))),
-                _ => Err(ParseError::new(format!(
-                    "unknown scheme '{s}' (expected fos, sos:BETA, or sos_opt)"
-                ))),
-            },
+        let parts: Vec<&str> = s.split(':').collect();
+        let bad = |what: &str| ParseError::new(format!("invalid {what} in scheme '{s}'"));
+        // Range violations are caught here — scenario files get a
+        // line-anchored parse error instead of a late build failure —
+        // but the ranges themselves live in `Scheme`'s own validation
+        // (programmatic specs are still re-validated at build).
+        let beta_checked = |beta: &str| {
+            let beta: f64 = beta.parse().map_err(|_| bad("sos beta"))?;
+            Scheme::try_sos(beta)
+                .map(|_| beta)
+                .map_err(|e| ParseError::new(format!("in scheme '{s}': {e}")))
+        };
+        let lambda_checked = |lambda: &str, what: &str| {
+            let lambda: f64 = lambda.parse().map_err(|_| bad(what))?;
+            Scheme::dimension_exchange(lambda)
+                .check()
+                .map(|()| lambda)
+                .map_err(|e| ParseError::new(format!("in scheme '{s}': {e}")))
+        };
+        match parts.as_slice() {
+            ["fos"] => Ok(SchemeSpec::Fos),
+            ["sos_opt"] => Ok(SchemeSpec::SosOpt),
+            ["sos", beta] => Ok(SchemeSpec::Sos {
+                beta: beta_checked(beta)?,
+            }),
+            ["de"] => Ok(SchemeSpec::De { lambda: 1.0 }),
+            ["de", lambda] => Ok(SchemeSpec::De {
+                lambda: lambda_checked(lambda, "de lambda")?,
+            }),
+            ["matching"] | ["matching", "rr"] => Ok(SchemeSpec::MatchingRr { lambda: 1.0 }),
+            ["matching", "rr", lambda] => Ok(SchemeSpec::MatchingRr {
+                lambda: lambda_checked(lambda, "matching lambda")?,
+            }),
+            ["matching", "random", seed] => seed
+                .parse()
+                .map(|seed| SchemeSpec::MatchingRandom { seed, lambda: 1.0 })
+                .map_err(|_| bad("matching seed")),
+            ["matching", "random", seed, lambda] => {
+                let seed = seed.parse().map_err(|_| bad("matching seed"))?;
+                let lambda = lambda_checked(lambda, "matching lambda")?;
+                Ok(SchemeSpec::MatchingRandom { seed, lambda })
+            }
+            _ => Err(ParseError::new(format!(
+                "unknown scheme '{s}' (expected fos, sos:BETA, sos_opt, de:LAMBDA, \
+                 matching:rr:LAMBDA, or matching:random:SEED:LAMBDA)"
+            ))),
         }
     }
 }

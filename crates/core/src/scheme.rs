@@ -1,22 +1,69 @@
-//! The diffusion schemes: first order (FOS) and second order (SOS).
+//! The iterative load-balancing schemes: diffusion (FOS/SOS), dimension
+//! exchange, and matching-based balancing.
 
 use std::fmt;
 
-/// Which diffusion scheme drives the flow computation (paper Section II).
+use crate::error::BuildError;
+
+/// How a matching-based scheme picks its per-round matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchingStrategy {
+    /// Sweep a precomputed family of maximal matchings round-robin (one
+    /// maximal matching per color class of the graph's edge coloring).
+    RoundRobin,
+    /// Draw a fresh random maximal matching every round (greedy over a
+    /// `(seed, round)`-keyed random edge order; deterministic per seed).
+    Random {
+        /// Seed of the per-round matching draws.
+        seed: u64,
+    },
+}
+
+/// Which balancing scheme drives the flow computation.
+///
+/// The diffusion schemes (paper Section II) exchange load over **all**
+/// edges every round:
 ///
 /// * **FOS**: `y_{i,j}(t) = α_{i,j}·(x_i(t)/s_i − x_j(t)/s_j)`.
 /// * **SOS**: the first round after (re)activation is an FOS round;
 ///   afterwards
 ///   `y_{i,j}(t) = (β−1)·y_{i,j}(t−1) + β·α_{i,j}·(x_i(t)/s_i − x_j(t)/s_j)`
 ///   with `β ∈ (0, 2)`.
+///
+/// Their classic pairwise counterparts activate only a **matching** per
+/// round, so each node exchanges with at most one neighbor:
+///
+/// * **Dimension exchange**: rounds sweep the color classes of a proper
+///   edge coloring (see [`sodiff_graph::matching`]); an active edge
+///   `(u, v)` schedules
+///   `y_{u,v} = λ·(s_u·s_v/(s_u+s_v))·(x_u/s_u − x_v/s_v)` — for `λ = 1`
+///   and uniform speeds that is the exact pairwise averaging
+///   `(x_u − x_v)/2`.
+/// * **Matching-based balancing**: one maximal matching per round
+///   (round-robin over a precomputed family or freshly randomized),
+///   exchanging the same λ-scaled pairwise quantum — discretized by the
+///   configured rounding in discrete mode, e.g.
+///   `⌊λ·(x_u/s_u − x_v/s_v)·s̄⌋` under round-down.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Scheme {
-    /// First order scheme.
+    /// First order diffusion scheme.
     Fos,
-    /// Second order scheme with over-relaxation parameter `β`.
+    /// Second order diffusion scheme with over-relaxation parameter `β`.
     Sos {
         /// The relaxation parameter `β ∈ (0, 2)`; `β_opt = 2/(1+√(1−λ²))`.
         beta: f64,
+    },
+    /// Dimension exchange over an edge coloring.
+    DimensionExchange {
+        /// Pairwise exchange gain `λ ∈ (0, 1]`; 1 = exact averaging.
+        lambda: f64,
+    },
+    /// Matching-based balancing: one maximal matching per round.
+    Matching {
+        /// Pairwise exchange gain `λ ∈ (0, 1]`; 1 = exact averaging.
+        lambda: f64,
+        /// How the per-round matching is chosen.
+        strategy: MatchingStrategy,
     },
 }
 
@@ -28,15 +75,53 @@ impl Scheme {
 
     /// Second order scheme.
     ///
+    /// This is a thin wrapper over [`Scheme::try_sos`] for call sites that
+    /// know `beta` is valid (e.g. `β_opt` from a spectrum).
+    ///
     /// # Panics
     ///
     /// Panics unless `0 < beta < 2` (the convergence range; Section II).
+    /// Fallible callers should use [`Scheme::try_sos`].
     pub fn sos(beta: f64) -> Self {
-        assert!(
-            beta > 0.0 && beta < 2.0,
-            "SOS requires beta in (0, 2), got {beta}"
-        );
-        Scheme::Sos { beta }
+        Self::try_sos(beta).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Second order scheme, validating `β` up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidBeta`] unless `0 < beta < 2` (the
+    /// convergence range; Section II).
+    pub fn try_sos(beta: f64) -> Result<Self, BuildError> {
+        if beta > 0.0 && beta < 2.0 {
+            Ok(Scheme::Sos { beta })
+        } else {
+            Err(BuildError::InvalidBeta(beta))
+        }
+    }
+
+    /// Dimension exchange with gain `lambda` (validated at build:
+    /// [`BuildError::InvalidLambda`] outside `(0, 1]`).
+    pub fn dimension_exchange(lambda: f64) -> Self {
+        Scheme::DimensionExchange { lambda }
+    }
+
+    /// Matching-based balancing sweeping a precomputed maximal-matching
+    /// family round-robin (lambda validated at build).
+    pub fn matching_round_robin(lambda: f64) -> Self {
+        Scheme::Matching {
+            lambda,
+            strategy: MatchingStrategy::RoundRobin,
+        }
+    }
+
+    /// Matching-based balancing drawing a fresh random maximal matching
+    /// each round (lambda validated at build).
+    pub fn matching_random(seed: u64, lambda: f64) -> Self {
+        Scheme::Matching {
+            lambda,
+            strategy: MatchingStrategy::Random { seed },
+        }
     }
 
     /// Returns `true` for the second order scheme.
@@ -44,13 +129,37 @@ impl Scheme {
         matches!(self, Scheme::Sos { .. })
     }
 
+    /// Returns `true` for the diffusion schemes (FOS/SOS), which exchange
+    /// over all edges every round. Dimension exchange and matching-based
+    /// balancing are pairwise: only one matching is active per round.
+    pub fn is_diffusion(&self) -> bool {
+        matches!(self, Scheme::Fos | Scheme::Sos { .. })
+    }
+
+    /// Validates the scheme's parameters (the builder's check).
+    pub(crate) fn check(&self) -> Result<(), BuildError> {
+        match *self {
+            Scheme::Fos => Ok(()),
+            Scheme::Sos { beta } => Self::try_sos(beta).map(|_| ()),
+            Scheme::DimensionExchange { lambda } | Scheme::Matching { lambda, .. } => {
+                if lambda > 0.0 && lambda <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(BuildError::InvalidLambda(lambda))
+                }
+            }
+        }
+    }
+
     /// The effective `(β − 1)` memory coefficient and `β` gain for a round.
     ///
     /// `rounds_in_scheme` counts rounds since this scheme was (re)activated:
-    /// SOS behaves like FOS in its first round (paper equation (4)).
+    /// SOS behaves like FOS in its first round (paper equation (4)). The
+    /// pairwise schemes carry no flow memory, so they are always `(0, 1)`
+    /// (their `λ` gain is baked into the per-edge coefficient tables).
     pub(crate) fn coefficients(&self, rounds_in_scheme: u64) -> (f64, f64) {
         match *self {
-            Scheme::Fos => (0.0, 1.0),
+            Scheme::Fos | Scheme::DimensionExchange { .. } | Scheme::Matching { .. } => (0.0, 1.0),
             Scheme::Sos { beta } => {
                 if rounds_in_scheme == 0 {
                     (0.0, 1.0)
@@ -67,6 +176,13 @@ impl fmt::Display for Scheme {
         match self {
             Scheme::Fos => write!(f, "FOS"),
             Scheme::Sos { beta } => write!(f, "SOS(beta={beta})"),
+            Scheme::DimensionExchange { lambda } => write!(f, "DE(lambda={lambda})"),
+            Scheme::Matching { lambda, strategy } => match strategy {
+                MatchingStrategy::RoundRobin => write!(f, "MATCHING(rr, lambda={lambda})"),
+                MatchingStrategy::Random { seed } => {
+                    write!(f, "MATCHING(random, seed={seed}, lambda={lambda})")
+                }
+            },
         }
     }
 }
@@ -79,6 +195,17 @@ mod tests {
     fn sos_validates_beta() {
         assert!(Scheme::sos(1.5).is_sos());
         assert!(!Scheme::fos().is_sos());
+    }
+
+    #[test]
+    fn try_sos_reports_invalid_beta() {
+        for beta in [0.0, -1.0, 2.0, 3.5, f64::NAN] {
+            assert!(
+                matches!(Scheme::try_sos(beta), Err(BuildError::InvalidBeta(_))),
+                "beta {beta}"
+            );
+        }
+        assert_eq!(Scheme::try_sos(1.8), Ok(Scheme::Sos { beta: 1.8 }));
     }
 
     #[test]
@@ -108,8 +235,44 @@ mod tests {
     }
 
     #[test]
+    fn pairwise_schemes_never_use_memory() {
+        assert_eq!(Scheme::dimension_exchange(0.5).coefficients(7), (0.0, 1.0));
+        assert_eq!(Scheme::matching_random(3, 1.0).coefficients(7), (0.0, 1.0));
+        assert!(!Scheme::dimension_exchange(1.0).is_diffusion());
+        assert!(!Scheme::matching_round_robin(1.0).is_diffusion());
+        assert!(Scheme::fos().is_diffusion());
+        assert!(Scheme::sos(1.5).is_diffusion());
+    }
+
+    #[test]
+    fn check_validates_lambda() {
+        for lambda in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(
+                matches!(
+                    Scheme::dimension_exchange(lambda).check(),
+                    Err(BuildError::InvalidLambda(_))
+                ),
+                "lambda {lambda}"
+            );
+            assert!(matches!(
+                Scheme::matching_round_robin(lambda).check(),
+                Err(BuildError::InvalidLambda(_))
+            ));
+        }
+        assert!(Scheme::dimension_exchange(1.0).check().is_ok());
+        assert!(Scheme::matching_random(9, 0.25).check().is_ok());
+        assert!(Scheme::Sos { beta: 5.0 }.check().is_err());
+    }
+
+    #[test]
     fn display_formats() {
         assert_eq!(Scheme::fos().to_string(), "FOS");
         assert!(Scheme::sos(1.9).to_string().contains("1.9"));
+        assert_eq!(Scheme::dimension_exchange(1.0).to_string(), "DE(lambda=1)");
+        assert_eq!(
+            Scheme::matching_random(4, 0.5).to_string(),
+            "MATCHING(random, seed=4, lambda=0.5)"
+        );
+        assert!(Scheme::matching_round_robin(1.0).to_string().contains("rr"));
     }
 }

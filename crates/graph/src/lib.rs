@@ -14,6 +14,9 @@
 //!   (cycle, path, grid, complete, star, Erdős–Rényi),
 //! * traversal utilities: BFS, connected components, diameter, and a
 //!   union-find used to patch random geometric graphs into one component,
+//! * edge colorings and maximal matchings ([`matching`]) — the pairwise
+//!   communication schedules behind dimension-exchange and matching-based
+//!   balancing, exact for tori/hypercubes and greedy elsewhere,
 //! * a declarative, serializable [`TopologySpec`] (`"torus2d:16:16"` …)
 //!   that builds any of the generators fallibly — the topology half of the
 //!   workspace's scenario files.
@@ -40,6 +43,7 @@ mod builder;
 mod csr;
 mod error;
 pub mod generators;
+pub mod matching;
 mod speeds;
 mod topology;
 pub mod traversal;
@@ -48,6 +52,7 @@ mod unionfind;
 pub use builder::GraphBuilder;
 pub use csr::{EdgeId, Graph, GraphKind, NodeId};
 pub use error::GraphError;
+pub use matching::EdgeColoring;
 pub use speeds::Speeds;
 pub use topology::TopologySpec;
 pub use unionfind::UnionFind;

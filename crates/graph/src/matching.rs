@@ -1,0 +1,441 @@
+//! Edge colorings and maximal matchings: the pairwise-communication
+//! schedules behind dimension-exchange and matching-based load balancing.
+//!
+//! Diffusion schemes exchange load over *all* edges simultaneously; their
+//! classic counterparts communicate pairwise — each node talks to at most
+//! one neighbor per round. The schedule of such a scheme is either
+//!
+//! * a proper **edge coloring**: each color class is a matching, and
+//!   dimension exchange sweeps the classes round-robin so every edge is
+//!   active once per sweep, or
+//! * a sequence of **maximal matchings**: matching-based balancing runs
+//!   one per round (round-robin over a precomputed family here, or a
+//!   fresh random one drawn by the simulator).
+//!
+//! [`edge_coloring`] dispatches on the generator's [`GraphKind`] to exact
+//! optimal colorings where the structure provides one (tori with even
+//! sides and hypercubes achieve the chromatic index `Δ`), and falls back
+//! to the deterministic [`greedy_edge_coloring`] (at most `2Δ − 1`
+//! colors) everywhere else. [`maximal_matchings`] extends every color
+//! class to a maximal matching, which keeps more nodes busy per round
+//! than the bare class.
+//!
+//! All functions are deterministic: the same graph always produces the
+//! same coloring and the same matchings.
+
+use crate::csr::{EdgeId, Graph, GraphKind, NodeId};
+
+/// A proper edge coloring: adjacent edges never share a color, so each
+/// color class is a matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeColoring {
+    /// Color of each canonical edge, in `0..num_colors`.
+    colors: Vec<u32>,
+    /// Number of colors used.
+    num_colors: u32,
+}
+
+impl EdgeColoring {
+    /// The color of edge `e`.
+    #[inline]
+    pub fn color(&self, e: EdgeId) -> u32 {
+        self.colors[e as usize]
+    }
+
+    /// Per-edge colors, indexed by [`EdgeId`].
+    #[inline]
+    pub fn colors(&self) -> &[u32] {
+        &self.colors
+    }
+
+    /// Number of colors (0 only for edgeless graphs).
+    #[inline]
+    pub fn num_colors(&self) -> u32 {
+        self.num_colors
+    }
+
+    /// The edges of one color class, in edge-id order.
+    pub fn class(&self, color: u32) -> Vec<EdgeId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == color)
+            .map(|(e, _)| e as EdgeId)
+            .collect()
+    }
+
+    /// All color classes, indexed by color.
+    pub fn classes(&self) -> Vec<Vec<EdgeId>> {
+        let mut classes = vec![Vec::new(); self.num_colors as usize];
+        for (e, &c) in self.colors.iter().enumerate() {
+            classes[c as usize].push(e as EdgeId);
+        }
+        classes
+    }
+
+    /// Returns `true` if no two adjacent edges of `graph` share a color
+    /// and every color below `num_colors` is in use.
+    pub fn is_proper(&self, graph: &Graph) -> bool {
+        if self.colors.len() != graph.edge_count() {
+            return false;
+        }
+        let mut used = vec![false; self.num_colors as usize];
+        for &c in &self.colors {
+            match used.get_mut(c as usize) {
+                Some(slot) => *slot = true,
+                None => return false,
+            }
+        }
+        if !used.iter().all(|&u| u) {
+            return false;
+        }
+        for v in graph.nodes() {
+            let incident = graph.neighbor_edges(v);
+            for (i, &e1) in incident.iter().enumerate() {
+                for &e2 in &incident[i + 1..] {
+                    if self.colors[e1 as usize] == self.colors[e2 as usize] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A proper edge coloring of `graph`, exact where the generator's
+/// structure provides one and greedy otherwise:
+///
+/// * **hypercubes** are colored by edge axis (`dim` colors — optimal),
+/// * **tori** (and cycles/paths, their 1-D cases) are colored per axis:
+///   2 colors for an even side, 3 for an odd side, 1 for a side of
+///   length 2 — the cycle's chromatic index, summed over axes,
+/// * everything else falls back to [`greedy_edge_coloring`]
+///   (at most `2Δ − 1` colors).
+///
+/// Edgeless graphs get the empty coloring (`num_colors == 0`).
+pub fn edge_coloring(graph: &Graph) -> EdgeColoring {
+    match graph.kind().clone() {
+        GraphKind::Hypercube(_) => hypercube_coloring(graph),
+        GraphKind::Torus(dims) => torus_coloring(graph, &dims),
+        GraphKind::Cycle => torus_coloring(graph, &[graph.node_count() as u32]),
+        GraphKind::Path => path_coloring(graph),
+        _ => greedy_edge_coloring(graph),
+    }
+}
+
+/// Hypercube edges differ in exactly one bit; the bit index is a proper
+/// coloring with `dim` colors (each class is the perfect matching along
+/// that axis).
+fn hypercube_coloring(graph: &Graph) -> EdgeColoring {
+    let mut colors = Vec::with_capacity(graph.edge_count());
+    let mut num_colors = 0u32;
+    for &(u, v) in graph.edges() {
+        let axis = (u ^ v).trailing_zeros();
+        colors.push(axis);
+        num_colors = num_colors.max(axis + 1);
+    }
+    EdgeColoring { colors, num_colors }
+}
+
+/// Colors used by one torus axis of side length `len`: the cycle's
+/// chromatic index (sides of length 1 contribute no edges).
+fn axis_colors(len: u32) -> u32 {
+    match len {
+        0 | 1 => 0,
+        2 => 1, // wrap edge coincides with the direct edge (deduplicated)
+        l if l % 2 == 0 => 2,
+        _ => 3,
+    }
+}
+
+/// Exact per-axis torus coloring: each axis is a disjoint family of
+/// cycles, colored 2 (even side) or 3 (odd side) colors, with axes offset
+/// into disjoint color ranges.
+fn torus_coloring(graph: &Graph, dims: &[u32]) -> EdgeColoring {
+    let mut strides = vec![1u64; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1] as u64;
+    }
+    let mut base = vec![0u32; dims.len()];
+    let mut total = 0u32;
+    for (a, &len) in dims.iter().enumerate() {
+        base[a] = total;
+        total += axis_colors(len);
+    }
+    let coord = |v: NodeId, a: usize| (v as u64 / strides[a]) % dims[a] as u64;
+    let mut colors = Vec::with_capacity(graph.edge_count());
+    for &(u, v) in graph.edges() {
+        let axis = (0..dims.len())
+            .find(|&a| coord(u, a) != coord(v, a))
+            .expect("torus edge endpoints differ in exactly one axis");
+        let len = dims[axis] as u64;
+        let (cu, cv) = (coord(u, axis), coord(v, axis));
+        // Cycle-edge index: a direct edge `c → c+1` sits at position
+        // `min(cu, cv)`; the wrap edge `len−1 → 0` at position `len − 1`.
+        let pos = if cu.abs_diff(cv) == 1 {
+            cu.min(cv)
+        } else {
+            len - 1
+        };
+        let within = if len == 2 {
+            0
+        } else if len.is_multiple_of(2) {
+            (pos % 2) as u32
+        } else if pos == len - 1 {
+            2 // the odd cycle's extra color for its closing edge
+        } else {
+            (pos % 2) as u32
+        };
+        colors.push(base[axis] + within);
+    }
+    EdgeColoring {
+        colors,
+        num_colors: total,
+    }
+}
+
+/// Paths alternate two colors along the line (one color for a single
+/// edge).
+fn path_coloring(graph: &Graph) -> EdgeColoring {
+    let mut colors = Vec::with_capacity(graph.edge_count());
+    let mut num_colors = 0u32;
+    for &(u, _) in graph.edges() {
+        let c = u % 2;
+        colors.push(c);
+        num_colors = num_colors.max(c + 1);
+    }
+    EdgeColoring { colors, num_colors }
+}
+
+/// Deterministic greedy edge coloring: edges in id order each take the
+/// smallest color unused at either endpoint. Uses at most `2Δ − 1`
+/// colors (each endpoint blocks at most `Δ − 1` colors).
+pub fn greedy_edge_coloring(graph: &Graph) -> EdgeColoring {
+    const UNSET: u32 = u32::MAX;
+    let m = graph.edge_count();
+    let mut colors = vec![UNSET; m];
+    let mut num_colors = 0u32;
+    let cap = (2 * graph.max_degree()).saturating_sub(1).max(1);
+    let mut used = vec![u32::MAX; cap]; // stamp buffer: used[c] == e means blocked
+    for (e, &(u, v)) in graph.edges().iter().enumerate() {
+        for w in [u, v] {
+            for &e2 in graph.neighbor_edges(w) {
+                let c = colors[e2 as usize];
+                if c != UNSET {
+                    used[c as usize] = e as u32;
+                }
+            }
+        }
+        let c = (0..cap as u32)
+            .find(|&c| used[c as usize] != e as u32)
+            .expect("greedy coloring always fits in 2*max_degree - 1 colors");
+        colors[e] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+    EdgeColoring { colors, num_colors }
+}
+
+/// Returns `true` if `edges` is a matching of `graph` (no shared
+/// endpoints).
+pub fn is_matching(graph: &Graph, edges: &[EdgeId]) -> bool {
+    let mut matched = vec![false; graph.node_count()];
+    for &e in edges {
+        let (u, v) = graph.edge(e);
+        if matched[u as usize] || matched[v as usize] {
+            return false;
+        }
+        matched[u as usize] = true;
+        matched[v as usize] = true;
+    }
+    true
+}
+
+/// Returns `true` if `edges` is a maximal matching of `graph`: a matching
+/// that no further edge can be added to.
+pub fn is_maximal_matching(graph: &Graph, edges: &[EdgeId]) -> bool {
+    let mut matched = vec![false; graph.node_count()];
+    for &e in edges {
+        let (u, v) = graph.edge(e);
+        if matched[u as usize] || matched[v as usize] {
+            return false;
+        }
+        matched[u as usize] = true;
+        matched[v as usize] = true;
+    }
+    graph
+        .edges()
+        .iter()
+        .all(|&(u, v)| matched[u as usize] || matched[v as usize])
+}
+
+/// One maximal matching per color class of `coloring`: the class is taken
+/// as the base matching (proper classes are matchings by definition) and
+/// extended greedily in edge-id order until maximal. Together the family
+/// covers every edge at least once per sweep, and each round keeps more
+/// nodes paired than the bare class would.
+pub fn maximal_matchings(graph: &Graph, coloring: &EdgeColoring) -> Vec<Vec<EdgeId>> {
+    let n = graph.node_count();
+    let mut matched = vec![u32::MAX; n]; // stamp buffer keyed by color
+    let mut out = Vec::with_capacity(coloring.num_colors() as usize);
+    for c in 0..coloring.num_colors() {
+        let mut matching = Vec::new();
+        for (e, &(u, v)) in graph.edges().iter().enumerate() {
+            if coloring.colors[e] == c {
+                matched[u as usize] = c;
+                matched[v as usize] = c;
+                matching.push(e as EdgeId);
+            }
+        }
+        for (e, &(u, v)) in graph.edges().iter().enumerate() {
+            if matched[u as usize] != c && matched[v as usize] != c {
+                matched[u as usize] = c;
+                matched[v as usize] = c;
+                matching.push(e as EdgeId);
+            }
+        }
+        matching.sort_unstable();
+        out.push(matching);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn hypercube_coloring_is_exact() {
+        for dim in [1u32, 3, 5] {
+            let g = generators::hypercube(dim);
+            let c = edge_coloring(&g);
+            assert_eq!(c.num_colors(), dim, "dim {dim}");
+            assert!(c.is_proper(&g), "dim {dim}");
+            // Each class is the perfect matching along one axis.
+            for class in c.classes() {
+                assert_eq!(class.len(), g.node_count() / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn even_torus_coloring_is_optimal() {
+        let g = generators::torus2d(6, 8);
+        let c = edge_coloring(&g);
+        assert_eq!(c.num_colors(), 4, "even 2D torus: Δ = 4 colors");
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn odd_torus_coloring_is_proper() {
+        for (rows, cols, expect) in [(5, 5, 6), (5, 6, 5), (3, 4, 5), (2, 7, 4)] {
+            let g = generators::torus2d(rows, cols);
+            let c = edge_coloring(&g);
+            assert_eq!(c.num_colors(), expect, "{rows}x{cols}");
+            assert!(c.is_proper(&g), "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn degenerate_torus_sides() {
+        // Side 1 contributes no edges; side 2 contributes one color.
+        let g = generators::torus(&[1, 4]);
+        let c = edge_coloring(&g);
+        assert_eq!(c.num_colors(), 2);
+        assert!(c.is_proper(&g));
+        let g = generators::torus(&[2, 2]);
+        let c = edge_coloring(&g);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn cycle_and_path_colorings() {
+        let even = generators::cycle(8);
+        let c = edge_coloring(&even);
+        assert_eq!(c.num_colors(), 2);
+        assert!(c.is_proper(&even));
+        let odd = generators::cycle(9);
+        let c = edge_coloring(&odd);
+        assert_eq!(c.num_colors(), 3);
+        assert!(c.is_proper(&odd));
+        let p = generators::path(7);
+        let c = edge_coloring(&p);
+        assert_eq!(c.num_colors(), 2);
+        assert!(c.is_proper(&p));
+        let single = generators::path(2);
+        assert_eq!(edge_coloring(&single).num_colors(), 1);
+    }
+
+    #[test]
+    fn greedy_is_proper_and_bounded() {
+        for (name, g) in [
+            ("star", generators::star(9)),
+            ("complete", generators::complete(7)),
+            ("cm", generators::random_graph_cm(40, 3).unwrap()),
+            ("er", generators::erdos_renyi(30, 0.3, 5)),
+        ] {
+            let c = greedy_edge_coloring(&g);
+            assert!(c.is_proper(&g), "{name}");
+            assert!(
+                (c.num_colors() as usize) < 2 * g.max_degree(),
+                "{name}: {} colors for Δ = {}",
+                c.num_colors(),
+                g.max_degree()
+            );
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_has_empty_coloring() {
+        let g = generators::path(1);
+        let c = edge_coloring(&g);
+        assert_eq!(c.num_colors(), 0);
+        assert!(c.colors().is_empty());
+        assert!(maximal_matchings(&g, &c).is_empty());
+    }
+
+    #[test]
+    fn classes_partition_the_edges() {
+        let g = generators::torus2d(4, 6);
+        let c = edge_coloring(&g);
+        let total: usize = c.classes().iter().map(Vec::len).sum();
+        assert_eq!(total, g.edge_count());
+        for (color, class) in c.classes().into_iter().enumerate() {
+            assert!(is_matching(&g, &class), "class {color}");
+            for &e in &class {
+                assert_eq!(c.color(e), color as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_matchings_are_maximal_and_cover() {
+        for g in [
+            generators::torus2d(5, 5),
+            generators::hypercube(4),
+            generators::random_graph_cm(30, 7).unwrap(),
+            generators::star(6),
+        ] {
+            let c = edge_coloring(&g);
+            let family = maximal_matchings(&g, &c);
+            assert_eq!(family.len(), c.num_colors() as usize);
+            let mut covered = vec![false; g.edge_count()];
+            for (i, matching) in family.iter().enumerate() {
+                assert!(is_maximal_matching(&g, matching), "matching {i} of {g:?}");
+                for &e in matching {
+                    covered[e as usize] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "family covers every edge");
+        }
+    }
+
+    #[test]
+    fn coloring_is_deterministic() {
+        let g = generators::random_graph_cm(50, 11).unwrap();
+        assert_eq!(edge_coloring(&g), edge_coloring(&g));
+        let c = edge_coloring(&g);
+        assert_eq!(maximal_matchings(&g, &c), maximal_matchings(&g, &c));
+    }
+}

@@ -60,9 +60,9 @@ pub use sodiff_viz as viz;
 
 pub use sodiff_core::{
     BatchReport, BuildError, Driver, Experiment, ExperimentBuilder, InitSpec, InitialLoad,
-    MetricsSnapshot, Mode, ModeSpec, ParseError, Rounding, RoundingSpec, RunReport, ScenarioReport,
-    ScenarioSpec, Scheme, SchemeSpec, SpeedsSpec, StopCondition, StopReason, StopSpec,
-    SwitchPolicy,
+    MatchingStrategy, MetricsSnapshot, Mode, ModeSpec, ParseError, Rounding, RoundingSpec,
+    RunReport, ScenarioReport, ScenarioSpec, Scheme, SchemeSpec, SpeedsSpec, StopCondition,
+    StopReason, StopSpec, SwitchPolicy,
 };
 pub use sodiff_graph::{Speeds, TopologySpec};
 

@@ -106,12 +106,20 @@ fn run_fingerprint(
 }
 
 /// The full deterministic grid on one torus: every scheme × rounding ×
-/// mode must match `threads = 1` bit-for-bit on 2–8 threads.
+/// mode must match `threads = 1` bit-for-bit on 2–8 threads. The grid
+/// includes the pairwise schemes (dimension exchange over the torus's
+/// edge coloring, round-robin and random matching-based balancing).
 #[test]
 fn pooled_executor_bit_identical_across_grid() {
     let g = generators::torus2d(9, 7); // odd sizes exercise chunk edges
     let beta = spectral::analyze(&g, &Speeds::uniform(63)).beta_opt();
-    for scheme in [Scheme::fos(), Scheme::sos(beta)] {
+    for scheme in [
+        Scheme::fos(),
+        Scheme::sos(beta),
+        Scheme::dimension_exchange(1.0),
+        Scheme::matching_round_robin(0.8),
+        Scheme::matching_random(5, 1.0),
+    ] {
         for rounding in [
             Rounding::randomized(13),
             Rounding::round_down(),
@@ -143,7 +151,8 @@ proptest! {
         graph_pick in 0usize..3,
         seed in any::<u64>(),
         beta_scale in 0.2f64..1.0,
-        use_sos in proptest::prelude::any::<bool>(),
+        scheme_pick in 0usize..5,
+        exchange_lambda in 0.1f64..1.0,
         rounding_pick in 0usize..4,
         mode_discrete in proptest::prelude::any::<bool>(),
         threads in 2usize..=8,
@@ -155,12 +164,16 @@ proptest! {
             _ => generators::random_graph_cm(48, seed % 1000).unwrap(),
         };
         let n = graph.node_count();
-        let scheme = if use_sos {
-            let lambda = spectral::analyze(&graph, &Speeds::uniform(n)).lambda;
-            // A stable-range β between 1 and β_opt.
-            Scheme::sos(1.0 + beta_scale * (beta_opt(lambda) - 1.0))
-        } else {
-            Scheme::fos()
+        let scheme = match scheme_pick {
+            0 => Scheme::fos(),
+            1 => {
+                let lambda = spectral::analyze(&graph, &Speeds::uniform(n)).lambda;
+                // A stable-range β between 1 and β_opt.
+                Scheme::sos(1.0 + beta_scale * (beta_opt(lambda) - 1.0))
+            }
+            2 => Scheme::dimension_exchange(exchange_lambda),
+            3 => Scheme::matching_round_robin(exchange_lambda),
+            _ => Scheme::matching_random(seed, exchange_lambda),
         };
         let rounding = match rounding_pick {
             0 => Rounding::randomized(seed),

@@ -1,12 +1,15 @@
-//! Golden-trace bit-identity of the randomized rounding framework.
+//! Golden-trace bit-identity of the simulation kernels.
 //!
-//! The checksums below were captured from the pre-pipeline implementation
-//! (per-node `SplitMix64::for_node_round` construction, gather-based arc
-//! pass, arc-out combine) before it was rebuilt as the streaming
-//! three-phase pipeline. Any deviation — loads, flow memory, or minimum
-//! transient load, after dozens of rounds across FOS/SOS, both flow-memory
-//! modes, and heterogeneous speeds — fails these tests, proving the
-//! rewrite is bit-identical to the original randomized framework.
+//! The FOS/SOS checksums were captured from the pre-pipeline randomized
+//! framework (per-node `SplitMix64::for_node_round` construction,
+//! gather-based arc pass, arc-out combine) before it was rebuilt as the
+//! streaming three-phase pipeline, and have survived the scheme-kernel
+//! layer refactor unchanged. The dimension-exchange and matching-based
+//! checksums pin the pairwise kernels since their introduction. Any
+//! deviation — loads, flow memory, or minimum transient load, after
+//! dozens of rounds across schemes, flow-memory modes, and heterogeneous
+//! speeds — fails these tests; each pairwise configuration is checked on
+//! the sequential executor *and*, against the same checksum, on the pool.
 
 use sodiff::graph::generators;
 use sodiff::prelude::*;
@@ -38,7 +41,7 @@ fn run_and_check(name: &str, expected: u64, mut sim: Simulator<'_>, rounds: usiz
     assert_eq!(
         state_checksum(&sim),
         expected,
-        "{name}: randomized-framework trace diverged from the pre-pipeline implementation"
+        "{name}: golden trace diverged from the pinned implementation"
     );
 }
 
@@ -106,4 +109,93 @@ fn golden_trace_holds_on_the_pool() {
         .unwrap()
         .simulator();
     run_and_check("torus_fos_rounded (pooled)", 0xc6a410e2f5b1eac5, sim, 60);
+}
+
+// ---------------------------------------------------------------------
+// Pairwise schemes: the checksums below pin the dimension-exchange and
+// matching-based kernels as introduced by the scheme-kernel layer. Each
+// configuration is checked on the sequential executor and, with the same
+// checksum, on the pool — sequential == pooled, bit for bit.
+// ---------------------------------------------------------------------
+
+/// A DE/matching simulator over the given scheme and rounding.
+fn pairwise_sim(
+    g: &sodiff::graph::Graph,
+    scheme: Scheme,
+    rounding: Rounding,
+    threads: usize,
+) -> Simulator<'_> {
+    let n = g.node_count();
+    Experiment::on(g)
+        .discrete(rounding)
+        .scheme(scheme)
+        .threads(threads)
+        .init(InitialLoad::point(0, (n * 100) as i64))
+        .build()
+        .unwrap()
+        .simulator()
+}
+
+#[test]
+fn torus_dimension_exchange_nearest() {
+    let g = generators::torus2d(8, 8);
+    for threads in [1, 3] {
+        let sim = pairwise_sim(
+            &g,
+            Scheme::dimension_exchange(1.0),
+            Rounding::nearest(),
+            threads,
+        );
+        run_and_check("torus_de_nearest", 0x1059328902898be5, sim, 60);
+    }
+}
+
+#[test]
+fn torus_dimension_exchange_randomized_framework() {
+    // DE under the node-centric randomized framework exercises the masked
+    // scatter pass; each node has at most one active arc per round.
+    let g = generators::torus2d(8, 8);
+    for threads in [1, 3] {
+        let sim = pairwise_sim(
+            &g,
+            Scheme::dimension_exchange(0.75),
+            Rounding::randomized(42),
+            threads,
+        );
+        run_and_check("torus_de_randomized", 0x309b74ddad5025da, sim, 60);
+    }
+}
+
+#[test]
+fn cycle_matching_round_robin() {
+    let g = generators::cycle(17);
+    for threads in [1, 3] {
+        let sim = pairwise_sim(
+            &g,
+            Scheme::matching_round_robin(1.0),
+            Rounding::nearest(),
+            threads,
+        );
+        run_and_check("cycle_matching_rr", 0xc26364164de48acf, sim, 45);
+    }
+}
+
+#[test]
+fn regular_matching_random_heterogeneous() {
+    // Random per-round maximal matchings + per-edge unbiased rounding +
+    // heterogeneous speeds: the random plan's control-thread mask
+    // generation must hold the trace across executors.
+    let g = generators::random_regular(60, 4, 2).unwrap();
+    for threads in [1, 4] {
+        let sim = Experiment::on(&g)
+            .discrete(Rounding::unbiased_edge(13))
+            .scheme(Scheme::matching_random(7, 1.0))
+            .speeds(Speeds::linear_ramp(60, 5.0))
+            .threads(threads)
+            .init(InitialLoad::point(0, 60_000))
+            .build()
+            .unwrap()
+            .simulator();
+        run_and_check("regular_matching_random", 0x54870345eb25f356, sim, 80);
+    }
 }

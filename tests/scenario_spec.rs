@@ -48,6 +48,10 @@ fn any_scheme() -> impl Strategy<Value = SchemeSpec> {
         Just(SchemeSpec::Fos),
         (0.01f64..1.99).prop_map(|beta| SchemeSpec::Sos { beta }),
         Just(SchemeSpec::SosOpt),
+        (0.01f64..=1.0).prop_map(|lambda| SchemeSpec::De { lambda }),
+        (0.01f64..=1.0).prop_map(|lambda| SchemeSpec::MatchingRr { lambda }),
+        (any::<u64>(), 0.01f64..=1.0)
+            .prop_map(|(seed, lambda)| SchemeSpec::MatchingRandom { seed, lambda }),
     ]
 }
 
@@ -163,6 +167,83 @@ proptest! {
         let reparsed = ScenarioSpec::parse_many(&text).unwrap();
         prop_assert_eq!(reparsed, specs);
     }
+}
+
+/// Error paths of the text format: every malformed or out-of-range value
+/// must yield a [`ParseError`] whose message names the offending piece —
+/// not a panic, and not a silently defaulted spec.
+#[test]
+fn scenario_parse_error_paths_are_specific() {
+    let cases = [
+        // Unknown / malformed keys.
+        ("topology=cycle:8 wat=1", "unknown key"),
+        ("topology=cycle:8 scheme", "expected key=value"),
+        ("topology=cycle:8 name=a name=b", "duplicate key"),
+        // Scheme values: unknown kinds, malformed numbers, out-of-range β/λ.
+        ("topology=cycle:8 scheme=third_order", "unknown scheme"),
+        ("topology=cycle:8 scheme=sos:fast", "invalid sos beta"),
+        ("topology=cycle:8 scheme=sos:2.5", "beta in (0, 2)"),
+        ("topology=cycle:8 scheme=sos:0", "beta in (0, 2)"),
+        ("topology=cycle:8 scheme=de:0", "lambda in (0, 1]"),
+        ("topology=cycle:8 scheme=de:1.5", "lambda in (0, 1]"),
+        ("topology=cycle:8 scheme=de:x", "invalid de lambda"),
+        ("topology=cycle:8 scheme=matching:rr:-1", "lambda in (0, 1]"),
+        (
+            "topology=cycle:8 scheme=matching:random:x",
+            "invalid matching seed",
+        ),
+        (
+            "topology=cycle:8 scheme=matching:random:3:nope",
+            "invalid matching lambda",
+        ),
+        ("topology=cycle:8 scheme=matching:swiss", "unknown scheme"),
+        // Hybrid values.
+        ("topology=cycle:8 hybrid=at", "unknown hybrid policy"),
+        ("topology=cycle:8 hybrid=at:soon", "unknown hybrid policy"),
+        (
+            "topology=cycle:8 hybrid=local_diff:",
+            "unknown hybrid policy",
+        ),
+        (
+            "topology=cycle:8 hybrid=sometimes:1",
+            "unknown hybrid policy",
+        ),
+        // Stop conditions.
+        ("topology=cycle:8 stop=rounds", "invalid stop condition"),
+        ("topology=cycle:8 stop=rounds:ten", "invalid stop condition"),
+        ("topology=cycle:8 stop=balanced:1", "invalid stop condition"),
+        (
+            "topology=cycle:8 stop=plateau:a:100",
+            "invalid stop condition",
+        ),
+        // Other values.
+        ("topology=cycle:8 seed=minus_one", "invalid seed"),
+        ("topology=cycle:8 threads=none", "invalid thread count"),
+        (
+            "topology=cycle:8 flow_memory=forgetful",
+            "unknown flow memory",
+        ),
+        ("topology=cycle:8 mode=both", "unknown mode"),
+        ("topology=cycle:8 rounding=banker", "unknown rounding"),
+        ("topology=cycle:8 speeds=warp:9", "invalid speeds"),
+        ("topology=cycle:8 init=everywhere", "invalid init"),
+    ];
+    for (text, needle) in cases {
+        let err = text
+            .parse::<ScenarioSpec>()
+            .expect_err(&format!("'{text}' should fail to parse"));
+        assert!(
+            err.message.contains(needle),
+            "'{text}' -> '{}' (wanted '{needle}')",
+            err.message
+        );
+    }
+    // Errors in files carry the 1-based line number of the bad line.
+    let err =
+        ScenarioSpec::parse_many("topology=cycle:8\n\n# comment\ntopology=cycle:8 scheme=sos:9\n")
+            .unwrap_err();
+    assert_eq!(err.line, 4);
+    assert!(err.message.contains("beta in (0, 2)"));
 }
 
 #[test]
