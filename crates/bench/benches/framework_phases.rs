@@ -30,7 +30,7 @@ fn fixture() -> Fixture {
     let graph = generators::torus2d(SIDE, SIDE);
     let n = graph.node_count();
     let speeds = Speeds::uniform(n);
-    let tables = KernelTables::new(&graph, &speeds, true);
+    let tables = KernelTables::new(&graph, &speeds, true, 0.0);
     let m = tables.m;
     let loads: Vec<f64> = (0..n).map(|i| 1000.0 + ((i * 37) % 101) as f64).collect();
     let mut prev: Vec<f64> = (0..m)
@@ -124,12 +124,14 @@ fn bench_phases(c: &mut Criterion) {
 
     group.bench_function(BenchmarkId::from_parameter("apply_discrete"), |b| {
         let mut int_loads: Vec<i64> = (0..n).map(|i| 1000 + ((i * 37) % 101) as i64).collect();
+        let mut block_sums = vec![0.0f64; kernel::dev_blocks(n)];
         b.iter(|| {
             black_box(kernel::apply_discrete(
                 &tables,
                 0..n,
                 |e| flows[e],
                 &kernel::cells_i64(&mut int_loads),
+                &kernel::cells_f64(&mut block_sums),
             ))
         });
     });

@@ -1,0 +1,67 @@
+//! Criterion: per-round random-matching generation in isolation — the
+//! `O(m)` counting-scatter bucket pass against the `O(m log m)`
+//! sort-based reference it replaced — across torus, hypercube, and
+//! random-regular graphs, so the `matching:random` scheme's dominant
+//! per-round overhead is attributable separately from its kernel work
+//! (mirroring what `framework_phases.rs` does for the randomized
+//! rounding pipeline).
+//!
+//! Uses `sodiff_core::{kernel, matchgen}`, the `#[doc(hidden)]` hot-path
+//! surface exported for exactly this purpose.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sodiff_core::kernel::KernelTables;
+use sodiff_core::matchgen::{self, MatchScratch};
+use sodiff_graph::{generators, Graph, Speeds};
+
+const SEED: u64 = 42;
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("torus128x128", generators::torus2d(128, 128)),
+        ("hypercube12", generators::hypercube(12)),
+        (
+            "random_regular_8192_d6",
+            generators::random_regular(8192, 6, 7).expect("valid regular graph"),
+        ),
+    ]
+}
+
+fn bench_matching_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_gen");
+    for (name, graph) in graphs() {
+        let n = graph.node_count();
+        let tables = KernelTables::new(&graph, &Speeds::uniform(n), false, 0.0);
+        let uv = matchgen::edge_pairs(&tables);
+        group.bench_function(BenchmarkId::new("bucketed", name), |b| {
+            let mut mg = MatchScratch::default();
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                matchgen::fill_random_matching(SEED, round, &tables, &uv, &mut mg);
+                black_box(mg.mask.last().copied())
+            });
+        });
+        group.bench_function(BenchmarkId::new("sorted", name), |b| {
+            let mut mg = MatchScratch::default();
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                matchgen::fill_random_matching_sorted(SEED, round, &tables, &uv, &mut mg);
+                black_box(mg.mask.last().copied())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_matching_gen
+}
+criterion_main!(benches);

@@ -6,9 +6,14 @@
 //! discrete rounds on a 512×512 torus (kernel cost) and sequential vs
 //! pooled execution on a 256×256 torus (executor cost), for both the
 //! deterministic and the randomized-framework rounding paths plus the
-//! continuous scheme. A `driver_batch` entry additionally times a batch of
-//! scenarios through one pooled `Driver` (threads spawned once) against
-//! the same scenarios as separate `Simulator`s (one pool spawn each).
+//! continuous scheme. The `sos_threshold_stop` case runs the same SOS
+//! kernel under an (unreachable) `BalancedWithin` stop condition, so it
+//! measures what a metric-stopped round costs — since the fused in-loop
+//! metrics reduction landed, the same as a bare round instead of a round
+//! plus an `O(n + m)` metrics sweep. A `driver_batch` entry additionally
+//! times a batch of scenarios through one pooled `Driver` (threads
+//! spawned once) against the same scenarios as separate `Simulator`s
+//! (one pool spawn each).
 //!
 //! Usage: `perf_baseline [--out <path>] [--secs <s>] [--quick] [--case <substr>]
 //! [--scenarios <file>]`
@@ -38,6 +43,10 @@ struct Case {
     scheme: Scheme,
     /// `None` = continuous mode.
     rounding: Option<Rounding>,
+    /// Drive rounds through `run_until` with a per-round metric stop
+    /// check (an unreachable threshold, so the round count stays fixed)
+    /// instead of bare `step()` calls.
+    threshold_stop: bool,
 }
 
 struct Measurement {
@@ -82,8 +91,19 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
     let start = Instant::now();
     let mut rounds = 0u64;
     while start.elapsed().as_secs_f64() < budget_secs {
-        for _ in 0..8 {
-            sim.step();
+        if case.threshold_stop {
+            // A negative threshold never fires: all 8 rounds run, each
+            // paying the armed stop-condition check — the path the fused
+            // metrics reduction optimizes.
+            let report = sim.run_until(StopCondition::BalancedWithin {
+                threshold: -1.0,
+                max_rounds: 8,
+            });
+            assert_eq!(report.rounds, 8, "threshold must stay unreachable");
+        } else {
+            for _ in 0..8 {
+                sim.step();
+            }
         }
         rounds += 8;
     }
@@ -264,6 +284,7 @@ fn main() {
                 threads: 1,
                 scheme: Scheme::fos(),
                 rounding: Some(Rounding::nearest()),
+                threshold_stop: false,
             },
         ),
         (
@@ -274,6 +295,7 @@ fn main() {
                 threads: 1,
                 scheme: Scheme::fos(),
                 rounding: Some(Rounding::randomized(42)),
+                threshold_stop: false,
             },
         ),
         (
@@ -284,6 +306,7 @@ fn main() {
                 threads: 1,
                 scheme: Scheme::sos(beta_mid),
                 rounding: Some(Rounding::nearest()),
+                threshold_stop: false,
             },
         ),
         (
@@ -294,6 +317,7 @@ fn main() {
                 threads: 4,
                 scheme: Scheme::sos(beta_mid),
                 rounding: Some(Rounding::nearest()),
+                threshold_stop: false,
             },
         ),
         (
@@ -304,6 +328,7 @@ fn main() {
                 threads: 1,
                 scheme: Scheme::sos(beta_mid),
                 rounding: Some(Rounding::randomized(42)),
+                threshold_stop: false,
             },
         ),
         (
@@ -314,6 +339,7 @@ fn main() {
                 threads: 4,
                 scheme: Scheme::sos(beta_mid),
                 rounding: Some(Rounding::randomized(42)),
+                threshold_stop: false,
             },
         ),
         (
@@ -324,6 +350,7 @@ fn main() {
                 threads: 1,
                 scheme: Scheme::sos(beta_mid),
                 rounding: None,
+                threshold_stop: false,
             },
         ),
         (
@@ -334,6 +361,22 @@ fn main() {
                 threads: 4,
                 scheme: Scheme::sos(beta_mid),
                 rounding: None,
+                threshold_stop: false,
+            },
+        ),
+        // Metric-stopped rounds: same kernel as sos_discrete_nearest but
+        // driven through run_until with an armed BalancedWithin check —
+        // the per-round delta vs that row is what a metric stop costs
+        // (zero extra passes since the fused in-loop reduction).
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_threshold_stop",
+                threads: 1,
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
+                threshold_stop: true,
             },
         ),
         // Pairwise schemes (scheme-kernel layer): the masked edge pass
@@ -348,6 +391,7 @@ fn main() {
                 threads: 1,
                 scheme: Scheme::dimension_exchange(1.0),
                 rounding: Some(Rounding::nearest()),
+                threshold_stop: false,
             },
         ),
         (
@@ -358,6 +402,7 @@ fn main() {
                 threads: 1,
                 scheme: Scheme::matching_round_robin(1.0),
                 rounding: Some(Rounding::nearest()),
+                threshold_stop: false,
             },
         ),
         (
@@ -368,6 +413,7 @@ fn main() {
                 threads: 1,
                 scheme: Scheme::matching_random(42, 1.0),
                 rounding: Some(Rounding::nearest()),
+                threshold_stop: false,
             },
         ),
     ];

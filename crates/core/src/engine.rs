@@ -39,8 +39,8 @@ use sodiff_graph::{Graph, Speeds};
 use crate::error::BuildError;
 use crate::hybrid::SwitchPolicy;
 use crate::init::InitialLoad;
-use crate::kernel::KernelTables;
-use crate::metrics::{snapshot_with, MetricsSnapshot, RemainingImbalance};
+use crate::kernel::{KernelTables, LoadStats};
+use crate::metrics::{local_diff_with, snapshot_with_total, MetricsSnapshot, RemainingImbalance};
 use crate::observer::Observer;
 use crate::pool::{RoundJob, WorkerPool};
 use crate::rounding::Rounding;
@@ -277,6 +277,9 @@ pub struct Simulator<'g> {
     round: u64,
     rounds_in_scheme: u64,
     min_transient: f64,
+    /// Fused load statistics of the last executed round (the apply
+    /// pass's in-loop reduction); `None` until the first [`Simulator::step`].
+    round_stats: Option<LoadStats>,
     initial_total: f64,
 }
 
@@ -314,14 +317,11 @@ impl<'g> Simulator<'g> {
         let loads = init.materialize(n);
         let initial_total = loads.iter().map(|&x| x as f64).sum();
         let m = graph.edge_count();
-        let scheme_kernel = Arc::new(SchemeKernel::new(
-            config.scheme,
-            config.mode,
-            graph,
-            &speeds,
-        )?);
+        let mut scheme_kernel = SchemeKernel::new(config.scheme, config.mode, graph, &speeds)?;
         let framework = scheme_kernel.needs_arc_plan();
-        let tables = Arc::new(KernelTables::new(graph, &speeds, framework));
+        let tables = Arc::new(KernelTables::new(graph, &speeds, framework, initial_total));
+        scheme_kernel.finish(&tables);
+        let scheme_kernel = Arc::new(scheme_kernel);
         let state = match config.mode {
             Mode::Discrete(_) => State::Discrete {
                 loads,
@@ -376,6 +376,7 @@ impl<'g> Simulator<'g> {
             round: 0,
             rounds_in_scheme: 0,
             min_transient,
+            round_stats: None,
             initial_total,
         })
     }
@@ -467,9 +468,51 @@ impl<'g> Simulator<'g> {
         &self.prev_flow
     }
 
-    /// Current quality metrics.
+    /// Current quality metrics, recomputed from scratch (`O(n + m)`).
+    ///
+    /// Deviations are measured against the **conserved initial total**
+    /// (exact in discrete mode by token conservation; in continuous mode
+    /// this pins the balanced load to the invariant instead of a float
+    /// re-sum that drifts by rounding error). After a round has run,
+    /// [`Simulator::round_metrics`] returns the same snapshot from the
+    /// fused in-loop reduction without the `O(n)` node sweep.
     pub fn metrics(&self) -> MetricsSnapshot {
-        snapshot_with(self.graph, &self.speeds, |i| self.load_of(i))
+        snapshot_with_total(self.graph, &self.speeds, self.initial_total, |i| {
+            self.load_of(i)
+        })
+    }
+
+    /// The metrics snapshot of the state after the last executed round,
+    /// assembled from the **fused in-loop reduction** the apply kernels
+    /// compute while applying flows — `None` before the first round.
+    ///
+    /// The node-derived fields cost nothing here (they were reduced
+    /// inside the round); only `max_local_diff` pays a dedicated edge
+    /// sweep, because it is inherently an edge metric. The snapshot is
+    /// **bit-identical** to [`Simulator::metrics`] on every executor:
+    /// the potential is summed per [`crate::metrics::DEV_BLOCK`]-node
+    /// block with partials folded in block order, and pooled node
+    /// chunks are block-aligned, so no thread count regroups the sum
+    /// (`tests/fused_metrics.rs` pins exact equality across all
+    /// schemes, modes, and thread counts).
+    pub fn round_metrics(&self) -> Option<MetricsSnapshot> {
+        let stats = self.round_stats?;
+        Some(MetricsSnapshot {
+            max_minus_avg: stats.max_dev,
+            min_minus_avg: stats.min_dev,
+            max_local_diff: local_diff_with(self.graph, &self.speeds, |i| self.load_of(i)),
+            potential_over_n: stats.sum_sq_dev / self.graph.node_count() as f64,
+            min_load: stats.min_load,
+        })
+    }
+
+    /// Fused `max − avg` of the current state: free after any round, one
+    /// node sweep before the first.
+    fn max_minus_avg(&self) -> f64 {
+        match self.round_stats {
+            Some(stats) => stats.max_dev,
+            None => self.metrics().max_minus_avg,
+        }
     }
 
     /// Switches the active scheme (the SOS→FOS hybrid of Section VI).
@@ -519,10 +562,11 @@ impl<'g> Simulator<'g> {
             flow_memory,
             round,
             min_transient,
+            round_stats,
             ..
         } = self;
         let t = &**tables;
-        let mt = match state {
+        let stats = match state {
             State::Discrete { loads, int_flows } => scheme_kernel.run_discrete_seq(
                 t,
                 mem,
@@ -535,19 +579,14 @@ impl<'g> Simulator<'g> {
                 arc_frac,
                 scratch,
             ),
-            State::Continuous { loads } => scheme_kernel.run_continuous_seq(
-                t,
-                mem,
-                gain,
-                *round,
-                loads,
-                prev_flow,
-                &mut scratch.matchgen,
-            ),
+            State::Continuous { loads } => {
+                scheme_kernel.run_continuous_seq(t, mem, gain, *round, loads, prev_flow, scratch)
+            }
         };
-        if mt < *min_transient {
-            *min_transient = mt;
+        if stats.min_transient < *min_transient {
+            *min_transient = stats.min_transient;
         }
+        *round_stats = Some(stats);
     }
 
     fn step_pooled(&mut self, mem: f64, gain: f64) {
@@ -559,6 +598,7 @@ impl<'g> Simulator<'g> {
             scratch,
             round,
             min_transient,
+            round_stats,
             ..
         } = self;
         let attachment = pool.as_ref().expect("step_pooled requires a pool");
@@ -572,12 +612,13 @@ impl<'g> Simulator<'g> {
             &mut scratch.matchgen,
             attachment.job.mask_slots(),
         );
-        let mt = attachment
+        let stats = attachment
             .pool
             .run_round(&attachment.job, mem, gain, *round, &mut scratch.fw);
-        if mt < *min_transient {
-            *min_transient = mt;
+        if stats.min_transient < *min_transient {
+            *min_transient = stats.min_transient;
         }
+        *round_stats = Some(stats);
         // Mirror the job's canonical state back into the accessor-visible
         // vectors (bit-exact copies). This eager O(n + m) sync keeps every
         // `&self` accessor valid between rounds; threshold/plateau stop
@@ -646,6 +687,14 @@ impl<'g> Simulator<'g> {
     /// The unified run loop behind `run_until*`, `run_hybrid*`,
     /// `run_when`, and [`crate::Experiment::run`]: an optional switch
     /// trigger evaluated before each round, the stop condition after it.
+    ///
+    /// Stop checks consume the **fused** load statistics the apply
+    /// kernels reduce while applying flows, so threshold- and
+    /// plateau-stopped runs make exactly one pass over the node loads
+    /// per round — there is no separate per-round `metrics()` sweep.
+    /// The final report is assembled from the same fused statistics on
+    /// *every* exit path (`MaxRounds` included); only its
+    /// `max_local_diff` field pays a dedicated edge sweep, once per run.
     fn run_loop(
         &mut self,
         mut trigger: Trigger<'_>,
@@ -665,11 +714,6 @@ impl<'g> Simulator<'g> {
         let mut reason = StopReason::MaxRounds;
         let mut remaining = None;
         let mut switch_round = None;
-        // Snapshot of the *current* state, shared between the post-round
-        // stop checks and the next pre-round policy evaluation so
-        // metric-based policies don't pay a second O(n + m) sweep per
-        // round. Invalidated by `step()`.
-        let mut snapshot: Option<MetricsSnapshot> = None;
         for _ in 0..cap {
             if switch_round.is_none() {
                 let fire = match &mut trigger {
@@ -677,14 +721,11 @@ impl<'g> Simulator<'g> {
                     Trigger::Policy(policy) => match *policy {
                         SwitchPolicy::AtRound(r) => self.round - start_round >= r,
                         SwitchPolicy::MaxLocalDiffBelow(t) => {
-                            snapshot
-                                .get_or_insert_with(|| self.metrics())
-                                .max_local_diff
-                                <= t
+                            // An edge metric: the one policy that costs a
+                            // sweep (over edges) per round while armed.
+                            local_diff_with(self.graph, &self.speeds, |i| self.load_of(i)) <= t
                         }
-                        SwitchPolicy::MaxMinusAvgBelow(t) => {
-                            snapshot.get_or_insert_with(|| self.metrics()).max_minus_avg <= t
-                        }
+                        SwitchPolicy::MaxMinusAvgBelow(t) => self.max_minus_avg() <= t,
                         SwitchPolicy::Never => false,
                     },
                     Trigger::Custom(f) => f(self),
@@ -695,19 +736,20 @@ impl<'g> Simulator<'g> {
                 }
             }
             self.step();
-            snapshot = None;
             observer.on_round(self);
-            let need_metrics = threshold.is_some() || tracker.is_some();
-            if need_metrics {
-                let m = *snapshot.insert(self.metrics());
+            if threshold.is_some() || tracker.is_some() {
+                let max_minus_avg = self
+                    .round_stats
+                    .expect("step() fills the fused round statistics")
+                    .max_dev;
                 if let Some(t) = threshold {
-                    if m.max_minus_avg <= t {
+                    if max_minus_avg <= t {
                         reason = StopReason::Threshold;
                         break;
                     }
                 }
                 if let Some(tr) = tracker.as_mut() {
-                    tr.push(m.max_minus_avg);
+                    tr.push(max_minus_avg);
                     if tr.converged() {
                         reason = StopReason::Plateau;
                         remaining = tr.value();
@@ -718,7 +760,9 @@ impl<'g> Simulator<'g> {
         }
         RunReport {
             rounds: self.round - start_round,
-            final_metrics: snapshot.unwrap_or_else(|| self.metrics()),
+            // Fused on every exit path; `metrics()` only for zero-round
+            // runs on a freshly built simulator (nothing to fuse yet).
+            final_metrics: self.round_metrics().unwrap_or_else(|| self.metrics()),
             reason,
             remaining_imbalance: remaining,
             switch_round,

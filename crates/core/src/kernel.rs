@@ -75,6 +75,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
 use sodiff_graph::{Graph, Speeds};
 
 use crate::engine::FlowMemory;
+use crate::metrics::DEV_BLOCK;
 use crate::rng::{self, SplitMix64};
 use crate::rounding::Rounding;
 
@@ -103,11 +104,20 @@ pub struct KernelTables {
     /// Per-edge arc positions `(tail side, head side)`; built only when the
     /// randomized rounding framework needs the arc decomposition.
     pub edge_arc_pos: Vec<(u32, u32)>,
+    /// Per-node speed-proportional balanced load `x̄_i = T·s_i/S`, where
+    /// `T` is the total load passed at construction (the conserved
+    /// initial total for real simulations). The apply passes reduce load
+    /// deviations against this table in the same sweep that applies
+    /// flows, so stop conditions never pay a separate metrics pass.
+    pub ideal: Vec<f64>,
 }
 
 impl KernelTables {
-    /// Builds the tables for `graph` with the given speeds.
-    pub fn new(graph: &Graph, speeds: &Speeds, needs_arc_plan: bool) -> Self {
+    /// Builds the tables for `graph` with the given speeds. `total_load`
+    /// seeds the [`KernelTables::ideal`] balanced-load table (pass the
+    /// initial total; benches that ignore the fused stats may pass any
+    /// value).
+    pub fn new(graph: &Graph, speeds: &Speeds, needs_arc_plan: bool, total_load: f64) -> Self {
         let n = graph.node_count();
         let m = graph.edge_count();
         let mut tail = Vec::with_capacity(m);
@@ -146,6 +156,11 @@ impl KernelTables {
         } else {
             Vec::new()
         };
+        // Same per-node expression as `metrics::snapshot_with_total`, so
+        // the fused deviations match a from-scratch recompute bit for bit.
+        let ideal = (0..n)
+            .map(|i| total_load * speeds.get(i) / speeds.total())
+            .collect();
         Self {
             n,
             m,
@@ -157,6 +172,86 @@ impl KernelTables {
             arc_edges: graph.arc_edge_ids().to_vec(),
             arc_signs: graph.arc_orientations().to_vec(),
             edge_arc_pos,
+            ideal,
+        }
+    }
+}
+
+/// Per-chunk load statistics fused into the apply passes: the round's
+/// minimum transient load plus everything the node-derived half of a
+/// [`crate::metrics::MetricsSnapshot`] needs (deviations are measured
+/// against [`KernelTables::ideal`]). Sequential executors reduce one
+/// whole-range chunk; pool participants reduce their node chunk and the
+/// control thread [`LoadStats::merge`]s them in chunk order at the
+/// round's final barrier. The min/max fields combine exactly regardless
+/// of chunking; the squared-deviation sum is **not** carried per chunk —
+/// the apply passes write per-[`DEV_BLOCK`] partial sums into a shared
+/// block buffer and the round driver folds them in block order
+/// ([`fold_block_sums`]), so `sum_sq_dev` too is bit-identical for every
+/// executor and thread count (see `tests/fused_metrics.rs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadStats {
+    /// Minimum transient load `min_i (x_i − Σ outgoing)` of the chunk.
+    pub min_transient: f64,
+    /// Minimum post-round load.
+    pub min_load: f64,
+    /// Maximum post-round deviation `x_i − x̄_i`.
+    pub max_dev: f64,
+    /// Minimum post-round deviation.
+    pub min_dev: f64,
+    /// Sum of squared post-round deviations. The apply passes return
+    /// `0.0` here (they emit per-block partials instead); the round
+    /// driver fills it from [`fold_block_sums`].
+    pub sum_sq_dev: f64,
+}
+
+impl LoadStats {
+    /// The merge identity (an empty chunk's statistics).
+    pub fn identity() -> Self {
+        Self {
+            min_transient: f64::INFINITY,
+            min_load: f64::INFINITY,
+            max_dev: f64::NEG_INFINITY,
+            min_dev: f64::INFINITY,
+            sum_sq_dev: 0.0,
+        }
+    }
+
+    /// Folds one node's min/max contributions into the chunk statistics
+    /// (the squared deviation goes to the block accumulator instead).
+    ///
+    /// Compare-and-assign instead of `f64::min`/`f64::max`: the updates
+    /// are rare once the extrema stabilize, so these are four
+    /// well-predicted branches per node, not four IEEE min/max µop
+    /// sequences (measured ~0.7 ns/edge cheaper on the 256×256 SOS
+    /// nearest case). `metrics::snapshot_with_total` reduces with the
+    /// same comparisons, keeping the fused and from-scratch snapshots
+    /// bit-identical (NaNs lose every comparison on both paths alike).
+    #[inline(always)]
+    fn absorb(&mut self, load: f64, dev: f64, transient: f64) {
+        if transient < self.min_transient {
+            self.min_transient = transient;
+        }
+        if load < self.min_load {
+            self.min_load = load;
+        }
+        if dev > self.max_dev {
+            self.max_dev = dev;
+        }
+        if dev < self.min_dev {
+            self.min_dev = dev;
+        }
+    }
+
+    /// Combines two chunks' statistics (associative; `other` is the
+    /// higher-indexed chunk so sequential merge order is well defined).
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            min_transient: self.min_transient.min(other.min_transient),
+            min_load: self.min_load.min(other.min_load),
+            max_dev: self.max_dev.max(other.max_dev),
+            min_dev: self.min_dev.min(other.min_dev),
+            sum_sq_dev: self.sum_sq_dev + other.sum_sq_dev,
         }
     }
 }
@@ -726,6 +821,15 @@ pub fn arc_round_streamed<A: BufF64, F: BufI64>(
         edges_rest = rest;
         let (signs, rest) = signs_rest.split_at(deg);
         signs_rest = rest;
+        // Why the frac sum and the prefix-count selection below stay
+        // scalar while the RNG sweeps are lane-chunked: both reduce a
+        // *sequential* f64 prefix whose per-element bit pattern is pinned
+        // by the golden traces — `r` feeds `⌈r⌉` and every token compares
+        // its draw against the exact running prefix, so any lane-split
+        // regrouping of these sums changes which arc a token picks and
+        // breaks bit-identity with the pre-pipeline formulation. (The
+        // fixed-lane variants were also measured slower here in PR 3:
+        // data-dependent trip counts of ~deg 4 defeat them.)
         let mut r = 0.0f64;
         // `first` ends up as the index of the node's first positive-frac
         // arc: the number of leading arcs whose cumulative sum is still
@@ -783,63 +887,135 @@ pub fn prev_from_flows<F: BufI64, P: BufF64>(edges: Range<usize>, flows: &F, pre
     }
 }
 
+/// Number of [`DEV_BLOCK`]-node potential blocks over `n` nodes: the
+/// length of the block-partial buffer the apply passes write.
+pub fn dev_blocks(n: usize) -> usize {
+    n.div_ceil(DEV_BLOCK)
+}
+
+/// Folds the first `blocks` per-block squared-deviation partials in
+/// block order. Shared by the sequential executor, the pool's control
+/// thread, and (structurally) `metrics::snapshot_with_total`, so the
+/// potential's summation order never depends on the executor.
+pub fn fold_block_sums(blocks: usize, sums: &impl BufF64) -> f64 {
+    let mut total = 0.0;
+    for b in 0..blocks {
+        total += sums.get(b);
+    }
+    total
+}
+
 /// Node-centric application of integer flows to `nodes`; returns the
-/// range's minimum transient load `min_i (x_i − Σ outgoing)`.
-pub fn apply_discrete(
+/// chunk's fused [`LoadStats`] — the minimum transient load
+/// `min_i (x_i − Σ outgoing)` plus the post-round min/max/deviation
+/// reduction against [`KernelTables::ideal`] — computed in the same
+/// sweep, so stop conditions never pay a separate `O(n)` metrics pass.
+/// Per-[`DEV_BLOCK`] squared-deviation partials go to `block_sums`
+/// (indexed by global block id `i / DEV_BLOCK`); `nodes.start` must be
+/// block-aligned so each block has exactly one writer — the pool aligns
+/// its node chunks to guarantee it.
+pub fn apply_discrete<L: BufI64>(
     t: &KernelTables,
     nodes: Range<usize>,
     flows: impl Fn(usize) -> i64,
-    loads: &impl BufI64,
-) -> f64 {
-    let mut min_transient = f64::INFINITY;
-    for i in nodes {
+    loads: &L,
+    block_sums: &impl BufF64,
+) -> LoadStats {
+    debug_assert!(
+        nodes.start.is_multiple_of(DEV_BLOCK),
+        "chunk must be block-aligned"
+    );
+    let mut stats = LoadStats::identity();
+    let mut block_acc = 0.0f64;
+    let last = nodes.end;
+    // Walk the chunk's arc ranges by splitting running slices (as
+    // `arc_round_streamed` does) and zip the per-node tables, so the
+    // inner loop carries no repeated global-range bounds checks.
+    let chunk_arcs = t.offsets[nodes.start]..t.offsets[nodes.end];
+    let mut edges_rest = &t.arc_edges[chunk_arcs.clone()];
+    let mut signs_rest = &t.arc_signs[chunk_arcs];
+    let offsets = &t.offsets[nodes.start..=nodes.end];
+    let ideals = &t.ideal[nodes.clone()];
+    let load_elems = &loads.elems()[nodes.clone()];
+    let degs = offsets.windows(2).map(|w| w[1] - w[0]);
+    for (k, ((deg, &ideal), le)) in degs.zip(ideals).zip(load_elems).enumerate() {
+        let (arc_edges, rest) = edges_rest.split_at(deg);
+        edges_rest = rest;
+        let (arc_signs, rest) = signs_rest.split_at(deg);
+        signs_rest = rest;
         let mut outgoing: i64 = 0;
         let mut net: i64 = 0;
-        let arcs = t.offsets[i]..t.offsets[i + 1];
-        for (&e, &sg) in t.arc_edges[arcs.clone()].iter().zip(&t.arc_signs[arcs]) {
+        for (&e, &sg) in arc_edges.iter().zip(arc_signs) {
             let y = flows(e as usize) * sg as i64;
             if y > 0 {
                 outgoing += y;
             }
             net += y;
         }
-        let x = loads.get(i);
-        let transient = (x - outgoing) as f64;
-        if transient < min_transient {
-            min_transient = transient;
+        let x = L::read(le);
+        let new = x - net;
+        let dev = new as f64 - ideal;
+        stats.absorb(new as f64, dev, (x - outgoing) as f64);
+        block_acc += dev * dev;
+        let i = nodes.start + k;
+        if (i + 1).is_multiple_of(DEV_BLOCK) || i + 1 == last {
+            block_sums.set(i / DEV_BLOCK, block_acc);
+            block_acc = 0.0;
         }
-        loads.set(i, x - net);
+        L::write(le, new);
     }
-    min_transient
+    stats
 }
 
 /// Continuous analog of [`apply_discrete`].
-pub fn apply_continuous(
+pub fn apply_continuous<L: BufF64>(
     t: &KernelTables,
     nodes: Range<usize>,
     flows: impl Fn(usize) -> f64,
-    loads: &impl BufF64,
-) -> f64 {
-    let mut min_transient = f64::INFINITY;
-    for i in nodes {
+    loads: &L,
+    block_sums: &impl BufF64,
+) -> LoadStats {
+    debug_assert!(
+        nodes.start.is_multiple_of(DEV_BLOCK),
+        "chunk must be block-aligned"
+    );
+    let mut stats = LoadStats::identity();
+    let mut block_acc = 0.0f64;
+    let last = nodes.end;
+    let chunk_arcs = t.offsets[nodes.start]..t.offsets[nodes.end];
+    let mut edges_rest = &t.arc_edges[chunk_arcs.clone()];
+    let mut signs_rest = &t.arc_signs[chunk_arcs];
+    let offsets = &t.offsets[nodes.start..=nodes.end];
+    let ideals = &t.ideal[nodes.clone()];
+    let load_elems = &loads.elems()[nodes.clone()];
+    let degs = offsets.windows(2).map(|w| w[1] - w[0]);
+    for (k, ((deg, &ideal), le)) in degs.zip(ideals).zip(load_elems).enumerate() {
+        let (arc_edges, rest) = edges_rest.split_at(deg);
+        edges_rest = rest;
+        let (arc_signs, rest) = signs_rest.split_at(deg);
+        signs_rest = rest;
         let mut outgoing = 0.0;
         let mut net = 0.0;
-        let arcs = t.offsets[i]..t.offsets[i + 1];
-        for (&e, &sg) in t.arc_edges[arcs.clone()].iter().zip(&t.arc_signs[arcs]) {
+        for (&e, &sg) in arc_edges.iter().zip(arc_signs) {
             let y = flows(e as usize) * sg as f64;
             if y > 0.0 {
                 outgoing += y;
             }
             net += y;
         }
-        let x = loads.get(i);
-        let transient = x - outgoing;
-        if transient < min_transient {
-            min_transient = transient;
+        let x = L::read(le);
+        let new = x - net;
+        let dev = new - ideal;
+        stats.absorb(new, dev, x - outgoing);
+        block_acc += dev * dev;
+        let i = nodes.start + k;
+        if (i + 1).is_multiple_of(DEV_BLOCK) || i + 1 == last {
+            block_sums.set(i / DEV_BLOCK, block_acc);
+            block_acc = 0.0;
         }
-        loads.set(i, x - net);
+        L::write(le, new);
     }
-    min_transient
+    stats
 }
 
 #[cfg(test)]
@@ -851,7 +1027,7 @@ mod tests {
     fn tables_match_graph_structure() {
         let g = generators::torus2d(4, 5);
         let s = Speeds::linear_ramp(20, 3.0);
-        let t = KernelTables::new(&g, &s, true);
+        let t = KernelTables::new(&g, &s, true, 0.0);
         assert_eq!(t.n, 20);
         assert_eq!(t.m, g.edge_count());
         for e in 0..t.m {
@@ -925,7 +1101,7 @@ mod tests {
         // One fused sweep must equal "scheduled pass then rounding pass".
         let g = generators::torus2d(5, 5);
         let s = Speeds::uniform(25);
-        let t = KernelTables::new(&g, &s, false);
+        let t = KernelTables::new(&g, &s, false, 0.0);
         let m = t.m;
         let loads: Vec<f64> = (0..25).map(|i| ((i * 13) % 17) as f64).collect();
         let prev_init: Vec<f64> = (0..m).map(|e| (e as f64) * 0.21 - 1.5).collect();
@@ -979,7 +1155,7 @@ mod tests {
         // node-centric rounding exactly, for any node-chunk split.
         let g = generators::torus2d(4, 4);
         let s = Speeds::uniform(16);
-        let t = KernelTables::new(&g, &s, true);
+        let t = KernelTables::new(&g, &s, true, 0.0);
         let m = t.m;
         let sched: Vec<f64> = (0..m)
             .map(|e| ((e * 31 % 17) as f64 - 8.0) * 0.37)
@@ -1028,7 +1204,7 @@ mod tests {
     fn edge_pass_scatter_floors_flows_and_scatters_fracs() {
         let g = generators::torus2d(3, 4);
         let s = Speeds::uniform(12);
-        let t = KernelTables::new(&g, &s, true);
+        let t = KernelTables::new(&g, &s, true, 0.0);
         let m = t.m;
         let loads: Vec<f64> = (0..12).map(|i| ((i * 7) % 5) as f64).collect();
         let prev_init: Vec<f64> = (0..m).map(|e| (e as f64) * 0.11 - 0.9).collect();
@@ -1076,17 +1252,78 @@ mod tests {
     fn apply_passes_conserve_and_track_transient() {
         let g = generators::star(5);
         let s = Speeds::uniform(5);
-        let t = KernelTables::new(&g, &s, false);
+        // Total 10 over 5 uniform nodes: the ideal load is 2 per node.
+        let t = KernelTables::new(&g, &s, false, 10.0);
         // Hub (node 0) sends 3 tokens along each of 4 edges.
         let flows = [3i64; 4];
         let mut loads = vec![10i64, 0, 0, 0, 0];
-        let mt = apply_discrete(&t, 0..5, |e| flows[e], &cells_i64(&mut loads));
+        let mut blocks = vec![0.0f64; dev_blocks(5)];
+        let st = apply_discrete(
+            &t,
+            0..5,
+            |e| flows[e],
+            &cells_i64(&mut loads),
+            &cells_f64(&mut blocks),
+        );
         assert_eq!(loads, vec![-2, 3, 3, 3, 3]);
-        assert_eq!(mt, -2.0); // hub transient: 10 − 12
+        assert_eq!(st.min_transient, -2.0); // hub transient: 10 − 12
+        assert_eq!(st.min_load, -2.0);
+        assert_eq!(st.max_dev, 1.0); // leaves at 3 vs ideal 2
+        assert_eq!(st.min_dev, -4.0); // hub at −2 vs ideal 2
+        assert_eq!(st.sum_sq_dev, 0.0, "apply leaves the sum to the fold");
+        // Block partials: 16 + 4·1 = 20 squared deviation in one block.
+        assert_eq!(fold_block_sums(blocks.len(), &cells_f64(&mut blocks)), 20.0);
         let flows_f = [2.5f64; 4];
         let mut loads_f = vec![10.0f64, 0.0, 0.0, 0.0, 0.0];
-        let mt = apply_continuous(&t, 0..5, |e| flows_f[e], &cells_f64(&mut loads_f));
+        let st = apply_continuous(
+            &t,
+            0..5,
+            |e| flows_f[e],
+            &cells_f64(&mut loads_f),
+            &cells_f64(&mut blocks),
+        );
         assert_eq!(loads_f, vec![0.0, 2.5, 2.5, 2.5, 2.5]);
-        assert_eq!(mt, 0.0);
+        assert_eq!(st.min_transient, 0.0);
+        assert_eq!(st.min_load, 0.0);
+        assert_eq!(st.max_dev, 0.5);
+        assert_eq!(st.min_dev, -2.0);
+        assert_eq!(fold_block_sums(blocks.len(), &cells_f64(&mut blocks)), 5.0);
+    }
+
+    /// The block-partial fold must be independent of chunking: any
+    /// block-aligned split of the node range produces the same partials
+    /// and hence the same folded sum, bit for bit.
+    #[test]
+    fn block_fold_is_chunking_independent() {
+        use crate::metrics::DEV_BLOCK;
+        let g = generators::torus2d(12, 12); // n = 144: two full blocks + tail
+        let n = g.node_count();
+        let s = Speeds::uniform(n);
+        let t = KernelTables::new(&g, &s, false, 144.0 * 3.0);
+        let flows = vec![0i64; t.m];
+        let run = |bounds: &[usize]| {
+            let mut loads: Vec<i64> = (0..n as i64).map(|i| (i * 7) % 11).collect();
+            let mut blocks = vec![0.0f64; dev_blocks(n)];
+            let mut merged = LoadStats::identity();
+            for w in bounds.windows(2) {
+                merged = merged.merge(apply_discrete(
+                    &t,
+                    w[0]..w[1],
+                    |e| flows[e],
+                    &cells_i64(&mut loads),
+                    &cells_f64(&mut blocks),
+                ));
+            }
+            merged.sum_sq_dev = fold_block_sums(blocks.len(), &cells_f64(&mut blocks));
+            merged
+        };
+        let whole = run(&[0, n]);
+        for bounds in [
+            vec![0, DEV_BLOCK, n],
+            vec![0, DEV_BLOCK, 2 * DEV_BLOCK, n],
+            vec![0, 2 * DEV_BLOCK, n],
+        ] {
+            assert_eq!(run(&bounds), whole, "bounds {bounds:?}");
+        }
     }
 }

@@ -185,30 +185,58 @@
 //! scheduling overhead, never parallel wall-clock gains — re-measure on
 //! a multi-core host before drawing scaling conclusions.
 //!
-//! The headline of the streaming-pipeline rework (PR 3) was the
-//! randomized framework: **25.43 → 16.31 ns/edge (1.56×)** against the
-//! PR-2 baseline. Current numbers, after the scheme-kernel layer
-//! refactor (diffusion unchanged within noise — the golden traces pin it
-//! bit-for-bit):
+//! **Fused in-loop metrics** (`kernel::LoadStats` + the apply passes).
+//! The apply pass reduces, in the same sweep that applies flows, the
+//! minimum transient load, the post-round min/max deviations against a
+//! precomputed balanced-load table ([`KernelTables`'s `ideal`]), and
+//! per-64-node-block squared-deviation partials folded in block order.
+//! Threshold/plateau-stopped runs therefore make exactly **one pass
+//! over the node loads per round** — the old per-round `O(n + m)`
+//! `metrics()` sweep is gone — and every run report's final metrics
+//! come from the same fused statistics ([`Simulator::round_metrics`]),
+//! bit-identical to a from-scratch recompute for every scheme, mode,
+//! and thread count (`tests/fused_metrics.rs`). Cost: ~4–5% on bare
+//! diffusion rounds (the reduction rides the apply pass); win: metric-
+//! stopped rounds dropped 12.83 → 8.65 ns/edge (1.48×, same-day A/B).
 //!
-//! | case | PR 3 | now |
-//! |------|-----:|----:|
-//! | 256×256 torus, SOS discrete **randomized** | 16.31 | 16.46 |
-//! | 256×256 torus, SOS discrete randomized, 4 threads | 18.35 | 18.00 |
-//! | 256×256 torus, SOS discrete nearest | 7.56 | 7.37 |
-//! | 256×256 torus, SOS continuous | 4.42 | 4.37 |
-//! | 512×512 torus, FOS discrete nearest | 7.60 | 7.58 |
-//! | 256×256 torus, dimension exchange, nearest | — | 16.08 |
-//! | 256×256 torus, matching (round-robin), nearest | — | 16.19 |
-//! | 256×256 torus, matching (random), nearest | — | 59.93 |
+//! The round-loop perf overhaul (PR 5) rebuilt the per-round overhead
+//! paths: sort-free `O(m)` random-matching generation
+//! ([`matchgen`]: counting-scatter buckets, measured 3.2× over the
+//! sort in isolation — `benches/matching_gen.rs`), the fused metrics
+//! reduction above, lane-chunked bulk RNG sweeps
+//! ([`rng::fill_node_states`] / [`rng::fill_first_draws`], ~8%), and
+//! running-slice apply iteration (which alone took the masked pairwise
+//! rounds from ~16.1 to ~9.6 ns/edge). Same-day A/B on the build
+//! container (baseline tree → this tree):
+//!
+//! | case | before | after |
+//! |------|-------:|------:|
+//! | 256×256 torus, matching (random), nearest | 60.75 | 23.96 (**2.54×**) |
+//! | 256×256 torus, matching (round-robin), nearest | 16.13 | 9.59 (1.68×) |
+//! | 256×256 torus, dimension exchange, nearest | 16.13 | 9.70 (1.66×) |
+//! | 256×256 torus, SOS nearest + threshold stop | 12.83 | 8.65 (1.48×) |
+//! | 256×256 torus, SOS discrete nearest | 7.90 | 8.22 (+4%) |
+//! | 256×256 torus, SOS discrete **randomized** | 17.32 | 18.16 (+5%) |
+//! | 256×256 torus, SOS continuous | 4.45 | 4.49 (+1%) |
+//!
+//! (The committed `BENCH_rounds.json` was refreshed the same day; its
+//! absolute values sit a few percent above this table where the
+//! container was busier during the committed run. Host drift, not
+//! code: the **unchanged** PR-4 tree re-measured the same day at 7.90
+//! `sos_discrete_nearest` / 17.32 randomized / 4.45 continuous / 16.13
+//! de — all above its own committed 7.37 / 16.46 / 4.37 / 16.08 — so
+//! cross-file deltas of ±5–20% on this box say nothing about the code;
+//! trust the same-day A/B column pairs above. The CI gates normalize
+//! by the same-run `sos_discrete_nearest` ratio, so they are immune to
+//! this drift.)
 //!
 //! The pairwise schemes sweep all `m` edges per round with a branchless
 //! activity mask (only the active matching carries flow), so their
 //! ns-per-edge cost is not comparable to diffusion's tokens-moved rate.
-//! The random-matching plan additionally pays an `O(m log m)`
-//! sort-by-cached-random-key greedy matching per round — the dominant
-//! cost of its row and the obvious first lever (e.g. a keyed
-//! permutation or radix pass) if that workload ever matters at scale.
+//! The random-matching plan's remaining premium over round-robin
+//! (~14 ns/edge) is the per-round `O(m)` bucket generation — counting,
+//! scatter, and greedy passes that are random-access bound; see
+//! [`matchgen`] for the layout choices that keep them cache-resident.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -223,6 +251,8 @@ pub mod hybrid;
 mod init;
 #[doc(hidden)]
 pub mod kernel;
+#[doc(hidden)]
+pub mod matchgen;
 pub mod metrics;
 mod observer;
 mod pool;

@@ -26,8 +26,8 @@ pub struct MetricsSnapshot {
     pub min_load: f64,
 }
 
-/// Computes all metrics, reading loads through a closure (allocation-free;
-/// used by the simulator every round).
+/// Computes all metrics, reading loads through a closure (allocation-free)
+/// and deriving the balanced load from the total the closure sums to.
 ///
 /// # Panics
 ///
@@ -37,35 +37,93 @@ pub fn snapshot_with(
     speeds: &Speeds,
     load_of: impl Fn(usize) -> f64,
 ) -> MetricsSnapshot {
+    let total: f64 = (0..graph.node_count()).map(&load_of).sum();
+    snapshot_with_total(graph, speeds, total, load_of)
+}
+
+/// Node-block width of the potential sum: `Σ dev²` is accumulated per
+/// consecutive block of this many nodes and the block partials are then
+/// folded in block order. Summation order is thereby **independent of
+/// the executor** — the sequential apply pass, every pooled chunking
+/// (node chunks are block-aligned), and the from-scratch
+/// [`snapshot_with_total`] all produce bit-identical potentials, which
+/// keeps `RunReport`s bit-identical across thread counts.
+pub const DEV_BLOCK: usize = 64;
+
+/// Like [`snapshot_with`], but measures deviations against an externally
+/// known `total` instead of re-summing the loads.
+///
+/// The simulator uses its **conserved initial total** here: in discrete
+/// mode token conservation makes that bit-identical to re-summing, and in
+/// continuous mode it pins the balanced load to the invariant the scheme
+/// converges to instead of a float sum that drifts by rounding error.
+/// This is also what makes the fused in-loop reduction of the apply
+/// kernels (`Simulator::round_metrics`) reproduce a from-scratch
+/// recompute exactly: both sides derive `x̄_i = T·s_i/S` from the same
+/// `T` and sum the potential in the same [`DEV_BLOCK`] grouping.
+///
+/// # Panics
+///
+/// Panics if `speeds.len()` does not match the graph.
+pub fn snapshot_with_total(
+    graph: &Graph,
+    speeds: &Speeds,
+    total: f64,
+    load_of: impl Fn(usize) -> f64,
+) -> MetricsSnapshot {
     let n = graph.node_count();
     assert_eq!(speeds.len(), n, "speeds length mismatch");
-    let total: f64 = (0..n).map(&load_of).sum();
     let mut max_dev = f64::NEG_INFINITY;
     let mut min_dev = f64::INFINITY;
     let mut potential = 0.0;
+    let mut block_acc = 0.0;
     let mut min_load = f64::INFINITY;
+    // Compare-and-assign extrema, matching the fused apply-pass
+    // reduction (`kernel::LoadStats::absorb`) operation for operation so
+    // the two paths agree bit for bit.
     for i in 0..n {
         let x = load_of(i);
         let ideal = total * speeds.get(i) / speeds.total();
         let dev = x - ideal;
-        max_dev = max_dev.max(dev);
-        min_dev = min_dev.min(dev);
-        potential += dev * dev;
-        min_load = min_load.min(x);
+        if dev > max_dev {
+            max_dev = dev;
+        }
+        if dev < min_dev {
+            min_dev = dev;
+        }
+        block_acc += dev * dev;
+        if (i + 1).is_multiple_of(DEV_BLOCK) {
+            potential += block_acc;
+            block_acc = 0.0;
+        }
+        if x < min_load {
+            min_load = x;
+        }
     }
+    potential += block_acc;
+    MetricsSnapshot {
+        max_minus_avg: max_dev,
+        min_minus_avg: min_dev,
+        max_local_diff: local_diff_with(graph, speeds, load_of),
+        potential_over_n: potential / n as f64,
+        min_load,
+    }
+}
+
+/// `φ_local = max_{(u,v)∈E} |x_u/s_u − x_v/s_v|` alone: the one snapshot
+/// field that inherently needs an edge sweep. Exposed separately so
+/// callers that already have the node-derived fields from the fused
+/// in-loop reduction (the run loop's final report, the
+/// `MaxLocalDiffBelow` switch policy) pay exactly this sweep and nothing
+/// else.
+pub fn local_diff_with(graph: &Graph, speeds: &Speeds, load_of: impl Fn(usize) -> f64) -> f64 {
     let mut max_local = 0.0f64;
     for &(u, v) in graph.edges() {
         let (u, v) = (u as usize, v as usize);
         let diff = (load_of(u) / speeds.get(u) - load_of(v) / speeds.get(v)).abs();
         max_local = max_local.max(diff);
     }
-    MetricsSnapshot {
-        max_minus_avg: max_dev,
-        min_minus_avg: min_dev,
-        max_local_diff: max_local,
-        potential_over_n: potential / n as f64,
-        min_load,
-    }
+    max_local
 }
 
 /// Computes all metrics for a load vector.

@@ -29,8 +29,10 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::thread::JoinHandle;
 
 use crate::engine::FlowMemory;
-use crate::kernel::{FwScratch, KernelTables};
-use crate::scheme_kernel::{mask_words, ChunkBufs, SchemeKernel};
+use crate::kernel::{self, FwScratch, KernelTables, LoadStats};
+use crate::matchgen::mask_words;
+use crate::metrics::DEV_BLOCK;
+use crate::scheme_kernel::{ChunkBufs, SchemeKernel};
 
 /// One simulation's state as seen by the pool: everything a worker needs
 /// to run its share of a round. The phase sequence itself lives in the
@@ -58,8 +60,57 @@ pub(crate) struct RoundJob {
     /// Active-edge bitmask words (random-matching jobs only), published
     /// by the control thread before each round's first barrier.
     mask: Vec<AtomicU64>,
-    /// Per-participant minimum transient load of the last round (bits).
-    mins: Vec<AtomicU64>,
+    /// Per-participant fused load statistics of the last round, combined
+    /// by the control thread after the round's final barrier.
+    stats: Vec<StatSlots>,
+    /// Per-[`DEV_BLOCK`] squared-deviation partials (bits) of the apply
+    /// pass. Node chunks are block-aligned, so each slot has exactly one
+    /// writer per round; the control thread folds them in block order.
+    block_sums: Vec<AtomicU64>,
+}
+
+/// One participant's fused [`LoadStats`] as relaxed atomic bits: written
+/// by the participant at the end of its chunk, read by the control
+/// thread after the round's final barrier (which provides the
+/// happens-before edge).
+struct StatSlots {
+    min_transient: AtomicU64,
+    min_load: AtomicU64,
+    max_dev: AtomicU64,
+    min_dev: AtomicU64,
+    sum_sq_dev: AtomicU64,
+}
+
+impl StatSlots {
+    fn new() -> Self {
+        Self {
+            min_transient: AtomicU64::new(0),
+            min_load: AtomicU64::new(0),
+            max_dev: AtomicU64::new(0),
+            min_dev: AtomicU64::new(0),
+            sum_sq_dev: AtomicU64::new(0),
+        }
+    }
+
+    fn store(&self, s: LoadStats) {
+        self.min_transient
+            .store(s.min_transient.to_bits(), Ordering::Relaxed);
+        self.min_load.store(s.min_load.to_bits(), Ordering::Relaxed);
+        self.max_dev.store(s.max_dev.to_bits(), Ordering::Relaxed);
+        self.min_dev.store(s.min_dev.to_bits(), Ordering::Relaxed);
+        self.sum_sq_dev
+            .store(s.sum_sq_dev.to_bits(), Ordering::Relaxed);
+    }
+
+    fn load(&self) -> LoadStats {
+        LoadStats {
+            min_transient: f64::from_bits(self.min_transient.load(Ordering::Relaxed)),
+            min_load: f64::from_bits(self.min_load.load(Ordering::Relaxed)),
+            max_dev: f64::from_bits(self.max_dev.load(Ordering::Relaxed)),
+            min_dev: f64::from_bits(self.min_dev.load(Ordering::Relaxed)),
+            sum_sq_dev: f64::from_bits(self.sum_sq_dev.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl RoundJob {
@@ -84,7 +135,7 @@ impl RoundJob {
             kernel,
             flow_memory,
             edge_bounds: chunk_bounds(m, threads),
-            node_bounds: chunk_bounds(n, threads),
+            node_bounds: block_chunk_bounds(n, threads),
             mem_bits: AtomicU64::new(0),
             gain_bits: AtomicU64::new(0),
             round: AtomicU64::new(0),
@@ -103,7 +154,10 @@ impl RoundJob {
             mask: (0..if masked { mask_words(m) } else { 0 })
                 .map(|_| AtomicU64::new(0))
                 .collect(),
-            mins: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            stats: (0..threads).map(|_| StatSlots::new()).collect(),
+            block_sums: (0..kernel::dev_blocks(n))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 
@@ -136,8 +190,9 @@ impl RoundJob {
             arc_frac: &self.arc_frac,
             flows: &self.flows,
             mask: &self.mask,
+            block_sums: &self.block_sums,
         };
-        let mt = self.kernel.run_chunk(
+        let stats = self.kernel.run_chunk(
             tables,
             barrier,
             edges,
@@ -149,7 +204,7 @@ impl RoundJob {
             &bufs,
             scratch,
         );
-        self.mins[t].store(mt.to_bits(), Ordering::Relaxed);
+        self.stats[t].store(stats);
     }
 
     /// Copies the job's integer loads back into `out`.
@@ -249,7 +304,11 @@ impl WorkerPool {
     }
 
     /// Executes one full round of `job` on the pool and returns the
-    /// round's minimum transient load. The calling thread participates as
+    /// round's fused load statistics: the min/max fields merged from the
+    /// per-participant chunk reductions in chunk order (exact — order
+    /// free), the squared-deviation sum folded from the shared
+    /// per-[`DEV_BLOCK`] partials in block order — bit-identical to the
+    /// sequential executor's fold. The calling thread participates as
     /// chunk 0; `scratch` is its framework-rounding scratch.
     ///
     /// Concurrent callers (two simulations sharing one pool) are
@@ -262,7 +321,7 @@ impl WorkerPool {
         gain: f64,
         round: u64,
         scratch: &mut FwScratch,
-    ) -> f64 {
+    ) -> LoadStats {
         let _round = self
             .inner
             .round_lock
@@ -281,10 +340,16 @@ impl WorkerPool {
         self.inner.barrier.wait();
         job.run_chunk(&self.inner.barrier, 0, scratch);
         self.inner.barrier.wait();
-        job.mins
+        let mut stats = job
+            .stats
             .iter()
-            .map(|b| f64::from_bits(b.load(Ordering::Relaxed)))
-            .fold(f64::INFINITY, f64::min)
+            .map(StatSlots::load)
+            .fold(LoadStats::identity(), LoadStats::merge);
+        stats.sum_sq_dev = kernel::fold_block_sums(
+            job.block_sums.len(),
+            &crate::kernel::AtomicsF64(&job.block_sums),
+        );
+        stats
     }
 }
 
@@ -304,6 +369,24 @@ impl Drop for WorkerPool {
 pub(crate) fn chunk_bounds(len: usize, parts: usize) -> Vec<usize> {
     let parts = parts.max(1);
     (0..=parts).map(|t| t * len / parts).collect()
+}
+
+/// Node chunk boundaries aligned down to [`DEV_BLOCK`] multiples (the
+/// final boundary stays `len`), so every potential block has exactly one
+/// writing participant. Alignment never changes simulation results —
+/// the apply and rounding phases are per-node independent — only which
+/// participant computes which node.
+pub(crate) fn block_chunk_bounds(len: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    (0..=parts)
+        .map(|t| {
+            if t == parts {
+                len
+            } else {
+                (t * len / parts) / DEV_BLOCK * DEV_BLOCK
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -334,7 +417,7 @@ mod tests {
     fn pool_starts_and_shuts_down_cleanly() {
         use sodiff_graph::{generators, Speeds};
         let g = generators::torus2d(4, 4);
-        let tables = Arc::new(KernelTables::new(&g, &Speeds::uniform(16), false));
+        let tables = Arc::new(KernelTables::new(&g, &Speeds::uniform(16), false, 160.0));
         let loads = vec![10i64; 16];
         let pool = WorkerPool::new(3);
         let job = Arc::new(RoundJob::new(
@@ -347,8 +430,13 @@ mod tests {
         ));
         // Balanced start: every scheduled flow is 0, loads stay put.
         let mut scratch = FwScratch::new();
-        let mt = pool.run_round(&job, 0.0, 1.0, 0, &mut scratch);
-        assert_eq!(mt, 10.0);
+        let stats = pool.run_round(&job, 0.0, 1.0, 0, &mut scratch);
+        assert_eq!(stats.min_transient, 10.0);
+        assert_eq!(stats.min_load, 10.0);
+        // total 160 over 16 uniform nodes: already balanced, zero devs.
+        assert_eq!(stats.max_dev, 0.0);
+        assert_eq!(stats.min_dev, 0.0);
+        assert_eq!(stats.sum_sq_dev, 0.0);
         let mut out = vec![0i64; 16];
         job.read_loads_i(&mut out);
         assert_eq!(out, loads);
@@ -362,7 +450,7 @@ mod tests {
         let mut scratch = FwScratch::new();
         // Two different graphs and modes, one pool, interleaved rounds.
         let g1 = generators::torus2d(3, 5);
-        let t1 = Arc::new(KernelTables::new(&g1, &Speeds::uniform(15), false));
+        let t1 = Arc::new(KernelTables::new(&g1, &Speeds::uniform(15), false, 105.0));
         let job1 = Arc::new(RoundJob::new(
             pool.threads(),
             t1,
@@ -372,7 +460,7 @@ mod tests {
             &[],
         ));
         let g2 = generators::cycle(9);
-        let t2 = Arc::new(KernelTables::new(&g2, &Speeds::uniform(9), false));
+        let t2 = Arc::new(KernelTables::new(&g2, &Speeds::uniform(9), false, 27.0));
         let job2 = Arc::new(RoundJob::new(
             pool.threads(),
             t2,
@@ -382,8 +470,10 @@ mod tests {
             &[3.0f64; 9],
         ));
         for round in 0..4 {
-            assert_eq!(pool.run_round(&job1, 0.0, 1.0, round, &mut scratch), 7.0);
-            assert_eq!(pool.run_round(&job2, 0.0, 1.0, round, &mut scratch), 3.0);
+            let s1 = pool.run_round(&job1, 0.0, 1.0, round, &mut scratch);
+            assert_eq!(s1.min_transient, 7.0);
+            let s2 = pool.run_round(&job2, 0.0, 1.0, round, &mut scratch);
+            assert_eq!(s2.min_transient, 3.0);
         }
         let mut out = vec![0i64; 15];
         job1.read_loads_i(&mut out);

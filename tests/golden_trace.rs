@@ -10,6 +10,33 @@
 //! dozens of rounds across schemes, flow-memory modes, and heterogeneous
 //! speeds — fails these tests; each pairwise configuration is checked on
 //! the sequential executor *and*, against the same checksum, on the pool.
+//!
+//! # Re-pin policy for distribution-changing optimizations
+//!
+//! A golden checksum may be re-pinned **only** when an optimization
+//! deliberately changes which random outcome a scheme draws — never to
+//! paper over an unexplained divergence. The bar, in order:
+//!
+//! 1. the change must be confined to a *randomized decision* whose
+//!    distribution the scheme's correctness argument treats as
+//!    exchangeable (e.g. which maximal matching a round draws), not to
+//!    the arithmetic of flows, rounding, or application;
+//! 2. a statistical test must pin the properties the scheme actually
+//!    relies on (for matchings: maximality every round, determinism per
+//!    `(seed, round)`, size concentration — see
+//!    `crates/core/src/matchgen.rs`);
+//! 3. sequential and pooled executors must still produce the *same new*
+//!    checksum (the re-pin never relaxes executor bit-identity); and
+//! 4. the commit re-pinning the value must state what changed and why
+//!    the old trace could not be preserved.
+//!
+//! Applied once so far: `regular_matching_random_heterogeneous`, when
+//! the random-matching generator's `O(m log m)` full-key sort was
+//! replaced by the `O(m)` counting-scatter bucket pass — the greedy
+//! visit order became "key-prefix bucket, then edge id" instead of the
+//! full `(key, edge)` order, so rounds draw different (equally valid)
+//! maximal matchings. Diffusion, dimension-exchange, and round-robin
+//! matching traces were unaffected.
 
 use sodiff::graph::generators;
 use sodiff::prelude::*;
@@ -196,6 +223,6 @@ fn regular_matching_random_heterogeneous() {
             .build()
             .unwrap()
             .simulator();
-        run_and_check("regular_matching_random", 0x54870345eb25f356, sim, 80);
+        run_and_check("regular_matching_random", 0x7cbb471521179a82, sim, 80);
     }
 }
