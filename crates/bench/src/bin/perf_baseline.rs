@@ -10,7 +10,11 @@
 //! kernel under an (unreachable) `BalancedWithin` stop condition, so it
 //! measures what a metric-stopped round costs — since the fused in-loop
 //! metrics reduction landed, the same as a bare round instead of a round
-//! plus an `O(n + m)` metrics sweep. A `driver_batch` entry additionally
+//! plus an `O(n + m)` metrics sweep. Two fault-axis cases ride the same
+//! SOS kernel: `sos_faults_none` (the `sos_threshold_stop` configuration
+//! with an explicit `FaultSpec::none()`, CI's zero-cost comparator) and
+//! `sos_faults_crash` (crash churn at `p = 0.05`, timing the
+//! effective-mask/repair hot loop). A `driver_batch` entry additionally
 //! times a batch of scenarios through one pooled `Driver` (threads
 //! spawned once) against the same scenarios as separate `Simulator`s
 //! (one pool spawn each).
@@ -47,6 +51,9 @@ struct Case {
     /// check (an unreachable threshold, so the round count stays fixed)
     /// instead of bare `step()` calls.
     threshold_stop: bool,
+    /// Fault-injection plan for the run; `FaultSpec::none()` keeps the
+    /// case on the unperturbed code paths.
+    faults: FaultSpec,
 }
 
 struct Measurement {
@@ -59,6 +66,11 @@ struct Measurement {
     total_secs: f64,
     ns_per_round: f64,
     ns_per_edge: f64,
+    /// Fastest 8-round batch, per edge: the low-noise estimator (OS and
+    /// cache noise is strictly additive) that the CI zero-cost gate
+    /// compares at a 2% tolerance, where the budget-wide mean is too
+    /// jittery on shared runners.
+    ns_per_edge_min: f64,
     edge_updates_per_sec: f64,
     tokens_per_sec: f64,
 }
@@ -75,6 +87,7 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
         .scheme(case.scheme)
         .threads(case.threads)
         .init(InitialLoad::paper_default(n))
+        .faults(case.faults)
         .build()
         .expect("valid benchmark experiment")
         .simulator();
@@ -90,7 +103,9 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
     }
     let start = Instant::now();
     let mut rounds = 0u64;
+    let mut min_batch_secs = f64::INFINITY;
     while start.elapsed().as_secs_f64() < budget_secs {
+        let batch_start = Instant::now();
         if case.threshold_stop {
             // A negative threshold never fires: all 8 rounds run, each
             // paying the armed stop-condition check — the path the fused
@@ -105,11 +120,13 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
                 sim.step();
             }
         }
+        min_batch_secs = min_batch_secs.min(batch_start.elapsed().as_secs_f64());
         rounds += 8;
     }
     let total_secs = start.elapsed().as_secs_f64();
     let ns_per_round = total_secs * 1e9 / rounds as f64;
     let ns_per_edge = ns_per_round / m as f64;
+    let ns_per_edge_min = min_batch_secs * 1e9 / 8.0 / m as f64;
     Measurement {
         graph_name: case.graph_name.to_string(),
         config_name: case.config_name.to_string(),
@@ -120,6 +137,7 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
         total_secs,
         ns_per_round,
         ns_per_edge,
+        ns_per_edge_min,
         edge_updates_per_sec: 1e9 / ns_per_edge,
         tokens_per_sec: tokens_per_round / (ns_per_round / 1e9),
     }
@@ -143,10 +161,10 @@ fn measure_driver_batch(
 ) -> DriverBatchMeasurement {
     // Warm both paths once (graph generation dominates cold runs).
     let driver = Driver::with_threads(threads).expect("positive thread count");
-    driver.run_batch(specs).expect("valid scenario batch");
+    assert!(driver.run_batch(specs).errors.is_empty(), "batch failed");
 
     let start = Instant::now();
-    let batch = driver.run_batch(specs).expect("valid scenario batch");
+    let batch = driver.run_batch(specs);
     let driver_secs = start.elapsed().as_secs_f64();
 
     let mut separate = specs.to_vec();
@@ -187,14 +205,17 @@ fn measure_driver_batch_concurrent(
     let concurrent = Driver::concurrent(workers).expect("positive worker count");
     let sequential = Driver::new();
     // Warm both paths once.
-    concurrent.run_batch(specs).expect("valid scenario batch");
+    assert!(
+        concurrent.run_batch(specs).errors.is_empty(),
+        "batch failed"
+    );
 
     let start = Instant::now();
-    let batch = concurrent.run_batch(specs).expect("valid scenario batch");
+    let batch = concurrent.run_batch(specs);
     let concurrent_secs = start.elapsed().as_secs_f64();
 
     let start = Instant::now();
-    let seq_batch = sequential.run_batch(specs).expect("valid scenario batch");
+    let seq_batch = sequential.run_batch(specs);
     let sequential_secs = start.elapsed().as_secs_f64();
     assert_eq!(
         batch.total_rounds, seq_batch.total_rounds,
@@ -285,6 +306,7 @@ fn main() {
                 scheme: Scheme::fos(),
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
+                faults: FaultSpec::none(),
             },
         ),
         (
@@ -296,6 +318,7 @@ fn main() {
                 scheme: Scheme::fos(),
                 rounding: Some(Rounding::randomized(42)),
                 threshold_stop: false,
+                faults: FaultSpec::none(),
             },
         ),
         (
@@ -307,6 +330,7 @@ fn main() {
                 scheme: Scheme::sos(beta_mid),
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
+                faults: FaultSpec::none(),
             },
         ),
         (
@@ -318,6 +342,7 @@ fn main() {
                 scheme: Scheme::sos(beta_mid),
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
+                faults: FaultSpec::none(),
             },
         ),
         (
@@ -329,6 +354,7 @@ fn main() {
                 scheme: Scheme::sos(beta_mid),
                 rounding: Some(Rounding::randomized(42)),
                 threshold_stop: false,
+                faults: FaultSpec::none(),
             },
         ),
         (
@@ -340,6 +366,7 @@ fn main() {
                 scheme: Scheme::sos(beta_mid),
                 rounding: Some(Rounding::randomized(42)),
                 threshold_stop: false,
+                faults: FaultSpec::none(),
             },
         ),
         (
@@ -351,6 +378,7 @@ fn main() {
                 scheme: Scheme::sos(beta_mid),
                 rounding: None,
                 threshold_stop: false,
+                faults: FaultSpec::none(),
             },
         ),
         (
@@ -362,6 +390,7 @@ fn main() {
                 scheme: Scheme::sos(beta_mid),
                 rounding: None,
                 threshold_stop: false,
+                faults: FaultSpec::none(),
             },
         ),
         // Metric-stopped rounds: same kernel as sos_discrete_nearest but
@@ -377,6 +406,39 @@ fn main() {
                 scheme: Scheme::sos(beta_mid),
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: true,
+                faults: FaultSpec::none(),
+            },
+        ),
+        // Fault-injection axis. `sos_faults_none` is the exact
+        // `sos_threshold_stop` configuration with the fault plan spelled
+        // out as `FaultSpec::none()`: the CI zero-cost gate compares the
+        // two in the same run to prove a disabled fault axis costs
+        // nothing. `sos_faults_crash` measures the faulted hot loop —
+        // effective-mask composition, crash epochs, matching repair —
+        // and is gated at +25% over the committed ratio like the other
+        // kernels.
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_faults_none",
+                threads: 1,
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
+                threshold_stop: true,
+                faults: FaultSpec::none(),
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_faults_crash",
+                threads: 1,
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
+                threshold_stop: false,
+                faults: FaultSpec::none().with_crash(0.05, 42),
             },
         ),
         // Pairwise schemes (scheme-kernel layer): the masked edge pass
@@ -392,6 +454,7 @@ fn main() {
                 scheme: Scheme::dimension_exchange(1.0),
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
+                faults: FaultSpec::none(),
             },
         ),
         (
@@ -403,6 +466,7 @@ fn main() {
                 scheme: Scheme::matching_round_robin(1.0),
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
+                faults: FaultSpec::none(),
             },
         ),
         (
@@ -414,6 +478,7 @@ fn main() {
                 scheme: Scheme::matching_random(42, 1.0),
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
+                faults: FaultSpec::none(),
             },
         ),
     ];
@@ -490,7 +555,7 @@ fn main() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         writeln!(
             json,
-            "    {{\"graph\": \"{}\", \"config\": \"{}\", \"threads\": {}, \"nodes\": {}, \"edges\": {}, \"rounds\": {}, \"total_secs\": {:.4}, \"ns_per_round\": {:.1}, \"ns_per_edge\": {:.3}, \"edge_updates_per_sec\": {:.4e}, \"tokens_per_sec\": {:.4e}}}{comma}",
+            "    {{\"graph\": \"{}\", \"config\": \"{}\", \"threads\": {}, \"nodes\": {}, \"edges\": {}, \"rounds\": {}, \"total_secs\": {:.4}, \"ns_per_round\": {:.1}, \"ns_per_edge\": {:.3}, \"ns_per_edge_min\": {:.3}, \"edge_updates_per_sec\": {:.4e}, \"tokens_per_sec\": {:.4e}}}{comma}",
             r.graph_name,
             r.config_name,
             r.threads,
@@ -500,6 +565,7 @@ fn main() {
             r.total_secs,
             r.ns_per_round,
             r.ns_per_edge,
+            r.ns_per_edge_min,
             r.edge_updates_per_sec,
             r.tokens_per_sec
         )

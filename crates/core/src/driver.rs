@@ -24,6 +24,17 @@
 //! input order. A batch report therefore never depends on the driver's
 //! parallelism (proven by `tests/driver_concurrent.rs`).
 //!
+//! # Crash isolation
+//!
+//! [`Driver::run_batch`] is infallible: a scenario that fails to build,
+//! panics mid-run, or diverges to non-finite loads is recorded as a
+//! [`ScenarioError`] (with its input position and, when the spec came
+//! from a file, its 1-based line number) and the **rest of the batch
+//! keeps running**. Panics are caught per scenario; a pooled driver
+//! whose workers may be deserted mid-barrier by the panic quarantines
+//! that pool and transparently spawns a fresh one for the remaining
+//! scenarios.
+//!
 //! # Example
 //!
 //! ```
@@ -34,13 +45,16 @@
 //!      name=ring  topology=cycle:32 seed=2 stop=rounds:100\n",
 //! )
 //! .unwrap();
-//! let batch = Driver::new().run_batch(&specs).unwrap();
+//! let batch = Driver::new().run_batch(&specs);
+//! assert!(batch.errors.is_empty());
 //! assert_eq!(batch.scenarios.len(), 2);
 //! assert_eq!(batch.total_rounds, 150);
 //! ```
 
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::engine::RunReport;
@@ -66,23 +80,96 @@ pub struct ScenarioReport {
     pub wall: Duration,
 }
 
-/// Outcome of a whole batch, with aggregate metrics across scenarios.
-#[derive(Debug, Clone)]
+/// Why one scenario of a batch failed; see [`ScenarioError`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ScenarioFailure {
+    /// The scenario failed to build (bad topology, parameters, …).
+    Build(BuildError),
+    /// The scenario panicked mid-run; carries the panic message.
+    Panicked(String),
+    /// The run completed but its final loads are non-finite.
+    Diverged(String),
+}
+
+impl fmt::Display for ScenarioFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioFailure::Build(e) => write!(f, "{e}"),
+            ScenarioFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+            ScenarioFailure::Diverged(msg) => write!(f, "diverged: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioFailure::Build(e) => Some(e),
+            ScenarioFailure::Panicked(_) | ScenarioFailure::Diverged(_) => None,
+        }
+    }
+}
+
+/// One failed scenario of a batch, anchored to its input position.
+///
+/// [`Driver::run_batch`] collects these (in input order) instead of
+/// aborting at the earliest failure, so one bad line in a scenario file
+/// no longer hides the results — or the other errors — of the rest.
+#[derive(Debug)]
+pub struct ScenarioError {
+    /// 0-based position of the scenario in the batch slice.
+    pub index: usize,
+    /// The scenario's `name=`.
+    pub name: String,
+    /// 1-based scenario-file line ([`ScenarioSpec::parse_many`]
+    /// provenance), when known.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub error: ScenarioFailure,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario '{}' (input #{}", self.name, self.index + 1)?;
+        if let Some(line) = self.line {
+            write!(f, ", line {line}")?;
+        }
+        write!(f, "): {}", self.error)
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Outcome of a whole batch, with aggregate metrics across the
+/// scenarios that completed.
+#[derive(Debug)]
 pub struct BatchReport {
-    /// Per-scenario reports, in input order.
+    /// Per-scenario reports of the **successful** scenarios, in input
+    /// order.
     pub scenarios: Vec<ScenarioReport>,
-    /// Total rounds executed across the batch.
+    /// Failed scenarios, in input order; empty for an all-green batch.
+    pub errors: Vec<ScenarioError>,
+    /// Total rounds executed across the successful scenarios.
     pub total_rounds: u64,
     /// Total wall-clock time of the batch.
     pub total_wall: Duration,
-    /// Worst final `max − avg` across scenarios.
+    /// Worst final `max − avg` across successful scenarios.
     pub worst_max_minus_avg: f64,
-    /// Mean final `max − avg` across scenarios.
+    /// Mean final `max − avg` across successful scenarios.
     pub mean_max_minus_avg: f64,
 }
 
 impl BatchReport {
-    fn from_scenarios(scenarios: Vec<ScenarioReport>, total_wall: Duration) -> Self {
+    fn assemble(
+        scenarios: Vec<ScenarioReport>,
+        errors: Vec<ScenarioError>,
+        total_wall: Duration,
+    ) -> Self {
         let total_rounds = scenarios.iter().map(|s| s.report.rounds).sum();
         let finals: Vec<f64> = scenarios
             .iter()
@@ -96,11 +183,25 @@ impl BatchReport {
         };
         Self {
             scenarios,
+            errors,
             total_rounds,
             total_wall,
             worst_max_minus_avg: worst,
             mean_max_minus_avg: mean,
         }
+    }
+}
+
+/// Renders a caught panic payload; `&str`/`String` payloads (the
+/// overwhelmingly common case: `panic!`, `assert!`, `unwrap`) pass
+/// through verbatim.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "scenario panicked with a non-string payload".to_string()
     }
 }
 
@@ -110,7 +211,10 @@ impl BatchReport {
 pub struct Driver {
     threads: usize,
     concurrency: usize,
-    pool: Option<Arc<WorkerPool>>,
+    // Mutex (not a plain field) so a panicking scenario can quarantine a
+    // pool whose workers it deserted mid-barrier and install a fresh one
+    // for the rest of the batch.
+    pool: Mutex<Option<Arc<WorkerPool>>>,
 }
 
 impl Driver {
@@ -120,7 +224,7 @@ impl Driver {
         Self {
             threads: 1,
             concurrency: 1,
-            pool: None,
+            pool: Mutex::new(None),
         }
     }
 
@@ -140,7 +244,7 @@ impl Driver {
         Ok(Self {
             threads,
             concurrency: 1,
-            pool: (threads > 1).then(|| Arc::new(WorkerPool::new(threads))),
+            pool: Mutex::new((threads > 1).then(|| Arc::new(WorkerPool::new(threads)))),
         })
     }
 
@@ -166,7 +270,7 @@ impl Driver {
         Ok(Self {
             threads: 1,
             concurrency: workers,
-            pool: None,
+            pool: Mutex::new(None),
         })
     }
 
@@ -179,6 +283,29 @@ impl Driver {
     /// (1 = back-to-back).
     pub fn concurrency(&self) -> usize {
         self.concurrency
+    }
+
+    /// The pool simulations currently attach to, if any.
+    fn attached_pool(&self) -> Option<Arc<WorkerPool>> {
+        self.pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Replaces a possibly-wedged pool after a scenario panicked.
+    ///
+    /// The panic may have deserted the pool's workers mid-barrier;
+    /// *dropping* such a pool would block forever on the same barrier,
+    /// so the wedged pool is deliberately leaked (its parked workers
+    /// with it) and a fresh pool of the same size takes its place for
+    /// the rest of the batch.
+    fn quarantine_pool(&self) {
+        let mut slot = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(old) = slot.take() {
+            std::mem::forget(old);
+            *slot = Some(Arc::new(WorkerPool::new(self.threads)));
+        }
     }
 
     /// Runs one scenario on this driver's pool.
@@ -201,9 +328,9 @@ impl Driver {
         let mut spec = spec.clone();
         spec.threads = self.threads;
         let experiment = spec.experiment_on(&graph).map_err(wrap)?;
-        let report = match &self.pool {
+        let report = match self.attached_pool() {
             Some(pool) => {
-                let mut sim = experiment.simulator_on(Arc::clone(pool));
+                let mut sim = experiment.simulator_on(pool);
                 experiment.run_on(&mut sim, &mut crate::observer::NullObserver)
             }
             None => {
@@ -221,51 +348,103 @@ impl Driver {
         })
     }
 
+    /// One crash-isolated scenario: build failures, panics, and
+    /// non-finite results all come back as a typed failure instead of
+    /// unwinding into (and killing) the batch.
+    fn run_guarded(
+        &self,
+        spec: &ScenarioSpec,
+        runner: &(impl Fn(&ScenarioSpec) -> Result<ScenarioReport, BuildError> + Sync),
+    ) -> Result<ScenarioReport, ScenarioFailure> {
+        match panic::catch_unwind(AssertUnwindSafe(|| runner(spec))) {
+            Ok(Ok(report)) => {
+                let max_minus_avg = report.report.final_metrics.max_minus_avg;
+                if max_minus_avg.is_finite() {
+                    Ok(report)
+                } else {
+                    Err(ScenarioFailure::Diverged(format!(
+                        "final max − avg is {max_minus_avg}"
+                    )))
+                }
+            }
+            Ok(Err(e)) => Err(ScenarioFailure::Build(e)),
+            Err(payload) => {
+                self.quarantine_pool();
+                Err(ScenarioFailure::Panicked(panic_message(payload)))
+            }
+        }
+    }
+
     /// Runs every scenario and aggregates the results (in input order).
     /// With [`Driver::concurrent`], up to `concurrency` scenarios are in
     /// flight at once; the per-scenario reports are identical to a
     /// sequential driver's either way.
     ///
-    /// # Errors
-    ///
-    /// Fails on the first scenario (by input order) that fails to build,
-    /// wrapping the error with that scenario's name. A sequential driver
-    /// stops at that scenario; a concurrent driver may have executed
-    /// later scenarios already, but the reported error is the same.
-    pub fn run_batch(&self, specs: &[ScenarioSpec]) -> Result<BatchReport, BuildError> {
+    /// The batch always runs to completion: scenarios that fail to
+    /// build, panic, or diverge are collected (in input order) in
+    /// [`BatchReport::errors`] while the rest execute normally.
+    pub fn run_batch(&self, specs: &[ScenarioSpec]) -> BatchReport {
+        self.run_batch_with(specs, |spec| self.run_spec(spec))
+    }
+
+    /// [`Driver::run_batch`] with an injectable per-scenario runner —
+    /// the crash-isolation seam the fault-injection tests drive panics
+    /// through. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn run_batch_with(
+        &self,
+        specs: &[ScenarioSpec],
+        runner: impl Fn(&ScenarioSpec) -> Result<ScenarioReport, BuildError> + Sync,
+    ) -> BatchReport {
         let start = Instant::now();
-        if self.concurrency <= 1 || specs.len() <= 1 {
-            let mut scenarios = Vec::with_capacity(specs.len());
-            for spec in specs {
-                scenarios.push(self.run_spec(spec)?);
-            }
-            return Ok(BatchReport::from_scenarios(scenarios, start.elapsed()));
-        }
-        let slots: Vec<Mutex<Option<Result<ScenarioReport, BuildError>>>> =
-            specs.iter().map(|_| Mutex::new(None)).collect();
-        // Work-stealing queue over the batch: each worker claims the next
-        // unstarted scenario, so long and short scenarios balance
-        // themselves without any up-front partitioning.
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..self.concurrency.min(specs.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let result = self.run_spec(spec);
-                    *slots[i].lock().expect("driver slot lock poisoned") = Some(result);
+        let results: Vec<Result<ScenarioReport, ScenarioFailure>> =
+            if self.concurrency <= 1 || specs.len() <= 1 {
+                specs
+                    .iter()
+                    .map(|spec| self.run_guarded(spec, &runner))
+                    .collect()
+            } else {
+                let slots: Vec<Mutex<Option<Result<ScenarioReport, ScenarioFailure>>>> =
+                    specs.iter().map(|_| Mutex::new(None)).collect();
+                // Work-stealing queue over the batch: each worker claims
+                // the next unstarted scenario, so long and short scenarios
+                // balance themselves without any up-front partitioning.
+                // Workers never unwind (run_guarded catches), so every
+                // slot is filled even when scenarios fail.
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..self.concurrency.min(specs.len()) {
+                        scope.spawn(|| loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(spec) = specs.get(i) else { break };
+                            let result = self.run_guarded(spec, &runner);
+                            *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                        });
+                    }
                 });
+                slots
+                    .into_iter()
+                    .map(|slot| {
+                        slot.into_inner()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .expect("every scenario slot is filled before the scope ends")
+                    })
+                    .collect()
+            };
+        let mut scenarios = Vec::new();
+        let mut errors = Vec::new();
+        for (index, (spec, result)) in specs.iter().zip(results).enumerate() {
+            match result {
+                Ok(report) => scenarios.push(report),
+                Err(error) => errors.push(ScenarioError {
+                    index,
+                    name: spec.name.clone(),
+                    line: spec.source_line,
+                    error,
+                }),
             }
-        });
-        let mut scenarios = Vec::with_capacity(specs.len());
-        for slot in slots {
-            let result = slot
-                .into_inner()
-                .expect("driver slot lock poisoned")
-                .expect("every scenario slot is filled before the scope ends");
-            scenarios.push(result?);
         }
-        Ok(BatchReport::from_scenarios(scenarios, start.elapsed()))
+        BatchReport::assemble(scenarios, errors, start.elapsed())
     }
 }
 
@@ -290,7 +469,8 @@ mod tests {
 
     #[test]
     fn batch_aggregates_rounds() {
-        let batch = Driver::new().run_batch(&sample_specs()).unwrap();
+        let batch = Driver::new().run_batch(&sample_specs());
+        assert!(batch.errors.is_empty());
         assert_eq!(batch.scenarios.len(), 3);
         assert_eq!(batch.total_rounds, 80 + 40 + 60);
         assert!(batch.worst_max_minus_avg >= batch.mean_max_minus_avg);
@@ -301,8 +481,9 @@ mod tests {
     #[test]
     fn pooled_batch_is_bit_identical_to_sequential() {
         let specs = sample_specs();
-        let seq = Driver::new().run_batch(&specs).unwrap();
-        let pooled = Driver::with_threads(3).unwrap().run_batch(&specs).unwrap();
+        let seq = Driver::new().run_batch(&specs);
+        let pooled = Driver::with_threads(3).unwrap().run_batch(&specs);
+        assert!(seq.errors.is_empty() && pooled.errors.is_empty());
         for (a, b) in seq.scenarios.iter().zip(&pooled.scenarios) {
             assert_eq!(a.report, b.report, "{}", a.name);
         }
@@ -315,7 +496,7 @@ mod tests {
         // the sequential results — the barrier protocol admits one
         // external participant at a time.
         let specs = sample_specs();
-        let sequential = Driver::new().run_batch(&specs).unwrap();
+        let sequential = Driver::new().run_batch(&specs);
         let driver = Driver::with_threads(3).unwrap();
         let reports: Vec<ScenarioReport> = std::thread::scope(|scope| {
             let handles: Vec<_> = specs
@@ -337,29 +518,42 @@ mod tests {
             "name=threaded topology=torus2d:5:5 seed=2 threads=8 stop=rounds:40",
         )
         .unwrap();
-        let driven = Driver::new().run_batch(&specs).unwrap();
+        let driven = Driver::new().run_batch(&specs);
         let standalone = specs[0].run().unwrap();
         assert_eq!(driven.scenarios[0].report, standalone);
     }
 
     #[test]
-    fn failing_scenario_is_named() {
+    fn failing_scenario_is_reported_not_fatal() {
         // `broken` parses but cannot build: randomized rounding without a
         // seed. (Out-of-range parameters like `sos:3.0` are rejected at
-        // parse time with a line number.)
+        // parse time with a line number.) The batch still completes `ok`.
         let specs = ScenarioSpec::parse_many(
             "name=ok topology=cycle:8 seed=1 stop=rounds:5\n\
              name=broken topology=cycle:8 rounding=randomized\n",
         )
         .unwrap();
-        let err = Driver::new().run_batch(&specs).unwrap_err();
-        match err {
-            BuildError::Scenario { name, source } => {
+        let batch = Driver::new().run_batch(&specs);
+        assert_eq!(batch.scenarios.len(), 1);
+        assert_eq!(batch.scenarios[0].name, "ok");
+        assert_eq!(batch.errors.len(), 1);
+        let err = &batch.errors[0];
+        assert_eq!(
+            (err.index, err.name.as_str(), err.line),
+            (1, "broken", Some(2))
+        );
+        match &err.error {
+            ScenarioFailure::Build(BuildError::Scenario { name, source }) => {
                 assert_eq!(name, "broken");
-                assert!(matches!(*source, BuildError::MissingSeed(_)));
+                assert!(matches!(**source, BuildError::MissingSeed(_)));
             }
             other => panic!("unexpected error {other:?}"),
         }
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("'broken'") && rendered.contains("line 2"),
+            "{rendered}"
+        );
     }
 
     #[test]
@@ -377,12 +571,10 @@ mod tests {
     #[test]
     fn concurrent_batch_is_bit_identical_to_sequential() {
         let specs = sample_specs();
-        let seq = Driver::new().run_batch(&specs).unwrap();
+        let seq = Driver::new().run_batch(&specs);
         for workers in [2usize, 3, 8] {
-            let conc = Driver::concurrent(workers)
-                .unwrap()
-                .run_batch(&specs)
-                .unwrap();
+            let conc = Driver::concurrent(workers).unwrap().run_batch(&specs);
+            assert!(conc.errors.is_empty());
             assert_eq!(conc.scenarios.len(), seq.scenarios.len());
             for (a, b) in seq.scenarios.iter().zip(&conc.scenarios) {
                 assert_eq!(a.name, b.name, "input order preserved");
@@ -393,7 +585,7 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_batch_reports_first_failure_by_input_order() {
+    fn concurrent_batch_reports_all_failures_in_input_order() {
         let specs = ScenarioSpec::parse_many(
             "name=ok topology=cycle:8 seed=1 stop=rounds:5\n\
              name=bad1 topology=cycle:8 rounding=randomized\n\
@@ -401,16 +593,68 @@ mod tests {
              name=bad2 topology=cycle:8 seed=1 init=point:99:10\n",
         )
         .unwrap();
-        let err = Driver::concurrent(4)
-            .unwrap()
-            .run_batch(&specs)
-            .unwrap_err();
-        match err {
-            BuildError::Scenario { name, source } => {
-                assert_eq!(name, "bad1", "earliest failing scenario wins");
-                assert!(matches!(*source, BuildError::MissingSeed(_)));
+        let batch = Driver::concurrent(4).unwrap().run_batch(&specs);
+        assert_eq!(batch.scenarios.len(), 2, "both good scenarios completed");
+        assert_eq!(batch.scenarios[0].name, "ok");
+        assert_eq!(batch.scenarios[1].name, "ok2");
+        let positions: Vec<(usize, &str, Option<usize>)> = batch
+            .errors
+            .iter()
+            .map(|e| (e.index, e.name.as_str(), e.line))
+            .collect();
+        assert_eq!(positions, [(1, "bad1", Some(2)), (3, "bad2", Some(4))]);
+    }
+
+    #[test]
+    fn panicking_scenario_is_isolated() {
+        let specs = ScenarioSpec::parse_many(
+            "name=ok topology=cycle:8 seed=1 stop=rounds:5\n\
+             name=boom topology=cycle:8 seed=2 stop=rounds:5\n\
+             name=ok2 topology=cycle:8 seed=3 stop=rounds:5\n",
+        )
+        .unwrap();
+        for driver in [Driver::new(), Driver::concurrent(3).unwrap()] {
+            let batch = driver.run_batch_with(&specs, |spec| {
+                if spec.name == "boom" {
+                    panic!("injected fault in {}", spec.name);
+                }
+                driver.run_spec(spec)
+            });
+            assert_eq!(batch.scenarios.len(), 2, "batch survived the panic");
+            assert_eq!(batch.errors.len(), 1);
+            let err = &batch.errors[0];
+            assert_eq!(err.name, "boom");
+            match &err.error {
+                ScenarioFailure::Panicked(msg) => assert!(msg.contains("injected fault")),
+                other => panic!("unexpected error {other:?}"),
             }
-            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pooled_driver_replaces_pool_after_panic() {
+        let specs = sample_specs();
+        let clean = Driver::new().run_batch(&specs);
+        let driver = Driver::with_threads(3).unwrap();
+        let mut specs_with_bomb = specs.clone();
+        specs_with_bomb.insert(
+            1,
+            "name=boom topology=cycle:8 seed=9 stop=rounds:5"
+                .parse()
+                .unwrap(),
+        );
+        let batch = driver.run_batch_with(&specs_with_bomb, |spec| {
+            if spec.name == "boom" {
+                panic!("pool desertion");
+            }
+            driver.run_spec(spec)
+        });
+        assert_eq!(batch.errors.len(), 1);
+        assert_eq!(batch.scenarios.len(), specs.len());
+        // Scenarios after the panic still ran (on the replacement pool)
+        // and stayed bit-identical to the sequential driver.
+        for (a, b) in clean.scenarios.iter().zip(&batch.scenarios) {
+            assert_eq!(a.report, b.report, "{}", a.name);
         }
     }
 }

@@ -37,6 +37,7 @@ use std::sync::Arc;
 use sodiff_graph::{Graph, Speeds};
 
 use crate::error::BuildError;
+use crate::fault::{DivergenceWatch, FaultEvents, FaultSpec};
 use crate::hybrid::SwitchPolicy;
 use crate::init::InitialLoad;
 use crate::kernel::{KernelTables, LoadStats};
@@ -87,6 +88,8 @@ pub struct SimulationConfig {
     pub flow_memory: FlowMemory,
     /// Worker threads for the round executor (1 = sequential).
     pub threads: usize,
+    /// Deterministic fault injection ([`FaultSpec::none`] = unperturbed).
+    pub faults: FaultSpec,
 }
 
 impl SimulationConfig {
@@ -99,6 +102,12 @@ impl SimulationConfig {
     /// Sets the SOS flow-memory source.
     pub fn with_flow_memory(mut self, memory: FlowMemory) -> Self {
         self.flow_memory = memory;
+        self
+    }
+
+    /// Sets the fault-injection plan (validated at build time).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -199,8 +208,18 @@ pub struct RunReport {
     /// Remaining imbalance if a plateau was detected.
     pub remaining_imbalance: Option<f64>,
     /// The round at which a hybrid switch to FOS fired, if a
-    /// [`SwitchPolicy`] was active and fired.
+    /// [`SwitchPolicy`] was active and fired — or if the divergence
+    /// watchdog degraded an SOS run to FOS.
     pub switch_round: Option<u64>,
+    /// Whether the divergence watchdog fired during this call: the
+    /// deviation grew past its guardrail (or went non-finite) under
+    /// fault injection, engaging graceful degradation (automatic
+    /// SOS→FOS fallback where the scheme allows it).
+    pub degraded: bool,
+    /// Fault events injected over the simulator's lifetime so far (all
+    /// zero for `faults=none` runs). Cumulative across repeated
+    /// [`Simulator::run_until`] calls, like [`Simulator::round`].
+    pub faults: FaultEvents,
 }
 
 enum State {
@@ -317,7 +336,8 @@ impl<'g> Simulator<'g> {
         let loads = init.materialize(n);
         let initial_total = loads.iter().map(|&x| x as f64).sum();
         let m = graph.edge_count();
-        let mut scheme_kernel = SchemeKernel::new(config.scheme, config.mode, graph, &speeds)?;
+        let mut scheme_kernel =
+            SchemeKernel::new(config.scheme, config.mode, graph, &speeds, config.faults)?;
         let framework = scheme_kernel.needs_arc_plan();
         let tables = Arc::new(KernelTables::new(graph, &speeds, framework, initial_total));
         scheme_kernel.finish(&tables);
@@ -553,6 +573,7 @@ impl<'g> Simulator<'g> {
 
     fn step_sequential(&mut self, mem: f64, gain: f64) {
         let Self {
+            graph,
             tables,
             scheme_kernel,
             state,
@@ -569,6 +590,7 @@ impl<'g> Simulator<'g> {
         let stats = match state {
             State::Discrete { loads, int_flows } => scheme_kernel.run_discrete_seq(
                 t,
+                graph,
                 mem,
                 gain,
                 *round,
@@ -579,9 +601,8 @@ impl<'g> Simulator<'g> {
                 arc_frac,
                 scratch,
             ),
-            State::Continuous { loads } => {
-                scheme_kernel.run_continuous_seq(t, mem, gain, *round, loads, prev_flow, scratch)
-            }
+            State::Continuous { loads } => scheme_kernel
+                .run_continuous_seq(t, graph, mem, gain, *round, loads, prev_flow, scratch),
         };
         if stats.min_transient < *min_transient {
             *min_transient = stats.min_transient;
@@ -591,6 +612,7 @@ impl<'g> Simulator<'g> {
 
     fn step_pooled(&mut self, mem: f64, gain: f64) {
         let Self {
+            graph,
             pool,
             tables,
             state,
@@ -602,15 +624,20 @@ impl<'g> Simulator<'g> {
             ..
         } = self;
         let attachment = pool.as_ref().expect("step_pooled requires a pool");
-        // Per-round plan state (the random-matching mask) is produced
+        // Per-round plan state (the random-matching or fault-effective
+        // mask, plus any fault perturbations of the loads) is produced
         // here, on the control thread, and published into the job before
         // the round's first barrier — results never depend on the
         // executor.
         attachment.job.kernel().prepare_pooled(
-            *round,
             tables,
-            &mut scratch.matchgen,
+            graph,
+            *round,
+            scratch,
+            attachment.job.loads_i_slots(),
+            attachment.job.loads_f_slots(),
             attachment.job.mask_slots(),
+            attachment.job.stale_slots(),
         );
         let stats = attachment
             .pool
@@ -711,6 +738,13 @@ impl<'g> Simulator<'g> {
             StopCondition::Plateau { window, max_rounds } => (max_rounds, None, Some(window)),
         };
         let mut tracker = window.map(RemainingImbalance::new);
+        // Graceful degradation: under fault injection, watch the fused
+        // per-round deviation for runaway growth (or non-finite values)
+        // and fall back SOS→FOS through the ordinary hybrid switching
+        // machinery. Disarmed (and branch-free after the first check)
+        // for `faults=none`.
+        let mut watch = DivergenceWatch::new(!self.scheme_kernel.faults.is_none());
+        let mut degraded = false;
         let mut reason = StopReason::MaxRounds;
         let mut remaining = None;
         let mut switch_round = None;
@@ -737,6 +771,19 @@ impl<'g> Simulator<'g> {
             }
             self.step();
             observer.on_round(self);
+            if watch.armed() {
+                let max_dev = self
+                    .round_stats
+                    .expect("step() fills the fused round statistics")
+                    .max_dev;
+                if watch.observe(max_dev) {
+                    degraded = true;
+                    if switch_round.is_none() && self.scheme.is_sos() {
+                        self.switch_scheme(Scheme::fos());
+                        switch_round = Some(self.round);
+                    }
+                }
+            }
             if threshold.is_some() || tracker.is_some() {
                 let max_minus_avg = self
                     .round_stats
@@ -766,7 +813,15 @@ impl<'g> Simulator<'g> {
             reason,
             remaining_imbalance: remaining,
             switch_round,
+            degraded,
+            faults: self.fault_events(),
         }
+    }
+
+    /// Fault events injected over this simulator's lifetime (all zero
+    /// for `faults=none`).
+    pub fn fault_events(&self) -> FaultEvents {
+        self.scratch.fault.events
     }
 
     /// Maximum absolute per-node load difference to another simulation on
@@ -1149,6 +1204,7 @@ mod tests {
             speeds: None,
             flow_memory: FlowMemory::Rounded,
             threads: 1,
+            faults: FaultSpec::none(),
         };
         config.with_threads(0);
     }
@@ -1162,6 +1218,7 @@ mod tests {
             speeds: None,
             flow_memory: FlowMemory::Rounded,
             threads: 1,
+            faults: FaultSpec::none(),
         };
         let mut sim = Simulator::build(&g, config, InitialLoad::EqualPerNode(10), None).unwrap();
         sim.step();

@@ -93,6 +93,9 @@ pub enum BuildError {
     /// The stop condition is degenerate (zero plateau window or a
     /// non-finite threshold).
     InvalidStopCondition(String),
+    /// A fault-injection plan carried an out-of-range probability or
+    /// rate (each must be a finite value in `[0, 1]`).
+    InvalidFaults(String),
     /// The operation needs a discrete-mode experiment.
     RequiresDiscrete(&'static str),
     /// Building the topology failed.
@@ -142,6 +145,7 @@ impl fmt::Display for BuildError {
             BuildError::ZeroThreads => write!(f, "thread count must be positive"),
             BuildError::InvalidInitialLoad(msg) => write!(f, "invalid initial load: {msg}"),
             BuildError::InvalidStopCondition(msg) => write!(f, "invalid stop condition: {msg}"),
+            BuildError::InvalidFaults(msg) => write!(f, "invalid fault plan: {msg}"),
             BuildError::RequiresDiscrete(what) => {
                 write!(f, "{what} requires a discrete-mode experiment")
             }
@@ -193,6 +197,11 @@ mod tests {
         assert_eq!(
             BuildError::ZeroThreads.to_string(),
             "thread count must be positive"
+        );
+        assert!(
+            BuildError::InvalidFaults("crash probability 2 outside [0, 1]".into())
+                .to_string()
+                .contains("invalid fault plan")
         );
         let nested = BuildError::Scenario {
             name: "fig1".into(),

@@ -34,6 +34,7 @@ use sodiff_graph::{Graph, Speeds};
 use crate::deviation::DeviationSeries;
 use crate::engine::{FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition};
 use crate::error::BuildError;
+use crate::fault::FaultSpec;
 use crate::hybrid::SwitchPolicy;
 use crate::init::InitialLoad;
 use crate::observer::Observer;
@@ -79,6 +80,7 @@ struct Parts<'g> {
     init: Option<InitialLoad>,
     hybrid: Option<SwitchPolicy>,
     stop: StopCondition,
+    faults: FaultSpec,
 }
 
 /// Typestate builder for [`Experiment`]s; see [`Experiment::on`].
@@ -182,6 +184,14 @@ impl<'g, S> ExperimentBuilder<'g, S> {
         self.parts.stop = condition;
         self
     }
+
+    /// Sets the deterministic fault-injection plan (default:
+    /// [`FaultSpec::none`]). Probabilities outside `[0, 1]` are reported
+    /// as [`BuildError::InvalidFaults`] at build.
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.parts.faults = faults;
+        self
+    }
 }
 
 impl<'g> ExperimentBuilder<'g, NeedsMode> {
@@ -233,6 +243,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
             init,
             hybrid,
             stop,
+            faults,
         } = self.parts;
         let n = graph.node_count();
         if n == 0 {
@@ -270,6 +281,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
         let init = init.unwrap_or_else(|| InitialLoad::paper_default(n));
         init.check(n).map_err(BuildError::InvalidInitialLoad)?;
         stop.check()?;
+        faults.check()?;
         Ok(Experiment {
             graph,
             config: SimulationConfig {
@@ -278,6 +290,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
                 speeds,
                 flow_memory,
                 threads,
+                faults,
             },
             init,
             hybrid,
@@ -316,6 +329,7 @@ impl<'g> Experiment<'g> {
                 init: None,
                 hybrid: None,
                 stop: StopCondition::MaxRounds(1000),
+                faults: FaultSpec::none(),
             },
             _state: PhantomData,
         }
@@ -349,6 +363,11 @@ impl<'g> Experiment<'g> {
     /// The hybrid switch policy, if any.
     pub fn hybrid_policy(&self) -> Option<SwitchPolicy> {
         self.hybrid
+    }
+
+    /// The fault-injection plan ([`FaultSpec::none`] when unset).
+    pub fn faults(&self) -> FaultSpec {
+        self.config.faults
     }
 
     /// The stop condition of [`Experiment::run`].
@@ -420,6 +439,7 @@ impl<'g> Experiment<'g> {
             speeds: self.config.speeds.clone(),
             flow_memory: self.config.flow_memory,
             threads: self.config.threads,
+            faults: self.config.faults,
         };
         let mut continuous =
             Simulator::build(self.graph, continuous_config, self.init.clone(), None)

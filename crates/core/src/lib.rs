@@ -68,7 +68,8 @@
 //!      name=fos topology=torus2d:16:16 scheme=fos seed=42 stop=rounds:120\n",
 //! )
 //! .unwrap();
-//! let batch = Driver::new().run_batch(&specs).unwrap();
+//! let batch = Driver::new().run_batch(&specs);
+//! assert!(batch.errors.is_empty());
 //! assert_eq!(batch.scenarios.len(), 2);
 //! // At a short horizon SOS is far ahead of FOS (the paper's Figure 1).
 //! assert!(batch.scenarios[0].report.final_metrics.max_minus_avg
@@ -84,14 +85,19 @@
 //!
 //! Every scheme's per-round flow computation — edge pass, rounding hook,
 //! apply pass, and barrier plan — lives in one crate-internal layer, the
-//! `scheme_kernel` module. A scheme is the combination of two statically
-//! dispatched enums: a *flow pass* (continuous / fused edge-local
-//! discrete / the three-phase randomized-framework pipeline) and an
-//! *active plan* (all edges every round, a precomputed family of edge
+//! `scheme_kernel` module. A scheme is the combination of three
+//! statically dispatched axes: a *flow pass* (continuous / fused
+//! edge-local discrete / the three-phase randomized-framework pipeline),
+//! an *active plan* (all edges every round, a precomputed family of edge
 //! bitmasks swept round-robin, or a fresh random maximal matching per
-//! round). Both the sequential executor and the worker pool run the same
-//! kernel calls in the same per-element order, so pooled results are
-//! bit-identical to sequential ones for every scheme by construction.
+//! round), and a *fault plan* ([`FaultSpec`]: deterministic node
+//! crash/rejoin churn, per-round edge drops, load shocks, and stale-flow
+//! injection, all drawn from counter-indexed RNG streams — see the
+//! `fault` module docs). `faults=none` plans keep every hot loop on the
+//! original unperturbed kernels. Both the sequential executor and the
+//! worker pool run the same kernel calls in the same per-element order,
+//! so pooled results are bit-identical to sequential ones for every
+//! scheme — and every fault plan — by construction.
 //!
 //! To add a new scheme end to end, touch exactly these points:
 //!
@@ -104,7 +110,13 @@
 //!    edges, build its masks here (e.g. from
 //!    [`sodiff_graph::matching`]); if it needs new per-edge
 //!    coefficients, compute them here. Only a genuinely new *phase
-//!    structure* requires touching `kernel.rs` itself.
+//!    structure* requires touching `kernel.rs` itself. The fault axis
+//!    composes automatically: any masked plan is intersected with the
+//!    round's live/dropped edge sets, and sweep families are repaired
+//!    incrementally at crash epochs — a new scheme only needs to decide
+//!    whether its masks should be *re-covered* after node deaths
+//!    (matchings: yes) or merely *masked out* (color classes: no), the
+//!    `recover` flag of the sweep plan.
 //! 3. **`error.rs`** — add `BuildError` variants for configurations the
 //!    scheme cannot run on, and report them from
 //!    `SchemeKernel::validate` so both the builder and hand-built
@@ -247,6 +259,7 @@ mod driver;
 mod engine;
 mod error;
 mod experiment;
+mod fault;
 pub mod hybrid;
 mod init;
 #[doc(hidden)]
@@ -263,12 +276,13 @@ mod scheme;
 mod scheme_kernel;
 pub mod theory;
 
-pub use driver::{BatchReport, Driver, ScenarioReport};
+pub use driver::{BatchReport, Driver, ScenarioError, ScenarioFailure, ScenarioReport};
 pub use engine::{
     FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition, StopReason,
 };
 pub use error::{BuildError, ParseError};
 pub use experiment::{Experiment, ExperimentBuilder, NeedsMode, Ready};
+pub use fault::{FaultChannel, FaultEvents, FaultSpec, EPOCH_LEN};
 pub use hybrid::SwitchPolicy;
 pub use init::InitialLoad;
 pub use metrics::MetricsSnapshot;
@@ -279,12 +293,13 @@ pub use scheme::{MatchingStrategy, Scheme};
 
 /// Convenient glob import: `use sodiff_core::prelude::*;`.
 pub mod prelude {
-    pub use crate::driver::{BatchReport, Driver, ScenarioReport};
+    pub use crate::driver::{BatchReport, Driver, ScenarioError, ScenarioFailure, ScenarioReport};
     pub use crate::engine::{
         FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition, StopReason,
     };
     pub use crate::error::{BuildError, ParseError};
     pub use crate::experiment::{Experiment, ExperimentBuilder};
+    pub use crate::fault::{FaultChannel, FaultEvents, FaultSpec};
     pub use crate::hybrid::SwitchPolicy;
     pub use crate::init::InitialLoad;
     pub use crate::metrics::MetricsSnapshot;

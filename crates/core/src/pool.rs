@@ -57,9 +57,13 @@ pub(crate) struct RoundJob {
     /// Arc-indexed fractional parts (framework jobs only).
     arc_frac: Vec<AtomicU64>,
     flows: Vec<AtomicI64>,
-    /// Active-edge bitmask words (random-matching jobs only), published
-    /// by the control thread before each round's first barrier.
+    /// Active-edge bitmask words (random-matching jobs, or any job with
+    /// edge faults), published by the control thread before each round's
+    /// first barrier.
     mask: Vec<AtomicU64>,
+    /// Stale-edge bitmask words (stale-fault jobs only), published by
+    /// the control thread before each round's first barrier.
+    stale: Vec<AtomicU64>,
     /// Per-participant fused load statistics of the last round, combined
     /// by the control thread after the round's final barrier.
     stats: Vec<StatSlots>,
@@ -129,7 +133,8 @@ impl RoundJob {
         let m = tables.m;
         let arcs = tables.arc_edges.len();
         let framework = kernel.needs_arc_plan();
-        let masked = kernel.needs_random_mask();
+        let masked = kernel.needs_random_mask() || kernel.needs_fault_mask();
+        let staled = kernel.needs_stale_mask();
         Self {
             tables,
             kernel,
@@ -154,6 +159,9 @@ impl RoundJob {
             mask: (0..if masked { mask_words(m) } else { 0 })
                 .map(|_| AtomicU64::new(0))
                 .collect(),
+            stale: (0..if staled { mask_words(m) } else { 0 })
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             stats: (0..threads).map(|_| StatSlots::new()).collect(),
             block_sums: (0..kernel::dev_blocks(n))
                 .map(|_| AtomicU64::new(0))
@@ -168,9 +176,25 @@ impl RoundJob {
     }
 
     /// The job's active-edge mask words (empty unless the kernel draws
-    /// random matchings).
+    /// random matchings or injects edge faults).
     pub fn mask_slots(&self) -> &[AtomicU64] {
         &self.mask
+    }
+
+    /// The job's stale-edge mask words (empty unless the kernel injects
+    /// stale flows).
+    pub fn stale_slots(&self) -> &[AtomicU64] {
+        &self.stale
+    }
+
+    /// The job's canonical integer loads (empty in continuous mode).
+    pub fn loads_i_slots(&self) -> &[AtomicI64] {
+        &self.loads_i
+    }
+
+    /// The job's canonical continuous load bits (empty in discrete mode).
+    pub fn loads_f_slots(&self) -> &[AtomicU64] {
+        &self.loads_f
     }
 
     /// Runs participant `t`'s share of one round. Called by workers and —
@@ -190,6 +214,7 @@ impl RoundJob {
             arc_frac: &self.arc_frac,
             flows: &self.flows,
             mask: &self.mask,
+            stale: &self.stale,
             block_sums: &self.block_sums,
         };
         let stats = self.kernel.run_chunk(
@@ -410,7 +435,16 @@ mod tests {
     /// A kernel for the given mode on `graph` with uniform speeds.
     fn fos_kernel(graph: &sodiff_graph::Graph, mode: Mode) -> Arc<SchemeKernel> {
         let speeds = sodiff_graph::Speeds::uniform(graph.node_count());
-        Arc::new(SchemeKernel::new(Scheme::fos(), mode, graph, &speeds).unwrap())
+        Arc::new(
+            SchemeKernel::new(
+                Scheme::fos(),
+                mode,
+                graph,
+                &speeds,
+                crate::fault::FaultSpec::none(),
+            )
+            .unwrap(),
+        )
     }
 
     #[test]

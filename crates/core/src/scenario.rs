@@ -31,6 +31,7 @@
 //! | `stop` | `rounds:N`, `balanced:THRESHOLD:MAX`, `plateau:WINDOW:MAX` | `rounds:1000` |
 //! | `threads` | positive integer | `1` |
 //! | `flow_memory` | `rounded`, `scheduled` | `rounded` |
+//! | `faults` | `none`, or `+`-joined `crash:P:SEED`, `edgedrop:P:SEED`, `shock:RATE:SEED`, `stale:P:SEED` | `none` |
 //! | `hybrid` | `at:R`, `local_diff:T`, `max_minus_avg:T`, `never` | *unset* |
 
 use std::fmt;
@@ -41,6 +42,7 @@ use sodiff_graph::{Graph, Speeds, TopologySpec};
 use crate::engine::{FlowMemory, RunReport, StopCondition};
 use crate::error::{BuildError, ParseError};
 use crate::experiment::Experiment;
+use crate::fault::FaultSpec;
 use crate::hybrid::SwitchPolicy;
 use crate::init::InitialLoad;
 use crate::rounding::RoundingSpec;
@@ -482,16 +484,35 @@ impl FromStr for StopSpec {
                  or plateau:WINDOW:MAX)"
             ))
         };
+        // Range violations are caught here so scenario files get a
+        // line-anchored parse error instead of a late build failure; the
+        // authoritative ranges live in `StopCondition::check`.
         match parts.as_slice() {
             ["rounds", r] => Ok(StopSpec::Rounds(r.parse().map_err(|_| bad())?)),
-            ["balanced", threshold, max] => Ok(StopSpec::Balanced {
-                threshold: threshold.parse().map_err(|_| bad())?,
-                max_rounds: max.parse().map_err(|_| bad())?,
-            }),
-            ["plateau", window, max] => Ok(StopSpec::Plateau {
-                window: window.parse().map_err(|_| bad())?,
-                max_rounds: max.parse().map_err(|_| bad())?,
-            }),
+            ["balanced", threshold, max] => {
+                let threshold: f64 = threshold.parse().map_err(|_| bad())?;
+                if threshold.is_nan() {
+                    return Err(ParseError::new(format!(
+                        "invalid stop condition '{s}': balance threshold must not be NaN"
+                    )));
+                }
+                Ok(StopSpec::Balanced {
+                    threshold,
+                    max_rounds: max.parse().map_err(|_| bad())?,
+                })
+            }
+            ["plateau", window, max] => {
+                let window: usize = window.parse().map_err(|_| bad())?;
+                if window == 0 {
+                    return Err(ParseError::new(format!(
+                        "invalid stop condition '{s}': plateau window must be positive"
+                    )));
+                }
+                Ok(StopSpec::Plateau {
+                    window,
+                    max_rounds: max.parse().map_err(|_| bad())?,
+                })
+            }
             _ => Err(bad()),
         }
     }
@@ -516,7 +537,7 @@ impl FromStr for StopSpec {
 /// let again: ScenarioSpec = spec.to_string().parse().unwrap();
 /// assert_eq!(again, spec);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ScenarioSpec {
     /// Scenario name used in reports. Serialized as one `key=value`
     /// token: whitespace and `=` are replaced with `_` by `Display`, so
@@ -541,8 +562,35 @@ pub struct ScenarioSpec {
     pub threads: usize,
     /// SOS flow-memory source.
     pub flow_memory: FlowMemory,
+    /// Deterministic fault injection ([`FaultSpec::none`] = clean run).
+    pub faults: FaultSpec,
     /// Optional SOS→FOS hybrid switch.
     pub hybrid: Option<SwitchPolicy>,
+    /// 1-based line of the scenario file this spec came from, when
+    /// parsed by [`ScenarioSpec::parse_many`]. Provenance only: ignored
+    /// by `PartialEq` and not serialized by `Display`.
+    pub source_line: Option<usize>,
+}
+
+// Manual impl: `source_line` is provenance, not configuration — two
+// specs describing the same experiment compare equal regardless of
+// which file line (if any) each was read from, keeping the documented
+// `Display`/`FromStr` round-trip equality exact.
+impl PartialEq for ScenarioSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.topology == other.topology
+            && self.speeds == other.speeds
+            && self.scheme == other.scheme
+            && self.mode == other.mode
+            && self.seed == other.seed
+            && self.init == other.init
+            && self.stop == other.stop
+            && self.threads == other.threads
+            && self.flow_memory == other.flow_memory
+            && self.faults == other.faults
+            && self.hybrid == other.hybrid
+    }
 }
 
 impl ScenarioSpec {
@@ -559,7 +607,9 @@ impl ScenarioSpec {
             stop: StopSpec::default(),
             threads: 1,
             flow_memory: FlowMemory::default(),
+            faults: FaultSpec::none(),
             hybrid: None,
+            source_line: None,
         }
     }
 
@@ -596,7 +646,8 @@ impl ScenarioSpec {
             .flow_memory(self.flow_memory)
             .threads(self.threads)
             .init(self.init.resolve(n))
-            .stop(self.stop.to_condition());
+            .stop(self.stop.to_condition())
+            .faults(self.faults);
         if !matches!(self.speeds, SpeedsSpec::Uniform) {
             builder = builder.speeds(speeds);
         }
@@ -633,7 +684,9 @@ impl ScenarioSpec {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let spec: ScenarioSpec = line.parse().map_err(|e: ParseError| e.at_line(idx + 1))?;
+            let mut spec: ScenarioSpec =
+                line.parse().map_err(|e: ParseError| e.at_line(idx + 1))?;
+            spec.source_line = Some(idx + 1);
             specs.push(spec);
         }
         Ok(specs)
@@ -675,6 +728,9 @@ impl fmt::Display for ScenarioSpec {
             FlowMemory::Scheduled => "scheduled",
         };
         write!(f, " flow_memory={memory}")?;
+        if !self.faults.is_none() {
+            write!(f, " faults={}", self.faults)?;
+        }
         if let Some(policy) = self.hybrid {
             write!(f, " hybrid={policy}")?;
         }
@@ -697,6 +753,7 @@ impl FromStr for ScenarioSpec {
         let mut stop = None;
         let mut threads = None;
         let mut flow_memory = None;
+        let mut faults = None;
         let mut hybrid = None;
         for token in s.split_whitespace() {
             let (key, value) = token
@@ -779,6 +836,10 @@ impl FromStr for ScenarioSpec {
                         }
                     });
                 }
+                "faults" => {
+                    duplicate(faults.is_some())?;
+                    faults = Some(value.parse::<FaultSpec>()?);
+                }
                 "hybrid" => {
                     duplicate(hybrid.is_some())?;
                     hybrid = Some(value.parse::<SwitchPolicy>()?);
@@ -810,7 +871,9 @@ impl FromStr for ScenarioSpec {
             stop: stop.unwrap_or_default(),
             threads: threads.unwrap_or(1),
             flow_memory: flow_memory.unwrap_or_default(),
+            faults: faults.unwrap_or_else(FaultSpec::none),
             hybrid,
+            source_line: None,
         })
     }
 }
@@ -855,6 +918,12 @@ mod tests {
             ),
             ("topology=cycle:8 stop=sometimes", "invalid stop condition"),
             ("topology=cycle:8 hybrid=at", "unknown hybrid policy"),
+            ("topology=cycle:8 faults=crash", "in faults"),
+            ("topology=cycle:8 faults=crash:2:1", "in faults"),
+            (
+                "topology=cycle:8 faults=none faults=none",
+                "duplicate key 'faults'",
+            ),
         ] {
             let err = text.parse::<ScenarioSpec>().unwrap_err();
             assert!(
@@ -874,6 +943,39 @@ mod tests {
         assert_eq!(specs[1].name, "b");
         let err = ScenarioSpec::parse_many("topology=cycle:8\nnope\n").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn faults_key_roundtrips_and_defaults_to_none() {
+        let spec: ScenarioSpec = "topology=cycle:8".parse().unwrap();
+        assert!(spec.faults.is_none());
+        assert!(!spec.to_string().contains("faults="));
+
+        let spec: ScenarioSpec =
+            "topology=torus2d:8:8 scheme=sos:1.7 mode=discrete rounding=nearest \
+             faults=crash:0.1:7+shock:0.05:9 stop=rounds:64"
+                .parse()
+                .unwrap();
+        assert_eq!(
+            spec.faults,
+            FaultSpec::none().with_crash(0.1, 7).with_shock(0.05, 9)
+        );
+        let text = spec.to_string();
+        assert!(text.contains("faults=crash:0.1:7+shock:0.05:9"), "{text}");
+        let again: ScenarioSpec = text.parse().unwrap();
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn source_line_is_provenance_not_identity() {
+        let text = "# file\nname=a topology=cycle:8\n\nname=b topology=star:5\n";
+        let specs = ScenarioSpec::parse_many(text).unwrap();
+        assert_eq!(specs[0].source_line, Some(2));
+        assert_eq!(specs[1].source_line, Some(4));
+        // Equality ignores provenance; Display does not serialize it.
+        let reparsed: ScenarioSpec = specs[0].to_string().parse().unwrap();
+        assert_eq!(reparsed.source_line, None);
+        assert_eq!(reparsed, specs[0]);
     }
 
     #[test]

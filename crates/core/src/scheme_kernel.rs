@@ -20,6 +20,14 @@
 //!   matching-based balancing over maximal matchings), or a fresh random
 //!   maximal matching drawn per round from a `(seed, round)`-keyed greedy
 //!   order.
+//! * [`crate::FaultSpec`] — *what goes wrong* each round: deterministic
+//!   node crash/rejoin churn, per-round edge drops, load shocks, and
+//!   stale-flow injection, all drawn from counter-indexed RNG streams
+//!   (see the `fault` module). With edge faults active, every plan's
+//!   mask is intersected with the round's live/undropped edge set (sweep
+//!   families are incrementally repaired at crash epochs); with
+//!   `faults=none` every hot loop below takes exactly its original
+//!   unperturbed path.
 //!
 //! The masked plans run through `*_masked` kernel variants that force
 //! inactive edges' flows to zero with a branchless bit test; the
@@ -53,6 +61,7 @@ use sodiff_graph::{matching, EdgeId, Graph, Speeds};
 
 use crate::engine::{FlowMemory, Mode};
 use crate::error::BuildError;
+use crate::fault::{EffBase, FaultSpec, FaultState};
 use crate::kernel::{self, AtomicsF64, AtomicsI64, FwScratch, KernelTables, LoadStats};
 use crate::matchgen::{self, mask_words, MatchScratch};
 use crate::rounding::Rounding;
@@ -82,7 +91,15 @@ pub(crate) enum ActivePlan {
     /// dimension exchange, maximal matchings for round-robin
     /// matching-based balancing. `masks[round % masks.len()]` is the
     /// round's active set.
-    Sweep(Vec<Vec<u64>>),
+    Sweep {
+        /// The mask family.
+        masks: Vec<Vec<u64>>,
+        /// How the family reacts to node crashes: `true` re-covers freed
+        /// live nodes after masking dead incidences out (matchings stay
+        /// maximal-ish), `false` only masks out (color classes keep
+        /// their one-neighbor-per-round structure).
+        recover: bool,
+    },
     /// A fresh random maximal matching per round (greedy over a
     /// `(seed, round)`-keyed random edge order, generated by the control
     /// thread).
@@ -104,6 +121,9 @@ pub(crate) struct RoundScratch {
     /// Per-[`crate::metrics::DEV_BLOCK`] squared-deviation partials of
     /// the sequential apply pass (the pool keeps its own atomic buffer).
     block_sums: Vec<f64>,
+    /// Fault-injection state: live sets, repaired sweep masks, per-round
+    /// drop/stale masks, and the accumulated event counters.
+    pub fault: FaultState,
 }
 
 impl RoundScratch {
@@ -126,9 +146,14 @@ pub(crate) struct ChunkBufs<'a> {
     pub arc_frac: &'a [AtomicU64],
     /// Per-edge integral flows (discrete mode).
     pub flows: &'a [AtomicI64],
-    /// Active-edge bitmask words (random matching plan only), published
-    /// by the control thread before the round's first barrier.
+    /// Active-edge bitmask words (random matching plan, or any plan
+    /// under edge faults), published by the control thread before the
+    /// round's first barrier.
     pub mask: &'a [AtomicU64],
+    /// The round's stale-edge words (stale fault channel only),
+    /// published by the control thread before the round's first barrier
+    /// and consumed by the apply pass.
+    pub stale: &'a [AtomicU64],
     /// Per-block squared-deviation partials written by the apply pass
     /// (one writer per block: node chunks are block-aligned), folded by
     /// the control thread after the round.
@@ -146,6 +171,8 @@ pub(crate) struct SchemeKernel {
     /// Packed per-edge endpoints for the random-matching generator's
     /// greedy pass ([`matchgen::edge_pairs`]; empty for other plans).
     match_pairs: Vec<u64>,
+    /// The fault-injection axis (`FaultSpec::none()` = unperturbed).
+    pub faults: FaultSpec,
 }
 
 /// Builds the edge bitmask of one active set.
@@ -206,8 +233,10 @@ impl SchemeKernel {
         mode: Mode,
         graph: &Graph,
         speeds: &Speeds,
+        faults: FaultSpec,
     ) -> Result<Self, BuildError> {
         Self::validate(scheme, graph)?;
+        faults.check()?;
         let flow = match mode {
             Mode::Continuous => FlowPass::Continuous,
             Mode::Discrete(Rounding::RandomizedFramework { seed }) => FlowPass::Framework { seed },
@@ -223,7 +252,13 @@ impl SchemeKernel {
                     .iter()
                     .map(|class| class_mask(m, class))
                     .collect();
-                (ActivePlan::Sweep(masks), Some(lambda))
+                (
+                    ActivePlan::Sweep {
+                        masks,
+                        recover: false,
+                    },
+                    Some(lambda),
+                )
             }
             Scheme::Matching { lambda, strategy } => {
                 let plan = match strategy {
@@ -233,7 +268,10 @@ impl SchemeKernel {
                             .iter()
                             .map(|matching| class_mask(m, matching))
                             .collect();
-                        ActivePlan::Sweep(masks)
+                        ActivePlan::Sweep {
+                            masks,
+                            recover: true,
+                        }
                     }
                     MatchingStrategy::Random { seed } => ActivePlan::Random { seed },
                 };
@@ -250,6 +288,7 @@ impl SchemeKernel {
             coef_tail,
             coef_head,
             match_pairs: Vec::new(),
+            faults,
         })
     }
 
@@ -273,6 +312,38 @@ impl SchemeKernel {
         matches!(self.plan, ActivePlan::Random { .. })
     }
 
+    /// Whether the fault axis forces per-round edge masking (crash or
+    /// edgedrop channel active), routing every plan — including
+    /// diffusion — through the published mask words.
+    pub fn needs_fault_mask(&self) -> bool {
+        self.faults.has_edge_faults()
+    }
+
+    /// Whether the fault axis publishes a per-round stale mask for the
+    /// apply pass.
+    pub fn needs_stale_mask(&self) -> bool {
+        self.faults.stale.is_some()
+    }
+
+    /// The pairwise coefficient tables for masked passes, falling back
+    /// to the diffusion `α_e/s` tables when this kernel is a diffusion
+    /// scheme that only became masked through the fault axis.
+    fn masked_coefs<'a>(&'a self, t: &'a KernelTables) -> (&'a [f64], &'a [f64]) {
+        if self.coef_tail.is_empty() {
+            (&t.coef_tail, &t.coef_head)
+        } else {
+            (&self.coef_tail, &self.coef_head)
+        }
+    }
+
+    /// The sweep family and its repair style, if the plan is a sweep.
+    fn sweep_family(&self) -> Option<(&[Vec<u64>], bool)> {
+        match &self.plan {
+            ActivePlan::Sweep { masks, recover } => Some((masks, *recover)),
+            _ => None,
+        }
+    }
+
     /// The round's active-edge mask (`None` = all edges active),
     /// generating the random matching into `mg` when the plan calls for
     /// one. Control-thread only.
@@ -284,7 +355,7 @@ impl SchemeKernel {
     ) -> Option<&'a [u64]> {
         match &self.plan {
             ActivePlan::All => None,
-            ActivePlan::Sweep(masks) => Some(&masks[(round % masks.len() as u64) as usize]),
+            ActivePlan::Sweep { masks, .. } => Some(&masks[(round % masks.len() as u64) as usize]),
             ActivePlan::Random { seed } => {
                 matchgen::fill_random_matching(*seed, round, t, &self.match_pairs, mg);
                 Some(&mg.mask)
@@ -292,21 +363,97 @@ impl SchemeKernel {
         }
     }
 
-    /// Pool-mode round preparation, run by the control thread *before*
-    /// the round's first barrier: generates the random matching (if the
-    /// plan draws one) and publishes it into the job's mask words. Sweep
-    /// plans need no publication — workers index the kernel's immutable
-    /// masks directly.
-    pub fn prepare_pooled(
-        &self,
+    /// The round's *effective* active mask under the fault axis: the
+    /// plan's mask intersected with the live/undropped edge set when
+    /// edge faults are on (counting drop and stale events), the plain
+    /// [`SchemeKernel::active_mask`] otherwise. Control-thread only;
+    /// [`FaultState::begin_round`] must already have run this round.
+    fn round_mask<'a>(
+        &'a self,
         round: u64,
         t: &KernelTables,
-        mg: &mut MatchScratch,
+        mg: &'a mut MatchScratch,
+        fault: &'a mut FaultState,
+    ) -> Option<&'a [u64]> {
+        if self.faults.has_edge_faults() {
+            let base = match &self.plan {
+                ActivePlan::All => EffBase::All,
+                ActivePlan::Sweep { masks, .. } => {
+                    let idx = (round % masks.len() as u64) as usize;
+                    if self.faults.crash.is_some() {
+                        EffBase::Repaired(idx)
+                    } else {
+                        EffBase::External(&masks[idx])
+                    }
+                }
+                ActivePlan::Random { seed } => {
+                    matchgen::fill_random_matching(*seed, round, t, &self.match_pairs, mg);
+                    EffBase::External(&mg.mask)
+                }
+            };
+            return Some(fault.compose_eff(&self.faults, t.m, base));
+        }
+        let mask = self.active_mask(round, t, mg);
+        if self.faults.stale.is_some() {
+            fault.count_stale(mask, t.m);
+        }
+        mask
+    }
+
+    /// Pool-mode round preparation, run by the control thread *before*
+    /// the round's first barrier: advances the fault state (epoch churn,
+    /// drop/stale draws, load shocks applied through the job's atomics —
+    /// exclusive, the workers are parked), generates the random matching
+    /// (if the plan draws one), and publishes the round's effective mask
+    /// and stale words. Fault-free sweep plans need no publication —
+    /// workers index the kernel's immutable masks directly.
+    #[allow(clippy::too_many_arguments)] // the job's full shared state, flat by design
+    pub fn prepare_pooled(
+        &self,
+        t: &KernelTables,
+        graph: &Graph,
+        round: u64,
+        scratch: &mut RoundScratch,
+        loads_i: &[AtomicI64],
+        loads_f: &[AtomicU64],
         mask_out: &[AtomicU64],
+        stale_out: &[AtomicU64],
     ) {
-        if let ActivePlan::Random { seed } = self.plan {
-            matchgen::fill_random_matching(seed, round, t, &self.match_pairs, mg);
-            for (word, &w) in mask_out.iter().zip(&mg.mask) {
+        let RoundScratch {
+            matchgen, fault, ..
+        } = scratch;
+        if !self.faults.is_none() {
+            fault.begin_round(&self.faults, graph, round, self.sweep_family());
+            if let Some((donor, hotspot)) = fault.shock_targets(&self.faults, round, t.n) {
+                if loads_f.is_empty() {
+                    let amt = loads_i[donor].load(Relaxed) / 4;
+                    if amt != 0 {
+                        loads_i[donor].fetch_sub(amt, Relaxed);
+                        loads_i[hotspot].fetch_add(amt, Relaxed);
+                        fault.events.shocks += 1;
+                    }
+                } else {
+                    let amt = f64::from_bits(loads_f[donor].load(Relaxed)) / 4.0;
+                    if amt != 0.0 {
+                        let d = f64::from_bits(loads_f[donor].load(Relaxed)) - amt;
+                        let h = f64::from_bits(loads_f[hotspot].load(Relaxed)) + amt;
+                        loads_f[donor].store(d.to_bits(), Relaxed);
+                        loads_f[hotspot].store(h.to_bits(), Relaxed);
+                        fault.events.shocks += 1;
+                    }
+                }
+            }
+        }
+        let publish = self.needs_random_mask() || self.needs_fault_mask();
+        if let Some(mask) = self.round_mask(round, t, matchgen, fault) {
+            if publish {
+                for (word, &w) in mask_out.iter().zip(mask) {
+                    word.store(w, Relaxed);
+                }
+            }
+        }
+        if self.faults.stale.is_some() {
+            for (word, &w) in stale_out.iter().zip(&fault.stale) {
                 word.store(w, Relaxed);
             }
         }
@@ -319,6 +466,7 @@ impl SchemeKernel {
     pub fn run_discrete_seq(
         &self,
         t: &KernelTables,
+        graph: &Graph,
         mem: f64,
         gain: f64,
         round: u64,
@@ -333,9 +481,21 @@ impl SchemeKernel {
         let RoundScratch {
             fw,
             matchgen,
-            block_sums: _,
+            block_sums,
+            fault,
         } = scratch;
-        let mask = self.active_mask(round, t, matchgen);
+        if !self.faults.is_none() {
+            fault.begin_round(&self.faults, graph, round, self.sweep_family());
+            if let Some((donor, hotspot)) = fault.shock_targets(&self.faults, round, n) {
+                let amt = loads[donor] / 4;
+                if amt != 0 {
+                    loads[donor] -= amt;
+                    loads[hotspot] += amt;
+                    fault.events.shocks += 1;
+                }
+            }
+        }
+        let mask = self.round_mask(round, t, matchgen, fault);
         match self.flow {
             FlowPass::EdgeLocal(rounding) => match mask {
                 None => kernel::edge_pass_fused(
@@ -350,21 +510,24 @@ impl SchemeKernel {
                     &kernel::cells_f64(prev),
                     &kernel::cells_i64(flows),
                 ),
-                Some(words) => kernel::edge_pass_fused_masked(
-                    t,
-                    &self.coef_tail,
-                    &self.coef_head,
-                    0..m,
-                    |w| words[w],
-                    mem,
-                    gain,
-                    round,
-                    rounding,
-                    flow_memory,
-                    |i| loads[i] as f64,
-                    &kernel::cells_f64(prev),
-                    &kernel::cells_i64(flows),
-                ),
+                Some(words) => {
+                    let (ct, ch) = self.masked_coefs(t);
+                    kernel::edge_pass_fused_masked(
+                        t,
+                        ct,
+                        ch,
+                        0..m,
+                        |w| words[w],
+                        mem,
+                        gain,
+                        round,
+                        rounding,
+                        flow_memory,
+                        |i| loads[i] as f64,
+                        &kernel::cells_f64(prev),
+                        &kernel::cells_i64(flows),
+                    )
+                }
             },
             FlowPass::Framework { seed } => {
                 match mask {
@@ -379,20 +542,23 @@ impl SchemeKernel {
                         &kernel::cells_i64(flows),
                         &kernel::cells_f64(prev),
                     ),
-                    Some(words) => kernel::edge_pass_scatter_masked(
-                        t,
-                        &self.coef_tail,
-                        &self.coef_head,
-                        0..m,
-                        |w| words[w],
-                        mem,
-                        gain,
-                        flow_memory,
-                        |i| loads[i] as f64,
-                        &kernel::cells_f64(arc_frac),
-                        &kernel::cells_i64(flows),
-                        &kernel::cells_f64(prev),
-                    ),
+                    Some(words) => {
+                        let (ct, ch) = self.masked_coefs(t);
+                        kernel::edge_pass_scatter_masked(
+                            t,
+                            ct,
+                            ch,
+                            0..m,
+                            |w| words[w],
+                            mem,
+                            gain,
+                            flow_memory,
+                            |i| loads[i] as f64,
+                            &kernel::cells_f64(arc_frac),
+                            &kernel::cells_i64(flows),
+                            &kernel::cells_f64(prev),
+                        )
+                    }
                 }
                 kernel::arc_round_streamed(
                     t,
@@ -414,16 +580,28 @@ impl SchemeKernel {
             FlowPass::Continuous => unreachable!("continuous flow pass on discrete state"),
         }
         let blocks = kernel::dev_blocks(n);
-        scratch.block_sums.resize(blocks, 0.0);
-        let mut stats = kernel::apply_discrete(
-            t,
-            0..n,
-            |e| flows[e],
-            &kernel::cells_i64(loads),
-            &kernel::cells_f64(&mut scratch.block_sums),
-        );
-        stats.sum_sq_dev =
-            kernel::fold_block_sums(blocks, &kernel::cells_f64(&mut scratch.block_sums));
+        block_sums.resize(blocks, 0.0);
+        let mut stats = if self.faults.stale.is_some() {
+            // Lossy apply: the flow was computed and recorded in the
+            // flow memory above, but a stale edge's tokens never land.
+            let stale: &[u64] = &fault.stale;
+            kernel::apply_discrete(
+                t,
+                0..n,
+                |e| flows[e] * (((stale[e >> 6] >> (e & 63)) & 1) ^ 1) as i64,
+                &kernel::cells_i64(loads),
+                &kernel::cells_f64(block_sums),
+            )
+        } else {
+            kernel::apply_discrete(
+                t,
+                0..n,
+                |e| flows[e],
+                &kernel::cells_i64(loads),
+                &kernel::cells_f64(block_sums),
+            )
+        };
+        stats.sum_sq_dev = kernel::fold_block_sums(blocks, &kernel::cells_f64(block_sums));
         stats
     }
 
@@ -433,6 +611,7 @@ impl SchemeKernel {
     pub fn run_continuous_seq(
         &self,
         t: &KernelTables,
+        graph: &Graph,
         mem: f64,
         gain: f64,
         round: u64,
@@ -441,7 +620,24 @@ impl SchemeKernel {
         scratch: &mut RoundScratch,
     ) -> LoadStats {
         let (n, m) = (t.n, t.m);
-        let mask = self.active_mask(round, t, &mut scratch.matchgen);
+        let RoundScratch {
+            matchgen,
+            block_sums,
+            fault,
+            ..
+        } = scratch;
+        if !self.faults.is_none() {
+            fault.begin_round(&self.faults, graph, round, self.sweep_family());
+            if let Some((donor, hotspot)) = fault.shock_targets(&self.faults, round, n) {
+                let amt = loads[donor] / 4.0;
+                if amt != 0.0 {
+                    loads[donor] -= amt;
+                    loads[hotspot] += amt;
+                    fault.events.shocks += 1;
+                }
+            }
+        }
+        let mask = self.round_mask(round, t, matchgen, fault);
         match mask {
             None => kernel::edge_pass_continuous(
                 t,
@@ -451,29 +647,48 @@ impl SchemeKernel {
                 |i| loads[i],
                 &kernel::cells_f64(prev),
             ),
-            Some(words) => kernel::edge_pass_continuous_masked(
-                t,
-                &self.coef_tail,
-                &self.coef_head,
-                0..m,
-                |w| words[w],
-                mem,
-                gain,
-                |i| loads[i],
-                &kernel::cells_f64(prev),
-            ),
+            Some(words) => {
+                let (ct, ch) = self.masked_coefs(t);
+                kernel::edge_pass_continuous_masked(
+                    t,
+                    ct,
+                    ch,
+                    0..m,
+                    |w| words[w],
+                    mem,
+                    gain,
+                    |i| loads[i],
+                    &kernel::cells_f64(prev),
+                )
+            }
         }
         let blocks = kernel::dev_blocks(n);
-        scratch.block_sums.resize(blocks, 0.0);
-        let mut stats = kernel::apply_continuous(
-            t,
-            0..n,
-            |e| prev[e],
-            &kernel::cells_f64(loads),
-            &kernel::cells_f64(&mut scratch.block_sums),
-        );
-        stats.sum_sq_dev =
-            kernel::fold_block_sums(blocks, &kernel::cells_f64(&mut scratch.block_sums));
+        block_sums.resize(blocks, 0.0);
+        let mut stats = if self.faults.stale.is_some() {
+            let stale: &[u64] = &fault.stale;
+            kernel::apply_continuous(
+                t,
+                0..n,
+                |e| {
+                    if (stale[e >> 6] >> (e & 63)) & 1 == 1 {
+                        0.0
+                    } else {
+                        prev[e]
+                    }
+                },
+                &kernel::cells_f64(loads),
+                &kernel::cells_f64(block_sums),
+            )
+        } else {
+            kernel::apply_continuous(
+                t,
+                0..n,
+                |e| prev[e],
+                &kernel::cells_f64(loads),
+                &kernel::cells_f64(block_sums),
+            )
+        };
+        stats.sum_sq_dev = kernel::fold_block_sums(blocks, &kernel::cells_f64(block_sums));
         stats
     }
 
@@ -497,6 +712,71 @@ impl SchemeKernel {
         bufs: &ChunkBufs<'_>,
         scratch: &mut FwScratch,
     ) -> LoadStats {
+        if self.needs_stale_mask() {
+            self.run_chunk_inner(
+                t,
+                barrier,
+                edges,
+                nodes,
+                mem,
+                gain,
+                round,
+                flow_memory,
+                bufs,
+                scratch,
+                Some(|w: usize| bufs.stale[w].load(Relaxed)),
+            )
+        } else {
+            self.run_chunk_inner(
+                t,
+                barrier,
+                edges,
+                nodes,
+                mem,
+                gain,
+                round,
+                flow_memory,
+                bufs,
+                scratch,
+                None::<fn(usize) -> u64>,
+            )
+        }
+    }
+
+    /// [`SchemeKernel::run_chunk`] monomorphized per stale-mask source.
+    #[allow(clippy::too_many_arguments)] // one pool participant's full round context
+    fn run_chunk_inner<SF: Fn(usize) -> u64>(
+        &self,
+        t: &KernelTables,
+        barrier: &Barrier,
+        edges: Range<usize>,
+        nodes: Range<usize>,
+        mem: f64,
+        gain: f64,
+        round: u64,
+        flow_memory: FlowMemory,
+        bufs: &ChunkBufs<'_>,
+        scratch: &mut FwScratch,
+        stale: Option<SF>,
+    ) -> LoadStats {
+        if self.needs_fault_mask() {
+            // Edge faults route *every* plan through the effective mask
+            // the control thread published for the round.
+            return self.chunk_phases(
+                t,
+                barrier,
+                edges,
+                nodes,
+                mem,
+                gain,
+                round,
+                flow_memory,
+                bufs,
+                scratch,
+                Some(|w: usize| bufs.mask[w].load(Relaxed)),
+                stale,
+            );
+        }
         match &self.plan {
             ActivePlan::All => self.chunk_phases(
                 t,
@@ -510,8 +790,9 @@ impl SchemeKernel {
                 bufs,
                 scratch,
                 None::<fn(usize) -> u64>,
+                stale,
             ),
-            ActivePlan::Sweep(masks) => {
+            ActivePlan::Sweep { masks, .. } => {
                 let words = &masks[(round % masks.len() as u64) as usize];
                 self.chunk_phases(
                     t,
@@ -525,6 +806,7 @@ impl SchemeKernel {
                     bufs,
                     scratch,
                     Some(|w: usize| words[w]),
+                    stale,
                 )
             }
             ActivePlan::Random { .. } => self.chunk_phases(
@@ -539,6 +821,7 @@ impl SchemeKernel {
                 bufs,
                 scratch,
                 Some(|w: usize| bufs.mask[w].load(Relaxed)),
+                stale,
             ),
         }
     }
@@ -547,7 +830,7 @@ impl SchemeKernel {
     /// the all-edges diffusion paths keep their original unmasked
     /// codegen.
     #[allow(clippy::too_many_arguments)] // one pool participant's full round context
-    fn chunk_phases<MF: Fn(usize) -> u64>(
+    fn chunk_phases<MF: Fn(usize) -> u64, SF: Fn(usize) -> u64>(
         &self,
         t: &KernelTables,
         barrier: &Barrier,
@@ -560,6 +843,7 @@ impl SchemeKernel {
         bufs: &ChunkBufs<'_>,
         scratch: &mut FwScratch,
         mask: Option<MF>,
+        stale: Option<SF>,
     ) -> LoadStats {
         let prev = AtomicsF64(bufs.prev);
         let flows = AtomicsI64(bufs.flows);
@@ -578,30 +862,45 @@ impl SchemeKernel {
                         &prev,
                         &flows,
                     ),
-                    Some(mf) => kernel::edge_pass_fused_masked(
-                        t,
-                        &self.coef_tail,
-                        &self.coef_head,
-                        edges,
-                        mf,
-                        mem,
-                        gain,
-                        round,
-                        rounding,
-                        flow_memory,
-                        |i| bufs.loads_i[i].load(Relaxed) as f64,
-                        &prev,
-                        &flows,
-                    ),
+                    Some(mf) => {
+                        let (ct, ch) = self.masked_coefs(t);
+                        kernel::edge_pass_fused_masked(
+                            t,
+                            ct,
+                            ch,
+                            edges,
+                            mf,
+                            mem,
+                            gain,
+                            round,
+                            rounding,
+                            flow_memory,
+                            |i| bufs.loads_i[i].load(Relaxed) as f64,
+                            &prev,
+                            &flows,
+                        )
+                    }
                 }
                 barrier.wait();
-                kernel::apply_discrete(
-                    t,
-                    nodes,
-                    |e| bufs.flows[e].load(Relaxed),
-                    &AtomicsI64(bufs.loads_i),
-                    &AtomicsF64(bufs.block_sums),
-                )
+                match &stale {
+                    None => kernel::apply_discrete(
+                        t,
+                        nodes,
+                        |e| bufs.flows[e].load(Relaxed),
+                        &AtomicsI64(bufs.loads_i),
+                        &AtomicsF64(bufs.block_sums),
+                    ),
+                    Some(sf) => kernel::apply_discrete(
+                        t,
+                        nodes,
+                        |e| {
+                            bufs.flows[e].load(Relaxed)
+                                * (((sf(e >> 6) >> (e & 63)) & 1) ^ 1) as i64
+                        },
+                        &AtomicsI64(bufs.loads_i),
+                        &AtomicsF64(bufs.block_sums),
+                    ),
+                }
             }
             FlowPass::Framework { seed } => {
                 match &mask {
@@ -616,20 +915,23 @@ impl SchemeKernel {
                         &flows,
                         &prev,
                     ),
-                    Some(mf) => kernel::edge_pass_scatter_masked(
-                        t,
-                        &self.coef_tail,
-                        &self.coef_head,
-                        edges.clone(),
-                        mf,
-                        mem,
-                        gain,
-                        flow_memory,
-                        |i| bufs.loads_i[i].load(Relaxed) as f64,
-                        &AtomicsF64(bufs.arc_frac),
-                        &flows,
-                        &prev,
-                    ),
+                    Some(mf) => {
+                        let (ct, ch) = self.masked_coefs(t);
+                        kernel::edge_pass_scatter_masked(
+                            t,
+                            ct,
+                            ch,
+                            edges.clone(),
+                            mf,
+                            mem,
+                            gain,
+                            flow_memory,
+                            |i| bufs.loads_i[i].load(Relaxed) as f64,
+                            &AtomicsF64(bufs.arc_frac),
+                            &flows,
+                            &prev,
+                        )
+                    }
                 }
                 barrier.wait();
                 kernel::arc_round_streamed(
@@ -648,13 +950,25 @@ impl SchemeKernel {
                 if matches!(flow_memory, FlowMemory::Rounded) {
                     kernel::prev_from_flows(edges, &flows, &prev);
                 }
-                kernel::apply_discrete(
-                    t,
-                    nodes,
-                    |e| bufs.flows[e].load(Relaxed),
-                    &AtomicsI64(bufs.loads_i),
-                    &AtomicsF64(bufs.block_sums),
-                )
+                match &stale {
+                    None => kernel::apply_discrete(
+                        t,
+                        nodes,
+                        |e| bufs.flows[e].load(Relaxed),
+                        &AtomicsI64(bufs.loads_i),
+                        &AtomicsF64(bufs.block_sums),
+                    ),
+                    Some(sf) => kernel::apply_discrete(
+                        t,
+                        nodes,
+                        |e| {
+                            bufs.flows[e].load(Relaxed)
+                                * (((sf(e >> 6) >> (e & 63)) & 1) ^ 1) as i64
+                        },
+                        &AtomicsI64(bufs.loads_i),
+                        &AtomicsF64(bufs.block_sums),
+                    ),
+                }
             }
             FlowPass::Continuous => {
                 match &mask {
@@ -666,26 +980,44 @@ impl SchemeKernel {
                         |i| f64::from_bits(bufs.loads_f[i].load(Relaxed)),
                         &prev,
                     ),
-                    Some(mf) => kernel::edge_pass_continuous_masked(
-                        t,
-                        &self.coef_tail,
-                        &self.coef_head,
-                        edges,
-                        mf,
-                        mem,
-                        gain,
-                        |i| f64::from_bits(bufs.loads_f[i].load(Relaxed)),
-                        &prev,
-                    ),
+                    Some(mf) => {
+                        let (ct, ch) = self.masked_coefs(t);
+                        kernel::edge_pass_continuous_masked(
+                            t,
+                            ct,
+                            ch,
+                            edges,
+                            mf,
+                            mem,
+                            gain,
+                            |i| f64::from_bits(bufs.loads_f[i].load(Relaxed)),
+                            &prev,
+                        )
+                    }
                 }
                 barrier.wait();
-                kernel::apply_continuous(
-                    t,
-                    nodes,
-                    |e| f64::from_bits(bufs.prev[e].load(Relaxed)),
-                    &AtomicsF64(bufs.loads_f),
-                    &AtomicsF64(bufs.block_sums),
-                )
+                match &stale {
+                    None => kernel::apply_continuous(
+                        t,
+                        nodes,
+                        |e| f64::from_bits(bufs.prev[e].load(Relaxed)),
+                        &AtomicsF64(bufs.loads_f),
+                        &AtomicsF64(bufs.block_sums),
+                    ),
+                    Some(sf) => kernel::apply_continuous(
+                        t,
+                        nodes,
+                        |e| {
+                            if (sf(e >> 6) >> (e & 63)) & 1 == 1 {
+                                0.0
+                            } else {
+                                f64::from_bits(bufs.prev[e].load(Relaxed))
+                            }
+                        },
+                        &AtomicsF64(bufs.loads_f),
+                        &AtomicsF64(bufs.block_sums),
+                    ),
+                }
             }
         }
     }
@@ -736,11 +1068,13 @@ mod tests {
             Mode::Discrete(Rounding::nearest()),
             &g,
             &Speeds::uniform(16),
+            FaultSpec::none(),
         )
         .unwrap();
-        let ActivePlan::Sweep(masks) = &k.plan else {
+        let ActivePlan::Sweep { masks, recover } = &k.plan else {
             panic!("DE should sweep masks");
         };
+        assert!(!recover, "color classes are masked out, not re-covered");
         assert_eq!(masks.len(), 4, "even 2D torus: 4 color classes");
         // The classes partition the edges.
         let mut seen = vec![0u32; g.edge_count()];
@@ -774,6 +1108,7 @@ mod tests {
             Mode::Discrete(Rounding::nearest()),
             &g,
             &speeds,
+            FaultSpec::none(),
         )
         .unwrap();
         let t = tables(&g);
@@ -783,6 +1118,7 @@ mod tests {
         let mut scratch = RoundScratch::new();
         let stats = k.run_discrete_seq(
             &t,
+            &g,
             0.0,
             1.0,
             0,
@@ -810,6 +1146,7 @@ mod tests {
             Mode::Discrete(Rounding::nearest()),
             &g,
             &speeds,
+            FaultSpec::none(),
         )
         .unwrap();
         let t = tables(&g);
@@ -820,6 +1157,7 @@ mod tests {
         for round in 0..2 {
             k.run_discrete_seq(
                 &t,
+                &g,
                 0.0,
                 1.0,
                 round,
@@ -830,7 +1168,7 @@ mod tests {
                 &mut [],
                 &mut scratch,
             );
-            let ActivePlan::Sweep(masks) = &k.plan else {
+            let ActivePlan::Sweep { masks, .. } = &k.plan else {
                 unreachable!()
             };
             let words = &masks[(round % masks.len() as u64) as usize];
@@ -842,5 +1180,53 @@ mod tests {
             }
         }
         assert_eq!(loads.iter().sum::<i64>(), 100, "tokens conserved");
+    }
+
+    #[test]
+    fn crashed_nodes_freeze_loads_and_conserve_total() {
+        let g = generators::torus2d(4, 4);
+        let faults = FaultSpec::none().with_crash(0.3, 9);
+        let live = faults.live_nodes(0, 16);
+        assert!(
+            live.iter().any(|&l| !l),
+            "seed 9 should kill someone in epoch 0"
+        );
+        let k = SchemeKernel::new(
+            Scheme::fos(),
+            Mode::Discrete(Rounding::nearest()),
+            &g,
+            &Speeds::uniform(16),
+            faults,
+        )
+        .unwrap();
+        let t = tables(&g);
+        let mut loads: Vec<i64> = (0..16).map(|i| i * 3).collect();
+        let total: i64 = loads.iter().sum();
+        let frozen = loads.clone();
+        let mut prev = vec![0.0f64; t.m];
+        let mut flows = vec![0i64; t.m];
+        let mut scratch = RoundScratch::new();
+        for round in 0..crate::fault::EPOCH_LEN {
+            k.run_discrete_seq(
+                &t,
+                &g,
+                0.0,
+                1.0,
+                round,
+                FlowMemory::Rounded,
+                &mut loads,
+                &mut prev,
+                &mut flows,
+                &mut [],
+                &mut scratch,
+            );
+            assert_eq!(loads.iter().sum::<i64>(), total, "round {round}");
+            for (v, &was) in frozen.iter().enumerate() {
+                if !live[v] {
+                    assert_eq!(loads[v], was, "dead node {v} moved in round {round}");
+                }
+            }
+        }
+        assert!(scratch.fault.events.crashes > 0);
     }
 }

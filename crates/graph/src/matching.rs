@@ -300,6 +300,60 @@ pub fn maximal_matchings(graph: &Graph, coloring: &EdgeColoring) -> Vec<Vec<Edge
     out
 }
 
+#[inline]
+fn live(live_nodes: &[u64], v: NodeId) -> bool {
+    (live_nodes[(v >> 6) as usize] >> (v & 63)) & 1 == 1
+}
+
+/// Clears the bits of the edge bitmask `mask` for every edge with a dead
+/// endpoint. `live_nodes` is an `n`-bit mask (bit `v` set ⇔ node `v`
+/// live); `mask` is an `m`-bit mask in the canonical edge-id order.
+///
+/// This is the incremental "mask-out" half of churn repair: a color class
+/// of a proper [`edge_coloring`] stays a valid (possibly smaller)
+/// matching after masking, with no recompute of the coloring.
+pub fn mask_dead_edges(graph: &Graph, live_nodes: &[u64], mask: &mut [u64]) {
+    for (e, &(u, v)) in graph.edges().iter().enumerate() {
+        if !live(live_nodes, u) || !live(live_nodes, v) {
+            mask[e >> 6] &= !(1u64 << (e & 63));
+        }
+    }
+}
+
+/// Incrementally repairs the matching bitmask `mask` after node churn:
+/// masks out edges with a dead endpoint ([`mask_dead_edges`]), then
+/// greedily re-covers the freed **live** nodes — each unmatched live node
+/// (ascending id) takes its first incident edge whose other endpoint is
+/// live and unmatched. The result is again a matching, dead nodes are
+/// never matched, and the repair is deterministic (same inputs, same
+/// output) and local: edges between matched live nodes are untouched.
+pub fn repair_matching(graph: &Graph, live_nodes: &[u64], mask: &mut [u64]) {
+    mask_dead_edges(graph, live_nodes, mask);
+    let n = graph.node_count();
+    let mut matched = vec![false; n];
+    for (e, &(u, v)) in graph.edges().iter().enumerate() {
+        if (mask[e >> 6] >> (e & 63)) & 1 == 1 {
+            matched[u as usize] = true;
+            matched[v as usize] = true;
+        }
+    }
+    for u in graph.nodes() {
+        if matched[u as usize] || !live(live_nodes, u) {
+            continue;
+        }
+        for &e in graph.neighbor_edges(u) {
+            let (a, b) = graph.edge(e);
+            let v = if a == u { b } else { a };
+            if !matched[v as usize] && live(live_nodes, v) {
+                mask[(e >> 6) as usize] |= 1u64 << (e & 63);
+                matched[u as usize] = true;
+                matched[v as usize] = true;
+                break;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,5 +491,98 @@ mod tests {
         assert_eq!(edge_coloring(&g), edge_coloring(&g));
         let c = edge_coloring(&g);
         assert_eq!(maximal_matchings(&g, &c), maximal_matchings(&g, &c));
+    }
+
+    fn edge_mask(g: &Graph, edges: &[EdgeId]) -> Vec<u64> {
+        let mut mask = vec![0u64; g.edge_count().div_ceil(64).max(1)];
+        for &e in edges {
+            mask[(e >> 6) as usize] |= 1u64 << (e & 63);
+        }
+        mask
+    }
+
+    fn node_mask(n: usize, dead: &[NodeId]) -> Vec<u64> {
+        let mut live = vec![u64::MAX; n.div_ceil(64).max(1)];
+        for &v in dead {
+            live[(v >> 6) as usize] &= !(1u64 << (v & 63));
+        }
+        live
+    }
+
+    fn mask_edges(mask: &[u64], m: usize) -> Vec<EdgeId> {
+        (0..m)
+            .filter(|&e| (mask[e >> 6] >> (e & 63)) & 1 == 1)
+            .map(|e| e as EdgeId)
+            .collect()
+    }
+
+    #[test]
+    fn mask_dead_edges_removes_exactly_dead_incidences() {
+        let g = generators::torus2d(4, 4);
+        let all: Vec<EdgeId> = (0..g.edge_count() as EdgeId).collect();
+        let mut mask = edge_mask(&g, &all);
+        let live = node_mask(g.node_count(), &[3, 7]);
+        mask_dead_edges(&g, &live, &mut mask);
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            let kept = (mask[e >> 6] >> (e & 63)) & 1 == 1;
+            let touches_dead = u == 3 || v == 3 || u == 7 || v == 7;
+            assert_eq!(kept, !touches_dead, "edge {e} ({u},{v})");
+        }
+        // All-live is the identity.
+        let mut mask = edge_mask(&g, &all);
+        mask_dead_edges(&g, &node_mask(g.node_count(), &[]), &mut mask);
+        assert_eq!(mask_edges(&mask, g.edge_count()), all);
+    }
+
+    #[test]
+    fn repair_recovers_freed_pairs() {
+        // Cycle 0-1-2-3: matching {(0,1), (2,3)}. Killing 1 and 2 frees
+        // 0 and 3, and the wrap edge (3,0) is the only live re-cover.
+        let g = generators::cycle(4);
+        let base: Vec<EdgeId> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(u, v))| (u, v) == (0, 1) || (u, v) == (2, 3))
+            .map(|(e, _)| e as EdgeId)
+            .collect();
+        assert_eq!(base.len(), 2);
+        let mut mask = edge_mask(&g, &base);
+        repair_matching(&g, &node_mask(4, &[1, 2]), &mut mask);
+        let repaired = mask_edges(&mask, g.edge_count());
+        assert!(is_matching(&g, &repaired));
+        assert_eq!(repaired.len(), 1);
+        let (u, v) = g.edge(repaired[0]);
+        assert_eq!((u.min(v), u.max(v)), (0, 3), "wrap edge re-covers 0 and 3");
+    }
+
+    #[test]
+    fn repaired_masks_stay_matchings_and_never_touch_dead_nodes() {
+        for g in [
+            generators::torus2d(6, 6),
+            generators::hypercube(4),
+            generators::random_graph_cm(40, 5).unwrap(),
+        ] {
+            let coloring = edge_coloring(&g);
+            let live = node_mask(g.node_count(), &[0, 5, 9, 13, 21]);
+            for family in maximal_matchings(&g, &coloring) {
+                let mut mask = edge_mask(&g, &family);
+                let mut again = mask.clone();
+                repair_matching(&g, &live, &mut mask);
+                repair_matching(&g, &live, &mut again);
+                assert_eq!(mask, again, "repair is deterministic");
+                let repaired = mask_edges(&mask, g.edge_count());
+                assert!(is_matching(&g, &repaired));
+                for &e in &repaired {
+                    let (u, v) = g.edge(e);
+                    for w in [u, v] {
+                        assert!(
+                            (live[(w >> 6) as usize] >> (w & 63)) & 1 == 1,
+                            "dead node {w} matched by edge {e}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

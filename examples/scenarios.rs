@@ -52,13 +52,7 @@ fn main() {
     );
 
     let driver = Driver::with_threads(threads).expect("positive thread count");
-    let batch = match driver.run_batch(&specs) {
-        Ok(batch) => batch,
-        Err(e) => {
-            eprintln!("batch failed: {e}");
-            std::process::exit(1);
-        }
-    };
+    let batch = driver.run_batch(&specs);
 
     println!(
         "{:<16} {:>9} {:>9} {:>8} {:>12} {:>12} {:>10} {:>10}",
@@ -87,6 +81,13 @@ fn main() {
         batch.worst_max_minus_avg,
         batch.mean_max_minus_avg
     );
+    if !batch.errors.is_empty() {
+        eprintln!("\n{} scenario(s) failed:", batch.errors.len());
+        for e in &batch.errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Truncates sub-millisecond noise for stable-looking output.

@@ -49,7 +49,8 @@
 //!     "name=quickstart topology=torus2d:16:16 scheme=sos_opt seed=42 stop=rounds:400",
 //! )
 //! .unwrap();
-//! let batch = Driver::new().run_batch(&specs).unwrap();
+//! let batch = Driver::new().run_batch(&specs);
+//! assert!(batch.errors.is_empty());
 //! assert!(batch.scenarios[0].report.final_metrics.max_minus_avg < 20.0);
 //! ```
 
@@ -59,10 +60,11 @@ pub use sodiff_linalg as linalg;
 pub use sodiff_viz as viz;
 
 pub use sodiff_core::{
-    BatchReport, BuildError, Driver, Experiment, ExperimentBuilder, InitSpec, InitialLoad,
-    MatchingStrategy, MetricsSnapshot, Mode, ModeSpec, ParseError, Rounding, RoundingSpec,
-    RunReport, ScenarioReport, ScenarioSpec, Scheme, SchemeSpec, SpeedsSpec, StopCondition,
-    StopReason, StopSpec, SwitchPolicy,
+    BatchReport, BuildError, Driver, Experiment, ExperimentBuilder, FaultChannel, FaultEvents,
+    FaultSpec, InitSpec, InitialLoad, MatchingStrategy, MetricsSnapshot, Mode, ModeSpec,
+    ParseError, Rounding, RoundingSpec, RunReport, ScenarioError, ScenarioFailure, ScenarioReport,
+    ScenarioSpec, Scheme, SchemeSpec, SpeedsSpec, StopCondition, StopReason, StopSpec,
+    SwitchPolicy,
 };
 pub use sodiff_graph::{Speeds, TopologySpec};
 

@@ -53,11 +53,12 @@ proptest! {
 
     #[test]
     fn concurrent_driver_batches_match_sequential(specs in any_batch(), workers in 2usize..6) {
-        let sequential = Driver::new().run_batch(&specs).expect("valid batch");
+        let sequential = Driver::new().run_batch(&specs);
         let concurrent = Driver::concurrent(workers)
             .expect("positive workers")
-            .run_batch(&specs)
-            .expect("valid batch");
+            .run_batch(&specs);
+        prop_assert!(sequential.errors.is_empty(), "sequential batch failed");
+        prop_assert!(concurrent.errors.is_empty(), "concurrent batch failed");
         prop_assert_eq!(sequential.scenarios.len(), concurrent.scenarios.len());
         for (a, b) in sequential.scenarios.iter().zip(&concurrent.scenarios) {
             prop_assert_eq!(&a.name, &b.name, "input order preserved");

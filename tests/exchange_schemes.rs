@@ -183,7 +183,8 @@ fn scenario_specs_run_de_and_matching_end_to_end() {
          rounding=nearest init=point:0:6400 stop=rounds:400\n",
     )
     .unwrap();
-    let batch = Driver::new().run_batch(&specs).unwrap();
+    let batch = Driver::new().run_batch(&specs);
+    assert!(batch.errors.is_empty());
     assert_eq!(batch.scenarios.len(), 3);
     for s in &batch.scenarios {
         assert!(
@@ -197,8 +198,8 @@ fn scenario_specs_run_de_and_matching_end_to_end() {
         assert_eq!(reparsed.to_string(), s.spec);
     }
     // Pooled and concurrent drivers reproduce the sequential reports.
-    let pooled = Driver::with_threads(3).unwrap().run_batch(&specs).unwrap();
-    let concurrent = Driver::concurrent(2).unwrap().run_batch(&specs).unwrap();
+    let pooled = Driver::with_threads(3).unwrap().run_batch(&specs);
+    let concurrent = Driver::concurrent(2).unwrap().run_batch(&specs);
     for ((seq, pl), cc) in batch
         .scenarios
         .iter()

@@ -135,10 +135,8 @@ fn driver_reproduces_hand_built_simulator_bit_identically() {
 
     // Sequential driver and pooled driver must both reproduce it exactly.
     for threads in [1usize, 3] {
-        let batch = Driver::with_threads(threads)
-            .unwrap()
-            .run_batch(&specs)
-            .unwrap();
+        let batch = Driver::with_threads(threads).unwrap().run_batch(&specs);
+        assert!(batch.errors.is_empty());
         assert_eq!(batch.scenarios.len(), 1);
         let driven = &batch.scenarios[0].report;
         assert_eq!(
@@ -157,7 +155,8 @@ fn mixed_batch_over_one_pool_matches_standalone_runs() {
                 name=c topology=torus2d:7:9 mode=continuous scheme=sos:1.8 stop=rounds:90\n\
                 name=d topology=star:17 rounding=nearest init=point:0:1700 stop=rounds:30\n";
     let specs = ScenarioSpec::parse_many(text).unwrap();
-    let pooled = Driver::with_threads(4).unwrap().run_batch(&specs).unwrap();
+    let pooled = Driver::with_threads(4).unwrap().run_batch(&specs);
+    assert!(pooled.errors.is_empty());
     for (spec, scenario) in specs.iter().zip(&pooled.scenarios) {
         let standalone = spec.run().unwrap();
         assert_eq!(scenario.report, standalone, "{}", spec.name);

@@ -207,6 +207,29 @@ fn cycle_matching_round_robin() {
     }
 }
 
+/// Fault injection is part of the pinned surface: a crash-churn SOS run
+/// must reproduce this trace on the sequential executor and on the pool.
+/// Pinned when the `FaultSpec` axis was introduced; the re-pin policy
+/// above applies (a fault plan is a randomized decision stream keyed by
+/// `(kind, seed, round)` — changing which stream a channel consumes
+/// needs the full justification, not just a new constant).
+#[test]
+fn torus_sos_crash_churn() {
+    let g = generators::torus2d(8, 8);
+    for threads in [1, 3] {
+        let sim = Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .sos(1.7)
+            .threads(threads)
+            .init(InitialLoad::point(0, 6400))
+            .faults(FaultSpec::none().with_crash(0.1, 7))
+            .build()
+            .unwrap()
+            .simulator();
+        run_and_check("torus_sos_crash_churn", 0x8cc7ad550f849948, sim, 64);
+    }
+}
+
 #[test]
 fn regular_matching_random_heterogeneous() {
     // Random per-round maximal matchings + per-edge unbiased rounding +
