@@ -54,6 +54,9 @@ struct Case {
     /// Fault-injection plan for the run; `FaultSpec::none()` keeps the
     /// case on the unperturbed code paths.
     faults: FaultSpec,
+    /// Dynamic-workload plan for the run; `LoadSpec::none()` keeps the
+    /// case on the pre-load code paths.
+    loads: LoadSpec,
 }
 
 struct Measurement {
@@ -88,6 +91,7 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
         .threads(case.threads)
         .init(InitialLoad::paper_default(n))
         .faults(case.faults)
+        .load(case.loads)
         .build()
         .expect("valid benchmark experiment")
         .simulator();
@@ -307,6 +311,7 @@ fn main() {
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         (
@@ -319,6 +324,7 @@ fn main() {
                 rounding: Some(Rounding::randomized(42)),
                 threshold_stop: false,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         (
@@ -331,6 +337,7 @@ fn main() {
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         (
@@ -343,6 +350,7 @@ fn main() {
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         (
@@ -355,6 +363,7 @@ fn main() {
                 rounding: Some(Rounding::randomized(42)),
                 threshold_stop: false,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         (
@@ -367,6 +376,7 @@ fn main() {
                 rounding: Some(Rounding::randomized(42)),
                 threshold_stop: false,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         (
@@ -379,6 +389,7 @@ fn main() {
                 rounding: None,
                 threshold_stop: false,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         (
@@ -391,6 +402,7 @@ fn main() {
                 rounding: None,
                 threshold_stop: false,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         // Metric-stopped rounds: same kernel as sos_discrete_nearest but
@@ -407,6 +419,7 @@ fn main() {
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: true,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         // Fault-injection axis. `sos_faults_none` is the exact
@@ -427,6 +440,7 @@ fn main() {
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: true,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         (
@@ -439,6 +453,41 @@ fn main() {
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
                 faults: FaultSpec::none().with_crash(0.05, 42),
+                loads: LoadSpec::none(),
+            },
+        ),
+        // Dynamic-workload axis. `sos_load_none` is the exact
+        // `sos_faults_none` configuration with the load plan spelled out
+        // as `LoadSpec::none()`: the CI zero-cost gate compares the two
+        // in the same run to prove a disabled load axis costs nothing.
+        // `sos_load_poisson` measures the loaded hot loop — the
+        // control-thread generator draws plus the sparse delta
+        // application, with no extra per-round sweep — and is gated at
+        // +25% over the committed ratio like the other kernels.
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_load_none",
+                threads: 1,
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
+                threshold_stop: true,
+                faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_load_poisson",
+                threads: 1,
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
+                threshold_stop: true,
+                faults: FaultSpec::none(),
+                loads: LoadSpec::none().with_poisson(2.0, 42),
             },
         ),
         // Pairwise schemes (scheme-kernel layer): the masked edge pass
@@ -455,6 +504,7 @@ fn main() {
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         (
@@ -467,6 +517,7 @@ fn main() {
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
         (
@@ -479,6 +530,7 @@ fn main() {
                 rounding: Some(Rounding::nearest()),
                 threshold_stop: false,
                 faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
             },
         ),
     ];

@@ -162,6 +162,10 @@ pub struct BatchReport {
     pub worst_max_minus_avg: f64,
     /// Mean final `max − avg` across successful scenarios.
     pub mean_max_minus_avg: f64,
+    /// Worst windowed p99 deviation across the successful scenarios
+    /// that ran under a `stop=steady:`/`stop=horizon:` mode (`None`
+    /// when no scenario reported steady-state statistics).
+    pub worst_steady_p99: Option<f64>,
 }
 
 impl BatchReport {
@@ -181,6 +185,10 @@ impl BatchReport {
         } else {
             finals.iter().sum::<f64>() / finals.len() as f64
         };
+        let worst_steady_p99 = scenarios
+            .iter()
+            .filter_map(|s| s.report.steady.map(|st| st.p99_dev))
+            .reduce(f64::max);
         Self {
             scenarios,
             errors,
@@ -188,6 +196,7 @@ impl BatchReport {
             total_wall,
             worst_max_minus_avg: worst,
             mean_max_minus_avg: mean,
+            worst_steady_p99,
         }
     }
 }
@@ -554,6 +563,22 @@ mod tests {
             rendered.contains("'broken'") && rendered.contains("line 2"),
             "{rendered}"
         );
+    }
+
+    #[test]
+    fn steady_scenarios_surface_worst_p99() {
+        let specs = ScenarioSpec::parse_many(
+            "name=dyn topology=torus2d:6:6 scheme=sos:1.8 seed=4 load=poisson:0.5:7 \
+             stop=horizon:40\n\
+             name=static topology=cycle:12 seed=5 stop=rounds:20\n",
+        )
+        .unwrap();
+        let batch = Driver::new().run_batch(&specs);
+        assert!(batch.errors.is_empty());
+        let steady = batch.scenarios[0].report.steady.unwrap();
+        assert_eq!(steady.window, 40);
+        assert!(batch.scenarios[1].report.steady.is_none());
+        assert_eq!(batch.worst_steady_p99, Some(steady.p99_dev));
     }
 
     #[test]

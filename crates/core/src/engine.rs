@@ -41,6 +41,7 @@ use crate::fault::{DivergenceWatch, FaultEvents, FaultSpec};
 use crate::hybrid::SwitchPolicy;
 use crate::init::InitialLoad;
 use crate::kernel::{KernelTables, LoadStats};
+use crate::load::{LoadEvents, LoadSpec, SteadyStats, SteadyTracker};
 use crate::metrics::{local_diff_with, snapshot_with_total, MetricsSnapshot, RemainingImbalance};
 use crate::observer::Observer;
 use crate::pool::{RoundJob, WorkerPool};
@@ -90,6 +91,9 @@ pub struct SimulationConfig {
     pub threads: usize,
     /// Deterministic fault injection ([`FaultSpec::none`] = unperturbed).
     pub faults: FaultSpec,
+    /// Deterministic dynamic-load injection ([`LoadSpec::none`] = the
+    /// static workload, taking the exact pre-load code paths).
+    pub load: LoadSpec,
 }
 
 impl SimulationConfig {
@@ -108,6 +112,12 @@ impl SimulationConfig {
     /// Sets the fault-injection plan (validated at build time).
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the dynamic-load plan (validated at build time).
+    pub fn with_load(mut self, load: LoadSpec) -> Self {
+        self.load = load;
         self
     }
 
@@ -156,6 +166,20 @@ pub enum StopCondition {
         /// Hard round cap.
         max_rounds: usize,
     },
+    /// Stop once the per-round deviation has reached **steady state**
+    /// under a dynamic workload: the mean `max − avg` over the newest
+    /// `window` rounds no longer improves on the window before it
+    /// (within 1%). The report carries windowed deviation statistics
+    /// ([`RunReport::steady`]). A built-in cap of 100 000 rounds
+    /// guards against workloads that never settle.
+    Steady {
+        /// Steady-state detection window in rounds.
+        window: usize,
+    },
+    /// Run exactly this many rounds and report deviation statistics
+    /// over **all** of them ([`RunReport::steady`]) — the fixed-horizon
+    /// companion of [`StopCondition::Steady`] for dynamic workloads.
+    Horizon(usize),
 }
 
 impl StopCondition {
@@ -181,6 +205,24 @@ impl StopCondition {
                     Ok(())
                 }
             }
+            StopCondition::Steady { window } => {
+                if window == 0 {
+                    Err(BuildError::InvalidStopCondition(
+                        "steady window must be positive".into(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            StopCondition::Horizon(rounds) => {
+                if rounds == 0 {
+                    Err(BuildError::InvalidStopCondition(
+                        "horizon must be positive".into(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 }
@@ -194,6 +236,10 @@ pub enum StopReason {
     Threshold,
     /// The imbalance plateaued.
     Plateau,
+    /// The deviation reached steady state under a dynamic workload.
+    Steady,
+    /// The fixed horizon was reached.
+    Horizon,
 }
 
 /// Summary of a finished run.
@@ -220,6 +266,16 @@ pub struct RunReport {
     /// zero for `faults=none` runs). Cumulative across repeated
     /// [`Simulator::run_until`] calls, like [`Simulator::round`].
     pub faults: FaultEvents,
+    /// Dynamic-load events injected over the simulator's lifetime so far
+    /// (all zero for `load=none` runs); `injected` is the net token
+    /// delta, so conservation checks become
+    /// `total == initial + injected`. Cumulative like
+    /// [`RunReport::faults`].
+    pub load: LoadEvents,
+    /// Windowed steady-state deviation statistics, reported by the
+    /// [`StopCondition::Steady`] and [`StopCondition::Horizon`] run
+    /// modes (`None` for every other stop condition).
+    pub steady: Option<SteadyStats>,
 }
 
 enum State {
@@ -336,8 +392,14 @@ impl<'g> Simulator<'g> {
         let loads = init.materialize(n);
         let initial_total = loads.iter().map(|&x| x as f64).sum();
         let m = graph.edge_count();
-        let mut scheme_kernel =
-            SchemeKernel::new(config.scheme, config.mode, graph, &speeds, config.faults)?;
+        let mut scheme_kernel = SchemeKernel::new(
+            config.scheme,
+            config.mode,
+            graph,
+            &speeds,
+            config.faults,
+            config.load,
+        )?;
         let framework = scheme_kernel.needs_arc_plan();
         let tables = Arc::new(KernelTables::new(graph, &speeds, framework, initial_total));
         scheme_kernel.finish(&tables);
@@ -728,24 +790,36 @@ impl<'g> Simulator<'g> {
         condition: StopCondition,
         observer: &mut dyn Observer,
     ) -> RunReport {
+        /// Built-in round cap of [`StopCondition::Steady`]: a guard
+        /// against dynamic workloads that never settle.
+        const STEADY_CAP: usize = 100_000;
         let start_round = self.round;
-        let (cap, threshold, window) = match condition {
-            StopCondition::MaxRounds(r) => (r, None, None),
+        let (cap, threshold, window, mut steady) = match condition {
+            StopCondition::MaxRounds(r) => (r, None, None, None),
             StopCondition::BalancedWithin {
                 threshold,
                 max_rounds,
-            } => (max_rounds, Some(threshold), None),
-            StopCondition::Plateau { window, max_rounds } => (max_rounds, None, Some(window)),
+            } => (max_rounds, Some(threshold), None, None),
+            StopCondition::Plateau { window, max_rounds } => (max_rounds, None, Some(window), None),
+            StopCondition::Steady { window } => {
+                (STEADY_CAP, None, None, Some(SteadyTracker::steady(window)))
+            }
+            StopCondition::Horizon(r) => (r, None, None, Some(SteadyTracker::horizon(r))),
         };
         let mut tracker = window.map(RemainingImbalance::new);
-        // Graceful degradation: under fault injection, watch the fused
-        // per-round deviation for runaway growth (or non-finite values)
-        // and fall back SOS→FOS through the ordinary hybrid switching
-        // machinery. Disarmed (and branch-free after the first check)
-        // for `faults=none`.
-        let mut watch = DivergenceWatch::new(!self.scheme_kernel.faults.is_none());
+        // Graceful degradation: under fault or dynamic-load injection,
+        // watch the fused per-round deviation for runaway growth (or
+        // non-finite values) and fall back SOS→FOS through the ordinary
+        // hybrid switching machinery. Disarmed (and branch-free after
+        // the first check) for unperturbed runs.
+        let mut watch = DivergenceWatch::new(
+            !self.scheme_kernel.faults.is_none() || !self.scheme_kernel.loads.is_none(),
+        );
         let mut degraded = false;
-        let mut reason = StopReason::MaxRounds;
+        let mut reason = match condition {
+            StopCondition::Horizon(_) => StopReason::Horizon,
+            _ => StopReason::MaxRounds,
+        };
         let mut remaining = None;
         let mut switch_round = None;
         for _ in 0..cap {
@@ -804,6 +878,17 @@ impl<'g> Simulator<'g> {
                     }
                 }
             }
+            if let Some(st) = steady.as_mut() {
+                st.push(
+                    self.round_stats
+                        .expect("step() fills the fused round statistics")
+                        .max_dev,
+                );
+                if st.is_steady() {
+                    reason = StopReason::Steady;
+                    break;
+                }
+            }
         }
         RunReport {
             rounds: self.round - start_round,
@@ -815,6 +900,8 @@ impl<'g> Simulator<'g> {
             switch_round,
             degraded,
             faults: self.fault_events(),
+            load: self.load_events(),
+            steady: steady.as_ref().and_then(SteadyTracker::stats),
         }
     }
 
@@ -822,6 +909,13 @@ impl<'g> Simulator<'g> {
     /// for `faults=none`).
     pub fn fault_events(&self) -> FaultEvents {
         self.scratch.fault.events
+    }
+
+    /// Dynamic-load events injected over this simulator's lifetime (all
+    /// zero for `load=none`). The `injected` field is the net token
+    /// delta, so conservation reads `total == initial + injected`.
+    pub fn load_events(&self) -> LoadEvents {
+        self.scratch.load.events
     }
 
     /// Maximum absolute per-node load difference to another simulation on
@@ -1205,6 +1299,7 @@ mod tests {
             flow_memory: FlowMemory::Rounded,
             threads: 1,
             faults: FaultSpec::none(),
+            load: LoadSpec::none(),
         };
         config.with_threads(0);
     }
@@ -1219,6 +1314,7 @@ mod tests {
             flow_memory: FlowMemory::Rounded,
             threads: 1,
             faults: FaultSpec::none(),
+            load: LoadSpec::none(),
         };
         let mut sim = Simulator::build(&g, config, InitialLoad::EqualPerNode(10), None).unwrap();
         sim.step();

@@ -96,6 +96,9 @@ pub enum BuildError {
     /// A fault-injection plan carried an out-of-range probability or
     /// rate (each must be a finite value in `[0, 1]`).
     InvalidFaults(String),
+    /// A dynamic-load plan carried an out-of-range parameter (negative
+    /// or non-finite rate/amplitude, zero period, …).
+    InvalidLoad(String),
     /// The operation needs a discrete-mode experiment.
     RequiresDiscrete(&'static str),
     /// Building the topology failed.
@@ -146,6 +149,7 @@ impl fmt::Display for BuildError {
             BuildError::InvalidInitialLoad(msg) => write!(f, "invalid initial load: {msg}"),
             BuildError::InvalidStopCondition(msg) => write!(f, "invalid stop condition: {msg}"),
             BuildError::InvalidFaults(msg) => write!(f, "invalid fault plan: {msg}"),
+            BuildError::InvalidLoad(msg) => write!(f, "invalid load plan: {msg}"),
             BuildError::RequiresDiscrete(what) => {
                 write!(f, "{what} requires a discrete-mode experiment")
             }

@@ -37,6 +37,7 @@ use crate::error::BuildError;
 use crate::fault::FaultSpec;
 use crate::hybrid::SwitchPolicy;
 use crate::init::InitialLoad;
+use crate::load::LoadSpec;
 use crate::observer::Observer;
 use crate::rounding::{Rounding, RoundingSpec};
 use crate::scheme::Scheme;
@@ -81,6 +82,7 @@ struct Parts<'g> {
     hybrid: Option<SwitchPolicy>,
     stop: StopCondition,
     faults: FaultSpec,
+    load: LoadSpec,
 }
 
 /// Typestate builder for [`Experiment`]s; see [`Experiment::on`].
@@ -192,6 +194,14 @@ impl<'g, S> ExperimentBuilder<'g, S> {
         self.parts.faults = faults;
         self
     }
+
+    /// Sets the deterministic dynamic-load plan (default:
+    /// [`LoadSpec::none`]). Out-of-range generator parameters are
+    /// reported as [`BuildError::InvalidLoad`] at build.
+    pub fn load(mut self, load: LoadSpec) -> Self {
+        self.parts.load = load;
+        self
+    }
 }
 
 impl<'g> ExperimentBuilder<'g, NeedsMode> {
@@ -230,7 +240,8 @@ impl<'g> ExperimentBuilder<'g, Ready> {
     /// [`BuildError::HybridRequiresDiffusion`],
     /// [`BuildError::SpeedsLengthMismatch`], [`BuildError::MissingSeed`],
     /// [`BuildError::ZeroThreads`], [`BuildError::InvalidInitialLoad`],
-    /// or [`BuildError::InvalidStopCondition`].
+    /// [`BuildError::InvalidStopCondition`], [`BuildError::InvalidFaults`],
+    /// or [`BuildError::InvalidLoad`].
     pub fn build(self) -> Result<Experiment<'g>, BuildError> {
         let Parts {
             graph,
@@ -244,6 +255,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
             hybrid,
             stop,
             faults,
+            load,
         } = self.parts;
         let n = graph.node_count();
         if n == 0 {
@@ -282,6 +294,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
         init.check(n).map_err(BuildError::InvalidInitialLoad)?;
         stop.check()?;
         faults.check()?;
+        load.check()?;
         Ok(Experiment {
             graph,
             config: SimulationConfig {
@@ -291,6 +304,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
                 flow_memory,
                 threads,
                 faults,
+                load,
             },
             init,
             hybrid,
@@ -330,6 +344,7 @@ impl<'g> Experiment<'g> {
                 hybrid: None,
                 stop: StopCondition::MaxRounds(1000),
                 faults: FaultSpec::none(),
+                load: LoadSpec::none(),
             },
             _state: PhantomData,
         }
@@ -368,6 +383,11 @@ impl<'g> Experiment<'g> {
     /// The fault-injection plan ([`FaultSpec::none`] when unset).
     pub fn faults(&self) -> FaultSpec {
         self.config.faults
+    }
+
+    /// The dynamic-load plan ([`LoadSpec::none`] when unset).
+    pub fn load(&self) -> LoadSpec {
+        self.config.load
     }
 
     /// The stop condition of [`Experiment::run`].
@@ -440,6 +460,7 @@ impl<'g> Experiment<'g> {
             flow_memory: self.config.flow_memory,
             threads: self.config.threads,
             faults: self.config.faults,
+            load: self.config.load,
         };
         let mut continuous =
             Simulator::build(self.graph, continuous_config, self.init.clone(), None)

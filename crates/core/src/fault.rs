@@ -41,7 +41,7 @@ use std::str::FromStr;
 use sodiff_graph::{matching, Graph};
 
 use crate::error::{BuildError, ParseError};
-use crate::rng::{nth_u64, round_key, unit_f64};
+use crate::rng::{nth_u64, salted_stream_key, unit_f64};
 
 /// Length of a crash epoch in rounds: the node churn schedule redraws
 /// which nodes are down every `EPOCH_LEN` rounds, so crash/rejoin events
@@ -144,7 +144,7 @@ impl FaultSpec {
         match self.crash {
             None => vec![true; n],
             Some(FaultChannel { p, seed }) => {
-                let key = round_key(seed ^ CRASH_SALT, round / EPOCH_LEN);
+                let key = salted_stream_key(seed, CRASH_SALT, round / EPOCH_LEN);
                 let mut draws = vec![0u64; n];
                 crate::rng::fill_first_draws(key, 0, &mut draws);
                 draws.iter().map(|&d| unit_f64(d) >= p).collect()
@@ -341,7 +341,8 @@ impl FaultState {
             Self::fill_edge_mask(
                 &mut self.drop,
                 &mut self.draws,
-                seed ^ DROP_SALT,
+                seed,
+                DROP_SALT,
                 p,
                 round,
                 m,
@@ -351,7 +352,8 @@ impl FaultState {
             Self::fill_edge_mask(
                 &mut self.stale,
                 &mut self.draws,
-                seed ^ STALE_SALT,
+                seed,
+                STALE_SALT,
                 p,
                 round,
                 m,
@@ -379,7 +381,11 @@ impl FaultState {
         let m = graph.edge_count();
         let nw = n.div_ceil(64).max(1);
         self.draws.resize(n.max(m).max(1), 0);
-        crate::rng::fill_first_draws(round_key(seed ^ CRASH_SALT, epoch), 0, &mut self.draws[..n]);
+        crate::rng::fill_first_draws(
+            salted_stream_key(seed, CRASH_SALT, epoch),
+            0,
+            &mut self.draws[..n],
+        );
         let first = self.epoch.is_none();
         self.live_nodes.resize(nw, 0);
         let mut live_count = 0usize;
@@ -422,13 +428,14 @@ impl FaultState {
     fn fill_edge_mask(
         out: &mut Vec<u64>,
         draws: &mut Vec<u64>,
-        salted_seed: u64,
+        seed: u64,
+        salt: u64,
         p: f64,
         round: u64,
         m: usize,
     ) {
         draws.resize(draws.len().max(m).max(1), 0);
-        crate::rng::fill_first_draws(round_key(salted_seed, round), 0, &mut draws[..m]);
+        crate::rng::fill_first_draws(salted_stream_key(seed, salt, round), 0, &mut draws[..m]);
         let mw = m.div_ceil(64).max(1);
         out.clear();
         out.resize(mw, 0);
@@ -526,7 +533,7 @@ impl FaultState {
     /// this round to have run (live sets current).
     pub fn shock_targets(&self, spec: &FaultSpec, round: u64, n: usize) -> Option<(usize, usize)> {
         let FaultChannel { p, seed } = spec.shock?;
-        let key = round_key(seed ^ SHOCK_SALT, round);
+        let key = salted_stream_key(seed, SHOCK_SALT, round);
         if unit_f64(nth_u64(key, 0)) >= p {
             return None;
         }

@@ -442,6 +442,7 @@ mod tests {
                 graph,
                 &speeds,
                 crate::fault::FaultSpec::none(),
+                crate::load::LoadSpec::none(),
             )
             .unwrap(),
         )

@@ -28,10 +28,11 @@
 //! | `rounding` | `randomized`, `round_down`, `nearest`, `unbiased` | `randomized` |
 //! | `seed` | integer | *unset* (randomized kinds then fail to build) |
 //! | `init` | `paper`, `point:NODE:TOTAL`, `equal:PER`, `ramp:MAX`, `random:TOTAL:SEED` | `paper` |
-//! | `stop` | `rounds:N`, `balanced:THRESHOLD:MAX`, `plateau:WINDOW:MAX` | `rounds:1000` |
+//! | `stop` | `rounds:N`, `balanced:THRESHOLD:MAX`, `plateau:WINDOW:MAX`, `steady:WINDOW`, `horizon:R` | `rounds:1000` |
 //! | `threads` | positive integer | `1` |
 //! | `flow_memory` | `rounded`, `scheduled` | `rounded` |
 //! | `faults` | `none`, or `+`-joined `crash:P:SEED`, `edgedrop:P:SEED`, `shock:RATE:SEED`, `stale:P:SEED` | `none` |
+//! | `load` | `none`, or `+`-joined `poisson:RATE:SEED`, `hotspot:NODE:BURST:PERIOD:SEED`, `diurnal:AMP:PERIOD`, `adversarial:BURST:PERIOD:SEED` | `none` |
 //! | `hybrid` | `at:R`, `local_diff:T`, `max_minus_avg:T`, `never` | *unset* |
 
 use std::fmt;
@@ -45,6 +46,7 @@ use crate::experiment::Experiment;
 use crate::fault::FaultSpec;
 use crate::hybrid::SwitchPolicy;
 use crate::init::InitialLoad;
+use crate::load::LoadSpec;
 use crate::rounding::RoundingSpec;
 use crate::scheme::Scheme;
 
@@ -431,6 +433,15 @@ pub enum StopSpec {
         /// Hard round cap.
         max_rounds: usize,
     },
+    /// Until the deviation reaches steady state under a dynamic
+    /// workload (`steady:WINDOW`; built-in 100 000-round cap).
+    Steady {
+        /// Steady-state detection window.
+        window: usize,
+    },
+    /// Exactly `R` rounds with whole-run deviation statistics
+    /// (`horizon:R`).
+    Horizon(usize),
 }
 
 impl Default for StopSpec {
@@ -454,6 +465,8 @@ impl StopSpec {
             StopSpec::Plateau { window, max_rounds } => {
                 StopCondition::Plateau { window, max_rounds }
             }
+            StopSpec::Steady { window } => StopCondition::Steady { window },
+            StopSpec::Horizon(r) => StopCondition::Horizon(r),
         }
     }
 }
@@ -469,6 +482,8 @@ impl fmt::Display for StopSpec {
             StopSpec::Plateau { window, max_rounds } => {
                 write!(f, "plateau:{window}:{max_rounds}")
             }
+            StopSpec::Steady { window } => write!(f, "steady:{window}"),
+            StopSpec::Horizon(r) => write!(f, "horizon:{r}"),
         }
     }
 }
@@ -481,7 +496,7 @@ impl FromStr for StopSpec {
         let bad = || {
             ParseError::new(format!(
                 "invalid stop condition '{s}' (expected rounds:N, balanced:THRESHOLD:MAX, \
-                 or plateau:WINDOW:MAX)"
+                 plateau:WINDOW:MAX, steady:WINDOW, or horizon:R)"
             ))
         };
         // Range violations are caught here so scenario files get a
@@ -512,6 +527,24 @@ impl FromStr for StopSpec {
                     window,
                     max_rounds: max.parse().map_err(|_| bad())?,
                 })
+            }
+            ["steady", window] => {
+                let window: usize = window.parse().map_err(|_| bad())?;
+                if window == 0 {
+                    return Err(ParseError::new(format!(
+                        "invalid stop condition '{s}': steady window must be positive"
+                    )));
+                }
+                Ok(StopSpec::Steady { window })
+            }
+            ["horizon", r] => {
+                let r: usize = r.parse().map_err(|_| bad())?;
+                if r == 0 {
+                    return Err(ParseError::new(format!(
+                        "invalid stop condition '{s}': horizon must be positive"
+                    )));
+                }
+                Ok(StopSpec::Horizon(r))
             }
             _ => Err(bad()),
         }
@@ -564,6 +597,9 @@ pub struct ScenarioSpec {
     pub flow_memory: FlowMemory,
     /// Deterministic fault injection ([`FaultSpec::none`] = clean run).
     pub faults: FaultSpec,
+    /// Deterministic dynamic-load injection ([`LoadSpec::none`] = the
+    /// static workload).
+    pub load: LoadSpec,
     /// Optional SOS→FOS hybrid switch.
     pub hybrid: Option<SwitchPolicy>,
     /// 1-based line of the scenario file this spec came from, when
@@ -589,6 +625,7 @@ impl PartialEq for ScenarioSpec {
             && self.threads == other.threads
             && self.flow_memory == other.flow_memory
             && self.faults == other.faults
+            && self.load == other.load
             && self.hybrid == other.hybrid
     }
 }
@@ -608,6 +645,7 @@ impl ScenarioSpec {
             threads: 1,
             flow_memory: FlowMemory::default(),
             faults: FaultSpec::none(),
+            load: LoadSpec::none(),
             hybrid: None,
             source_line: None,
         }
@@ -647,7 +685,8 @@ impl ScenarioSpec {
             .threads(self.threads)
             .init(self.init.resolve(n))
             .stop(self.stop.to_condition())
-            .faults(self.faults);
+            .faults(self.faults)
+            .load(self.load);
         if !matches!(self.speeds, SpeedsSpec::Uniform) {
             builder = builder.speeds(speeds);
         }
@@ -731,6 +770,9 @@ impl fmt::Display for ScenarioSpec {
         if !self.faults.is_none() {
             write!(f, " faults={}", self.faults)?;
         }
+        if !self.load.is_none() {
+            write!(f, " load={}", self.load)?;
+        }
         if let Some(policy) = self.hybrid {
             write!(f, " hybrid={policy}")?;
         }
@@ -754,6 +796,7 @@ impl FromStr for ScenarioSpec {
         let mut threads = None;
         let mut flow_memory = None;
         let mut faults = None;
+        let mut load = None;
         let mut hybrid = None;
         for token in s.split_whitespace() {
             let (key, value) = token
@@ -840,6 +883,10 @@ impl FromStr for ScenarioSpec {
                     duplicate(faults.is_some())?;
                     faults = Some(value.parse::<FaultSpec>()?);
                 }
+                "load" => {
+                    duplicate(load.is_some())?;
+                    load = Some(value.parse::<LoadSpec>()?);
+                }
                 "hybrid" => {
                     duplicate(hybrid.is_some())?;
                     hybrid = Some(value.parse::<SwitchPolicy>()?);
@@ -872,6 +919,7 @@ impl FromStr for ScenarioSpec {
             threads: threads.unwrap_or(1),
             flow_memory: flow_memory.unwrap_or_default(),
             faults: faults.unwrap_or_else(FaultSpec::none),
+            load: load.unwrap_or_else(LoadSpec::none),
             hybrid,
             source_line: None,
         })
@@ -924,6 +972,20 @@ mod tests {
                 "topology=cycle:8 faults=none faults=none",
                 "duplicate key 'faults'",
             ),
+            ("topology=cycle:8 load=poisson", "in load"),
+            ("topology=cycle:8 load=poisson:-1:2", "in load"),
+            (
+                "topology=cycle:8 load=none load=none",
+                "duplicate key 'load'",
+            ),
+            (
+                "topology=cycle:8 stop=steady:0",
+                "steady window must be positive",
+            ),
+            (
+                "topology=cycle:8 stop=horizon:0",
+                "horizon must be positive",
+            ),
         ] {
             let err = text.parse::<ScenarioSpec>().unwrap_err();
             assert!(
@@ -962,6 +1024,34 @@ mod tests {
         );
         let text = spec.to_string();
         assert!(text.contains("faults=crash:0.1:7+shock:0.05:9"), "{text}");
+        let again: ScenarioSpec = text.parse().unwrap();
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn load_key_roundtrips_and_defaults_to_none() {
+        let spec: ScenarioSpec = "topology=cycle:8".parse().unwrap();
+        assert!(spec.load.is_none());
+        assert!(!spec.to_string().contains("load="));
+
+        let spec: ScenarioSpec =
+            "topology=torus2d:8:8 scheme=sos:1.7 mode=discrete rounding=nearest \
+             load=poisson:0.5:7+hotspot:0:100:16:3 stop=steady:32"
+                .parse()
+                .unwrap();
+        assert_eq!(
+            spec.load,
+            LoadSpec::none()
+                .with_poisson(0.5, 7)
+                .with_hotspot(0, 100, 16, 3)
+        );
+        assert_eq!(spec.stop, StopSpec::Steady { window: 32 });
+        let text = spec.to_string();
+        assert!(
+            text.contains("load=poisson:0.5:7+hotspot:0:100:16:3"),
+            "{text}"
+        );
+        assert!(text.contains("stop=steady:32"), "{text}");
         let again: ScenarioSpec = text.parse().unwrap();
         assert_eq!(again, spec);
     }

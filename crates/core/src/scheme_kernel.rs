@@ -28,6 +28,12 @@
 //!   families are incrementally repaired at crash epochs); with
 //!   `faults=none` every hot loop below takes exactly its original
 //!   unperturbed path.
+//! * [`crate::LoadSpec`] — *what work arrives* each round: Poisson
+//!   arrivals/departures, periodic hotspot bursts, a diurnal swing, and
+//!   an adversarial most-loaded-node injector, all planned and applied
+//!   by the control thread before the round's flow pass (see the `load`
+//!   module). With `load=none` every run takes exactly the pre-load
+//!   code paths.
 //!
 //! The masked plans run through `*_masked` kernel variants that force
 //! inactive edges' flows to zero with a branchless bit test; the
@@ -63,6 +69,7 @@ use crate::engine::{FlowMemory, Mode};
 use crate::error::BuildError;
 use crate::fault::{EffBase, FaultSpec, FaultState};
 use crate::kernel::{self, AtomicsF64, AtomicsI64, FwScratch, KernelTables, LoadStats};
+use crate::load::{LoadSpec, LoadState};
 use crate::matchgen::{self, mask_words, MatchScratch};
 use crate::rounding::Rounding;
 use crate::scheme::{MatchingStrategy, Scheme};
@@ -124,6 +131,9 @@ pub(crate) struct RoundScratch {
     /// Fault-injection state: live sets, repaired sweep masks, per-round
     /// drop/stale masks, and the accumulated event counters.
     pub fault: FaultState,
+    /// Dynamic-workload state: the round's planned injection deltas and
+    /// the accumulated event counters / injected-total account.
+    pub load: LoadState,
 }
 
 impl RoundScratch {
@@ -173,6 +183,8 @@ pub(crate) struct SchemeKernel {
     match_pairs: Vec<u64>,
     /// The fault-injection axis (`FaultSpec::none()` = unperturbed).
     pub faults: FaultSpec,
+    /// The dynamic-workload axis (`LoadSpec::none()` = static load).
+    pub loads: LoadSpec,
 }
 
 /// Builds the edge bitmask of one active set.
@@ -234,9 +246,11 @@ impl SchemeKernel {
         graph: &Graph,
         speeds: &Speeds,
         faults: FaultSpec,
+        loads: LoadSpec,
     ) -> Result<Self, BuildError> {
         Self::validate(scheme, graph)?;
         faults.check()?;
+        loads.check()?;
         let flow = match mode {
             Mode::Continuous => FlowPass::Continuous,
             Mode::Discrete(Rounding::RandomizedFramework { seed }) => FlowPass::Framework { seed },
@@ -289,6 +303,7 @@ impl SchemeKernel {
             coef_head,
             match_pairs: Vec::new(),
             faults,
+            loads,
         })
     }
 
@@ -420,7 +435,10 @@ impl SchemeKernel {
         stale_out: &[AtomicU64],
     ) {
         let RoundScratch {
-            matchgen, fault, ..
+            matchgen,
+            fault,
+            load,
+            ..
         } = scratch;
         if !self.faults.is_none() {
             fault.begin_round(&self.faults, graph, round, self.sweep_family());
@@ -442,6 +460,22 @@ impl SchemeKernel {
                         fault.events.shocks += 1;
                     }
                 }
+            }
+        }
+        if !self.loads.is_none() {
+            // Load deltas land before the flow pass and before the first
+            // barrier (workers parked), same as the shock channel, so
+            // both executors balance identical per-round loads.
+            if loads_f.is_empty() {
+                load.plan_round(&self.loads, round, t.n, true, |i| {
+                    loads_i[i].load(Relaxed) as f64
+                });
+                load.apply_atomic_i64(loads_i);
+            } else {
+                load.plan_round(&self.loads, round, t.n, false, |i| {
+                    f64::from_bits(loads_f[i].load(Relaxed))
+                });
+                load.apply_atomic_f64(loads_f);
             }
         }
         let publish = self.needs_random_mask() || self.needs_fault_mask();
@@ -483,6 +517,7 @@ impl SchemeKernel {
             matchgen,
             block_sums,
             fault,
+            load,
         } = scratch;
         if !self.faults.is_none() {
             fault.begin_round(&self.faults, graph, round, self.sweep_family());
@@ -494,6 +529,10 @@ impl SchemeKernel {
                     fault.events.shocks += 1;
                 }
             }
+        }
+        if !self.loads.is_none() {
+            load.plan_round(&self.loads, round, n, true, |i| loads[i] as f64);
+            load.apply_i64(loads);
         }
         let mask = self.round_mask(round, t, matchgen, fault);
         match self.flow {
@@ -624,6 +663,7 @@ impl SchemeKernel {
             matchgen,
             block_sums,
             fault,
+            load,
             ..
         } = scratch;
         if !self.faults.is_none() {
@@ -636,6 +676,10 @@ impl SchemeKernel {
                     fault.events.shocks += 1;
                 }
             }
+        }
+        if !self.loads.is_none() {
+            load.plan_round(&self.loads, round, n, false, |i| loads[i]);
+            load.apply_f64(loads);
         }
         let mask = self.round_mask(round, t, matchgen, fault);
         match mask {
@@ -1069,6 +1113,7 @@ mod tests {
             &g,
             &Speeds::uniform(16),
             FaultSpec::none(),
+            LoadSpec::none(),
         )
         .unwrap();
         let ActivePlan::Sweep { masks, recover } = &k.plan else {
@@ -1109,6 +1154,7 @@ mod tests {
             &g,
             &speeds,
             FaultSpec::none(),
+            LoadSpec::none(),
         )
         .unwrap();
         let t = tables(&g);
@@ -1147,6 +1193,7 @@ mod tests {
             &g,
             &speeds,
             FaultSpec::none(),
+            LoadSpec::none(),
         )
         .unwrap();
         let t = tables(&g);
@@ -1197,6 +1244,7 @@ mod tests {
             &g,
             &Speeds::uniform(16),
             faults,
+            LoadSpec::none(),
         )
         .unwrap();
         let t = tables(&g);

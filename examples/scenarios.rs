@@ -81,6 +81,9 @@ fn main() {
         batch.worst_max_minus_avg,
         batch.mean_max_minus_avg
     );
+    if let Some(p99) = batch.worst_steady_p99 {
+        println!("steady-state scenarios: worst p99 deviation {p99:.2}");
+    }
     if !batch.errors.is_empty() {
         eprintln!("\n{} scenario(s) failed:", batch.errors.len());
         for e in &batch.errors {

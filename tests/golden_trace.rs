@@ -230,6 +230,30 @@ fn torus_sos_crash_churn() {
     }
 }
 
+/// Dynamic-workload injection is part of the pinned surface: a Poisson
+/// arrival/departure SOS run must reproduce this trace on the
+/// sequential executor and on the pool. Pinned when the `LoadSpec` axis
+/// was introduced; the re-pin policy above applies (a load plan is a
+/// randomized decision stream keyed by `(generator, seed, round)` —
+/// changing which stream a generator consumes needs the full
+/// justification, not just a new constant).
+#[test]
+fn torus_sos_poisson() {
+    let g = generators::torus2d(8, 8);
+    for threads in [1, 3] {
+        let sim = Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .sos(1.7)
+            .threads(threads)
+            .init(InitialLoad::point(0, 6400))
+            .load(LoadSpec::none().with_poisson(0.5, 7))
+            .build()
+            .unwrap()
+            .simulator();
+        run_and_check("torus_sos_poisson", 0x528126d94fdd1296, sim, 64);
+    }
+}
+
 #[test]
 fn regular_matching_random_heterogeneous() {
     // Random per-round maximal matchings + per-edge unbiased rounding +

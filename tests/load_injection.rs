@@ -1,0 +1,278 @@
+//! Dynamic-workload subsystem: determinism across executors,
+//! conservation with injection, composition with fault channels, and
+//! the steady-state run modes.
+
+use proptest::prelude::*;
+
+use sodiff::core::Driver;
+use sodiff::graph::generators;
+use sodiff::prelude::*;
+use sodiff::ScenarioSpec;
+
+fn loaded_sim(g: &sodiff::graph::Graph, load: LoadSpec, threads: usize) -> Simulator<'_> {
+    let n = g.node_count();
+    Experiment::on(g)
+        .discrete(Rounding::nearest())
+        .sos(1.7)
+        .threads(threads)
+        .init(InitialLoad::point(0, (n * 100) as i64))
+        .load(load)
+        .build()
+        .unwrap()
+        .simulator()
+}
+
+/// Any dynamic run is bit-identical sequential vs pooled across thread
+/// counts: every generator draws from counter-indexed streams on the
+/// control thread before the round's flow pass, so the executor cannot
+/// influence the injected deltas.
+#[test]
+fn loaded_runs_are_bit_identical_across_executors() {
+    let g = generators::torus2d(6, 6);
+    let combos = [
+        LoadSpec::none().with_poisson(0.8, 7),
+        LoadSpec::none().with_hotspot(5, 40, 8, 11),
+        LoadSpec::none().with_diurnal(25.0, 16),
+        LoadSpec::none().with_adversarial(30, 6, 5),
+        LoadSpec::none()
+            .with_poisson(0.5, 1)
+            .with_hotspot(0, 20, 4, 2)
+            .with_diurnal(10.0, 12)
+            .with_adversarial(15, 9, 3),
+    ];
+    for load in combos {
+        let mut reference = loaded_sim(&g, load, 1);
+        for _ in 0..48 {
+            reference.step();
+        }
+        for threads in [2usize, 3, 5] {
+            let mut sim = loaded_sim(&g, load, threads);
+            for _ in 0..48 {
+                sim.step();
+            }
+            assert_eq!(
+                sim.loads_i64().unwrap(),
+                reference.loads_i64().unwrap(),
+                "{load} loads diverged at {threads} threads"
+            );
+            assert_eq!(
+                sim.previous_flows(),
+                reference.previous_flows(),
+                "{load} flow memory diverged at {threads} threads"
+            );
+            assert_eq!(
+                sim.load_events(),
+                reference.load_events(),
+                "{load} event counts diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random load-plan × scheme combinations stay executor-independent
+    /// and satisfy the injected-total invariant every round: the total
+    /// load equals the initial total plus the net injected delta.
+    #[test]
+    fn random_load_plans_conserve_and_match_pooled(
+        channels in 1u8..16,
+        rate in 0.0f64..2.0,
+        burst in 1i64..80,
+        period in 1u64..10,
+        seeds in (0u64..100, 0u64..100, 0u64..100),
+        sos in 0u8..2,
+        threads in 2usize..5,
+    ) {
+        // `channels` is a bitmask picking a nonempty subset of the four
+        // generators, so every combination (including all-on) is drawn.
+        let mut load = LoadSpec::none();
+        if channels & 1 != 0 { load = load.with_poisson(rate, seeds.0); }
+        if channels & 2 != 0 { load = load.with_hotspot(3, burst, period, seeds.1); }
+        if channels & 4 != 0 { load = load.with_diurnal(burst as f64, period + 2); }
+        if channels & 8 != 0 { load = load.with_adversarial(burst, period, seeds.2); }
+        let sos = sos == 1;
+        let g = generators::torus2d(5, 5);
+        let build = |threads: usize| {
+            let e = Experiment::on(&g).discrete(Rounding::randomized(9));
+            let e = if sos { e.sos(1.6) } else { e.fos() };
+            e.threads(threads)
+                .init(InitialLoad::point(0, 2500))
+                .load(load)
+                .build()
+                .unwrap()
+                .simulator()
+        };
+        let mut seq = build(1);
+        let mut pooled = build(threads);
+        for _ in 0..40 {
+            seq.step();
+            pooled.step();
+            let injected = seq.load_events().injected;
+            prop_assert_eq!(
+                seq.total_load(),
+                2500.0 + injected,
+                "sequential run broke the injected-total invariant"
+            );
+            prop_assert_eq!(seq.loads_i64().unwrap(), pooled.loads_i64().unwrap());
+        }
+        prop_assert_eq!(seq.previous_flows(), pooled.previous_flows());
+        prop_assert_eq!(seq.load_events(), pooled.load_events());
+    }
+
+    /// Load generators compose with fault channels: the combined run is
+    /// still executor-independent, and the injected-total invariant
+    /// still holds (fault channels conserve, injection accounts).
+    #[test]
+    fn load_composes_with_faults_deterministically(
+        load_channels in 1u8..16,
+        fault_channels in 1u8..16,
+        threads in 2usize..5,
+    ) {
+        let mut load = LoadSpec::none();
+        if load_channels & 1 != 0 { load = load.with_poisson(0.6, 7); }
+        if load_channels & 2 != 0 { load = load.with_hotspot(2, 30, 5, 11); }
+        if load_channels & 4 != 0 { load = load.with_diurnal(12.0, 9); }
+        if load_channels & 8 != 0 { load = load.with_adversarial(20, 7, 13); }
+        let mut faults = FaultSpec::none();
+        if fault_channels & 1 != 0 { faults = faults.with_crash(0.15, 1); }
+        if fault_channels & 2 != 0 { faults = faults.with_edgedrop(0.2, 2); }
+        if fault_channels & 4 != 0 { faults = faults.with_shock(0.1, 3); }
+        if fault_channels & 8 != 0 { faults = faults.with_stale(0.15, 4); }
+        let g = generators::torus2d(5, 5);
+        let build = |threads: usize| {
+            Experiment::on(&g)
+                .discrete(Rounding::nearest())
+                .sos(1.5)
+                .threads(threads)
+                .init(InitialLoad::point(0, 2500))
+                .faults(faults)
+                .load(load)
+                .build()
+                .unwrap()
+                .simulator()
+        };
+        let mut seq = build(1);
+        let mut pooled = build(threads);
+        for _ in 0..40 {
+            seq.step();
+            pooled.step();
+            prop_assert_eq!(
+                seq.total_load(),
+                2500.0 + seq.load_events().injected,
+                "faulted dynamic run broke the injected-total invariant"
+            );
+            prop_assert_eq!(seq.loads_i64().unwrap(), pooled.loads_i64().unwrap());
+        }
+        prop_assert_eq!(seq.fault_events(), pooled.fault_events());
+        prop_assert_eq!(seq.load_events(), pooled.load_events());
+    }
+}
+
+/// `stop=horizon:R` runs exactly R rounds, never self-stops, and
+/// reports windowed deviation statistics over the whole horizon plus
+/// the injected-total accounting.
+#[test]
+fn horizon_mode_reports_steady_stats_and_accounting() {
+    let g = generators::torus2d(6, 6);
+    let mut sim = Experiment::on(&g)
+        .discrete(Rounding::nearest())
+        .sos(1.7)
+        .init(InitialLoad::point(0, 3600))
+        .load(
+            LoadSpec::none()
+                .with_poisson(0.7, 7)
+                .with_hotspot(5, 25, 6, 3),
+        )
+        .build()
+        .unwrap()
+        .simulator();
+    let report = sim.run_until(StopCondition::Horizon(40));
+    assert_eq!(report.rounds, 40);
+    assert_eq!(report.reason, StopReason::Horizon);
+    let stats = report.steady.expect("horizon mode always reports stats");
+    assert_eq!(stats.window, 40);
+    assert!(stats.mean_dev.is_finite() && stats.mean_dev >= 0.0);
+    assert!(stats.max_dev >= stats.p99_dev && stats.p99_dev >= 0.0);
+    assert!(
+        report.load.arrivals + report.load.departures > 0,
+        "generators never fired over 40 rounds"
+    );
+    assert_eq!(
+        sim.total_load(),
+        3600.0 + report.load.injected,
+        "report accounting must satisfy total == initial + injected"
+    );
+}
+
+/// `stop=steady:WINDOW` detects a flat deviation profile: a run that
+/// starts balanced (deviation pinned at zero) trips the detector as
+/// soon as both comparison windows fill.
+#[test]
+fn steady_mode_stops_on_flat_deviation() {
+    let g = generators::cycle(12);
+    let report = Experiment::on(&g)
+        .discrete(Rounding::nearest())
+        .fos()
+        .init(InitialLoad::EqualPerNode(100))
+        .stop(StopCondition::Steady { window: 8 })
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(report.reason, StopReason::Steady);
+    assert_eq!(report.rounds, 16, "detector trips once both windows fill");
+    let stats = report.steady.expect("steady mode always reports stats");
+    assert_eq!(stats.max_dev, 0.0, "balanced run has zero deviation");
+    // No load plan: the events report stays all-zero.
+    assert_eq!(report.load, LoadEvents::default());
+    assert!(report.steady.is_some());
+}
+
+/// Static stop conditions leave the steady report empty and the load
+/// accounting untouched, so existing callers see no behavior change.
+#[test]
+fn static_runs_report_no_steady_stats() {
+    let g = generators::cycle(8);
+    let report = Experiment::on(&g)
+        .discrete(Rounding::nearest())
+        .fos()
+        .init(InitialLoad::point(0, 800))
+        .stop(StopCondition::MaxRounds(20))
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(report.steady, None);
+    assert_eq!(report.load, LoadEvents::default());
+}
+
+/// Dynamic scenarios flow end to end through the text pipeline: parse,
+/// batch-drive, report injection counts and the worst steady p99.
+#[test]
+fn load_scenarios_run_through_the_driver() {
+    let specs = ScenarioSpec::parse_many(
+        "name=dynamic topology=torus2d:6:6 scheme=sos:1.7 rounding=nearest \
+         load=poisson:0.6:7+adversarial:20:5:3 stop=horizon:48\n\
+         name=static topology=torus2d:6:6 scheme=sos:1.7 rounding=nearest stop=rounds:48\n",
+    )
+    .unwrap();
+    let batch = Driver::new().run_batch(&specs);
+    assert!(batch.errors.is_empty(), "{:?}", batch.errors);
+    let dynamic = &batch.scenarios[0].report;
+    let static_run = &batch.scenarios[1].report;
+    assert!(
+        dynamic.load.arrivals + dynamic.load.departures > 0,
+        "load generators never fired"
+    );
+    assert!(dynamic.steady.is_some());
+    assert_eq!(static_run.load, LoadEvents::default());
+    assert_eq!(static_run.steady, None);
+    assert_eq!(
+        batch.worst_steady_p99,
+        dynamic.steady.map(|s| s.p99_dev),
+        "batch aggregates the worst steady p99 across scenarios"
+    );
+    // The dynamic spec round-trips with its load= key intact.
+    let reparsed: ScenarioSpec = batch.scenarios[0].spec.parse().unwrap();
+    assert_eq!(reparsed.load, specs[0].load);
+}

@@ -1,6 +1,6 @@
 //! Property tests for the scenario text format: `Display` → `FromStr`
 //! round-trips exactly for arbitrary valid specs over the whole
-//! scheme × rounding × mode × topology × stop-condition space.
+//! scheme × rounding × mode × topology × stop-condition × load space.
 
 use proptest::prelude::*;
 
@@ -86,7 +86,45 @@ fn any_stop() -> impl Strategy<Value = StopSpec> {
         }),
         (1usize..500, 1usize..100_000)
             .prop_map(|(window, max_rounds)| StopSpec::Plateau { window, max_rounds }),
+        (1usize..500).prop_map(|window| StopSpec::Steady { window }),
+        (1usize..100_000).prop_map(StopSpec::Horizon),
     ]
+}
+
+fn any_load() -> impl Strategy<Value = LoadSpec> {
+    // A bitmask picks which generators are present (0 = `load=none`),
+    // so every subset of channels — including the empty one — shows up.
+    (
+        0u64..16,
+        (0.0f64..1024.0, any::<u64>()),
+        ((0usize..100, 1i64..1000), (1u64..1000, any::<u64>())),
+        (0.0f64..1000.0, 1u64..1000),
+        ((1i64..1000, 1u64..1000), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                mask,
+                (rate, p_seed),
+                ((node, burst), (period, h_seed)),
+                (amp, d_period),
+                ((a_burst, a_period), a_seed),
+            )| {
+                let mut spec = LoadSpec::none();
+                if mask & 1 != 0 {
+                    spec = spec.with_poisson(rate, p_seed);
+                }
+                if mask & 2 != 0 {
+                    spec = spec.with_hotspot(node, burst, period, h_seed);
+                }
+                if mask & 4 != 0 {
+                    spec = spec.with_diurnal(amp, d_period);
+                }
+                if mask & 8 != 0 {
+                    spec = spec.with_adversarial(a_burst, a_period, a_seed);
+                }
+                spec
+            },
+        )
 }
 
 fn any_hybrid() -> impl Strategy<Value = Option<SwitchPolicy>> {
@@ -110,16 +148,16 @@ fn any_spec() -> impl Strategy<Value = ScenarioSpec> {
         ),
         (
             any_stop(),
+            any_load(),
             any_hybrid(),
             any::<bool>(),
-            0usize..5,
-            1usize..9,
+            (0usize..5, 1usize..9),
         ),
     )
         .prop_map(
             |(
                 (topology, speeds, scheme, mode, init),
-                (stop, hybrid, seeded, name_pick, threads),
+                (stop, load, hybrid, seeded, (name_pick, threads)),
             )| {
                 let mut spec = ScenarioSpec::new(topology);
                 spec.name = ["scenario", "fig_01", "a", "sweep-3", "x9"][name_pick].to_string();
@@ -129,6 +167,7 @@ fn any_spec() -> impl Strategy<Value = ScenarioSpec> {
                 spec.seed = seeded.then_some(12345);
                 spec.init = init;
                 spec.stop = stop;
+                spec.load = load;
                 spec.threads = threads;
                 spec.flow_memory = if seeded {
                     FlowMemory::Scheduled
@@ -215,6 +254,30 @@ fn scenario_parse_error_paths_are_specific() {
         (
             "topology=cycle:8 stop=plateau:a:100",
             "invalid stop condition",
+        ),
+        ("topology=cycle:8 stop=steady", "invalid stop condition"),
+        (
+            "topology=cycle:8 stop=steady:0",
+            "steady window must be positive",
+        ),
+        (
+            "topology=cycle:8 stop=horizon:0",
+            "horizon must be positive",
+        ),
+        // Load plans: unknown kinds, out-of-range parameters, duplicates.
+        ("topology=cycle:8 load=meteor:1:2", "unknown load kind"),
+        ("topology=cycle:8 load=poisson:-1:2", "outside [0, 1024]"),
+        (
+            "topology=cycle:8 load=hotspot:0:0:4:1",
+            "outside [1, 1000000000]",
+        ),
+        (
+            "topology=cycle:8 load=diurnal:5:0",
+            "diurnal period must be positive",
+        ),
+        (
+            "topology=cycle:8 load=poisson:1:2+poisson:3:4",
+            "duplicate load kind",
         ),
         // Other values.
         ("topology=cycle:8 seed=minus_one", "invalid seed"),
