@@ -14,7 +14,12 @@
 //! SOS kernel: `sos_faults_none` (the `sos_threshold_stop` configuration
 //! with an explicit `FaultSpec::none()`, CI's zero-cost comparator) and
 //! `sos_faults_crash` (crash churn at `p = 0.05`, timing the
-//! effective-mask/repair hot loop). A `driver_batch` entry additionally
+//! effective-mask/repair hot loop). Two checkpoint-axis cases do
+//! the same for persistence: `sos_ckpt_none` (the `sos_load_none`
+//! configuration with the checkpoint axis spelled out as disabled, CI's
+//! zero-cost comparator) and `sos_ckpt_every16` (a full versioned
+//! snapshot to disk every 16 rounds, timing serialization + write).
+//! A `driver_batch` entry additionally
 //! times a batch of scenarios through one pooled `Driver` (threads
 //! spawned once) against the same scenarios as separate `Simulator`s
 //! (one pool spawn each).
@@ -57,6 +62,9 @@ struct Case {
     /// Dynamic-workload plan for the run; `LoadSpec::none()` keeps the
     /// case on the pre-load code paths.
     loads: LoadSpec,
+    /// Auto-checkpoint config; `None` keeps the case on the
+    /// persistence-free round loop.
+    ckpt: Option<CheckpointConfig>,
 }
 
 struct Measurement {
@@ -86,12 +94,17 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
         Some(rounding) => builder.discrete(rounding),
         None => builder.continuous(),
     };
-    let mut sim = builder
+    let builder = builder
         .scheme(case.scheme)
         .threads(case.threads)
         .init(InitialLoad::paper_default(n))
         .faults(case.faults)
-        .load(case.loads)
+        .load(case.loads);
+    let builder = match &case.ckpt {
+        Some(ckpt) => builder.checkpoint(ckpt.clone()),
+        None => builder,
+    };
+    let mut sim = builder
         .build()
         .expect("valid benchmark experiment")
         .simulator();
@@ -299,6 +312,9 @@ fn main() {
     let big = generators::torus2d(big_side, big_side);
     let mid = generators::torus2d(mid_side, mid_side);
     let beta_mid = spectral::analyze(&mid, &Speeds::uniform(mid.node_count())).beta_opt();
+    // Scratch directory for the sos_ckpt_every16 snapshots.
+    let ckpt_dir = std::env::temp_dir().join(format!("sodiff-bench-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt_dir).expect("create checkpoint scratch dir");
 
     let cases: Vec<(&Graph, Case)> = vec![
         (
@@ -312,6 +328,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         (
@@ -325,6 +342,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         (
@@ -338,6 +356,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         (
@@ -351,6 +370,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         (
@@ -364,6 +384,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         (
@@ -377,6 +398,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         (
@@ -390,6 +412,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         (
@@ -403,6 +426,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         // Metric-stopped rounds: same kernel as sos_discrete_nearest but
@@ -420,6 +444,7 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         // Fault-injection axis. `sos_faults_none` is the exact
@@ -441,6 +466,7 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         (
@@ -454,6 +480,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none().with_crash(0.05, 42),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         // Dynamic-workload axis. `sos_load_none` is the exact
@@ -475,6 +502,7 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         (
@@ -488,6 +516,52 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none().with_poisson(2.0, 42),
+                ckpt: None,
+            },
+        ),
+        // Checkpoint axis. `sos_ckpt_none` is the exact `sos_load_none`
+        // configuration with the checkpoint config spelled out as `None`:
+        // the CI zero-cost gate compares the two in the same run to prove
+        // a disabled persistence axis costs nothing in the round loop.
+        // `sos_ckpt_every16` auto-writes the full versioned snapshot to
+        // disk every 16 rounds — serialization plus the fsync-free file
+        // write — and is gated at +25% over the committed ratio like the
+        // other kernels.
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_ckpt_none",
+                threads: 1,
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
+                threshold_stop: true,
+                faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
+                ckpt: None,
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_ckpt_every16",
+                threads: 1,
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
+                threshold_stop: true,
+                faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
+                ckpt: Some(CheckpointConfig {
+                    policy: CheckpointPolicy {
+                        every: 16,
+                        dir: ckpt_dir.clone(),
+                    },
+                    name: "sos_ckpt_every16".to_string(),
+                    spec_line: format!(
+                        "name=sos_ckpt_every16 topology=torus2d:{mid_side}:{mid_side}"
+                    ),
+                }),
             },
         ),
         // Pairwise schemes (scheme-kernel layer): the masked edge pass
@@ -505,6 +579,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         (
@@ -518,6 +593,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
         (
@@ -531,6 +607,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                ckpt: None,
             },
         ),
     ];
@@ -654,5 +731,6 @@ fn main() {
     }
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_rounds.json");
+    std::fs::remove_dir_all(&ckpt_dir).ok();
     println!("wrote {out_path}");
 }

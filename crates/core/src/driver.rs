@@ -24,7 +24,7 @@
 //! input order. A batch report therefore never depends on the driver's
 //! parallelism (proven by `tests/driver_concurrent.rs`).
 //!
-//! # Crash isolation
+//! # Crash isolation, retries, and durable recovery
 //!
 //! [`Driver::run_batch`] is infallible: a scenario that fails to build,
 //! panics mid-run, or diverges to non-finite loads is recorded as a
@@ -33,7 +33,17 @@
 //! keeps running**. Panics are caught per scenario; a pooled driver
 //! whose workers may be deserted mid-barrier by the panic quarantines
 //! that pool and transparently spawns a fresh one for the remaining
-//! scenarios.
+//! scenarios. With [`Driver::retries`], panicked scenarios get bounded
+//! re-runs (fresh pool, capped exponential backoff) before being
+//! recorded; attempt counts land in [`ScenarioReport::attempts`].
+//!
+//! Whole batches survive process death too: [`Driver::run_batch_durable`]
+//! writes a plain-text **recovery journal** (all spec lines up front,
+//! one `done`/`fail` line appended and flushed per finished scenario),
+//! and [`Driver::resume_batch`] replays it — completed scenarios are
+//! skipped, and scenarios that were checkpointing (`ckpt=every:N:DIR`,
+//! see [`crate::checkpoint`]) restart **bit-identically** from their
+//! latest snapshot instead of from round 0.
 //!
 //! # Example
 //!
@@ -51,16 +61,27 @@
 //! assert_eq!(batch.total_rounds, 150);
 //! ```
 
+use std::collections::HashSet;
 use std::fmt;
+use std::fs;
+use std::io::Write;
 use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use crate::checkpoint::{read_checkpoint, Checkpoint, CheckpointConfig};
 use crate::engine::RunReport;
-use crate::error::BuildError;
+use crate::error::{BuildError, CheckpointError, ParseError};
 use crate::pool::WorkerPool;
 use crate::scenario::ScenarioSpec;
+
+/// First line of every recovery journal.
+const JOURNAL_HEADER: &str = "sodiff-journal v1";
+
+/// A scenario's outcome plus the number of attempts it consumed.
+type Outcome = (Result<ScenarioReport, ScenarioFailure>, u32);
 
 /// One scenario's outcome inside a [`BatchReport`].
 #[derive(Debug, Clone)]
@@ -78,6 +99,9 @@ pub struct ScenarioReport {
     pub report: RunReport,
     /// Wall-clock time of this scenario (graph build + rounds).
     pub wall: Duration,
+    /// How many attempts this scenario took (1 = first try succeeded;
+    /// each [`Driver::retries`] re-run after a panic adds one).
+    pub attempts: u32,
 }
 
 /// Why one scenario of a batch failed; see [`ScenarioError`].
@@ -90,6 +114,10 @@ pub enum ScenarioFailure {
     Panicked(String),
     /// The run completed but its final loads are non-finite.
     Diverged(String),
+    /// The scenario's checkpoint could not be restored during
+    /// [`Driver::resume_batch`] (damaged file, or it belongs to a
+    /// different scenario); the scenario was **not** run.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for ScenarioFailure {
@@ -98,6 +126,7 @@ impl fmt::Display for ScenarioFailure {
             ScenarioFailure::Build(e) => write!(f, "{e}"),
             ScenarioFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
             ScenarioFailure::Diverged(msg) => write!(f, "diverged: {msg}"),
+            ScenarioFailure::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -106,6 +135,7 @@ impl std::error::Error for ScenarioFailure {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScenarioFailure::Build(e) => Some(e),
+            ScenarioFailure::Checkpoint(e) => Some(e),
             ScenarioFailure::Panicked(_) | ScenarioFailure::Diverged(_) => None,
         }
     }
@@ -127,6 +157,9 @@ pub struct ScenarioError {
     pub line: Option<usize>,
     /// What went wrong.
     pub error: ScenarioFailure,
+    /// How many attempts were made before giving up (0 when the
+    /// scenario never started, e.g. an unreadable checkpoint).
+    pub attempts: u32,
 }
 
 impl fmt::Display for ScenarioError {
@@ -166,6 +199,9 @@ pub struct BatchReport {
     /// that ran under a `stop=steady:`/`stop=horizon:` mode (`None`
     /// when no scenario reported steady-state statistics).
     pub worst_steady_p99: Option<f64>,
+    /// Total attempts across all scenarios (equals the scenario count
+    /// when nothing was retried; see [`Driver::retries`]).
+    pub total_attempts: u64,
 }
 
 impl BatchReport {
@@ -189,6 +225,8 @@ impl BatchReport {
             .iter()
             .filter_map(|s| s.report.steady.map(|st| st.p99_dev))
             .reduce(f64::max);
+        let total_attempts = scenarios.iter().map(|s| u64::from(s.attempts)).sum::<u64>()
+            + errors.iter().map(|e| u64::from(e.attempts)).sum::<u64>();
         Self {
             scenarios,
             errors,
@@ -197,8 +235,80 @@ impl BatchReport {
             worst_max_minus_avg: worst,
             mean_max_minus_avg: mean,
             worst_steady_p99,
+            total_attempts,
         }
     }
+}
+
+/// Journal entries are line-oriented: flatten any embedded newlines out
+/// of failure messages before appending them.
+fn journal_text(message: &str) -> String {
+    message.replace(['\n', '\r'], " ")
+}
+
+/// Parses a recovery journal into its specs (with journal-line
+/// provenance) and the set of finished (`done` or `fail`) indices.
+fn parse_journal(text: &str) -> Result<(Vec<ScenarioSpec>, HashSet<usize>), CheckpointError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == JOURNAL_HEADER => {}
+        Some((_, l)) => {
+            return Err(CheckpointError::Journal {
+                line: 1,
+                message: format!("expected '{JOURNAL_HEADER}' header, found '{l}'"),
+            });
+        }
+        None => {
+            return Err(CheckpointError::Journal {
+                line: 1,
+                message: "empty journal".to_string(),
+            });
+        }
+    }
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    let mut finished = HashSet::new();
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        let entry = raw.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let err = |message: String| CheckpointError::Journal { line, message };
+        if let Some(spec_text) = entry.strip_prefix("spec ") {
+            let mut spec: ScenarioSpec = spec_text
+                .parse()
+                .map_err(|e: ParseError| err(e.to_string()))?;
+            spec.source_line = Some(line);
+            specs.push(spec);
+        } else if let Some(rest) = entry
+            .strip_prefix("done ")
+            .or_else(|| entry.strip_prefix("fail "))
+        {
+            let index_text = rest.split_whitespace().next().unwrap_or("");
+            let i: usize = index_text
+                .parse()
+                .map_err(|_| err(format!("invalid scenario index '{index_text}'")))?;
+            if i >= specs.len() {
+                return Err(err(format!(
+                    "scenario index {i} out of range ({} specs declared)",
+                    specs.len()
+                )));
+            }
+            finished.insert(i);
+        } else {
+            return Err(err(format!("unrecognized journal entry '{entry}'")));
+        }
+    }
+    Ok((specs, finished))
+}
+
+/// Checkpoint-vs-journal spec equality, with the execution-only
+/// `threads=` key (results never depend on it) normalized away.
+/// `ScenarioSpec`'s equality already ignores file-line provenance.
+fn specs_equivalent(a: &ScenarioSpec, b: &ScenarioSpec) -> bool {
+    let mut a = a.clone();
+    a.threads = b.threads;
+    a == *b
 }
 
 /// Renders a caught panic payload; `&str`/`String` payloads (the
@@ -220,6 +330,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 pub struct Driver {
     threads: usize,
     concurrency: usize,
+    retries: usize,
     // Mutex (not a plain field) so a panicking scenario can quarantine a
     // pool whose workers it deserted mid-barrier and install a fresh one
     // for the rest of the batch.
@@ -233,6 +344,7 @@ impl Driver {
         Self {
             threads: 1,
             concurrency: 1,
+            retries: 0,
             pool: Mutex::new(None),
         }
     }
@@ -253,6 +365,7 @@ impl Driver {
         Ok(Self {
             threads,
             concurrency: 1,
+            retries: 0,
             pool: Mutex::new((threads > 1).then(|| Arc::new(WorkerPool::new(threads)))),
         })
     }
@@ -279,8 +392,26 @@ impl Driver {
         Ok(Self {
             threads: 1,
             concurrency: workers,
+            retries: 0,
             pool: Mutex::new(None),
         })
+    }
+
+    /// Gives every **panicking** scenario up to `n` additional attempts,
+    /// each on a freshly quarantined pool, after a capped exponential
+    /// backoff (25 ms doubling per attempt, at most 800 ms). Build
+    /// failures and divergence are deterministic and never retried.
+    /// Attempt counts are recorded on [`ScenarioReport::attempts`] and
+    /// [`ScenarioError::attempts`].
+    #[must_use]
+    pub fn retries(mut self, n: usize) -> Self {
+        self.retries = n;
+        self
+    }
+
+    /// Maximum extra attempts per panicking scenario (0 by default).
+    pub fn max_retries(&self) -> usize {
+        self.retries
     }
 
     /// Worker threads per simulation (1 = sequential).
@@ -354,32 +485,53 @@ impl Driver {
             edges: graph.edge_count(),
             report,
             wall: start.elapsed(),
+            attempts: 1,
         })
     }
 
     /// One crash-isolated scenario: build failures, panics, and
     /// non-finite results all come back as a typed failure instead of
-    /// unwinding into (and killing) the batch.
-    fn run_guarded(
-        &self,
-        spec: &ScenarioSpec,
-        runner: &(impl Fn(&ScenarioSpec) -> Result<ScenarioReport, BuildError> + Sync),
-    ) -> Result<ScenarioReport, ScenarioFailure> {
-        match panic::catch_unwind(AssertUnwindSafe(|| runner(spec))) {
-            Ok(Ok(report)) => {
-                let max_minus_avg = report.report.final_metrics.max_minus_avg;
-                if max_minus_avg.is_finite() {
-                    Ok(report)
-                } else {
-                    Err(ScenarioFailure::Diverged(format!(
-                        "final max − avg is {max_minus_avg}"
-                    )))
+    /// unwinding into (and killing) the batch. Panics are retried up to
+    /// [`Driver::retries`] times, each attempt on a fresh quarantined
+    /// pool after a capped exponential backoff. Returns the outcome and
+    /// the number of attempts made.
+    fn run_guarded(&self, attempt: impl Fn() -> Result<ScenarioReport, BuildError>) -> Outcome {
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            let outcome = match panic::catch_unwind(AssertUnwindSafe(&attempt)) {
+                Ok(Ok(report)) => {
+                    let max_minus_avg = report.report.final_metrics.max_minus_avg;
+                    if max_minus_avg.is_finite() {
+                        Ok(report)
+                    } else {
+                        Err(ScenarioFailure::Diverged(format!(
+                            "final max − avg is {max_minus_avg}"
+                        )))
+                    }
                 }
-            }
-            Ok(Err(e)) => Err(ScenarioFailure::Build(e)),
-            Err(payload) => {
-                self.quarantine_pool();
-                Err(ScenarioFailure::Panicked(panic_message(payload)))
+                Ok(Err(e)) => Err(ScenarioFailure::Build(e)),
+                Err(payload) => {
+                    self.quarantine_pool();
+                    Err(ScenarioFailure::Panicked(panic_message(payload)))
+                }
+            };
+            match outcome {
+                // Only panics are worth retrying: builds and divergence
+                // are deterministic in the spec, a panic may be a wedged
+                // environment the fresh pool already replaced.
+                Err(ScenarioFailure::Panicked(_)) if (attempts as usize) <= self.retries => {
+                    std::thread::sleep(Duration::from_millis(25u64 << (attempts - 1).min(5)));
+                }
+                outcome => {
+                    return (
+                        outcome.map(|mut report| {
+                            report.attempts = attempts;
+                            report
+                        }),
+                        attempts,
+                    );
+                }
             }
         }
     }
@@ -405,55 +557,273 @@ impl Driver {
         specs: &[ScenarioSpec],
         runner: impl Fn(&ScenarioSpec) -> Result<ScenarioReport, BuildError> + Sync,
     ) -> BatchReport {
+        self.run_batch_core(specs, None, None, &|_, spec| runner(spec))
+    }
+
+    /// Shared engine behind all batch entry points. `indices` maps
+    /// positions in `specs` back to original batch positions (identity
+    /// when `None`); `journal` receives a flushed `done`/`fail` line as
+    /// each scenario finishes; `runner` gets the position in `specs`.
+    fn run_batch_core(
+        &self,
+        specs: &[ScenarioSpec],
+        indices: Option<&[usize]>,
+        journal: Option<&Mutex<fs::File>>,
+        runner: &(impl Fn(usize, &ScenarioSpec) -> Result<ScenarioReport, BuildError> + Sync),
+    ) -> BatchReport {
         let start = Instant::now();
-        let results: Vec<Result<ScenarioReport, ScenarioFailure>> =
-            if self.concurrency <= 1 || specs.len() <= 1 {
-                specs
-                    .iter()
-                    .map(|spec| self.run_guarded(spec, &runner))
-                    .collect()
-            } else {
-                let slots: Vec<Mutex<Option<Result<ScenarioReport, ScenarioFailure>>>> =
-                    specs.iter().map(|_| Mutex::new(None)).collect();
-                // Work-stealing queue over the batch: each worker claims
-                // the next unstarted scenario, so long and short scenarios
-                // balance themselves without any up-front partitioning.
-                // Workers never unwind (run_guarded catches), so every
-                // slot is filled even when scenarios fail.
-                let next = AtomicUsize::new(0);
-                std::thread::scope(|scope| {
-                    for _ in 0..self.concurrency.min(specs.len()) {
-                        scope.spawn(|| loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(spec) = specs.get(i) else { break };
-                            let result = self.run_guarded(spec, &runner);
-                            *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
-                        });
-                    }
-                });
-                slots
-                    .into_iter()
-                    .map(|slot| {
-                        slot.into_inner()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .expect("every scenario slot is filled before the scope ends")
-                    })
-                    .collect()
-            };
+        let orig = |i: usize| indices.map_or(i, |map| map[i]);
+        let run_one = |i: usize, spec: &ScenarioSpec| {
+            let outcome = self.run_guarded(|| runner(i, spec));
+            if let Some(sink) = journal {
+                let entry = match &outcome.0 {
+                    Ok(_) => format!("done {}", orig(i)),
+                    Err(e) => format!("fail {} {}", orig(i), journal_text(&e.to_string())),
+                };
+                let mut file = sink.lock().unwrap_or_else(PoisonError::into_inner);
+                // A journal write failure must not fail the batch: the
+                // worst case is re-running a finished scenario on resume.
+                let _ = writeln!(file, "{entry}");
+                let _ = file.flush();
+            }
+            outcome
+        };
+        let results: Vec<Outcome> = if self.concurrency <= 1 || specs.len() <= 1 {
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| run_one(i, spec))
+                .collect()
+        } else {
+            let slots: Vec<Mutex<Option<Outcome>>> =
+                specs.iter().map(|_| Mutex::new(None)).collect();
+            // Work-stealing queue over the batch: each worker claims
+            // the next unstarted scenario, so long and short scenarios
+            // balance themselves without any up-front partitioning.
+            // Workers never unwind (run_guarded catches), so every
+            // slot is filled even when scenarios fail.
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..self.concurrency.min(specs.len()) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { break };
+                        let result = run_one(i, spec);
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .expect("every scenario slot is filled before the scope ends")
+                })
+                .collect()
+        };
         let mut scenarios = Vec::new();
         let mut errors = Vec::new();
-        for (index, (spec, result)) in specs.iter().zip(results).enumerate() {
+        for (index, (spec, (result, attempts))) in specs.iter().zip(results).enumerate() {
             match result {
                 Ok(report) => scenarios.push(report),
                 Err(error) => errors.push(ScenarioError {
-                    index,
+                    index: orig(index),
                     name: spec.name.clone(),
                     line: spec.source_line,
                     error,
+                    attempts,
                 }),
             }
         }
         BatchReport::assemble(scenarios, errors, start.elapsed())
+    }
+
+    /// [`Driver::run_batch`] with a durable **recovery journal**: before
+    /// anything runs, the canonical spec line of every scenario is
+    /// written to `journal`; as each scenario finishes, a `done <i>` (or
+    /// `fail <i> <message>`) line is appended and flushed. If the
+    /// process dies mid-batch, [`Driver::resume_batch`] replays the
+    /// journal — finished scenarios are skipped, and scenarios that were
+    /// checkpointing (`ckpt=every:N:DIR`) restart from their latest
+    /// snapshot instead of from round 0.
+    ///
+    /// The journal is a human-readable text file:
+    ///
+    /// ```text
+    /// sodiff-journal v1
+    /// spec name=a topology=torus2d:8:8 seed=1 ... stop=rounds:60
+    /// spec name=b topology=cycle:17 seed=2 ... stop=rounds:45
+    /// done 0
+    /// fail 1 panicked: ...
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the journal cannot be created or
+    /// seeded. Scenario failures do **not** error the call — they are
+    /// recorded in the report (and the journal) exactly like in
+    /// [`Driver::run_batch`].
+    pub fn run_batch_durable(
+        &self,
+        specs: &[ScenarioSpec],
+        journal: &Path,
+    ) -> Result<BatchReport, CheckpointError> {
+        let io = |e: std::io::Error| CheckpointError::io(journal, e);
+        if let Some(parent) = journal.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent).map_err(|e| CheckpointError::io(parent, e))?;
+            }
+        }
+        let mut file = fs::File::create(journal).map_err(io)?;
+        writeln!(file, "{JOURNAL_HEADER}").map_err(io)?;
+        for spec in specs {
+            writeln!(file, "spec {spec}").map_err(io)?;
+        }
+        file.flush().map_err(io)?;
+        let sink = Mutex::new(file);
+        Ok(self.run_batch_core(specs, None, Some(&sink), &|_, spec| self.run_spec(spec)))
+    }
+
+    /// Resumes a batch from a [`Driver::run_batch_durable`] journal:
+    /// scenarios already marked `done`/`fail` are skipped, scenarios
+    /// with a readable checkpoint continue from its snapshot (the
+    /// resumed report covers only the remaining rounds, but the final
+    /// state is bit-identical to an uninterrupted run), and everything
+    /// else re-runs from round 0. New outcomes are appended to the same
+    /// journal, so a resume interrupted again is itself resumable.
+    /// [`ScenarioError::index`] values refer to the **original** batch
+    /// positions.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the journal cannot be read or
+    /// reopened, and [`CheckpointError::Journal`] (with the offending
+    /// 1-based line) for malformed entries. A damaged *checkpoint file*
+    /// does not error the call: its scenario is recorded as a
+    /// line-anchored [`ScenarioFailure::Checkpoint`] in
+    /// [`BatchReport::errors`] and the rest of the batch proceeds.
+    pub fn resume_batch(&self, journal: &Path) -> Result<BatchReport, CheckpointError> {
+        let text = fs::read_to_string(journal).map_err(|e| CheckpointError::io(journal, e))?;
+        let (specs, finished) = parse_journal(&text)?;
+        let file = fs::OpenOptions::new()
+            .append(true)
+            .open(journal)
+            .map_err(|e| CheckpointError::io(journal, e))?;
+        let sink = Mutex::new(file);
+        let start = Instant::now();
+
+        // Partition the unfinished scenarios into restorable runs (a
+        // readable checkpoint whose embedded spec matches the journal's)
+        // and from-scratch runs. Checkpoint damage is a per-scenario
+        // failure — journaled like any other — not a batch error.
+        let mut run_specs = Vec::new();
+        let mut run_indices = Vec::new();
+        let mut checkpoints: Vec<Option<Checkpoint>> = Vec::new();
+        let mut ckpt_errors = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            if finished.contains(&i) {
+                continue;
+            }
+            let mut restored = None;
+            if let Some(policy) = &spec.ckpt {
+                let cfg = CheckpointConfig {
+                    policy: policy.clone(),
+                    name: spec.name.clone(),
+                    spec_line: spec.to_string(),
+                };
+                let path = cfg.latest_path();
+                if path.exists() {
+                    let loaded = read_checkpoint(&path).and_then(|ckpt| {
+                        if specs_equivalent(&ckpt.spec, spec) {
+                            Ok(ckpt)
+                        } else {
+                            Err(CheckpointError::Mismatch(format!(
+                                "checkpoint {} was written by scenario '{}', not '{}'",
+                                path.display(),
+                                ckpt.spec.name,
+                                spec.name
+                            )))
+                        }
+                    });
+                    match loaded {
+                        Ok(ckpt) => restored = Some(ckpt),
+                        Err(e) => {
+                            {
+                                let mut file = sink.lock().unwrap_or_else(PoisonError::into_inner);
+                                let _ = writeln!(file, "fail {i} {}", journal_text(&e.to_string()));
+                                let _ = file.flush();
+                            }
+                            ckpt_errors.push(ScenarioError {
+                                index: i,
+                                name: spec.name.clone(),
+                                line: spec.source_line,
+                                error: ScenarioFailure::Checkpoint(e),
+                                attempts: 0,
+                            });
+                            continue;
+                        }
+                    }
+                }
+            }
+            checkpoints.push(restored);
+            run_specs.push(spec.clone());
+            run_indices.push(i);
+        }
+
+        let mut report =
+            self.run_batch_core(&run_specs, Some(&run_indices), Some(&sink), &|pos, spec| {
+                match &checkpoints[pos] {
+                    Some(ckpt) => self.run_spec_resumed(spec, ckpt),
+                    None => self.run_spec(spec),
+                }
+            });
+        report.errors.extend(ckpt_errors);
+        report.errors.sort_by_key(|e| e.index);
+        report.total_wall = start.elapsed();
+        Ok(report)
+    }
+
+    /// [`Driver::run_spec`] continued from a checkpoint: restores the
+    /// snapshot into a freshly built simulator (attached to this
+    /// driver's pool) and runs only the remaining part of the spec's
+    /// stop condition.
+    fn run_spec_resumed(
+        &self,
+        spec: &ScenarioSpec,
+        ckpt: &Checkpoint,
+    ) -> Result<ScenarioReport, BuildError> {
+        let wrap = |source: BuildError| BuildError::Scenario {
+            name: spec.name.clone(),
+            source: Box::new(source),
+        };
+        let start = Instant::now();
+        let graph = spec.build_graph().map_err(wrap)?;
+        let mut spec = spec.clone();
+        spec.threads = self.threads;
+        let experiment = spec.experiment_on(&graph).map_err(wrap)?;
+        let mut sim = match self.attached_pool() {
+            Some(pool) => experiment.simulator_on(pool),
+            None => experiment.simulator(),
+        };
+        sim.restore(&ckpt.snapshot)
+            .map_err(BuildError::from)
+            .map_err(wrap)?;
+        let stop = ckpt.snapshot.remaining_stop(spec.stop);
+        let observer = &mut crate::observer::NullObserver;
+        let report = match experiment.hybrid_policy() {
+            Some(policy) => sim.run_hybrid_with(policy, stop, observer),
+            None => sim.run_until_with(stop, observer),
+        };
+        Ok(ScenarioReport {
+            name: spec.name.clone(),
+            spec: spec.to_string(),
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            report,
+            wall: start.elapsed(),
+            attempts: 1,
+        })
     }
 }
 
@@ -654,6 +1024,89 @@ mod tests {
                 other => panic!("unexpected error {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn retries_rerun_panicked_scenarios() {
+        let specs =
+            ScenarioSpec::parse_many("name=flaky topology=cycle:8 seed=1 stop=rounds:5").unwrap();
+        let driver = Driver::new().retries(2);
+        let calls = AtomicUsize::new(0);
+        let batch = driver.run_batch_with(&specs, |spec| {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("transient wedge");
+            }
+            driver.run_spec(spec)
+        });
+        assert!(batch.errors.is_empty(), "{:?}", batch.errors);
+        assert_eq!(batch.scenarios[0].attempts, 3);
+        assert_eq!(batch.total_attempts, 3);
+        // The retried report matches a clean first-try run.
+        let clean = Driver::new().run_batch(&specs);
+        assert_eq!(batch.scenarios[0].report, clean.scenarios[0].report);
+    }
+
+    #[test]
+    fn exhausted_retries_report_attempt_count() {
+        let specs =
+            ScenarioSpec::parse_many("name=doomed topology=cycle:8 seed=1 stop=rounds:5").unwrap();
+        let batch = Driver::new()
+            .retries(1)
+            .run_batch_with(&specs, |_| -> Result<ScenarioReport, BuildError> {
+                panic!("always wedged")
+            });
+        assert_eq!(batch.errors.len(), 1);
+        assert_eq!(batch.errors[0].attempts, 2);
+        assert!(matches!(
+            batch.errors[0].error,
+            ScenarioFailure::Panicked(_)
+        ));
+        // Deterministic failures are never retried.
+        let calls = AtomicUsize::new(0);
+        let bad =
+            ScenarioSpec::parse_many("name=bad topology=cycle:8 rounding=randomized").unwrap();
+        let driver = Driver::new().retries(3);
+        let batch = driver.run_batch_with(&bad, |spec| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            driver.run_spec(spec)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(batch.errors[0].attempts, 1);
+    }
+
+    #[test]
+    fn journal_parsing_rejects_malformed_entries() {
+        assert!(matches!(
+            parse_journal(""),
+            Err(CheckpointError::Journal { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_journal("not a journal\n"),
+            Err(CheckpointError::Journal { line: 1, .. })
+        ));
+        let good = "sodiff-journal v1\n\
+                    spec name=a topology=cycle:8 seed=1 stop=rounds:5\n\
+                    done 0\n";
+        let (specs, finished) = parse_journal(good).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert!(finished.contains(&0));
+        assert_eq!(specs[0].source_line, Some(2), "journal-line provenance");
+        let bad_index = "sodiff-journal v1\n\
+                         spec name=a topology=cycle:8 seed=1 stop=rounds:5\n\
+                         done 3\n";
+        assert!(matches!(
+            parse_journal(bad_index),
+            Err(CheckpointError::Journal { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_journal("sodiff-journal v1\nwat 0\n"),
+            Err(CheckpointError::Journal { line: 2, .. })
+        ));
+        let bad_spec = "sodiff-journal v1\nspec name=a topology=nope:3\n";
+        assert!(matches!(
+            parse_journal(bad_spec),
+            Err(CheckpointError::Journal { line: 2, .. })
+        ));
     }
 
     #[test]

@@ -36,7 +36,10 @@ use std::sync::Arc;
 
 use sodiff_graph::{Graph, Speeds};
 
-use crate::error::BuildError;
+use crate::checkpoint::{
+    self, CheckpointConfig, LoadsSnapshot, PlateauSnapshot, Snapshot, SteadySnapshot, WatchSnapshot,
+};
+use crate::error::{BuildError, CheckpointError};
 use crate::fault::{DivergenceWatch, FaultEvents, FaultSpec};
 use crate::hybrid::SwitchPolicy;
 use crate::init::InitialLoad;
@@ -94,6 +97,9 @@ pub struct SimulationConfig {
     /// Deterministic dynamic-load injection ([`LoadSpec::none`] = the
     /// static workload, taking the exact pre-load code paths).
     pub load: LoadSpec,
+    /// Periodic checkpointing (`None` = never snapshot; the zero-cost
+    /// default, branch-predicted away in the round loop).
+    pub ckpt: Option<CheckpointConfig>,
 }
 
 impl SimulationConfig {
@@ -118,6 +124,12 @@ impl SimulationConfig {
     /// Sets the dynamic-load plan (validated at build time).
     pub fn with_load(mut self, load: LoadSpec) -> Self {
         self.load = load;
+        self
+    }
+
+    /// Sets the periodic checkpoint policy (validated at build time).
+    pub fn with_checkpoint(mut self, ckpt: CheckpointConfig) -> Self {
+        self.ckpt = Some(ckpt);
         self
     }
 
@@ -295,6 +307,26 @@ struct PoolAttachment {
     job: Arc<RoundJob>,
 }
 
+/// The run loop's local state, persisted across `run_*` calls so a
+/// [`Simulator::snapshot`] taken at any round boundary carries the
+/// origin, hybrid/degradation flags, and metric rings a later
+/// [`Simulator::restore`] needs to continue the interrupted run
+/// bit-identically.
+#[derive(Default)]
+struct SavedLoop {
+    /// `round` at the start of the current/last `run_*` call; hybrid
+    /// `AtRound` triggers count from here.
+    run_start: u64,
+    switch_round: Option<u64>,
+    degraded: bool,
+    watch: Option<DivergenceWatch>,
+    steady: Option<SteadyTracker>,
+    plateau: Option<RemainingImbalance>,
+    /// Set by [`Simulator::restore`]: the next `run_loop` call seeds its
+    /// locals from this state instead of starting fresh.
+    pending_resume: bool,
+}
+
 /// SOS→FOS switch-trigger variants for the unified run loop.
 enum Trigger<'a> {
     /// No hybrid behavior.
@@ -303,6 +335,16 @@ enum Trigger<'a> {
     Policy(SwitchPolicy),
     /// An arbitrary predicate over the simulator state.
     Custom(&'a mut dyn FnMut(&Simulator<'_>) -> bool),
+}
+
+/// Writes an auto-checkpoint or aborts the run: a failing sink means the
+/// promised resumability is already lost, so surfacing it loudly (the
+/// batch [`crate::Driver`] isolates and quarantines the panic) beats
+/// silently continuing without crash coverage.
+fn write_or_die(path: &std::path::Path, spec_line: &str, snap: &Snapshot) {
+    if let Err(e) = checkpoint::write_checkpoint_line(path, spec_line, snap) {
+        panic!("auto-checkpoint failed: {e}");
+    }
 }
 
 /// A synchronous-round diffusion load-balancing simulation.
@@ -356,6 +398,11 @@ pub struct Simulator<'g> {
     /// pass's in-loop reduction); `None` until the first [`Simulator::step`].
     round_stats: Option<LoadStats>,
     initial_total: f64,
+    /// Periodic checkpoint sink (`None` = never snapshot).
+    ckpt: Option<CheckpointConfig>,
+    /// Run-loop state preserved across `run_*` calls for
+    /// [`Simulator::snapshot`] / [`Simulator::restore`].
+    saved_loop: SavedLoop,
 }
 
 impl<'g> Simulator<'g> {
@@ -460,6 +507,8 @@ impl<'g> Simulator<'g> {
             min_transient,
             round_stats: None,
             initial_total,
+            ckpt: config.ckpt,
+            saved_loop: SavedLoop::default(),
         })
     }
 
@@ -548,6 +597,233 @@ impl<'g> Simulator<'g> {
     /// Flow sent in the previous round, per canonical edge (the SOS memory).
     pub fn previous_flows(&self) -> &[f64] {
         &self.prev_flow
+    }
+
+    /// Freezes the complete evolving state of this simulation at the
+    /// current round boundary (see [`crate::checkpoint`]).
+    ///
+    /// Because every random decision is drawn from counter-indexed
+    /// streams (no serial RNG state — see [`crate::rng`]), the snapshot
+    /// plus the originating [`crate::ScenarioSpec`] is enough to
+    /// continue the run **bit-identically**: loads, SOS flow memory,
+    /// round counters, hybrid/degradation state, cumulative
+    /// fault/load event counters, and the stop-condition metric rings.
+    /// Persist it with [`checkpoint::write_checkpoint`].
+    pub fn snapshot(&self) -> Snapshot {
+        let saved = &self.saved_loop;
+        self.make_snapshot(
+            saved.run_start,
+            saved.switch_round,
+            saved.degraded,
+            saved.watch.as_ref(),
+            saved.steady.as_ref(),
+            saved.plateau.as_ref(),
+        )
+    }
+
+    /// Assembles a [`Snapshot`] from the simulator state plus the given
+    /// run-loop locals (the live ones mid-run, the saved ones between
+    /// runs).
+    fn make_snapshot(
+        &self,
+        run_start: u64,
+        switch_round: Option<u64>,
+        degraded: bool,
+        watch: Option<&DivergenceWatch>,
+        steady: Option<&SteadyTracker>,
+        plateau: Option<&RemainingImbalance>,
+    ) -> Snapshot {
+        let loads = match &self.state {
+            State::Discrete { loads, .. } => LoadsSnapshot::Discrete(loads.clone()),
+            State::Continuous { loads } => LoadsSnapshot::Continuous(loads.clone()),
+        };
+        let round_stats = self.round_stats.map(|s| {
+            [
+                s.min_transient,
+                s.min_load,
+                s.max_dev,
+                s.min_dev,
+                s.sum_sq_dev,
+            ]
+        });
+        let watch = watch.map(|w| {
+            let (armed, ring, len, pos) = w.raw_parts();
+            WatchSnapshot {
+                armed,
+                ring: ring.to_vec(),
+                len,
+                pos,
+            }
+        });
+        let steady = steady.map(|s| {
+            let (window, ring, pos, len, newer_sum, older_sum, check) = s.raw_parts();
+            SteadySnapshot {
+                window,
+                ring: ring.to_vec(),
+                pos,
+                len,
+                newer_sum,
+                older_sum,
+                check,
+            }
+        });
+        let plateau = plateau.map(|p| PlateauSnapshot {
+            window: p.window(),
+            history: p.history_tail().to_vec(),
+        });
+        Snapshot {
+            round: self.round,
+            rounds_in_scheme: self.rounds_in_scheme,
+            run_start,
+            switch_round,
+            degraded,
+            min_transient: self.min_transient,
+            initial_total: self.initial_total,
+            round_stats,
+            loads,
+            prev_flow: self.prev_flow.clone(),
+            fault_events: self.scratch.fault.events,
+            load_events: self.scratch.load.events,
+            watch,
+            steady,
+            plateau,
+        }
+    }
+
+    /// Restores a [`Snapshot`] into this simulator, which must have been
+    /// built from the same [`crate::ScenarioSpec`] (same graph, scheme,
+    /// mode, seeds, and initial load — the thread count is free to
+    /// differ, since results never depend on it). The next `run_*` call
+    /// continues the interrupted run: hybrid triggers keep counting from
+    /// the original run origin and the stop-condition rings resume
+    /// where they left off.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] when the snapshot does not fit this
+    /// simulation (wrong node/edge count, wrong mode, or a different
+    /// initial total). The simulator is left unmodified on error.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), CheckpointError> {
+        let n = self.graph.node_count();
+        let m = self.graph.edge_count();
+        let (snap_nodes, snap_discrete) = match &snap.loads {
+            LoadsSnapshot::Discrete(v) => (v.len(), true),
+            LoadsSnapshot::Continuous(v) => (v.len(), false),
+        };
+        if snap_discrete != self.is_discrete() {
+            return Err(CheckpointError::Mismatch(format!(
+                "snapshot is {} but the simulation is {}",
+                if snap_discrete {
+                    "discrete"
+                } else {
+                    "continuous"
+                },
+                if self.is_discrete() {
+                    "discrete"
+                } else {
+                    "continuous"
+                },
+            )));
+        }
+        if snap_nodes != n {
+            return Err(CheckpointError::Mismatch(format!(
+                "snapshot has {snap_nodes} nodes, the graph has {n}"
+            )));
+        }
+        if snap.prev_flow.len() != m {
+            return Err(CheckpointError::Mismatch(format!(
+                "snapshot has {} edges, the graph has {m}",
+                snap.prev_flow.len()
+            )));
+        }
+        if snap.initial_total.to_bits() != self.initial_total.to_bits() {
+            return Err(CheckpointError::Mismatch(format!(
+                "snapshot initial total {} differs from the simulation's {}",
+                snap.initial_total, self.initial_total
+            )));
+        }
+        match (&mut self.state, &snap.loads) {
+            (State::Discrete { loads, .. }, LoadsSnapshot::Discrete(src)) => {
+                loads.copy_from_slice(src);
+            }
+            (State::Continuous { loads }, LoadsSnapshot::Continuous(src)) => {
+                loads.copy_from_slice(src);
+            }
+            _ => unreachable!("mode checked above"),
+        }
+        self.prev_flow.copy_from_slice(&snap.prev_flow);
+        if let Some(attachment) = &self.pool {
+            match &self.state {
+                State::Discrete { loads, .. } => attachment.job.write_loads_i(loads),
+                State::Continuous { loads } => attachment.job.write_loads_f(loads),
+            }
+            attachment.job.write_prev(&self.prev_flow);
+        }
+        self.round = snap.round;
+        self.rounds_in_scheme = snap.rounds_in_scheme;
+        self.min_transient = snap.min_transient;
+        self.round_stats =
+            snap.round_stats
+                .map(
+                    |[min_transient, min_load, max_dev, min_dev, sum_sq_dev]| LoadStats {
+                        min_transient,
+                        min_load,
+                        max_dev,
+                        min_dev,
+                        sum_sq_dev,
+                    },
+                );
+        // A fired hybrid/degradation switch means the scheme is FOS from
+        // `switch_round` on, whatever the spec's scheme was. (Set
+        // directly — `switch_scheme` would clear the restored
+        // `rounds_in_scheme` warm-up counter.)
+        if snap.switch_round.is_some() && self.scheme.is_diffusion() {
+            self.scheme = Scheme::fos();
+        }
+        // Fault masks are pure per-epoch functions of the spec's seeds
+        // (never incremental), so materializing the pre-resume epoch
+        // once puts every mask exactly where an uninterrupted run would
+        // have it; the cumulative event counters are then overwritten
+        // with the snapshot's so future epochs extend the original
+        // counts.
+        self.scratch.fault = Default::default();
+        if snap.round > 0 {
+            self.scratch.fault.begin_round(
+                &self.scheme_kernel.faults,
+                self.graph,
+                snap.round - 1,
+                self.scheme_kernel.sweep_family(),
+            );
+        }
+        self.scratch.fault.events = snap.fault_events;
+        self.scratch.load = Default::default();
+        self.scratch.load.events = snap.load_events;
+        self.saved_loop = SavedLoop {
+            run_start: snap.run_start,
+            switch_round: snap.switch_round,
+            degraded: snap.degraded,
+            watch: snap
+                .watch
+                .as_ref()
+                .and_then(|w| DivergenceWatch::from_raw_parts(w.armed, &w.ring, w.len, w.pos)),
+            steady: snap.steady.as_ref().and_then(|s| {
+                SteadyTracker::from_raw_parts(
+                    s.window,
+                    s.ring.clone(),
+                    s.pos,
+                    s.len,
+                    s.newer_sum,
+                    s.older_sum,
+                    s.check,
+                )
+            }),
+            plateau: snap
+                .plateau
+                .as_ref()
+                .and_then(|p| RemainingImbalance::from_history(p.window, p.history.clone())),
+            pending_resume: true,
+        };
+        Ok(())
     }
 
     /// Current quality metrics, recomputed from scratch (`O(n + m)`).
@@ -822,12 +1098,40 @@ impl<'g> Simulator<'g> {
         };
         let mut remaining = None;
         let mut switch_round = None;
+        // The round hybrid triggers count from: `start_round` for a fresh
+        // run, the interrupted run's origin after a restore.
+        let mut origin = start_round;
+        let resumed = std::mem::take(&mut self.saved_loop);
+        if resumed.pending_resume {
+            origin = resumed.run_start;
+            switch_round = resumed.switch_round;
+            degraded = resumed.degraded;
+            if let Some(w) = resumed.watch {
+                if w.armed() == watch.armed() {
+                    watch = w;
+                }
+            }
+            if let Some(s) = resumed.steady {
+                if steady
+                    .as_ref()
+                    .is_some_and(|fresh| fresh.checks_steadiness() == s.checks_steadiness())
+                {
+                    steady = Some(s);
+                }
+            }
+            if let Some(p) = resumed.plateau {
+                if window == Some(p.window()) {
+                    tracker = Some(p);
+                }
+            }
+        }
+        let sink = self.ckpt.clone();
         for _ in 0..cap {
             if switch_round.is_none() {
                 let fire = match &mut trigger {
                     Trigger::None => false,
                     Trigger::Policy(policy) => match *policy {
-                        SwitchPolicy::AtRound(r) => self.round - start_round >= r,
+                        SwitchPolicy::AtRound(r) => self.round - origin >= r,
                         SwitchPolicy::MaxLocalDiffBelow(t) => {
                             // An edge metric: the one policy that costs a
                             // sweep (over edges) per round while armed.
@@ -852,10 +1156,36 @@ impl<'g> Simulator<'g> {
                     .max_dev;
                 if watch.observe(max_dev) {
                     degraded = true;
+                    // Preserve the pre-degradation state for post-mortem
+                    // before the SOS→FOS fallback rewrites the scheme.
+                    if let Some(cfg) = &sink {
+                        let snap = self.make_snapshot(
+                            origin,
+                            switch_round,
+                            degraded,
+                            Some(&watch),
+                            steady.as_ref(),
+                            tracker.as_ref(),
+                        );
+                        write_or_die(&cfg.degraded_path(), &cfg.spec_line, &snap);
+                    }
                     if switch_round.is_none() && self.scheme.is_sos() {
                         self.switch_scheme(Scheme::fos());
                         switch_round = Some(self.round);
                     }
+                }
+            }
+            if let Some(cfg) = &sink {
+                if self.round.is_multiple_of(cfg.policy.every) {
+                    let snap = self.make_snapshot(
+                        origin,
+                        switch_round,
+                        degraded,
+                        Some(&watch),
+                        steady.as_ref(),
+                        tracker.as_ref(),
+                    );
+                    write_or_die(&cfg.latest_path(), &cfg.spec_line, &snap);
                 }
             }
             if threshold.is_some() || tracker.is_some() {
@@ -890,6 +1220,18 @@ impl<'g> Simulator<'g> {
                 }
             }
         }
+        let steady_stats = steady.as_ref().and_then(SteadyTracker::stats);
+        // Persist the loop locals so a snapshot taken after this call
+        // still captures the run origin and the metric rings.
+        self.saved_loop = SavedLoop {
+            run_start: origin,
+            switch_round,
+            degraded,
+            watch: Some(watch),
+            steady,
+            plateau: tracker,
+            pending_resume: false,
+        };
         RunReport {
             rounds: self.round - start_round,
             // Fused on every exit path; `metrics()` only for zero-round
@@ -901,7 +1243,7 @@ impl<'g> Simulator<'g> {
             degraded,
             faults: self.fault_events(),
             load: self.load_events(),
-            steady: steady.as_ref().and_then(SteadyTracker::stats),
+            steady: steady_stats,
         }
     }
 
@@ -1300,6 +1642,7 @@ mod tests {
             threads: 1,
             faults: FaultSpec::none(),
             load: LoadSpec::none(),
+            ckpt: None,
         };
         config.with_threads(0);
     }
@@ -1315,6 +1658,7 @@ mod tests {
             threads: 1,
             faults: FaultSpec::none(),
             load: LoadSpec::none(),
+            ckpt: None,
         };
         let mut sim = Simulator::build(&g, config, InitialLoad::EqualPerNode(10), None).unwrap();
         sim.step();

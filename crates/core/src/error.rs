@@ -112,6 +112,11 @@ pub enum BuildError {
         /// The underlying error.
         source: Box<BuildError>,
     },
+    /// The checkpoint policy is degenerate (zero interval, empty
+    /// directory).
+    InvalidCheckpoint(String),
+    /// Restoring from a checkpoint snapshot failed.
+    Checkpoint(Box<CheckpointError>),
 }
 
 impl fmt::Display for BuildError {
@@ -158,6 +163,8 @@ impl fmt::Display for BuildError {
             BuildError::Scenario { name, source } => {
                 write!(f, "scenario '{name}': {source}")
             }
+            BuildError::InvalidCheckpoint(msg) => write!(f, "invalid checkpoint policy: {msg}"),
+            BuildError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -168,6 +175,7 @@ impl Error for BuildError {
             BuildError::Graph(e) => Some(e),
             BuildError::Parse(e) => Some(e),
             BuildError::Scenario { source, .. } => Some(source),
+            BuildError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -182,6 +190,121 @@ impl From<GraphError> for BuildError {
 impl From<ParseError> for BuildError {
     fn from(e: ParseError) -> Self {
         BuildError::Parse(e)
+    }
+}
+
+impl From<CheckpointError> for BuildError {
+    fn from(e: CheckpointError) -> Self {
+        BuildError::Checkpoint(Box::new(e))
+    }
+}
+
+/// A checkpoint file or recovery journal could not be used.
+///
+/// Produced by the persistence layer in [`crate::checkpoint`] and by
+/// [`crate::Driver::resume_batch`]. Loading a snapshot **never panics**:
+/// truncation, corruption, and version skew all come back as one of
+/// these variants.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// Reading or writing the file failed; carries the path and the OS
+    /// error rendered to text (so the error stays `Clone`).
+    Io {
+        /// The file that could not be read or written.
+        path: std::path::PathBuf,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
+    /// The file does not start with the checkpoint magic bytes.
+    BadMagic,
+    /// The file was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version tag found in the header.
+        found: u32,
+    },
+    /// The file ends before the encoded snapshot does.
+    Truncated,
+    /// The trailing FNV-1a checksum does not match the file contents
+    /// (bit corruption).
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the file contents.
+        computed: u64,
+    },
+    /// The scenario line embedded in the header does not parse.
+    Spec(ParseError),
+    /// The snapshot does not fit the simulation it is being restored
+    /// into (node/edge count, mode, or initial-total mismatch).
+    Mismatch(String),
+    /// A recovery journal line is malformed; `line` is 1-based.
+    Journal {
+        /// 1-based line number within the journal file.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Rebuilding the experiment from the embedded scenario failed.
+    Build(Box<BuildError>),
+}
+
+impl CheckpointError {
+    /// An [`CheckpointError::Io`] from a path and an `io::Error`.
+    pub(crate) fn io(path: &std::path::Path, e: std::io::Error) -> Self {
+        CheckpointError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => {
+                write!(f, "checkpoint I/O on {}: {message}", path.display())
+            }
+            CheckpointError::BadMagic => write!(f, "not a sodiff checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion { found } => {
+                write!(f, "unsupported checkpoint format version {found}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            CheckpointError::Spec(e) => write!(f, "checkpoint header: {e}"),
+            CheckpointError::Mismatch(msg) => {
+                write!(f, "snapshot does not fit this simulation: {msg}")
+            }
+            CheckpointError::Journal { line, message } => {
+                write!(f, "journal line {line}: {message}")
+            }
+            CheckpointError::Build(e) => write!(f, "rebuilding checkpointed scenario: {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Spec(e) => Some(e),
+            CheckpointError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for CheckpointError {
+    fn from(e: ParseError) -> Self {
+        CheckpointError::Spec(e)
+    }
+}
+
+impl From<BuildError> for CheckpointError {
+    fn from(e: BuildError) -> Self {
+        CheckpointError::Build(Box::new(e))
     }
 }
 

@@ -31,6 +31,7 @@ use std::marker::PhantomData;
 
 use sodiff_graph::{Graph, Speeds};
 
+use crate::checkpoint::CheckpointConfig;
 use crate::deviation::DeviationSeries;
 use crate::engine::{FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition};
 use crate::error::BuildError;
@@ -83,6 +84,7 @@ struct Parts<'g> {
     stop: StopCondition,
     faults: FaultSpec,
     load: LoadSpec,
+    ckpt: Option<CheckpointConfig>,
 }
 
 /// Typestate builder for [`Experiment`]s; see [`Experiment::on`].
@@ -202,6 +204,19 @@ impl<'g, S> ExperimentBuilder<'g, S> {
         self.parts.load = load;
         self
     }
+
+    /// Attaches a periodic checkpoint sink (see [`crate::checkpoint`]):
+    /// the engine snapshots the full evolving state every
+    /// `ckpt.policy.every` rounds (and on a divergence-watchdog trip),
+    /// so a killed run can be resumed **bit-identically** with
+    /// [`crate::checkpoint::read_checkpoint`]. Scenario files opt in
+    /// with the `ckpt=every:N:DIR` key. Degenerate policies (zero
+    /// interval, empty directory) are reported as
+    /// [`BuildError::InvalidCheckpoint`] at build.
+    pub fn checkpoint(mut self, ckpt: CheckpointConfig) -> Self {
+        self.parts.ckpt = Some(ckpt);
+        self
+    }
 }
 
 impl<'g> ExperimentBuilder<'g, NeedsMode> {
@@ -256,6 +271,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
             stop,
             faults,
             load,
+            ckpt,
         } = self.parts;
         let n = graph.node_count();
         if n == 0 {
@@ -295,6 +311,18 @@ impl<'g> ExperimentBuilder<'g, Ready> {
         stop.check()?;
         faults.check()?;
         load.check()?;
+        if let Some(ckpt) = &ckpt {
+            if ckpt.policy.every == 0 {
+                return Err(BuildError::InvalidCheckpoint(
+                    "interval must be positive".into(),
+                ));
+            }
+            if ckpt.policy.dir.as_os_str().is_empty() {
+                return Err(BuildError::InvalidCheckpoint(
+                    "directory must not be empty".into(),
+                ));
+            }
+        }
         Ok(Experiment {
             graph,
             config: SimulationConfig {
@@ -305,6 +333,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
                 threads,
                 faults,
                 load,
+                ckpt,
             },
             init,
             hybrid,
@@ -345,6 +374,7 @@ impl<'g> Experiment<'g> {
                 stop: StopCondition::MaxRounds(1000),
                 faults: FaultSpec::none(),
                 load: LoadSpec::none(),
+                ckpt: None,
             },
             _state: PhantomData,
         }
@@ -461,6 +491,8 @@ impl<'g> Experiment<'g> {
             threads: self.config.threads,
             faults: self.config.faults,
             load: self.config.load,
+            // The twin is a transient comparison run; never checkpoint it.
+            ckpt: None,
         };
         let mut continuous =
             Simulator::build(self.graph, continuous_config, self.init.clone(), None)

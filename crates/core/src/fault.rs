@@ -557,6 +557,7 @@ const WATCH_WINDOW: usize = 16;
 /// or grew more than 8× over the best of the last [`WATCH_WINDOW`]
 /// rounds (clamped below at 1.0 so settled runs never trip on noise).
 /// Armed only while faults are injected, so clean runs are untouched.
+#[derive(Clone)]
 pub(crate) struct DivergenceWatch {
     armed: bool,
     window: [f64; WATCH_WINDOW],
@@ -568,6 +569,28 @@ impl DivergenceWatch {
     /// Whether this watchdog can ever fire.
     pub fn armed(&self) -> bool {
         self.armed
+    }
+
+    /// The observation ring as raw parts `(armed, window, len, pos)` for
+    /// checkpointing.
+    pub fn raw_parts(&self) -> (bool, &[f64], usize, usize) {
+        (self.armed, &self.window, self.len, self.pos)
+    }
+
+    /// Rebuilds a watchdog from checkpointed [`Self::raw_parts`];
+    /// returns `None` when the parts are not a valid ring.
+    pub fn from_raw_parts(armed: bool, window: &[f64], len: usize, pos: usize) -> Option<Self> {
+        if window.len() != WATCH_WINDOW || len > WATCH_WINDOW || pos >= WATCH_WINDOW {
+            return None;
+        }
+        let mut ring = [0.0; WATCH_WINDOW];
+        ring.copy_from_slice(window);
+        Some(Self {
+            armed,
+            window: ring,
+            len,
+            pos,
+        })
     }
 
     /// A watchdog; `armed = false` never fires.

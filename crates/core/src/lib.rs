@@ -146,6 +146,29 @@
 //! The engine, the pool, the builder plumbing, and the batch driver need
 //! **no** changes: they are scheme-agnostic.
 //!
+//! # Persistence: exact checkpoint/resume
+//!
+//! Every point of the five-axis experiment matrix (scheme × rounding ×
+//! mode × topology × speeds — faults and dynamic load included) can be
+//! frozen mid-run and resumed **bit-identically**, because all
+//! randomness is drawn from counter-indexed streams with no serial
+//! generator state (see [`rng`]): a snapshot only carries the genuinely
+//! evolving state — loads, SOS flow memory, round counters,
+//! hybrid/degradation flags, cumulative event counters, and the
+//! stop-condition metric rings — while kernels, coefficient tables, and
+//! fault masks are re-derived from the [`ScenarioSpec`] embedded in the
+//! checkpoint header. Scenario files opt in with `ckpt=every:N:DIR`
+//! (plus an automatic pre-degradation snapshot when the divergence
+//! watchdog trips); programmatic runs use
+//! [`ExperimentBuilder::checkpoint`] or
+//! [`Simulator::snapshot`]/[`Simulator::restore`] directly. The
+//! versioned, checksummed file format and the recovery story (the batch
+//! [`Driver`]'s journal, [`Driver::resume_batch`], bounded
+//! retry-with-backoff for panicked scenarios) live in the [`checkpoint`]
+//! module; loading a damaged file **never panics** — truncation, bit
+//! corruption, and version skew all surface as typed
+//! [`CheckpointError`] variants.
+//!
 //! # Performance
 //!
 //! The round loop is the measured fast path of this workspace (see
@@ -276,6 +299,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod deviation;
 pub mod divergence;
 mod driver;
@@ -300,11 +324,14 @@ mod scheme;
 mod scheme_kernel;
 pub mod theory;
 
+pub use checkpoint::{
+    read_checkpoint, write_checkpoint, Checkpoint, CheckpointConfig, CheckpointPolicy, Snapshot,
+};
 pub use driver::{BatchReport, Driver, ScenarioError, ScenarioFailure, ScenarioReport};
 pub use engine::{
     FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition, StopReason,
 };
-pub use error::{BuildError, ParseError};
+pub use error::{BuildError, CheckpointError, ParseError};
 pub use experiment::{Experiment, ExperimentBuilder, NeedsMode, Ready};
 pub use fault::{FaultChannel, FaultEvents, FaultSpec, EPOCH_LEN};
 pub use hybrid::SwitchPolicy;
@@ -321,11 +348,14 @@ pub use scheme::{MatchingStrategy, Scheme};
 
 /// Convenient glob import: `use sodiff_core::prelude::*;`.
 pub mod prelude {
+    pub use crate::checkpoint::{
+        read_checkpoint, write_checkpoint, Checkpoint, CheckpointConfig, CheckpointPolicy, Snapshot,
+    };
     pub use crate::driver::{BatchReport, Driver, ScenarioError, ScenarioFailure, ScenarioReport};
     pub use crate::engine::{
         FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition, StopReason,
     };
-    pub use crate::error::{BuildError, ParseError};
+    pub use crate::error::{BuildError, CheckpointError, ParseError};
     pub use crate::experiment::{Experiment, ExperimentBuilder};
     pub use crate::fault::{FaultChannel, FaultEvents, FaultSpec};
     pub use crate::hybrid::SwitchPolicy;

@@ -570,6 +570,7 @@ pub struct SteadyStats {
 /// declared steady. In *horizon* mode the ring holds the whole horizon
 /// and the steadiness check never fires. Both maintain the window sums
 /// incrementally (O(1) per round).
+#[derive(Clone)]
 pub(crate) struct SteadyTracker {
     /// The statistics window (`W` for steady, the horizon for horizon).
     window: usize,
@@ -594,6 +595,53 @@ impl SteadyTracker {
     /// A tracker for `stop=horizon:rounds`.
     pub fn horizon(rounds: usize) -> Self {
         Self::with_capacity(rounds, rounds, false)
+    }
+
+    /// Whether this tracker evaluates the steadiness trigger (steady
+    /// mode) rather than recording a fixed horizon.
+    pub fn checks_steadiness(&self) -> bool {
+        self.check
+    }
+
+    /// The ring and running sums as raw parts
+    /// `(window, ring, pos, len, newer_sum, older_sum, check)` for
+    /// checkpointing.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> (usize, &[f64], usize, usize, f64, f64, bool) {
+        (
+            self.window,
+            &self.ring,
+            self.pos,
+            self.len,
+            self.newer_sum,
+            self.older_sum,
+            self.check,
+        )
+    }
+
+    /// Rebuilds a tracker from checkpointed [`Self::raw_parts`]; returns
+    /// `None` when the parts are not a valid ring.
+    pub fn from_raw_parts(
+        window: usize,
+        ring: Vec<f64>,
+        pos: usize,
+        len: usize,
+        newer_sum: f64,
+        older_sum: f64,
+        check: bool,
+    ) -> Option<Self> {
+        if ring.is_empty() || pos >= ring.len() || len > ring.len() || window == 0 {
+            return None;
+        }
+        Some(Self {
+            window,
+            ring,
+            pos,
+            len,
+            newer_sum,
+            older_sum,
+            check,
+        })
     }
 
     fn with_capacity(window: usize, capacity: usize, check: bool) -> Self {

@@ -197,6 +197,27 @@ impl RemainingImbalance {
         min_latest > min_before - 1.0
     }
 
+    /// The detection window, for checkpointing.
+    pub(crate) fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The trailing `2·window` samples — all [`Self::converged`] and
+    /// [`Self::value`] ever look at — for checkpointing.
+    pub(crate) fn history_tail(&self) -> &[f64] {
+        let keep = self.history.len().min(2 * self.window);
+        &self.history[self.history.len() - keep..]
+    }
+
+    /// Rebuilds a tracker from a checkpointed history tail; returns
+    /// `None` when `window == 0`.
+    pub(crate) fn from_history(window: usize, history: Vec<f64>) -> Option<Self> {
+        if window == 0 {
+            return None;
+        }
+        Some(Self { window, history })
+    }
+
     /// The remaining imbalance: minimum `max − avg` over the latest
     /// window; `None` until [`Self::converged`].
     pub fn value(&self) -> Option<f64> {

@@ -252,6 +252,30 @@ impl RoundJob {
             *o = f64::from_bits(a.load(Ordering::Relaxed));
         }
     }
+
+    /// Overwrites the job's integer loads from `src` (checkpoint
+    /// restore; control thread only, workers parked between rounds).
+    pub fn write_loads_i(&self, src: &[i64]) {
+        for (a, &x) in self.loads_i.iter().zip(src) {
+            a.store(x, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the job's continuous loads from `src` (checkpoint
+    /// restore; control thread only, workers parked between rounds).
+    pub fn write_loads_f(&self, src: &[f64]) {
+        for (a, &x) in self.loads_f.iter().zip(src) {
+            a.store(x.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the job's flow memory from `src` (checkpoint restore;
+    /// control thread only, workers parked between rounds).
+    pub fn write_prev(&self, src: &[f64]) {
+        for (a, &x) in self.prev.iter().zip(src) {
+            a.store(x.to_bits(), Ordering::Relaxed);
+        }
+    }
 }
 
 /// State shared between the pool's owner and the workers.

@@ -16,6 +16,24 @@
 //! [`SplitMix64::for_node_round`]: resuming a state it produced with
 //! [`SplitMix64::new`] yields exactly the canonical `(seed, node, round)`
 //! stream, which `tests/golden_rng.rs` proves draw by draw.
+//!
+//! # No serial RNG state — the checkpointing invariant
+//!
+//! Every random draw in the simulator is a **pure function of its
+//! coordinates**: `(seed, salt, round, counter)` for the fault and load
+//! channels ([`salted_stream_key`] + [`nth_u64`]), `(seed, node, round)`
+//! for the rounding streams. Nothing ever advances a generator that
+//! outlives a round; the only "state" is the key arithmetic above,
+//! recomputed from the coordinates on demand. Two consequences:
+//!
+//! * iteration order is irrelevant — parallel executors reproduce
+//!   sequential runs bit for bit, and
+//! * a run can be **resumed from any `(round, counter)` offset** with
+//!   zero saved RNG bytes: replaying from the offset produces exactly
+//!   the tail of the from-zero stream. This is what lets
+//!   [`crate::checkpoint`] snapshots omit RNG state entirely — the
+//!   `ScenarioSpec`'s seed is sufficient — proven by the
+//!   `resume_from_arbitrary_offset_matches_from_zero` test below.
 
 /// The SplitMix64 state increment (golden-ratio constant).
 const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -268,6 +286,49 @@ mod tests {
                 // And the composition is exactly round_key of the salted
                 // seed, so existing per-channel golden data stays valid.
                 assert_eq!(a, round_key(seed ^ SALT_A, index));
+            }
+        }
+    }
+
+    #[test]
+    fn nth_matches_serial_stream() {
+        // nth_u64 is the counter-indexed form of the serial generator:
+        // the k-th output of SplitMix64::new(S) for any S and k.
+        for state in [0u64, 42, 0xdead_beef, u64::MAX] {
+            let mut serial = SplitMix64::new(state);
+            for k in 0..64u64 {
+                assert_eq!(serial.next_u64(), nth_u64(state, k), "state {state} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_from_arbitrary_offset_matches_from_zero() {
+        // The checkpoint/resume invariant: replaying any stream from an
+        // arbitrary (round, counter) offset yields exactly the tail of
+        // the from-zero stream — no serial RNG state exists to save.
+        const SALT: u64 = 0x6372_6173_685f_9d1c;
+        for seed in [3u64, 99, u64::MAX] {
+            for round in [0u64, 17, 1 << 35] {
+                let key = salted_stream_key(seed, SALT, round);
+                // From-zero reference: draws 0..48 of the round's stream.
+                let reference: Vec<u64> = (0..48).map(|k| nth_u64(key, k)).collect();
+                // "Resume" at arbitrary counter offsets — recomputing the
+                // key from coordinates alone — and check every tail.
+                for offset in [0u64, 1, 7, 31, 47] {
+                    let resumed_key = salted_stream_key(seed, SALT, round);
+                    let tail: Vec<u64> = (offset..48).map(|k| nth_u64(resumed_key, k)).collect();
+                    assert_eq!(
+                        tail[..],
+                        reference[offset as usize..],
+                        "seed {seed} round {round} offset {offset}"
+                    );
+                }
+                // Split-replay composition: j draws, then k more, equals
+                // draw j + k of the uninterrupted stream.
+                for (j, k) in [(0u64, 5u64), (3, 4), (10, 37)] {
+                    assert_eq!(nth_u64(key, j + k), reference[(j + k) as usize]);
+                }
             }
         }
     }

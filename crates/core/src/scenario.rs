@@ -33,6 +33,7 @@
 //! | `flow_memory` | `rounded`, `scheduled` | `rounded` |
 //! | `faults` | `none`, or `+`-joined `crash:P:SEED`, `edgedrop:P:SEED`, `shock:RATE:SEED`, `stale:P:SEED` | `none` |
 //! | `load` | `none`, or `+`-joined `poisson:RATE:SEED`, `hotspot:NODE:BURST:PERIOD:SEED`, `diurnal:AMP:PERIOD`, `adversarial:BURST:PERIOD:SEED` | `none` |
+//! | `ckpt` | `every:N:DIR` (snapshot to `DIR/<name>.ckpt` every `N` rounds; see [`crate::checkpoint`]) | *unset* |
 //! | `hybrid` | `at:R`, `local_diff:T`, `max_minus_avg:T`, `never` | *unset* |
 
 use std::fmt;
@@ -40,6 +41,7 @@ use std::str::FromStr;
 
 use sodiff_graph::{Graph, Speeds, TopologySpec};
 
+use crate::checkpoint::{CheckpointConfig, CheckpointPolicy};
 use crate::engine::{FlowMemory, RunReport, StopCondition};
 use crate::error::{BuildError, ParseError};
 use crate::experiment::Experiment;
@@ -600,6 +602,10 @@ pub struct ScenarioSpec {
     /// Deterministic dynamic-load injection ([`LoadSpec::none`] = the
     /// static workload).
     pub load: LoadSpec,
+    /// Optional periodic checkpointing (`ckpt=every:N:DIR`): the engine
+    /// snapshots the full simulation state to `DIR/<name>.ckpt` every
+    /// `N` rounds, exactly resumable via [`crate::checkpoint`].
+    pub ckpt: Option<CheckpointPolicy>,
     /// Optional SOS→FOS hybrid switch.
     pub hybrid: Option<SwitchPolicy>,
     /// 1-based line of the scenario file this spec came from, when
@@ -626,6 +632,7 @@ impl PartialEq for ScenarioSpec {
             && self.flow_memory == other.flow_memory
             && self.faults == other.faults
             && self.load == other.load
+            && self.ckpt == other.ckpt
             && self.hybrid == other.hybrid
     }
 }
@@ -646,6 +653,7 @@ impl ScenarioSpec {
             flow_memory: FlowMemory::default(),
             faults: FaultSpec::none(),
             load: LoadSpec::none(),
+            ckpt: None,
             hybrid: None,
             source_line: None,
         }
@@ -692,6 +700,13 @@ impl ScenarioSpec {
         }
         if let Some(seed) = self.seed {
             builder = builder.seed(seed);
+        }
+        if let Some(policy) = &self.ckpt {
+            builder = builder.checkpoint(CheckpointConfig {
+                policy: policy.clone(),
+                name: self.name.clone(),
+                spec_line: self.to_string(),
+            });
         }
         if let Some(policy) = self.hybrid {
             builder = builder.hybrid(policy);
@@ -773,6 +788,9 @@ impl fmt::Display for ScenarioSpec {
         if !self.load.is_none() {
             write!(f, " load={}", self.load)?;
         }
+        if let Some(ckpt) = &self.ckpt {
+            write!(f, " ckpt={ckpt}")?;
+        }
         if let Some(policy) = self.hybrid {
             write!(f, " hybrid={policy}")?;
         }
@@ -797,6 +815,7 @@ impl FromStr for ScenarioSpec {
         let mut flow_memory = None;
         let mut faults = None;
         let mut load = None;
+        let mut ckpt = None;
         let mut hybrid = None;
         for token in s.split_whitespace() {
             let (key, value) = token
@@ -887,6 +906,10 @@ impl FromStr for ScenarioSpec {
                     duplicate(load.is_some())?;
                     load = Some(value.parse::<LoadSpec>()?);
                 }
+                "ckpt" => {
+                    duplicate(ckpt.is_some())?;
+                    ckpt = Some(value.parse::<CheckpointPolicy>()?);
+                }
                 "hybrid" => {
                     duplicate(hybrid.is_some())?;
                     hybrid = Some(value.parse::<SwitchPolicy>()?);
@@ -920,6 +943,7 @@ impl FromStr for ScenarioSpec {
             flow_memory: flow_memory.unwrap_or_default(),
             faults: faults.unwrap_or_else(FaultSpec::none),
             load: load.unwrap_or_else(LoadSpec::none),
+            ckpt,
             hybrid,
             source_line: None,
         })

@@ -352,7 +352,9 @@ impl SchemeKernel {
     }
 
     /// The sweep family and its repair style, if the plan is a sweep.
-    fn sweep_family(&self) -> Option<(&[Vec<u64>], bool)> {
+    /// Crate-visible so checkpoint restore can re-materialize the fault
+    /// epoch the snapshot was taken in.
+    pub(crate) fn sweep_family(&self) -> Option<(&[Vec<u64>], bool)> {
         match &self.plan {
             ActivePlan::Sweep { masks, recover } => Some((masks, *recover)),
             _ => None,

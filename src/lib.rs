@@ -18,7 +18,8 @@
 //! plus the unified experiment API at the crate root: the typestate
 //! [`Experiment`] builder, text-serializable [`ScenarioSpec`]s, and the
 //! batch [`Driver`] that executes scenario files over one persistent
-//! worker pool.
+//! worker pool — with exact checkpoint/resume ([`core::checkpoint`]),
+//! durable recovery journals, and bounded retries for crashed scenarios.
 //!
 //! # Quickstart
 //!
@@ -60,11 +61,12 @@ pub use sodiff_linalg as linalg;
 pub use sodiff_viz as viz;
 
 pub use sodiff_core::{
-    BatchReport, BuildError, Driver, Experiment, ExperimentBuilder, FaultChannel, FaultEvents,
-    FaultSpec, InitSpec, InitialLoad, MatchingStrategy, MetricsSnapshot, Mode, ModeSpec,
-    ParseError, Rounding, RoundingSpec, RunReport, ScenarioError, ScenarioFailure, ScenarioReport,
-    ScenarioSpec, Scheme, SchemeSpec, SpeedsSpec, StopCondition, StopReason, StopSpec,
-    SwitchPolicy,
+    read_checkpoint, write_checkpoint, BatchReport, BuildError, Checkpoint, CheckpointConfig,
+    CheckpointError, CheckpointPolicy, Driver, Experiment, ExperimentBuilder, FaultChannel,
+    FaultEvents, FaultSpec, InitSpec, InitialLoad, MatchingStrategy, MetricsSnapshot, Mode,
+    ModeSpec, ParseError, Rounding, RoundingSpec, RunReport, ScenarioError, ScenarioFailure,
+    ScenarioReport, ScenarioSpec, Scheme, SchemeSpec, Snapshot, SpeedsSpec, StopCondition,
+    StopReason, StopSpec, SwitchPolicy,
 };
 pub use sodiff_graph::{Speeds, TopologySpec};
 

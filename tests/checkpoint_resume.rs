@@ -1,0 +1,283 @@
+//! Exact checkpoint/resume over the golden-trace suite.
+//!
+//! For every pinned configuration of `tests/golden_trace.rs` — all
+//! schemes, flow-memory modes, heterogeneous speeds, and the fault- and
+//! load-injected runs, on the sequential executor and on the pool —
+//! this suite proves the resume-exactness contract of the checkpoint
+//! subsystem: running straight to round `R` and running to `k`,
+//! snapshotting **to disk**, restoring into a fresh simulator, and
+//! finishing the remaining rounds produce the *same pinned FNV
+//! checksum*. Loads, flow memory, and the minimum transient load are
+//! bit-identical; nothing about a checkpointed run is approximate.
+//!
+//! Resume points deliberately straddle the 16-round fault/load epoch
+//! boundaries (e.g. `k = 33`) so the epoch re-materialization path of
+//! `Simulator::restore` is exercised, not just the clean case.
+
+use std::path::PathBuf;
+
+use sodiff::prelude::*;
+use sodiff::{read_checkpoint, write_checkpoint, ScenarioSpec};
+
+/// FNV-1a over the full simulation state — the same digest
+/// `tests/golden_trace.rs` pins.
+fn state_checksum(sim: &Simulator<'_>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for &x in sim.loads_i64().expect("golden traces are discrete") {
+        eat(&x.to_le_bytes());
+    }
+    for &f in sim.previous_flows() {
+        eat(&f.to_bits().to_le_bytes());
+    }
+    eat(&sim.min_transient_load().to_bits().to_le_bytes());
+    h
+}
+
+struct Golden {
+    name: &'static str,
+    /// Spec line without `name=`, `threads=`, `stop=`.
+    spec: &'static str,
+    rounds: usize,
+    /// Snapshot round of the interrupted run.
+    resume_at: usize,
+    threads: &'static [usize],
+    /// The pinned golden checksum (see `tests/golden_trace.rs`).
+    checksum: u64,
+}
+
+const GOLDEN: &[Golden] = &[
+    Golden {
+        name: "torus_fos_rounded",
+        spec: "topology=torus2d:8:8 rounding=randomized seed=42 init=point:0:6400",
+        rounds: 60,
+        resume_at: 30,
+        threads: &[1, 3],
+        checksum: 0xc6a410e2f5b1eac5,
+    },
+    Golden {
+        name: "torus_sos_scheduled",
+        spec: "topology=torus2d:8:8 rounding=randomized seed=7 scheme=sos:1.8 \
+               flow_memory=scheduled",
+        rounds: 60,
+        resume_at: 31,
+        threads: &[1, 3],
+        checksum: 0xdef99d824410227d,
+    },
+    Golden {
+        name: "regular_sos_het",
+        spec: "topology=random_regular:60:4:2 rounding=randomized seed=13 scheme=sos:1.7 \
+               speeds=ramp:5 init=point:0:60000",
+        rounds: 80,
+        resume_at: 41,
+        threads: &[1, 3],
+        checksum: 0xcda74ebcdaf7a3a9,
+    },
+    Golden {
+        name: "cycle_fos",
+        spec: "topology=cycle:17 rounding=randomized seed=3 init=point:0:1700",
+        rounds: 45,
+        resume_at: 22,
+        threads: &[1, 3],
+        checksum: 0x7a6af77403c77095,
+    },
+    Golden {
+        name: "torus_de_nearest",
+        spec: "topology=torus2d:8:8 rounding=nearest scheme=de:1 init=point:0:6400",
+        rounds: 60,
+        resume_at: 29,
+        threads: &[1, 3],
+        checksum: 0x1059328902898be5,
+    },
+    Golden {
+        name: "torus_de_randomized",
+        spec: "topology=torus2d:8:8 rounding=randomized seed=42 scheme=de:0.75 \
+               init=point:0:6400",
+        rounds: 60,
+        resume_at: 37,
+        threads: &[1, 3],
+        checksum: 0x309b74ddad5025da,
+    },
+    Golden {
+        name: "cycle_matching_rr",
+        spec: "topology=cycle:17 rounding=nearest scheme=matching:rr:1 init=point:0:1700",
+        rounds: 45,
+        resume_at: 23,
+        threads: &[1, 3],
+        checksum: 0xc26364164de48acf,
+    },
+    Golden {
+        // `resume_at: 33` straddles the crash channel's 16-round epoch:
+        // the restore must re-materialize epoch 2's masks and keep the
+        // cumulative event counters exact.
+        name: "torus_sos_crash_churn",
+        spec: "topology=torus2d:8:8 rounding=nearest scheme=sos:1.7 init=point:0:6400 \
+               faults=crash:0.1:7",
+        rounds: 64,
+        resume_at: 33,
+        threads: &[1, 3],
+        checksum: 0x8cc7ad550f849948,
+    },
+    Golden {
+        // `resume_at: 32` lands exactly on an epoch boundary — the next
+        // round after resume opens a fresh epoch.
+        name: "torus_sos_poisson",
+        spec: "topology=torus2d:8:8 rounding=nearest scheme=sos:1.7 init=point:0:6400 \
+               load=poisson:0.5:7",
+        rounds: 64,
+        resume_at: 32,
+        threads: &[1, 3],
+        checksum: 0x528126d94fdd1296,
+    },
+    Golden {
+        name: "regular_matching_random",
+        spec: "topology=random_regular:60:4:2 rounding=unbiased seed=13 \
+               scheme=matching:random:7:1 speeds=ramp:5 init=point:0:60000",
+        rounds: 80,
+        resume_at: 43,
+        threads: &[1, 4],
+        checksum: 0x7cbb471521179a82,
+    },
+];
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sodiff-ckpt-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn resume_matches_pinned_golden_checksums() {
+    let dir = scratch_dir("resume");
+    for cfg in GOLDEN {
+        for &threads in cfg.threads {
+            let line = format!(
+                "name={} {} threads={threads} stop=rounds:{}",
+                cfg.name, cfg.spec, cfg.rounds
+            );
+            let spec: ScenarioSpec = line.parse().unwrap();
+            let graph = spec.build_graph().unwrap();
+            let experiment = spec.experiment_on(&graph).unwrap();
+
+            // Uninterrupted reference run: must hit the pinned checksum
+            // (the spec line reproduces the golden builder config).
+            let mut whole = experiment.simulator();
+            whole.run_until(StopCondition::MaxRounds(cfg.rounds));
+            assert_eq!(
+                state_checksum(&whole),
+                cfg.checksum,
+                "{} t{threads}: uninterrupted run diverged from the pinned trace",
+                cfg.name
+            );
+
+            // Interrupted run: stop at k, snapshot through the on-disk
+            // format, restore into a FRESH simulator, finish.
+            let mut first = experiment.simulator();
+            first.run_until(StopCondition::MaxRounds(cfg.resume_at));
+            let snap = first.snapshot();
+            assert_eq!(snap.round(), cfg.resume_at as u64);
+            let path = dir.join(format!("{}-t{threads}.ckpt", cfg.name));
+            write_checkpoint(&path, &spec, &snap).unwrap();
+            let ckpt = read_checkpoint(&path).unwrap();
+            assert_eq!(ckpt.spec, spec, "{}: header spec round-trips", cfg.name);
+            assert_eq!(ckpt.snapshot.round(), cfg.resume_at as u64);
+
+            let mut resumed = experiment.simulator();
+            resumed.restore(&ckpt.snapshot).unwrap();
+            // `MaxRounds` counts rounds per call: ask for the remainder.
+            resumed.run_until(StopCondition::MaxRounds(cfg.rounds - cfg.resume_at));
+            assert_eq!(
+                state_checksum(&resumed),
+                cfg.checksum,
+                "{} t{threads}: resume at {} diverged from the pinned trace",
+                cfg.name,
+                cfg.resume_at
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `ckpt=every:N:DIR` scenario key auto-writes resumable snapshots
+/// from inside the round loop; the latest one restores to the exact
+/// final state of the run that wrote it.
+#[test]
+fn scenario_ckpt_key_writes_resumable_checkpoints() {
+    let dir = scratch_dir("auto");
+    let line = format!(
+        "name=auto topology=torus2d:8:8 rounding=nearest scheme=sos:1.7 init=point:0:6400 \
+         faults=crash:0.1:7 ckpt=every:16:{} stop=rounds:64",
+        dir.display()
+    );
+    let spec: ScenarioSpec = line.parse().unwrap();
+    let report = spec.run().unwrap();
+    assert_eq!(report.rounds, 64);
+
+    let ckpt = read_checkpoint(&dir.join("auto.ckpt")).unwrap();
+    assert_eq!(
+        ckpt.snapshot.round(),
+        64,
+        "latest snapshot is the final one"
+    );
+    assert_eq!(ckpt.spec, spec);
+    // Resuming a checkpoint taken at the stop round replays zero rounds.
+    let resumed = ckpt.resume().unwrap();
+    assert_eq!(resumed.rounds, 0);
+
+    // A checkpoint from a SHORTER run of the same scenario resumes to
+    // the same final metrics the full run reported.
+    let line = format!(
+        "name=auto2 topology=torus2d:8:8 rounding=nearest scheme=sos:1.7 init=point:0:6400 \
+         faults=crash:0.1:7 ckpt=every:16:{} stop=rounds:64",
+        dir.display()
+    );
+    let spec2: ScenarioSpec = line.parse().unwrap();
+    let graph = spec2.build_graph().unwrap();
+    let experiment = spec2.experiment_on(&graph).unwrap();
+    let mut partial = experiment.simulator();
+    partial.run_until(StopCondition::MaxRounds(48));
+    let resumed = read_checkpoint(&dir.join("auto2.ckpt"))
+        .unwrap()
+        .resume()
+        .unwrap();
+    assert_eq!(resumed.rounds, 16, "48 of 64 rounds were already done");
+    assert_eq!(resumed.final_metrics, report.final_metrics);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Restoring into a mismatched simulator (different topology, or a
+/// different initial total) is rejected with a typed error before any
+/// state is touched.
+#[test]
+fn restore_rejects_mismatched_simulators() {
+    let spec: ScenarioSpec = "name=src topology=torus2d:8:8 rounding=nearest seed=1 \
+                              init=point:0:6400 stop=rounds:40"
+        .parse()
+        .unwrap();
+    let graph = spec.build_graph().unwrap();
+    let experiment = spec.experiment_on(&graph).unwrap();
+    let mut sim = experiment.simulator();
+    sim.run_until(StopCondition::MaxRounds(10));
+    let snap = sim.snapshot();
+
+    let other: ScenarioSpec = "name=dst topology=cycle:17 rounding=nearest seed=1 \
+                               stop=rounds:40"
+        .parse()
+        .unwrap();
+    let other_graph = other.build_graph().unwrap();
+    let other_exp = other.experiment_on(&other_graph).unwrap();
+    let mut other_sim = other_exp.simulator();
+    let before = state_checksum(&other_sim);
+    let err = other_sim.restore(&snap).unwrap_err();
+    assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    assert_eq!(
+        state_checksum(&other_sim),
+        before,
+        "failed restore must not mutate the target"
+    );
+}

@@ -4,8 +4,10 @@
 
 use proptest::prelude::*;
 
+use std::path::PathBuf;
+
 use sodiff::core::prelude::*;
-use sodiff::core::{InitSpec, ModeSpec, SchemeSpec, SpeedsSpec, StopSpec};
+use sodiff::core::{CheckpointPolicy, InitSpec, ModeSpec, SchemeSpec, SpeedsSpec, StopSpec};
 
 fn any_topology() -> impl Strategy<Value = TopologySpec> {
     prop_oneof![
@@ -137,6 +139,18 @@ fn any_hybrid() -> impl Strategy<Value = Option<SwitchPolicy>> {
     ]
 }
 
+fn any_ckpt() -> impl Strategy<Value = Option<CheckpointPolicy>> {
+    prop_oneof![
+        Just(None),
+        (1u64..100, 0usize..3).prop_map(|(every, pick)| {
+            Some(CheckpointPolicy {
+                every,
+                dir: PathBuf::from(["ckpts", "out/snaps", "state"][pick]),
+            })
+        }),
+    ]
+}
+
 fn any_spec() -> impl Strategy<Value = ScenarioSpec> {
     (
         (
@@ -150,14 +164,14 @@ fn any_spec() -> impl Strategy<Value = ScenarioSpec> {
             any_stop(),
             any_load(),
             any_hybrid(),
-            any::<bool>(),
-            (0usize..5, 1usize..9),
+            any_ckpt(),
+            (any::<bool>(), 0usize..5, 1usize..9),
         ),
     )
         .prop_map(
             |(
                 (topology, speeds, scheme, mode, init),
-                (stop, load, hybrid, seeded, (name_pick, threads)),
+                (stop, load, hybrid, ckpt, (seeded, name_pick, threads)),
             )| {
                 let mut spec = ScenarioSpec::new(topology);
                 spec.name = ["scenario", "fig_01", "a", "sweep-3", "x9"][name_pick].to_string();
@@ -175,6 +189,7 @@ fn any_spec() -> impl Strategy<Value = ScenarioSpec> {
                     FlowMemory::Rounded
                 };
                 spec.hybrid = hybrid;
+                spec.ckpt = ckpt;
                 spec
             },
         )
@@ -290,6 +305,10 @@ fn scenario_parse_error_paths_are_specific() {
         ("topology=cycle:8 rounding=banker", "unknown rounding"),
         ("topology=cycle:8 speeds=warp:9", "invalid speeds"),
         ("topology=cycle:8 init=everywhere", "invalid init"),
+        // Checkpoint policies.
+        ("topology=cycle:8 ckpt=every:0:dir", "must be positive"),
+        ("topology=cycle:8 ckpt=every:16:", "expected every:N:DIR"),
+        ("topology=cycle:8 ckpt=sometimes", "invalid ckpt"),
     ];
     for (text, needle) in cases {
         let err = text
