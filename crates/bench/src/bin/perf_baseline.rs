@@ -65,6 +65,9 @@ struct Case {
     /// Auto-checkpoint config; `None` keeps the case on the
     /// persistence-free round loop.
     ckpt: Option<CheckpointConfig>,
+    /// State-storage width; `MemSpec::Full` keeps the case on the
+    /// default full-width (`f64`/`i64`) code paths.
+    mem: MemSpec,
 }
 
 struct Measurement {
@@ -84,6 +87,10 @@ struct Measurement {
     ns_per_edge_min: f64,
     edge_updates_per_sec: f64,
     tokens_per_sec: f64,
+    /// Bytes of mutable simulation state (loads, flow memory, integral
+    /// flows, arc fractions — sequential buffers plus the pool job's
+    /// atomic mirrors). `mem=compact` halves this.
+    state_bytes: usize,
 }
 
 fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
@@ -94,12 +101,21 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
         Some(rounding) => builder.discrete(rounding),
         None => builder.continuous(),
     };
+    // `paper_default` is 1000·n tokens at node 0; on multi-million-node
+    // graphs that exceeds the compact layout's i32 total cap, so compact
+    // cases fall back to 100·n (round cost is init-magnitude independent).
+    let init = if case.mem == MemSpec::Compact && 1000 * n as i64 > i64::from(i32::MAX / 4) {
+        InitialLoad::point(0, 100 * n as i64)
+    } else {
+        InitialLoad::paper_default(n)
+    };
     let builder = builder
         .scheme(case.scheme)
         .threads(case.threads)
-        .init(InitialLoad::paper_default(n))
+        .init(init)
         .faults(case.faults)
-        .load(case.loads);
+        .load(case.loads)
+        .mem(case.mem);
     let builder = match &case.ckpt {
         Some(ckpt) => builder.checkpoint(ckpt.clone()),
         None => builder,
@@ -116,7 +132,12 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
     let mut tokens_per_round = 0.0;
     for _ in 0..3 {
         sim.step();
-        tokens_per_round += sim.previous_flows().iter().map(|f| f.abs()).sum::<f64>() / 3.0;
+        tokens_per_round += sim
+            .previous_flows_to_f64()
+            .iter()
+            .map(|f| f.abs())
+            .sum::<f64>()
+            / 3.0;
     }
     let start = Instant::now();
     let mut rounds = 0u64;
@@ -144,6 +165,7 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
     let ns_per_round = total_secs * 1e9 / rounds as f64;
     let ns_per_edge = ns_per_round / m as f64;
     let ns_per_edge_min = min_batch_secs * 1e9 / 8.0 / m as f64;
+    let state_bytes = sim.state_bytes();
     Measurement {
         graph_name: case.graph_name.to_string(),
         config_name: case.config_name.to_string(),
@@ -157,6 +179,7 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
         ns_per_edge_min,
         edge_updates_per_sec: 1e9 / ns_per_edge,
         tokens_per_sec: tokens_per_round / (ns_per_round / 1e9),
+        state_bytes,
     }
 }
 
@@ -316,7 +339,18 @@ fn main() {
     let ckpt_dir = std::env::temp_dir().join(format!("sodiff-bench-ckpt-{}", std::process::id()));
     std::fs::create_dir_all(&ckpt_dir).expect("create checkpoint scratch dir");
 
-    let cases: Vec<(&Graph, Case)> = vec![
+    // Large-graph locality probes (skipped under `--quick`): a
+    // 2048×2048 torus (4.2M nodes, 8.4M edges — per-edge state far past
+    // the last-level cache) in generator edge order, and the same graph
+    // after `reorder_edges_blocked` renumbers edges node-block-major so
+    // flow arrays stream in load order. The blocked graph runs a
+    // *different but equally valid* simulation (edge ids key the RNG
+    // streams), so these rows are locality probes, not golden surfaces;
+    // the compact row shows the diet's bytes cut at this scale.
+    let huge = (!quick).then(|| generators::torus2d(2048, 2048));
+    let huge_blocked = huge.as_ref().map(|g| g.reorder_edges_blocked(32 * 1024));
+
+    let mut cases: Vec<(&Graph, Case)> = vec![
         (
             &big,
             Case {
@@ -329,6 +363,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -343,6 +378,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -357,6 +393,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -371,6 +408,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -385,6 +423,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -399,6 +438,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -413,6 +453,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -427,6 +468,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         // Metric-stopped rounds: same kernel as sos_discrete_nearest but
@@ -445,6 +487,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         // Fault-injection axis. `sos_faults_none` is the exact
@@ -467,6 +510,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -481,6 +525,7 @@ fn main() {
                 faults: FaultSpec::none().with_crash(0.05, 42),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         // Dynamic-workload axis. `sos_load_none` is the exact
@@ -503,6 +548,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -517,6 +563,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none().with_poisson(2.0, 42),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         // Checkpoint axis. `sos_ckpt_none` is the exact `sos_load_none`
@@ -539,6 +586,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -562,6 +610,46 @@ fn main() {
                         "name=sos_ckpt_every16 topology=torus2d:{mid_side}:{mid_side}"
                     ),
                 }),
+                mem: MemSpec::Full,
+            },
+        ),
+        // Memory-layout axis. `sos_mem_full` is the exact
+        // `sos_ckpt_none` configuration with the state width spelled
+        // out as `MemSpec::Full`: the CI zero-cost gate compares the
+        // two in the same run to prove the generic-buffer plumbing
+        // costs nothing on the default layout. `sos_mem_compact` runs
+        // the same kernel on the half-width (`i32`/`f32`) state — the
+        // widen/narrow conversions per access are the measured price of
+        // halving `state_bytes` — and is gated at +25% over the
+        // committed ratio like the other kernels.
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_mem_full",
+                threads: 1,
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
+                threshold_stop: true,
+                faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
+                ckpt: None,
+                mem: MemSpec::Full,
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_mem_compact",
+                threads: 1,
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
+                threshold_stop: true,
+                faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
+                ckpt: None,
+                mem: MemSpec::Compact,
             },
         ),
         // Pairwise schemes (scheme-kernel layer): the masked edge pass
@@ -580,6 +668,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -594,6 +683,7 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         (
@@ -608,9 +698,40 @@ fn main() {
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
     ];
+    if let (Some(huge), Some(huge_blocked)) = (&huge, &huge_blocked) {
+        let fos_case = |graph_name: &'static str, config_name: &'static str, mem: MemSpec| Case {
+            graph_name,
+            config_name,
+            threads: 1,
+            scheme: Scheme::fos(),
+            rounding: Some(Rounding::nearest()),
+            threshold_stop: false,
+            faults: FaultSpec::none(),
+            loads: LoadSpec::none(),
+            ckpt: None,
+            mem,
+        };
+        cases.push((
+            huge,
+            fos_case("torus2048x2048", "fos_huge_nearest", MemSpec::Full),
+        ));
+        cases.push((
+            huge_blocked,
+            fos_case("torus2048x2048_blocked", "fos_huge_nearest", MemSpec::Full),
+        ));
+        cases.push((
+            huge_blocked,
+            fos_case(
+                "torus2048x2048_blocked",
+                "fos_huge_compact",
+                MemSpec::Compact,
+            ),
+        ));
+    }
 
     let mut results = Vec::new();
     for (graph, case) in &cases {
@@ -623,14 +744,15 @@ fn main() {
         }
         let r = measure(graph, case, budget_secs);
         println!(
-            "{}/{} threads={}: {:.1} ns/round ({:.2} ns/edge, {:.2e} edge-updates/s, {:.2e} tokens/s)",
+            "{}/{} threads={}: {:.1} ns/round ({:.2} ns/edge, {:.2e} edge-updates/s, {:.2e} tokens/s, {} state bytes)",
             r.graph_name,
             r.config_name,
             r.threads,
             r.ns_per_round,
             r.ns_per_edge,
             r.edge_updates_per_sec,
-            r.tokens_per_sec
+            r.tokens_per_sec,
+            r.state_bytes
         );
         results.push(r);
     }
@@ -684,7 +806,7 @@ fn main() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         writeln!(
             json,
-            "    {{\"graph\": \"{}\", \"config\": \"{}\", \"threads\": {}, \"nodes\": {}, \"edges\": {}, \"rounds\": {}, \"total_secs\": {:.4}, \"ns_per_round\": {:.1}, \"ns_per_edge\": {:.3}, \"ns_per_edge_min\": {:.3}, \"edge_updates_per_sec\": {:.4e}, \"tokens_per_sec\": {:.4e}}}{comma}",
+            "    {{\"graph\": \"{}\", \"config\": \"{}\", \"threads\": {}, \"nodes\": {}, \"edges\": {}, \"rounds\": {}, \"total_secs\": {:.4}, \"ns_per_round\": {:.1}, \"ns_per_edge\": {:.3}, \"ns_per_edge_min\": {:.3}, \"edge_updates_per_sec\": {:.4e}, \"tokens_per_sec\": {:.4e}, \"state_bytes\": {}}}{comma}",
             r.graph_name,
             r.config_name,
             r.threads,
@@ -696,7 +818,8 @@ fn main() {
             r.ns_per_edge,
             r.ns_per_edge_min,
             r.edge_updates_per_sec,
-            r.tokens_per_sec
+            r.tokens_per_sec,
+            r.state_bytes
         )
         .unwrap();
     }

@@ -43,12 +43,16 @@ use crate::error::{BuildError, CheckpointError};
 use crate::fault::{DivergenceWatch, FaultEvents, FaultSpec};
 use crate::hybrid::SwitchPolicy;
 use crate::init::InitialLoad;
-use crate::kernel::{KernelTables, LoadStats};
+use crate::kernel::{
+    cells_f32, cells_f64, cells_i32, cells_i64, AtomicsF32, AtomicsF64, AtomicsI32, AtomicsI64,
+    KernelTables, LoadStats,
+};
 use crate::load::{LoadEvents, LoadSpec, SteadyStats, SteadyTracker};
 use crate::metrics::{local_diff_with, snapshot_with_total, MetricsSnapshot, RemainingImbalance};
 use crate::observer::Observer;
-use crate::pool::{RoundJob, WorkerPool};
+use crate::pool::{JobLoads, RoundJob, WorkerPool};
 use crate::rounding::Rounding;
+use crate::scenario::MemSpec;
 use crate::scheme::Scheme;
 use crate::scheme_kernel::{RoundScratch, SchemeKernel};
 
@@ -100,6 +104,11 @@ pub struct SimulationConfig {
     /// Periodic checkpointing (`None` = never snapshot; the zero-cost
     /// default, branch-predicted away in the round loop).
     pub ckpt: Option<CheckpointConfig>,
+    /// State-storage width ([`MemSpec::Full`] = the bit-pinned `i64`/`f64`
+    /// reference layout; [`MemSpec::Compact`] halves per-node and per-edge
+    /// state bytes by storing loads and flow memory as `i32`/`f32` while
+    /// keeping all arithmetic in `f64`).
+    pub mem: MemSpec,
 }
 
 impl SimulationConfig {
@@ -298,6 +307,17 @@ enum State {
     Continuous {
         loads: Vec<f64>,
     },
+    /// `mem=compact` discrete state: `i32` tokens and integral flows.
+    /// All per-round arithmetic still runs in `f64`; only the stored
+    /// representation narrows (see [`crate::kernel::BufI64`]).
+    DiscreteCompact {
+        loads: Vec<i32>,
+        int_flows: Vec<i32>,
+    },
+    /// `mem=compact` continuous state: `f32` loads, `f64` arithmetic.
+    ContinuousCompact {
+        loads: Vec<f32>,
+    },
 }
 
 /// The simulation's attachment to a worker pool: the pool itself (owned
@@ -381,11 +401,16 @@ pub struct Simulator<'g> {
     flow_memory: FlowMemory,
     threads: usize,
     state: State,
-    /// Previous-round flow memory for SOS (always stored as `f64`).
+    /// Previous-round flow memory for SOS (`f64` storage; empty in
+    /// `mem=compact` runs, which use [`Simulator::prev_flow32`]).
     prev_flow: Vec<f64>,
+    /// Compact twin of `prev_flow` (`mem=compact` only; empty otherwise).
+    prev_flow32: Vec<f32>,
     /// Scratch: arc-indexed signed scheduled flows (sequential
-    /// randomized-framework path).
+    /// randomized-framework path; empty in `mem=compact` runs).
     arc_frac: Vec<f64>,
+    /// Compact twin of `arc_frac` (`mem=compact` only; empty otherwise).
+    arc_frac32: Vec<f32>,
     /// Control-thread round scratch: framework rounding states plus
     /// random-matching generation buffers.
     scratch: RoundScratch,
@@ -436,6 +461,11 @@ impl<'g> Simulator<'g> {
             return Err(BuildError::ZeroThreads);
         }
         init.check(n).map_err(BuildError::InvalidInitialLoad)?;
+        let compact = config.mem == MemSpec::Compact;
+        if compact {
+            init.check_compact(n)
+                .map_err(BuildError::InvalidInitialLoad)?;
+        }
         let loads = init.materialize(n);
         let initial_total = loads.iter().map(|&x| x as f64).sum();
         let m = graph.edge_count();
@@ -451,23 +481,39 @@ impl<'g> Simulator<'g> {
         let tables = Arc::new(KernelTables::new(graph, &speeds, framework, initial_total));
         scheme_kernel.finish(&tables);
         let scheme_kernel = Arc::new(scheme_kernel);
-        let state = match config.mode {
-            Mode::Discrete(_) => State::Discrete {
+        let state = match (config.mode, compact) {
+            (Mode::Discrete(_), false) => State::Discrete {
                 loads,
                 int_flows: vec![0; m],
             },
-            Mode::Continuous => State::Continuous {
+            (Mode::Continuous, false) => State::Continuous {
                 loads: loads.iter().map(|&x| x as f64).collect(),
+            },
+            // check_compact() bounded the total, so every per-node load
+            // (and any transient concentration of it) fits an i32.
+            (Mode::Discrete(_), true) => State::DiscreteCompact {
+                loads: loads.iter().map(|&x| x as i32).collect(),
+                int_flows: vec![0; m],
+            },
+            (Mode::Continuous, true) => State::ContinuousCompact {
+                loads: loads.iter().map(|&x| x as f32).collect(),
             },
         };
         let min_transient = match &state {
             State::Discrete { loads, .. } => loads.iter().copied().min().unwrap_or(0) as f64,
             State::Continuous { loads } => loads.iter().copied().fold(f64::INFINITY, f64::min),
+            State::DiscreteCompact { loads, .. } => loads.iter().copied().min().unwrap_or(0) as f64,
+            State::ContinuousCompact { loads } => loads
+                .iter()
+                .map(|&x| f64::from(x))
+                .fold(f64::INFINITY, f64::min),
         };
         let pool = if threads > 1 {
-            let (loads_i, loads_f): (&[i64], &[f64]) = match &state {
-                State::Discrete { loads, .. } => (loads, &[]),
-                State::Continuous { loads } => (&[], loads),
+            let job_loads = match &state {
+                State::Discrete { loads, .. } => JobLoads::I64(loads),
+                State::Continuous { loads } => JobLoads::F64(loads),
+                State::DiscreteCompact { loads, .. } => JobLoads::I32(loads),
+                State::ContinuousCompact { loads } => JobLoads::F32(loads),
             };
             let pool = shared_pool.unwrap_or_else(|| Arc::new(WorkerPool::new(threads)));
             let job = Arc::new(RoundJob::new(
@@ -475,8 +521,7 @@ impl<'g> Simulator<'g> {
                 Arc::clone(&tables),
                 Arc::clone(&scheme_kernel),
                 config.flow_memory,
-                loads_i,
-                loads_f,
+                job_loads,
             ));
             Some(PoolAttachment { pool, job })
         } else {
@@ -484,8 +529,18 @@ impl<'g> Simulator<'g> {
         };
         // The sequential framework path needs the arc-indexed scheduled
         // scratch; the fused edge-local path and the pool do not.
-        let arc_frac = if framework && pool.is_none() {
-            vec![0.0; graph.arc_count()]
+        let seq_arcs = if framework && pool.is_none() {
+            graph.arc_count()
+        } else {
+            0
+        };
+        let arc_frac = if compact {
+            Vec::new()
+        } else {
+            vec![0.0; seq_arcs]
+        };
+        let arc_frac32 = if compact {
+            vec![0.0; seq_arcs]
         } else {
             Vec::new()
         };
@@ -498,8 +553,10 @@ impl<'g> Simulator<'g> {
             flow_memory: config.flow_memory,
             threads,
             state,
-            prev_flow: vec![0.0; m],
+            prev_flow: if compact { Vec::new() } else { vec![0.0; m] },
+            prev_flow32: if compact { vec![0.0; m] } else { Vec::new() },
             arc_frac,
+            arc_frac32,
             scratch: RoundScratch::new(),
             pool,
             round: 0,
@@ -539,31 +596,48 @@ impl<'g> Simulator<'g> {
 
     /// Returns `true` in discrete mode.
     pub fn is_discrete(&self) -> bool {
-        matches!(self.state, State::Discrete { .. })
+        matches!(
+            self.state,
+            State::Discrete { .. } | State::DiscreteCompact { .. }
+        )
     }
 
-    /// Integer loads (discrete mode only).
+    /// Returns `true` when this run stores state in the compact
+    /// (`mem=compact`) `i32`/`f32` layout.
+    pub fn is_compact(&self) -> bool {
+        matches!(
+            self.state,
+            State::DiscreteCompact { .. } | State::ContinuousCompact { .. }
+        )
+    }
+
+    /// Integer loads (full-width discrete mode only; `None` in
+    /// continuous and `mem=compact` runs — use [`Simulator::load_of`]
+    /// or [`Simulator::loads_to_f64`] there).
     pub fn loads_i64(&self) -> Option<&[i64]> {
         match &self.state {
             State::Discrete { loads, .. } => Some(loads),
-            State::Continuous { .. } => None,
+            _ => None,
         }
     }
 
-    /// Continuous loads (continuous mode only).
+    /// Continuous loads (full-width continuous mode only; `None` in
+    /// discrete and `mem=compact` runs).
     pub fn loads_f64(&self) -> Option<&[f64]> {
         match &self.state {
             State::Continuous { loads } => Some(loads),
-            State::Discrete { .. } => None,
+            _ => None,
         }
     }
 
-    /// Load of node `i` as `f64`, regardless of mode.
+    /// Load of node `i` as `f64`, regardless of mode or memory layout.
     #[inline]
     pub fn load_of(&self, i: usize) -> f64 {
         match &self.state {
             State::Discrete { loads, .. } => loads[i] as f64,
             State::Continuous { loads } => loads[i],
+            State::DiscreteCompact { loads, .. } => loads[i] as f64,
+            State::ContinuousCompact { loads } => f64::from(loads[i]),
         }
     }
 
@@ -580,6 +654,8 @@ impl<'g> Simulator<'g> {
         match &self.state {
             State::Discrete { loads, .. } => loads.iter().map(|&x| x as f64).sum(),
             State::Continuous { loads } => loads.iter().sum(),
+            State::DiscreteCompact { loads, .. } => loads.iter().map(|&x| x as f64).sum(),
+            State::ContinuousCompact { loads } => loads.iter().map(|&x| f64::from(x)).sum(),
         }
     }
 
@@ -594,9 +670,43 @@ impl<'g> Simulator<'g> {
         self.min_transient
     }
 
-    /// Flow sent in the previous round, per canonical edge (the SOS memory).
+    /// Flow sent in the previous round, per canonical edge (the SOS
+    /// memory). **Empty in `mem=compact` runs**, which store flow memory
+    /// as `f32` — use [`Simulator::previous_flows_to_f64`] for a
+    /// layout-independent copy.
     pub fn previous_flows(&self) -> &[f64] {
         &self.prev_flow
+    }
+
+    /// Copies the previous-round flow memory into a fresh `f64` vector,
+    /// regardless of memory layout (compact `f32` values widen exactly).
+    pub fn previous_flows_to_f64(&self) -> Vec<f64> {
+        if self.is_compact() {
+            self.prev_flow32.iter().map(|&x| f64::from(x)).collect()
+        } else {
+            self.prev_flow.clone()
+        }
+    }
+
+    /// Bytes of per-node and per-edge simulation state this simulator
+    /// holds: loads, integral flows, SOS flow memory, and arc-fraction
+    /// scratch, plus the pool job's mirrors when running threaded.
+    /// `mem=compact` halves every category counted here; auxiliary
+    /// metadata (masks, per-block partials, kernel tables) is excluded
+    /// because both layouts share it unchanged.
+    pub fn state_bytes(&self) -> usize {
+        let own = match &self.state {
+            State::Discrete { loads, int_flows } => 8 * (loads.len() + int_flows.len()),
+            State::Continuous { loads } => 8 * loads.len(),
+            State::DiscreteCompact { loads, int_flows } => 4 * (loads.len() + int_flows.len()),
+            State::ContinuousCompact { loads } => 4 * loads.len(),
+        };
+        own + 8 * (self.prev_flow.len() + self.arc_frac.len())
+            + 4 * (self.prev_flow32.len() + self.arc_frac32.len())
+            + self
+                .pool
+                .as_ref()
+                .map_or(0, |attachment| attachment.job.state_bytes())
     }
 
     /// Freezes the complete evolving state of this simulation at the
@@ -633,9 +743,17 @@ impl<'g> Simulator<'g> {
         steady: Option<&SteadyTracker>,
         plateau: Option<&RemainingImbalance>,
     ) -> Snapshot {
+        // Compact state widens losslessly into the full-width snapshot
+        // forms, so the on-disk format (and its VERSION) is layout-free.
         let loads = match &self.state {
             State::Discrete { loads, .. } => LoadsSnapshot::Discrete(loads.clone()),
             State::Continuous { loads } => LoadsSnapshot::Continuous(loads.clone()),
+            State::DiscreteCompact { loads, .. } => {
+                LoadsSnapshot::Discrete(loads.iter().map(|&x| i64::from(x)).collect())
+            }
+            State::ContinuousCompact { loads } => {
+                LoadsSnapshot::Continuous(loads.iter().map(|&x| f64::from(x)).collect())
+            }
         };
         let round_stats = self.round_stats.map(|s| {
             [
@@ -681,7 +799,7 @@ impl<'g> Simulator<'g> {
             initial_total: self.initial_total,
             round_stats,
             loads,
-            prev_flow: self.prev_flow.clone(),
+            prev_flow: self.previous_flows_to_f64(),
             fault_events: self.scratch.fault.events,
             load_events: self.scratch.load.events,
             watch,
@@ -742,6 +860,42 @@ impl<'g> Simulator<'g> {
                 snap.initial_total, self.initial_total
             )));
         }
+        // Compact runs must be able to re-narrow the widened snapshot
+        // bit-exactly; validate every value BEFORE touching any state so
+        // the simulator stays unmodified on error. (Snapshots taken from
+        // a compact run always pass: widening f32→f64 / i32→i64 is
+        // lossless. Only a snapshot from a *full-width* run of the same
+        // spec could fail, and then the state genuinely doesn't fit.)
+        if self.is_compact() {
+            match &snap.loads {
+                LoadsSnapshot::Discrete(src) => {
+                    if let Some(&bad) = src.iter().find(|&&x| i64::from(x as i32) != x) {
+                        return Err(CheckpointError::Mismatch(format!(
+                            "snapshot load {bad} does not fit the mem=compact i32 storage"
+                        )));
+                    }
+                }
+                LoadsSnapshot::Continuous(src) => {
+                    if let Some(&bad) = src
+                        .iter()
+                        .find(|&&x| f64::from(x as f32).to_bits() != x.to_bits())
+                    {
+                        return Err(CheckpointError::Mismatch(format!(
+                            "snapshot load {bad} does not narrow exactly to the                              mem=compact f32 storage"
+                        )));
+                    }
+                }
+            }
+            if let Some(&bad) = snap
+                .prev_flow
+                .iter()
+                .find(|&&x| f64::from(x as f32).to_bits() != x.to_bits())
+            {
+                return Err(CheckpointError::Mismatch(format!(
+                    "snapshot flow memory {bad} does not narrow exactly to the                      mem=compact f32 storage"
+                )));
+            }
+        }
         match (&mut self.state, &snap.loads) {
             (State::Discrete { loads, .. }, LoadsSnapshot::Discrete(src)) => {
                 loads.copy_from_slice(src);
@@ -749,15 +903,37 @@ impl<'g> Simulator<'g> {
             (State::Continuous { loads }, LoadsSnapshot::Continuous(src)) => {
                 loads.copy_from_slice(src);
             }
+            (State::DiscreteCompact { loads, .. }, LoadsSnapshot::Discrete(src)) => {
+                for (l, &x) in loads.iter_mut().zip(src) {
+                    *l = x as i32;
+                }
+            }
+            (State::ContinuousCompact { loads }, LoadsSnapshot::Continuous(src)) => {
+                for (l, &x) in loads.iter_mut().zip(src) {
+                    *l = x as f32;
+                }
+            }
             _ => unreachable!("mode checked above"),
         }
-        self.prev_flow.copy_from_slice(&snap.prev_flow);
+        if self.is_compact() {
+            for (p, &x) in self.prev_flow32.iter_mut().zip(&snap.prev_flow) {
+                *p = x as f32;
+            }
+        } else {
+            self.prev_flow.copy_from_slice(&snap.prev_flow);
+        }
         if let Some(attachment) = &self.pool {
             match &self.state {
                 State::Discrete { loads, .. } => attachment.job.write_loads_i(loads),
                 State::Continuous { loads } => attachment.job.write_loads_f(loads),
+                State::DiscreteCompact { loads, .. } => attachment.job.write_loads_i32(loads),
+                State::ContinuousCompact { loads } => attachment.job.write_loads_f32(loads),
             }
-            attachment.job.write_prev(&self.prev_flow);
+            if self.is_compact() {
+                attachment.job.write_prev32(&self.prev_flow32);
+            } else {
+                attachment.job.write_prev(&self.prev_flow);
+            }
         }
         self.round = snap.round;
         self.rounds_in_scheme = snap.rounds_in_scheme;
@@ -916,7 +1092,9 @@ impl<'g> Simulator<'g> {
             scheme_kernel,
             state,
             prev_flow,
+            prev_flow32,
             arc_frac,
+            arc_frac32,
             scratch,
             flow_memory,
             round,
@@ -925,6 +1103,9 @@ impl<'g> Simulator<'g> {
             ..
         } = self;
         let t = &**tables;
+        // Each arm monomorphizes the generic round over its layout's
+        // buffer handles; the full-width arms compile to the exact
+        // pre-compact code (Cell wrappers are free).
         let stats = match state {
             State::Discrete { loads, int_flows } => scheme_kernel.run_discrete_seq(
                 t,
@@ -933,14 +1114,45 @@ impl<'g> Simulator<'g> {
                 gain,
                 *round,
                 *flow_memory,
-                loads,
-                prev_flow,
-                int_flows,
-                arc_frac,
+                &cells_i64(loads),
+                &cells_f64(prev_flow),
+                &cells_i64(int_flows),
+                &cells_f64(arc_frac),
                 scratch,
             ),
-            State::Continuous { loads } => scheme_kernel
-                .run_continuous_seq(t, graph, mem, gain, *round, loads, prev_flow, scratch),
+            State::Continuous { loads } => scheme_kernel.run_continuous_seq(
+                t,
+                graph,
+                mem,
+                gain,
+                *round,
+                &cells_f64(loads),
+                &cells_f64(prev_flow),
+                scratch,
+            ),
+            State::DiscreteCompact { loads, int_flows } => scheme_kernel.run_discrete_seq(
+                t,
+                graph,
+                mem,
+                gain,
+                *round,
+                *flow_memory,
+                &cells_i32(loads),
+                &cells_f32(prev_flow32),
+                &cells_i32(int_flows),
+                &cells_f32(arc_frac32),
+                scratch,
+            ),
+            State::ContinuousCompact { loads } => scheme_kernel.run_continuous_seq(
+                t,
+                graph,
+                mem,
+                gain,
+                *round,
+                &cells_f32(loads),
+                &cells_f32(prev_flow32),
+                scratch,
+            ),
         };
         if stats.min_transient < *min_transient {
             *min_transient = stats.min_transient;
@@ -955,6 +1167,7 @@ impl<'g> Simulator<'g> {
             tables,
             state,
             prev_flow,
+            prev_flow32,
             scratch,
             round,
             min_transient,
@@ -962,21 +1175,38 @@ impl<'g> Simulator<'g> {
             ..
         } = self;
         let attachment = pool.as_ref().expect("step_pooled requires a pool");
+        let compact = matches!(
+            state,
+            State::DiscreteCompact { .. } | State::ContinuousCompact { .. }
+        );
         // Per-round plan state (the random-matching or fault-effective
         // mask, plus any fault perturbations of the loads) is produced
         // here, on the control thread, and published into the job before
         // the round's first barrier — results never depend on the
         // executor.
-        attachment.job.kernel().prepare_pooled(
-            tables,
-            graph,
-            *round,
-            scratch,
-            attachment.job.loads_i_slots(),
-            attachment.job.loads_f_slots(),
-            attachment.job.mask_slots(),
-            attachment.job.stale_slots(),
-        );
+        if compact {
+            attachment.job.kernel().prepare_pooled(
+                tables,
+                graph,
+                *round,
+                scratch,
+                &AtomicsI32(attachment.job.loads_i32_slots()),
+                &AtomicsF32(attachment.job.loads_f32_slots()),
+                attachment.job.mask_slots(),
+                attachment.job.stale_slots(),
+            );
+        } else {
+            attachment.job.kernel().prepare_pooled(
+                tables,
+                graph,
+                *round,
+                scratch,
+                &AtomicsI64(attachment.job.loads_i_slots()),
+                &AtomicsF64(attachment.job.loads_f_slots()),
+                attachment.job.mask_slots(),
+                attachment.job.stale_slots(),
+            );
+        }
         let stats = attachment
             .pool
             .run_round(&attachment.job, mem, gain, *round, &mut scratch.fw);
@@ -992,8 +1222,14 @@ impl<'g> Simulator<'g> {
         match state {
             State::Discrete { loads, .. } => attachment.job.read_loads_i(loads),
             State::Continuous { loads } => attachment.job.read_loads_f(loads),
+            State::DiscreteCompact { loads, .. } => attachment.job.read_loads_i32(loads),
+            State::ContinuousCompact { loads } => attachment.job.read_loads_f32(loads),
         }
-        attachment.job.read_prev(prev_flow);
+        if compact {
+            attachment.job.read_prev32(prev_flow32);
+        } else {
+            attachment.job.read_prev(prev_flow);
+        }
     }
 
     /// Runs until the stop condition fires; returns a report.
@@ -1643,6 +1879,7 @@ mod tests {
             faults: FaultSpec::none(),
             load: LoadSpec::none(),
             ckpt: None,
+            mem: MemSpec::Full,
         };
         config.with_threads(0);
     }
@@ -1659,6 +1896,7 @@ mod tests {
             faults: FaultSpec::none(),
             load: LoadSpec::none(),
             ckpt: None,
+            mem: MemSpec::Full,
         };
         let mut sim = Simulator::build(&g, config, InitialLoad::EqualPerNode(10), None).unwrap();
         sim.step();

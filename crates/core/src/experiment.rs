@@ -41,6 +41,7 @@ use crate::init::InitialLoad;
 use crate::load::LoadSpec;
 use crate::observer::Observer;
 use crate::rounding::{Rounding, RoundingSpec};
+use crate::scenario::MemSpec;
 use crate::scheme::Scheme;
 
 /// Typestate: the builder still needs an execution mode
@@ -85,6 +86,7 @@ struct Parts<'g> {
     faults: FaultSpec,
     load: LoadSpec,
     ckpt: Option<CheckpointConfig>,
+    mem: MemSpec,
 }
 
 /// Typestate builder for [`Experiment`]s; see [`Experiment::on`].
@@ -217,6 +219,17 @@ impl<'g, S> ExperimentBuilder<'g, S> {
         self.parts.ckpt = Some(ckpt);
         self
     }
+
+    /// Selects the state-storage width (default [`MemSpec::Full`]).
+    /// [`MemSpec::Compact`] stores per-node and per-edge state as
+    /// f32/i32 — half the resident bytes — while all arithmetic stays
+    /// f64/i64; see [`MemSpec`] for the accuracy contract. Discrete
+    /// initial loads whose total exceeds the i32 range are reported as
+    /// [`BuildError::InvalidInitialLoad`] at build.
+    pub fn mem(mut self, mem: MemSpec) -> Self {
+        self.parts.mem = mem;
+        self
+    }
 }
 
 impl<'g> ExperimentBuilder<'g, NeedsMode> {
@@ -272,6 +285,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
             faults,
             load,
             ckpt,
+            mem,
         } = self.parts;
         let n = graph.node_count();
         if n == 0 {
@@ -308,6 +322,10 @@ impl<'g> ExperimentBuilder<'g, Ready> {
         }
         let init = init.unwrap_or_else(|| InitialLoad::paper_default(n));
         init.check(n).map_err(BuildError::InvalidInitialLoad)?;
+        if mem == MemSpec::Compact {
+            init.check_compact(n)
+                .map_err(BuildError::InvalidInitialLoad)?;
+        }
         stop.check()?;
         faults.check()?;
         load.check()?;
@@ -334,6 +352,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
                 faults,
                 load,
                 ckpt,
+                mem,
             },
             init,
             hybrid,
@@ -375,6 +394,7 @@ impl<'g> Experiment<'g> {
                 faults: FaultSpec::none(),
                 load: LoadSpec::none(),
                 ckpt: None,
+                mem: MemSpec::default(),
             },
             _state: PhantomData,
         }
@@ -418,6 +438,11 @@ impl<'g> Experiment<'g> {
     /// The dynamic-load plan ([`LoadSpec::none`] when unset).
     pub fn load(&self) -> LoadSpec {
         self.config.load
+    }
+
+    /// The state-storage width ([`MemSpec::Full`] when unset).
+    pub fn mem(&self) -> MemSpec {
+        self.config.mem
     }
 
     /// The stop condition of [`Experiment::run`].
@@ -493,6 +518,9 @@ impl<'g> Experiment<'g> {
             load: self.config.load,
             // The twin is a transient comparison run; never checkpoint it.
             ckpt: None,
+            // The twin shares the storage width so compact-mode deviation
+            // measurements compare the process actually being run.
+            mem: self.config.mem,
         };
         let mut continuous =
             Simulator::build(self.graph, continuous_config, self.init.clone(), None)

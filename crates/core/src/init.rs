@@ -94,6 +94,34 @@ impl InitialLoad {
         Ok(())
     }
 
+    /// Extra validation for compact-state runs (`mem=compact`), where
+    /// per-node loads are stored as `i32`: the distribution's total —
+    /// and, for `Custom`, every per-node value — must fit in an `i32`
+    /// with 4× headroom, so transient concentrations (the whole total
+    /// piling onto one node) plus a reasonable amount of injected load
+    /// cannot overflow the narrow storage.
+    pub(crate) fn check_compact(&self, n: usize) -> Result<(), String> {
+        const LIMIT: i64 = (i32::MAX / 4) as i64;
+        if let InitialLoad::Custom(loads) = self {
+            for &l in loads {
+                if l.unsigned_abs() > LIMIT as u64 {
+                    return Err(format!(
+                        "custom per-node load {l} too large for mem=compact \
+                         (i32 storage caps magnitudes at {LIMIT})"
+                    ));
+                }
+            }
+        }
+        let total = self.total(n);
+        if total > LIMIT {
+            return Err(format!(
+                "total load {total} too large for mem=compact \
+                 (i32 storage caps totals at {LIMIT})"
+            ));
+        }
+        Ok(())
+    }
+
     /// Materializes the distribution for an `n`-node network.
     ///
     /// # Panics

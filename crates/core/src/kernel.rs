@@ -65,19 +65,53 @@
 //! produced, and the per-node token draws consume the same
 //! `(seed, node, round)`-keyed streams.
 //!
+//! # Lane-chunked SIMD form, and why it is bit-exact
+//!
+//! The edge passes and the apply passes run in [`LANES`]-wide chunks with
+//! a scalar tail (the same shape as the bulk RNG sweeps in
+//! [`crate::rng`]): each chunk first computes the eight scheduled flows —
+//! a pure independent multiply–add chain the compiler keeps in vector
+//! registers — and then rounds/writes the eight results in ascending edge
+//! order. This is a pure *reassociation of instructions, not of
+//! arithmetic*: every per-edge value is computed by exactly the
+//! expression the scalar loop used, on exactly the operands the scalar
+//! loop read, because per-edge work is independent — edge `e` reads only
+//! `loads[..]` (not written in this pass), `prev[e]`, and the constant
+//! tables, and writes only `prev[e]`, `flows[e]`, and (scatter pass) the
+//! two arc slots owned by `e`. Hoisting the eight reads of `prev[e]`
+//! above the eight writes therefore never changes an operand, and no f64
+//! addition is regrouped anywhere. The same argument covers the apply
+//! passes: each node's arc reduction keeps its exact sequential order
+//! inside its lane, and the fused statistics (`LoadStats::absorb` and
+//! the per-block squared-deviation partials) are folded lane 0..8 in node
+//! order, identical to the scalar sequence. Hence all golden-trace
+//! checksums are unchanged by construction — the property
+//! `tests/golden_trace.rs` pins. The one deliberately scalar loop is
+//! [`arc_round_streamed`]'s prefix-sum token selection, whose sequential
+//! f64 prefix is itself the pinned quantity (see the comment there).
+//!
 //! This module is exported `#[doc(hidden)]` so the workspace's criterion
 //! benches can time each phase in isolation; it is **not** a stable API.
 
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU32, AtomicU64, Ordering::Relaxed};
 
 use sodiff_graph::{Graph, Speeds};
 
 use crate::engine::FlowMemory;
 use crate::metrics::DEV_BLOCK;
+use crate::prefetch;
 use crate::rng::{self, SplitMix64};
 use crate::rounding::Rounding;
+
+/// Lane width of the chunked kernels (matches [`crate::rng`]'s bulk-sweep
+/// width): wide enough to fill 512-bit vectors, small enough that the
+/// per-chunk lane arrays always stay in registers.
+pub const LANES: usize = 8;
+
+// The apply passes rely on block boundaries only falling at chunk ends.
+const _: () = assert!(DEV_BLOCK.is_multiple_of(LANES));
 
 /// Immutable per-simulation tables shared by the sequential executor and
 /// the worker pool (via `Arc`): division-free edge coefficients plus a
@@ -317,6 +351,29 @@ pub struct AtomicsF64<'a>(pub &'a [AtomicU64]);
 /// [`BufI64`] over relaxed atomics (worker pool).
 pub struct AtomicsI64<'a>(pub &'a [AtomicI64]);
 
+/// [`BufF64`] over **compact** `f32` storage (single-threaded): reads
+/// widen losslessly (`f32 → f64` is exact), writes round to the nearest
+/// `f32`. All arithmetic between a read and a write still happens in
+/// `f64`, so compact mode is deterministic and executor-independent like
+/// full mode — it just quantizes what *persists* across rounds. Halves
+/// the per-element state bytes.
+pub struct CellsF32<'a>(pub &'a [Cell<f32>]);
+
+/// [`BufI64`] over **compact** `i32` storage (single-threaded): reads
+/// widen exactly, writes truncate with two's-complement wrapping. The
+/// simulator builder bounds the initial total so in-range values never
+/// wrap (see `engine.rs`); wrapping on contract violation is still
+/// deterministic.
+pub struct CellsI32<'a>(pub &'a [Cell<i32>]);
+
+/// [`BufF64`] over relaxed atomics storing compact `f32` bits (worker
+/// pool twin of [`CellsF32`]).
+pub struct AtomicsF32<'a>(pub &'a [AtomicU32]);
+
+/// [`BufI64`] over relaxed compact atomics (worker pool twin of
+/// [`CellsI32`]).
+pub struct AtomicsI32<'a>(pub &'a [AtomicI32]);
+
 /// Shared-writable view of a mutable `f64` slice.
 pub fn cells_f64(s: &mut [f64]) -> CellsF64<'_> {
     CellsF64(Cell::from_mut(s).as_slice_of_cells())
@@ -325,6 +382,16 @@ pub fn cells_f64(s: &mut [f64]) -> CellsF64<'_> {
 /// Shared-writable view of a mutable `i64` slice.
 pub fn cells_i64(s: &mut [i64]) -> CellsI64<'_> {
     CellsI64(Cell::from_mut(s).as_slice_of_cells())
+}
+
+/// Shared-writable view of a mutable compact `f32` slice.
+pub fn cells_f32(s: &mut [f32]) -> CellsF32<'_> {
+    CellsF32(Cell::from_mut(s).as_slice_of_cells())
+}
+
+/// Shared-writable view of a mutable compact `i32` slice.
+pub fn cells_i32(s: &mut [i32]) -> CellsI32<'_> {
+    CellsI32(Cell::from_mut(s).as_slice_of_cells())
 }
 
 impl BufF64 for CellsF64<'_> {
@@ -388,6 +455,70 @@ impl BufI64 for AtomicsI64<'_> {
     #[inline(always)]
     fn write(e: &AtomicI64, v: i64) {
         e.store(v, Relaxed);
+    }
+}
+
+impl BufF64 for CellsF32<'_> {
+    type Elem = Cell<f32>;
+    #[inline(always)]
+    fn elems(&self) -> &[Cell<f32>] {
+        self.0
+    }
+    #[inline(always)]
+    fn read(e: &Cell<f32>) -> f64 {
+        f64::from(e.get())
+    }
+    #[inline(always)]
+    fn write(e: &Cell<f32>, v: f64) {
+        e.set(v as f32);
+    }
+}
+
+impl BufI64 for CellsI32<'_> {
+    type Elem = Cell<i32>;
+    #[inline(always)]
+    fn elems(&self) -> &[Cell<i32>] {
+        self.0
+    }
+    #[inline(always)]
+    fn read(e: &Cell<i32>) -> i64 {
+        i64::from(e.get())
+    }
+    #[inline(always)]
+    fn write(e: &Cell<i32>, v: i64) {
+        e.set(v as i32);
+    }
+}
+
+impl BufF64 for AtomicsF32<'_> {
+    type Elem = AtomicU32;
+    #[inline(always)]
+    fn elems(&self) -> &[AtomicU32] {
+        self.0
+    }
+    #[inline(always)]
+    fn read(e: &AtomicU32) -> f64 {
+        f64::from(f32::from_bits(e.load(Relaxed)))
+    }
+    #[inline(always)]
+    fn write(e: &AtomicU32, v: f64) {
+        e.store((v as f32).to_bits(), Relaxed);
+    }
+}
+
+impl BufI64 for AtomicsI32<'_> {
+    type Elem = AtomicI32;
+    #[inline(always)]
+    fn elems(&self) -> &[AtomicI32] {
+        self.0
+    }
+    #[inline(always)]
+    fn read(e: &AtomicI32) -> i64 {
+        i64::from(e.load(Relaxed))
+    }
+    #[inline(always)]
+    fn write(e: &AtomicI32, v: i64) {
+        e.store(v as i32, Relaxed);
     }
 }
 
@@ -458,32 +589,58 @@ pub fn edge_pass_fused<P: BufF64, F: BufI64>(
     let e0 = edges.start;
     let tails = &t.tail[edges.clone()];
     let heads = &t.head[edges.clone()];
-    let coefs = t.coef_tail[edges.clone()]
-        .iter()
-        .zip(&t.coef_head[edges.clone()]);
+    let cts = &t.coef_tail[edges.clone()];
+    let chs = &t.coef_head[edges.clone()];
     let prevs = &prev.elems()[edges.clone()];
     let flow_elems = &flows.elems()[edges];
-    let arrays = tails
-        .iter()
-        .zip(heads)
-        .zip(coefs)
-        .zip(prevs)
-        .zip(flow_elems);
+    let len = tails.len();
+    let main = len - len % LANES;
     macro_rules! fused_loop {
-        (|$k:ident, $s:ident| $round_expr:expr) => {
-            for ($k, ((((&u, &v), (&ct, &ch)), pe), fe)) in arrays.enumerate() {
-                let $s = mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize));
+        (|$k:ident, $s:ident| $round_expr:expr) => {{
+            // Lane-chunked main loop (see the module docs for the
+            // bit-exactness argument): chunk lane 1 computes the eight
+            // independent scheduled flows, lane 2 rounds and writes them
+            // in the same ascending edge order as the scalar tail.
+            for k0 in (0..main).step_by(LANES) {
+                let tc = &tails[k0..k0 + LANES];
+                let hc = &heads[k0..k0 + LANES];
+                let ctc = &cts[k0..k0 + LANES];
+                let chc = &chs[k0..k0 + LANES];
+                let pc = &prevs[k0..k0 + LANES];
+                let fc = &flow_elems[k0..k0 + LANES];
+                let mut s_lanes = [0.0f64; LANES];
+                for l in 0..LANES {
+                    s_lanes[l] = mem * P::read(&pc[l])
+                        + gain * (ctc[l] * x(tc[l] as usize) - chc[l] * x(hc[l] as usize));
+                }
+                for l in 0..LANES {
+                    let $k = k0 + l;
+                    let $s = s_lanes[l];
+                    let y: i64 = $round_expr;
+                    F::write(&fc[l], y);
+                    P::write(
+                        &pc[l],
+                        match flow_memory {
+                            FlowMemory::Rounded => y as f64,
+                            FlowMemory::Scheduled => $s,
+                        },
+                    );
+                }
+            }
+            for $k in main..len {
+                let $s = mem * P::read(&prevs[$k])
+                    + gain * (cts[$k] * x(tails[$k] as usize) - chs[$k] * x(heads[$k] as usize));
                 let y: i64 = $round_expr;
-                F::write(fe, y);
+                F::write(&flow_elems[$k], y);
                 P::write(
-                    pe,
+                    &prevs[$k],
                     match flow_memory {
                         FlowMemory::Rounded => y as f64,
                         FlowMemory::Scheduled => $s,
                     },
                 );
             }
-        };
+        }};
     }
     match rounding {
         Rounding::RoundDown => fused_loop!(|_k, s| trunc_i64(s)),
@@ -536,35 +693,61 @@ pub fn edge_pass_fused_masked<P: BufF64, F: BufI64>(
     let e0 = edges.start;
     let tails = &t.tail[edges.clone()];
     let heads = &t.head[edges.clone()];
-    let coefs = coef_tail[edges.clone()]
-        .iter()
-        .zip(&coef_head[edges.clone()]);
+    let cts = &coef_tail[edges.clone()];
+    let chs = &coef_head[edges.clone()];
     let prevs = &prev.elems()[edges.clone()];
     let flow_elems = &flows.elems()[edges];
-    let arrays = tails
-        .iter()
-        .zip(heads)
-        .zip(coefs)
-        .zip(prevs)
-        .zip(flow_elems);
+    let len = tails.len();
+    let main = len - len % LANES;
     macro_rules! fused_loop {
-        (|$k:ident, $s:ident| $round_expr:expr) => {
-            for ($k, ((((&u, &v), (&ct, &ch)), pe), fe)) in arrays.enumerate() {
+        (|$k:ident, $s:ident| $round_expr:expr) => {{
+            for k0 in (0..main).step_by(LANES) {
+                let tc = &tails[k0..k0 + LANES];
+                let hc = &heads[k0..k0 + LANES];
+                let ctc = &cts[k0..k0 + LANES];
+                let chc = &chs[k0..k0 + LANES];
+                let pc = &prevs[k0..k0 + LANES];
+                let fc = &flow_elems[k0..k0 + LANES];
+                let mut s_lanes = [0.0f64; LANES];
+                for l in 0..LANES {
+                    let e = e0 + k0 + l;
+                    let act = ((mask(e >> 6) >> (e & 63)) & 1) as f64;
+                    s_lanes[l] = act
+                        * (mem * P::read(&pc[l])
+                            + gain * (ctc[l] * x(tc[l] as usize) - chc[l] * x(hc[l] as usize)));
+                }
+                for l in 0..LANES {
+                    let $k = k0 + l;
+                    let $s = s_lanes[l];
+                    let y: i64 = $round_expr;
+                    F::write(&fc[l], y);
+                    P::write(
+                        &pc[l],
+                        match flow_memory {
+                            FlowMemory::Rounded => y as f64,
+                            FlowMemory::Scheduled => $s,
+                        },
+                    );
+                }
+            }
+            for $k in main..len {
                 let e = e0 + $k;
                 let act = ((mask(e >> 6) >> (e & 63)) & 1) as f64;
-                let $s =
-                    act * (mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize)));
+                let $s = act
+                    * (mem * P::read(&prevs[$k])
+                        + gain
+                            * (cts[$k] * x(tails[$k] as usize) - chs[$k] * x(heads[$k] as usize)));
                 let y: i64 = $round_expr;
-                F::write(fe, y);
+                F::write(&flow_elems[$k], y);
                 P::write(
-                    pe,
+                    &prevs[$k],
                     match flow_memory {
                         FlowMemory::Rounded => y as f64,
                         FlowMemory::Scheduled => $s,
                     },
                 );
             }
-        };
+        }};
     }
     match rounding {
         Rounding::RoundDown => fused_loop!(|_k, s| trunc_i64(s)),
@@ -608,31 +791,26 @@ pub fn edge_pass_scatter<A: BufF64, F: BufI64, P: BufF64>(
 ) {
     let tails = &t.tail[edges.clone()];
     let heads = &t.head[edges.clone()];
-    let coefs = t.coef_tail[edges.clone()]
-        .iter()
-        .zip(&t.coef_head[edges.clone()]);
+    let cts = &t.coef_tail[edges.clone()];
+    let chs = &t.coef_head[edges.clone()];
     let positions = &t.edge_arc_pos[edges.clone()];
     let prevs = &prev.elems()[edges.clone()];
     let flow_elems = &flows.elems()[edges];
-    let arrays = tails
-        .iter()
-        .zip(heads)
-        .zip(coefs)
-        .zip(positions)
-        .zip(prevs)
-        .zip(flow_elems);
-    for (((((&u, &v), (&ct, &ch)), &(pt, ph)), pe), fe) in arrays {
-        let s = mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize));
-        // `trunc(Ŷ) = sign·⌊|Ŷ|⌋` *is* the signed base flow, and
-        // `|Ŷ − trunc(Ŷ)|` is exactly the sending side's fractional part
-        // (the subtraction is exact by Sterbenz, and negation is exact),
-        // so one saturating cast replaces the abs/floor/sign-multiply
-        // chain.
+    let len = tails.len();
+    let main = len - len % LANES;
+    // Per-edge body shared by the chunked lane-2 loop and the scalar
+    // tail. `trunc(Ŷ) = sign·⌊|Ŷ|⌋` *is* the signed base flow, and
+    // `|Ŷ − trunc(Ŷ)|` is exactly the sending side's fractional part
+    // (the subtraction is exact by Sterbenz, and negation is exact), so
+    // one saturating cast replaces the abs/floor/sign-multiply chain.
+    // The sending-side selection uses arithmetic masks rather than
+    // branches — the sign of `Ŷ_e` is essentially random mid-simulation,
+    // so a branch would mispredict about half the time: tail sends iff
+    // `Ŷ_e > 0`, and the receiving slot gets `frac − frac_send`, which is
+    // exactly `+0.0` or `frac`.
+    let scatter_one = |&(pt, ph): &(u32, u32), pe: &P::Elem, fe: &F::Elem, s: f64| {
         let base = trunc_i64(s);
         let frac = (s - base as f64).abs();
-        // Branchless sending-side masks: tail sends iff Ŷ_e > 0. The
-        // receiving slot gets `frac − frac_send`, which is exactly `+0.0`
-        // or `frac`.
         let tail_sends = f64::from(u8::from(s > 0.0));
         let frac_tail = frac * tail_sends;
         arc_frac.set(pt as usize, frac_tail);
@@ -641,6 +819,38 @@ pub fn edge_pass_scatter<A: BufF64, F: BufI64, P: BufF64>(
         if matches!(flow_memory, FlowMemory::Scheduled) {
             P::write(pe, s);
         }
+    };
+    for k0 in (0..main).step_by(LANES) {
+        // The arc slots live at data-dependent positions the hardware
+        // prefetcher cannot follow; hint the lines a fixed distance
+        // ahead (no-op without the `accel` feature).
+        for &(pt, ph) in positions.iter().skip(k0 + prefetch::DIST).take(LANES) {
+            prefetch::read_index(arc_frac.elems(), pt as usize);
+            prefetch::read_index(arc_frac.elems(), ph as usize);
+        }
+        let tc = &tails[k0..k0 + LANES];
+        let hc = &heads[k0..k0 + LANES];
+        let ctc = &cts[k0..k0 + LANES];
+        let chc = &chs[k0..k0 + LANES];
+        let pc = &prevs[k0..k0 + LANES];
+        let poc = &positions[k0..k0 + LANES];
+        let fc = &flow_elems[k0..k0 + LANES];
+        // Unlike the fused pass, compute and scatter stay fused per lane:
+        // the scatter's two data-dependent stores dominate here, and
+        // staging eight scheduled flows first only bursts those stores
+        // into back-to-back groups that stall the store buffer (measured
+        // ~10% slower on out-of-cache tori). The chunk still earns its
+        // keep by hoisting the bounds checks into the slice splits above.
+        for l in 0..LANES {
+            let s = mem * P::read(&pc[l])
+                + gain * (ctc[l] * x(tc[l] as usize) - chc[l] * x(hc[l] as usize));
+            scatter_one(&poc[l], &pc[l], &fc[l], s);
+        }
+    }
+    for k in main..len {
+        let s = mem * P::read(&prevs[k])
+            + gain * (cts[k] * x(tails[k] as usize) - chs[k] * x(heads[k] as usize));
+        scatter_one(&positions[k], &prevs[k], &flow_elems[k], s);
     }
 }
 
@@ -669,23 +879,14 @@ pub fn edge_pass_scatter_masked<A: BufF64, F: BufI64, P: BufF64>(
     let e0 = edges.start;
     let tails = &t.tail[edges.clone()];
     let heads = &t.head[edges.clone()];
-    let coefs = coef_tail[edges.clone()]
-        .iter()
-        .zip(&coef_head[edges.clone()]);
+    let cts = &coef_tail[edges.clone()];
+    let chs = &coef_head[edges.clone()];
     let positions = &t.edge_arc_pos[edges.clone()];
     let prevs = &prev.elems()[edges.clone()];
     let flow_elems = &flows.elems()[edges];
-    let arrays = tails
-        .iter()
-        .zip(heads)
-        .zip(coefs)
-        .zip(positions)
-        .zip(prevs)
-        .zip(flow_elems);
-    for (k, (((((&u, &v), (&ct, &ch)), &(pt, ph)), pe), fe)) in arrays.enumerate() {
-        let e = e0 + k;
-        let act = ((mask(e >> 6) >> (e & 63)) & 1) as f64;
-        let s = act * (mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize)));
+    let len = tails.len();
+    let main = len - len % LANES;
+    let scatter_one = |&(pt, ph): &(u32, u32), pe: &P::Elem, fe: &F::Elem, s: f64| {
         let base = trunc_i64(s);
         let frac = (s - base as f64).abs();
         let tail_sends = f64::from(u8::from(s > 0.0));
@@ -696,6 +897,37 @@ pub fn edge_pass_scatter_masked<A: BufF64, F: BufI64, P: BufF64>(
         if matches!(flow_memory, FlowMemory::Scheduled) {
             P::write(pe, s);
         }
+    };
+    for k0 in (0..main).step_by(LANES) {
+        for &(pt, ph) in positions.iter().skip(k0 + prefetch::DIST).take(LANES) {
+            prefetch::read_index(arc_frac.elems(), pt as usize);
+            prefetch::read_index(arc_frac.elems(), ph as usize);
+        }
+        let tc = &tails[k0..k0 + LANES];
+        let hc = &heads[k0..k0 + LANES];
+        let ctc = &cts[k0..k0 + LANES];
+        let chc = &chs[k0..k0 + LANES];
+        let pc = &prevs[k0..k0 + LANES];
+        let poc = &positions[k0..k0 + LANES];
+        let fc = &flow_elems[k0..k0 + LANES];
+        // Compute and scatter fused per lane, as in [`edge_pass_scatter`]:
+        // staging the scheduled flows bursts the data-dependent stores.
+        for l in 0..LANES {
+            let e = e0 + k0 + l;
+            let act = ((mask(e >> 6) >> (e & 63)) & 1) as f64;
+            let s = act
+                * (mem * P::read(&pc[l])
+                    + gain * (ctc[l] * x(tc[l] as usize) - chc[l] * x(hc[l] as usize)));
+            scatter_one(&poc[l], &pc[l], &fc[l], s);
+        }
+    }
+    for k in main..len {
+        let e = e0 + k;
+        let act = ((mask(e >> 6) >> (e & 63)) & 1) as f64;
+        let s = act
+            * (mem * P::read(&prevs[k])
+                + gain * (cts[k] * x(tails[k] as usize) - chs[k] * x(heads[k] as usize)));
+        scatter_one(&positions[k], &prevs[k], &flow_elems[k], s);
     }
 }
 
@@ -712,13 +944,30 @@ pub fn edge_pass_continuous<P: BufF64>(
 ) {
     let tails = &t.tail[edges.clone()];
     let heads = &t.head[edges.clone()];
-    let coefs = t.coef_tail[edges.clone()]
-        .iter()
-        .zip(&t.coef_head[edges.clone()]);
+    let cts = &t.coef_tail[edges.clone()];
+    let chs = &t.coef_head[edges.clone()];
     let prevs = &prev.elems()[edges];
-    for (((&u, &v), (&ct, &ch)), pe) in tails.iter().zip(heads).zip(coefs).zip(prevs) {
-        let s = mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize));
-        P::write(pe, s);
+    let len = tails.len();
+    let main = len - len % LANES;
+    for k0 in (0..main).step_by(LANES) {
+        let tc = &tails[k0..k0 + LANES];
+        let hc = &heads[k0..k0 + LANES];
+        let ctc = &cts[k0..k0 + LANES];
+        let chc = &chs[k0..k0 + LANES];
+        let pc = &prevs[k0..k0 + LANES];
+        let mut s_lanes = [0.0f64; LANES];
+        for l in 0..LANES {
+            s_lanes[l] = mem * P::read(&pc[l])
+                + gain * (ctc[l] * x(tc[l] as usize) - chc[l] * x(hc[l] as usize));
+        }
+        for (l, &s) in s_lanes.iter().enumerate() {
+            P::write(&pc[l], s);
+        }
+    }
+    for k in main..len {
+        let s = mem * P::read(&prevs[k])
+            + gain * (cts[k] * x(tails[k] as usize) - chs[k] * x(heads[k] as usize));
+        P::write(&prevs[k], s);
     }
 }
 
@@ -740,17 +989,36 @@ pub fn edge_pass_continuous_masked<P: BufF64>(
     let e0 = edges.start;
     let tails = &t.tail[edges.clone()];
     let heads = &t.head[edges.clone()];
-    let coefs = coef_tail[edges.clone()]
-        .iter()
-        .zip(&coef_head[edges.clone()]);
+    let cts = &coef_tail[edges.clone()];
+    let chs = &coef_head[edges.clone()];
     let prevs = &prev.elems()[edges];
-    for (k, (((&u, &v), (&ct, &ch)), pe)) in
-        tails.iter().zip(heads).zip(coefs).zip(prevs).enumerate()
-    {
+    let len = tails.len();
+    let main = len - len % LANES;
+    for k0 in (0..main).step_by(LANES) {
+        let tc = &tails[k0..k0 + LANES];
+        let hc = &heads[k0..k0 + LANES];
+        let ctc = &cts[k0..k0 + LANES];
+        let chc = &chs[k0..k0 + LANES];
+        let pc = &prevs[k0..k0 + LANES];
+        let mut s_lanes = [0.0f64; LANES];
+        for l in 0..LANES {
+            let e = e0 + k0 + l;
+            let act = ((mask(e >> 6) >> (e & 63)) & 1) as f64;
+            s_lanes[l] = act
+                * (mem * P::read(&pc[l])
+                    + gain * (ctc[l] * x(tc[l] as usize) - chc[l] * x(hc[l] as usize)));
+        }
+        for (l, &s) in s_lanes.iter().enumerate() {
+            P::write(&pc[l], s);
+        }
+    }
+    for k in main..len {
         let e = e0 + k;
         let act = ((mask(e >> 6) >> (e & 63)) & 1) as f64;
-        let s = act * (mem * P::read(pe) + gain * (ct * x(u as usize) - ch * x(v as usize)));
-        P::write(pe, s);
+        let s = act
+            * (mem * P::read(&prevs[k])
+                + gain * (cts[k] * x(tails[k] as usize) - chs[k] * x(heads[k] as usize)));
+        P::write(&prevs[k], s);
     }
 }
 
@@ -937,8 +1205,53 @@ pub fn apply_discrete<L: BufI64>(
     let offsets = &t.offsets[nodes.start..=nodes.end];
     let ideals = &t.ideal[nodes.clone()];
     let load_elems = &loads.elems()[nodes.clone()];
-    let degs = offsets.windows(2).map(|w| w[1] - w[0]);
-    for (k, ((deg, &ideal), le)) in degs.zip(ideals).zip(load_elems).enumerate() {
+    let len = nodes.len();
+    let main = len - len % LANES;
+    // 8-node chunks: lane 1 runs each node's arc reduction in its exact
+    // sequential order and stages the results; lane 2 folds the fused
+    // statistics in lane (= node) order, identical to the scalar
+    // sequence. `nodes.start` is block-aligned and `DEV_BLOCK` is a
+    // multiple of `LANES`, so a potential-block boundary (or `last` on a
+    // full chunk) can only fall at a chunk end — checked once per chunk.
+    for k0 in (0..main).step_by(LANES) {
+        let mut news = [0i64; LANES];
+        let mut transients = [0i64; LANES];
+        for l in 0..LANES {
+            let deg = offsets[k0 + l + 1] - offsets[k0 + l];
+            let (arc_edges, rest) = edges_rest.split_at(deg);
+            edges_rest = rest;
+            let (arc_signs, rest) = signs_rest.split_at(deg);
+            signs_rest = rest;
+            let mut outgoing: i64 = 0;
+            let mut net: i64 = 0;
+            for (&e, &sg) in arc_edges.iter().zip(arc_signs) {
+                let y = flows(e as usize) * sg as i64;
+                // Branchless: token direction is essentially random
+                // mid-run, so `y > 0` would mispredict about half the
+                // time; `max` compiles to a conditional move and is
+                // exactly the branch's sum (integers).
+                outgoing += y.max(0);
+                net += y;
+            }
+            let x = L::read(&load_elems[k0 + l]);
+            news[l] = x - net;
+            transients[l] = x - outgoing;
+        }
+        for l in 0..LANES {
+            let new = news[l];
+            let dev = new as f64 - ideals[k0 + l];
+            stats.absorb(new as f64, dev, transients[l] as f64);
+            block_acc += dev * dev;
+            L::write(&load_elems[k0 + l], new);
+        }
+        let i = nodes.start + k0 + LANES; // one past the chunk's last node
+        if i.is_multiple_of(DEV_BLOCK) || i == last {
+            block_sums.set((i - 1) / DEV_BLOCK, block_acc);
+            block_acc = 0.0;
+        }
+    }
+    for k in main..len {
+        let deg = offsets[k + 1] - offsets[k];
         let (arc_edges, rest) = edges_rest.split_at(deg);
         edges_rest = rest;
         let (arc_signs, rest) = signs_rest.split_at(deg);
@@ -947,14 +1260,13 @@ pub fn apply_discrete<L: BufI64>(
         let mut net: i64 = 0;
         for (&e, &sg) in arc_edges.iter().zip(arc_signs) {
             let y = flows(e as usize) * sg as i64;
-            if y > 0 {
-                outgoing += y;
-            }
+            outgoing += y.max(0);
             net += y;
         }
+        let le = &load_elems[k];
         let x = L::read(le);
         let new = x - net;
-        let dev = new as f64 - ideal;
+        let dev = new as f64 - ideals[k];
         stats.absorb(new as f64, dev, (x - outgoing) as f64);
         block_acc += dev * dev;
         let i = nodes.start + k;
@@ -988,8 +1300,51 @@ pub fn apply_continuous<L: BufF64>(
     let offsets = &t.offsets[nodes.start..=nodes.end];
     let ideals = &t.ideal[nodes.clone()];
     let load_elems = &loads.elems()[nodes.clone()];
-    let degs = offsets.windows(2).map(|w| w[1] - w[0]);
-    for (k, ((deg, &ideal), le)) in degs.zip(ideals).zip(load_elems).enumerate() {
+    let len = nodes.len();
+    let main = len - len % LANES;
+    // Branchless positive-part accumulation, shared by both loops below:
+    // flow direction is essentially random mid-run, so `y > 0.0` would
+    // mispredict about half the time. The select adds exactly `y` or
+    // `+0.0`; the accumulator starts at `+0.0` and only ever adds
+    // non-negative values, so it is never `-0.0` and `acc + 0.0 == acc`
+    // bit for bit — identical to the skipping branch (also for NaN `y`,
+    // where both forms leave the accumulator unchanged).
+    let pos = |y: f64| if y > 0.0 { y } else { 0.0 };
+    for k0 in (0..main).step_by(LANES) {
+        let mut news = [0.0f64; LANES];
+        let mut transients = [0.0f64; LANES];
+        for l in 0..LANES {
+            let deg = offsets[k0 + l + 1] - offsets[k0 + l];
+            let (arc_edges, rest) = edges_rest.split_at(deg);
+            edges_rest = rest;
+            let (arc_signs, rest) = signs_rest.split_at(deg);
+            signs_rest = rest;
+            let mut outgoing = 0.0;
+            let mut net = 0.0;
+            for (&e, &sg) in arc_edges.iter().zip(arc_signs) {
+                let y = flows(e as usize) * sg as f64;
+                outgoing += pos(y);
+                net += y;
+            }
+            let x = L::read(&load_elems[k0 + l]);
+            news[l] = x - net;
+            transients[l] = x - outgoing;
+        }
+        for l in 0..LANES {
+            let new = news[l];
+            let dev = new - ideals[k0 + l];
+            stats.absorb(new, dev, transients[l]);
+            block_acc += dev * dev;
+            L::write(&load_elems[k0 + l], new);
+        }
+        let i = nodes.start + k0 + LANES;
+        if i.is_multiple_of(DEV_BLOCK) || i == last {
+            block_sums.set((i - 1) / DEV_BLOCK, block_acc);
+            block_acc = 0.0;
+        }
+    }
+    for k in main..len {
+        let deg = offsets[k + 1] - offsets[k];
         let (arc_edges, rest) = edges_rest.split_at(deg);
         edges_rest = rest;
         let (arc_signs, rest) = signs_rest.split_at(deg);
@@ -998,14 +1353,13 @@ pub fn apply_continuous<L: BufF64>(
         let mut net = 0.0;
         for (&e, &sg) in arc_edges.iter().zip(arc_signs) {
             let y = flows(e as usize) * sg as f64;
-            if y > 0.0 {
-                outgoing += y;
-            }
+            outgoing += pos(y);
             net += y;
         }
+        let le = &load_elems[k];
         let x = L::read(le);
         let new = x - net;
-        let dev = new - ideal;
+        let dev = new - ideals[k];
         stats.absorb(new, dev, x - outgoing);
         block_acc += dev * dev;
         let i = nodes.start + k;
@@ -1094,6 +1448,43 @@ mod tests {
             }
         }
         assert_eq!(plain[4], 4.0);
+    }
+
+    #[test]
+    fn compact_buffers_widen_and_narrow() {
+        // f32 storage: reads widen exactly, writes round to nearest f32,
+        // and the Cell and atomic twins agree bit for bit.
+        let mut plain = vec![0.0f32; 4];
+        let atomics: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        let vals = [1.5f64, 0.1, -3.25e7, f64::from(f32::MAX) * 2.0];
+        {
+            let cells = cells_f32(&mut plain);
+            for (i, &v) in vals.iter().enumerate() {
+                cells.set(i, v);
+                AtomicsF32(&atomics).set(i, v);
+                assert_eq!(cells.get(i), f64::from(v as f32), "narrow {v}");
+                assert_eq!(cells.get(i), AtomicsF32(&atomics).get(i));
+            }
+        }
+        assert_eq!(plain[0], 1.5);
+        assert_eq!(plain[3], f32::INFINITY); // overflow saturates like `as f32`
+                                             // i32 storage: exact in range; two's-complement wrap (the
+                                             // documented contract-violation behavior) out of range.
+        let mut ints = vec![0i32; 3];
+        let iatomics: Vec<AtomicI32> = (0..3).map(|_| AtomicI32::new(0)).collect();
+        {
+            let cells = cells_i32(&mut ints);
+            for (i, v) in [7i64, -(1 << 30), i64::from(i32::MAX) + 1]
+                .into_iter()
+                .enumerate()
+            {
+                cells.set(i, v);
+                AtomicsI32(&iatomics).set(i, v);
+                assert_eq!(cells.get(i), i64::from(v as i32), "narrow {v}");
+                assert_eq!(cells.get(i), AtomicsI32(&iatomics).get(i));
+            }
+        }
+        assert_eq!(ints, vec![7, -(1 << 30), i32::MIN]);
     }
 
     #[test]

@@ -99,7 +99,16 @@
 //! re-targets the currently most-loaded node, drawn from the same
 //! salted counter-indexed streams — see the `load` module docs).
 //! `faults=none` and `load=none` plans keep every hot loop on the
-//! original unperturbed kernels. Load deltas are planned and applied on
+//! original unperturbed kernels. Orthogonal to those four axes, the
+//! **memory layout** (`mem=full` / `mem=compact`, [`MemSpec`]) selects
+//! the state-storage width: the whole per-round phase sequence is
+//! generic over five buffer handles (loads, flow memory, integral
+//! flows, arc fractions — see the `BufF64`/`BufI64` traits in the
+//! kernel layer) and monomorphizes per layout, so `mem=full`
+//! instantiates to the exact pre-compact code while `mem=compact`
+//! stores loads and per-edge state as `i32`/`f32` at half the bytes,
+//! widening on every read and narrowing on every write but keeping all
+//! arithmetic in `f64`. Load deltas are planned and applied on
 //! the control thread before each round's flow pass (and before the
 //! pool's first barrier), so both the sequential executor and the
 //! worker pool balance identical per-round loads and run the same
@@ -295,8 +304,74 @@
 //! (~14 ns/edge) is the per-round `O(m)` bucket generation — counting,
 //! scatter, and greedy passes that are random-access bound; see
 //! [`matchgen`] for the layout choices that keep them cache-resident.
+//!
+//! **8-lane chunked SIMD edge/apply kernels + software prefetch**
+//! (PR 9). Every hot per-edge pass — the fused discrete kernels, the
+//! framework's scatter pass, the continuous kernel, their masked
+//! pairwise/fault variants, and both apply passes — now runs as 8-lane
+//! chunks with a scalar tail, the same shape that paid off in
+//! [`rng::fill_node_states`]. Per-edge work is independent and each
+//! lane performs the identical operation sequence on its own edge, so
+//! the chunked loops are **bit-identical** to the scalar originals (the
+//! full argument lives in the `kernel` module docs; every pinned
+//! checksum in `tests/golden_trace.rs` is unchanged). The win is
+//! largest where the old loops carried a per-edge branch: the masked
+//! pairwise/fault kernels hoist the mask word per lane group and go
+//! branchless. The random-matching generator additionally packs the
+//! greedy pass's endpoint pairs into one `u64` stream and issues
+//! software prefetches ([`matchgen`], the `prefetch` module) ahead of
+//! its random-access bucket writes. Same-day A/B, 256×256 torus,
+//! single-thread default build (min-estimator ns/edge):
+//!
+//! | case | before | after |
+//! |------|-------:|------:|
+//! | dimension exchange, nearest | 16.56 | 8.63 (**1.92×**) |
+//! | matching (round-robin), nearest | 16.58 | 8.71 (**1.90×**) |
+//! | SOS + crash churn (masked kernel) | 16.65 | 8.68 (**1.92×**) |
+//! | matching (random), nearest | 31.25 | 23.37 (**1.34×**) |
+//! | SOS discrete nearest (unmasked) | — | 1.03× t1 / 1.13× t4 |
+//! | SOS continuous | — | 1.05× |
+//!
+//! The unmasked diffusion kernels were already pure multiply–add
+//! streams, so lane-chunking mostly helps the compiler's scheduling
+//! there; the masked kernels are where the restructuring removes real
+//! work. An optional `accel` feature adds an x86-64 intrinsics path
+//! (guarded, with the chunked-scalar form as the portable fallback) —
+//! CI builds and tests both. Levers tried and **rejected** on
+//! measurement, so they are not re-attempted blindly: splatting a
+//! uniform coefficient across lanes (no gain — the loads are the
+//! bottleneck, not the coefficient reads), a degree-4 specialization of
+//! the apply pass (regressed irregular graphs), and replacing
+//! nearest-rounding with truncation (~1–1.5 ns/edge cheaper but
+//! bit-pinned: rounding mode is part of the golden surface).
+//!
+//! **Compact-state memory diet** (`mem=compact`, PR 9). The fifth
+//! config axis above is the capacity lever for 10⁸-edge graphs: per-node
+//! loads and per-edge state (integral flows, SOS flow memory, arc
+//! fractions) store as `i32`/`f32` — exactly half the bytes per element,
+//! verified end to end by [`Simulator::state_bytes`] (the pool job's
+//! atomic mirrors shrink too; [`sodiff_graph::Graph::memory_bytes`]
+//! accounts the CSR side, ~2.9 GB at 10⁸ edges). All arithmetic stays
+//! `f64`; each store narrows (nearest for `f32`, exact for in-range
+//! `i32` — the builder rejects initial loads whose total exceeds
+//! `i32::MAX/4`). Compact is therefore a *different but equally valid*
+//! deterministic process with its own pinned golden traces
+//! (`tests/compact_mode.rs`), still bit-identical across executors and
+//! thread counts, still exactly checkpoint/resumable (snapshots widen
+//! losslessly; restore re-narrows after validating representability),
+//! and within a small tolerance of `mem=full` final metrics. For graphs
+//! whose per-edge state outgrows the last-level cache,
+//! [`sodiff_graph::Graph::reorder_edges_blocked`] optionally renumbers
+//! edge ids in node-block-major order so flows stream in the same order
+//! as loads (opt-in: edge ids key the per-(edge, round) RNG streams, so
+//! reordering changes which random outcomes a run draws).
 
-#![forbid(unsafe_code)]
+// Unsafe is forbidden outside the `accel` feature. With `accel` on, the
+// only unsafe in the crate is the `_mm_prefetch` intrinsic inside
+// [`prefetch`] (explicitly `#[allow]`ed there); everything else stays
+// denied so new unsafe cannot creep in behind the feature gate.
+#![cfg_attr(not(feature = "accel"), forbid(unsafe_code))]
+#![cfg_attr(feature = "accel", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod checkpoint;
@@ -317,6 +392,7 @@ pub mod matchgen;
 pub mod metrics;
 mod observer;
 mod pool;
+mod prefetch;
 pub mod rng;
 mod rounding;
 mod scenario;
@@ -343,7 +419,7 @@ pub use load::{
 pub use metrics::MetricsSnapshot;
 pub use observer::{MetricsRow, MultiObserver, NullObserver, Observer, Recorder};
 pub use rounding::{Rounding, RoundingSpec};
-pub use scenario::{InitSpec, ModeSpec, ScenarioSpec, SchemeSpec, SpeedsSpec, StopSpec};
+pub use scenario::{InitSpec, MemSpec, ModeSpec, ScenarioSpec, SchemeSpec, SpeedsSpec, StopSpec};
 pub use scheme::{MatchingStrategy, Scheme};
 
 /// Convenient glob import: `use sodiff_core::prelude::*;`.
@@ -366,7 +442,7 @@ pub mod prelude {
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::observer::{MetricsRow, MultiObserver, NullObserver, Observer, Recorder};
     pub use crate::rounding::{Rounding, RoundingSpec};
-    pub use crate::scenario::ScenarioSpec;
+    pub use crate::scenario::{MemSpec, ScenarioSpec};
     pub use crate::scheme::{MatchingStrategy, Scheme};
     pub use sodiff_graph::{Speeds, TopologySpec};
     pub use sodiff_linalg::spectral::beta_opt;

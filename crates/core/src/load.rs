@@ -50,12 +50,11 @@
 //! [`SteadyTracker`] and reported as [`SteadyStats`] (mean/max/p99 over
 //! the stop condition's window).
 
+use crate::error::{BuildError, ParseError};
+use crate::kernel::{BufF64, BufI64};
+use crate::rng::{nth_u64, salted_stream_key, unit_f64};
 use std::fmt;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
-
-use crate::error::{BuildError, ParseError};
-use crate::rng::{nth_u64, salted_stream_key, unit_f64};
 
 /// Per-kind seed salts so generators sharing one user seed decorrelate
 /// (ASCII-styled, like the fault channels').
@@ -504,39 +503,27 @@ impl LoadState {
         }
     }
 
-    /// Applies the planned deltas to sequential discrete loads. Every
-    /// delta is integral in discrete mode, so the cast is exact.
-    pub fn apply_i64(&self, loads: &mut [i64]) {
+    /// Applies the planned deltas to discrete loads behind any
+    /// [`BufI64`] storage: the sequential `Cell` slices, the pool's
+    /// atomic slots (control-thread only, before the round's first
+    /// barrier — the workers are parked, so `Relaxed` is exclusive
+    /// access), and the compact `i32` twins of either. Every delta is
+    /// integral in discrete mode, so the cast is exact, and the
+    /// read/add/write sequence is the same arithmetic in the same event
+    /// order on every storage, keeping pooled runs bit-identical to
+    /// sequential ones.
+    pub fn apply_i64<L: BufI64>(&self, loads: &L) {
         for &(node, delta) in &self.deltas {
-            loads[node] += delta as i64;
+            loads.set(node, loads.get(node) + delta as i64);
         }
     }
 
-    /// Applies the planned deltas to sequential continuous loads.
-    pub fn apply_f64(&self, loads: &mut [f64]) {
+    /// Applies the planned deltas to continuous loads behind any
+    /// [`BufF64`] storage; same exclusivity and bit-identity contract as
+    /// [`LoadState::apply_i64`].
+    pub fn apply_f64<L: BufF64>(&self, loads: &L) {
         for &(node, delta) in &self.deltas {
-            loads[node] += delta;
-        }
-    }
-
-    /// Applies the planned deltas to the pool's discrete load slots.
-    /// Control-thread only, before the round's first barrier (the
-    /// workers are parked, so `Relaxed` is exclusive access).
-    pub fn apply_atomic_i64(&self, loads: &[AtomicI64]) {
-        for &(node, delta) in &self.deltas {
-            loads[node].fetch_add(delta as i64, Relaxed);
-        }
-    }
-
-    /// Applies the planned deltas to the pool's continuous (bit-stored)
-    /// load slots; same exclusivity contract as
-    /// [`LoadState::apply_atomic_i64`]. The load/add/store sequence is
-    /// the same arithmetic in the same event order as the sequential
-    /// applier, keeping pooled runs bit-identical.
-    pub fn apply_atomic_f64(&self, loads: &[AtomicU64]) {
-        for &(node, delta) in &self.deltas {
-            let x = f64::from_bits(loads[node].load(Relaxed)) + delta;
-            loads[node].store(x.to_bits(), Relaxed);
+            loads.set(node, loads.get(node) + delta);
         }
     }
 }
@@ -711,6 +698,7 @@ impl SteadyTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicI64, Ordering::Relaxed};
 
     #[test]
     fn display_roundtrip() {
@@ -897,8 +885,8 @@ mod tests {
         let mut state = LoadState::default();
         for round in 0..24 {
             state.plan_round(&spec, round, n, true, |i| seq[i] as f64);
-            state.apply_i64(&mut seq);
-            state.apply_atomic_i64(&atomics);
+            state.apply_i64(&crate::kernel::cells_i64(&mut seq));
+            state.apply_i64(&crate::kernel::AtomicsI64(&atomics));
         }
         let pooled: Vec<i64> = atomics.iter().map(|a| a.load(Relaxed)).collect();
         assert_eq!(seq, pooled);

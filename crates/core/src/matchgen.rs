@@ -14,11 +14,21 @@
 //! 2. a counting pass buckets edges by the key's top `k` bits
 //!    (`k ≈ ⌈log₂ m⌉ − 3`, so buckets hold ~8 edges on average and the
 //!    counts table stays cache-resident), a prefix sum turns counts into
-//!    bucket offsets, and a stable scatter lays the edge ids out in
-//!    bucket order;
-//! 3. the greedy matcher visits edges bucket by bucket — i.e. in
-//!    **key-prefix order with edge-id tie-break** — marking endpoints
-//!    matched and setting mask bits exactly as before.
+//!    bucket offsets, and a stable scatter lays `(edge id, packed
+//!    endpoints)` pairs out in bucket order — the endpoint word
+//!    ([`edge_pairs`]) is a *sequential* read at scatter time, so
+//!    carrying it costs a wider store but removes the random
+//!    `uv[order[i]]` gather that used to dominate the next pass;
+//! 3. the greedy matcher streams the scattered pairs **sequentially** —
+//!    i.e. in key-prefix order with edge-id tie-break — marking
+//!    endpoints matched and setting mask bits exactly as before; its
+//!    only remaining random accesses probe the L1-resident per-node
+//!    `matched` bitset.
+//!
+//! The counting and scatter passes' random accesses (the bucket counts
+//! table, the scattered pair slots) additionally issue software
+//! prefetches a batch ahead under the `accel` feature
+//! (the `prefetch` module); results are bit-identical either way.
 //!
 //! The visit order is deterministic per `(seed, round)` and generated on
 //! the control thread only, so sequential and pooled execution stay
@@ -42,6 +52,7 @@
 use sodiff_graph::EdgeId;
 
 use crate::kernel::KernelTables;
+use crate::prefetch;
 use crate::rng;
 
 /// Number of 64-bit words of an edge bitmask over `m` edges.
@@ -59,8 +70,15 @@ pub struct MatchScratch {
     /// Bucket occupancy, then (after the prefix sum) bucket offsets;
     /// `2^k + 1` slots.
     counts: Vec<u32>,
-    /// Edge ids scattered into bucket order (the greedy visit order).
+    /// Edge ids scattered into bucket order (the sort-based reference
+    /// generator's greedy visit order).
     order: Vec<EdgeId>,
+    /// `(edge id, packed endpoints)` scattered into bucket order — the
+    /// bucketed generator's greedy visit stream. Carrying the endpoint
+    /// word (a sequential read at scatter time) lets the greedy pass
+    /// stream this buffer sequentially instead of gathering
+    /// `uv[order[i]]` at random.
+    slots: Vec<(EdgeId, u64)>,
     /// Per-node matched bitset of the round under construction (a
     /// `⌈n/64⌉`-word bitset keeps the greedy pass's random endpoint
     /// probes L1-resident on graphs where a byte-per-node array is not).
@@ -98,12 +116,36 @@ pub fn edge_pairs(t: &KernelTables) -> Vec<u64> {
 }
 
 /// Greedy maximal matching over `order`, writing endpoint bits into the
-/// `matched` bitset and active-edge bits into `mask` (shared tail of
-/// both generators). `uv` is the packed endpoint table of
-/// [`edge_pairs`].
+/// `matched` bitset and active-edge bits into `mask` (the sort-based
+/// reference generator's tail; the bucketed generator streams
+/// [`greedy_match_packed`] instead). `uv` is the packed endpoint table
+/// of [`edge_pairs`].
 fn greedy_match(uv: &[u64], order: &[EdgeId], matched: &mut [u64], mask: &mut [u64]) {
     for &e in order {
         let pair = uv[e as usize];
+        let (u, v) = ((pair & 0xffff_ffff) as usize, (pair >> 32) as usize);
+        let (wu, bu) = (u >> 6, 1u64 << (u & 63));
+        let (wv, bv) = (v >> 6, 1u64 << (v & 63));
+        if (matched[wu] & bu) | (matched[wv] & bv) == 0 {
+            matched[wu] |= bu;
+            matched[wv] |= bv;
+            mask[(e >> 6) as usize] |= 1u64 << (e & 63);
+        }
+    }
+}
+
+/// Greedy maximal matching over the scattered `(edge, endpoints)` stream:
+/// same visit order and same per-edge decision as [`greedy_match`], but
+/// every input is a sequential read — the endpoint gather already
+/// happened at scatter time — so the pass runs at streaming speed with
+/// only the L1-resident `matched` bitset probed at random (hinted a few
+/// iterations ahead under `accel`).
+fn greedy_match_packed(slots: &[(EdgeId, u64)], matched: &mut [u64], mask: &mut [u64]) {
+    for (i, &(e, pair)) in slots.iter().enumerate() {
+        if let Some(&(_, ahead)) = slots.get(i + prefetch::DIST) {
+            prefetch::read_index(matched, (ahead & 0xffff_ffff) as usize >> 6);
+            prefetch::read_index(matched, (ahead >> 32) as usize >> 6);
+        }
         let (u, v) = ((pair & 0xffff_ffff) as usize, (pair >> 32) as usize);
         let (wu, bu) = (u >> 6, 1u64 << (u & 63));
         let (wv, bv) = (v >> 6, 1u64 << (v & 63));
@@ -151,6 +193,13 @@ pub fn fill_random_matching(
     while e0 < m {
         let len = (m - e0).min(64);
         rng::fill_first_draws(rk, e0, &mut draws[..len]);
+        // Issue the batch's count-line hints up front (no-op without
+        // `accel`): the increments hit the counts table at random, and
+        // draining the batch's misses in parallel beats paying them one
+        // load at a time.
+        for &draw in &draws[..len] {
+            prefetch::read_index(&mg.counts, (draw >> shift) as usize + 1);
+        }
         for &draw in &draws[..len] {
             mg.counts[(draw >> shift) as usize + 1] += 1;
         }
@@ -161,22 +210,27 @@ pub fn fill_random_matching(
     }
     // Stable scatter: edges arrive in increasing id, so within a bucket
     // the visit order is edge-id order — the effective greedy key is
-    // (key >> shift, edge id).
-    mg.order.resize(m, 0);
+    // (key >> shift, edge id). The endpoint word rides along: `uv` is
+    // read sequentially here, turning the greedy pass's random
+    // `uv[order[i]]` gathers into one wider sequential stream.
+    mg.slots.resize(m, (0, 0));
     let mut e0 = 0usize;
     while e0 < m {
         let len = (m - e0).min(64);
         rng::fill_first_draws(rk, e0, &mut draws[..len]);
+        for &draw in &draws[..len] {
+            prefetch::read_index(&mg.counts, (draw >> shift) as usize);
+        }
         for (i, &draw) in draws[..len].iter().enumerate() {
             let slot = &mut mg.counts[(draw >> shift) as usize];
-            mg.order[*slot as usize] = (e0 + i) as EdgeId;
+            mg.slots[*slot as usize] = ((e0 + i) as EdgeId, uv[e0 + i]);
             *slot += 1;
         }
         e0 += len;
     }
     mg.matched.clear();
     mg.matched.resize(mask_words(t.n), 0);
-    greedy_match(uv, &mg.order, &mut mg.matched, &mut mg.mask);
+    greedy_match_packed(&mg.slots, &mut mg.matched, &mut mg.mask);
 }
 
 /// The pre-optimization sort-based generator: materializes the greedy

@@ -24,12 +24,14 @@
 //! sequential ones for every scheme × rounding × mode combination
 //! regardless of thread count.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread::JoinHandle;
 
 use crate::engine::FlowMemory;
-use crate::kernel::{self, FwScratch, KernelTables, LoadStats};
+use crate::kernel::{
+    self, AtomicsF32, AtomicsF64, AtomicsI32, AtomicsI64, FwScratch, KernelTables, LoadStats,
+};
 use crate::matchgen::mask_words;
 use crate::metrics::DEV_BLOCK;
 use crate::scheme_kernel::{ChunkBufs, SchemeKernel};
@@ -50,13 +52,25 @@ pub(crate) struct RoundJob {
     gain_bits: AtomicU64,
     round: AtomicU64,
     /// Canonical state while the job is attached (bit-exact mirrors are
-    /// copied back into the simulator's vectors after each round).
+    /// copied back into the simulator's vectors after each round). A job
+    /// is either full-width (the `*_i`/`*_f`/64-bit vectors are sized,
+    /// the `*32` twins empty) or compact (`mem=compact`: the `*32`
+    /// twins sized, the full-width vectors empty) — never both, so the
+    /// unused layout costs nothing.
     loads_i: Vec<AtomicI64>,
     loads_f: Vec<AtomicU64>,
     prev: Vec<AtomicU64>,
     /// Arc-indexed fractional parts (framework jobs only).
     arc_frac: Vec<AtomicU64>,
     flows: Vec<AtomicI64>,
+    /// Compact twins of the five state vectors above (`mem=compact`).
+    loads_i32: Vec<AtomicI32>,
+    loads_f32: Vec<AtomicU32>,
+    prev32: Vec<AtomicU32>,
+    arc_frac32: Vec<AtomicU32>,
+    flows32: Vec<AtomicI32>,
+    /// Whether this job runs the compact (`i32`/`f32`) state layout.
+    compact: bool,
     /// Active-edge bitmask words (random-matching jobs, or any job with
     /// edge faults), published by the control thread before each round's
     /// first barrier.
@@ -117,17 +131,30 @@ impl StatSlots {
     }
 }
 
+/// The initial loads seeding a [`RoundJob`], which also select the job's
+/// state layout: full-width `i64`/`f64` or the compact (`mem=compact`)
+/// `i32`/`f32` twins.
+pub(crate) enum JobLoads<'a> {
+    /// Full-width discrete loads.
+    I64(&'a [i64]),
+    /// Full-width continuous loads.
+    F64(&'a [f64]),
+    /// Compact discrete loads.
+    I32(&'a [i32]),
+    /// Compact continuous loads.
+    F32(&'a [f32]),
+}
+
 impl RoundJob {
     /// Captures one simulation's state for execution on a pool with
-    /// `threads` participants. Exactly one of `loads_i` / `loads_f`
-    /// matches the mode and seeds the job's canonical state.
+    /// `threads` participants. The `loads` variant matches the mode and
+    /// memory layout and seeds the job's canonical state.
     pub fn new(
         threads: usize,
         tables: Arc<KernelTables>,
         kernel: Arc<SchemeKernel>,
         flow_memory: FlowMemory,
-        loads_i: &[i64],
-        loads_f: &[f64],
+        loads: JobLoads<'_>,
     ) -> Self {
         let n = tables.n;
         let m = tables.m;
@@ -135,6 +162,9 @@ impl RoundJob {
         let framework = kernel.needs_arc_plan();
         let masked = kernel.needs_random_mask() || kernel.needs_fault_mask();
         let staled = kernel.needs_stale_mask();
+        let compact = matches!(loads, JobLoads::I32(_) | JobLoads::F32(_));
+        let discrete = matches!(loads, JobLoads::I64(_) | JobLoads::I32(_));
+        let sized = |yes: bool, len: usize| if yes { len } else { 0 };
         Self {
             tables,
             kernel,
@@ -144,18 +174,41 @@ impl RoundJob {
             mem_bits: AtomicU64::new(0),
             gain_bits: AtomicU64::new(0),
             round: AtomicU64::new(0),
-            loads_i: loads_i.iter().map(|&x| AtomicI64::new(x)).collect(),
-            loads_f: loads_f
-                .iter()
-                .map(|&x| AtomicU64::new(x.to_bits()))
+            loads_i: match loads {
+                JobLoads::I64(src) => src.iter().map(|&x| AtomicI64::new(x)).collect(),
+                _ => Vec::new(),
+            },
+            loads_f: match loads {
+                JobLoads::F64(src) => src.iter().map(|&x| AtomicU64::new(x.to_bits())).collect(),
+                _ => Vec::new(),
+            },
+            prev: (0..sized(!compact, m))
+                .map(|_| AtomicU64::new(0f64.to_bits()))
                 .collect(),
-            prev: (0..m).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
-            arc_frac: (0..if framework { arcs } else { 0 })
+            arc_frac: (0..sized(framework && !compact, arcs))
                 .map(|_| AtomicU64::new(0))
                 .collect(),
-            flows: (0..if loads_i.is_empty() { 0 } else { m })
+            flows: (0..sized(discrete && !compact, m))
                 .map(|_| AtomicI64::new(0))
                 .collect(),
+            loads_i32: match loads {
+                JobLoads::I32(src) => src.iter().map(|&x| AtomicI32::new(x)).collect(),
+                _ => Vec::new(),
+            },
+            loads_f32: match loads {
+                JobLoads::F32(src) => src.iter().map(|&x| AtomicU32::new(x.to_bits())).collect(),
+                _ => Vec::new(),
+            },
+            prev32: (0..sized(compact, m))
+                .map(|_| AtomicU32::new(0f32.to_bits()))
+                .collect(),
+            arc_frac32: (0..sized(framework && compact, arcs))
+                .map(|_| AtomicU32::new(0))
+                .collect(),
+            flows32: (0..sized(discrete && compact, m))
+                .map(|_| AtomicI32::new(0))
+                .collect(),
+            compact,
             mask: (0..if masked { mask_words(m) } else { 0 })
                 .map(|_| AtomicU64::new(0))
                 .collect(),
@@ -207,28 +260,53 @@ impl RoundJob {
         let round = self.round.load(Ordering::Relaxed);
         let edges = self.edge_bounds[t]..self.edge_bounds[t + 1];
         let nodes = self.node_bounds[t]..self.node_bounds[t + 1];
-        let bufs = ChunkBufs {
-            loads_i: &self.loads_i,
-            loads_f: &self.loads_f,
-            prev: &self.prev,
-            arc_frac: &self.arc_frac,
-            flows: &self.flows,
-            mask: &self.mask,
-            stale: &self.stale,
-            block_sums: &self.block_sums,
+        let stats = if self.compact {
+            let bufs = ChunkBufs {
+                loads_i: AtomicsI32(&self.loads_i32),
+                loads_f: AtomicsF32(&self.loads_f32),
+                prev: AtomicsF32(&self.prev32),
+                arc_frac: AtomicsF32(&self.arc_frac32),
+                flows: AtomicsI32(&self.flows32),
+                mask: &self.mask,
+                stale: &self.stale,
+                block_sums: &self.block_sums,
+            };
+            self.kernel.run_chunk(
+                tables,
+                barrier,
+                edges,
+                nodes,
+                mem,
+                gain,
+                round,
+                self.flow_memory,
+                &bufs,
+                scratch,
+            )
+        } else {
+            let bufs = ChunkBufs {
+                loads_i: AtomicsI64(&self.loads_i),
+                loads_f: AtomicsF64(&self.loads_f),
+                prev: AtomicsF64(&self.prev),
+                arc_frac: AtomicsF64(&self.arc_frac),
+                flows: AtomicsI64(&self.flows),
+                mask: &self.mask,
+                stale: &self.stale,
+                block_sums: &self.block_sums,
+            };
+            self.kernel.run_chunk(
+                tables,
+                barrier,
+                edges,
+                nodes,
+                mem,
+                gain,
+                round,
+                self.flow_memory,
+                &bufs,
+                scratch,
+            )
         };
-        let stats = self.kernel.run_chunk(
-            tables,
-            barrier,
-            edges,
-            nodes,
-            mem,
-            gain,
-            round,
-            self.flow_memory,
-            &bufs,
-            scratch,
-        );
         self.stats[t].store(stats);
     }
 
@@ -275,6 +353,75 @@ impl RoundJob {
         for (a, &x) in self.prev.iter().zip(src) {
             a.store(x.to_bits(), Ordering::Relaxed);
         }
+    }
+
+    /// The job's canonical compact integer loads (`mem=compact`,
+    /// discrete mode; empty otherwise).
+    pub fn loads_i32_slots(&self) -> &[AtomicI32] {
+        &self.loads_i32
+    }
+
+    /// The job's canonical compact continuous load bits (`mem=compact`,
+    /// continuous mode; empty otherwise).
+    pub fn loads_f32_slots(&self) -> &[AtomicU32] {
+        &self.loads_f32
+    }
+
+    /// Copies the job's compact integer loads back into `out`.
+    pub fn read_loads_i32(&self, out: &mut [i32]) {
+        for (o, a) in out.iter_mut().zip(&self.loads_i32) {
+            *o = a.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the job's compact continuous loads back into `out`.
+    pub fn read_loads_f32(&self, out: &mut [f32]) {
+        for (o, a) in out.iter_mut().zip(&self.loads_f32) {
+            *o = f32::from_bits(a.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Copies the job's compact flow memory back into `out`.
+    pub fn read_prev32(&self, out: &mut [f32]) {
+        for (o, a) in out.iter_mut().zip(&self.prev32) {
+            *o = f32::from_bits(a.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Overwrites the job's compact integer loads from `src` (checkpoint
+    /// restore; control thread only, workers parked between rounds).
+    pub fn write_loads_i32(&self, src: &[i32]) {
+        for (a, &x) in self.loads_i32.iter().zip(src) {
+            a.store(x, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the job's compact continuous loads from `src`
+    /// (checkpoint restore; control thread only, workers parked between
+    /// rounds).
+    pub fn write_loads_f32(&self, src: &[f32]) {
+        for (a, &x) in self.loads_f32.iter().zip(src) {
+            a.store(x.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the job's compact flow memory from `src` (checkpoint
+    /// restore; control thread only, workers parked between rounds).
+    pub fn write_prev32(&self, src: &[f32]) {
+        for (a, &x) in self.prev32.iter().zip(src) {
+            a.store(x.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes of per-node and per-edge simulation state this job holds
+    /// (loads, flow memory, integral flows, arc fractions). Masks and
+    /// per-block partials are metadata and excluded; the compact layout
+    /// halves every category counted here.
+    pub fn state_bytes(&self) -> usize {
+        8 * (self.loads_i.len() + self.loads_f.len() + self.prev.len())
+            + 8 * (self.arc_frac.len() + self.flows.len())
+            + 4 * (self.loads_i32.len() + self.loads_f32.len() + self.prev32.len())
+            + 4 * (self.arc_frac32.len() + self.flows32.len())
     }
 }
 
@@ -484,8 +631,7 @@ mod tests {
             tables,
             fos_kernel(&g, Mode::Discrete(Rounding::nearest())),
             FlowMemory::Rounded,
-            &loads,
-            &[],
+            JobLoads::I64(&loads),
         ));
         // Balanced start: every scheduled flow is 0, loads stay put.
         let mut scratch = FwScratch::new();
@@ -515,8 +661,7 @@ mod tests {
             t1,
             fos_kernel(&g1, Mode::Discrete(Rounding::nearest())),
             FlowMemory::Rounded,
-            &[7i64; 15],
-            &[],
+            JobLoads::I64(&[7i64; 15]),
         ));
         let g2 = generators::cycle(9);
         let t2 = Arc::new(KernelTables::new(&g2, &Speeds::uniform(9), false, 27.0));
@@ -525,8 +670,7 @@ mod tests {
             t2,
             fos_kernel(&g2, Mode::Continuous),
             FlowMemory::Rounded,
-            &[],
-            &[3.0f64; 9],
+            JobLoads::F64(&[3.0f64; 9]),
         ));
         for round in 0..4 {
             let s1 = pool.run_round(&job1, 0.0, 1.0, round, &mut scratch);

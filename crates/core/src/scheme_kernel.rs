@@ -60,7 +60,7 @@
 //! ([`crate`]) for the end-to-end list of touch points.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Barrier;
 
 use sodiff_graph::{matching, EdgeId, Graph, Speeds};
@@ -68,7 +68,7 @@ use sodiff_graph::{matching, EdgeId, Graph, Speeds};
 use crate::engine::{FlowMemory, Mode};
 use crate::error::BuildError;
 use crate::fault::{EffBase, FaultSpec, FaultState};
-use crate::kernel::{self, AtomicsF64, AtomicsI64, FwScratch, KernelTables, LoadStats};
+use crate::kernel::{self, AtomicsF64, BufF64, BufI64, FwScratch, KernelTables, LoadStats};
 use crate::load::{LoadSpec, LoadState};
 use crate::matchgen::{self, mask_words, MatchScratch};
 use crate::rounding::Rounding;
@@ -145,17 +145,24 @@ impl RoundScratch {
 
 /// One simulation's shared atomic state as seen by a pool participant;
 /// see [`SchemeKernel::run_chunk`].
-pub(crate) struct ChunkBufs<'a> {
+///
+/// Generic over the five load/flow buffer handles so the compact
+/// (`mem=compact`) jobs thread their `i32`/`f32` atomic twins through
+/// the *same* phase sequence the full-width jobs monomorphize: the
+/// full-width instantiation ([`crate::kernel::AtomicsI64`] /
+/// [`crate::kernel::AtomicsF64`]) keeps its exact pre-compact codegen.
+/// The mask/stale/potential words stay `u64` in both layouts.
+pub(crate) struct ChunkBufs<'a, LI, LF, P, F, A> {
     /// Integer loads (discrete mode; empty otherwise).
-    pub loads_i: &'a [AtomicI64],
-    /// Continuous loads as bits (continuous mode; empty otherwise).
-    pub loads_f: &'a [AtomicU64],
-    /// Per-edge flow memory as bits.
-    pub prev: &'a [AtomicU64],
+    pub loads_i: LI,
+    /// Continuous loads (continuous mode; empty otherwise).
+    pub loads_f: LF,
+    /// Per-edge flow memory.
+    pub prev: P,
     /// Arc-indexed fractional parts (framework flow pass only).
-    pub arc_frac: &'a [AtomicU64],
+    pub arc_frac: A,
     /// Per-edge integral flows (discrete mode).
-    pub flows: &'a [AtomicI64],
+    pub flows: F,
     /// Active-edge bitmask words (random matching plan, or any plan
     /// under edge faults), published by the control thread before the
     /// round's first barrier.
@@ -425,14 +432,14 @@ impl SchemeKernel {
     /// and stale words. Fault-free sweep plans need no publication —
     /// workers index the kernel's immutable masks directly.
     #[allow(clippy::too_many_arguments)] // the job's full shared state, flat by design
-    pub fn prepare_pooled(
+    pub fn prepare_pooled<LI: BufI64, LF: BufF64>(
         &self,
         t: &KernelTables,
         graph: &Graph,
         round: u64,
         scratch: &mut RoundScratch,
-        loads_i: &[AtomicI64],
-        loads_f: &[AtomicU64],
+        loads_i: &LI,
+        loads_f: &LF,
         mask_out: &[AtomicU64],
         stale_out: &[AtomicU64],
     ) {
@@ -442,23 +449,22 @@ impl SchemeKernel {
             load,
             ..
         } = scratch;
+        let discrete = loads_f.elems().is_empty();
         if !self.faults.is_none() {
             fault.begin_round(&self.faults, graph, round, self.sweep_family());
             if let Some((donor, hotspot)) = fault.shock_targets(&self.faults, round, t.n) {
-                if loads_f.is_empty() {
-                    let amt = loads_i[donor].load(Relaxed) / 4;
+                if discrete {
+                    let amt = loads_i.get(donor) / 4;
                     if amt != 0 {
-                        loads_i[donor].fetch_sub(amt, Relaxed);
-                        loads_i[hotspot].fetch_add(amt, Relaxed);
+                        loads_i.set(donor, loads_i.get(donor) - amt);
+                        loads_i.set(hotspot, loads_i.get(hotspot) + amt);
                         fault.events.shocks += 1;
                     }
                 } else {
-                    let amt = f64::from_bits(loads_f[donor].load(Relaxed)) / 4.0;
+                    let amt = loads_f.get(donor) / 4.0;
                     if amt != 0.0 {
-                        let d = f64::from_bits(loads_f[donor].load(Relaxed)) - amt;
-                        let h = f64::from_bits(loads_f[hotspot].load(Relaxed)) + amt;
-                        loads_f[donor].store(d.to_bits(), Relaxed);
-                        loads_f[hotspot].store(h.to_bits(), Relaxed);
+                        loads_f.set(donor, loads_f.get(donor) - amt);
+                        loads_f.set(hotspot, loads_f.get(hotspot) + amt);
                         fault.events.shocks += 1;
                     }
                 }
@@ -468,16 +474,12 @@ impl SchemeKernel {
             // Load deltas land before the flow pass and before the first
             // barrier (workers parked), same as the shock channel, so
             // both executors balance identical per-round loads.
-            if loads_f.is_empty() {
-                load.plan_round(&self.loads, round, t.n, true, |i| {
-                    loads_i[i].load(Relaxed) as f64
-                });
-                load.apply_atomic_i64(loads_i);
+            if discrete {
+                load.plan_round(&self.loads, round, t.n, true, |i| loads_i.get(i) as f64);
+                load.apply_i64(loads_i);
             } else {
-                load.plan_round(&self.loads, round, t.n, false, |i| {
-                    f64::from_bits(loads_f[i].load(Relaxed))
-                });
-                load.apply_atomic_f64(loads_f);
+                load.plan_round(&self.loads, round, t.n, false, |i| loads_f.get(i));
+                load.apply_f64(loads_f);
             }
         }
         let publish = self.needs_random_mask() || self.needs_fault_mask();
@@ -498,8 +500,14 @@ impl SchemeKernel {
     /// One full sequential round in discrete mode; returns the round's
     /// fused load statistics (minimum transient load plus the post-round
     /// min/max/deviation reduction of the apply pass).
+    ///
+    /// Generic over the load/flow buffer handles so `mem=full`
+    /// monomorphizes to the exact pre-compact code (Cell-backed `i64` /
+    /// `f64` slices) while `mem=compact` threads its `i32`/`f32` twins
+    /// through the same phase sequence; all arithmetic stays `f64` in
+    /// both instantiations.
     #[allow(clippy::too_many_arguments)] // the engine's full round state, flat by design
-    pub fn run_discrete_seq(
+    pub fn run_discrete_seq<L: BufI64, P: BufF64, F: BufI64, A: BufF64>(
         &self,
         t: &KernelTables,
         graph: &Graph,
@@ -507,10 +515,10 @@ impl SchemeKernel {
         gain: f64,
         round: u64,
         flow_memory: FlowMemory,
-        loads: &mut [i64],
-        prev: &mut [f64],
-        flows: &mut [i64],
-        arc_frac: &mut [f64],
+        loads: &L,
+        prev: &P,
+        flows: &F,
+        arc_frac: &A,
         scratch: &mut RoundScratch,
     ) -> LoadStats {
         let (n, m) = (t.n, t.m);
@@ -524,16 +532,16 @@ impl SchemeKernel {
         if !self.faults.is_none() {
             fault.begin_round(&self.faults, graph, round, self.sweep_family());
             if let Some((donor, hotspot)) = fault.shock_targets(&self.faults, round, n) {
-                let amt = loads[donor] / 4;
+                let amt = loads.get(donor) / 4;
                 if amt != 0 {
-                    loads[donor] -= amt;
-                    loads[hotspot] += amt;
+                    loads.set(donor, loads.get(donor) - amt);
+                    loads.set(hotspot, loads.get(hotspot) + amt);
                     fault.events.shocks += 1;
                 }
             }
         }
         if !self.loads.is_none() {
-            load.plan_round(&self.loads, round, n, true, |i| loads[i] as f64);
+            load.plan_round(&self.loads, round, n, true, |i| loads.get(i) as f64);
             load.apply_i64(loads);
         }
         let mask = self.round_mask(round, t, matchgen, fault);
@@ -547,9 +555,9 @@ impl SchemeKernel {
                     round,
                     rounding,
                     flow_memory,
-                    |i| loads[i] as f64,
-                    &kernel::cells_f64(prev),
-                    &kernel::cells_i64(flows),
+                    |i| loads.get(i) as f64,
+                    prev,
+                    flows,
                 ),
                 Some(words) => {
                     let (ct, ch) = self.masked_coefs(t);
@@ -564,9 +572,9 @@ impl SchemeKernel {
                         round,
                         rounding,
                         flow_memory,
-                        |i| loads[i] as f64,
-                        &kernel::cells_f64(prev),
-                        &kernel::cells_i64(flows),
+                        |i| loads.get(i) as f64,
+                        prev,
+                        flows,
                     )
                 }
             },
@@ -578,10 +586,10 @@ impl SchemeKernel {
                         mem,
                         gain,
                         flow_memory,
-                        |i| loads[i] as f64,
-                        &kernel::cells_f64(arc_frac),
-                        &kernel::cells_i64(flows),
-                        &kernel::cells_f64(prev),
+                        |i| loads.get(i) as f64,
+                        arc_frac,
+                        flows,
+                        prev,
                     ),
                     Some(words) => {
                         let (ct, ch) = self.masked_coefs(t);
@@ -594,28 +602,16 @@ impl SchemeKernel {
                             mem,
                             gain,
                             flow_memory,
-                            |i| loads[i] as f64,
-                            &kernel::cells_f64(arc_frac),
-                            &kernel::cells_i64(flows),
-                            &kernel::cells_f64(prev),
+                            |i| loads.get(i) as f64,
+                            arc_frac,
+                            flows,
+                            prev,
                         )
                     }
                 }
-                kernel::arc_round_streamed(
-                    t,
-                    0..n,
-                    seed,
-                    round,
-                    &kernel::cells_f64(arc_frac),
-                    &kernel::cells_i64(flows),
-                    fw,
-                );
+                kernel::arc_round_streamed(t, 0..n, seed, round, arc_frac, flows, fw);
                 if matches!(flow_memory, FlowMemory::Rounded) {
-                    kernel::prev_from_flows(
-                        0..m,
-                        &kernel::cells_i64(flows),
-                        &kernel::cells_f64(prev),
-                    );
+                    kernel::prev_from_flows(0..m, flows, prev);
                 }
             }
             FlowPass::Continuous => unreachable!("continuous flow pass on discrete state"),
@@ -629,16 +625,16 @@ impl SchemeKernel {
             kernel::apply_discrete(
                 t,
                 0..n,
-                |e| flows[e] * (((stale[e >> 6] >> (e & 63)) & 1) ^ 1) as i64,
-                &kernel::cells_i64(loads),
+                |e| flows.get(e) * (((stale[e >> 6] >> (e & 63)) & 1) ^ 1) as i64,
+                loads,
                 &kernel::cells_f64(block_sums),
             )
         } else {
             kernel::apply_discrete(
                 t,
                 0..n,
-                |e| flows[e],
-                &kernel::cells_i64(loads),
+                |e| flows.get(e),
+                loads,
                 &kernel::cells_f64(block_sums),
             )
         };
@@ -647,17 +643,18 @@ impl SchemeKernel {
     }
 
     /// One full sequential round in continuous mode; returns the round's
-    /// fused load statistics.
+    /// fused load statistics. Generic over the load/flow buffer handles
+    /// like [`SchemeKernel::run_discrete_seq`].
     #[allow(clippy::too_many_arguments)] // the engine's full round state, flat by design
-    pub fn run_continuous_seq(
+    pub fn run_continuous_seq<LF: BufF64, P: BufF64>(
         &self,
         t: &KernelTables,
         graph: &Graph,
         mem: f64,
         gain: f64,
         round: u64,
-        loads: &mut [f64],
-        prev: &mut [f64],
+        loads: &LF,
+        prev: &P,
         scratch: &mut RoundScratch,
     ) -> LoadStats {
         let (n, m) = (t.n, t.m);
@@ -671,28 +668,21 @@ impl SchemeKernel {
         if !self.faults.is_none() {
             fault.begin_round(&self.faults, graph, round, self.sweep_family());
             if let Some((donor, hotspot)) = fault.shock_targets(&self.faults, round, n) {
-                let amt = loads[donor] / 4.0;
+                let amt = loads.get(donor) / 4.0;
                 if amt != 0.0 {
-                    loads[donor] -= amt;
-                    loads[hotspot] += amt;
+                    loads.set(donor, loads.get(donor) - amt);
+                    loads.set(hotspot, loads.get(hotspot) + amt);
                     fault.events.shocks += 1;
                 }
             }
         }
         if !self.loads.is_none() {
-            load.plan_round(&self.loads, round, n, false, |i| loads[i]);
+            load.plan_round(&self.loads, round, n, false, |i| loads.get(i));
             load.apply_f64(loads);
         }
         let mask = self.round_mask(round, t, matchgen, fault);
         match mask {
-            None => kernel::edge_pass_continuous(
-                t,
-                0..m,
-                mem,
-                gain,
-                |i| loads[i],
-                &kernel::cells_f64(prev),
-            ),
+            None => kernel::edge_pass_continuous(t, 0..m, mem, gain, |i| loads.get(i), prev),
             Some(words) => {
                 let (ct, ch) = self.masked_coefs(t);
                 kernel::edge_pass_continuous_masked(
@@ -703,8 +693,8 @@ impl SchemeKernel {
                     |w| words[w],
                     mem,
                     gain,
-                    |i| loads[i],
-                    &kernel::cells_f64(prev),
+                    |i| loads.get(i),
+                    prev,
                 )
             }
         }
@@ -719,18 +709,18 @@ impl SchemeKernel {
                     if (stale[e >> 6] >> (e & 63)) & 1 == 1 {
                         0.0
                     } else {
-                        prev[e]
+                        prev.get(e)
                     }
                 },
-                &kernel::cells_f64(loads),
+                loads,
                 &kernel::cells_f64(block_sums),
             )
         } else {
             kernel::apply_continuous(
                 t,
                 0..n,
-                |e| prev[e],
-                &kernel::cells_f64(loads),
+                |e| prev.get(e),
+                loads,
                 &kernel::cells_f64(block_sums),
             )
         };
@@ -745,7 +735,7 @@ impl SchemeKernel {
     /// apply pass's interval). Returns the chunk's fused load
     /// statistics.
     #[allow(clippy::too_many_arguments)] // one pool participant's full round context
-    pub fn run_chunk(
+    pub fn run_chunk<LI: BufI64, LF: BufF64, P: BufF64, F: BufI64, A: BufF64>(
         &self,
         t: &KernelTables,
         barrier: &Barrier,
@@ -755,7 +745,7 @@ impl SchemeKernel {
         gain: f64,
         round: u64,
         flow_memory: FlowMemory,
-        bufs: &ChunkBufs<'_>,
+        bufs: &ChunkBufs<'_, LI, LF, P, F, A>,
         scratch: &mut FwScratch,
     ) -> LoadStats {
         if self.needs_stale_mask() {
@@ -791,7 +781,7 @@ impl SchemeKernel {
 
     /// [`SchemeKernel::run_chunk`] monomorphized per stale-mask source.
     #[allow(clippy::too_many_arguments)] // one pool participant's full round context
-    fn run_chunk_inner<SF: Fn(usize) -> u64>(
+    fn run_chunk_inner<LI, LF, P, F, A, SF>(
         &self,
         t: &KernelTables,
         barrier: &Barrier,
@@ -801,10 +791,18 @@ impl SchemeKernel {
         gain: f64,
         round: u64,
         flow_memory: FlowMemory,
-        bufs: &ChunkBufs<'_>,
+        bufs: &ChunkBufs<'_, LI, LF, P, F, A>,
         scratch: &mut FwScratch,
         stale: Option<SF>,
-    ) -> LoadStats {
+    ) -> LoadStats
+    where
+        LI: BufI64,
+        LF: BufF64,
+        P: BufF64,
+        F: BufI64,
+        A: BufF64,
+        SF: Fn(usize) -> u64,
+    {
         if self.needs_fault_mask() {
             // Edge faults route *every* plan through the effective mask
             // the control thread published for the round.
@@ -876,7 +874,7 @@ impl SchemeKernel {
     /// the all-edges diffusion paths keep their original unmasked
     /// codegen.
     #[allow(clippy::too_many_arguments)] // one pool participant's full round context
-    fn chunk_phases<MF: Fn(usize) -> u64, SF: Fn(usize) -> u64>(
+    fn chunk_phases<LI, LF, P, F, A, MF, SF>(
         &self,
         t: &KernelTables,
         barrier: &Barrier,
@@ -886,13 +884,22 @@ impl SchemeKernel {
         gain: f64,
         round: u64,
         flow_memory: FlowMemory,
-        bufs: &ChunkBufs<'_>,
+        bufs: &ChunkBufs<'_, LI, LF, P, F, A>,
         scratch: &mut FwScratch,
         mask: Option<MF>,
         stale: Option<SF>,
-    ) -> LoadStats {
-        let prev = AtomicsF64(bufs.prev);
-        let flows = AtomicsI64(bufs.flows);
+    ) -> LoadStats
+    where
+        LI: BufI64,
+        LF: BufF64,
+        P: BufF64,
+        F: BufI64,
+        A: BufF64,
+        MF: Fn(usize) -> u64,
+        SF: Fn(usize) -> u64,
+    {
+        let prev = &bufs.prev;
+        let flows = &bufs.flows;
         match self.flow {
             FlowPass::EdgeLocal(rounding) => {
                 match &mask {
@@ -904,9 +911,9 @@ impl SchemeKernel {
                         round,
                         rounding,
                         flow_memory,
-                        |i| bufs.loads_i[i].load(Relaxed) as f64,
-                        &prev,
-                        &flows,
+                        |i| bufs.loads_i.get(i) as f64,
+                        prev,
+                        flows,
                     ),
                     Some(mf) => {
                         let (ct, ch) = self.masked_coefs(t);
@@ -921,9 +928,9 @@ impl SchemeKernel {
                             round,
                             rounding,
                             flow_memory,
-                            |i| bufs.loads_i[i].load(Relaxed) as f64,
-                            &prev,
-                            &flows,
+                            |i| bufs.loads_i.get(i) as f64,
+                            prev,
+                            flows,
                         )
                     }
                 }
@@ -932,18 +939,15 @@ impl SchemeKernel {
                     None => kernel::apply_discrete(
                         t,
                         nodes,
-                        |e| bufs.flows[e].load(Relaxed),
-                        &AtomicsI64(bufs.loads_i),
+                        |e| bufs.flows.get(e),
+                        &bufs.loads_i,
                         &AtomicsF64(bufs.block_sums),
                     ),
                     Some(sf) => kernel::apply_discrete(
                         t,
                         nodes,
-                        |e| {
-                            bufs.flows[e].load(Relaxed)
-                                * (((sf(e >> 6) >> (e & 63)) & 1) ^ 1) as i64
-                        },
-                        &AtomicsI64(bufs.loads_i),
+                        |e| bufs.flows.get(e) * (((sf(e >> 6) >> (e & 63)) & 1) ^ 1) as i64,
+                        &bufs.loads_i,
                         &AtomicsF64(bufs.block_sums),
                     ),
                 }
@@ -956,10 +960,10 @@ impl SchemeKernel {
                         mem,
                         gain,
                         flow_memory,
-                        |i| bufs.loads_i[i].load(Relaxed) as f64,
-                        &AtomicsF64(bufs.arc_frac),
-                        &flows,
-                        &prev,
+                        |i| bufs.loads_i.get(i) as f64,
+                        &bufs.arc_frac,
+                        flows,
+                        prev,
                     ),
                     Some(mf) => {
                         let (ct, ch) = self.masked_coefs(t);
@@ -972,10 +976,10 @@ impl SchemeKernel {
                             mem,
                             gain,
                             flow_memory,
-                            |i| bufs.loads_i[i].load(Relaxed) as f64,
-                            &AtomicsF64(bufs.arc_frac),
-                            &flows,
-                            &prev,
+                            |i| bufs.loads_i.get(i) as f64,
+                            &bufs.arc_frac,
+                            flows,
+                            prev,
                         )
                     }
                 }
@@ -985,8 +989,8 @@ impl SchemeKernel {
                     nodes.clone(),
                     seed,
                     round,
-                    &AtomicsF64(bufs.arc_frac),
-                    &flows,
+                    &bufs.arc_frac,
+                    flows,
                     scratch,
                 );
                 barrier.wait();
@@ -994,24 +998,21 @@ impl SchemeKernel {
                 // the flows (the copy writes `prev`, the apply writes
                 // `loads` — disjoint).
                 if matches!(flow_memory, FlowMemory::Rounded) {
-                    kernel::prev_from_flows(edges, &flows, &prev);
+                    kernel::prev_from_flows(edges, flows, prev);
                 }
                 match &stale {
                     None => kernel::apply_discrete(
                         t,
                         nodes,
-                        |e| bufs.flows[e].load(Relaxed),
-                        &AtomicsI64(bufs.loads_i),
+                        |e| bufs.flows.get(e),
+                        &bufs.loads_i,
                         &AtomicsF64(bufs.block_sums),
                     ),
                     Some(sf) => kernel::apply_discrete(
                         t,
                         nodes,
-                        |e| {
-                            bufs.flows[e].load(Relaxed)
-                                * (((sf(e >> 6) >> (e & 63)) & 1) ^ 1) as i64
-                        },
-                        &AtomicsI64(bufs.loads_i),
+                        |e| bufs.flows.get(e) * (((sf(e >> 6) >> (e & 63)) & 1) ^ 1) as i64,
+                        &bufs.loads_i,
                         &AtomicsF64(bufs.block_sums),
                     ),
                 }
@@ -1023,8 +1024,8 @@ impl SchemeKernel {
                         edges,
                         mem,
                         gain,
-                        |i| f64::from_bits(bufs.loads_f[i].load(Relaxed)),
-                        &prev,
+                        |i| bufs.loads_f.get(i),
+                        prev,
                     ),
                     Some(mf) => {
                         let (ct, ch) = self.masked_coefs(t);
@@ -1036,8 +1037,8 @@ impl SchemeKernel {
                             mf,
                             mem,
                             gain,
-                            |i| f64::from_bits(bufs.loads_f[i].load(Relaxed)),
-                            &prev,
+                            |i| bufs.loads_f.get(i),
+                            prev,
                         )
                     }
                 }
@@ -1046,8 +1047,8 @@ impl SchemeKernel {
                     None => kernel::apply_continuous(
                         t,
                         nodes,
-                        |e| f64::from_bits(bufs.prev[e].load(Relaxed)),
-                        &AtomicsF64(bufs.loads_f),
+                        |e| bufs.prev.get(e),
+                        &bufs.loads_f,
                         &AtomicsF64(bufs.block_sums),
                     ),
                     Some(sf) => kernel::apply_continuous(
@@ -1057,10 +1058,10 @@ impl SchemeKernel {
                             if (sf(e >> 6) >> (e & 63)) & 1 == 1 {
                                 0.0
                             } else {
-                                f64::from_bits(bufs.prev[e].load(Relaxed))
+                                bufs.prev.get(e)
                             }
                         },
-                        &AtomicsF64(bufs.loads_f),
+                        &bufs.loads_f,
                         &AtomicsF64(bufs.block_sums),
                     ),
                 }
@@ -1171,10 +1172,10 @@ mod tests {
             1.0,
             0,
             FlowMemory::Rounded,
-            &mut loads,
-            &mut prev,
-            &mut flows,
-            &mut [],
+            &kernel::cells_i64(&mut loads),
+            &kernel::cells_f64(&mut prev),
+            &kernel::cells_i64(&mut flows),
+            &kernel::cells_f64(&mut []),
             &mut scratch,
         );
         assert_eq!(loads, vec![5, 5]);
@@ -1211,10 +1212,10 @@ mod tests {
                 1.0,
                 round,
                 FlowMemory::Rounded,
-                &mut loads,
-                &mut prev,
-                &mut flows,
-                &mut [],
+                &kernel::cells_i64(&mut loads),
+                &kernel::cells_f64(&mut prev),
+                &kernel::cells_i64(&mut flows),
+                &kernel::cells_f64(&mut []),
                 &mut scratch,
             );
             let ActivePlan::Sweep { masks, .. } = &k.plan else {
@@ -1264,10 +1265,10 @@ mod tests {
                 1.0,
                 round,
                 FlowMemory::Rounded,
-                &mut loads,
-                &mut prev,
-                &mut flows,
-                &mut [],
+                &kernel::cells_i64(&mut loads),
+                &kernel::cells_f64(&mut prev),
+                &kernel::cells_i64(&mut flows),
+                &kernel::cells_f64(&mut []),
                 &mut scratch,
             );
             assert_eq!(loads.iter().sum::<i64>(), total, "round {round}");

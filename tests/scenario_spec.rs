@@ -190,6 +190,11 @@ fn any_spec() -> impl Strategy<Value = ScenarioSpec> {
                 };
                 spec.hybrid = hybrid;
                 spec.ckpt = ckpt;
+                spec.mem = if name_pick % 2 == 1 {
+                    MemSpec::Compact
+                } else {
+                    MemSpec::Full
+                };
                 spec
             },
         )
