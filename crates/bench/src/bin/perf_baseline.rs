@@ -19,6 +19,11 @@
 //! configuration with the checkpoint axis spelled out as disabled, CI's
 //! zero-cost comparator) and `sos_ckpt_every16` (a full versioned
 //! snapshot to disk every 16 rounds, timing serialization + write).
+//! Two churn-axis cases do the same for live topology churn:
+//! `sos_churn_none` (the `sos_mem_full` configuration with the churn
+//! plan spelled out as disabled, CI's zero-cost comparator) and
+//! `sos_churn_flux` (epoch-aligned join/leave flux with
+//! conservation-exact handoff, timing the active-mask round loop).
 //! A `driver_batch` entry additionally
 //! times a batch of scenarios through one pooled `Driver` (threads
 //! spawned once) against the same scenarios as separate `Simulator`s
@@ -62,6 +67,9 @@ struct Case {
     /// Dynamic-workload plan for the run; `LoadSpec::none()` keeps the
     /// case on the pre-load code paths.
     loads: LoadSpec,
+    /// Topology-churn plan for the run; `ChurnSpec::none()` keeps the
+    /// case on the pre-churn code paths.
+    churn: ChurnSpec,
     /// Auto-checkpoint config; `None` keeps the case on the
     /// persistence-free round loop.
     ckpt: Option<CheckpointConfig>,
@@ -115,6 +123,7 @@ fn measure(graph: &Graph, case: &Case, budget_secs: f64) -> Measurement {
         .init(init)
         .faults(case.faults)
         .load(case.loads)
+        .churn(case.churn)
         .mem(case.mem);
     let builder = match &case.ckpt {
         Some(ckpt) => builder.checkpoint(ckpt.clone()),
@@ -362,6 +371,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -377,6 +387,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -392,6 +403,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -407,6 +419,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -422,6 +435,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -437,6 +451,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -452,6 +467,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -467,6 +483,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -486,6 +503,7 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -509,6 +527,7 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -524,6 +543,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none().with_crash(0.05, 42),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -547,6 +567,7 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -562,6 +583,7 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none().with_poisson(2.0, 42),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -585,6 +607,7 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -600,6 +623,7 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: Some(CheckpointConfig {
                     policy: CheckpointPolicy {
                         every: 16,
@@ -633,6 +657,7 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -648,8 +673,53 @@ fn main() {
                 threshold_stop: true,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Compact,
+            },
+        ),
+        // Topology-churn axis. `sos_churn_none` is the exact
+        // `sos_mem_full` configuration with the churn plan spelled out
+        // as `ChurnSpec::none()`: the CI zero-cost gate compares the two
+        // in the same run to prove a disabled churn axis costs nothing —
+        // `churn=none` compiles to the exact pre-churn code paths.
+        // `sos_churn_flux` measures the churned hot loop — per-epoch
+        // membership transitions, conservation-exact handoff, the
+        // active-edge mask routing every plan through the masked pass —
+        // and is gated at +25% over the committed ratio like the other
+        // kernels.
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_churn_none",
+                threads: 1,
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
+                threshold_stop: true,
+                faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
+                ckpt: None,
+                mem: MemSpec::Full,
+            },
+        ),
+        (
+            &mid,
+            Case {
+                graph_name: mid_name,
+                config_name: "sos_churn_flux",
+                threads: 1,
+                scheme: Scheme::sos(beta_mid),
+                rounding: Some(Rounding::nearest()),
+                threshold_stop: false,
+                faults: FaultSpec::none(),
+                loads: LoadSpec::none(),
+                churn: ChurnSpec::none()
+                    .with_flux(0.05, 0.4, 42)
+                    .with_initial(100.0),
+                ckpt: None,
+                mem: MemSpec::Full,
             },
         ),
         // Pairwise schemes (scheme-kernel layer): the masked edge pass
@@ -667,6 +737,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -682,6 +753,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -697,6 +769,7 @@ fn main() {
                 threshold_stop: false,
                 faults: FaultSpec::none(),
                 loads: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::Full,
             },
@@ -712,6 +785,7 @@ fn main() {
             threshold_stop: false,
             faults: FaultSpec::none(),
             loads: LoadSpec::none(),
+            churn: ChurnSpec::none(),
             ckpt: None,
             mem,
         };

@@ -1,0 +1,761 @@
+//! Deterministic live-topology churn: machines joining and leaving the
+//! network mid-run, with conservation-exact load handoff.
+//!
+//! Where the crash channel of [`crate::fault`] *freezes* a node inside a
+//! static graph (its load stays put and returns with it on rejoin),
+//! churn makes membership itself dynamic over a **reserved capacity**:
+//! the graph's `n` node slots are the cluster's maximum size, and a
+//! [`sodiff_graph::ActiveSet`] overlay tracks which slots currently hold
+//! a machine. The CSR arrays never change — a departed slot's incident
+//! edges are masked out of every flow pass, and dimension-exchange /
+//! matching schedules are repaired incrementally
+//! ([`sodiff_graph::matching::repair_matching`], whose greedy-extension
+//! half [`sodiff_graph::matching::extend_matching`] covers the *join*
+//! direction) instead of recomputed.
+//!
+//! The single channel, `churn=flux:P_LEAVE:P_JOIN:SEED[:INIT]`, drives a
+//! Markov chain over the active set on the same [`EPOCH_LEN`]-round
+//! epochs as the crash schedule: at each epoch boundary every active
+//! slot departs with probability `P_LEAVE` and every inactive slot
+//! (re)arrives with probability `P_JOIN`, drawn from a counter-indexed
+//! SplitMix64 stream (the [`crate::rng`] design — no serial RNG state,
+//! so sequential and pooled executors see identical churn). Unlike the
+//! memoryless crash redraw, the active set is **history-dependent**:
+//! checkpoints therefore persist the overlay words verbatim (format v2)
+//! and restore never redraws.
+//!
+//! **Conservation-exact handoff.** A departing machine hands its entire
+//! load to its post-transition active neighbors in adjacency order:
+//! discrete loads split as `⌊L/k⌋` each with the first `L mod k`
+//! neighbors taking one extra token (exact for negative loads via
+//! Euclidean division), continuous loads as `L/k` with the last
+//! neighbor absorbing the floating-point remainder — either way the
+//! deltas sum to exactly `−L`. Only a machine with *no* active neighbor
+//! takes its load out of the system (counted in
+//! [`ChurnEvents::departed`]); an arrival adds the configured `INIT`
+//! load (counted in [`ChurnEvents::joined`]). The global invariant every
+//! churned run maintains, every round, is
+//! `total == initial + injected + joined − departed`.
+//!
+//! **Composition with crash-rejoin** (see the audit note on
+//! [`ChurnEvents`]): a crash-frozen node still *owns* its slot — it can
+//! receive handoff load (held frozen until it rejoins, like any of its
+//! load), and it returns with exactly its frozen balance, touching no
+//! churn account. A churn re-arrival starts from `INIT` plus whatever
+//! load was parked on the slot while it was empty (shocks and injection
+//! draw targets without consulting the overlay; parked tokens stay in
+//! the total, so the two channels never double-count).
+//!
+//! `churn=none` (the default) takes exactly the pre-churn code paths —
+//! the hook is one predictable branch per round, held within 2% of the
+//! clean baseline by the `sos_churn_none` perf gate.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sodiff_graph::{matching, ActiveSet, Graph};
+
+use crate::error::{BuildError, ParseError};
+use crate::fault::EPOCH_LEN;
+use crate::kernel::{BufF64, BufI64};
+use crate::rng::{salted_stream_key, unit_f64};
+
+/// Seed salt of the flux channel's draw stream (decorrelates a seed
+/// shared with fault/load channels).
+const FLUX_SALT: u64 = 0x6368_7572_6e5f_5f5f;
+
+/// Largest accepted initial load of an arriving machine.
+const MAX_INIT: f64 = 1_000_000_000.0;
+
+/// The flux channel: per-epoch leave/join probabilities, the RNG seed of
+/// the draw stream, and the initial load an arriving machine brings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnChannel {
+    /// Per-epoch departure probability of an active slot, in `[0, 1]`.
+    pub leave: f64,
+    /// Per-epoch (re)arrival probability of an inactive slot, in `[0, 1]`.
+    pub join: f64,
+    /// Seed of the channel's counter-indexed draw stream.
+    pub seed: u64,
+    /// Load an arriving machine activates with (truncated to whole
+    /// tokens in discrete mode), accounted in [`ChurnEvents::joined`].
+    pub init: f64,
+}
+
+/// A deterministic live-topology churn plan. [`ChurnSpec::none`] (the
+/// default) keeps membership static and every run on the pre-churn code
+/// paths; see the module docs for the flux channel's semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChurnSpec {
+    /// Epoch-aligned join/leave flux over the reserved node capacity.
+    pub flux: Option<ChurnChannel>,
+}
+
+impl ChurnSpec {
+    /// The empty plan: static membership, pre-churn code paths.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if membership is static.
+    pub fn is_none(&self) -> bool {
+        self.flux.is_none()
+    }
+
+    /// Adds the flux channel (leave/join probabilities and seed);
+    /// arrivals start empty.
+    pub fn with_flux(mut self, leave: f64, join: f64, seed: u64) -> Self {
+        self.flux = Some(ChurnChannel {
+            leave,
+            join,
+            seed,
+            init: 0.0,
+        });
+        self
+    }
+
+    /// Sets the initial load arriving machines activate with (requires
+    /// an active flux channel; a no-op otherwise).
+    pub fn with_initial(mut self, init: f64) -> Self {
+        if let Some(ch) = &mut self.flux {
+            ch.init = init;
+        }
+        self
+    }
+
+    /// Validates the channel's probabilities and initial load.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::InvalidChurn`] naming the offending field.
+    pub fn check(&self) -> Result<(), BuildError> {
+        let Some(ChurnChannel {
+            leave, join, init, ..
+        }) = self.flux
+        else {
+            return Ok(());
+        };
+        for (what, p) in [("leave", leave), ("join", join)] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(BuildError::InvalidChurn(format!(
+                    "{what} probability {p} outside [0, 1]"
+                )));
+            }
+        }
+        if !init.is_finite() || !(0.0..=MAX_INIT).contains(&init) {
+            return Err(BuildError::InvalidChurn(format!(
+                "initial load {init} outside [0, {MAX_INIT}]"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ChurnSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.flux {
+            None => write!(f, "none"),
+            Some(ChurnChannel {
+                leave,
+                join,
+                seed,
+                init,
+            }) => {
+                write!(f, "flux:{leave}:{join}:{seed}")?;
+                if init != 0.0 {
+                    write!(f, ":{init}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl FromStr for ChurnSpec {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "none" {
+            return Ok(Self::none());
+        }
+        let bad = |why: String| ParseError::new(format!("in churn '{s}': {why}"));
+        let mut fields = s.split(':');
+        let kind = fields.next().unwrap_or("");
+        if kind != "flux" {
+            return Err(bad(format!("unknown churn kind '{kind}' (flux)")));
+        }
+        let (leave, join, seed, init) = match (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) {
+            (Some(l), Some(j), Some(seed), init, None) => (l, j, seed, init),
+            _ => {
+                return Err(bad(format!(
+                    "'{s}' should be flux:<p_leave>:<p_join>:<seed>[:<initial-load>]"
+                )))
+            }
+        };
+        let num = |field: &str, what: &str| -> Result<f64, ParseError> {
+            field
+                .parse::<f64>()
+                .map_err(|_| bad(format!("bad {what} '{field}'")))
+        };
+        let leave = num(leave, "leave probability")?;
+        let join = num(join, "join probability")?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| bad(format!("bad seed '{seed}'")))?;
+        let init = match init {
+            Some(field) => num(field, "initial load")?,
+            None => 0.0,
+        };
+        let spec = Self {
+            flux: Some(ChurnChannel {
+                leave,
+                join,
+                seed,
+                init,
+            }),
+        };
+        if let Err(BuildError::InvalidChurn(why)) = spec.check() {
+            return Err(bad(why));
+        }
+        Ok(spec)
+    }
+}
+
+/// Accounting of the churn a run actually experienced, reported in
+/// [`crate::RunReport::churn`]. All zero for `churn=none` runs. The
+/// counters accumulate over the simulator's lifetime, and close the
+/// conservation invariant `total == initial + injected + joined −
+/// departed` (where `injected` is [`crate::LoadEvents::injected`]).
+///
+/// **Rejoin-semantics audit** (crash vs churn, so the channels compose
+/// without double-counting): a *crash-frozen* node returns with its
+/// frozen load — no entry in any account here or in
+/// [`crate::FaultEvents`] beyond the crash/rejoin counters. A *churn
+/// re-arrival* starts from the configured initial load — exactly `init`
+/// enters the system and lands in [`ChurnEvents::joined`]; load parked
+/// on the empty slot meanwhile was already counted at its source
+/// (injection or shocks) and is simply returned to service.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChurnEvents {
+    /// Machines that left at an epoch boundary.
+    pub departures: u64,
+    /// Machines that (re)arrived at an epoch boundary.
+    pub arrivals: u64,
+    /// Departures that handed their load to at least one active
+    /// neighbor (the complement left with their load).
+    pub handoffs: u64,
+    /// Total load brought by arrivals (`arrivals × init`, truncated to
+    /// whole tokens per arrival in discrete mode).
+    pub joined: f64,
+    /// Total load removed with neighborless departures.
+    pub departed: f64,
+}
+
+impl ChurnEvents {
+    /// Total membership events (departures + arrivals).
+    pub fn total(&self) -> u64 {
+        self.departures + self.arrivals
+    }
+}
+
+/// Control-thread churn state carried between rounds: the activation
+/// overlay (the Markov chain's state), the derived active-edge and
+/// repaired-schedule masks of the current epoch, and the transition's
+/// planned load deltas. Lives in
+/// [`crate::scheme_kernel::RoundScratch`], so the sequential executor
+/// and the pool's control thread share one code path.
+#[derive(Default)]
+pub(crate) struct ChurnState {
+    /// Epoch whose transition has been applied (`None` before round 0).
+    epoch: Option<u64>,
+    /// The activation overlay — persisted verbatim in checkpoints
+    /// (history-dependent; never redrawn on restore).
+    active: ActiveSet,
+    /// Edges with both endpoints active (churn only; crash liveness is
+    /// composed separately by [`crate::fault::FaultState::compose_eff`]).
+    active_edges: Vec<u64>,
+    /// Per-epoch repaired sweep masks over the combined (churn-active ∧
+    /// crash-live) node set.
+    repaired: Vec<Vec<u64>>,
+    /// Scratch for composing an external mask with the active edges.
+    eff: Vec<u64>,
+    /// Combined live-word scratch for schedule repair.
+    combined: Vec<u64>,
+    /// Raw draw scratch for the bulk RNG sweep.
+    draws: Vec<u64>,
+    /// This epoch's departing slots (transition scratch).
+    departing: Vec<u32>,
+    /// This epoch's arriving slots (transition scratch).
+    arriving: Vec<u32>,
+    /// The transition's load deltas as `(node, delta)` pairs, planned at
+    /// epoch boundaries and consumed by the `apply_*` methods (empty on
+    /// every other round).
+    deltas: Vec<(usize, f64)>,
+    /// Accumulated event counters and load accounts.
+    pub events: ChurnEvents,
+}
+
+impl ChurnState {
+    /// Per-round control-thread preparation: at epoch boundaries,
+    /// advances the membership Markov chain, plans the
+    /// conservation-exact handoff/arrival deltas (`peek` reads a node's
+    /// current load; only called for departing slots), and re-derives
+    /// the active-edge and repaired-`sweep` masks over the combined
+    /// (churn-active ∧ `fault_live`) node set. Must run after the fault
+    /// block (so `fault_live` is current) and before load injection and
+    /// the flow pass, in both executors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_round(
+        &mut self,
+        spec: &ChurnSpec,
+        graph: &Graph,
+        round: u64,
+        discrete: bool,
+        fault_live: Option<&[u64]>,
+        sweep: Option<(&[Vec<u64>], bool)>,
+        peek: impl Fn(usize) -> f64,
+    ) {
+        self.deltas.clear();
+        let Some(ChurnChannel {
+            leave,
+            join,
+            seed,
+            init,
+        }) = spec.flux
+        else {
+            return;
+        };
+        let epoch = round / EPOCH_LEN;
+        if self.epoch == Some(epoch) {
+            return;
+        }
+        let n = graph.node_count();
+        if self.active.capacity() != n {
+            self.active = ActiveSet::all_active(n);
+        }
+        self.draws.resize(n.max(1), 0);
+        crate::rng::fill_first_draws(
+            salted_stream_key(seed, FLUX_SALT, epoch),
+            0,
+            &mut self.draws[..n],
+        );
+        // Transition first, handoff second: a departing machine hands its
+        // load to neighbors active *after* this boundary, so load never
+        // lands on a slot emptying in the same epoch (and a fresh arrival
+        // can immediately absorb a leaving neighbor's share).
+        self.departing.clear();
+        self.arriving.clear();
+        for v in 0..n as u32 {
+            let u = unit_f64(self.draws[v as usize]);
+            if self.active.is_active(v) {
+                if u < leave {
+                    self.departing.push(v);
+                }
+            } else if u < join {
+                self.arriving.push(v);
+            }
+        }
+        for &v in &self.departing {
+            self.active.deactivate(v);
+        }
+        for &v in &self.arriving {
+            self.active.activate(v);
+        }
+        for &v in &self.departing {
+            self.events.departures += 1;
+            let load = peek(v as usize);
+            if load == 0.0 {
+                continue;
+            }
+            let targets: Vec<usize> = graph
+                .neighbor_nodes(v)
+                .iter()
+                .filter(|&&u| self.active.is_active(u))
+                .map(|&u| u as usize)
+                .collect();
+            self.deltas.push((v as usize, -load));
+            if targets.is_empty() {
+                self.events.departed += load;
+                continue;
+            }
+            self.events.handoffs += 1;
+            let k = targets.len();
+            if discrete {
+                let tokens = load as i64;
+                let q = tokens.div_euclid(k as i64);
+                let r = tokens.rem_euclid(k as i64) as usize;
+                for (i, &u) in targets.iter().enumerate() {
+                    let share = q + i64::from(i < r);
+                    if share != 0 {
+                        self.deltas.push((u, share as f64));
+                    }
+                }
+            } else {
+                let share = load / k as f64;
+                for &u in &targets[..k - 1] {
+                    self.deltas.push((u, share));
+                }
+                self.deltas
+                    .push((targets[k - 1], load - share * (k - 1) as f64));
+            }
+        }
+        let init_eff = if discrete { init.trunc() } else { init };
+        for &v in &self.arriving {
+            self.events.arrivals += 1;
+            if init_eff != 0.0 {
+                self.deltas.push((v as usize, init_eff));
+                self.events.joined += init_eff;
+            }
+        }
+        self.rebuild_masks(graph, fault_live, sweep);
+        self.epoch = Some(epoch);
+    }
+
+    /// Re-derives the epoch's active-edge mask and repaired sweep masks
+    /// from the current overlay (and `fault_live`, when the crash
+    /// channel is also on). Pure in the overlay — checkpoint restore
+    /// calls this directly instead of replaying churn history.
+    pub fn rebuild_masks(
+        &mut self,
+        graph: &Graph,
+        fault_live: Option<&[u64]>,
+        sweep: Option<(&[Vec<u64>], bool)>,
+    ) {
+        let m = graph.edge_count();
+        let mw = m.div_ceil(64).max(1);
+        self.active_edges.clear();
+        self.active_edges.resize(mw, 0);
+        for (e, &(u, v)) in graph.edges().iter().enumerate() {
+            let both = self.active.is_active(u) && self.active.is_active(v);
+            self.active_edges[e >> 6] |= u64::from(both) << (e & 63);
+        }
+        if let Some((masks, recover)) = sweep {
+            let words = self.active.words();
+            self.combined.clear();
+            match fault_live {
+                Some(live) => self
+                    .combined
+                    .extend(words.iter().zip(live).map(|(&a, &b)| a & b)),
+                None => self.combined.extend_from_slice(words),
+            }
+            self.repaired.resize(masks.len(), Vec::new());
+            for (repaired, base) in self.repaired.iter_mut().zip(masks) {
+                repaired.clone_from(base);
+                if recover {
+                    matching::repair_matching(graph, &self.combined, repaired);
+                } else {
+                    matching::mask_dead_edges(graph, &self.combined, repaired);
+                }
+            }
+        }
+    }
+
+    /// Restores the Markov chain's state from checkpointed overlay
+    /// words: `epoch` is the epoch of the last completed round, so the
+    /// next `begin_round` transitions exactly when the uninterrupted run
+    /// would have. The caller must follow with [`Self::rebuild_masks`].
+    pub fn restore(&mut self, n: usize, words: Vec<u64>, epoch: u64) {
+        self.active = ActiveSet::from_words(n, words);
+        self.epoch = Some(epoch);
+    }
+
+    /// The overlay words for checkpointing (empty before the first
+    /// churned round).
+    pub fn active_words(&self) -> &[u64] {
+        self.active.words()
+    }
+
+    /// Number of currently active slots (once materialized).
+    #[cfg(test)]
+    pub fn active_count(&self) -> usize {
+        self.active.active_count()
+    }
+
+    /// The epoch's churn-active edge mask (both endpoints active).
+    pub fn active_edge_words(&self) -> &[u64] {
+        &self.active_edges
+    }
+
+    /// The epoch's repaired sweep mask at family index `i`.
+    pub fn repaired_mask(&self, i: usize) -> &[u64] {
+        &self.repaired[i]
+    }
+
+    /// Intersects an externally produced mask (a random matching, or a
+    /// fault-composed effective mask) with the churn-active edges.
+    pub fn compose<'a>(&'a mut self, base: &[u64], m: usize) -> &'a [u64] {
+        let mw = m.div_ceil(64).max(1);
+        self.eff.resize(mw, 0);
+        for (w, (out, &b)) in self.eff.iter_mut().zip(base).enumerate() {
+            *out = b & self.active_edges[w];
+        }
+        &self.eff
+    }
+
+    /// Applies the planned transition deltas to discrete loads behind
+    /// any [`BufI64`] (plain cells or the pool's atomic slots — control
+    /// thread only, workers parked). Deltas are whole tokens by
+    /// construction.
+    pub fn apply_i64<L: BufI64>(&self, loads: &L) {
+        for &(node, delta) in &self.deltas {
+            loads.set(node, loads.get(node) + delta as i64);
+        }
+    }
+
+    /// Applies the planned transition deltas to continuous loads behind
+    /// any [`BufF64`]; see [`ChurnState::apply_i64`].
+    pub fn apply_f64<L: BufF64>(&self, loads: &L) {
+        for &(node, delta) in &self.deltas {
+            loads.set(node, loads.get(node) + delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sodiff_graph::generators;
+
+    #[test]
+    fn spec_round_trips_through_text() {
+        for text in [
+            "none",
+            "flux:0.1:0.2:7",
+            "flux:0:1:0",
+            "flux:0.05:0.3:42:12.5",
+        ] {
+            let spec: ChurnSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+            let again: ChurnSpec = spec.to_string().parse().unwrap();
+            assert_eq!(spec, again);
+        }
+        // A zero initial load collapses to the 4-field canonical form.
+        let spec: ChurnSpec = "flux:0.1:0.2:7:0".parse().unwrap();
+        assert_eq!(spec.to_string(), "flux:0.1:0.2:7");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_plans() {
+        for text in [
+            "flux",
+            "flux:0.1",
+            "flux:0.1:0.2",
+            "flux:0.1:0.2:7:1:9",
+            "flux:1.5:0.2:7",
+            "flux:0.1:-0.2:7",
+            "flux:0.1:0.2:7:-3",
+            "flux:nope:0.2:7",
+            "flux:0.1:0.2:x",
+            "drain:0.1:0.2:7",
+            "",
+        ] {
+            let err = text.parse::<ChurnSpec>().unwrap_err();
+            assert!(err.to_string().contains("churn"), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn check_validates_builder_specs() {
+        assert!(ChurnSpec::none().check().is_ok());
+        assert!(ChurnSpec::none().with_flux(0.2, 0.3, 1).check().is_ok());
+        assert!(ChurnSpec::none().with_flux(1.1, 0.3, 1).check().is_err());
+        assert!(ChurnSpec::none()
+            .with_flux(0.1, f64::NAN, 1)
+            .check()
+            .is_err());
+        let bad_init = ChurnSpec::none().with_flux(0.1, 0.1, 1).with_initial(-1.0);
+        assert!(matches!(bad_init.check(), Err(BuildError::InvalidChurn(_))));
+        // with_initial without a channel stays the empty plan.
+        assert!(ChurnSpec::none().with_initial(5.0).is_none());
+    }
+
+    /// Drives one state over `rounds` on `graph` with constant loads.
+    fn drive(
+        spec: &ChurnSpec,
+        graph: &Graph,
+        rounds: u64,
+        loads: &mut [i64],
+    ) -> (Vec<u64>, ChurnEvents) {
+        let mut st = ChurnState::default();
+        for round in 0..rounds {
+            st.begin_round(spec, graph, round, true, None, None, |v| loads[v] as f64);
+            for &(node, delta) in &st.deltas {
+                loads[node] += delta as i64;
+            }
+        }
+        (st.active_words().to_vec(), st.events)
+    }
+
+    #[test]
+    fn transitions_are_deterministic_and_conserving() {
+        let g = generators::torus2d(6, 6);
+        let spec = ChurnSpec::none().with_flux(0.3, 0.5, 99).with_initial(4.0);
+        let mut a = vec![10i64; 36];
+        let mut b = vec![10i64; 36];
+        let (wa, ea) = drive(&spec, &g, 64, &mut a);
+        let (wb, eb) = drive(&spec, &g, 64, &mut b);
+        assert_eq!(wa, wb);
+        assert_eq!(ea, eb);
+        assert_eq!(a, b);
+        assert!(ea.departures > 0 && ea.arrivals > 0, "{ea:?}");
+        // Conservation: total == initial + joined − departed.
+        let total: i64 = a.iter().sum();
+        assert_eq!(total as f64, 360.0 + ea.joined - ea.departed);
+    }
+
+    #[test]
+    fn total_departure_drains_the_system() {
+        // leave=1, join=0: every machine departs at round 0, nobody is
+        // left to take a handoff, all load exits through `departed`.
+        let g = generators::star(4);
+        let spec = ChurnSpec::none().with_flux(1.0, 0.0, 5);
+        let mut st = ChurnState::default();
+        let mut loads = [7i64, 1, 2, 3];
+        st.begin_round(&spec, &g, 0, true, None, None, |v| loads[v] as f64);
+        for &(node, delta) in &st.deltas {
+            loads[node] += delta as i64;
+        }
+        assert_eq!(loads, [0, 0, 0, 0]);
+        assert_eq!(st.events.departed, 13.0);
+        assert_eq!(st.events.handoffs, 0);
+        assert_eq!(st.active_count(), 0);
+    }
+
+    #[test]
+    fn handoff_split_is_integer_exact() {
+        // Hand-drive the split: hub of a star departs with 7 tokens and
+        // 3 active leaves — shares must be ⌊7/3⌋ = 2 each plus one extra
+        // for the first neighbor in adjacency order.
+        let g = generators::star(4);
+        let mut st = ChurnState {
+            active: ActiveSet::all_active(4),
+            ..Default::default()
+        };
+        st.active.deactivate(0);
+        let loads = [7i64, 0, 0, 0];
+        let targets: Vec<usize> = g
+            .neighbor_nodes(0)
+            .iter()
+            .filter(|&&u| st.active.is_active(u))
+            .map(|&u| u as usize)
+            .collect();
+        assert_eq!(targets.len(), 3);
+        // The same arithmetic begin_round uses, checked end to end by the
+        // conservation proptests; pinned here on a human-checkable case.
+        let tokens = loads[0];
+        let q = tokens.div_euclid(3);
+        let r = tokens.rem_euclid(3) as usize;
+        let shares: Vec<i64> = (0..3).map(|i| q + i64::from(i < r)).collect();
+        assert_eq!(shares, [3, 2, 2]);
+        assert_eq!(shares.iter().sum::<i64>(), tokens);
+    }
+
+    #[test]
+    fn proportional_split_sums_to_exactly_the_departing_load() {
+        // Continuous: an awkward load splits across k neighbors with the
+        // last share absorbing the rounding remainder.
+        let g = generators::complete(5);
+        let spec = ChurnSpec::none().with_flux(0.4, 0.0, 3);
+        let mut st = ChurnState::default();
+        let loads = [0.1f64, 7.3, 11.0, 0.0, 2.25];
+        st.begin_round(&spec, &g, 0, false, None, None, |v| loads[v]);
+        if st.events.handoffs > 0 {
+            let sum: f64 = st.deltas.iter().map(|&(_, d)| d).sum();
+            assert_eq!(sum, 0.0, "handoff deltas cancel exactly");
+        }
+    }
+
+    #[test]
+    fn epoch_transitions_happen_only_at_boundaries() {
+        let g = generators::cycle(8);
+        let spec = ChurnSpec::none().with_flux(0.5, 0.5, 11);
+        let mut st = ChurnState::default();
+        let mut loads = [5i64; 8];
+        let mut boundaries = 0;
+        for round in 0..2 * EPOCH_LEN {
+            st.begin_round(&spec, &g, round, true, None, None, |v| loads[v] as f64);
+            if !st.deltas.is_empty() || round % EPOCH_LEN == 0 {
+                assert_eq!(round % EPOCH_LEN, 0, "delta outside a boundary");
+                boundaries += 1;
+            }
+            for &(node, delta) in &st.deltas {
+                loads[node] += delta as i64;
+            }
+        }
+        assert_eq!(boundaries, 2);
+    }
+
+    #[test]
+    fn restore_skips_the_redraw_and_matches_the_uninterrupted_chain() {
+        let g = generators::torus2d(5, 5);
+        let spec = ChurnSpec::none().with_flux(0.3, 0.4, 17).with_initial(2.0);
+        let mut loads = vec![8i64; 25];
+        let mut full = ChurnState::default();
+        for round in 0..3 * EPOCH_LEN {
+            full.begin_round(&spec, &g, round, true, None, None, |v| loads[v] as f64);
+            for &(node, delta) in &full.deltas {
+                loads[node] += delta as i64;
+            }
+        }
+        // Snapshot mid-epoch after round 2*EPOCH_LEN (same loads replay).
+        let mut loads2 = vec![8i64; 25];
+        let mut head = ChurnState::default();
+        let cut = 2 * EPOCH_LEN + 3;
+        for round in 0..cut {
+            head.begin_round(&spec, &g, round, true, None, None, |v| loads2[v] as f64);
+            for &(node, delta) in &head.deltas {
+                loads2[node] += delta as i64;
+            }
+        }
+        let mut tail = ChurnState::default();
+        tail.restore(25, head.active_words().to_vec(), (cut - 1) / EPOCH_LEN);
+        tail.rebuild_masks(&g, None, None);
+        tail.events = head.events;
+        for round in cut..3 * EPOCH_LEN {
+            tail.begin_round(&spec, &g, round, true, None, None, |v| loads2[v] as f64);
+            for &(node, delta) in &tail.deltas {
+                loads2[node] += delta as i64;
+            }
+        }
+        assert_eq!(tail.active_words(), full.active_words());
+        assert_eq!(tail.events, full.events);
+        assert_eq!(loads, loads2);
+    }
+
+    #[test]
+    fn rebuilt_sweep_masks_stay_matchings_over_the_active_set() {
+        let g = generators::torus2d(4, 4);
+        let coloring = sodiff_graph::matching::edge_coloring(&g);
+        let families = sodiff_graph::matching::maximal_matchings(&g, &coloring);
+        let masks: Vec<Vec<u64>> = families
+            .iter()
+            .map(|f| {
+                let mut words = vec![0u64; g.edge_count().div_ceil(64).max(1)];
+                for &e in f {
+                    words[(e >> 6) as usize] |= 1u64 << (e & 63);
+                }
+                words
+            })
+            .collect();
+        let spec = ChurnSpec::none().with_flux(0.4, 0.2, 23);
+        let mut st = ChurnState::default();
+        st.begin_round(&spec, &g, 0, true, None, Some((&masks, true)), |_| 0.0);
+        for i in 0..masks.len() {
+            let repaired: Vec<_> = (0..g.edge_count())
+                .filter(|&e| (st.repaired_mask(i)[e >> 6] >> (e & 63)) & 1 == 1)
+                .map(|e| e as sodiff_graph::EdgeId)
+                .collect();
+            assert!(sodiff_graph::matching::is_matching(&g, &repaired));
+            for &e in &repaired {
+                let (u, v) = g.edge(e);
+                assert!(st.active.is_active(u) && st.active.is_active(v));
+            }
+        }
+    }
+}

@@ -202,6 +202,10 @@ pub struct BatchReport {
     /// Total attempts across all scenarios (equals the scenario count
     /// when nothing was retried; see [`Driver::retries`]).
     pub total_attempts: u64,
+    /// Churn event totals summed across the successful scenarios (all
+    /// zero when no scenario declared a `churn=` plan); see
+    /// [`crate::ChurnEvents`].
+    pub churn: crate::ChurnEvents,
 }
 
 impl BatchReport {
@@ -227,6 +231,16 @@ impl BatchReport {
             .reduce(f64::max);
         let total_attempts = scenarios.iter().map(|s| u64::from(s.attempts)).sum::<u64>()
             + errors.iter().map(|e| u64::from(e.attempts)).sum::<u64>();
+        let churn = scenarios.iter().map(|s| s.report.churn).fold(
+            crate::ChurnEvents::default(),
+            |acc, e| crate::ChurnEvents {
+                departures: acc.departures + e.departures,
+                arrivals: acc.arrivals + e.arrivals,
+                handoffs: acc.handoffs + e.handoffs,
+                joined: acc.joined + e.joined,
+                departed: acc.departed + e.departed,
+            },
+        );
         Self {
             scenarios,
             errors,
@@ -236,6 +250,7 @@ impl BatchReport {
             mean_max_minus_avg: mean,
             worst_steady_p99,
             total_attempts,
+            churn,
         }
     }
 }

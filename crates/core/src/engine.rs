@@ -39,6 +39,7 @@ use sodiff_graph::{Graph, Speeds};
 use crate::checkpoint::{
     self, CheckpointConfig, LoadsSnapshot, PlateauSnapshot, Snapshot, SteadySnapshot, WatchSnapshot,
 };
+use crate::churn::{ChurnEvents, ChurnSpec};
 use crate::error::{BuildError, CheckpointError};
 use crate::fault::{DivergenceWatch, FaultEvents, FaultSpec};
 use crate::hybrid::SwitchPolicy;
@@ -101,6 +102,9 @@ pub struct SimulationConfig {
     /// Deterministic dynamic-load injection ([`LoadSpec::none`] = the
     /// static workload, taking the exact pre-load code paths).
     pub load: LoadSpec,
+    /// Deterministic topology churn ([`ChurnSpec::none`] = the fixed
+    /// node set, taking the exact pre-churn code paths).
+    pub churn: ChurnSpec,
     /// Periodic checkpointing (`None` = never snapshot; the zero-cost
     /// default, branch-predicted away in the round loop).
     pub ckpt: Option<CheckpointConfig>,
@@ -133,6 +137,12 @@ impl SimulationConfig {
     /// Sets the dynamic-load plan (validated at build time).
     pub fn with_load(mut self, load: LoadSpec) -> Self {
         self.load = load;
+        self
+    }
+
+    /// Sets the topology-churn plan (validated at build time).
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = churn;
         self
     }
 
@@ -293,6 +303,11 @@ pub struct RunReport {
     /// `total == initial + injected`. Cumulative like
     /// [`RunReport::faults`].
     pub load: LoadEvents,
+    /// Topology-churn events over the simulator's lifetime so far (all
+    /// zero for `churn=none` runs). With churn active, conservation
+    /// checks become `total == initial + injected + joined − departed`.
+    /// Cumulative like [`RunReport::faults`].
+    pub churn: ChurnEvents,
     /// Windowed steady-state deviation statistics, reported by the
     /// [`StopCondition::Steady`] and [`StopCondition::Horizon`] run
     /// modes (`None` for every other stop condition).
@@ -476,6 +491,7 @@ impl<'g> Simulator<'g> {
             &speeds,
             config.faults,
             config.load,
+            config.churn,
         )?;
         let framework = scheme_kernel.needs_arc_plan();
         let tables = Arc::new(KernelTables::new(graph, &speeds, framework, initial_total));
@@ -802,6 +818,12 @@ impl<'g> Simulator<'g> {
             prev_flow: self.previous_flows_to_f64(),
             fault_events: self.scratch.fault.events,
             load_events: self.scratch.load.events,
+            churn_events: self.scratch.churn.events,
+            // The active-node overlay is the churn axis's one
+            // history-dependent piece of state (a Markov chain over
+            // epochs), so it is persisted verbatim; empty = churn never
+            // ran, so restore leaves the default all-active overlay.
+            churn_active: self.scratch.churn.active_words().to_vec(),
             watch,
             steady,
             plateau,
@@ -968,12 +990,39 @@ impl<'g> Simulator<'g> {
                 &self.scheme_kernel.faults,
                 self.graph,
                 snap.round - 1,
-                self.scheme_kernel.sweep_family(),
+                self.scheme_kernel.fault_sweep_family(),
             );
         }
         self.scratch.fault.events = snap.fault_events;
         self.scratch.load = Default::default();
         self.scratch.load.events = snap.load_events;
+        // The churn overlay is history-dependent (unlike the per-epoch
+        // fault redraw), so restore installs the persisted words
+        // verbatim — never redrawing a transition — and re-derives the
+        // epoch's masks from them against the rematerialized crash-live
+        // set. The memoized epoch is the last *processed* round's, so
+        // the next round transitions exactly when an uninterrupted run
+        // would.
+        self.scratch.churn = Default::default();
+        if !snap.churn_active.is_empty() {
+            self.scratch.churn.restore(
+                n,
+                snap.churn_active.clone(),
+                snap.round.saturating_sub(1) / crate::fault::EPOCH_LEN,
+            );
+            let fault_live = self
+                .scheme_kernel
+                .faults
+                .crash
+                .is_some()
+                .then(|| self.scratch.fault.live_node_words());
+            self.scratch.churn.rebuild_masks(
+                self.graph,
+                fault_live,
+                self.scheme_kernel.sweep_family(),
+            );
+        }
+        self.scratch.churn.events = snap.churn_events;
         self.saved_loop = SavedLoop {
             run_start: snap.run_start,
             switch_round: snap.switch_round,
@@ -1325,7 +1374,9 @@ impl<'g> Simulator<'g> {
         // hybrid switching machinery. Disarmed (and branch-free after
         // the first check) for unperturbed runs.
         let mut watch = DivergenceWatch::new(
-            !self.scheme_kernel.faults.is_none() || !self.scheme_kernel.loads.is_none(),
+            !self.scheme_kernel.faults.is_none()
+                || !self.scheme_kernel.loads.is_none()
+                || !self.scheme_kernel.churn.is_none(),
         );
         let mut degraded = false;
         let mut reason = match condition {
@@ -1479,6 +1530,7 @@ impl<'g> Simulator<'g> {
             degraded,
             faults: self.fault_events(),
             load: self.load_events(),
+            churn: self.churn_events(),
             steady: steady_stats,
         }
     }
@@ -1494,6 +1546,13 @@ impl<'g> Simulator<'g> {
     /// delta, so conservation reads `total == initial + injected`.
     pub fn load_events(&self) -> LoadEvents {
         self.scratch.load.events
+    }
+
+    /// Topology-churn events over this simulator's lifetime (all zero
+    /// for `churn=none`). With churn active, conservation reads
+    /// `total == initial + injected + joined − departed`.
+    pub fn churn_events(&self) -> ChurnEvents {
+        self.scratch.churn.events
     }
 
     /// Maximum absolute per-node load difference to another simulation on
@@ -1878,6 +1937,7 @@ mod tests {
             threads: 1,
             faults: FaultSpec::none(),
             load: LoadSpec::none(),
+            churn: ChurnSpec::none(),
             ckpt: None,
             mem: MemSpec::Full,
         };
@@ -1895,6 +1955,7 @@ mod tests {
             threads: 1,
             faults: FaultSpec::none(),
             load: LoadSpec::none(),
+            churn: ChurnSpec::none(),
             ckpt: None,
             mem: MemSpec::Full,
         };

@@ -99,6 +99,10 @@ pub enum BuildError {
     /// A dynamic-load plan carried an out-of-range parameter (negative
     /// or non-finite rate/amplitude, zero period, …).
     InvalidLoad(String),
+    /// A live-topology churn plan carried an out-of-range parameter
+    /// (probability outside `[0, 1]`, negative or non-finite initial
+    /// load).
+    InvalidChurn(String),
     /// The operation needs a discrete-mode experiment.
     RequiresDiscrete(&'static str),
     /// Building the topology failed.
@@ -155,6 +159,7 @@ impl fmt::Display for BuildError {
             BuildError::InvalidStopCondition(msg) => write!(f, "invalid stop condition: {msg}"),
             BuildError::InvalidFaults(msg) => write!(f, "invalid fault plan: {msg}"),
             BuildError::InvalidLoad(msg) => write!(f, "invalid load plan: {msg}"),
+            BuildError::InvalidChurn(msg) => write!(f, "invalid churn plan: {msg}"),
             BuildError::RequiresDiscrete(what) => {
                 write!(f, "{what} requires a discrete-mode experiment")
             }

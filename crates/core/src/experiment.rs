@@ -32,6 +32,7 @@ use std::marker::PhantomData;
 use sodiff_graph::{Graph, Speeds};
 
 use crate::checkpoint::CheckpointConfig;
+use crate::churn::ChurnSpec;
 use crate::deviation::DeviationSeries;
 use crate::engine::{FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition};
 use crate::error::BuildError;
@@ -85,6 +86,7 @@ struct Parts<'g> {
     stop: StopCondition,
     faults: FaultSpec,
     load: LoadSpec,
+    churn: ChurnSpec,
     ckpt: Option<CheckpointConfig>,
     mem: MemSpec,
 }
@@ -207,6 +209,16 @@ impl<'g, S> ExperimentBuilder<'g, S> {
         self
     }
 
+    /// Sets the deterministic live-topology churn plan (default:
+    /// [`ChurnSpec::none`]): epoch-aligned node departures with
+    /// conservation-exact load handoff and (re)arrivals over the
+    /// graph's reserved capacity. Out-of-range probabilities or initial
+    /// loads are reported as [`BuildError::InvalidChurn`] at build.
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.parts.churn = churn;
+        self
+    }
+
     /// Attaches a periodic checkpoint sink (see [`crate::checkpoint`]):
     /// the engine snapshots the full evolving state every
     /// `ckpt.policy.every` rounds (and on a divergence-watchdog trip),
@@ -284,6 +296,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
             stop,
             faults,
             load,
+            churn,
             ckpt,
             mem,
         } = self.parts;
@@ -329,6 +342,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
         stop.check()?;
         faults.check()?;
         load.check()?;
+        churn.check()?;
         if let Some(ckpt) = &ckpt {
             if ckpt.policy.every == 0 {
                 return Err(BuildError::InvalidCheckpoint(
@@ -351,6 +365,7 @@ impl<'g> ExperimentBuilder<'g, Ready> {
                 threads,
                 faults,
                 load,
+                churn,
                 ckpt,
                 mem,
             },
@@ -393,6 +408,7 @@ impl<'g> Experiment<'g> {
                 stop: StopCondition::MaxRounds(1000),
                 faults: FaultSpec::none(),
                 load: LoadSpec::none(),
+                churn: ChurnSpec::none(),
                 ckpt: None,
                 mem: MemSpec::default(),
             },
@@ -438,6 +454,11 @@ impl<'g> Experiment<'g> {
     /// The dynamic-load plan ([`LoadSpec::none`] when unset).
     pub fn load(&self) -> LoadSpec {
         self.config.load
+    }
+
+    /// The live-topology churn plan ([`ChurnSpec::none`] when unset).
+    pub fn churn(&self) -> ChurnSpec {
+        self.config.churn
     }
 
     /// The state-storage width ([`MemSpec::Full`] when unset).
@@ -516,6 +537,7 @@ impl<'g> Experiment<'g> {
             threads: self.config.threads,
             faults: self.config.faults,
             load: self.config.load,
+            churn: self.config.churn,
             // The twin is a transient comparison run; never checkpoint it.
             ckpt: None,
             // The twin shares the storage width so compact-mode deviation

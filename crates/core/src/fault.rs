@@ -15,6 +15,12 @@
 //!   matching families are repaired incrementally
 //!   ([`sodiff_graph::matching::repair_matching`] /
 //!   [`sodiff_graph::matching::mask_dead_edges`]) instead of recomputed.
+//!   Contrast with the live-topology churn axis ([`crate::churn`]): a
+//!   crash-frozen node keeps its slot and **returns with its frozen
+//!   load**, whereas a churn departure hands its load away and a churn
+//!   re-arrival starts from the configured initial load — so the two
+//!   channels compose without double-counting in the conservation
+//!   invariant (see the audit note on [`crate::ChurnEvents`]).
 //! * **edgedrop** — each edge independently drops (carries no flow) for
 //!   one round with probability `p`, drawn fresh every round.
 //! * **shock** — with probability `p` per round, a hotspot burst moves a
@@ -496,6 +502,14 @@ impl FaultState {
             let active = mask.map_or_else(|| valid_word(w, m), |words| words[w]);
             self.events.stale_edges += u64::from((active & self.stale[w]).count_ones());
         }
+    }
+
+    /// The materialized epoch's live-node words (crash channel only;
+    /// empty before the first `begin_round`). The churn axis intersects
+    /// these with its activation overlay when repairing sweep schedules,
+    /// so a crash-frozen node is never re-matched.
+    pub fn live_node_words(&self) -> &[u64] {
+        &self.live_nodes
     }
 
     /// Whether node `u` is live in the materialized epoch (only

@@ -85,7 +85,7 @@
 //!
 //! Every scheme's per-round flow computation — edge pass, rounding hook,
 //! apply pass, and barrier plan — lives in one crate-internal layer, the
-//! `scheme_kernel` module. A scheme is the combination of four
+//! `scheme_kernel` module. A scheme is the combination of five
 //! statically dispatched axes: a *flow pass* (continuous / fused
 //! edge-local discrete / the three-phase randomized-framework pipeline),
 //! an *active plan* (all edges every round, a precomputed family of edge
@@ -93,13 +93,20 @@
 //! round), a *fault plan* ([`FaultSpec`]: deterministic node
 //! crash/rejoin churn, per-round edge drops, load shocks, and stale-flow
 //! injection, all drawn from counter-indexed RNG streams — see the
-//! `fault` module docs), and a *load plan* ([`LoadSpec`]: per-round
+//! `fault` module docs), a *load plan* ([`LoadSpec`]: per-round
 //! dynamic-workload injection — Poisson arrivals/departures, periodic
 //! hotspot bursts, diurnal swings, and an adversarial injector that
 //! re-targets the currently most-loaded node, drawn from the same
-//! salted counter-indexed streams — see the `load` module docs).
-//! `faults=none` and `load=none` plans keep every hot loop on the
-//! original unperturbed kernels. Orthogonal to those four axes, the
+//! salted counter-indexed streams — see the `load` module docs), and a
+//! *churn plan* ([`ChurnSpec`]: live topology churn — epoch-aligned
+//! node departures and (re)arrivals over the graph's reserved node
+//! capacity, with conservation-exact handoff of a departing node's
+//! entire load to its live neighbors, configurable initial load on
+//! arrival, and incremental per-epoch repair of the sweep-plan mask
+//! families over the shrunken/regrown active set — see the `churn`
+//! module docs). `faults=none`, `load=none`, and `churn=none` plans
+//! keep every hot loop on the original unperturbed kernels.
+//! Orthogonal to those five axes, the
 //! **memory layout** (`mem=full` / `mem=compact`, [`MemSpec`]) selects
 //! the state-storage width: the whole per-round phase sequence is
 //! generic over five buffer handles (loads, flow memory, integral
@@ -114,12 +121,13 @@
 //! worker pool balance identical per-round loads and run the same
 //! kernel calls in the same per-element order — pooled results are
 //! bit-identical to sequential ones for every scheme, every fault plan,
-//! and every load plan, by construction. Dynamic runs stop through the
-//! dedicated [`StopCondition::Steady`] / [`StopCondition::Horizon`]
-//! modes, which report windowed steady-state deviation statistics
-//! ([`RunReport::steady`]) plus injected-token accounting
-//! ([`RunReport::load`]) so conservation checks still hold
-//! (`total == initial + injected`).
+//! every load plan, and every churn plan, by construction. Dynamic runs
+//! stop through the dedicated [`StopCondition::Steady`] /
+//! [`StopCondition::Horizon`] modes, which report windowed steady-state
+//! deviation statistics ([`RunReport::steady`]) plus injected-token
+//! accounting ([`RunReport::load`]) and churn-event accounting
+//! ([`RunReport::churn`]) so conservation checks still hold
+//! (`total == initial + injected + joined − departed`).
 //!
 //! To add a new scheme end to end, touch exactly these points:
 //!
@@ -157,16 +165,19 @@
 //!
 //! # Persistence: exact checkpoint/resume
 //!
-//! Every point of the five-axis experiment matrix (scheme × rounding ×
-//! mode × topology × speeds — faults and dynamic load included) can be
-//! frozen mid-run and resumed **bit-identically**, because all
-//! randomness is drawn from counter-indexed streams with no serial
-//! generator state (see [`rng`]): a snapshot only carries the genuinely
-//! evolving state — loads, SOS flow memory, round counters,
-//! hybrid/degradation flags, cumulative event counters, and the
-//! stop-condition metric rings — while kernels, coefficient tables, and
-//! fault masks are re-derived from the [`ScenarioSpec`] embedded in the
-//! checkpoint header. Scenario files opt in with `ckpt=every:N:DIR`
+//! Every point of the six-axis experiment matrix (scheme × rounding ×
+//! mode × topology × speeds — faults, dynamic load, and topology churn
+//! included) can be frozen mid-run and resumed **bit-identically**,
+//! because all randomness is drawn from counter-indexed streams with no
+//! serial generator state (see [`rng`]): a snapshot only carries the
+//! genuinely evolving state — loads, SOS flow memory, round counters,
+//! hybrid/degradation flags, cumulative event counters, the churn axis's
+//! active-node overlay (the one history-dependent piece of axis state,
+//! persisted verbatim since format v2 so restore never redraws a
+//! transition), and the stop-condition metric rings — while kernels,
+//! coefficient tables, and fault/churn masks are re-derived from the
+//! [`ScenarioSpec`] embedded in the checkpoint header. Format v1 files
+//! (pre-churn) still load, defaulting to a churn-never-ran overlay. Scenario files opt in with `ckpt=every:N:DIR`
 //! (plus an automatic pre-degradation snapshot when the divergence
 //! watchdog trips); programmatic runs use
 //! [`ExperimentBuilder::checkpoint`] or
@@ -297,6 +308,19 @@
 //! its own `load=none` twin (`sos_load_poisson` / `sos_load_none` in
 //! `BENCH_rounds.json`, ratio-gated at +25% like the other kernels).
 //!
+//! The churn axis (`churn` module, 2026-08) is held to the same
+//! discipline: with `churn=none` the kernel's plan predicates all
+//! compile the churn path away and the round loop takes the exact
+//! pre-churn code (same-run min-batch ns/edge ratio vs the churn-free
+//! baseline gated at ≤ 1.02 — `sos_churn_none` vs `sos_mem_full` in
+//! `BENCH_rounds.json`). An active `churn=flux:…` plan does all of its
+//! work on the control thread at 16-round epoch boundaries — one bulk
+//! counter-indexed draw sweep over the node capacity, a sparse handoff
+//! delta list, and an incremental sweep-mask repair — and between
+//! epochs only adds the branchless active-edge mask intersection the
+//! fault axis already pays for, so the steady per-round cost rides the
+//! existing masked kernels (`sos_churn_flux`, ratio-gated at +25%).
+//!
 //! The pairwise schemes sweep all `m` edges per round with a branchless
 //! activity mask (only the active matching carries flow), so their
 //! ns-per-edge cost is not comparable to diffusion's tokens-moved rate.
@@ -375,6 +399,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+mod churn;
 pub mod deviation;
 pub mod divergence;
 mod driver;
@@ -403,6 +428,7 @@ pub mod theory;
 pub use checkpoint::{
     read_checkpoint, write_checkpoint, Checkpoint, CheckpointConfig, CheckpointPolicy, Snapshot,
 };
+pub use churn::{ChurnChannel, ChurnEvents, ChurnSpec};
 pub use driver::{BatchReport, Driver, ScenarioError, ScenarioFailure, ScenarioReport};
 pub use engine::{
     FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition, StopReason,
@@ -427,6 +453,7 @@ pub mod prelude {
     pub use crate::checkpoint::{
         read_checkpoint, write_checkpoint, Checkpoint, CheckpointConfig, CheckpointPolicy, Snapshot,
     };
+    pub use crate::churn::{ChurnChannel, ChurnEvents, ChurnSpec};
     pub use crate::driver::{BatchReport, Driver, ScenarioError, ScenarioFailure, ScenarioReport};
     pub use crate::engine::{
         FlowMemory, Mode, RunReport, SimulationConfig, Simulator, StopCondition, StopReason,

@@ -160,7 +160,8 @@ impl RoundJob {
         let m = tables.m;
         let arcs = tables.arc_edges.len();
         let framework = kernel.needs_arc_plan();
-        let masked = kernel.needs_random_mask() || kernel.needs_fault_mask();
+        let masked =
+            kernel.needs_random_mask() || kernel.needs_fault_mask() || kernel.needs_churn_mask();
         let staled = kernel.needs_stale_mask();
         let compact = matches!(loads, JobLoads::I32(_) | JobLoads::F32(_));
         let discrete = matches!(loads, JobLoads::I64(_) | JobLoads::I32(_));
@@ -614,6 +615,7 @@ mod tests {
                 &speeds,
                 crate::fault::FaultSpec::none(),
                 crate::load::LoadSpec::none(),
+                crate::churn::ChurnSpec::none(),
             )
             .unwrap(),
         )

@@ -33,6 +33,7 @@
 //! | `flow_memory` | `rounded`, `scheduled` | `rounded` |
 //! | `faults` | `none`, or `+`-joined `crash:P:SEED`, `edgedrop:P:SEED`, `shock:RATE:SEED`, `stale:P:SEED` | `none` |
 //! | `load` | `none`, or `+`-joined `poisson:RATE:SEED`, `hotspot:NODE:BURST:PERIOD:SEED`, `diurnal:AMP:PERIOD`, `adversarial:BURST:PERIOD:SEED` | `none` |
+//! | `churn` | `none`, or `flux:P_LEAVE:P_JOIN:SEED[:INIT]` (epoch-aligned node join/leave with conservation-exact handoff; see [`crate::churn`]) | `none` |
 //! | `ckpt` | `every:N:DIR` (snapshot to `DIR/<name>.ckpt` every `N` rounds; see [`crate::checkpoint`]) | *unset* |
 //! | `mem` | `full` (f64/i64 state), `compact` (f32/i32 state at half the bytes; see [`MemSpec`]) | `full` |
 //! | `hybrid` | `at:R`, `local_diff:T`, `max_minus_avg:T`, `never` | *unset* |
@@ -43,6 +44,7 @@ use std::str::FromStr;
 use sodiff_graph::{Graph, Speeds, TopologySpec};
 
 use crate::checkpoint::{CheckpointConfig, CheckpointPolicy};
+use crate::churn::ChurnSpec;
 use crate::engine::{FlowMemory, RunReport, StopCondition};
 use crate::error::{BuildError, ParseError};
 use crate::experiment::Experiment;
@@ -645,6 +647,9 @@ pub struct ScenarioSpec {
     /// Deterministic dynamic-load injection ([`LoadSpec::none`] = the
     /// static workload).
     pub load: LoadSpec,
+    /// Deterministic live-topology churn ([`ChurnSpec::none`] = static
+    /// membership).
+    pub churn: ChurnSpec,
     /// Optional periodic checkpointing (`ckpt=every:N:DIR`): the engine
     /// snapshots the full simulation state to `DIR/<name>.ckpt` every
     /// `N` rounds, exactly resumable via [`crate::checkpoint`].
@@ -678,6 +683,7 @@ impl PartialEq for ScenarioSpec {
             && self.flow_memory == other.flow_memory
             && self.faults == other.faults
             && self.load == other.load
+            && self.churn == other.churn
             && self.ckpt == other.ckpt
             && self.mem == other.mem
             && self.hybrid == other.hybrid
@@ -700,6 +706,7 @@ impl ScenarioSpec {
             flow_memory: FlowMemory::default(),
             faults: FaultSpec::none(),
             load: LoadSpec::none(),
+            churn: ChurnSpec::none(),
             ckpt: None,
             mem: MemSpec::default(),
             hybrid: None,
@@ -743,6 +750,7 @@ impl ScenarioSpec {
             .stop(self.stop.to_condition())
             .faults(self.faults)
             .load(self.load)
+            .churn(self.churn)
             .mem(self.mem);
         if !matches!(self.speeds, SpeedsSpec::Uniform) {
             builder = builder.speeds(speeds);
@@ -837,6 +845,9 @@ impl fmt::Display for ScenarioSpec {
         if !self.load.is_none() {
             write!(f, " load={}", self.load)?;
         }
+        if !self.churn.is_none() {
+            write!(f, " churn={}", self.churn)?;
+        }
         if let Some(ckpt) = &self.ckpt {
             write!(f, " ckpt={ckpt}")?;
         }
@@ -867,6 +878,7 @@ impl FromStr for ScenarioSpec {
         let mut flow_memory = None;
         let mut faults = None;
         let mut load = None;
+        let mut churn = None;
         let mut ckpt = None;
         let mut mem = None;
         let mut hybrid = None;
@@ -959,6 +971,10 @@ impl FromStr for ScenarioSpec {
                     duplicate(load.is_some())?;
                     load = Some(value.parse::<LoadSpec>()?);
                 }
+                "churn" => {
+                    duplicate(churn.is_some())?;
+                    churn = Some(value.parse::<ChurnSpec>()?);
+                }
                 "ckpt" => {
                     duplicate(ckpt.is_some())?;
                     ckpt = Some(value.parse::<CheckpointPolicy>()?);
@@ -1000,6 +1016,7 @@ impl FromStr for ScenarioSpec {
             flow_memory: flow_memory.unwrap_or_default(),
             faults: faults.unwrap_or_else(FaultSpec::none),
             load: load.unwrap_or_else(LoadSpec::none),
+            churn: churn.unwrap_or_else(ChurnSpec::none),
             ckpt,
             mem: mem.unwrap_or_default(),
             hybrid,
@@ -1136,6 +1153,48 @@ mod tests {
         assert!(text.contains("stop=steady:32"), "{text}");
         let again: ScenarioSpec = text.parse().unwrap();
         assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn churn_key_roundtrips_and_defaults_to_none() {
+        let spec: ScenarioSpec = "topology=cycle:8".parse().unwrap();
+        assert!(spec.churn.is_none());
+        assert!(!spec.to_string().contains("churn="));
+
+        let spec: ScenarioSpec =
+            "topology=torus2d:8:8 scheme=sos:1.7 mode=discrete rounding=nearest \
+             churn=flux:0.1:0.4:9:50 stop=rounds:64"
+                .parse()
+                .unwrap();
+        assert_eq!(
+            spec.churn,
+            ChurnSpec::none().with_flux(0.1, 0.4, 9).with_initial(50.0)
+        );
+        let text = spec.to_string();
+        assert!(text.contains("churn=flux:0.1:0.4:9:50"), "{text}");
+        let again: ScenarioSpec = text.parse().unwrap();
+        assert_eq!(again, spec);
+
+        // The optional initial-load field is omitted when zero.
+        let spec: ScenarioSpec = "topology=cycle:8 churn=flux:0.05:0.5:3".parse().unwrap();
+        assert!(spec.to_string().ends_with("churn=flux:0.05:0.5:3"));
+
+        for (text, needle) in [
+            ("topology=cycle:8 churn=flux", "in churn"),
+            ("topology=cycle:8 churn=flux:2:0.5:1", "in churn"),
+            ("topology=cycle:8 churn=storm:0.1:0.1:1", "unknown churn"),
+            (
+                "topology=cycle:8 churn=none churn=none",
+                "duplicate key 'churn'",
+            ),
+        ] {
+            let err = text.parse::<ScenarioSpec>().unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "'{text}' -> '{}' (wanted '{needle}')",
+                err.message
+            );
+        }
     }
 
     #[test]

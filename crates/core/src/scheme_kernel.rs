@@ -34,6 +34,18 @@
 //!   by the control thread before the round's flow pass (see the `load`
 //!   module). With `load=none` every run takes exactly the pre-load
 //!   code paths.
+//! * [`crate::ChurnSpec`] — *which nodes exist* each round: live
+//!   topology churn over the graph's reserved node capacity, with
+//!   epoch-aligned departures/(re)arrivals drawn from the same
+//!   counter-indexed streams, conservation-exact handoff of a departing
+//!   node's entire load to its live neighbors, and per-epoch incremental
+//!   repair of the sweep-plan mask families against the combined
+//!   churn-active × crash-live node set (see the `churn` module). With
+//!   churn active every plan — including diffusion — routes through the
+//!   published active-edge mask; with `churn=none` every hot loop takes
+//!   exactly its pre-churn path. Per round the control thread runs
+//!   fault → churn → load injection before the flow pass, so a
+//!   departing node's handoff lands before new work arrives.
 //!
 //! The masked plans run through `*_masked` kernel variants that force
 //! inactive edges' flows to zero with a branchless bit test; the
@@ -65,6 +77,7 @@ use std::sync::Barrier;
 
 use sodiff_graph::{matching, EdgeId, Graph, Speeds};
 
+use crate::churn::{ChurnSpec, ChurnState};
 use crate::engine::{FlowMemory, Mode};
 use crate::error::BuildError;
 use crate::fault::{EffBase, FaultSpec, FaultState};
@@ -134,6 +147,10 @@ pub(crate) struct RoundScratch {
     /// Dynamic-workload state: the round's planned injection deltas and
     /// the accumulated event counters / injected-total account.
     pub load: LoadState,
+    /// Topology-churn state: the active-node overlay, its induced
+    /// active-edge mask, the per-epoch repaired sweep families, the
+    /// epoch's handoff deltas, and the accumulated event counters.
+    pub churn: ChurnState,
 }
 
 impl RoundScratch {
@@ -192,6 +209,8 @@ pub(crate) struct SchemeKernel {
     pub faults: FaultSpec,
     /// The dynamic-workload axis (`LoadSpec::none()` = static load).
     pub loads: LoadSpec,
+    /// The topology-churn axis (`ChurnSpec::none()` = fixed node set).
+    pub churn: ChurnSpec,
 }
 
 /// Builds the edge bitmask of one active set.
@@ -254,10 +273,12 @@ impl SchemeKernel {
         speeds: &Speeds,
         faults: FaultSpec,
         loads: LoadSpec,
+        churn: ChurnSpec,
     ) -> Result<Self, BuildError> {
         Self::validate(scheme, graph)?;
         faults.check()?;
         loads.check()?;
+        churn.check()?;
         let flow = match mode {
             Mode::Continuous => FlowPass::Continuous,
             Mode::Discrete(Rounding::RandomizedFramework { seed }) => FlowPass::Framework { seed },
@@ -311,6 +332,7 @@ impl SchemeKernel {
             match_pairs: Vec::new(),
             faults,
             loads,
+            churn,
         })
     }
 
@@ -347,6 +369,14 @@ impl SchemeKernel {
         self.faults.stale.is_some()
     }
 
+    /// Whether the churn axis forces per-round edge masking (a flux
+    /// channel is active), routing every plan — including diffusion —
+    /// through the published mask words so a departed node's incident
+    /// edges carry no flow.
+    pub fn needs_churn_mask(&self) -> bool {
+        !self.churn.is_none()
+    }
+
     /// The pairwise coefficient tables for masked passes, falling back
     /// to the diffusion `α_e/s` tables when this kernel is a diffusion
     /// scheme that only became masked through the fault axis.
@@ -365,6 +395,18 @@ impl SchemeKernel {
         match &self.plan {
             ActivePlan::Sweep { masks, recover } => Some((masks, *recover)),
             _ => None,
+        }
+    }
+
+    /// The sweep family the *fault* state should repair at crash epochs:
+    /// `None` while churn is active, because [`ChurnState`] then rebuilds
+    /// the family each epoch against the combined churn-active ×
+    /// crash-live node set, superseding the crash-only repair.
+    pub(crate) fn fault_sweep_family(&self) -> Option<(&[Vec<u64>], bool)> {
+        if self.needs_churn_mask() {
+            None
+        } else {
+            self.sweep_family()
         }
     }
 
@@ -387,24 +429,39 @@ impl SchemeKernel {
         }
     }
 
-    /// The round's *effective* active mask under the fault axis: the
-    /// plan's mask intersected with the live/undropped edge set when
-    /// edge faults are on (counting drop and stale events), the plain
-    /// [`SchemeKernel::active_mask`] otherwise. Control-thread only;
-    /// [`FaultState::begin_round`] must already have run this round.
+    /// The round's *effective* active mask under the fault and churn
+    /// axes: the plan's mask intersected with the churn-active edge set
+    /// (when a flux channel is on) and with the live/undropped edge set
+    /// (when edge faults are on, counting drop and stale events), the
+    /// plain [`SchemeKernel::active_mask`] otherwise. Control-thread
+    /// only; [`FaultState::begin_round`] and [`ChurnState::begin_round`]
+    /// must already have run this round. With churn active, sweep plans
+    /// use the churn state's repaired families (rebuilt each epoch
+    /// against the combined churn-active × crash-live node set), which
+    /// supersede the fault state's crash-only repairs.
     fn round_mask<'a>(
         &'a self,
         round: u64,
         t: &KernelTables,
         mg: &'a mut MatchScratch,
         fault: &'a mut FaultState,
+        churn: &'a mut ChurnState,
     ) -> Option<&'a [u64]> {
+        let churned = self.needs_churn_mask();
         if self.faults.has_edge_faults() {
             let base = match &self.plan {
-                ActivePlan::All => EffBase::All,
+                ActivePlan::All => {
+                    if churned {
+                        EffBase::External(churn.active_edge_words())
+                    } else {
+                        EffBase::All
+                    }
+                }
                 ActivePlan::Sweep { masks, .. } => {
                     let idx = (round % masks.len() as u64) as usize;
-                    if self.faults.crash.is_some() {
+                    if churned {
+                        EffBase::External(churn.repaired_mask(idx))
+                    } else if self.faults.crash.is_some() {
                         EffBase::Repaired(idx)
                     } else {
                         EffBase::External(&masks[idx])
@@ -412,10 +469,30 @@ impl SchemeKernel {
                 }
                 ActivePlan::Random { seed } => {
                     matchgen::fill_random_matching(*seed, round, t, &self.match_pairs, mg);
-                    EffBase::External(&mg.mask)
+                    if churned {
+                        EffBase::External(churn.compose(&mg.mask, t.m))
+                    } else {
+                        EffBase::External(&mg.mask)
+                    }
                 }
             };
             return Some(fault.compose_eff(&self.faults, t.m, base));
+        }
+        if churned {
+            let mask = match &self.plan {
+                ActivePlan::All => churn.active_edge_words(),
+                ActivePlan::Sweep { masks, .. } => {
+                    churn.repaired_mask((round % masks.len() as u64) as usize)
+                }
+                ActivePlan::Random { seed } => {
+                    matchgen::fill_random_matching(*seed, round, t, &self.match_pairs, mg);
+                    churn.compose(&mg.mask, t.m)
+                }
+            };
+            if self.faults.stale.is_some() {
+                fault.count_stale(Some(mask), t.m);
+            }
+            return Some(mask);
         }
         let mask = self.active_mask(round, t, mg);
         if self.faults.stale.is_some() {
@@ -447,11 +524,12 @@ impl SchemeKernel {
             matchgen,
             fault,
             load,
+            churn,
             ..
         } = scratch;
         let discrete = loads_f.elems().is_empty();
         if !self.faults.is_none() {
-            fault.begin_round(&self.faults, graph, round, self.sweep_family());
+            fault.begin_round(&self.faults, graph, round, self.fault_sweep_family());
             if let Some((donor, hotspot)) = fault.shock_targets(&self.faults, round, t.n) {
                 if discrete {
                     let amt = loads_i.get(donor) / 4;
@@ -470,6 +548,36 @@ impl SchemeKernel {
                 }
             }
         }
+        if !self.churn.is_none() {
+            // Churn transitions and handoff deltas land after the fault
+            // epoch (so repairs see the current crash-live set) and
+            // before load injection, per the round ordering
+            // churn → load inject → flow pass.
+            let fault_live = self.faults.crash.is_some().then(|| fault.live_node_words());
+            if discrete {
+                churn.begin_round(
+                    &self.churn,
+                    graph,
+                    round,
+                    true,
+                    fault_live,
+                    self.sweep_family(),
+                    |i| loads_i.get(i) as f64,
+                );
+                churn.apply_i64(loads_i);
+            } else {
+                churn.begin_round(
+                    &self.churn,
+                    graph,
+                    round,
+                    false,
+                    fault_live,
+                    self.sweep_family(),
+                    |i| loads_f.get(i),
+                );
+                churn.apply_f64(loads_f);
+            }
+        }
         if !self.loads.is_none() {
             // Load deltas land before the flow pass and before the first
             // barrier (workers parked), same as the shock channel, so
@@ -482,8 +590,9 @@ impl SchemeKernel {
                 load.apply_f64(loads_f);
             }
         }
-        let publish = self.needs_random_mask() || self.needs_fault_mask();
-        if let Some(mask) = self.round_mask(round, t, matchgen, fault) {
+        let publish =
+            self.needs_random_mask() || self.needs_fault_mask() || self.needs_churn_mask();
+        if let Some(mask) = self.round_mask(round, t, matchgen, fault, churn) {
             if publish {
                 for (word, &w) in mask_out.iter().zip(mask) {
                     word.store(w, Relaxed);
@@ -528,9 +637,10 @@ impl SchemeKernel {
             block_sums,
             fault,
             load,
+            churn,
         } = scratch;
         if !self.faults.is_none() {
-            fault.begin_round(&self.faults, graph, round, self.sweep_family());
+            fault.begin_round(&self.faults, graph, round, self.fault_sweep_family());
             if let Some((donor, hotspot)) = fault.shock_targets(&self.faults, round, n) {
                 let amt = loads.get(donor) / 4;
                 if amt != 0 {
@@ -540,11 +650,24 @@ impl SchemeKernel {
                 }
             }
         }
+        if !self.churn.is_none() {
+            let fault_live = self.faults.crash.is_some().then(|| fault.live_node_words());
+            churn.begin_round(
+                &self.churn,
+                graph,
+                round,
+                true,
+                fault_live,
+                self.sweep_family(),
+                |i| loads.get(i) as f64,
+            );
+            churn.apply_i64(loads);
+        }
         if !self.loads.is_none() {
             load.plan_round(&self.loads, round, n, true, |i| loads.get(i) as f64);
             load.apply_i64(loads);
         }
-        let mask = self.round_mask(round, t, matchgen, fault);
+        let mask = self.round_mask(round, t, matchgen, fault, churn);
         match self.flow {
             FlowPass::EdgeLocal(rounding) => match mask {
                 None => kernel::edge_pass_fused(
@@ -663,10 +786,11 @@ impl SchemeKernel {
             block_sums,
             fault,
             load,
+            churn,
             ..
         } = scratch;
         if !self.faults.is_none() {
-            fault.begin_round(&self.faults, graph, round, self.sweep_family());
+            fault.begin_round(&self.faults, graph, round, self.fault_sweep_family());
             if let Some((donor, hotspot)) = fault.shock_targets(&self.faults, round, n) {
                 let amt = loads.get(donor) / 4.0;
                 if amt != 0.0 {
@@ -676,11 +800,24 @@ impl SchemeKernel {
                 }
             }
         }
+        if !self.churn.is_none() {
+            let fault_live = self.faults.crash.is_some().then(|| fault.live_node_words());
+            churn.begin_round(
+                &self.churn,
+                graph,
+                round,
+                false,
+                fault_live,
+                self.sweep_family(),
+                |i| loads.get(i),
+            );
+            churn.apply_f64(loads);
+        }
         if !self.loads.is_none() {
             load.plan_round(&self.loads, round, n, false, |i| loads.get(i));
             load.apply_f64(loads);
         }
-        let mask = self.round_mask(round, t, matchgen, fault);
+        let mask = self.round_mask(round, t, matchgen, fault, churn);
         match mask {
             None => kernel::edge_pass_continuous(t, 0..m, mem, gain, |i| loads.get(i), prev),
             Some(words) => {
@@ -803,9 +940,10 @@ impl SchemeKernel {
         A: BufF64,
         SF: Fn(usize) -> u64,
     {
-        if self.needs_fault_mask() {
-            // Edge faults route *every* plan through the effective mask
-            // the control thread published for the round.
+        if self.needs_fault_mask() || self.needs_churn_mask() {
+            // Edge faults and topology churn route *every* plan through
+            // the effective mask the control thread published for the
+            // round.
             return self.chunk_phases(
                 t,
                 barrier,
@@ -1117,6 +1255,7 @@ mod tests {
             &Speeds::uniform(16),
             FaultSpec::none(),
             LoadSpec::none(),
+            ChurnSpec::none(),
         )
         .unwrap();
         let ActivePlan::Sweep { masks, recover } = &k.plan else {
@@ -1158,6 +1297,7 @@ mod tests {
             &speeds,
             FaultSpec::none(),
             LoadSpec::none(),
+            ChurnSpec::none(),
         )
         .unwrap();
         let t = tables(&g);
@@ -1197,6 +1337,7 @@ mod tests {
             &speeds,
             FaultSpec::none(),
             LoadSpec::none(),
+            ChurnSpec::none(),
         )
         .unwrap();
         let t = tables(&g);
@@ -1248,6 +1389,7 @@ mod tests {
             &Speeds::uniform(16),
             faults,
             LoadSpec::none(),
+            ChurnSpec::none(),
         )
         .unwrap();
         let t = tables(&g);

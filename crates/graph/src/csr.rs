@@ -319,6 +319,124 @@ impl fmt::Debug for Graph {
     }
 }
 
+/// A dynamic node-activation overlay over an immutable [`Graph`].
+///
+/// The CSR arrays never change after construction; live-topology churn
+/// instead treats the graph's `n` node slots as **reserved capacity** and
+/// tracks which slots are currently active (a machine is present and
+/// serving load) in this bitmask. Simulators mask out edges with an
+/// inactive endpoint, so a deactivated slot is invisible to the flow
+/// passes until it is reactivated — no re-indexing, no CSR rebuild.
+///
+/// The words are in the same `n`-bit little-endian layout as the edge
+/// bitmasks used by [`crate::matching::mask_dead_edges`], so an overlay
+/// can be fed straight into the matching-repair routines as the
+/// `live_nodes` argument.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActiveSet {
+    /// `capacity`-bit mask, bit `v` set ⇔ slot `v` active.
+    words: Vec<u64>,
+    /// Number of node slots covered (the owning graph's `n`).
+    capacity: usize,
+    /// Number of set bits, maintained incrementally.
+    active: usize,
+}
+
+impl ActiveSet {
+    /// An overlay over `capacity` node slots with every slot active.
+    pub fn all_active(capacity: usize) -> Self {
+        let mut words = vec![u64::MAX; capacity.div_ceil(64).max(1)];
+        let tail = capacity % 64;
+        if tail != 0 {
+            *words.last_mut().unwrap() = (1u64 << tail) - 1;
+        } else if capacity == 0 {
+            words[0] = 0;
+        }
+        Self {
+            words,
+            capacity,
+            active: capacity,
+        }
+    }
+
+    /// Rebuilds an overlay from checkpointed mask words. Bits at or above
+    /// `capacity` are cleared, so the popcount invariant holds for any
+    /// input.
+    pub fn from_words(capacity: usize, mut words: Vec<u64>) -> Self {
+        words.resize(capacity.div_ceil(64).max(1), 0);
+        let tail = capacity % 64;
+        if tail != 0 {
+            *words.last_mut().unwrap() &= (1u64 << tail) - 1;
+        } else if capacity == 0 {
+            words[0] = 0;
+        }
+        let active = words.iter().map(|w| w.count_ones() as usize).sum();
+        Self {
+            words,
+            capacity,
+            active,
+        }
+    }
+
+    /// Number of node slots covered.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently active slots.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// Returns `true` if slot `v` is active.
+    #[inline]
+    pub fn is_active(&self, v: NodeId) -> bool {
+        (self.words[(v >> 6) as usize] >> (v & 63)) & 1 == 1
+    }
+
+    /// Activates slot `v`; returns `true` if the slot was inactive.
+    pub fn activate(&mut self, v: NodeId) -> bool {
+        debug_assert!((v as usize) < self.capacity);
+        let w = &mut self.words[(v >> 6) as usize];
+        let bit = 1u64 << (v & 63);
+        let changed = *w & bit == 0;
+        *w |= bit;
+        // Branchy on purpose: `self.active += usize::from(changed)` is
+        // const-folded incorrectly by some rustc builds at opt-level >= 2
+        // (the popcount invariant silently breaks); the branch is not.
+        if changed {
+            self.active += 1;
+        }
+        changed
+    }
+
+    /// Deactivates slot `v`; returns `true` if the slot was active.
+    pub fn deactivate(&mut self, v: NodeId) -> bool {
+        debug_assert!((v as usize) < self.capacity);
+        let w = &mut self.words[(v >> 6) as usize];
+        let bit = 1u64 << (v & 63);
+        let changed = *w & bit != 0;
+        *w &= !bit;
+        // Branchy on purpose — see `activate`.
+        if changed {
+            self.active -= 1;
+        }
+        changed
+    }
+
+    /// The raw mask words (little-endian bit order, `capacity` valid
+    /// bits). Directly usable as the `live_nodes` argument of
+    /// [`crate::matching::mask_dead_edges`] /
+    /// [`crate::matching::repair_matching`], and as the checkpoint
+    /// serialization of the overlay.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,5 +594,51 @@ mod tests {
         let s = format!("{g:?}");
         assert!(s.contains("nodes"));
         assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn active_set_starts_full_and_tracks_toggles() {
+        for n in [1usize, 63, 64, 65, 130] {
+            let mut a = ActiveSet::all_active(n);
+            assert_eq!(a.capacity(), n);
+            assert_eq!(a.active_count(), n);
+            assert!((0..n as NodeId).all(|v| a.is_active(v)));
+            // Bits above capacity are never set (tail word is clean).
+            let popcount: usize = a.words().iter().map(|w| w.count_ones() as usize).sum();
+            assert_eq!(popcount, n);
+            assert!(a.deactivate(0));
+            assert!(!a.deactivate(0), "double-deactivate is a no-op");
+            assert_eq!(a.active_count(), n - 1);
+            assert!(!a.is_active(0));
+            assert!(a.activate(0));
+            assert!(!a.activate(0), "double-activate is a no-op");
+            assert_eq!(a.active_count(), n);
+        }
+    }
+
+    #[test]
+    fn active_set_round_trips_through_words() {
+        let mut a = ActiveSet::all_active(70);
+        a.deactivate(3);
+        a.deactivate(69);
+        let b = ActiveSet::from_words(70, a.words().to_vec());
+        assert_eq!(a, b);
+        assert_eq!(b.active_count(), 68);
+        // Garbage bits above capacity are scrubbed on restore.
+        let c = ActiveSet::from_words(70, vec![u64::MAX, u64::MAX]);
+        assert_eq!(c.active_count(), 70);
+    }
+
+    #[test]
+    fn active_set_words_feed_matching_repair() {
+        let g = crate::generators::cycle(6);
+        let mut a = ActiveSet::all_active(6);
+        a.deactivate(2);
+        let mut mask = vec![(1u64 << g.edge_count()) - 1];
+        crate::matching::mask_dead_edges(&g, a.words(), &mut mask);
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            let kept = (mask[0] >> e) & 1 == 1;
+            assert_eq!(kept, u != 2 && v != 2);
+        }
     }
 }

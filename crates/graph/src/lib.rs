@@ -50,7 +50,7 @@ pub mod traversal;
 mod unionfind;
 
 pub use builder::GraphBuilder;
-pub use csr::{EdgeId, Graph, GraphKind, NodeId};
+pub use csr::{ActiveSet, EdgeId, Graph, GraphKind, NodeId};
 pub use error::GraphError;
 pub use matching::EdgeColoring;
 pub use speeds::Speeds;

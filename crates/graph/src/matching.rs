@@ -322,13 +322,36 @@ pub fn mask_dead_edges(graph: &Graph, live_nodes: &[u64], mask: &mut [u64]) {
 
 /// Incrementally repairs the matching bitmask `mask` after node churn:
 /// masks out edges with a dead endpoint ([`mask_dead_edges`]), then
-/// greedily re-covers the freed **live** nodes — each unmatched live node
-/// (ascending id) takes its first incident edge whose other endpoint is
-/// live and unmatched. The result is again a matching, dead nodes are
-/// never matched, and the repair is deterministic (same inputs, same
-/// output) and local: edges between matched live nodes are untouched.
+/// greedily re-covers the freed **live** nodes ([`extend_matching`]).
+/// The result is again a matching, dead nodes are never matched, and the
+/// repair is deterministic (same inputs, same output) and local: edges
+/// between matched live nodes are untouched.
+///
+/// The repaired mask is a pure function of the *base* mask and the
+/// *current* live set. Repair applied to an already-repaired mask is
+/// history-dependent (an extension chosen under an old live set can
+/// survive into the new one), so callers tracking churn epochs must
+/// re-derive from the pristine base family each epoch — exactly what the
+/// fault and churn simulators do — which is also what lets checkpoint
+/// restore rematerialize repaired families from (base, current live set)
+/// without replaying churn history (see the equivalence proptest below).
 pub fn repair_matching(graph: &Graph, live_nodes: &[u64], mask: &mut [u64]) {
     mask_dead_edges(graph, live_nodes, mask);
+    extend_matching(graph, live_nodes, mask);
+}
+
+/// Greedily extends the matching bitmask `mask` over the live nodes:
+/// each unmatched live node (ascending id) takes its first incident edge
+/// (adjacency order) whose other endpoint is live and unmatched. This is
+/// the *join* half of incremental repair — when a node (re)activates, the
+/// existing matching is extended locally to cover it instead of
+/// recomputing the family from scratch.
+///
+/// `mask` must already be a matching whose edges have only live
+/// endpoints (e.g. the output of [`mask_dead_edges`]); the extension
+/// never removes an edge, so the result is a superset matching that is
+/// maximal on the live-induced subgraph.
+pub fn extend_matching(graph: &Graph, live_nodes: &[u64], mask: &mut [u64]) {
     let n = graph.node_count();
     let mut matched = vec![false; n];
     for (e, &(u, v)) in graph.edges().iter().enumerate() {
@@ -554,6 +577,101 @@ mod tests {
         assert_eq!(repaired.len(), 1);
         let (u, v) = g.edge(repaired[0]);
         assert_eq!((u.min(v), u.max(v)), (0, 3), "wrap edge re-covers 0 and 3");
+    }
+
+    /// Strategy for the equivalence proptests: a graph, plus a sequence
+    /// of live-node sets (each an arbitrary subset of the nodes) modeling
+    /// stepwise churn.
+    fn churn_history() -> impl proptest::Strategy<Value = (Graph, Vec<Vec<bool>>)> {
+        use proptest::collection::vec as pvec;
+        use proptest::prelude::*;
+        (8usize..40, any::<u64>()).prop_flat_map(|(n, seed)| {
+            let g = match seed % 3 {
+                0 => generators::cycle(n),
+                1 => generators::torus2d(3, n / 3 + 2),
+                _ => generators::random_graph_cm(n, 4).unwrap(),
+            };
+            let n = g.node_count();
+            (Just(g), pvec(pvec(any::<bool>(), n), 1..5))
+        })
+    }
+
+    fn bool_mask(alive: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; alive.len().div_ceil(64).max(1)];
+        for (v, &a) in alive.iter().enumerate() {
+            if a {
+                words[v >> 6] |= 1u64 << (v & 63);
+            }
+        }
+        words
+    }
+
+    proptest::proptest! {
+        /// Repair-vs-rebuild equivalence: stepping a churn history the way
+        /// the simulator does — re-deriving each epoch's masks *from the
+        /// base family* — lands on exactly the masks a single one-shot
+        /// repair with the final live set produces, for every class of the
+        /// coloring. Checkpoint restore exploits this to rematerialize
+        /// repaired families from (base, current live set) alone. The
+        /// result is also a fixed point of repair, a matching maximal on
+        /// the live subgraph, and never touches an inactive node.
+        #[test]
+        fn per_epoch_repair_equals_one_shot_rebuild((g, history) in churn_history()) {
+            let coloring = edge_coloring(&g);
+            let final_live = bool_mask(history.last().unwrap());
+            for base in maximal_matchings(&g, &coloring) {
+                // Per-epoch: clone the base family, repair with that epoch's
+                // live set (the simulator's loop); keep the last epoch's mask.
+                let mut stepped = Vec::new();
+                for alive in &history {
+                    stepped = edge_mask(&g, &base);
+                    repair_matching(&g, &bool_mask(alive), &mut stepped);
+                }
+                // One-shot rebuild from the pristine base, final live set.
+                let mut rebuilt = edge_mask(&g, &base);
+                repair_matching(&g, &final_live, &mut rebuilt);
+                proptest::prop_assert_eq!(&stepped, &rebuilt);
+                // Fixed point: repairing a repaired mask changes nothing.
+                let mut again = rebuilt.clone();
+                repair_matching(&g, &final_live, &mut again);
+                proptest::prop_assert_eq!(&again, &rebuilt);
+                // A matching, maximal on the live subgraph, active-only.
+                let repaired = mask_edges(&rebuilt, g.edge_count());
+                proptest::prop_assert!(is_matching(&g, &repaired));
+                let mut matched = vec![false; g.node_count()];
+                for &e in &repaired {
+                    let (u, v) = g.edge(e);
+                    proptest::prop_assert!(live(&final_live, u) && live(&final_live, v));
+                    matched[u as usize] = true;
+                    matched[v as usize] = true;
+                }
+                for (e, &(u, v)) in g.edges().iter().enumerate() {
+                    let extendable = live(&final_live, u)
+                        && live(&final_live, v)
+                        && !matched[u as usize]
+                        && !matched[v as usize];
+                    proptest::prop_assert!(!extendable, "edge {} left addable", e);
+                }
+            }
+        }
+
+        /// [`extend_matching`] only ever adds edges, keeps the matching
+        /// property, and covers every node that can be covered — the
+        /// join-side guarantee for (re)activations.
+        #[test]
+        fn extension_is_monotone_and_maximal((g, history) in churn_history()) {
+            let alive = bool_mask(history.last().unwrap());
+            // Start from the empty matching: extension alone must reach a
+            // maximal matching of the live subgraph.
+            let mut mask = vec![0u64; g.edge_count().div_ceil(64).max(1)];
+            extend_matching(&g, &alive, &mut mask);
+            let chosen = mask_edges(&mask, g.edge_count());
+            proptest::prop_assert!(is_matching(&g, &chosen));
+            let before = chosen.len();
+            // Idempotent: a second extension adds nothing.
+            extend_matching(&g, &alive, &mut mask);
+            proptest::prop_assert_eq!(mask_edges(&mask, g.edge_count()).len(), before);
+        }
     }
 
     #[test]

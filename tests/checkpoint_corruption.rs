@@ -89,14 +89,29 @@ fn version_bump_and_foreign_files_are_typed() {
     let dir = scratch_dir("version");
     let bytes = checkpoint_bytes(&dir);
 
-    // A future format version is refused by number, not by checksum.
-    let mut future = bytes.clone();
-    future[8..12].copy_from_slice(&2u32.to_le_bytes());
-    let path = dir.join("future.ckpt");
-    fs::write(&path, &future).unwrap();
+    // Future (v3+) and nonsense (0) format versions are refused by
+    // number, not by checksum; the accepted range is exactly {1, 2}.
+    for found in [0u32, 3, 4, 0x7f7f_7f7f] {
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&found.to_le_bytes());
+        let path = dir.join("future.ckpt");
+        fs::write(&path, &future).unwrap();
+        match read_checkpoint(&path).unwrap_err() {
+            CheckpointError::UnsupportedVersion { found: got } => assert_eq!(got, found),
+            other => panic!("version {found}: unexpected {other:?}"),
+        }
+    }
+
+    // Patching the version *down* to 1 is a checksum mismatch, not a
+    // version error: the v2 payload no longer matches what a v1 reader
+    // would expect, and the FNV trailer covers the version word.
+    let mut downgraded = bytes.clone();
+    downgraded[8..12].copy_from_slice(&1u32.to_le_bytes());
+    let path = dir.join("downgraded.ckpt");
+    fs::write(&path, &downgraded).unwrap();
     assert!(matches!(
         read_checkpoint(&path).unwrap_err(),
-        CheckpointError::UnsupportedVersion { found: 2 }
+        CheckpointError::ChecksumMismatch { .. }
     ));
 
     // A file that was never a checkpoint.
@@ -114,6 +129,54 @@ fn version_bump_and_foreign_files_are_typed() {
         other => panic!("unexpected {other:?}"),
     }
     fs::remove_dir_all(&dir).ok();
+}
+
+/// Backward compatibility with the pre-churn on-disk format: the
+/// committed version-1 fixture (`tests/fixtures/checkpoint_v1.ckpt`,
+/// the crash-churn golden scenario frozen at round 33 by a v1 writer —
+/// regenerate with `cargo test -p sodiff-core regenerate_v1 --
+/// --ignored`) must load under the v2 reader with "churn never ran"
+/// defaults and resume to the exact pinned golden checksum of
+/// `tests/golden_trace.rs::torus_sos_crash_churn`.
+#[test]
+fn committed_v1_fixture_resumes_under_v2_reader() {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/checkpoint_v1.ckpt");
+    let bytes = fs::read(&path).unwrap();
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        1,
+        "the committed fixture must actually be a version-1 file"
+    );
+    let ckpt = read_checkpoint(&path).unwrap();
+    assert_eq!(ckpt.snapshot.round(), 33);
+    assert!(ckpt.spec.churn.is_none(), "a v1 writer predates churn");
+
+    let graph = ckpt.spec.build_graph().unwrap();
+    let experiment = ckpt.spec.experiment_on(&graph).unwrap();
+    let mut resumed = experiment.simulator();
+    resumed.restore(&ckpt.snapshot).unwrap();
+    resumed.run_until(StopCondition::MaxRounds(64 - 33));
+    // The same FNV digest `tests/golden_trace.rs` pins for the
+    // uninterrupted torus_sos_crash_churn run.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for &x in resumed.loads_i64().unwrap() {
+        eat(&x.to_le_bytes());
+    }
+    for &f in resumed.previous_flows() {
+        eat(&f.to_bits().to_le_bytes());
+    }
+    eat(&resumed.min_transient_load().to_bits().to_le_bytes());
+    assert_eq!(
+        h, 0x8cc7ad550f849948,
+        "v1 fixture resumed under the v2 reader diverged from the pinned golden trace"
+    );
 }
 
 #[test]

@@ -135,6 +135,18 @@ const GOLDEN: &[Golden] = &[
         checksum: 0x528126d94fdd1296,
     },
     Golden {
+        // `resume_at: 33` straddles the churn epoch: the restore must
+        // reinstall the persisted activation overlay (never redrawing
+        // the membership chain) and rebuild the epoch's masks.
+        name: "torus_sos_crash_flux",
+        spec: "topology=torus2d:8:8 rounding=nearest scheme=sos:1.7 init=point:0:6400 \
+               faults=crash:0.1:7 churn=flux:0.08:0.3:9:25",
+        rounds: 64,
+        resume_at: 33,
+        threads: &[1, 3],
+        checksum: 0x98bbaa1b24facd58,
+    },
+    Golden {
         name: "regular_matching_random",
         spec: "topology=random_regular:60:4:2 rounding=unbiased seed=13 \
                scheme=matching:random:7:1 speeds=ramp:5 init=point:0:60000",

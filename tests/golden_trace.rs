@@ -254,6 +254,52 @@ fn torus_sos_poisson() {
     }
 }
 
+/// Live-topology churn is part of the pinned surface: a flux SOS run
+/// (epoch-aligned departures with conservation-exact handoff, arrivals
+/// at a configured initial load) must reproduce this trace on the
+/// sequential executor and on the pool. Pinned when the `ChurnSpec`
+/// axis was introduced; the re-pin policy above applies (a churn plan
+/// is a randomized decision stream keyed by `(seed, epoch)` — changing
+/// which stream the flux channel consumes needs the full justification,
+/// not just a new constant).
+#[test]
+fn torus_sos_flux() {
+    let g = generators::torus2d(8, 8);
+    for threads in [1, 3] {
+        let sim = Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .sos(1.7)
+            .threads(threads)
+            .init(InitialLoad::point(0, 6400))
+            .churn(ChurnSpec::none().with_flux(0.08, 0.3, 9).with_initial(25.0))
+            .build()
+            .unwrap()
+            .simulator();
+        run_and_check("torus_sos_flux", 0x7e2c2b500623f7e6, sim, 64);
+    }
+}
+
+/// Churn composed with the crash channel: the two axes draw from
+/// independent streams, so this trace pins their interaction order
+/// (fault epoch first, churn transition second, then the flow pass).
+#[test]
+fn torus_sos_crash_flux() {
+    let g = generators::torus2d(8, 8);
+    for threads in [1, 3] {
+        let sim = Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .sos(1.7)
+            .threads(threads)
+            .init(InitialLoad::point(0, 6400))
+            .faults(FaultSpec::none().with_crash(0.1, 7))
+            .churn(ChurnSpec::none().with_flux(0.08, 0.3, 9).with_initial(25.0))
+            .build()
+            .unwrap()
+            .simulator();
+        run_and_check("torus_sos_crash_flux", 0x98bbaa1b24facd58, sim, 64);
+    }
+}
+
 #[test]
 fn regular_matching_random_heterogeneous() {
     // Random per-round maximal matchings + per-edge unbiased rounding +

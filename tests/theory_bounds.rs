@@ -152,6 +152,107 @@ fn discrete_sos_min_load_bound_prevents_negative() {
     );
 }
 
+/// Steady-state closure of the static theory under a *sustained*
+/// workload: starting balanced, a Poisson arrival/departure stream
+/// keeps perturbing the system every round, and the windowed deviation
+/// statistics (`stop=horizon`, the PR 7 `SteadyStats` window) must stay
+/// inside the paper's fixed-network envelopes — Theorem 4(2) for FOS
+/// and Theorem 9(2) for SOS. The bounds are stated for the transient of
+/// a static instance; the check is that the *stationary* deviation of
+/// the perturbed process never leaves those shapes, for either scheme.
+#[test]
+fn steady_deviation_under_sustained_injection_within_static_envelopes() {
+    let g = generators::torus2d(8, 8);
+    let n = g.node_count();
+    let spec = spectral::analyze(&g, &Speeds::uniform(n));
+    let steady = |scheme: Scheme| {
+        Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .scheme(scheme)
+            .init(InitialLoad::EqualPerNode(100))
+            .load(LoadSpec::none().with_poisson(0.8, 7))
+            .stop(StopCondition::Horizon(400))
+            .build()
+            .unwrap()
+            .run()
+            .steady
+            .expect("horizon mode always reports stats")
+    };
+    let fos = steady(Scheme::fos());
+    let sos = steady(Scheme::sos(spec.beta_opt()));
+    let fos_bound = theory::fos_deviation_bound(4, n, 1.0, spec.gap());
+    let sos_bound = theory::sos_deviation_bound(4, n, 1.0, spec.gap());
+    for (name, stats, bound) in [("FOS", &fos, fos_bound), ("SOS", &sos, sos_bound)] {
+        assert!(
+            stats.p99_dev > 0.0,
+            "{name}: a sustained stream must keep the process perturbed"
+        );
+        assert!(
+            stats.max_dev < 3.0 * bound,
+            "{name}: steady deviation {} escaped the static envelope {bound}",
+            stats.max_dev
+        );
+    }
+}
+
+/// The same closure under *topology churn*: nodes keep departing (their
+/// load handed to neighbors) and re-arriving at the balanced per-node
+/// load. Churn perturbs in units of a whole node's load — a departure
+/// dumps ~x̄ onto its neighborhood at once, and an empty slot sits a
+/// full x̄ below the mean — so the right stationary envelope is the
+/// static theorem bound *plus* O(x̄) worth of churn amplitude. The check
+/// is that neither scheme's windowed deviation escapes
+/// `3·bound + 2·x̄`: the perturbed process re-contracts between epochs
+/// instead of accumulating imbalance across them.
+#[test]
+fn steady_deviation_under_churn_within_static_envelopes() {
+    let g = generators::torus2d(8, 8);
+    let n = g.node_count();
+    let spec = spectral::analyze(&g, &Speeds::uniform(n));
+    let steady = |scheme: Scheme| {
+        Experiment::on(&g)
+            .discrete(Rounding::nearest())
+            .scheme(scheme)
+            .init(InitialLoad::EqualPerNode(100))
+            .churn(
+                ChurnSpec::none()
+                    .with_flux(0.05, 0.4, 11)
+                    .with_initial(100.0),
+            )
+            .stop(StopCondition::Horizon(400))
+            .build()
+            .unwrap()
+            .run()
+            .steady
+            .expect("horizon mode always reports stats")
+    };
+    let fos = steady(Scheme::fos());
+    let sos = steady(Scheme::sos(spec.beta_opt()));
+    let fos_bound = theory::fos_deviation_bound(4, n, 1.0, spec.gap());
+    let sos_bound = theory::sos_deviation_bound(4, n, 1.0, spec.gap());
+    // The balanced per-node load x̄ — both the handoff quantum and the
+    // empty-slot offset are bounded by one node's worth of it.
+    let per_node = 100.0;
+    for (name, stats, bound) in [("FOS", &fos, fos_bound), ("SOS", &sos, sos_bound)] {
+        assert!(
+            stats.p99_dev > 0.0,
+            "{name}: sustained churn must keep the process perturbed"
+        );
+        let envelope = 3.0 * bound + 2.0 * per_node;
+        assert!(
+            stats.max_dev < envelope,
+            "{name}: steady deviation under churn {} escaped bound {bound} + churn \
+             amplitude (envelope {envelope})",
+            stats.max_dev
+        );
+        assert!(
+            stats.mean_dev < envelope / 2.0,
+            "{name}: windowed mean {} shows imbalance accumulating across epochs",
+            stats.mean_dev
+        );
+    }
+}
+
 /// Convergence-time shapes (Section II): measured round counts scale like
 /// log(Kn)/(1−λ) for FOS and log(Kn)/√(1−λ) for SOS as the torus grows.
 #[test]
